@@ -1,0 +1,55 @@
+//! E1 / Table 1 — the classic model zoo on the clean EVM corpus.
+//!
+//! Prints the regenerated table once, then benchmarks the exhibit's
+//! kernel: featurize + fit + evaluate for a representative fast model
+//! (random forest) and for logistic regression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scamdetect::experiment::{run_e1_baselines, Profile};
+use scamdetect::featurize::{featurize_corpus, FeatureKind};
+use scamdetect::ClassicModel;
+use scamdetect_bench::print_eval_table;
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_ml::fit_evaluate;
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let profile = Profile::quick();
+    let rows = run_e1_baselines(&profile).expect("E1 runs");
+    print_eval_table("Table 1 (quick profile): classic model zoo", &rows);
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 60,
+        seed: 1,
+        ..CorpusConfig::default()
+    });
+    let (train_idx, test_idx) = corpus.split(0.3, 1);
+    let train = featurize_corpus(&corpus, &train_idx, FeatureKind::OpcodeHistogram).unwrap();
+    let test = featurize_corpus(&corpus, &test_idx, FeatureKind::OpcodeHistogram).unwrap();
+
+    let mut group = c.benchmark_group("e1_baselines");
+    group.sample_size(10);
+    group.bench_function("random_forest_fit_eval", |b| {
+        b.iter(|| {
+            let mut model = ClassicModel::RandomForest.instantiate(7);
+            black_box(fit_evaluate(model.as_mut(), &train, &test))
+        })
+    });
+    group.bench_function("logreg_fit_eval", |b| {
+        b.iter(|| {
+            let mut model = ClassicModel::LogisticRegression.instantiate(7);
+            black_box(fit_evaluate(model.as_mut(), &train, &test))
+        })
+    });
+    group.bench_function("featurize_opcode_histogram", |b| {
+        b.iter(|| {
+            black_box(
+                featurize_corpus(&corpus, &train_idx, FeatureKind::OpcodeHistogram).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E2 / Table 2 — GNN architecture comparison over CFGs.
+//!
+//! Prints the regenerated table (quick profile), then benchmarks one
+//! training epoch and one inference pass per architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scamdetect::experiment::{run_e2_gnns, Profile};
+use scamdetect::featurize::prepare_graphs;
+use scamdetect_bench::print_eval_table;
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_gnn::{train, GnnClassifier, GnnConfig, GnnKind, TrainConfig};
+use scamdetect_ir::features::NODE_FEATURE_DIM;
+use std::hint::black_box;
+
+fn bench_e2(c: &mut Criterion) {
+    let profile = Profile::quick();
+    let rows = run_e2_gnns(&profile).expect("E2 runs");
+    print_eval_table("Table 2 (quick profile): GNN architectures", &rows);
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 30,
+        seed: 2,
+        ..CorpusConfig::default()
+    });
+    let idx: Vec<usize> = (0..corpus.len()).collect();
+    let graphs = prepare_graphs(&corpus, &idx).unwrap();
+
+    let mut group = c.benchmark_group("e2_gnn");
+    group.sample_size(10);
+    for kind in GnnKind::all() {
+        group.bench_function(format!("{kind}_one_epoch"), |b| {
+            b.iter(|| {
+                let mut model =
+                    GnnClassifier::new(GnnConfig::new(kind, NODE_FEATURE_DIM).with_seed(3));
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    ..TrainConfig::default()
+                };
+                black_box(train(&mut model, &graphs, &cfg))
+            })
+        });
+        let model = GnnClassifier::new(GnnConfig::new(kind, NODE_FEATURE_DIM).with_seed(3));
+        group.bench_function(format!("{kind}_inference"), |b| {
+            b.iter(|| {
+                for g in &graphs {
+                    black_box(model.score(g));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E3 / Figure 1 — accuracy vs obfuscation level.
+//!
+//! Prints the regenerated sweep (quick profile), then benchmarks the
+//! obfuscation pipeline itself at each level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scamdetect::experiment::{run_e3_robustness, Profile};
+use scamdetect_bench::print_robustness;
+use scamdetect_dataset::{generate_evm, FamilyKind};
+use scamdetect_obfuscate::{obfuscate_evm, ObfuscationLevel};
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let profile = Profile::quick();
+    let pts = run_e3_robustness(&profile).expect("E3 runs");
+    print_robustness(&pts);
+
+    let mut rng = rand::SeedableRng::seed_from_u64(5);
+    let sample = generate_evm(FamilyKind::Erc20Token, &mut rng);
+
+    let mut group = c.benchmark_group("e3_robustness");
+    group.sample_size(20);
+    for level in [ObfuscationLevel::new(1), ObfuscationLevel::new(3), ObfuscationLevel::new(5)] {
+        group.bench_function(format!("obfuscate_{level}"), |b| {
+            b.iter(|| {
+                let (obf, _) = obfuscate_evm(&sample.program, level, 9);
+                black_box(obf.assemble().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E4 / Figure 2 — per-pass robustness breakdown.
+//!
+//! Prints the regenerated breakdown (quick profile), then benchmarks each
+//! individual EVM obfuscation pass at full intensity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scamdetect::experiment::{run_e4_per_pass, Profile};
+use scamdetect_bench::print_per_pass;
+use scamdetect_dataset::{generate_evm, FamilyKind};
+use scamdetect_obfuscate::{apply_evm_pass, EvmPassKind};
+use std::hint::black_box;
+
+fn bench_e4(c: &mut Criterion) {
+    let profile = Profile::quick();
+    let rows = run_e4_per_pass(&profile).expect("E4 runs");
+    print_per_pass(&rows);
+
+    let mut rng = rand::SeedableRng::seed_from_u64(11);
+    let sample = generate_evm(FamilyKind::Vault, &mut rng);
+
+    let mut group = c.benchmark_group("e4_per_pass");
+    group.sample_size(20);
+    for pass in EvmPassKind::all() {
+        group.bench_function(pass.name(), |b| {
+            b.iter(|| {
+                let mut prng = rand::SeedableRng::seed_from_u64(3);
+                let out = apply_evm_pass(pass, &sample.program, &mut prng, 1.0);
+                black_box(out.assemble().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E5 / Table 3 — platform transfer via the unified IR.
+//!
+//! Prints the regenerated transfer matrix (quick profile), then benchmarks
+//! the two frontends' lift stage — the component that makes agnosticism
+//! possible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scamdetect::experiment::{run_e5_agnostic, Profile};
+use scamdetect_bench::print_transfer;
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_ir::{EvmFrontend, Frontend, Platform, WasmFrontend};
+use std::hint::black_box;
+
+fn bench_e5(c: &mut Criterion) {
+    let profile = Profile::quick();
+    let cells = run_e5_agnostic(&profile).expect("E5 runs");
+    print_transfer(&cells);
+
+    let evm = Corpus::generate(&CorpusConfig {
+        size: 20,
+        seed: 4,
+        ..CorpusConfig::default()
+    });
+    let wasm = Corpus::generate(&CorpusConfig {
+        size: 20,
+        platform: Platform::Wasm,
+        seed: 4,
+        ..CorpusConfig::default()
+    });
+
+    let mut group = c.benchmark_group("e5_agnostic");
+    group.sample_size(20);
+    group.bench_function("evm_lift", |b| {
+        let fe = EvmFrontend::new();
+        b.iter(|| {
+            for contract in evm.contracts() {
+                black_box(fe.lift(&contract.bytes).unwrap());
+            }
+        })
+    });
+    group.bench_function("wasm_lift", |b| {
+        let fe = WasmFrontend::new();
+        b.iter(|| {
+            for contract in wasm.contracts() {
+                black_box(fe.lift(&contract.bytes).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E6 / Figure 3 — pipeline throughput by stage.
+//!
+//! Prints the regenerated stage table (quick profile), then measures each
+//! pipeline stage with Criterion across bytecode size buckets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scamdetect::experiment::{run_e6_throughput, Profile};
+use scamdetect_bench::print_throughput;
+use scamdetect_dataset::{generate_evm, FamilyKind};
+use scamdetect_evm::{cfg::build_cfg, disasm::disassemble};
+use scamdetect_ir::{EvmFrontend, Frontend};
+use scamdetect_obfuscate::{obfuscate_evm, ObfuscationLevel};
+use std::hint::black_box;
+
+fn bench_e6(c: &mut Criterion) {
+    let profile = Profile::quick();
+    let stages = run_e6_throughput(&profile).expect("E6 runs");
+    print_throughput(&stages);
+
+    // Size buckets: a base contract obfuscated to grow it.
+    let mut rng = rand::SeedableRng::seed_from_u64(6);
+    let base = generate_evm(FamilyKind::Erc20Token, &mut rng);
+    let small = base.program.assemble().unwrap();
+    let (medium_prog, _) = obfuscate_evm(&base.program, ObfuscationLevel::new(3), 1);
+    let medium = medium_prog.assemble().unwrap();
+    let (large_prog, _) = obfuscate_evm(&base.program, ObfuscationLevel::new(5), 1);
+    let large = large_prog.assemble().unwrap();
+
+    let mut group = c.benchmark_group("e6_throughput");
+    group.sample_size(30);
+    for (name, code) in [("small", &small), ("medium", &medium), ("large", &large)] {
+        group.throughput(Throughput::Bytes(code.len() as u64));
+        group.bench_with_input(BenchmarkId::new("disassemble", name), code, |b, code| {
+            b.iter(|| black_box(disassemble(code)))
+        });
+        group.bench_with_input(BenchmarkId::new("build_cfg", name), code, |b, code| {
+            b.iter(|| black_box(build_cfg(code)))
+        });
+        group.bench_with_input(BenchmarkId::new("lift_unified", name), code, |b, code| {
+            let fe = EvmFrontend::new();
+            b.iter(|| black_box(fe.lift(code).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E7 / Table 4 — dataset curation (ERC-1167 dedup).
+//!
+//! Prints the regenerated exhibit (quick profile), then benchmarks corpus
+//! generation, proxy detection and full dedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scamdetect::experiment::{run_e7_dedup, Profile};
+use scamdetect_bench::print_dedup;
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_evm::proxy::{detect_proxy, make_erc1167, skeleton_hash};
+use std::hint::black_box;
+
+fn bench_e7(c: &mut Criterion) {
+    let profile = Profile::quick();
+    let ex = run_e7_dedup(&profile);
+    print_dedup(&ex);
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 60,
+        proxy_duplicates: 20,
+        seed: 7,
+        ..CorpusConfig::default()
+    });
+    let proxy = make_erc1167(&[0x42; 20]);
+
+    let mut group = c.benchmark_group("e7_dedup");
+    group.sample_size(20);
+    group.bench_function("detect_proxy", |b| {
+        b.iter(|| black_box(detect_proxy(&proxy)))
+    });
+    group.bench_function("skeleton_hash", |b| {
+        b.iter(|| {
+            for contract in corpus.contracts() {
+                black_box(skeleton_hash(&contract.bytes));
+            }
+        })
+    });
+    group.bench_function("full_dedup", |b| {
+        b.iter(|| black_box(corpus.dedup()))
+    });
+    group.bench_function("corpus_generation_60", |b| {
+        b.iter(|| {
+            black_box(Corpus::generate(&CorpusConfig {
+                size: 60,
+                seed: 8,
+                ..CorpusConfig::default()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E8 / Table 5 — design ablations.
+//!
+//! Prints the regenerated ablation table (quick profile), then benchmarks
+//! the feature extraction variants the ablation compares.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scamdetect::experiment::{run_e8_ablation, Profile};
+use scamdetect::featurize::{featurize, FeatureKind};
+use scamdetect_bench::print_ablation;
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use std::hint::black_box;
+
+fn bench_e8(c: &mut Criterion) {
+    let profile = Profile::quick();
+    let rows = run_e8_ablation(&profile).expect("E8 runs");
+    print_ablation(&rows);
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 30,
+        seed: 8,
+        ..CorpusConfig::default()
+    });
+
+    let mut group = c.benchmark_group("e8_ablation");
+    group.sample_size(20);
+    for kind in [
+        FeatureKind::OpcodeHistogram,
+        FeatureKind::Unified,
+        FeatureKind::Combined,
+    ] {
+        group.bench_function(format!("featurize_{}", kind.name()), |b| {
+            b.iter(|| {
+                for contract in corpus.contracts() {
+                    black_box(featurize(contract, kind).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! The ScamDetect command-line scanner.
+//!
+//! ```text
+//! scamdetect-cli inspect <hexfile>            static analysis of one contract
+//! scamdetect-cli scan <hexfile> [options]     train + scan one contract
+//! scamdetect-cli demo                         end-to-end demonstration
+//!
+//! scan options:
+//!   --model <rf|logreg|mlp|gcn|gat|gin|tag|sage>   detector (default rf)
+//!   --corpus-size <n>                              training corpus size (default 300)
+//!   --seed <n>                                     corpus seed (default 42)
+//! ```
+//!
+//! Contract files contain hex bytes (optional `0x` prefix, whitespace
+//! ignored); `-` reads from stdin.
+
+use scamdetect::{
+    ClassicModel, FeatureKind, GnnKind, ModelKind, ScamDetect, TrainOptions,
+};
+use scamdetect::featurize::{detect_platform, lift_bytes};
+use scamdetect_dataset::{generate_evm, Corpus, CorpusConfig, FamilyKind};
+use scamdetect_evm::{cfg::build_cfg, disasm::disassemble, selector::extract_selectors};
+use scamdetect_ir::{InstrClass, Platform};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!("usage: scamdetect-cli <inspect|scan|demo> [args]");
+            eprintln!("       see crate docs for options");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_contract(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    let raw = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        s
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    let cleaned: String = raw
+        .trim()
+        .trim_start_matches("0x")
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    if cleaned.len() % 2 != 0 {
+        return Err("odd number of hex digits".into());
+    }
+    let mut bytes = Vec::with_capacity(cleaned.len() / 2);
+    for i in (0..cleaned.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(&cleaned[i..i + 2], 16)?);
+    }
+    if bytes.is_empty() {
+        return Err("empty contract".into());
+    }
+    Ok(bytes)
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("inspect needs a hex file path")?;
+    let bytes = read_contract(path)?;
+    let platform = detect_platform(&bytes);
+    println!("platform: {platform} ({} bytes)", bytes.len());
+
+    if platform == Platform::Evm {
+        let instrs = disassemble(&bytes);
+        println!("instructions: {}", instrs.len());
+        let sels = extract_selectors(&bytes);
+        if !sels.is_empty() {
+            print!("selectors:");
+            for s in &sels {
+                print!(" {s}");
+            }
+            println!();
+        }
+        let cfg = build_cfg(&bytes);
+        println!(
+            "cfg: {} blocks, {} edges, {} resolved / {} unresolved jumps",
+            cfg.block_count(),
+            cfg.graph().edge_count(),
+            cfg.resolved_jump_count(),
+            cfg.unresolved_jump_count()
+        );
+    }
+
+    let unified = lift_bytes(platform, &bytes)?;
+    println!(
+        "unified ir: {} blocks, {} instructions",
+        unified.block_count(),
+        unified.instruction_count()
+    );
+    let hist = unified.class_histogram();
+    let mut ranked: Vec<(InstrClass, f64)> = InstrClass::all()
+        .iter()
+        .map(|&c| (c, hist[c.index()]))
+        .filter(|(_, v)| *v > 0.0)
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("instruction classes:");
+    for (c, share) in ranked {
+        println!("  {c:<8} {:>5.1}%", share * 100.0);
+    }
+    Ok(())
+}
+
+fn parse_model(name: &str) -> Result<ModelKind, String> {
+    Ok(match name {
+        "rf" => ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Combined),
+        "logreg" => ModelKind::Classic(ClassicModel::LogisticRegression, FeatureKind::Combined),
+        "mlp" => ModelKind::Classic(ClassicModel::Mlp, FeatureKind::Combined),
+        "gcn" => ModelKind::Gnn(GnnKind::Gcn),
+        "gat" => ModelKind::Gnn(GnnKind::Gat),
+        "gin" => ModelKind::Gnn(GnnKind::Gin),
+        "tag" => ModelKind::Gnn(GnnKind::Tag),
+        "sage" => ModelKind::Gnn(GnnKind::Sage),
+        other => return Err(format!("unknown model '{other}'")),
+    })
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("scan needs a hex file path")?;
+    let mut model = parse_model("rf").expect("default model");
+    let mut corpus_size = 300usize;
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => {
+                i += 1;
+                model = parse_model(args.get(i).ok_or("--model needs a value")?)?;
+            }
+            "--corpus-size" => {
+                i += 1;
+                corpus_size = args.get(i).ok_or("--corpus-size needs a value")?.parse()?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).ok_or("--seed needs a value")?.parse()?;
+            }
+            other => return Err(format!("unknown option '{other}'").into()),
+        }
+        i += 1;
+    }
+
+    let bytes = read_contract(path)?;
+    let platform = detect_platform(&bytes);
+    eprintln!("training on a {corpus_size}-contract {platform} corpus (seed {seed})...");
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: corpus_size,
+        platform,
+        seed,
+        ..CorpusConfig::default()
+    });
+    let mut options = TrainOptions::default();
+    options.gnn.epochs = 30;
+    options.gnn.lr = 1e-2;
+    let scanner = ScamDetect::train(model, &corpus, &options)?;
+    let verdict = scanner.scan(&bytes)?;
+    println!("{verdict}");
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), Box<dyn std::error::Error>> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let drainer = generate_evm(FamilyKind::ApprovalDrainer, &mut rng)
+        .program
+        .assemble()?;
+    let token = generate_evm(FamilyKind::Erc20Token, &mut rng)
+        .program
+        .assemble()?;
+
+    println!("training a random-forest scanner...");
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 300,
+        seed: 42,
+        ..CorpusConfig::default()
+    });
+    let scanner = ScamDetect::train(
+        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Combined),
+        &corpus,
+        &TrainOptions::default(),
+    )?;
+    println!("drainer: {}", scanner.scan(&drainer)?);
+    println!("token:   {}", scanner.scan(&token)?);
+    Ok(())
+}

@@ -1,0 +1,308 @@
+//! Detector implementations and the model-selection enum.
+
+use crate::error::ScamDetectError;
+use crate::featurize::{self, FeatureKind};
+use scamdetect_dataset::Corpus;
+use scamdetect_gnn::{self as gnn, GnnClassifier, GnnConfig, GnnKind, PreparedGraph};
+use scamdetect_ir::features::NODE_FEATURE_DIM;
+use scamdetect_ir::UnifiedCfg;
+use scamdetect_ml::{
+    BernoulliNb, Classifier, DecisionTree, GaussianNb, KNearest, LogisticRegression, Mlp,
+    NearestCentroid, RandomForest,
+};
+
+/// Classic (non-graph) model choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ClassicModel {
+    LogisticRegression,
+    Mlp,
+    DecisionTree,
+    RandomForest,
+    ExtraTrees,
+    Knn1,
+    Knn5,
+    GaussianNb,
+    BernoulliNb,
+    NearestCentroid,
+}
+
+impl ClassicModel {
+    /// All ten classic models (E1's lineup).
+    pub fn all() -> [ClassicModel; 10] {
+        use ClassicModel::*;
+        [
+            LogisticRegression,
+            Mlp,
+            DecisionTree,
+            RandomForest,
+            ExtraTrees,
+            Knn1,
+            Knn5,
+            GaussianNb,
+            BernoulliNb,
+            NearestCentroid,
+        ]
+    }
+
+    /// Instantiates the model, seeded.
+    pub fn instantiate(self, seed: u64) -> Box<dyn Classifier> {
+        match self {
+            ClassicModel::LogisticRegression => Box::new(LogisticRegression::new()),
+            ClassicModel::Mlp => Box::new(Mlp::new(seed)),
+            ClassicModel::DecisionTree => Box::new(DecisionTree::default_cart()),
+            ClassicModel::RandomForest => Box::new(RandomForest::new(25, seed)),
+            ClassicModel::ExtraTrees => Box::new(RandomForest::extra_trees(25, seed ^ 1)),
+            ClassicModel::Knn1 => Box::new(KNearest::new(1)),
+            ClassicModel::Knn5 => Box::new(KNearest::new(5)),
+            ClassicModel::GaussianNb => Box::new(GaussianNb::new()),
+            ClassicModel::BernoulliNb => Box::new(BernoulliNb::new()),
+            ClassicModel::NearestCentroid => Box::new(NearestCentroid::new()),
+        }
+    }
+}
+
+/// Which detector a [`crate::ScamDetect`] instance trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// A classic classifier over byte/graph features.
+    Classic(ClassicModel, FeatureKind),
+    /// A GNN over the unified CFG.
+    Gnn(GnnKind),
+}
+
+/// Training options.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// GNN training hyperparameters (ignored by classic models).
+    pub gnn: gnn::TrainConfig,
+    /// Seed for model initialisation.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            gnn: gnn::TrainConfig::default(),
+            seed: 0xD07,
+        }
+    }
+}
+
+/// A trained detector: scores unified CFGs.
+///
+/// Constructed via [`Detector::train`]; the two implementations (classic
+/// and GNN) are unified behind this enum so the pipeline code is
+/// model-agnostic.
+pub enum Detector {
+    /// Classic classifier + its feature kind.
+    Classic {
+        /// The fitted model.
+        model: Box<dyn Classifier>,
+        /// The representation it was fitted on.
+        features: FeatureKind,
+    },
+    /// A trained GNN.
+    Gnn {
+        /// The fitted model.
+        model: GnnClassifier,
+    },
+}
+
+impl std::fmt::Debug for Detector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Detector({})", self.name())
+    }
+}
+
+impl Detector {
+    /// Trains `kind` on the given corpus subset.
+    ///
+    /// # Errors
+    ///
+    /// [`ScamDetectError::BadCorpus`] when the subset is empty or
+    /// single-class; frontend errors if a contract cannot be lifted.
+    pub fn train(
+        kind: ModelKind,
+        corpus: &Corpus,
+        indices: &[usize],
+        options: &TrainOptions,
+    ) -> Result<Detector, ScamDetectError> {
+        if indices.is_empty() {
+            return Err(ScamDetectError::BadCorpus { reason: "no training samples" });
+        }
+        let classes: std::collections::BTreeSet<usize> = indices
+            .iter()
+            .map(|&i| corpus.contracts()[i].label.class_index())
+            .collect();
+        if classes.len() < 2 {
+            return Err(ScamDetectError::BadCorpus { reason: "training set is single-class" });
+        }
+        match kind {
+            ModelKind::Classic(model_kind, features) => {
+                let data = featurize::featurize_corpus(corpus, indices, features)?;
+                let mut model = model_kind.instantiate(options.seed);
+                model.fit(&data);
+                Ok(Detector::Classic { model, features })
+            }
+            ModelKind::Gnn(gnn_kind) => {
+                let graphs = featurize::prepare_graphs(corpus, indices)?;
+                let config = GnnConfig::new(gnn_kind, NODE_FEATURE_DIM).with_seed(options.seed);
+                let mut model = GnnClassifier::new(config);
+                gnn::train(&mut model, &graphs, &options.gnn);
+                Ok(Detector::Gnn { model })
+            }
+        }
+    }
+
+    /// Name of the underlying model.
+    pub fn name(&self) -> String {
+        match self {
+            Detector::Classic { model, features } => {
+                format!("{}[{}]", model.name(), features.name())
+            }
+            Detector::Gnn { model } => model.name().to_string(),
+        }
+    }
+
+    /// P(malicious) of a lifted contract.
+    ///
+    /// # Panics
+    ///
+    /// For classic detectors trained on byte-level features
+    /// ([`FeatureKind::OpcodeHistogram`] / [`FeatureKind::Combined`]) the
+    /// CFG alone cannot reproduce the training representation; use
+    /// [`Detector::score_bytes`] instead, or this method panics on the
+    /// dimension mismatch inside the model.
+    pub fn score_cfg(&self, cfg: &UnifiedCfg) -> f64 {
+        match self {
+            Detector::Classic { model, .. } => {
+                let row = scamdetect_ir::features::graph_feature_vector(cfg);
+                model.score(&row)
+            }
+            Detector::Gnn { model } => {
+                let g = PreparedGraph::from_cfg(cfg, 0);
+                model.score(&g)
+            }
+        }
+    }
+
+    /// P(malicious) of raw bytes on a known platform — always uses the
+    /// exact representation the detector was trained on.
+    pub fn score_bytes(
+        &self,
+        platform: scamdetect_ir::Platform,
+        bytes: &[u8],
+    ) -> Result<f64, ScamDetectError> {
+        match self {
+            Detector::Classic { model, features } => {
+                let row = featurize::featurize_bytes(platform, bytes, *features)?;
+                Ok(model.score(&row))
+            }
+            Detector::Gnn { model } => {
+                let cfg = featurize::lift_bytes(platform, bytes)?;
+                let g = PreparedGraph::from_cfg(&cfg, 0);
+                Ok(model.score(&g))
+            }
+        }
+    }
+
+    /// P(malicious) of a corpus contract (classic models use their exact
+    /// training representation, including byte-level histograms).
+    pub fn score_contract(
+        &self,
+        contract: &scamdetect_dataset::Contract,
+    ) -> Result<f64, ScamDetectError> {
+        match self {
+            Detector::Classic { model, features } => {
+                let row = featurize::featurize(contract, *features)?;
+                Ok(model.score(&row))
+            }
+            Detector::Gnn { model } => {
+                let cfg = featurize::lift(contract)?;
+                let g = PreparedGraph::from_cfg(&cfg, 0);
+                Ok(model.score(&g))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scamdetect_dataset::CorpusConfig;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            size: 40,
+            seed: 77,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn classic_detector_trains_and_scores() {
+        let c = corpus();
+        let idx: Vec<usize> = (0..c.len()).collect();
+        let det = Detector::train(
+            ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::OpcodeHistogram),
+            &c,
+            &idx,
+            &TrainOptions::default(),
+        )
+        .unwrap();
+        assert!(det.name().contains("random_forest"));
+        let s = det.score_contract(&c.contracts()[0]).unwrap();
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn gnn_detector_trains_and_scores() {
+        let c = corpus();
+        let idx: Vec<usize> = (0..c.len()).collect();
+        let mut opts = TrainOptions::default();
+        opts.gnn.epochs = 3; // smoke-level training
+        let det = Detector::train(ModelKind::Gnn(GnnKind::Gcn), &c, &idx, &opts).unwrap();
+        assert_eq!(det.name(), "gcn");
+        let cfg = featurize::lift(&c.contracts()[1]).unwrap();
+        assert!((0.0..=1.0).contains(&det.score_cfg(&cfg)));
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        let c = corpus();
+        let err = Detector::train(
+            ModelKind::Gnn(GnnKind::Gcn),
+            &c,
+            &[],
+            &TrainOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScamDetectError::BadCorpus { .. }));
+    }
+
+    #[test]
+    fn single_class_training_set_rejected() {
+        let c = corpus();
+        let only_benign: Vec<usize> = (0..c.len())
+            .filter(|&i| c.contracts()[i].label == scamdetect_dataset::ContractLabel::Benign)
+            .collect();
+        let err = Detector::train(
+            ModelKind::Classic(ClassicModel::Knn1, FeatureKind::Unified),
+            &c,
+            &only_benign,
+            &TrainOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScamDetectError::BadCorpus { .. }));
+    }
+
+    #[test]
+    fn classic_model_enum_is_complete() {
+        assert_eq!(ClassicModel::all().len(), 10);
+        for m in ClassicModel::all() {
+            let inst = m.instantiate(1);
+            assert!(!inst.name().is_empty());
+        }
+    }
+}

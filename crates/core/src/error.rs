@@ -1,0 +1,69 @@
+//! Framework error type.
+
+use scamdetect_ir::FrontendError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the ScamDetect pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScamDetectError {
+    /// The contract bytes could not be lifted by any frontend.
+    Frontend(FrontendError),
+    /// A detector was asked to score before being trained.
+    Untrained,
+    /// The training corpus was empty (or single-class).
+    BadCorpus {
+        /// Explanation of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ScamDetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScamDetectError::Frontend(e) => write!(f, "frontend: {e}"),
+            ScamDetectError::Untrained => write!(f, "detector has not been trained"),
+            ScamDetectError::BadCorpus { reason } => {
+                write!(f, "unusable training corpus: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ScamDetectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScamDetectError::Frontend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrontendError> for ScamDetectError {
+    fn from(e: FrontendError) -> Self {
+        ScamDetectError::Frontend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ScamDetectError::from(FrontendError::EmptyContract);
+        assert!(e.to_string().contains("frontend"));
+        assert!(e.source().is_some());
+        assert!(ScamDetectError::Untrained.source().is_none());
+        assert!(!ScamDetectError::BadCorpus { reason: "empty" }
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<ScamDetectError>();
+    }
+}

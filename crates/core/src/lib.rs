@@ -1,0 +1,69 @@
+//! # ScamDetect
+//!
+//! A robust, modular, **platform-agnostic** smart-contract malware
+//! detection framework — a from-scratch reproduction of *"ScamDetect:
+//! Towards a Robust, Agnostic Framework to Uncover Threats in Smart
+//! Contracts"* (De Rosa, Felber, Schiavoni; DSN-S 2025).
+//!
+//! The pipeline:
+//!
+//! ```text
+//!  raw bytes ──platform frontend──▶ UnifiedCfg ──features──▶ Detector ──▶ Verdict
+//!   (EVM | WASM)                   (agnostic IR)           (classic | GNN)
+//! ```
+//!
+//! * **Frontends** ([`scamdetect_ir`]) lift EVM bytecode (disassembly +
+//!   static jump resolution) and WASM modules (structured control flow)
+//!   into one unified CFG whose blocks speak a cross-platform instruction
+//!   taxonomy.
+//! * **Detectors** are either classic classifiers
+//!   ([`ClassicModel`], PhishingHook-style, over opcode histograms or
+//!   unified features) or graph neural networks ([`GnnKind`]: GCN, GAT,
+//!   GIN, TAG, GraphSAGE) over the CFG itself.
+//! * **Corpora** come from [`scamdetect_dataset`]: 14 contract families,
+//!   both platforms, fully seeded; [`scamdetect_obfuscate`] provides the
+//!   leveled obfuscation threat model the evaluation sweeps over.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScamDetect, TrainOptions};
+//! use scamdetect_dataset::{Corpus, CorpusConfig};
+//!
+//! # fn main() -> Result<(), scamdetect::ScamDetectError> {
+//! // 1. A labeled corpus (synthetic stand-in for the Etherscan dataset).
+//! let corpus = Corpus::generate(&CorpusConfig { size: 60, seed: 7, ..CorpusConfig::default() });
+//!
+//! // 2. Train a detector.
+//! let scanner = ScamDetect::train(
+//!     ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
+//!     &corpus,
+//!     &TrainOptions::default(),
+//! )?;
+//!
+//! // 3. Scan raw bytes (platform auto-detected).
+//! let verdict = scanner.scan(&corpus.contracts()[0].bytes)?;
+//! println!("{verdict}");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The [`experiment`] module regenerates every table and figure of the
+//! evaluation (see DESIGN.md §3 and EXPERIMENTS.md).
+
+pub mod detector;
+pub mod error;
+pub mod experiment;
+pub mod featurize;
+pub mod pipeline;
+pub mod verdict;
+
+pub use detector::{ClassicModel, Detector, ModelKind, TrainOptions};
+pub use error::ScamDetectError;
+pub use featurize::{detect_platform, FeatureKind};
+pub use pipeline::ScamDetect;
+pub use verdict::Verdict;
+
+// Re-export the architecture enum so users pick GNNs without an extra
+// dependency edge.
+pub use scamdetect_gnn::GnnKind;

@@ -1,0 +1,160 @@
+//! The end-to-end scanning pipeline.
+
+use crate::detector::{Detector, ModelKind, TrainOptions};
+use crate::error::ScamDetectError;
+use crate::featurize::{detect_platform, lift_bytes};
+use crate::verdict::Verdict;
+use scamdetect_dataset::{ContractLabel, Corpus};
+use scamdetect_ir::Platform;
+
+/// A trained, platform-agnostic contract scanner.
+///
+/// `ScamDetect` owns a trained [`Detector`] and the platform frontends;
+/// [`ScamDetect::scan`] takes raw on-chain bytes and returns a [`Verdict`].
+/// One scanner serves every supported platform — the paper's §V-B promise.
+///
+/// # Examples
+///
+/// ```no_run
+/// use scamdetect::{ModelKind, GnnKind, ScamDetect, TrainOptions};
+/// use scamdetect_dataset::{Corpus, CorpusConfig};
+///
+/// # fn main() -> Result<(), scamdetect::ScamDetectError> {
+/// let corpus = Corpus::generate(&CorpusConfig::default());
+/// let scanner = ScamDetect::train(ModelKind::Gnn(GnnKind::Gcn), &corpus, &TrainOptions::default())?;
+/// let verdict = scanner.scan(&[0x60, 0x00, 0x60, 0x00, 0xfd])?; // PUSH PUSH REVERT
+/// println!("{verdict}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ScamDetect {
+    detector: Detector,
+}
+
+impl ScamDetect {
+    /// Trains a scanner of `kind` on the full corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend failures and corpus problems.
+    pub fn train(
+        kind: ModelKind,
+        corpus: &Corpus,
+        options: &TrainOptions,
+    ) -> Result<Self, ScamDetectError> {
+        let indices: Vec<usize> = (0..corpus.len()).collect();
+        Self::train_on(kind, corpus, &indices, options)
+    }
+
+    /// Trains on an index subset (for held-out evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend failures and corpus problems.
+    pub fn train_on(
+        kind: ModelKind,
+        corpus: &Corpus,
+        indices: &[usize],
+        options: &TrainOptions,
+    ) -> Result<Self, ScamDetectError> {
+        Ok(ScamDetect {
+            detector: Detector::train(kind, corpus, indices, options)?,
+        })
+    }
+
+    /// Wraps an already-trained detector.
+    pub fn from_detector(detector: Detector) -> Self {
+        ScamDetect { detector }
+    }
+
+    /// The underlying detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Scans raw bytes, auto-detecting the platform.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn scan(&self, bytes: &[u8]) -> Result<Verdict, ScamDetectError> {
+        self.scan_on(detect_platform(bytes), bytes)
+    }
+
+    /// Scans raw bytes on an explicit platform.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn scan_on(&self, platform: Platform, bytes: &[u8]) -> Result<Verdict, ScamDetectError> {
+        let cfg = lift_bytes(platform, bytes)?;
+        let p = self.detector.score_bytes(platform, bytes)?;
+        Ok(Verdict {
+            label: if p >= 0.5 {
+                ContractLabel::Malicious
+            } else {
+                ContractLabel::Benign
+            },
+            malicious_probability: p,
+            platform,
+            model: self.detector.name(),
+            blocks: cfg.block_count(),
+            instructions: cfg.instruction_count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::ClassicModel;
+    use crate::featurize::FeatureKind;
+    use scamdetect_dataset::CorpusConfig;
+
+    #[test]
+    fn end_to_end_scan_auto_platform() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: 30,
+            seed: 21,
+            ..CorpusConfig::default()
+        });
+        let scanner = ScamDetect::train(
+            ModelKind::Classic(ClassicModel::DecisionTree, FeatureKind::Unified),
+            &corpus,
+            &TrainOptions::default(),
+        )
+        .unwrap();
+
+        // EVM bytes scan as EVM.
+        let v = scanner.scan(&corpus.contracts()[0].bytes).unwrap();
+        assert_eq!(v.platform, Platform::Evm);
+        assert!(v.blocks > 0);
+
+        // WASM bytes scan as WASM.
+        let wasm_corpus = Corpus::generate(&CorpusConfig {
+            size: 4,
+            platform: Platform::Wasm,
+            seed: 3,
+            ..CorpusConfig::default()
+        });
+        let v2 = scanner.scan(&wasm_corpus.contracts()[0].bytes).unwrap();
+        assert_eq!(v2.platform, Platform::Wasm);
+    }
+
+    #[test]
+    fn scan_rejects_garbage_wasm() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: 20,
+            seed: 2,
+            ..CorpusConfig::default()
+        });
+        let scanner = ScamDetect::train(
+            ModelKind::Classic(ClassicModel::Knn1, FeatureKind::Unified),
+            &corpus,
+            &TrainOptions::default(),
+        )
+        .unwrap();
+        assert!(scanner.scan(b"\0asm____garbage").is_err());
+    }
+}

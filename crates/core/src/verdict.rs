@@ -1,0 +1,66 @@
+//! Scan verdicts.
+
+use scamdetect_dataset::ContractLabel;
+use scamdetect_ir::Platform;
+use std::fmt;
+
+/// The result of scanning one contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Predicted label.
+    pub label: ContractLabel,
+    /// Model confidence that the contract is malicious, in `[0, 1]`.
+    pub malicious_probability: f64,
+    /// Platform the bytes were interpreted as.
+    pub platform: Platform,
+    /// Name of the model that produced the verdict.
+    pub model: String,
+    /// Basic blocks analysed.
+    pub blocks: usize,
+    /// Instructions analysed.
+    pub instructions: usize,
+}
+
+impl Verdict {
+    /// `true` when the verdict flags the contract.
+    pub fn is_malicious(&self) -> bool {
+        self.label == ContractLabel::Malicious
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} (p_malicious = {:.3}, model = {}, {} blocks / {} instructions)",
+            self.platform,
+            self.label,
+            self.malicious_probability,
+            self.model,
+            self.blocks,
+            self.instructions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let v = Verdict {
+            label: ContractLabel::Malicious,
+            malicious_probability: 0.97,
+            platform: Platform::Evm,
+            model: "gcn".to_string(),
+            blocks: 12,
+            instructions: 230,
+        };
+        assert!(v.is_malicious());
+        let s = v.to_string();
+        assert!(s.contains("malicious"));
+        assert!(s.contains("0.970"));
+        assert!(s.contains("gcn"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Labeled corpus construction, deduplication and splitting.
+
+use crate::evm_gen::generate_evm;
+use crate::families::{ContractLabel, FamilyKind};
+use crate::wasm_gen::generate_wasm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scamdetect_evm::proxy::{detect_proxy, make_erc1167, skeleton_hash, ProxyKind};
+use scamdetect_ir::Platform;
+use scamdetect_obfuscate::{obfuscate_evm, obfuscate_wasm, ObfuscationLevel};
+use std::collections::HashMap;
+
+/// The transformable source of a contract (kept so obfuscation can be
+/// applied after generation, at experiment time).
+#[derive(Debug, Clone)]
+pub enum ContractSource {
+    /// Label-form EVM assembly.
+    Evm(scamdetect_evm::asm::AsmProgram),
+    /// A WASM module.
+    Wasm(scamdetect_wasm::module::Module),
+    /// Raw bytes only (injected duplicates).
+    Opaque,
+}
+
+/// One labeled contract.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// Stable id within the corpus.
+    pub id: u64,
+    /// Deployable bytecode (EVM runtime bytes or a WASM binary module).
+    pub bytes: Vec<u8>,
+    /// Which platform the bytes target.
+    pub platform: Platform,
+    /// Ground truth.
+    pub label: ContractLabel,
+    /// Generating family.
+    pub family: FamilyKind,
+    /// Transformable source, if retained.
+    pub source: ContractSource,
+}
+
+impl Contract {
+    /// Returns this contract with obfuscation `level` applied (seeded by
+    /// the contract id so corpora stay reproducible). Opaque contracts are
+    /// returned unchanged.
+    pub fn obfuscated(&self, level: ObfuscationLevel) -> Contract {
+        let seed = self.id ^ 0x0BF5;
+        match &self.source {
+            ContractSource::Evm(prog) => {
+                let (obf, _) = obfuscate_evm(prog, level, seed);
+                let bytes = obf.assemble().expect("obfuscated program assembles");
+                Contract {
+                    bytes,
+                    source: ContractSource::Evm(obf),
+                    ..self.clone()
+                }
+            }
+            ContractSource::Wasm(module) => {
+                let (obf, _) = obfuscate_wasm(module, level, seed);
+                let bytes = scamdetect_wasm::encode::encode_module(&obf);
+                Contract {
+                    bytes,
+                    source: ContractSource::Wasm(obf),
+                    ..self.clone()
+                }
+            }
+            ContractSource::Opaque => self.clone(),
+        }
+    }
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of organically generated contracts.
+    pub size: usize,
+    /// Fraction drawn from malicious families (default 0.5, mirroring the
+    /// balanced PhishingHook benchmark).
+    pub malicious_fraction: f64,
+    /// Target platform.
+    pub platform: Platform,
+    /// Master seed.
+    pub seed: u64,
+    /// Extra ERC-1167 minimal-proxy duplicates injected (EVM only) to
+    /// exercise dedup (E7).
+    pub proxy_duplicates: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            size: 600,
+            malicious_fraction: 0.5,
+            platform: Platform::Evm,
+            seed: 0x5CA,
+            proxy_duplicates: 0,
+        }
+    }
+}
+
+/// A labeled contract corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    contracts: Vec<Contract>,
+}
+
+/// Per-family and aggregate corpus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Total contracts.
+    pub total: usize,
+    /// Malicious count.
+    pub malicious: usize,
+    /// Benign count.
+    pub benign: usize,
+    /// `(family, count)` pairs, in family order.
+    pub per_family: Vec<(FamilyKind, usize)>,
+    /// Mean bytecode size.
+    pub mean_size: f64,
+    /// Min/max bytecode sizes.
+    pub size_range: (usize, usize),
+}
+
+/// What deduplication removed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupReport {
+    /// Contracts before.
+    pub before: usize,
+    /// Contracts after.
+    pub after: usize,
+    /// Removed because they were ERC-1167 minimal proxies.
+    pub proxies_removed: usize,
+    /// Removed because their immediate-masked skeleton collided.
+    pub skeleton_duplicates_removed: usize,
+}
+
+impl Corpus {
+    /// Generates a corpus per `config`.
+    ///
+    /// Families alternate deterministically under the master seed; each
+    /// contract gets its own derived seed, so corpora are reproducible and
+    /// any subset can be regenerated.
+    pub fn generate(config: &CorpusConfig) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mal = FamilyKind::malicious();
+        let ben = FamilyKind::benign();
+        let mut contracts = Vec::with_capacity(config.size + config.proxy_duplicates);
+        for id in 0..config.size as u64 {
+            let is_mal = rng.random_range(0.0..1.0) < config.malicious_fraction;
+            let family = if is_mal {
+                mal[rng.random_range(0..mal.len())]
+            } else {
+                ben[rng.random_range(0..ben.len())]
+            };
+            let mut contract_rng = StdRng::seed_from_u64(config.seed ^ (id.wrapping_mul(0x9E37_79B9)));
+            let contract = match config.platform {
+                Platform::Evm => {
+                    let g = generate_evm(family, &mut contract_rng);
+                    let bytes = g.program.assemble().expect("generated contract assembles");
+                    Contract {
+                        id,
+                        bytes,
+                        platform: Platform::Evm,
+                        label: family.label(),
+                        family,
+                        source: ContractSource::Evm(g.program),
+                    }
+                }
+                Platform::Wasm => {
+                    let g = generate_wasm(family, &mut contract_rng);
+                    let bytes = scamdetect_wasm::encode::encode_module(&g.module);
+                    Contract {
+                        id,
+                        bytes,
+                        platform: Platform::Wasm,
+                        label: family.label(),
+                        family,
+                        source: ContractSource::Wasm(g.module),
+                    }
+                }
+            };
+            contracts.push(contract);
+        }
+
+        // Injected ERC-1167 duplicates (labelled by the proxied side: in a
+        // real corpus these inherit the implementation's label; here we
+        // alternate to keep the injection label-neutral).
+        for d in 0..config.proxy_duplicates as u64 {
+            let mut addr = [0u8; 20];
+            // Many proxies to FEW implementations: that is the realistic
+            // duplication pattern dedup must collapse.
+            addr[19] = (d % 4) as u8;
+            let family = if d % 2 == 0 {
+                FamilyKind::ApprovalDrainer
+            } else {
+                FamilyKind::Erc20Token
+            };
+            contracts.push(Contract {
+                id: config.size as u64 + d,
+                bytes: make_erc1167(&addr),
+                platform: Platform::Evm,
+                label: family.label(),
+                family,
+                source: ContractSource::Opaque,
+            });
+        }
+        Corpus { contracts }
+    }
+
+    /// The contracts.
+    pub fn contracts(&self) -> &[Contract] {
+        &self.contracts
+    }
+
+    /// Number of contracts.
+    pub fn len(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.contracts.is_empty()
+    }
+
+    /// Builds a corpus directly from contracts.
+    pub fn from_contracts(contracts: Vec<Contract>) -> Corpus {
+        Corpus { contracts }
+    }
+
+    /// A corpus with every contract obfuscated at `level`.
+    pub fn obfuscated(&self, level: ObfuscationLevel) -> Corpus {
+        Corpus {
+            contracts: self.contracts.iter().map(|c| c.obfuscated(level)).collect(),
+        }
+    }
+
+    /// Removes ERC-1167 proxies and skeleton-hash duplicates (§V-A's
+    /// curation step). The first representative of each skeleton class is
+    /// kept.
+    pub fn dedup(&self) -> (Corpus, DedupReport) {
+        let before = self.contracts.len();
+        let mut proxies_removed = 0;
+        let mut skeleton_duplicates_removed = 0;
+        let mut seen: HashMap<(u8, u64), ()> = HashMap::new();
+        let mut kept = Vec::new();
+        for c in &self.contracts {
+            if c.platform == Platform::Evm {
+                if let ProxyKind::Erc1167 { .. } = detect_proxy(&c.bytes) {
+                    proxies_removed += 1;
+                    continue;
+                }
+            }
+            let plat = match c.platform {
+                Platform::Evm => 0u8,
+                Platform::Wasm => 1,
+            };
+            let key = (
+                plat,
+                match c.platform {
+                    Platform::Evm => skeleton_hash(&c.bytes),
+                    // WASM: hash the raw bytes (no immediate-masking analog
+                    // needed; generators already randomize layout).
+                    Platform::Wasm => {
+                        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                        for &b in &c.bytes {
+                            h ^= b as u64;
+                            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                        }
+                        h
+                    }
+                },
+            );
+            if seen.insert(key, ()).is_some() {
+                skeleton_duplicates_removed += 1;
+                continue;
+            }
+            kept.push(c.clone());
+        }
+        let after = kept.len();
+        (
+            Corpus { contracts: kept },
+            DedupReport {
+                before,
+                after,
+                proxies_removed,
+                skeleton_duplicates_removed,
+            },
+        )
+    }
+
+    /// Stratified train/test split: the class balance of both sides
+    /// matches the corpus. Returns `(train_indices, test_indices)`.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for label in [ContractLabel::Benign, ContractLabel::Malicious] {
+            let mut idx: Vec<usize> = self
+                .contracts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.label == label)
+                .map(|(i, _)| i)
+                .collect();
+            // Fisher–Yates.
+            for i in (1..idx.len()).rev() {
+                let j = rng.random_range(0..=i);
+                idx.swap(i, j);
+            }
+            let n_test = (idx.len() as f64 * test_fraction).round() as usize;
+            test.extend_from_slice(&idx[..n_test]);
+            train.extend_from_slice(&idx[n_test..]);
+        }
+        train.sort_unstable();
+        test.sort_unstable();
+        (train, test)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CorpusStats {
+        let malicious = self
+            .contracts
+            .iter()
+            .filter(|c| c.label == ContractLabel::Malicious)
+            .count();
+        let mut per_family = Vec::new();
+        for f in FamilyKind::all() {
+            let n = self.contracts.iter().filter(|c| c.family == f).count();
+            per_family.push((f, n));
+        }
+        let sizes: Vec<usize> = self.contracts.iter().map(|c| c.bytes.len()).collect();
+        let mean_size = if sizes.is_empty() {
+            0.0
+        } else {
+            sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+        };
+        CorpusStats {
+            total: self.contracts.len(),
+            malicious,
+            benign: self.contracts.len() - malicious,
+            per_family,
+            mean_size,
+            size_range: (
+                sizes.iter().copied().min().unwrap_or(0),
+                sizes.iter().copied().max().unwrap_or(0),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CorpusConfig {
+        CorpusConfig {
+            size: 60,
+            seed: 42,
+            ..CorpusConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = Corpus::generate(&small_cfg());
+        let b = Corpus::generate(&small_cfg());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.contracts().iter().zip(b.contracts()) {
+            assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_balance() {
+        let c = Corpus::generate(&CorpusConfig {
+            size: 300,
+            seed: 7,
+            ..CorpusConfig::default()
+        });
+        let s = c.stats();
+        assert_eq!(s.total, 300);
+        // Balanced to within sampling noise.
+        assert!(s.malicious > 100 && s.malicious < 200, "{}", s.malicious);
+        assert!(s.mean_size > 50.0);
+        assert_eq!(
+            s.per_family.iter().map(|(_, n)| n).sum::<usize>(),
+            s.total
+        );
+    }
+
+    #[test]
+    fn wasm_corpus_generates() {
+        let c = Corpus::generate(&CorpusConfig {
+            size: 40,
+            platform: Platform::Wasm,
+            seed: 9,
+            ..CorpusConfig::default()
+        });
+        assert_eq!(c.len(), 40);
+        assert!(c.contracts().iter().all(|x| x.platform == Platform::Wasm));
+        assert!(c.contracts().iter().all(|x| x.bytes.starts_with(b"\0asm")));
+    }
+
+    #[test]
+    fn dedup_removes_injected_proxies() {
+        let c = Corpus::generate(&CorpusConfig {
+            size: 50,
+            proxy_duplicates: 30,
+            seed: 11,
+            ..CorpusConfig::default()
+        });
+        assert_eq!(c.len(), 80);
+        let (clean, report) = c.dedup();
+        assert_eq!(report.before, 80);
+        assert_eq!(report.proxies_removed, 30);
+        assert_eq!(clean.len(), report.after);
+        assert!(report.after <= 50);
+        // Idempotent.
+        let (_, again) = clean.dedup();
+        assert_eq!(again.proxies_removed, 0);
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let c = Corpus::generate(&CorpusConfig {
+            size: 200,
+            seed: 13,
+            ..CorpusConfig::default()
+        });
+        let (train, test) = c.split(0.3, 99);
+        assert_eq!(train.len() + test.len(), c.len());
+        for i in &train {
+            assert!(!test.contains(i));
+        }
+        // Class balance preserved on both sides (within rounding).
+        let frac = |idx: &[usize]| {
+            idx.iter()
+                .filter(|&&i| c.contracts()[i].label == ContractLabel::Malicious)
+                .count() as f64
+                / idx.len() as f64
+        };
+        let overall = c.stats().malicious as f64 / c.len() as f64;
+        assert!((frac(&train) - overall).abs() < 0.05);
+        assert!((frac(&test) - overall).abs() < 0.07);
+    }
+
+    #[test]
+    fn obfuscated_corpus_keeps_labels_and_changes_bytes() {
+        let c = Corpus::generate(&small_cfg());
+        let o = c.obfuscated(ObfuscationLevel::new(3));
+        assert_eq!(c.len(), o.len());
+        let mut changed = 0;
+        for (a, b) in c.contracts().iter().zip(o.contracts()) {
+            assert_eq!(a.label, b.label);
+            if a.bytes != b.bytes {
+                changed += 1;
+            }
+        }
+        assert!(changed > c.len() / 2, "only {changed} changed");
+    }
+}

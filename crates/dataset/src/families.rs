@@ -1,0 +1,191 @@
+//! The contract family taxonomy.
+//!
+//! Fourteen parametric families — seven malicious, seven benign — chosen
+//! to mirror the scam categories PhishingHook and the related work
+//! classify (approval drainers, honeypots \[19\], Ponzi schemes \[14\], rug
+//! pulls, fee traps, fake airdrops, hidden backdoors) against a realistic
+//! benign population (tokens, vaults, AMMs, escrows, multisigs, NFT
+//! mints, registries).
+//!
+//! Crucially for a *fair* benchmark, both classes share machinery: every
+//! contract gets a selector dispatcher, token-like surface functions,
+//! logging and storage access, and several benign families legitimately
+//! use "dangerous" operations (vaults make external calls, escrows
+//! self-destruct on closure). No single opcode separates the classes.
+
+use std::fmt;
+
+/// Ground-truth label of a contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContractLabel {
+    /// A legitimate contract.
+    Benign,
+    /// A scam/malware contract.
+    Malicious,
+}
+
+impl ContractLabel {
+    /// Class index used by the models (benign = 0, malicious = 1).
+    pub fn class_index(self) -> usize {
+        match self {
+            ContractLabel::Benign => 0,
+            ContractLabel::Malicious => 1,
+        }
+    }
+}
+
+impl fmt::Display for ContractLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractLabel::Benign => f.write_str("benign"),
+            ContractLabel::Malicious => f.write_str("malicious"),
+        }
+    }
+}
+
+/// A contract family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FamilyKind {
+    // --- Malicious ----------------------------------------------------
+    /// Phishing contract that sweeps pre-approved tokens from callers.
+    ApprovalDrainer,
+    /// Vault that accepts deposits but gates withdrawal on a hidden flag.
+    HoneypotVault,
+    /// Pays earlier participants from later deposits until collapse.
+    PonziScheme,
+    /// Token with owner-only mint and a self-destruct rug path.
+    RugPullToken,
+    /// "Claim your airdrop" bait that delegate-calls an attacker contract.
+    FakeAirdrop,
+    /// Token whose transfer silently fails (or taxes 100%) for non-owners.
+    FeeTrapToken,
+    /// Ordinary-looking registry with a hidden delegatecall backdoor.
+    HiddenBackdoor,
+    // --- Benign --------------------------------------------------------
+    /// Standard fungible token.
+    Erc20Token,
+    /// Deposit/withdraw vault with per-user balances.
+    Vault,
+    /// Constant-product swap pool.
+    AmmPool,
+    /// Time-locked escrow (self-destructs to payee at maturity).
+    Escrow,
+    /// K-of-N multisig wallet executor.
+    Multisig,
+    /// Sequential-id NFT mint.
+    NftMint,
+    /// Name-to-address registry.
+    Registry,
+}
+
+impl FamilyKind {
+    /// All fourteen families, malicious first.
+    pub fn all() -> [FamilyKind; 14] {
+        use FamilyKind::*;
+        [
+            ApprovalDrainer,
+            HoneypotVault,
+            PonziScheme,
+            RugPullToken,
+            FakeAirdrop,
+            FeeTrapToken,
+            HiddenBackdoor,
+            Erc20Token,
+            Vault,
+            AmmPool,
+            Escrow,
+            Multisig,
+            NftMint,
+            Registry,
+        ]
+    }
+
+    /// The malicious families.
+    pub fn malicious() -> [FamilyKind; 7] {
+        use FamilyKind::*;
+        [
+            ApprovalDrainer,
+            HoneypotVault,
+            PonziScheme,
+            RugPullToken,
+            FakeAirdrop,
+            FeeTrapToken,
+            HiddenBackdoor,
+        ]
+    }
+
+    /// The benign families.
+    pub fn benign() -> [FamilyKind; 7] {
+        use FamilyKind::*;
+        [Erc20Token, Vault, AmmPool, Escrow, Multisig, NftMint, Registry]
+    }
+
+    /// Ground-truth label of this family.
+    pub fn label(self) -> ContractLabel {
+        if FamilyKind::malicious().contains(&self) {
+            ContractLabel::Malicious
+        } else {
+            ContractLabel::Benign
+        }
+    }
+
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        use FamilyKind::*;
+        match self {
+            ApprovalDrainer => "approval_drainer",
+            HoneypotVault => "honeypot_vault",
+            PonziScheme => "ponzi_scheme",
+            RugPullToken => "rug_pull_token",
+            FakeAirdrop => "fake_airdrop",
+            FeeTrapToken => "fee_trap_token",
+            HiddenBackdoor => "hidden_backdoor",
+            Erc20Token => "erc20_token",
+            Vault => "vault",
+            AmmPool => "amm_pool",
+            Escrow => "escrow",
+            Multisig => "multisig",
+            NftMint => "nft_mint",
+            Registry => "registry",
+        }
+    }
+}
+
+impl fmt::Display for FamilyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_balanced_and_complete() {
+        assert_eq!(FamilyKind::all().len(), 14);
+        assert_eq!(FamilyKind::malicious().len(), 7);
+        assert_eq!(FamilyKind::benign().len(), 7);
+        for m in FamilyKind::malicious() {
+            assert_eq!(m.label(), ContractLabel::Malicious);
+        }
+        for b in FamilyKind::benign() {
+            assert_eq!(b.label(), ContractLabel::Benign);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = FamilyKind::all().iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn label_class_indices() {
+        assert_eq!(ContractLabel::Benign.class_index(), 0);
+        assert_eq!(ContractLabel::Malicious.class_index(), 1);
+        assert_eq!(ContractLabel::Malicious.to_string(), "malicious");
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic labeled smart-contract corpora.
+//!
+//! Etherscan's labeled dataset (the 7,000-contract PhishingHook corpus the
+//! paper builds on) is not redistributable, so this crate generates the
+//! same *decision problem* synthetically: a balanced, family-labeled,
+//! seeded corpus of runnable contracts on **both** supported platforms.
+//!
+//! * [`families`] — 7 malicious + 7 benign contract families with shared
+//!   machinery (dispatchers, token surfaces, logging) so no trivial
+//!   single-opcode separator exists,
+//! * [`evm_gen`] — randomized EVM generators (every sample executes
+//!   cleanly on the interpreter; the tests prove it),
+//! * [`wasm_gen`] — structurally faithful WASM twins against the standard
+//!   host ABI,
+//! * [`corpus`] — corpus assembly, ERC-1167/skeleton dedup (§V-A
+//!   curation), stratified splits, statistics, and obfuscated views.
+//!
+//! # Examples
+//!
+//! ```
+//! use scamdetect_dataset::{Corpus, CorpusConfig};
+//!
+//! let corpus = Corpus::generate(&CorpusConfig {
+//!     size: 50,
+//!     seed: 1,
+//!     ..CorpusConfig::default()
+//! });
+//! let stats = corpus.stats();
+//! assert_eq!(stats.total, 50);
+//! let (train, test) = corpus.split(0.3, 7);
+//! assert_eq!(train.len() + test.len(), 50);
+//! ```
+
+pub mod corpus;
+pub mod evm_gen;
+pub mod families;
+pub mod wasm_gen;
+
+pub use corpus::{Contract, ContractSource, Corpus, CorpusConfig, CorpusStats, DedupReport};
+pub use families::{ContractLabel, FamilyKind};
+pub use evm_gen::{generate_evm, GeneratedEvm};
+pub use wasm_gen::{generate_wasm, GeneratedWasm};

@@ -1,0 +1,824 @@
+//! WASM contract generators: the same fourteen families, emitted as
+//! modules against the standard host ABI.
+//!
+//! The WASM variants are structurally faithful to their EVM siblings —
+//! drainers loop over outward transfers, honeypots gate withdrawal on a
+//! storage flag, escrows compare block timestamps — so a detector trained
+//! on unified-IR features of one platform meets the *same* semantic
+//! fingerprints on the other. That correspondence is what experiment E5
+//! (platform transfer) measures.
+
+use crate::families::FamilyKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+use scamdetect_wasm::hostenv::{idx, import_standard_env};
+use scamdetect_wasm::instr::{IBinOp, IRelOp, Instr, Width};
+use scamdetect_wasm::module::Module;
+use scamdetect_wasm::types::{BlockType, FuncType, ValType};
+
+/// A generated WASM contract.
+#[derive(Debug, Clone)]
+pub struct GeneratedWasm {
+    /// The module (obfuscation passes transform this).
+    pub module: Module,
+    /// Names of the exported entry points.
+    pub exports: Vec<&'static str>,
+}
+
+struct WBuilder<'r> {
+    m: Module,
+    env: Vec<u32>,
+    rng: &'r mut StdRng,
+    exports: Vec<&'static str>,
+}
+
+impl<'r> WBuilder<'r> {
+    fn new(rng: &'r mut StdRng) -> Self {
+        let mut m = Module::new();
+        let env = import_standard_env(&mut m);
+        m.memory = Some(scamdetect_wasm::types::Limits { min: 1, max: None });
+        WBuilder {
+            m,
+            env,
+            rng,
+            exports: Vec::new(),
+        }
+    }
+
+    fn host(&self, i: usize) -> u32 {
+        self.env[i]
+    }
+
+    fn export_fn(&mut self, name: &'static str, ty: FuncType, locals: Vec<(u32, ValType)>, body: Vec<Instr>) -> u32 {
+        let f = self.m.add_function(ty, locals, body);
+        self.m.export_func(name, f);
+        self.exports.push(name);
+        f
+    }
+
+    fn internal_fn(&mut self, ty: FuncType, locals: Vec<(u32, ValType)>, body: Vec<Instr>) -> u32 {
+        self.m.add_function(ty, locals, body)
+    }
+
+    fn c64(&mut self, lo: u64, hi: u64) -> Instr {
+        Instr::I64Const(self.rng.random_range(lo..hi) as i64)
+    }
+
+    /// `if storage_read(key) == 0 { panic() }` — the require idiom.
+    fn require_flag(&mut self, key: i64) -> Vec<Instr> {
+        vec![
+            Instr::I64Const(key),
+            Instr::Call(self.host(idx::STORAGE_READ)),
+            Instr::Eqz(Width::W64),
+            Instr::If {
+                ty: BlockType::Empty,
+                then: vec![Instr::Call(self.host(idx::PANIC)), Instr::Unreachable],
+                els: vec![],
+            },
+        ]
+    }
+
+    /// `if caller() != owner { panic() }`.
+    fn require_owner(&mut self, owner: i64) -> Vec<Instr> {
+        vec![
+            Instr::Call(self.host(idx::CALLER)),
+            Instr::I64Const(owner),
+            Instr::Rel { width: Width::W64, op: IRelOp::Ne },
+            Instr::If {
+                ty: BlockType::Empty,
+                then: vec![Instr::Call(self.host(idx::PANIC)), Instr::Unreachable],
+                els: vec![],
+            },
+        ]
+    }
+
+    /// `storage_write(key_expr…, value_expr…)` with the args already
+    /// described as instruction sequences.
+    fn storage_write(&self, mut key: Vec<Instr>, value: Vec<Instr>) -> Vec<Instr> {
+        key.extend(value);
+        key.push(Instr::Call(self.host(idx::STORAGE_WRITE)));
+        key
+    }
+
+    /// A utility function both classes share: arithmetic mixing + a log.
+    fn add_utility(&mut self) {
+        let c1 = self.c64(3, 0xffff);
+        let c2 = self.c64(1, 0xff_ffff);
+        let body = vec![
+            Instr::LocalGet(0),
+            c1,
+            Instr::Binary { width: Width::W64, op: IBinOp::Mul },
+            c2,
+            Instr::Binary { width: Width::W64, op: IBinOp::Xor },
+            Instr::LocalSet(1),
+            Instr::I32Const(0),
+            Instr::I32Const(8),
+            Instr::Call(self.host(idx::LOG)),
+            Instr::LocalGet(1),
+        ];
+        let f = self.internal_fn(
+            FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+            vec![(1, ValType::I64)],
+            body,
+        );
+        // Some utilities are exported (public helpers), some stay internal.
+        if self.rng.random_range(0..2) == 0 {
+            self.m.export_func("util", f);
+        }
+    }
+}
+
+/// Generates a WASM contract of `kind`, randomized from `rng`.
+pub fn generate_wasm(kind: FamilyKind, rng: &mut StdRng) -> GeneratedWasm {
+    let mut b = WBuilder::new(rng);
+    match kind {
+        FamilyKind::Erc20Token => wasm_token(&mut b, TokenMode::Standard),
+        FamilyKind::RugPullToken => wasm_token(&mut b, TokenMode::Rug),
+        FamilyKind::FeeTrapToken => wasm_token(&mut b, TokenMode::Trap),
+        FamilyKind::Vault => wasm_vault(&mut b, false),
+        FamilyKind::HoneypotVault => wasm_vault(&mut b, true),
+        FamilyKind::PonziScheme => wasm_ponzi(&mut b),
+        FamilyKind::ApprovalDrainer => wasm_drainer(&mut b),
+        FamilyKind::FakeAirdrop => wasm_fake_airdrop(&mut b),
+        FamilyKind::HiddenBackdoor => wasm_backdoor(&mut b),
+        FamilyKind::AmmPool => wasm_amm(&mut b),
+        FamilyKind::Escrow => wasm_escrow(&mut b),
+        FamilyKind::Multisig => wasm_multisig(&mut b),
+        FamilyKind::NftMint => wasm_nft(&mut b),
+        FamilyKind::Registry => wasm_registry(&mut b),
+    }
+    let utilities = b.rng.random_range(0..=2);
+    for _ in 0..utilities {
+        b.add_utility();
+    }
+    GeneratedWasm {
+        exports: b.exports.clone(),
+        module: b.m,
+    }
+}
+
+enum TokenMode {
+    Standard,
+    Rug,
+    Trap,
+}
+
+fn wasm_token(b: &mut WBuilder<'_>, mode: TokenMode) {
+    let owner = b.rng.random_range(0x1000..i64::MAX as u64) as i64;
+    let base = b.rng.random_range(0x10..0x1000) as i64;
+    let pausable = b.rng.random_range(0..2) == 0;
+    let gate_slot = base + 40;
+
+    // transfer(to: i64, amt: i64)
+    let mut body: Vec<Instr> = Vec::new();
+    if matches!(mode, TokenMode::Trap) || (matches!(mode, TokenMode::Standard) && pausable) {
+        // Gate: panic when storage[gate] is set — the trap and the benign
+        // pause switch are structurally identical.
+        body.extend(vec![
+            Instr::I64Const(gate_slot),
+            Instr::Call(b.host(idx::STORAGE_READ)),
+            Instr::Eqz(Width::W64),
+            Instr::If {
+                ty: BlockType::Empty,
+                then: vec![],
+                els: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
+            },
+        ]);
+    }
+    // bal = storage_read(caller + base); if bal < amt panic.
+    body.extend(vec![
+        Instr::Call(b.host(idx::CALLER)),
+        Instr::I64Const(base),
+        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Call(b.host(idx::STORAGE_READ)),
+        Instr::LocalTee(2),
+        Instr::LocalGet(1),
+        Instr::Rel { width: Width::W64, op: IRelOp::LtU },
+        Instr::If {
+            ty: BlockType::Empty,
+            then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
+            els: vec![],
+        },
+    ]);
+    // storage_write(caller+base, bal - amt)
+    body.extend(b.storage_write(
+        vec![
+            Instr::Call(b.host(idx::CALLER)),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![
+            Instr::LocalGet(2),
+            Instr::LocalGet(1),
+            Instr::Binary { width: Width::W64, op: IBinOp::Sub },
+        ],
+    ));
+    // Rug mode skims half to the owner's balance.
+    let credited: Vec<Instr> = match mode {
+        TokenMode::Rug => vec![
+            Instr::LocalGet(1),
+            Instr::I64Const(1),
+            Instr::Binary { width: Width::W64, op: IBinOp::ShrU },
+        ],
+        _ => vec![Instr::LocalGet(1)],
+    };
+    if matches!(mode, TokenMode::Rug) {
+        let skim = b.storage_write(
+            vec![Instr::I64Const(owner.wrapping_add(base))],
+            vec![
+                Instr::LocalGet(1),
+                Instr::I64Const(1),
+                Instr::Binary { width: Width::W64, op: IBinOp::ShrU },
+            ],
+        );
+        body.extend(skim);
+    }
+    let mut credit_value = vec![
+        Instr::LocalGet(0),
+        Instr::I64Const(base),
+        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Call(b.host(idx::STORAGE_READ)),
+    ];
+    credit_value.extend(credited);
+    credit_value.push(Instr::Binary { width: Width::W64, op: IBinOp::Add });
+    body.extend(b.storage_write(
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        credit_value,
+    ));
+    body.push(Instr::I32Const(0));
+    body.push(Instr::I32Const(16));
+    body.push(Instr::Call(b.host(idx::LOG)));
+    b.export_fn(
+        "transfer",
+        FuncType::new(vec![ValType::I64, ValType::I64], vec![]),
+        vec![(1, ValType::I64)],
+        body,
+    );
+
+    // balance_of(a)
+    b.export_fn(
+        "balance_of",
+        FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Call(b.host(idx::STORAGE_READ)),
+        ],
+    );
+
+    // Rug: owner-only drain sweeping the contract balance out.
+    if matches!(mode, TokenMode::Rug) {
+        let mut body = b.require_owner(owner);
+        body.extend(vec![
+            Instr::I64Const(owner),
+            Instr::I64Const(owner),
+            Instr::Call(b.host(idx::ACCOUNT_BALANCE)),
+            Instr::Call(b.host(idx::TRANSFER)),
+        ]);
+        b.export_fn("collect_fees", FuncType::default(), vec![], body);
+    }
+}
+
+fn wasm_vault(b: &mut WBuilder<'_>, honeypot: bool) {
+    let base = b.rng.random_range(0x10..0x1000) as i64;
+    let flag = base + 50;
+    let owner = b.rng.random_range(0x1000..i64::MAX as u64) as i64;
+
+    // deposit(): balances[caller] += attached_value.
+    let mut dep = b.storage_write(
+        vec![
+            Instr::Call(b.host(idx::CALLER)),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![
+            Instr::Call(b.host(idx::CALLER)),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Call(b.host(idx::STORAGE_READ)),
+            Instr::Call(b.host(idx::ATTACHED_VALUE)),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+    );
+    dep.push(Instr::I32Const(0));
+    dep.push(Instr::I32Const(8));
+    dep.push(Instr::Call(b.host(idx::LOG)));
+    b.export_fn("deposit", FuncType::default(), vec![], dep);
+
+    // withdraw(amt)
+    let mut wd: Vec<Instr> = Vec::new();
+    if !honeypot && b.rng.random_range(0..2) == 0 {
+        // Benign emergency sweep: same motif as the honeypot's, but the
+        // depositor withdraw path stays functional.
+        let mut sweep = b.require_owner(owner);
+        sweep.extend(vec![
+            Instr::I64Const(owner),
+            Instr::I64Const(owner),
+            Instr::Call(b.host(idx::ACCOUNT_BALANCE)),
+            Instr::Call(b.host(idx::TRANSFER)),
+        ]);
+        b.export_fn("emergency", FuncType::default(), vec![], sweep);
+    }
+    if honeypot {
+        // The flag is never written by any exported code path.
+        wd.extend(b.require_flag(flag));
+        // Owner sweep lives behind the same function.
+        let mut sweep = b.require_owner(owner);
+        sweep.extend(vec![
+            Instr::I64Const(owner),
+            Instr::I64Const(owner),
+            Instr::Call(b.host(idx::ACCOUNT_BALANCE)),
+            Instr::Call(b.host(idx::TRANSFER)),
+        ]);
+        b.export_fn("sweep", FuncType::default(), vec![], sweep);
+    }
+    wd.extend(vec![
+        // if balances[caller] < amt panic
+        Instr::Call(b.host(idx::CALLER)),
+        Instr::I64Const(base),
+        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Call(b.host(idx::STORAGE_READ)),
+        Instr::LocalTee(1),
+        Instr::LocalGet(0),
+        Instr::Rel { width: Width::W64, op: IRelOp::LtU },
+        Instr::If {
+            ty: BlockType::Empty,
+            then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
+            els: vec![],
+        },
+    ]);
+    wd.extend(b.storage_write(
+        vec![
+            Instr::Call(b.host(idx::CALLER)),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![
+            Instr::LocalGet(1),
+            Instr::LocalGet(0),
+            Instr::Binary { width: Width::W64, op: IBinOp::Sub },
+        ],
+    ));
+    wd.extend(vec![
+        Instr::Call(b.host(idx::CALLER)),
+        Instr::LocalGet(0),
+        Instr::Call(b.host(idx::TRANSFER)),
+    ]);
+    b.export_fn(
+        "withdraw",
+        FuncType::new(vec![ValType::I64], vec![]),
+        vec![(1, ValType::I64)],
+        wd,
+    );
+}
+
+fn wasm_ponzi(b: &mut WBuilder<'_>) {
+    let base = b.rng.random_range(0x10..0x1000) as i64;
+    let owner = b.rng.random_range(0x1000..i64::MAX as u64) as i64;
+
+    // invest(): record caller; pay 3 earlier investors value/10 each.
+    let mut body = b.storage_write(
+        vec![
+            Instr::I64Const(base),
+            Instr::Call(b.host(idx::STORAGE_READ)),
+            Instr::I64Const(base + 1),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![Instr::Call(b.host(idx::CALLER))],
+    );
+    body.extend(b.storage_write(
+        vec![Instr::I64Const(base)],
+        vec![
+            Instr::I64Const(base),
+            Instr::Call(b.host(idx::STORAGE_READ)),
+            Instr::I64Const(1),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+    ));
+    body.extend(vec![
+        Instr::I64Const(3),
+        Instr::LocalSet(0),
+        Instr::Loop {
+            ty: BlockType::Empty,
+            body: vec![
+                // transfer(storage_read(base+1+i), attached_value/10)
+                Instr::LocalGet(0),
+                Instr::I64Const(base + 1),
+                Instr::Binary { width: Width::W64, op: IBinOp::Add },
+                Instr::Call(b.host(idx::STORAGE_READ)),
+                Instr::Call(b.host(idx::ATTACHED_VALUE)),
+                Instr::I64Const(10),
+                Instr::Binary { width: Width::W64, op: IBinOp::DivU },
+                Instr::Call(b.host(idx::TRANSFER)),
+                Instr::LocalGet(0),
+                Instr::I64Const(1),
+                Instr::Binary { width: Width::W64, op: IBinOp::Sub },
+                Instr::LocalTee(0),
+                Instr::Eqz(Width::W64),
+                Instr::Eqz(Width::W32),
+                Instr::BrIf(0),
+            ],
+        },
+    ]);
+    b.export_fn("invest", FuncType::default(), vec![(1, ValType::I64)], body);
+
+    // drain(): owner-only.
+    let mut drain = b.require_owner(owner);
+    drain.extend(vec![
+        Instr::I64Const(owner),
+        Instr::I64Const(owner),
+        Instr::Call(b.host(idx::ACCOUNT_BALANCE)),
+        Instr::Call(b.host(idx::TRANSFER)),
+    ]);
+    b.export_fn("drain", FuncType::default(), vec![], drain);
+}
+
+fn wasm_drainer(b: &mut WBuilder<'_>) {
+    let attacker = b.rng.random_range(0x1000..i64::MAX as u64) as i64;
+    let tokens = b.rng.random_range(2..5);
+
+    // claim(): bait log, then sweep via cross-contract calls.
+    let mut body = vec![
+        Instr::I32Const(0),
+        Instr::I32Const(8),
+        Instr::Call(b.host(idx::LOG)),
+    ];
+    for t in 0..tokens {
+        body.extend(vec![
+            Instr::I64Const(attacker.wrapping_add(t)),
+            Instr::I32Const(0),
+            Instr::I32Const(64),
+            Instr::Call(b.host(idx::CALL_CONTRACT)),
+            Instr::Drop,
+        ]);
+    }
+    body.extend(vec![
+        Instr::I64Const(attacker),
+        Instr::Call(b.host(idx::CALLER)),
+        Instr::Call(b.host(idx::ACCOUNT_BALANCE)),
+        Instr::Call(b.host(idx::TRANSFER)),
+    ]);
+    b.export_fn("claim", FuncType::default(), vec![], body);
+
+    // eligibility(a): plausible view.
+    b.export_fn(
+        "eligibility",
+        FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(0xffff),
+            Instr::Binary { width: Width::W64, op: IBinOp::And },
+        ],
+    );
+}
+
+fn wasm_fake_airdrop(b: &mut WBuilder<'_>) {
+    let attacker_impl = b.rng.random_range(0x3000..i64::MAX as u64) as i64;
+    let mut body = vec![
+        Instr::I32Const(0),
+        Instr::I32Const(8),
+        Instr::Call(b.host(idx::LOG)),
+        // Hand the input straight to the attacker's contract.
+        Instr::I64Const(attacker_impl),
+        Instr::I32Const(0),
+        Instr::I32Const(128),
+        Instr::Call(b.host(idx::CALL_CONTRACT)),
+        Instr::Drop,
+    ];
+    body.extend(vec![Instr::I64Const(1), Instr::Drop]);
+    b.export_fn("claim_airdrop", FuncType::default(), vec![], body);
+}
+
+fn wasm_backdoor(b: &mut WBuilder<'_>) {
+    let base = b.rng.random_range(0x10..0x1000) as i64;
+    // set(name, value)
+    let set = b.storage_write(
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![Instr::LocalGet(1)],
+    );
+    b.export_fn(
+        "set",
+        FuncType::new(vec![ValType::I64, ValType::I64], vec![]),
+        vec![],
+        set,
+    );
+    // The backdoor: forward full input to an arbitrary callee.
+    b.export_fn(
+        "maintenance",
+        FuncType::new(vec![ValType::I64], vec![]),
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I32Const(0),
+            Instr::I32Const(256),
+            Instr::Call(b.host(idx::CALL_CONTRACT)),
+            Instr::Drop,
+        ],
+    );
+}
+
+fn wasm_amm(b: &mut WBuilder<'_>) {
+    let r0 = b.rng.random_range(0x10..0x1000) as i64;
+    let r1 = r0 + 1;
+    // swap(amount_in) -> amount_out
+    let mut body = vec![
+        Instr::LocalGet(0),
+        Instr::Eqz(Width::W64),
+        Instr::If {
+            ty: BlockType::Empty,
+            then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
+            els: vec![],
+        },
+    ];
+    body.extend(b.storage_write(
+        vec![Instr::I64Const(r0)],
+        vec![
+            Instr::I64Const(r0),
+            Instr::Call(b.host(idx::STORAGE_READ)),
+            Instr::LocalGet(0),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+    ));
+    body.extend(vec![
+        // out = r1 * 997 / ((r0 + in) * 1000 + 1)
+        Instr::I64Const(r1),
+        Instr::Call(b.host(idx::STORAGE_READ)),
+        Instr::I64Const(997),
+        Instr::Binary { width: Width::W64, op: IBinOp::Mul },
+        Instr::I64Const(r0),
+        Instr::Call(b.host(idx::STORAGE_READ)),
+        Instr::I64Const(1000),
+        Instr::Binary { width: Width::W64, op: IBinOp::Mul },
+        Instr::I64Const(1),
+        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Binary { width: Width::W64, op: IBinOp::DivU },
+        Instr::LocalTee(1),
+        Instr::Call(b.host(idx::CALLER)),
+        Instr::LocalGet(1),
+        Instr::Call(b.host(idx::TRANSFER)),
+    ]);
+    b.export_fn(
+        "swap",
+        FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+        vec![(1, ValType::I64)],
+        body,
+    );
+    // reserves()
+    b.export_fn(
+        "reserves",
+        FuncType::new(vec![], vec![ValType::I64]),
+        vec![],
+        vec![Instr::I64Const(r0), Instr::Call(b.host(idx::STORAGE_READ))],
+    );
+}
+
+fn wasm_escrow(b: &mut WBuilder<'_>) {
+    let deadline = b.rng.random_range(1_600_000_000i64..1_800_000_000);
+    let payee = b.rng.random_range(0x1000..i64::MAX as u64) as i64;
+    b.export_fn(
+        "release",
+        FuncType::default(),
+        vec![],
+        vec![
+            Instr::Call(b.host(idx::BLOCK_TIMESTAMP)),
+            Instr::I64Const(deadline),
+            Instr::Rel { width: Width::W64, op: IRelOp::LtU },
+            Instr::If {
+                ty: BlockType::Empty,
+                then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
+                els: vec![],
+            },
+            Instr::I64Const(payee),
+            Instr::I64Const(payee),
+            Instr::Call(b.host(idx::ACCOUNT_BALANCE)),
+            Instr::Call(b.host(idx::TRANSFER)),
+        ],
+    );
+}
+
+fn wasm_multisig(b: &mut WBuilder<'_>) {
+    let base = b.rng.random_range(0x10..0x1000) as i64;
+    let threshold = b.rng.random_range(2..5) as i64;
+    // confirm(txid)
+    let confirm = b.storage_write(
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Call(b.host(idx::STORAGE_READ)),
+            Instr::I64Const(1),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+    );
+    b.export_fn(
+        "confirm",
+        FuncType::new(vec![ValType::I64], vec![]),
+        vec![],
+        confirm,
+    );
+    // execute(txid, to, value)
+    let mut exec = vec![
+        Instr::LocalGet(0),
+        Instr::I64Const(base),
+        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Call(b.host(idx::STORAGE_READ)),
+        Instr::I64Const(threshold),
+        Instr::Rel { width: Width::W64, op: IRelOp::LtU },
+        Instr::If {
+            ty: BlockType::Empty,
+            then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
+            els: vec![],
+        },
+        Instr::LocalGet(1),
+        Instr::LocalGet(2),
+        Instr::Call(b.host(idx::TRANSFER)),
+    ];
+    exec.extend(b.storage_write(
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![Instr::I64Const(0)],
+    ));
+    b.export_fn(
+        "execute",
+        FuncType::new(vec![ValType::I64, ValType::I64, ValType::I64], vec![]),
+        vec![],
+        exec,
+    );
+}
+
+fn wasm_nft(b: &mut WBuilder<'_>) {
+    let counter = b.rng.random_range(0x10..0x1000) as i64;
+    let max = b.rng.random_range(100..100_000) as i64;
+    let mut body = vec![
+        Instr::I64Const(counter),
+        Instr::Call(b.host(idx::STORAGE_READ)),
+        Instr::LocalTee(0),
+        Instr::I64Const(max),
+        Instr::Rel { width: Width::W64, op: IRelOp::GeU },
+        Instr::If {
+            ty: BlockType::Empty,
+            then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
+            els: vec![],
+        },
+    ];
+    body.extend(b.storage_write(
+        vec![Instr::I64Const(counter)],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(1),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+    ));
+    body.extend(b.storage_write(
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(counter + 1),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![Instr::Call(b.host(idx::CALLER))],
+    ));
+    body.extend(vec![
+        Instr::I32Const(0),
+        Instr::I32Const(8),
+        Instr::Call(b.host(idx::LOG)),
+        Instr::LocalGet(0),
+    ]);
+    b.export_fn(
+        "mint",
+        FuncType::new(vec![], vec![ValType::I64]),
+        vec![(1, ValType::I64)],
+        body,
+    );
+}
+
+fn wasm_registry(b: &mut WBuilder<'_>) {
+    let base = b.rng.random_range(0x10..0x1000) as i64;
+    let set = b.storage_write(
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        ],
+        vec![Instr::LocalGet(1)],
+    );
+    b.export_fn(
+        "set",
+        FuncType::new(vec![ValType::I64, ValType::I64], vec![]),
+        vec![],
+        set,
+    );
+    b.export_fn(
+        "get",
+        FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+        vec![],
+        vec![
+            Instr::LocalGet(0),
+            Instr::I64Const(base),
+            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Call(b.host(idx::STORAGE_READ)),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use scamdetect_ir::{Frontend, InstrClass, WasmFrontend};
+    use scamdetect_wasm::decode::decode_module;
+    use scamdetect_wasm::encode::encode_module;
+    use scamdetect_wasm::validate::validate;
+
+    fn gen(kind: FamilyKind, seed: u64) -> GeneratedWasm {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_wasm(kind, &mut rng)
+    }
+
+    #[test]
+    fn every_family_validates_and_roundtrips() {
+        for kind in FamilyKind::all() {
+            for seed in 0..5u64 {
+                let g = gen(kind, seed);
+                validate(&g.module).unwrap_or_else(|e| panic!("{kind} seed {seed}: {e}"));
+                let bytes = encode_module(&g.module);
+                let back = decode_module(&bytes).unwrap_or_else(|e| panic!("{kind}: {e}"));
+                assert_eq!(back, g.module, "{kind} roundtrip");
+                assert!(!g.exports.is_empty(), "{kind} must export something");
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_lifts_to_unified_ir() {
+        let fe = WasmFrontend::new();
+        for kind in FamilyKind::all() {
+            let g = gen(kind, 3);
+            let bytes = encode_module(&g.module);
+            let cfg = fe.lift(&bytes).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(cfg.block_count() >= 2, "{kind}");
+            assert!(cfg.instruction_count() > 5, "{kind}");
+        }
+    }
+
+    #[test]
+    fn drainer_shows_value_transfer_signal() {
+        let fe = WasmFrontend::new();
+        let g = gen(FamilyKind::ApprovalDrainer, 7);
+        let cfg = fe.lift(&encode_module(&g.module)).unwrap();
+        let h = cfg.class_histogram();
+        assert!(h[InstrClass::ValueTransfer.index()] > 0.0);
+        assert!(h[InstrClass::Call.index()] > 0.0);
+    }
+
+    #[test]
+    fn escrow_reads_block_environment() {
+        let fe = WasmFrontend::new();
+        let g = gen(FamilyKind::Escrow, 7);
+        let cfg = fe.lift(&encode_module(&g.module)).unwrap();
+        let h = cfg.class_histogram();
+        assert!(h[InstrClass::BlockEnv.index()] > 0.0);
+        assert!(h[InstrClass::ValueTransfer.index()] > 0.0); // benign transfer!
+    }
+
+    #[test]
+    fn randomization_varies_modules() {
+        for kind in FamilyKind::all() {
+            let a = encode_module(&gen(kind, 1).module);
+            let b = encode_module(&gen(kind, 2).module);
+            assert_ne!(a, b, "{kind} not randomized");
+        }
+    }
+
+    #[test]
+    fn ponzi_contains_a_loop() {
+        let g = gen(FamilyKind::PonziScheme, 5);
+        fn has_loop(body: &[Instr]) -> bool {
+            body.iter().any(|i| match i {
+                Instr::Loop { .. } => true,
+                Instr::Block { body, .. } => has_loop(body),
+                Instr::If { then, els, .. } => has_loop(then) || has_loop(els),
+                _ => false,
+            })
+        }
+        assert!(g.module.functions.iter().any(|f| has_loop(&f.body)));
+    }
+}

@@ -1,0 +1,347 @@
+//! A label-aware EVM assembler.
+//!
+//! Contract generators and obfuscation passes work on *label-form* programs
+//! ([`AsmProgram`]): sequences of [`AsmOp`]s in which jump targets are
+//! symbolic [`Label`]s. Assembly resolves labels to concrete `PUSH2`
+//! offsets in two passes, so any transformation that preserves the op list
+//! semantics automatically preserves control flow in the emitted bytecode.
+
+use crate::error::EvmError;
+use crate::opcode::Opcode;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic jump target.
+///
+/// Labels are created by [`AsmProgram::new_label`] and bound to a position
+/// by [`AsmProgram::place_label`] (which emits the `JUMPDEST`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub(crate) u32);
+
+impl Label {
+    /// Numeric id (diagnostics only).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One operation in a label-form program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmOp {
+    /// A plain opcode without immediate.
+    Op(Opcode),
+    /// A push of a concrete big-endian value; the `PUSHn` width is chosen
+    /// from the byte length (empty = `PUSH0`).
+    Push(Vec<u8>),
+    /// A push of a label's eventual offset (assembled as `PUSH2`).
+    PushLabel(Label),
+    /// Defines `Label` here and emits a `JUMPDEST`.
+    LabelDef(Label),
+    /// Raw bytes appended verbatim (data sections, constructor arguments).
+    Raw(Vec<u8>),
+}
+
+impl AsmOp {
+    fn encoded_len(&self) -> usize {
+        match self {
+            AsmOp::Op(_) => 1,
+            AsmOp::Push(bytes) => 1 + bytes.len(),
+            AsmOp::PushLabel(_) => 3, // PUSH2 hi lo
+            AsmOp::LabelDef(_) => 1,  // JUMPDEST
+            AsmOp::Raw(bytes) => bytes.len(),
+        }
+    }
+}
+
+/// A label-form EVM program under construction.
+///
+/// # Examples
+///
+/// Build `if calldatasize == 0 { revert } else { stop }`:
+///
+/// ```
+/// use scamdetect_evm::asm::AsmProgram;
+/// use scamdetect_evm::opcode::Opcode;
+///
+/// # fn main() -> Result<(), scamdetect_evm::EvmError> {
+/// let mut p = AsmProgram::new();
+/// let ok = p.new_label();
+/// p.op(Opcode::CALLDATASIZE);
+/// p.jumpi_to(ok);
+/// p.push_value(0).push_value(0).op(Opcode::REVERT);
+/// p.place_label(ok);
+/// p.op(Opcode::STOP);
+/// let code = p.assemble()?;
+/// assert_eq!(code.last(), Some(&0x00)); // STOP
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsmProgram {
+    ops: Vec<AsmOp>,
+    next_label: u32,
+}
+
+impl AsmProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        AsmProgram::default()
+    }
+
+    /// Allocates a fresh, unplaced label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Appends a plain opcode. Returns `&mut self` for chaining.
+    pub fn op(&mut self, op: Opcode) -> &mut Self {
+        debug_assert_eq!(op.immediate_len(), 0, "use push_* for PUSHn");
+        self.ops.push(AsmOp::Op(op));
+        self
+    }
+
+    /// Appends a minimal-width push of `value`.
+    pub fn push_value(&mut self, value: u64) -> &mut Self {
+        let bytes = crate::word::U256::from_u64(value).to_be_bytes_minimal();
+        self.ops.push(AsmOp::Push(bytes));
+        self
+    }
+
+    /// Appends a push of exactly these big-endian bytes (width = length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 32 bytes are supplied.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        assert!(bytes.len() <= 32, "push immediate wider than 32 bytes");
+        self.ops.push(AsmOp::Push(bytes.to_vec()));
+        self
+    }
+
+    /// Appends a push of `label`'s offset.
+    pub fn push_label(&mut self, label: Label) -> &mut Self {
+        self.ops.push(AsmOp::PushLabel(label));
+        self
+    }
+
+    /// Places `label` here (emits `JUMPDEST`).
+    pub fn place_label(&mut self, label: Label) -> &mut Self {
+        self.ops.push(AsmOp::LabelDef(label));
+        self
+    }
+
+    /// `PUSH <label>; JUMP`.
+    pub fn jump_to(&mut self, label: Label) -> &mut Self {
+        self.push_label(label);
+        self.op(Opcode::JUMP)
+    }
+
+    /// `PUSH <label>; JUMPI` (consumes the condition already on the stack).
+    pub fn jumpi_to(&mut self, label: Label) -> &mut Self {
+        self.push_label(label);
+        self.op(Opcode::JUMPI)
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.ops.push(AsmOp::Raw(bytes.to_vec()));
+        self
+    }
+
+    /// Appends an arbitrary op (used by obfuscation passes).
+    pub fn push_op(&mut self, op: AsmOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The op list (read access for passes and tests).
+    pub fn ops(&self) -> &[AsmOp] {
+        &self.ops
+    }
+
+    /// Consumes the program, returning its op list.
+    pub fn into_ops(self) -> Vec<AsmOp> {
+        self.ops
+    }
+
+    /// Rebuilds a program from a transformed op list, keeping the label
+    /// counter high enough that `new_label` stays fresh.
+    pub fn from_ops(ops: Vec<AsmOp>) -> Self {
+        let next_label = ops
+            .iter()
+            .filter_map(|op| match op {
+                AsmOp::PushLabel(l) | AsmOp::LabelDef(l) => Some(l.0 + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        AsmProgram { ops, next_label }
+    }
+
+    /// Number of ops currently in the program.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if no ops have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Assembles to bytecode, resolving labels to `PUSH2` offsets.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvmError::UndefinedLabel`] — a pushed label was never placed.
+    /// * [`EvmError::DuplicateLabel`] — a label placed twice.
+    /// * [`EvmError::CodeTooLarge`] — the program exceeds 64 KiB (the
+    ///   `PUSH2` addressing limit; real contracts cap at 24 KiB anyway).
+    /// * [`EvmError::ImmediateTooWide`] — a push wider than 32 bytes.
+    pub fn assemble(&self) -> Result<Vec<u8>, EvmError> {
+        // Pass 1: compute label offsets.
+        let mut offsets: HashMap<Label, usize> = HashMap::new();
+        let mut pc = 0usize;
+        for op in &self.ops {
+            if let AsmOp::Push(bytes) = op {
+                if bytes.len() > 32 {
+                    return Err(EvmError::ImmediateTooWide { width: bytes.len() });
+                }
+            }
+            if let AsmOp::LabelDef(l) = op {
+                if offsets.insert(*l, pc).is_some() {
+                    return Err(EvmError::DuplicateLabel { label: l.0 });
+                }
+            }
+            pc += op.encoded_len();
+        }
+        if pc > u16::MAX as usize {
+            return Err(EvmError::CodeTooLarge { size: pc });
+        }
+
+        // Pass 2: emit.
+        let mut out = Vec::with_capacity(pc);
+        for op in &self.ops {
+            match op {
+                AsmOp::Op(o) => out.push(o.byte()),
+                AsmOp::Push(bytes) => {
+                    out.push(Opcode::push_n(bytes.len()).byte());
+                    out.extend_from_slice(bytes);
+                }
+                AsmOp::PushLabel(l) => {
+                    let target = *offsets
+                        .get(l)
+                        .ok_or(EvmError::UndefinedLabel { label: l.0 })?;
+                    out.push(Opcode::PUSH2.byte());
+                    out.extend_from_slice(&(target as u16).to_be_bytes());
+                }
+                AsmOp::LabelDef(_) => out.push(Opcode::JUMPDEST.byte()),
+                AsmOp::Raw(bytes) => out.extend_from_slice(bytes),
+            }
+        }
+        debug_assert_eq!(out.len(), pc);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut p = AsmProgram::new();
+        let top = p.new_label();
+        let end = p.new_label();
+        p.place_label(top); // offset 0
+        p.op(Opcode::CALLVALUE);
+        p.jumpi_to(end); // forward reference
+        p.jump_to(top); // backward reference
+        p.place_label(end);
+        p.op(Opcode::STOP);
+        let code = p.assemble().unwrap();
+
+        let instrs = disassemble(&code);
+        // Find the JUMPI target push: must equal `end`'s offset.
+        let end_off = instrs
+            .iter()
+            .filter(|i| i.opcode == Some(Opcode::JUMPDEST))
+            .nth(1)
+            .unwrap()
+            .offset;
+        let pushed: Vec<usize> = instrs
+            .iter()
+            .filter_map(|i| i.push_value()?.to_usize())
+            .collect();
+        assert!(pushed.contains(&end_off));
+        assert!(pushed.contains(&0)); // `top`
+    }
+
+    #[test]
+    fn push_widths_chosen_minimally() {
+        let mut p = AsmProgram::new();
+        p.push_value(0);
+        p.push_value(0x7f);
+        p.push_value(0x1234);
+        let code = p.assemble().unwrap();
+        assert_eq!(code[0], Opcode::PUSH0.byte());
+        assert_eq!(code[1], Opcode::PUSH1.byte());
+        assert_eq!(code[3], Opcode::PUSH2.byte());
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut p = AsmProgram::new();
+        let l = p.new_label();
+        p.push_label(l);
+        assert_eq!(p.assemble(), Err(EvmError::UndefinedLabel { label: 0 }));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut p = AsmProgram::new();
+        let l = p.new_label();
+        p.place_label(l).place_label(l);
+        assert_eq!(p.assemble(), Err(EvmError::DuplicateLabel { label: 0 }));
+    }
+
+    #[test]
+    fn oversized_program_rejected() {
+        let mut p = AsmProgram::new();
+        p.raw(&vec![0x00; 70_000]);
+        assert!(matches!(p.assemble(), Err(EvmError::CodeTooLarge { .. })));
+    }
+
+    #[test]
+    fn from_ops_keeps_label_counter_fresh() {
+        let mut p = AsmProgram::new();
+        let a = p.new_label();
+        p.place_label(a);
+        let mut q = AsmProgram::from_ops(p.into_ops());
+        let b = q.new_label();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn raw_bytes_emitted_verbatim() {
+        let mut p = AsmProgram::new();
+        p.op(Opcode::STOP).raw(&[0xde, 0xad]);
+        assert_eq!(p.assemble().unwrap(), vec![0x00, 0xde, 0xad]);
+    }
+
+    #[test]
+    fn label_def_emits_jumpdest() {
+        let mut p = AsmProgram::new();
+        let l = p.new_label();
+        p.place_label(l);
+        assert_eq!(p.assemble().unwrap(), vec![Opcode::JUMPDEST.byte()]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for EVM bytecode processing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling, disassembling or analysing EVM
+/// bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvmError {
+    /// A label was referenced but never defined in the program.
+    UndefinedLabel {
+        /// The numeric id of the offending label.
+        label: u32,
+    },
+    /// A label was defined more than once.
+    DuplicateLabel {
+        /// The numeric id of the offending label.
+        label: u32,
+    },
+    /// The assembled program exceeds what a `PUSH2` label operand can
+    /// address (64 KiB), or the EVM contract size cap.
+    CodeTooLarge {
+        /// Size the program would have had.
+        size: usize,
+    },
+    /// A push immediate wider than 32 bytes was requested.
+    ImmediateTooWide {
+        /// Requested width in bytes.
+        width: usize,
+    },
+    /// The bytecode ends in the middle of a push immediate.
+    TruncatedPush {
+        /// Offset of the push opcode.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for EvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvmError::UndefinedLabel { label } => {
+                write!(f, "label L{label} referenced but never defined")
+            }
+            EvmError::DuplicateLabel { label } => {
+                write!(f, "label L{label} defined more than once")
+            }
+            EvmError::CodeTooLarge { size } => {
+                write!(f, "assembled code of {size} bytes exceeds addressable size")
+            }
+            EvmError::ImmediateTooWide { width } => {
+                write!(f, "push immediate of {width} bytes exceeds the 32-byte maximum")
+            }
+            EvmError::TruncatedPush { offset } => {
+                write!(f, "bytecode truncated inside push immediate at offset {offset}")
+            }
+        }
+    }
+}
+
+impl Error for EvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let cases: Vec<EvmError> = vec![
+            EvmError::UndefinedLabel { label: 3 },
+            EvmError::DuplicateLabel { label: 1 },
+            EvmError::CodeTooLarge { size: 70000 },
+            EvmError::ImmediateTooWide { width: 40 },
+            EvmError::TruncatedPush { offset: 12 },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EvmError>();
+    }
+}

@@ -1,0 +1,770 @@
+//! A concrete EVM interpreter for differential testing.
+//!
+//! This is not a consensus-grade EVM; it executes the instruction subset
+//! emitted by the ScamDetect contract generators faithfully enough to
+//! compare *observable effects* (storage writes, logs, value transfers,
+//! return data, halt reason) between an original contract and its
+//! obfuscated counterpart. The obfuscation property tests rely on it.
+
+use crate::disasm::disassemble;
+use crate::opcode::Opcode;
+use crate::word::U256;
+use std::collections::BTreeMap;
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Halt {
+    /// `STOP` or running off the end of code.
+    Stop,
+    /// `RETURN` with the returned bytes.
+    Return(Vec<u8>),
+    /// `REVERT` with the revert data.
+    Revert(Vec<u8>),
+    /// `INVALID`, an unassigned byte, or a malformed jump.
+    Invalid,
+    /// `SELFDESTRUCT` naming the beneficiary.
+    SelfDestruct(U256),
+    /// The step budget was exhausted (used to bound fuzzing).
+    OutOfGas,
+    /// Stack overflow/underflow beyond EVM limits.
+    StackError,
+}
+
+/// A single emitted log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Topic words.
+    pub topics: Vec<U256>,
+    /// Data bytes.
+    pub data: Vec<u8>,
+}
+
+/// An external call made during execution (recorded, not executed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallRecord {
+    /// The call opcode used.
+    pub kind: Opcode,
+    /// Callee address word.
+    pub target: U256,
+    /// Value attached (zero for static/delegate calls).
+    pub value: U256,
+}
+
+/// Transaction context supplied to an execution.
+#[derive(Debug, Clone)]
+pub struct TxContext {
+    /// `CALLER`.
+    pub caller: U256,
+    /// `CALLVALUE`.
+    pub callvalue: U256,
+    /// Full calldata.
+    pub calldata: Vec<u8>,
+    /// `TIMESTAMP`.
+    pub timestamp: u64,
+    /// `NUMBER`.
+    pub block_number: u64,
+    /// `ADDRESS` (the executing contract).
+    pub address: U256,
+    /// `SELFBALANCE`.
+    pub balance: U256,
+}
+
+impl Default for TxContext {
+    fn default() -> Self {
+        TxContext {
+            caller: U256::from_u64(0xCA11E5),
+            callvalue: U256::ZERO,
+            calldata: Vec::new(),
+            timestamp: 1_700_000_000,
+            block_number: 19_000_000,
+            address: U256::from_u64(0xC0DE),
+            balance: U256::from_u64(1_000_000),
+        }
+    }
+}
+
+impl TxContext {
+    /// Context with the given 4-byte selector plus ABI words as calldata.
+    pub fn with_selector(selector: [u8; 4], args: &[U256]) -> Self {
+        let mut calldata = selector.to_vec();
+        for a in args {
+            calldata.extend_from_slice(&a.to_be_bytes());
+        }
+        TxContext {
+            calldata,
+            ..TxContext::default()
+        }
+    }
+}
+
+/// The observable outcome of one execution: everything a chain explorer
+/// could see. Two bytecodes are behaviourally equivalent on a context when
+/// their outcomes are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Why execution halted.
+    pub halt: Halt,
+    /// Final persistent storage (zero slots omitted).
+    pub storage: BTreeMap<U256, U256>,
+    /// Emitted logs, in order.
+    pub logs: Vec<LogRecord>,
+    /// External calls, in order.
+    pub calls: Vec<CallRecord>,
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Maximum executed instructions before [`Halt::OutOfGas`].
+    pub step_limit: usize,
+    /// Maximum memory size in bytes.
+    pub memory_limit: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            step_limit: 200_000,
+            memory_limit: 1 << 20,
+        }
+    }
+}
+
+/// Executes `code` in `ctx`, returning the observable [`Outcome`].
+///
+/// Storage starts from `initial_storage`. External calls are recorded and
+/// report success (pushing 1) with empty return data — sufficient for the
+/// generated corpus, which never depends on callee return payloads.
+pub fn execute(
+    code: &[u8],
+    ctx: &TxContext,
+    initial_storage: &BTreeMap<U256, U256>,
+    config: &InterpConfig,
+) -> Outcome {
+    let instrs = disassemble(code);
+    // Offset -> instruction index, and the JUMPDEST set.
+    let mut at_offset: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, ins) in instrs.iter().enumerate() {
+        at_offset.insert(ins.offset, i);
+    }
+
+    let mut stack: Vec<U256> = Vec::new();
+    let mut memory: Vec<u8> = Vec::new();
+    let mut storage = initial_storage.clone();
+    let mut tstorage: BTreeMap<U256, U256> = BTreeMap::new();
+    let mut logs = Vec::new();
+    let mut calls = Vec::new();
+    let mut pc_idx = 0usize;
+    let mut steps = 0usize;
+
+    macro_rules! outcome {
+        ($halt:expr) => {
+            Outcome {
+                halt: $halt,
+                storage: storage
+                    .iter()
+                    .filter(|(_, v)| !v.is_zero())
+                    .map(|(k, v)| (*k, *v))
+                    .collect(),
+                logs,
+                calls,
+            }
+        };
+    }
+
+    macro_rules! pop {
+        () => {
+            match stack.pop() {
+                Some(v) => v,
+                None => return outcome!(Halt::StackError),
+            }
+        };
+    }
+
+    macro_rules! push {
+        ($v:expr) => {{
+            if stack.len() >= 1024 {
+                return outcome!(Halt::StackError);
+            }
+            stack.push($v);
+        }};
+    }
+
+    fn mem_read(memory: &mut Vec<u8>, limit: usize, off: usize, len: usize) -> Option<Vec<u8>> {
+        let end = off.checked_add(len)?;
+        if end > limit {
+            return None;
+        }
+        if memory.len() < end {
+            memory.resize(end, 0);
+        }
+        Some(memory[off..end].to_vec())
+    }
+
+    fn mem_write(memory: &mut Vec<u8>, limit: usize, off: usize, data: &[u8]) -> Option<()> {
+        let end = off.checked_add(data.len())?;
+        if end > limit {
+            return None;
+        }
+        if memory.len() < end {
+            memory.resize(end, 0);
+        }
+        memory[off..end].copy_from_slice(data);
+        Some(())
+    }
+
+    while pc_idx < instrs.len() {
+        steps += 1;
+        if steps > config.step_limit {
+            return outcome!(Halt::OutOfGas);
+        }
+        let ins = &instrs[pc_idx];
+        let Some(op) = ins.opcode else {
+            return outcome!(Halt::Invalid);
+        };
+
+        use Opcode::*;
+        match op {
+            STOP => return outcome!(Halt::Stop),
+            ADD => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_add(&b));
+            }
+            MUL => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_mul(&b));
+            }
+            SUB => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_sub(&b));
+            }
+            DIV => {
+                let (a, b) = (pop!(), pop!());
+                // Supported for small operands; full 256-bit division is out
+                // of scope for the generated corpus.
+                let r = match (a.to_usize(), b.to_usize()) {
+                    (Some(x), Some(y)) if y != 0 => U256::from_u64((x / y) as u64),
+                    (_, Some(0)) => U256::ZERO,
+                    _ => U256::ZERO,
+                };
+                push!(r);
+            }
+            MOD => {
+                let (a, b) = (pop!(), pop!());
+                let r = match (a.to_usize(), b.to_usize()) {
+                    (Some(x), Some(y)) if y != 0 => U256::from_u64((x % y) as u64),
+                    _ => U256::ZERO,
+                };
+                push!(r);
+            }
+            LT => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.lt_word(&b));
+            }
+            GT => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.gt_word(&b));
+            }
+            EQ => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.eq_word(&b));
+            }
+            ISZERO => {
+                let a = pop!();
+                push!(a.iszero_word());
+            }
+            AND => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.and(&b));
+            }
+            OR => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.or(&b));
+            }
+            XOR => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.xor(&b));
+            }
+            NOT => {
+                let a = pop!();
+                push!(a.not());
+            }
+            SHL => {
+                let (s, v) = (pop!(), pop!());
+                push!(match s.to_usize() {
+                    Some(n) if n < 256 => v.shl(n as u32),
+                    _ => U256::ZERO,
+                });
+            }
+            SHR => {
+                let (s, v) = (pop!(), pop!());
+                push!(match s.to_usize() {
+                    Some(n) if n < 256 => v.shr(n as u32),
+                    _ => U256::ZERO,
+                });
+            }
+            BYTE => {
+                let (i, x) = (pop!(), pop!());
+                let r = match i.to_usize() {
+                    Some(n) if n < 32 => U256::from_u64(x.to_be_bytes()[n] as u64),
+                    _ => U256::ZERO,
+                };
+                push!(r);
+            }
+            KECCAK256 => {
+                // A stand-in mixing function: not the real keccak, but a
+                // deterministic digest of the hashed memory range, which is
+                // all differential testing needs.
+                let (off, len) = (pop!(), pop!());
+                let (off, len) = match (off.to_usize(), len.to_usize()) {
+                    (Some(o), Some(l)) => (o, l),
+                    _ => return outcome!(Halt::Invalid),
+                };
+                match mem_read(&mut memory, config.memory_limit, off, len) {
+                    Some(bytes) => {
+                        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                        for b in bytes {
+                            h ^= b as u64;
+                            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                        }
+                        push!(U256::from_u64(h));
+                    }
+                    None => return outcome!(Halt::Invalid),
+                }
+            }
+            ADDRESS => push!(ctx.address),
+            BALANCE | SELFBALANCE => {
+                if op == BALANCE {
+                    let _who = pop!();
+                }
+                push!(ctx.balance);
+            }
+            ORIGIN | CALLER => push!(ctx.caller),
+            CALLVALUE => push!(ctx.callvalue),
+            CALLDATALOAD => {
+                let off = pop!();
+                let mut word = [0u8; 32];
+                if let Some(o) = off.to_usize() {
+                    for (i, byte) in word.iter_mut().enumerate() {
+                        *byte = ctx.calldata.get(o + i).copied().unwrap_or(0);
+                    }
+                }
+                push!(U256::from_be_bytes(&word));
+            }
+            CALLDATASIZE => push!(U256::from_u64(ctx.calldata.len() as u64)),
+            CALLDATACOPY => {
+                let (dst, src, len) = (pop!(), pop!(), pop!());
+                match (dst.to_usize(), src.to_usize(), len.to_usize()) {
+                    (Some(d), Some(s), Some(l)) => {
+                        let mut data = vec![0u8; l];
+                        for (i, byte) in data.iter_mut().enumerate() {
+                            *byte = ctx.calldata.get(s + i).copied().unwrap_or(0);
+                        }
+                        if mem_write(&mut memory, config.memory_limit, d, &data).is_none() {
+                            return outcome!(Halt::Invalid);
+                        }
+                    }
+                    _ => return outcome!(Halt::Invalid),
+                }
+            }
+            CODESIZE => push!(U256::from_u64(code.len() as u64)),
+            GASPRICE | BASEFEE | BLOBBASEFEE => push!(U256::from_u64(1)),
+            TIMESTAMP => push!(U256::from_u64(ctx.timestamp)),
+            NUMBER => push!(U256::from_u64(ctx.block_number)),
+            CHAINID => push!(U256::from_u64(1)),
+            COINBASE | PREVRANDAO | BLOCKHASH | GASLIMIT => {
+                if op == BLOCKHASH {
+                    let _n = pop!();
+                }
+                push!(U256::from_u64(0xbeef));
+            }
+            POP => {
+                let _ = pop!();
+            }
+            MLOAD => {
+                let off = pop!();
+                match off
+                    .to_usize()
+                    .and_then(|o| mem_read(&mut memory, config.memory_limit, o, 32))
+                {
+                    Some(bytes) => push!(U256::from_be_bytes(&bytes)),
+                    None => return outcome!(Halt::Invalid),
+                }
+            }
+            MSTORE => {
+                let (off, val) = (pop!(), pop!());
+                match off.to_usize() {
+                    Some(o) => {
+                        if mem_write(&mut memory, config.memory_limit, o, &val.to_be_bytes())
+                            .is_none()
+                        {
+                            return outcome!(Halt::Invalid);
+                        }
+                    }
+                    None => return outcome!(Halt::Invalid),
+                }
+            }
+            MSTORE8 => {
+                let (off, val) = (pop!(), pop!());
+                match off.to_usize() {
+                    Some(o) => {
+                        let b = [val.to_be_bytes()[31]];
+                        if mem_write(&mut memory, config.memory_limit, o, &b).is_none() {
+                            return outcome!(Halt::Invalid);
+                        }
+                    }
+                    None => return outcome!(Halt::Invalid),
+                }
+            }
+            MSIZE => push!(U256::from_u64(memory.len() as u64)),
+            SLOAD => {
+                let k = pop!();
+                push!(storage.get(&k).copied().unwrap_or(U256::ZERO));
+            }
+            SSTORE => {
+                let (k, v) = (pop!(), pop!());
+                storage.insert(k, v);
+            }
+            TLOAD => {
+                let k = pop!();
+                push!(tstorage.get(&k).copied().unwrap_or(U256::ZERO));
+            }
+            TSTORE => {
+                let (k, v) = (pop!(), pop!());
+                tstorage.insert(k, v);
+            }
+            JUMP => {
+                let target = pop!();
+                match jump_to(&instrs, &at_offset, target) {
+                    Some(idx) => {
+                        pc_idx = idx;
+                        continue;
+                    }
+                    None => return outcome!(Halt::Invalid),
+                }
+            }
+            JUMPI => {
+                let (target, cond) = (pop!(), pop!());
+                if !cond.is_zero() {
+                    match jump_to(&instrs, &at_offset, target) {
+                        Some(idx) => {
+                            pc_idx = idx;
+                            continue;
+                        }
+                        None => return outcome!(Halt::Invalid),
+                    }
+                }
+            }
+            PC => push!(U256::from_u64(ins.offset as u64)),
+            GAS => push!(U256::from_u64(
+                (config.step_limit - steps) as u64
+            )),
+            JUMPDEST => {}
+            _ if op.is_push() => {
+                let v = ins.push_value().expect("push has value");
+                push!(v);
+            }
+            _ if (0x80..=0x8f).contains(&op.byte()) => {
+                let n = (op.byte() - 0x80) as usize;
+                if stack.len() <= n {
+                    return outcome!(Halt::StackError);
+                }
+                let v = stack[stack.len() - 1 - n];
+                push!(v);
+            }
+            _ if (0x90..=0x9f).contains(&op.byte()) => {
+                let n = (op.byte() - 0x90 + 1) as usize;
+                let len = stack.len();
+                if len <= n {
+                    return outcome!(Halt::StackError);
+                }
+                stack.swap(len - 1, len - 1 - n);
+            }
+            LOG0 | LOG1 | LOG2 | LOG3 | LOG4 => {
+                let ntopics = (op.byte() - 0xa0) as usize;
+                let (off, len) = (pop!(), pop!());
+                let mut topics = Vec::with_capacity(ntopics);
+                for _ in 0..ntopics {
+                    topics.push(pop!());
+                }
+                let data = match (off.to_usize(), len.to_usize()) {
+                    (Some(o), Some(l)) => {
+                        match mem_read(&mut memory, config.memory_limit, o, l) {
+                            Some(d) => d,
+                            None => return outcome!(Halt::Invalid),
+                        }
+                    }
+                    _ => return outcome!(Halt::Invalid),
+                };
+                logs.push(LogRecord { topics, data });
+            }
+            CALL | CALLCODE => {
+                let (_gas, target, value) = (pop!(), pop!(), pop!());
+                let (_ao, _al, _ro, _rl) = (pop!(), pop!(), pop!(), pop!());
+                calls.push(CallRecord { kind: op, target, value });
+                push!(U256::ONE); // success
+            }
+            DELEGATECALL | STATICCALL => {
+                let (_gas, target) = (pop!(), pop!());
+                let (_ao, _al, _ro, _rl) = (pop!(), pop!(), pop!(), pop!());
+                calls.push(CallRecord {
+                    kind: op,
+                    target,
+                    value: U256::ZERO,
+                });
+                push!(U256::ONE);
+            }
+            CREATE | CREATE2 => {
+                let _v = pop!();
+                let _o = pop!();
+                let _l = pop!();
+                if op == CREATE2 {
+                    let _salt = pop!();
+                }
+                calls.push(CallRecord {
+                    kind: op,
+                    target: U256::ZERO,
+                    value: U256::ZERO,
+                });
+                push!(U256::from_u64(0xFACADE)); // deterministic fake address
+            }
+            RETURN | REVERT => {
+                let (off, len) = (pop!(), pop!());
+                let data = match (off.to_usize(), len.to_usize()) {
+                    (Some(o), Some(l)) => {
+                        match mem_read(&mut memory, config.memory_limit, o, l) {
+                            Some(d) => d,
+                            None => return outcome!(Halt::Invalid),
+                        }
+                    }
+                    _ => return outcome!(Halt::Invalid),
+                };
+                return outcome!(if op == RETURN {
+                    Halt::Return(data)
+                } else {
+                    Halt::Revert(data)
+                });
+            }
+            INVALID => return outcome!(Halt::Invalid),
+            SELFDESTRUCT => {
+                let beneficiary = pop!();
+                return outcome!(Halt::SelfDestruct(beneficiary));
+            }
+            // Remaining environment opcodes the corpus does not use.
+            _ => {
+                for _ in 0..op.stack_pops() {
+                    let _ = pop!();
+                }
+                for _ in 0..op.stack_pushes() {
+                    push!(U256::ZERO);
+                }
+            }
+        }
+        pc_idx += 1;
+    }
+    outcome!(Halt::Stop)
+}
+
+fn jump_to(
+    instrs: &[crate::disasm::Instruction],
+    at_offset: &BTreeMap<usize, usize>,
+    target: U256,
+) -> Option<usize> {
+    let off = target.to_usize()?;
+    let idx = *at_offset.get(&off)?;
+    (instrs[idx].opcode == Some(Opcode::JUMPDEST)).then_some(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::AsmProgram;
+
+    fn run(p: &AsmProgram, ctx: &TxContext) -> Outcome {
+        execute(
+            &p.assemble().unwrap(),
+            ctx,
+            &BTreeMap::new(),
+            &InterpConfig::default(),
+        )
+    }
+
+    #[test]
+    fn arithmetic_and_storage() {
+        let mut p = AsmProgram::new();
+        // storage[7] = 40 + 2
+        p.push_value(2).push_value(40).op(Opcode::ADD);
+        p.push_value(7).op(Opcode::SSTORE);
+        p.op(Opcode::STOP);
+        let out = run(&p, &TxContext::default());
+        assert_eq!(out.halt, Halt::Stop);
+        assert_eq!(
+            out.storage.get(&U256::from_u64(7)),
+            Some(&U256::from_u64(42))
+        );
+    }
+
+    #[test]
+    fn conditional_branching_on_callvalue() {
+        let mut p = AsmProgram::new();
+        let rich = p.new_label();
+        p.op(Opcode::CALLVALUE);
+        p.jumpi_to(rich);
+        p.push_value(0).push_value(1).op(Opcode::SSTORE); // storage[1] = 0
+        p.op(Opcode::STOP);
+        p.place_label(rich);
+        p.push_value(99).push_value(1).op(Opcode::SSTORE); // storage[1] = 99
+        p.op(Opcode::STOP);
+
+        let poor = run(&p, &TxContext::default());
+        assert!(poor.storage.is_empty()); // zero write filtered
+
+        let mut ctx = TxContext::default();
+        ctx.callvalue = U256::from_u64(5);
+        let rich_out = run(&p, &ctx);
+        assert_eq!(
+            rich_out.storage.get(&U256::from_u64(1)),
+            Some(&U256::from_u64(99))
+        );
+    }
+
+    #[test]
+    fn loop_sums_to_storage() {
+        // for (i = 5; i != 0; i--) acc += i;  storage[0] = acc (15)
+        let mut p = AsmProgram::new();
+        let top = p.new_label();
+        let done = p.new_label();
+        p.push_value(0); // acc
+        p.push_value(5); // i   stack: [acc, i]
+        p.place_label(top);
+        p.op(Opcode::DUP1); // [acc, i, i]
+        p.op(Opcode::ISZERO);
+        p.jumpi_to(done); // [acc, i]
+        p.op(Opcode::DUP1); // [acc, i, i]
+        p.op(Opcode::SWAP2); // [i, i, acc]
+        p.op(Opcode::ADD); // [i, acc']
+        p.op(Opcode::SWAP1); // [acc', i]
+        p.push_value(1);
+        p.op(Opcode::SWAP1); // [acc', 1, i]
+        p.op(Opcode::SUB); // [acc', i-1]
+        p.jump_to(top);
+        p.place_label(done);
+        p.op(Opcode::POP); // [acc]
+        p.push_value(0); // [acc, 0]
+        p.op(Opcode::SSTORE);
+        p.op(Opcode::STOP);
+        let out = run(&p, &TxContext::default());
+        assert_eq!(out.halt, Halt::Stop);
+        assert_eq!(
+            out.storage.get(&U256::ZERO),
+            Some(&U256::from_u64(15)),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn memory_and_return() {
+        let mut p = AsmProgram::new();
+        p.push_value(0xabcd).push_value(0).op(Opcode::MSTORE);
+        p.push_value(32).push_value(0).op(Opcode::RETURN);
+        let out = run(&p, &TxContext::default());
+        match out.halt {
+            Halt::Return(data) => {
+                assert_eq!(data.len(), 32);
+                assert_eq!(data[30], 0xab);
+                assert_eq!(data[31], 0xcd);
+            }
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calldataload_selector() {
+        let mut p = AsmProgram::new();
+        // load word 0, shr 224 -> selector
+        p.push_value(0).op(Opcode::CALLDATALOAD);
+        p.push_value(224).op(Opcode::SHR);
+        p.push_value(0).op(Opcode::SSTORE);
+        p.op(Opcode::STOP);
+        let ctx = TxContext::with_selector([0xde, 0xad, 0xbe, 0xef], &[]);
+        let out = run(&p, &ctx);
+        assert_eq!(
+            out.storage.get(&U256::ZERO),
+            Some(&U256::from_u64(0xdeadbeef))
+        );
+    }
+
+    #[test]
+    fn logs_and_calls_recorded() {
+        let mut p = AsmProgram::new();
+        // LOG1 topic=7 data=mem[0..4]
+        p.push_value(7); // topic
+        p.push_value(4); // len
+        p.push_value(0); // off
+        p.op(Opcode::LOG1);
+        // CALL gas=100 target=0xAA value=5 argOff/Len retOff/Len = 0
+        p.push_value(0).push_value(0).push_value(0).push_value(0);
+        p.push_value(5).push_value(0xAA).push_value(100);
+        p.op(Opcode::CALL);
+        p.op(Opcode::POP);
+        p.op(Opcode::STOP);
+        let out = run(&p, &TxContext::default());
+        assert_eq!(out.logs.len(), 1);
+        assert_eq!(out.logs[0].topics, vec![U256::from_u64(7)]);
+        assert_eq!(out.calls.len(), 1);
+        assert_eq!(out.calls[0].value, U256::from_u64(5));
+        assert_eq!(out.calls[0].target, U256::from_u64(0xAA));
+    }
+
+    #[test]
+    fn invalid_jump_halts_invalid() {
+        let mut p = AsmProgram::new();
+        p.push_value(1).op(Opcode::JUMP);
+        p.op(Opcode::STOP);
+        assert_eq!(run(&p, &TxContext::default()).halt, Halt::Invalid);
+    }
+
+    #[test]
+    fn selfdestruct_reports_beneficiary() {
+        let mut p = AsmProgram::new();
+        p.op(Opcode::CALLER);
+        p.op(Opcode::SELFDESTRUCT);
+        let out = run(&p, &TxContext::default());
+        assert_eq!(out.halt, Halt::SelfDestruct(TxContext::default().caller));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut p = AsmProgram::new();
+        let top = p.new_label();
+        p.place_label(top);
+        p.jump_to(top);
+        let out = execute(
+            &p.assemble().unwrap(),
+            &TxContext::default(),
+            &BTreeMap::new(),
+            &InterpConfig {
+                step_limit: 1000,
+                ..InterpConfig::default()
+            },
+        );
+        assert_eq!(out.halt, Halt::OutOfGas);
+    }
+
+    #[test]
+    fn stack_underflow_detected() {
+        let mut p = AsmProgram::new();
+        p.op(Opcode::ADD);
+        assert_eq!(run(&p, &TxContext::default()).halt, Halt::StackError);
+    }
+
+    #[test]
+    fn revert_carries_data() {
+        let mut p = AsmProgram::new();
+        p.push_value(0).push_value(0).op(Opcode::REVERT);
+        assert_eq!(
+            run(&p, &TxContext::default()).halt,
+            Halt::Revert(Vec::new())
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! EVM bytecode substrate: disassembly, assembly and CFG recovery.
+//!
+//! This crate implements everything ScamDetect needs from the Ethereum
+//! Virtual Machine side:
+//!
+//! * [`opcode`] — the complete Shanghai/Cancun opcode table with stack
+//!   arities and semantic categories,
+//! * [`disasm`] — a linear-sweep disassembler and opcode-histogram
+//!   features (the PhishingHook representation),
+//! * [`asm`] — a label-aware assembler used by the contract generators and
+//!   the obfuscation passes,
+//! * [`word`] — 256-bit wrapping arithmetic for constant folding,
+//! * [`stack`] / [`memory_model`] — abstract stack and word-granular
+//!   abstract memory simulation,
+//! * [`cfg`] — basic-block recovery with static jump resolution by
+//!   constant propagation through stack *and* memory (the structural
+//!   representation the GNNs consume),
+//! * [`lift`] — lifting raw bytecode back to label-form assembly so the
+//!   obfuscation passes apply to arbitrary contracts,
+//! * [`interp`] — a concrete interpreter for differential testing,
+//! * [`proxy`] — ERC-1167 minimal-proxy detection and skeleton hashing for
+//!   corpus deduplication,
+//! * [`selector`] — dispatcher function-selector extraction.
+//!
+//! # Examples
+//!
+//! Disassemble and recover the CFG of a tiny contract:
+//!
+//! ```
+//! use scamdetect_evm::{asm::AsmProgram, cfg::build_cfg, opcode::Opcode};
+//!
+//! # fn main() -> Result<(), scamdetect_evm::EvmError> {
+//! let mut p = AsmProgram::new();
+//! let done = p.new_label();
+//! p.op(Opcode::CALLVALUE);
+//! p.jumpi_to(done);           // if msg.value != 0 goto done
+//! p.push_value(0).push_value(0).op(Opcode::REVERT);
+//! p.place_label(done);
+//! p.op(Opcode::STOP);
+//!
+//! let code = p.assemble()?;
+//! let cfg = build_cfg(&code);
+//! assert_eq!(cfg.block_count(), 3);
+//! assert_eq!(cfg.unresolved_jump_count(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod cfg;
+pub mod disasm;
+pub mod error;
+pub mod interp;
+pub mod lift;
+pub mod memory_model;
+pub mod opcode;
+pub mod proxy;
+pub mod selector;
+pub mod stack;
+pub mod word;
+
+pub use asm::{AsmOp, AsmProgram, Label};
+pub use cfg::{build_cfg, build_cfg_with, BasicBlock, Cfg, CfgOptions, EdgeKind, UnknownJumpPolicy};
+pub use disasm::{disassemble, Instruction};
+pub use error::EvmError;
+pub use opcode::{OpCategory, Opcode};
+pub use word::U256;

@@ -1,0 +1,382 @@
+//! Fixed-width 256-bit words with the wrapping semantics of the EVM.
+
+use std::fmt;
+
+/// A 256-bit unsigned word, little-endian limbs, with the wrapping
+/// arithmetic the EVM defines.
+///
+/// Only the operations needed for static jump resolution and constant
+/// folding are implemented; full bignum division is intentionally out of
+/// scope (a `DIV` over unknown operands simply stops constant propagation).
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_evm::word::U256;
+///
+/// let a = U256::from_u64(10);
+/// let b = U256::from_u64(32);
+/// assert_eq!(a.wrapping_add(&b), U256::from_u64(42));
+/// assert_eq!(b.shl(2), U256::from_u64(128));
+/// assert_eq!(U256::from_u64(42).to_usize(), Some(42));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256 {
+    // limbs[0] is least significant.
+    limbs: [u64; 4],
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Numeric order: compare from the most significant limb down.
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                std::cmp::Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "U256(0x{:016x}{:016x}{:016x}{:016x})",
+            self.limbs[3], self.limbs[2], self.limbs[1], self.limbs[0]
+        )
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_usize() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "{self:?}"),
+        }
+    }
+}
+
+impl U256 {
+    /// The zero word.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+    /// The one word.
+    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    /// All bits set.
+    pub const MAX: U256 = U256 { limbs: [u64::MAX; 4] };
+
+    /// Word from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        U256 { limbs: [v, 0, 0, 0] }
+    }
+
+    /// Word from big-endian bytes (at most 32; shorter slices are
+    /// left-padded with zeros, matching EVM `PUSHn` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > 32`.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 32, "U256::from_be_bytes: more than 32 bytes");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let start = 32 - (i + 1) * 8;
+            let mut v = 0u64;
+            for b in &buf[start..start + 8] {
+                v = (v << 8) | *b as u64;
+            }
+            *limb = v;
+        }
+        U256 { limbs }
+    }
+
+    /// Big-endian 32-byte encoding.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            let start = 32 - (i + 1) * 8;
+            out[start..start + 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Minimal big-endian encoding (no leading zero bytes; `ZERO` encodes
+    /// to an empty vector, which assembles as `PUSH0`).
+    pub fn to_be_bytes_minimal(&self) -> Vec<u8> {
+        let full = self.to_be_bytes();
+        let first = full.iter().position(|&b| b != 0).unwrap_or(32);
+        full[first..].to_vec()
+    }
+
+    /// Converts to `usize` if the value fits.
+    pub fn to_usize(&self) -> Option<usize> {
+        if self.limbs[1] == 0 && self.limbs[2] == 0 && self.limbs[3] == 0 {
+            usize::try_from(self.limbs[0]).ok()
+        } else {
+            None
+        }
+    }
+
+    /// `true` if the word is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; 4]
+    }
+
+    /// Wrapping addition.
+    pub fn wrapping_add(&self, rhs: &U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        U256 { limbs: out }
+    }
+
+    /// Wrapping subtraction.
+    pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        U256 { limbs: out }
+    }
+
+    /// Wrapping multiplication (schoolbook over 64-bit limbs).
+    pub fn wrapping_mul(&self, rhs: &U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if self.limbs[i] == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for j in 0..4 - i {
+                let idx = i + j;
+                let prod = self.limbs[i] as u128 * rhs.limbs[j] as u128
+                    + out[idx] as u128
+                    + carry;
+                out[idx] = prod as u64;
+                carry = prod >> 64;
+            }
+        }
+        U256 { limbs: out }
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, rhs: &U256) -> U256 {
+        U256 {
+            limbs: std::array::from_fn(|i| self.limbs[i] & rhs.limbs[i]),
+        }
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, rhs: &U256) -> U256 {
+        U256 {
+            limbs: std::array::from_fn(|i| self.limbs[i] | rhs.limbs[i]),
+        }
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, rhs: &U256) -> U256 {
+        U256 {
+            limbs: std::array::from_fn(|i| self.limbs[i] ^ rhs.limbs[i]),
+        }
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> U256 {
+        U256 {
+            limbs: std::array::from_fn(|i| !self.limbs[i]),
+        }
+    }
+
+    /// Left shift by `n` bits (result is zero for `n >= 256`, as in the EVM).
+    pub fn shl(&self, n: u32) -> U256 {
+        if n >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            let src = i - limb_shift;
+            out[i] = self.limbs[src] << bit_shift;
+            if bit_shift > 0 && src > 0 {
+                out[i] |= self.limbs[src - 1] >> (64 - bit_shift);
+            }
+        }
+        U256 { limbs: out }
+    }
+
+    /// Logical right shift by `n` bits (zero for `n >= 256`).
+    pub fn shr(&self, n: u32) -> U256 {
+        if n >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 - limb_shift {
+            let src = i + limb_shift;
+            out[i] = self.limbs[src] >> bit_shift;
+            if bit_shift > 0 && src + 1 < 4 {
+                out[i] |= self.limbs[src + 1] << (64 - bit_shift);
+            }
+        }
+        U256 { limbs: out }
+    }
+
+    /// EVM `LT` as a word (1 or 0).
+    pub fn lt_word(&self, rhs: &U256) -> U256 {
+        if self < rhs {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+
+    /// EVM `GT` as a word (1 or 0).
+    pub fn gt_word(&self, rhs: &U256) -> U256 {
+        if self > rhs {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+
+    /// EVM `EQ` as a word (1 or 0).
+    pub fn eq_word(&self, rhs: &U256) -> U256 {
+        if self == rhs {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+
+    /// EVM `ISZERO` as a word (1 or 0).
+    pub fn iszero_word(&self) -> U256 {
+        if self.is_zero() {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let w = U256::from_be_bytes(&[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(w.to_usize(), Some(0xdeadbeef));
+        let full = w.to_be_bytes();
+        assert_eq!(U256::from_be_bytes(&full), w);
+        assert_eq!(w.to_be_bytes_minimal(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(U256::ZERO.to_be_bytes_minimal(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = U256::from_u64(u64::MAX);
+        let b = U256::ONE;
+        let c = a.wrapping_add(&b);
+        assert_eq!(c.to_be_bytes()[23], 1); // bit 64 set
+        assert_eq!(c.to_usize(), None);
+        assert_eq!(c.wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn wrapping_at_256_bits() {
+        let max = U256::MAX;
+        assert_eq!(max.wrapping_add(&U256::ONE), U256::ZERO);
+        assert_eq!(U256::ZERO.wrapping_sub(&U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = U256::from_u64(0xffff_ffff);
+        let b = U256::from_u64(0x1_0000_0001);
+        let c = a.wrapping_mul(&b);
+        let expected = 0xffff_ffffu128 * 0x1_0000_0001u128;
+        assert_eq!(c.to_usize().unwrap() as u128, expected);
+    }
+
+    #[test]
+    fn mul_wraps() {
+        let big = U256::MAX;
+        let two = U256::from_u64(2);
+        assert_eq!(big.wrapping_mul(&two), U256::MAX.wrapping_sub(&U256::ONE));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = U256::from_u64(0b1100);
+        let b = U256::from_u64(0b1010);
+        assert_eq!(a.and(&b), U256::from_u64(0b1000));
+        assert_eq!(a.or(&b), U256::from_u64(0b1110));
+        assert_eq!(a.xor(&b), U256::from_u64(0b0110));
+        assert_eq!(a.not().not(), a);
+    }
+
+    #[test]
+    fn shifts() {
+        let one = U256::ONE;
+        assert_eq!(one.shl(8), U256::from_u64(256));
+        assert_eq!(one.shl(64).shr(64), one);
+        assert_eq!(one.shl(255).shl(1), U256::ZERO);
+        assert_eq!(one.shl(256), U256::ZERO);
+        assert_eq!(U256::from_u64(0xff00).shr(8), U256::from_u64(0xff));
+        // Cross-limb shift.
+        let w = U256::from_u64(u64::MAX);
+        let s = w.shl(32);
+        assert_eq!(s.shr(32), w);
+    }
+
+    #[test]
+    fn comparisons_as_words() {
+        let a = U256::from_u64(1);
+        let b = U256::from_u64(2);
+        assert_eq!(a.lt_word(&b), U256::ONE);
+        assert_eq!(a.gt_word(&b), U256::ZERO);
+        assert_eq!(a.eq_word(&a), U256::ONE);
+        assert_eq!(U256::ZERO.iszero_word(), U256::ONE);
+        assert_eq!(b.iszero_word(), U256::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        // limbs are little-endian, so Ord must compare from the top limb.
+        let small = U256::from_u64(u64::MAX);
+        let big = U256::ONE.shl(64);
+        assert!(small < big);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 32 bytes")]
+    fn from_be_bytes_too_long_panics() {
+        let _ = U256::from_be_bytes(&[0u8; 33]);
+    }
+}

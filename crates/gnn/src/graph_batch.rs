@@ -1,0 +1,170 @@
+//! Conversion from unified CFGs to tensor form.
+
+use scamdetect_ir::features::{adjacency_matrix, node_feature_matrix, NODE_FEATURE_DIM};
+use scamdetect_ir::UnifiedCfg;
+use scamdetect_tensor::Matrix;
+
+/// A contract CFG prepared for GNN consumption: node features plus the
+/// aggregation operators every supported architecture needs, precomputed
+/// once so training epochs only do dense algebra.
+#[derive(Debug, Clone)]
+pub struct PreparedGraph {
+    /// Node features, `n x d`.
+    pub x: Matrix,
+    /// Raw adjacency `A` (sum aggregation, GIN).
+    pub adj: Matrix,
+    /// Symmetric GCN normalisation `D̂^{-1/2} (A+I) D̂^{-1/2}`.
+    pub agg_gcn: Matrix,
+    /// Row-normalised `A` (mean aggregation, GraphSAGE).
+    pub agg_mean: Matrix,
+    /// Attention mask `A + I` (GAT).
+    pub mask: Matrix,
+    /// Binary label.
+    pub label: usize,
+}
+
+impl PreparedGraph {
+    /// Prepares `cfg` with label `label`.
+    ///
+    /// Unresolved CFG edges are down-weighted to 0.25 so that policy-
+    /// injected over-approximation does not drown the real structure.
+    pub fn from_cfg(cfg: &UnifiedCfg, label: usize) -> Self {
+        let n = cfg.block_count();
+        let x = Matrix::from_vec(n, NODE_FEATURE_DIM, node_feature_matrix(cfg));
+        let adj = Matrix::from_vec(n, n, adjacency_matrix(cfg, 0.25));
+        PreparedGraph::from_parts(x, adj, label)
+    }
+
+    /// Prepares a graph directly from a feature matrix and adjacency
+    /// (used by unit tests and synthetic ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adj` is not `n x n` for `x`'s `n` rows.
+    pub fn from_parts(x: Matrix, adj: Matrix, label: usize) -> Self {
+        let n = x.rows();
+        assert_eq!(adj.shape(), (n, n), "adjacency must be n x n");
+
+        // A + I (directed; used as the GAT attention mask).
+        let mut mask = adj.clone();
+        for i in 0..n {
+            mask.set(i, i, 1.0);
+        }
+
+        // GCN: D̂^{-1/2} Â D̂^{-1/2} over the *symmetrised* adjacency
+        // Â = max(A, Aᵀ) + I — the standard way to apply spectral GCNs to
+        // directed CFGs (information flows both along and against edges).
+        let sym = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                adj.get(i, j).max(adj.get(j, i))
+            }
+        });
+        let mut deg = vec![0.0f32; n];
+        for i in 0..n {
+            for j in 0..n {
+                deg[i] += sym.get(i, j);
+            }
+        }
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let agg_gcn = Matrix::from_fn(n, n, |i, j| inv_sqrt[i] * sym.get(i, j) * inv_sqrt[j]);
+
+        // Mean aggregation: row-normalised A (rows without successors stay
+        // zero; SAGE concatenates self features anyway).
+        let agg_mean = Matrix::from_fn(n, n, |i, j| {
+            let row_sum: f32 = (0..n).map(|k| adj.get(i, k)).sum();
+            if row_sum > 0.0 {
+                adj.get(i, j) / row_sum
+            } else {
+                0.0
+            }
+        });
+
+        PreparedGraph {
+            x,
+            adj,
+            agg_gcn,
+            agg_mean,
+            mask,
+            label,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.x.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> PreparedGraph {
+        // 0 -> 1 -> 2.
+        let x = Matrix::identity(3);
+        let mut adj = Matrix::zeros(3, 3);
+        adj.set(0, 1, 1.0);
+        adj.set(1, 2, 1.0);
+        PreparedGraph::from_parts(x, adj, 1)
+    }
+
+    #[test]
+    fn gcn_norm_is_symmetric_in_degree() {
+        let g = chain3();
+        // Self-loop entries: 1/d_i.
+        assert!((g.agg_gcn.get(0, 0) - 0.5).abs() < 1e-6); // deg 2
+        assert!((g.agg_gcn.get(1, 1) - 1.0 / 3.0).abs() < 1e-6); // deg 3
+        // Edge (0,1): 1/sqrt(2*3).
+        assert!((g.agg_gcn.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_agg_rows_sum_to_one_or_zero() {
+        let g = chain3();
+        for i in 0..3 {
+            let s: f32 = (0..3).map(|j| g.agg_mean.get(i, j)).sum();
+            assert!(s == 0.0 || (s - 1.0).abs() < 1e-6, "row {i} sums to {s}");
+        }
+        // Terminal node 2 has no successors.
+        let s2: f32 = (0..3).map(|j| g.agg_mean.get(2, j)).sum();
+        assert_eq!(s2, 0.0);
+    }
+
+    #[test]
+    fn mask_includes_self_loops() {
+        let g = chain3();
+        for i in 0..3 {
+            assert_eq!(g.mask.get(i, i), 1.0);
+        }
+        assert_eq!(g.mask.get(0, 1), 1.0);
+        assert_eq!(g.mask.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn from_cfg_produces_consistent_shapes() {
+        use scamdetect_ir::{EvmFrontend, Frontend};
+        // CALLVALUE PUSH1 7 JUMPI STOP; JUMPDEST STOP
+        let code = [0x34, 0x60, 0x06, 0x57, 0x00, 0xfe, 0x5b, 0x00];
+        let cfg = EvmFrontend::new().lift(&code).unwrap();
+        let g = PreparedGraph::from_cfg(&cfg, 0);
+        assert_eq!(g.node_count(), cfg.block_count());
+        assert_eq!(g.feature_dim(), NODE_FEATURE_DIM);
+        assert_eq!(g.adj.shape(), (g.node_count(), g.node_count()));
+    }
+
+    #[test]
+    #[should_panic(expected = "n x n")]
+    fn shape_mismatch_panics() {
+        PreparedGraph::from_parts(Matrix::zeros(3, 2), Matrix::zeros(2, 2), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Graph neural networks over control-flow graphs.
+//!
+//! The paper's Phase 1 (§V-A) proposes detecting obfuscated contracts with
+//! GNNs over CFGs, naming five architectures: **GCN** \[13\], **GAT** \[20\],
+//! **GIN** \[21\], **TAG** \[5\] and **GraphSAGE** \[8\]. This crate implements
+//! all five from scratch on the autodiff tensor substrate, with the exact
+//! layer equations of the cited papers (dense adjacency — contract CFGs
+//! are small):
+//!
+//! * GCN:  `H' = σ(D̂^{-1/2} Â D̂^{-1/2} H W)`
+//! * GAT:  multi-head masked-softmax attention, LeakyReLU(0.2), ELU
+//! * GIN:  `H' = MLP((1 + ε) H + A H)`, ε learnable
+//! * TAG:  `H' = σ(Σ_{k=0}^{K} P^k H W_k)`
+//! * SAGE: `H' = σ([H ‖ mean(A, H)] W)`
+//!
+//! followed by a mean/max/sum readout and a linear head.
+//!
+//! # Examples
+//!
+//! Train a GCN on a structurally separable toy set:
+//!
+//! ```
+//! use scamdetect_gnn::{
+//!     trainer::{accuracy, synthetic_structural_dataset, train, TrainConfig},
+//!     GnnClassifier, GnnConfig, GnnKind,
+//! };
+//!
+//! let data = synthetic_structural_dataset(20, 6, 1);
+//! let mut model = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_hidden(8));
+//! train(&mut model, &data, &TrainConfig { epochs: 10, ..TrainConfig::default() });
+//! assert!(accuracy(&model, &data) > 0.5);
+//! ```
+
+pub mod graph_batch;
+pub mod model;
+pub mod trainer;
+
+pub use graph_batch::PreparedGraph;
+pub use model::{GnnClassifier, GnnConfig, GnnKind, Readout};
+pub use trainer::{accuracy, evaluate, train, TrainConfig, TrainHistory};

@@ -1,0 +1,441 @@
+//! The GNN graph classifier: five architectures, one interface.
+
+use crate::graph_batch::PreparedGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scamdetect_tensor::{init, Matrix, ParamId, Parameters, Tape, Var};
+
+/// Which message-passing architecture a classifier uses — exactly the
+/// lineup the paper's Phase 1 commits to (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GnnKind {
+    /// Graph convolutional network (Kipf & Welling).
+    Gcn,
+    /// Graph attention network (Veličković et al.), 2 heads.
+    Gat,
+    /// Graph isomorphism network (Xu et al.), learnable epsilon.
+    Gin,
+    /// Topology-adaptive GCN (Du et al.), K hops per layer.
+    Tag,
+    /// GraphSAGE (Hamilton et al.), mean aggregator.
+    Sage,
+}
+
+impl GnnKind {
+    /// All five architectures.
+    pub fn all() -> [GnnKind; 5] {
+        [GnnKind::Gcn, GnnKind::Gat, GnnKind::Gin, GnnKind::Tag, GnnKind::Sage]
+    }
+
+    /// Lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnKind::Gcn => "gcn",
+            GnnKind::Gat => "gat",
+            GnnKind::Gin => "gin",
+            GnnKind::Tag => "tag",
+            GnnKind::Sage => "graphsage",
+        }
+    }
+}
+
+impl std::fmt::Display for GnnKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Graph-level readout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Readout {
+    /// Column-wise mean over node embeddings.
+    Mean,
+    /// Column-wise max.
+    Max,
+    /// Column-wise sum.
+    Sum,
+}
+
+impl Readout {
+    /// All readouts (ablation E8).
+    pub fn all() -> [Readout; 3] {
+        [Readout::Mean, Readout::Max, Readout::Sum]
+    }
+
+    /// Lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Readout::Mean => "mean",
+            Readout::Max => "max",
+            Readout::Sum => "sum",
+        }
+    }
+}
+
+/// Model hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GnnConfig {
+    /// Architecture.
+    pub kind: GnnKind,
+    /// Input node-feature width.
+    pub input_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Number of message-passing layers.
+    pub layers: usize,
+    /// Readout.
+    pub readout: Readout,
+    /// Attention heads (GAT only).
+    pub heads: usize,
+    /// Hop count K (TAG only).
+    pub tag_k: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl GnnConfig {
+    /// Sensible defaults for `kind` at input width `input_dim`.
+    pub fn new(kind: GnnKind, input_dim: usize) -> Self {
+        GnnConfig {
+            kind,
+            input_dim,
+            hidden: 32,
+            layers: 2,
+            readout: Readout::Mean,
+            heads: 2,
+            tag_k: 3,
+            seed: 0xD5ED,
+        }
+    }
+
+    /// Overrides the hidden width.
+    pub fn with_hidden(mut self, hidden: usize) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Overrides the layer count.
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Overrides the readout.
+    pub fn with_readout(mut self, readout: Readout) -> Self {
+        self.readout = readout;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-layer parameters (ids into the shared store).
+#[derive(Debug, Clone)]
+enum LayerParams {
+    Gcn { w: ParamId, b: ParamId },
+    Sage { w: ParamId, b: ParamId },
+    Gin { eps: ParamId, w1: ParamId, b1: ParamId, w2: ParamId, b2: ParamId },
+    Tag { ws: Vec<ParamId>, b: ParamId },
+    Gat { heads: Vec<GatHead> },
+}
+
+#[derive(Debug, Clone)]
+struct GatHead {
+    w: ParamId,
+    a_src: ParamId,
+    a_dst: ParamId,
+}
+
+/// A trainable GNN graph classifier.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_gnn::{GnnClassifier, GnnConfig, GnnKind, PreparedGraph};
+/// use scamdetect_tensor::Matrix;
+///
+/// let g = PreparedGraph::from_parts(Matrix::identity(4), Matrix::zeros(4, 4), 0);
+/// let model = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 4));
+/// let score = model.score(&g);
+/// assert!((0.0..=1.0).contains(&score));
+/// ```
+#[derive(Debug)]
+pub struct GnnClassifier {
+    config: GnnConfig,
+    params: Parameters,
+    layers: Vec<LayerParams>,
+    head_w: ParamId,
+    head_b: ParamId,
+}
+
+impl GnnClassifier {
+    /// Allocates a model with seeded Xavier/He initialisation.
+    pub fn new(config: GnnConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut params = Parameters::new();
+        let mut layers = Vec::with_capacity(config.layers);
+        let mut in_dim = config.input_dim;
+        for l in 0..config.layers {
+            let out_dim = config.hidden;
+            let lp = match config.kind {
+                GnnKind::Gcn => LayerParams::Gcn {
+                    w: params.add(format!("gcn{l}.w"), init::xavier_uniform(in_dim, out_dim, &mut rng)),
+                    b: params.add(format!("gcn{l}.b"), Matrix::zeros(1, out_dim)),
+                },
+                GnnKind::Sage => LayerParams::Sage {
+                    w: params.add(
+                        format!("sage{l}.w"),
+                        init::xavier_uniform(2 * in_dim, out_dim, &mut rng),
+                    ),
+                    b: params.add(format!("sage{l}.b"), Matrix::zeros(1, out_dim)),
+                },
+                GnnKind::Gin => LayerParams::Gin {
+                    eps: params.add(format!("gin{l}.eps"), Matrix::zeros(1, 1)),
+                    w1: params.add(format!("gin{l}.w1"), init::he_normal(in_dim, out_dim, &mut rng)),
+                    b1: params.add(format!("gin{l}.b1"), Matrix::zeros(1, out_dim)),
+                    w2: params.add(format!("gin{l}.w2"), init::he_normal(out_dim, out_dim, &mut rng)),
+                    b2: params.add(format!("gin{l}.b2"), Matrix::zeros(1, out_dim)),
+                },
+                GnnKind::Tag => LayerParams::Tag {
+                    ws: (0..=config.tag_k)
+                        .map(|k| {
+                            params.add(
+                                format!("tag{l}.w{k}"),
+                                init::xavier_uniform(in_dim, out_dim, &mut rng),
+                            )
+                        })
+                        .collect(),
+                    b: params.add(format!("tag{l}.b"), Matrix::zeros(1, out_dim)),
+                },
+                GnnKind::Gat => {
+                    let per_head = (out_dim / config.heads).max(1);
+                    LayerParams::Gat {
+                        heads: (0..config.heads)
+                            .map(|h| GatHead {
+                                w: params.add(
+                                    format!("gat{l}.h{h}.w"),
+                                    init::xavier_uniform(in_dim, per_head, &mut rng),
+                                ),
+                                a_src: params.add(
+                                    format!("gat{l}.h{h}.asrc"),
+                                    init::xavier_uniform(per_head, 1, &mut rng),
+                                ),
+                                a_dst: params.add(
+                                    format!("gat{l}.h{h}.adst"),
+                                    init::xavier_uniform(per_head, 1, &mut rng),
+                                ),
+                            })
+                            .collect(),
+                    }
+                }
+            };
+            layers.push(lp);
+            in_dim = match config.kind {
+                GnnKind::Gat => (config.hidden / config.heads).max(1) * config.heads,
+                _ => config.hidden,
+            };
+        }
+        let head_w = params.add("head.w", init::xavier_uniform(in_dim, 2, &mut rng));
+        let head_b = params.add("head.b", Matrix::zeros(1, 2));
+        GnnClassifier {
+            config,
+            params,
+            layers,
+            head_w,
+            head_b,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GnnConfig {
+        &self.config
+    }
+
+    /// Model name (architecture name).
+    pub fn name(&self) -> &'static str {
+        self.config.kind.name()
+    }
+
+    /// Total trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.params.scalar_count()
+    }
+
+    /// Mutable access to the parameter store (the trainer steps it).
+    pub(crate) fn params_mut(&mut self) -> &mut Parameters {
+        &mut self.params
+    }
+
+    pub(crate) fn params(&self) -> &Parameters {
+        &self.params
+    }
+
+    /// Forward pass for one graph; returns the `1 x 2` logits `Var`.
+    pub(crate) fn forward(&self, tape: &Tape, vars: &[Var], g: &PreparedGraph) -> Var {
+        let mut h = tape.constant(g.x.clone());
+        let agg_gcn = tape.constant(g.agg_gcn.clone());
+        let agg_mean = tape.constant(g.agg_mean.clone());
+        let adj = tape.constant(g.adj.clone());
+
+        for layer in &self.layers {
+            h = match layer {
+                LayerParams::Gcn { w, b } => {
+                    let hw = tape.matmul(h, vars[w.index()]);
+                    let agg = tape.matmul(agg_gcn, hw);
+                    let z = tape.add_bias(agg, vars[b.index()]);
+                    tape.relu(z)
+                }
+                LayerParams::Sage { w, b } => {
+                    let neigh = tape.matmul(agg_mean, h);
+                    let cat = tape.concat_cols(h, neigh);
+                    let z = tape.matmul(cat, vars[w.index()]);
+                    let z = tape.add_bias(z, vars[b.index()]);
+                    tape.relu(z)
+                }
+                LayerParams::Gin { eps, w1, b1, w2, b2 } => {
+                    // (1 + eps) * h + A h
+                    let one = tape.constant(Matrix::filled(1, 1, 1.0));
+                    let one_eps = tape.add(one, vars[eps.index()]);
+                    let self_term = tape.scalar_mul(one_eps, h);
+                    let neigh = tape.matmul(adj, h);
+                    let mixed = tape.add(self_term, neigh);
+                    let z1 = tape.matmul(mixed, vars[w1.index()]);
+                    let z1 = tape.add_bias(z1, vars[b1.index()]);
+                    let z1 = tape.relu(z1);
+                    let z2 = tape.matmul(z1, vars[w2.index()]);
+                    let z2 = tape.add_bias(z2, vars[b2.index()]);
+                    tape.relu(z2)
+                }
+                LayerParams::Tag { ws, b } => {
+                    // sum_k  P^k h W_k  (P = gcn-normalised adjacency).
+                    let mut acc: Option<Var> = None;
+                    let mut prop = h; // P^0 h = h
+                    for (k, w) in ws.iter().enumerate() {
+                        if k > 0 {
+                            prop = tape.matmul(agg_gcn, prop);
+                        }
+                        let term = tape.matmul(prop, vars[w.index()]);
+                        acc = Some(match acc {
+                            None => term,
+                            Some(a) => tape.add(a, term),
+                        });
+                    }
+                    let z = tape.add_bias(acc.expect("K >= 0 gives one term"), vars[b.index()]);
+                    tape.relu(z)
+                }
+                LayerParams::Gat { heads } => {
+                    let mut outs: Option<Var> = None;
+                    for head in heads {
+                        let z = tape.matmul(h, vars[head.w.index()]);
+                        let s_src = tape.matmul(z, vars[head.a_src.index()]); // n x 1
+                        let s_dst = tape.matmul(z, vars[head.a_dst.index()]); // n x 1
+                        let e = tape.outer_sum(s_src, s_dst); // n x n
+                        let e = tape.leaky_relu(e, 0.2);
+                        let alpha = tape.masked_softmax_rows(e, &g.mask);
+                        let ho = tape.matmul(alpha, z);
+                        let ho = tape.elu(ho, 1.0);
+                        outs = Some(match outs {
+                            None => ho,
+                            Some(prev) => tape.concat_cols(prev, ho),
+                        });
+                    }
+                    outs.expect("at least one head")
+                }
+            };
+        }
+
+        let pooled = match self.config.readout {
+            Readout::Mean => tape.mean_rows(h),
+            Readout::Max => tape.max_rows(h),
+            Readout::Sum => tape.sum_rows(h),
+        };
+        let logits = tape.matmul(pooled, vars[self.head_w.index()]);
+        tape.add_bias(logits, vars[self.head_b.index()])
+    }
+
+    /// P(malicious) for one graph.
+    pub fn score(&self, g: &PreparedGraph) -> f64 {
+        let tape = Tape::new();
+        let vars = self.params.bind(&tape);
+        let logits = self.forward(&tape, &vars, g);
+        let probs = scamdetect_tensor::tape::softmax_rows(&tape.value(logits));
+        probs.get(0, 1) as f64
+    }
+
+    /// Hard prediction (threshold 0.5).
+    pub fn predict(&self, g: &PreparedGraph) -> usize {
+        usize::from(self.score(g) >= 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_graph(label: usize) -> PreparedGraph {
+        let x = Matrix::from_fn(4, 6, |r, c| ((r + c) % 3) as f32 * 0.5);
+        let mut adj = Matrix::zeros(4, 4);
+        adj.set(0, 1, 1.0);
+        adj.set(1, 2, 1.0);
+        adj.set(2, 3, 1.0);
+        adj.set(3, 1, 1.0);
+        PreparedGraph::from_parts(x, adj, label)
+    }
+
+    #[test]
+    fn all_architectures_forward() {
+        for kind in GnnKind::all() {
+            let model = GnnClassifier::new(GnnConfig::new(kind, 6));
+            let s = model.score(&toy_graph(1));
+            assert!((0.0..=1.0).contains(&s), "{kind}: {s}");
+            assert!(model.parameter_count() > 0);
+        }
+    }
+
+    #[test]
+    fn readouts_all_work() {
+        for readout in Readout::all() {
+            let model =
+                GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_readout(readout));
+            let s = model.score(&toy_graph(0));
+            assert!(s.is_finite(), "{}", readout.name());
+        }
+    }
+
+    #[test]
+    fn deeper_models_have_more_parameters() {
+        let shallow = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_layers(1));
+        let deep = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_layers(3));
+        assert!(deep.parameter_count() > shallow.parameter_count());
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = GnnClassifier::new(GnnConfig::new(GnnKind::Gat, 6).with_seed(5));
+        let b = GnnClassifier::new(GnnConfig::new(GnnKind::Gat, 6).with_seed(5));
+        let g = toy_graph(0);
+        assert_eq!(a.score(&g), b.score(&g));
+    }
+
+    #[test]
+    fn isolated_graph_still_scores() {
+        // No edges at all: message passing must degrade gracefully.
+        let g = PreparedGraph::from_parts(Matrix::identity(3), Matrix::zeros(3, 3), 0);
+        for kind in GnnKind::all() {
+            let model = GnnClassifier::new(GnnConfig::new(kind, 3));
+            assert!(model.score(&g).is_finite(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = GnnKind::all().iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,248 @@
+//! Mini-batch training loop for GNN classifiers.
+
+use crate::graph_batch::PreparedGraph;
+use crate::model::GnnClassifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scamdetect_tensor::{optim::Adam, Matrix, Tape};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Graphs per gradient step.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// AdamW-style weight decay.
+    pub weight_decay: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Stop early when the epoch loss drops below this.
+    pub loss_target: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            lr: 5e-3,
+            weight_decay: 1e-4,
+            seed: 7,
+            loss_target: 0.02,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Default)]
+pub struct TrainHistory {
+    /// Mean loss per epoch.
+    pub epoch_loss: Vec<f32>,
+}
+
+impl TrainHistory {
+    /// Final epoch's loss (`None` before training).
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_loss.last().copied()
+    }
+}
+
+/// Trains `model` on `data` in place and returns the loss history.
+///
+/// Each batch builds one tape, accumulates the mean cross-entropy over its
+/// graphs and applies a single Adam step — plain mini-batch SGD, fully
+/// deterministic under the config seed.
+pub fn train(model: &mut GnnClassifier, data: &[PreparedGraph], cfg: &TrainConfig) -> TrainHistory {
+    let mut history = TrainHistory::default();
+    if data.is_empty() {
+        return history;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut adam = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+
+    for _epoch in 0..cfg.epochs {
+        // Shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let tape = Tape::new();
+            let vars = model.params().bind(&tape);
+            let mut loss_acc = None;
+            for &i in chunk {
+                let g = &data[i];
+                let logits = model.forward(&tape, &vars, g);
+                let loss = tape.softmax_cross_entropy(logits, &[g.label]);
+                loss_acc = Some(match loss_acc {
+                    None => loss,
+                    Some(acc) => tape.add(acc, loss),
+                });
+            }
+            let total = loss_acc.expect("nonempty batch");
+            let mean = tape.scale(total, 1.0 / chunk.len() as f32);
+            epoch_loss += tape.value(mean).get(0, 0);
+            batches += 1;
+            let grads = tape.backward(mean);
+            adam.step(model.params_mut(), |id| grads.of(vars[id.index()]));
+        }
+        let mean_epoch = epoch_loss / batches.max(1) as f32;
+        history.epoch_loss.push(mean_epoch);
+        if mean_epoch < cfg.loss_target {
+            break;
+        }
+    }
+    history
+}
+
+/// Evaluates `model` on `data`: returns `(truth, predictions, scores)`.
+pub fn evaluate(
+    model: &GnnClassifier,
+    data: &[PreparedGraph],
+) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let mut truth = Vec::with_capacity(data.len());
+    let mut preds = Vec::with_capacity(data.len());
+    let mut scores = Vec::with_capacity(data.len());
+    for g in data {
+        let s = model.score(g);
+        truth.push(g.label);
+        preds.push(usize::from(s >= 0.5));
+        scores.push(s);
+    }
+    (truth, preds, scores)
+}
+
+/// Accuracy shortcut over [`evaluate`].
+pub fn accuracy(model: &GnnClassifier, data: &[PreparedGraph]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let (truth, preds, _) = evaluate(model, data);
+    truth
+        .iter()
+        .zip(&preds)
+        .filter(|(t, p)| t == p)
+        .count() as f64
+        / data.len() as f64
+}
+
+/// Builds a synthetic, structurally separable graph dataset for tests and
+/// smoke benchmarks: class 0 graphs are chains, class 1 graphs are chains
+/// plus a dense hub (a "drain loop" caricature). Mirroring the real
+/// pipeline's node features, column 0 carries the normalised out-degree
+/// (structure made locally visible); the remaining columns are noise.
+pub fn synthetic_structural_dataset(n: usize, dim: usize, seed: u64) -> Vec<PreparedGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let nodes = rng.random_range(6..12);
+        let mut adj = Matrix::zeros(nodes, nodes);
+        for v in 0..nodes - 1 {
+            adj.set(v, v + 1, 1.0);
+        }
+        if label == 1 {
+            // Hub: node 0 connects to everything and back — a dense,
+            // loop-heavy motif chains lack.
+            for v in 1..nodes {
+                adj.set(0, v, 1.0);
+                adj.set(v, 0, 1.0);
+            }
+        }
+        let x = Matrix::from_fn(nodes, dim, |r, c| {
+            if c == 0 {
+                let deg: f32 = (0..nodes).map(|j| adj.get(r, j)).sum();
+                (deg.min(8.0)) / 8.0
+            } else {
+                rng.random_range(0.0..0.3)
+            }
+        });
+        out.push(PreparedGraph::from_parts(x, adj, label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GnnConfig, GnnKind};
+
+    #[test]
+    fn training_reduces_loss_and_learns_structure() {
+        let data = synthetic_structural_dataset(40, 6, 3);
+        let mut model = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_hidden(16));
+        let cfg = TrainConfig {
+            epochs: 60,
+            batch_size: 8,
+            lr: 2e-2,
+            ..TrainConfig::default()
+        };
+        let hist = train(&mut model, &data, &cfg);
+        let first = hist.epoch_loss[0];
+        let last = hist.final_loss().unwrap();
+        assert!(last < first, "loss went {first} -> {last}");
+        let acc = accuracy(&model, &data);
+        assert!(acc > 0.9, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn every_architecture_trains_on_structure() {
+        let data = synthetic_structural_dataset(30, 6, 5);
+        for kind in GnnKind::all() {
+            let mut model =
+                GnnClassifier::new(GnnConfig::new(kind, 6).with_hidden(12).with_seed(2));
+            let cfg = TrainConfig {
+                epochs: 60,
+                batch_size: 10,
+                lr: 2e-2,
+                ..TrainConfig::default()
+            };
+            train(&mut model, &data, &cfg);
+            let acc = accuracy(&model, &data);
+            assert!(acc > 0.8, "{kind} reached only {acc}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_a_noop() {
+        let mut model = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 4));
+        let hist = train(&mut model, &[], &TrainConfig::default());
+        assert!(hist.epoch_loss.is_empty());
+        assert_eq!(accuracy(&model, &[]), 0.0);
+    }
+
+    #[test]
+    fn evaluate_shapes_align() {
+        let data = synthetic_structural_dataset(10, 4, 1);
+        let model = GnnClassifier::new(GnnConfig::new(GnnKind::Sage, 4));
+        let (t, p, s) = evaluate(&model, &data);
+        assert_eq!(t.len(), 10);
+        assert_eq!(p.len(), 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = synthetic_structural_dataset(16, 4, 9);
+        let mk = || {
+            let mut m = GnnClassifier::new(GnnConfig::new(GnnKind::Gin, 4).with_seed(4));
+            train(
+                &mut m,
+                &data,
+                &TrainConfig {
+                    epochs: 5,
+                    ..TrainConfig::default()
+                },
+            );
+            m.score(&data[0])
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,304 @@
+//! Dominator trees (Cooper–Harvey–Kennedy) and natural-loop detection.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::traversal::reverse_postorder;
+
+/// Immediate-dominator tree rooted at a CFG entry node.
+///
+/// Built with the Cooper–Harvey–Kennedy iterative algorithm over reverse
+/// postorder — simple, and effectively linear on the shallow CFGs produced
+/// from contract bytecode.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_graph::{DiGraph, DominatorTree};
+///
+/// // entry -> then -> join, entry -> else -> join
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let entry = g.add_node(());
+/// let t = g.add_node(());
+/// let e = g.add_node(());
+/// let join = g.add_node(());
+/// g.add_edge(entry, t, ());
+/// g.add_edge(entry, e, ());
+/// g.add_edge(t, join, ());
+/// g.add_edge(e, join, ());
+/// let dom = DominatorTree::compute(&g, entry);
+/// assert_eq!(dom.immediate_dominator(join), Some(entry));
+/// assert!(dom.dominates(entry, join));
+/// assert!(!dom.dominates(t, join));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DominatorTree {
+    entry: NodeId,
+    /// `idom[v] = immediate dominator of v`; entry maps to itself;
+    /// unreachable nodes map to `None`.
+    idom: Vec<Option<NodeId>>,
+}
+
+impl DominatorTree {
+    /// Computes the dominator tree of `g` from `entry`.
+    pub fn compute<N, E>(g: &DiGraph<N, E>, entry: NodeId) -> Self {
+        let n = g.node_count();
+        let rpo = reverse_postorder(g, entry);
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &u) in rpo.iter().enumerate() {
+            rpo_number[u.index()] = i;
+        }
+
+        let mut idom: Vec<Option<NodeId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| -> NodeId {
+            while a != b {
+                while rpo_number[a.index()] > rpo_number[b.index()] {
+                    a = idom[a.index()].expect("processed node has idom");
+                }
+                while rpo_number[b.index()] > rpo_number[a.index()] {
+                    b = idom[b.index()].expect("processed node has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &u in rpo.iter().skip(1) {
+                let mut new_idom: Option<NodeId> = None;
+                for p in g.predecessors(u) {
+                    if rpo_number[p.index()] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.index()].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, cur, p),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[u.index()] != Some(ni) {
+                        idom[u.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DominatorTree { entry, idom }
+    }
+
+    /// The entry node the tree was computed from.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// Immediate dominator of `v`; `None` for the entry itself and for
+    /// unreachable nodes.
+    pub fn immediate_dominator(&self, v: NodeId) -> Option<NodeId> {
+        if v == self.entry {
+            None
+        } else {
+            self.idom.get(v.index()).copied().flatten()
+        }
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if self.idom.get(b.index()).copied().flatten().is_none() && b != self.entry {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.immediate_dominator(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns `true` if `v` is reachable from the entry.
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        v == self.entry || self.idom.get(v.index()).copied().flatten().is_some()
+    }
+}
+
+/// Natural loops of a CFG: back edges and their header sets.
+///
+/// A back edge is `u -> h` where `h` dominates `u`; `h` is a *loop header*.
+#[derive(Debug, Clone, Default)]
+pub struct LoopInfo {
+    headers: Vec<NodeId>,
+    back_edges: Vec<(NodeId, NodeId)>,
+    /// `in_loop[v]` — membership mask over all natural loop bodies.
+    in_loop: Vec<bool>,
+}
+
+impl LoopInfo {
+    /// Detects natural loops in `g` using the dominator tree `dom`.
+    pub fn detect<N, E>(g: &DiGraph<N, E>, dom: &DominatorTree) -> Self {
+        let mut headers = Vec::new();
+        let mut back_edges = Vec::new();
+        let mut in_loop = vec![false; g.node_count()];
+
+        for (u, h, _) in g.edges() {
+            if dom.is_reachable(u) && dom.dominates(h, u) {
+                back_edges.push((u, h));
+                if !headers.contains(&h) {
+                    headers.push(h);
+                }
+                // Natural loop body: h plus all nodes reaching u without
+                // passing through h (reverse flood fill from u).
+                in_loop[h.index()] = true;
+                let mut stack = vec![u];
+                while let Some(v) = stack.pop() {
+                    if in_loop[v.index()] {
+                        continue;
+                    }
+                    in_loop[v.index()] = true;
+                    for p in g.predecessors(v) {
+                        if !in_loop[p.index()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+
+        LoopInfo {
+            headers,
+            back_edges,
+            in_loop,
+        }
+    }
+
+    /// Loop header nodes.
+    pub fn headers(&self) -> &[NodeId] {
+        &self.headers
+    }
+
+    /// Detected back edges as `(tail, header)` pairs.
+    pub fn back_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.back_edges
+    }
+
+    /// Returns `true` if `v` is a loop header.
+    pub fn is_header(&self, v: NodeId) -> bool {
+        self.headers.contains(&v)
+    }
+
+    /// Returns `true` if `v` belongs to any natural loop body.
+    pub fn in_any_loop(&self, v: NodeId) -> bool {
+        self.in_loop.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of distinct loop headers.
+    pub fn loop_count(&self) -> usize {
+        self.headers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// entry -> cond ; cond -> body -> cond (loop) ; cond -> exit
+    fn looped() -> (DiGraph<(), ()>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let entry = g.add_node(());
+        let cond = g.add_node(());
+        let body = g.add_node(());
+        let exit = g.add_node(());
+        g.add_edge(entry, cond, ());
+        g.add_edge(cond, body, ());
+        g.add_edge(body, cond, ());
+        g.add_edge(cond, exit, ());
+        (g, [entry, cond, body, exit])
+    }
+
+    #[test]
+    fn idoms_of_loop() {
+        let (g, [entry, cond, body, exit]) = looped();
+        let dom = DominatorTree::compute(&g, entry);
+        assert_eq!(dom.immediate_dominator(entry), None);
+        assert_eq!(dom.immediate_dominator(cond), Some(entry));
+        assert_eq!(dom.immediate_dominator(body), Some(cond));
+        assert_eq!(dom.immediate_dominator(exit), Some(cond));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (g, [entry, cond, body, _]) = looped();
+        let dom = DominatorTree::compute(&g, entry);
+        assert!(dom.dominates(cond, cond));
+        assert!(dom.dominates(entry, body));
+        assert!(!dom.dominates(body, cond));
+    }
+
+    #[test]
+    fn loop_detection_finds_header_and_body() {
+        let (g, [entry, cond, body, exit]) = looped();
+        let dom = DominatorTree::compute(&g, entry);
+        let li = LoopInfo::detect(&g, &dom);
+        assert_eq!(li.loop_count(), 1);
+        assert!(li.is_header(cond));
+        assert_eq!(li.back_edges(), &[(body, cond)]);
+        assert!(li.in_any_loop(cond));
+        assert!(li.in_any_loop(body));
+        assert!(!li.in_any_loop(entry));
+        assert!(!li.in_any_loop(exit));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_not_dominated() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let orphan = g.add_node(());
+        g.add_edge(a, b, ());
+        let dom = DominatorTree::compute(&g, a);
+        assert!(!dom.is_reachable(orphan));
+        assert!(!dom.dominates(a, orphan));
+        assert_eq!(dom.immediate_dominator(orphan), None);
+    }
+
+    #[test]
+    fn irreducible_like_shape_still_terminates() {
+        // Two entries into a cycle (irreducible once both paths taken).
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let e = g.add_node(());
+        let x = g.add_node(());
+        let y = g.add_node(());
+        g.add_edge(e, x, ());
+        g.add_edge(e, y, ());
+        g.add_edge(x, y, ());
+        g.add_edge(y, x, ());
+        let dom = DominatorTree::compute(&g, e);
+        assert_eq!(dom.immediate_dominator(x), Some(e));
+        assert_eq!(dom.immediate_dominator(y), Some(e));
+        // No natural back edge: neither x nor y dominates the other.
+        let li = LoopInfo::detect(&g, &dom);
+        assert_eq!(li.loop_count(), 0);
+    }
+
+    #[test]
+    fn self_loop_is_a_loop() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let e = g.add_node(());
+        let s = g.add_node(());
+        g.add_edge(e, s, ());
+        g.add_edge(s, s, ());
+        let dom = DominatorTree::compute(&g, e);
+        let li = LoopInfo::detect(&g, &dom);
+        assert!(li.is_header(s));
+        assert_eq!(li.loop_count(), 1);
+    }
+}

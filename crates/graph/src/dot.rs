@@ -1,0 +1,99 @@
+//! Graphviz DOT export for visual CFG inspection.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::fmt::Write as _;
+
+/// Renders `g` in Graphviz DOT syntax.
+///
+/// `node_label` and `edge_label` produce the display strings; labels are
+/// escaped for double-quoted DOT strings.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_graph::{DiGraph, dot};
+///
+/// let mut g: DiGraph<&str, &str> = DiGraph::new();
+/// let a = g.add_node("entry");
+/// let b = g.add_node("exit");
+/// g.add_edge(a, b, "fall");
+/// let s = dot::to_dot(&g, "cfg", |_, n| n.to_string(), |e| e.to_string());
+/// assert!(s.contains("digraph cfg"));
+/// assert!(s.contains("\"entry\""));
+/// assert!(s.contains("n0 -> n1"));
+/// ```
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(NodeId, &N) -> String,
+    mut edge_label: impl FnMut(&E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_ident(name));
+    let _ = writeln!(out, "  node [shape=box fontname=\"monospace\"];");
+    for (id, n) in g.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", id, escape(&node_label(id, n)));
+    }
+    for (u, v, w) in g.edges() {
+        let lbl = edge_label(w);
+        if lbl.is_empty() {
+            let _ = writeln!(out, "  {u} -> {v};");
+        } else {
+            let _ = writeln!(out, "  {u} -> {v} [label=\"{}\"];", escape(&lbl));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\l")
+}
+
+fn sanitize_ident(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 'g');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_edges_and_labels() {
+        let mut g: DiGraph<String, u8> = DiGraph::new();
+        let a = g.add_node("block \"0\"".to_string());
+        let b = g.add_node("block 1\nline2".to_string());
+        g.add_edge(a, b, 7);
+        let s = to_dot(&g, "my cfg", |_, n| n.clone(), |e| format!("w={e}"));
+        assert!(s.starts_with("digraph my_cfg {"));
+        assert!(s.contains("block \\\"0\\\""));
+        assert!(s.contains("line2"));
+        assert!(s.contains("[label=\"w=7\"]"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_edge_labels_are_omitted() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let s = to_dot(&g, "g", |id, _| id.to_string(), |_| String::new());
+        assert!(s.contains("n0 -> n1;"));
+        assert!(!s.contains("n0 -> n1 [label"));
+    }
+
+    #[test]
+    fn numeric_name_is_sanitized() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let s = to_dot(&g, "1bad", |_, _| String::new(), |_: &()| String::new());
+        assert!(s.starts_with("digraph g1bad"));
+    }
+}

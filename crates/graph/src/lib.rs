@@ -1,0 +1,38 @@
+//! Directed-graph substrate for control-flow analysis.
+//!
+//! This crate provides the small, dependency-free graph toolkit that every
+//! other ScamDetect component builds on: a directed graph with node and edge
+//! payloads ([`DiGraph`]), classic traversals ([`traversal`]), strongly
+//! connected components ([`scc`]), dominator trees and natural-loop detection
+//! ([`dominators`]), structural metrics ([`metrics`]) and Graphviz export
+//! ([`dot`]).
+//!
+//! Control-flow graphs extracted from smart-contract bytecode are small
+//! (tens to a few hundred basic blocks), so the representation favours
+//! simplicity and cache-friendly iteration over asymptotic cleverness.
+//!
+//! # Examples
+//!
+//! ```
+//! use scamdetect_graph::DiGraph;
+//!
+//! let mut g: DiGraph<&str, ()> = DiGraph::new();
+//! let a = g.add_node("entry");
+//! let b = g.add_node("body");
+//! let c = g.add_node("exit");
+//! g.add_edge(a, b, ());
+//! g.add_edge(b, c, ());
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b]);
+//! ```
+
+pub mod digraph;
+pub mod dominators;
+pub mod dot;
+pub mod metrics;
+pub mod scc;
+pub mod traversal;
+
+pub use digraph::{DiGraph, EdgeRef, NodeId};
+pub use dominators::{DominatorTree, LoopInfo};
+pub use metrics::GraphMetrics;

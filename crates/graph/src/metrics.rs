@@ -1,0 +1,190 @@
+//! Structural metrics summarising a control-flow graph.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::dominators::{DominatorTree, LoopInfo};
+use crate::scc::nontrivial_scc_count;
+use crate::traversal::{bfs_distances, reachable_from};
+
+/// A bundle of graph-level structural statistics.
+///
+/// These feed the graph-level feature vector used by baseline detectors and
+/// are reported in dataset statistics.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_graph::{DiGraph, GraphMetrics};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, ());
+/// let m = GraphMetrics::compute(&g, a);
+/// assert_eq!(m.node_count, 2);
+/// assert_eq!(m.edge_count, 1);
+/// assert_eq!(m.loop_count, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Total nodes.
+    pub node_count: usize,
+    /// Total edges.
+    pub edge_count: usize,
+    /// Edge density `E / (N * (N - 1))` (0 for graphs with < 2 nodes).
+    pub density: f64,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Nodes with ≥ 2 successors (conditional branches).
+    pub branch_count: usize,
+    /// Nodes with no successors (terminators).
+    pub exit_count: usize,
+    /// Natural loops (distinct headers).
+    pub loop_count: usize,
+    /// Non-trivial strongly connected components.
+    pub scc_count: usize,
+    /// Longest shortest-path from the entry (in edges) over reachable nodes.
+    pub depth: usize,
+    /// Nodes unreachable from the entry (dead code blocks).
+    pub unreachable_count: usize,
+    /// McCabe cyclomatic complexity `E - N + 2` over the reachable subgraph.
+    pub cyclomatic: i64,
+}
+
+impl GraphMetrics {
+    /// Computes all metrics for `g` viewed from `entry`.
+    pub fn compute<N, E>(g: &DiGraph<N, E>, entry: NodeId) -> Self {
+        let n = g.node_count();
+        let e = g.edge_count();
+        let density = if n >= 2 {
+            e as f64 / (n as f64 * (n as f64 - 1.0))
+        } else {
+            0.0
+        };
+        let avg_out_degree = if n > 0 { e as f64 / n as f64 } else { 0.0 };
+        let max_out_degree = g.node_ids().map(|u| g.out_degree(u)).max().unwrap_or(0);
+        let branch_count = g.node_ids().filter(|&u| g.out_degree(u) >= 2).count();
+        let exit_count = g.node_ids().filter(|&u| g.out_degree(u) == 0).count();
+
+        let mask = reachable_from(g, entry);
+        let reachable_nodes = mask.iter().filter(|&&b| b).count();
+        let unreachable_count = n - reachable_nodes;
+        let reachable_edges = g
+            .edges()
+            .filter(|(u, v, _)| mask[u.index()] && mask[v.index()])
+            .count();
+        let cyclomatic = reachable_edges as i64 - reachable_nodes as i64 + 2;
+
+        let depth = bfs_distances(g, entry)
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0);
+
+        let dom = DominatorTree::compute(g, entry);
+        let loops = LoopInfo::detect(g, &dom);
+
+        GraphMetrics {
+            node_count: n,
+            edge_count: e,
+            density,
+            avg_out_degree,
+            max_out_degree,
+            branch_count,
+            exit_count,
+            loop_count: loops.loop_count(),
+            scc_count: nontrivial_scc_count(g),
+            depth,
+            unreachable_count,
+            cyclomatic,
+        }
+    }
+
+    /// Flattens the metrics into an `f64` feature vector (fixed order,
+    /// matching [`GraphMetrics::feature_names`]).
+    pub fn to_features(&self) -> Vec<f64> {
+        vec![
+            self.node_count as f64,
+            self.edge_count as f64,
+            self.density,
+            self.avg_out_degree,
+            self.max_out_degree as f64,
+            self.branch_count as f64,
+            self.exit_count as f64,
+            self.loop_count as f64,
+            self.scc_count as f64,
+            self.depth as f64,
+            self.unreachable_count as f64,
+            self.cyclomatic as f64,
+        ]
+    }
+
+    /// Names of the entries of [`GraphMetrics::to_features`], in order.
+    pub fn feature_names() -> &'static [&'static str] {
+        &[
+            "node_count",
+            "edge_count",
+            "density",
+            "avg_out_degree",
+            "max_out_degree",
+            "branch_count",
+            "exit_count",
+            "loop_count",
+            "scc_count",
+            "depth",
+            "unreachable_count",
+            "cyclomatic",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_on_loop_with_dead_code() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let entry = g.add_node(());
+        let cond = g.add_node(());
+        let body = g.add_node(());
+        let exit = g.add_node(());
+        let dead = g.add_node(());
+        g.add_edge(entry, cond, ());
+        g.add_edge(cond, body, ());
+        g.add_edge(body, cond, ());
+        g.add_edge(cond, exit, ());
+        g.add_edge(dead, exit, ());
+
+        let m = GraphMetrics::compute(&g, entry);
+        assert_eq!(m.node_count, 5);
+        assert_eq!(m.edge_count, 5);
+        assert_eq!(m.loop_count, 1);
+        assert_eq!(m.scc_count, 1);
+        assert_eq!(m.branch_count, 1); // cond
+        assert_eq!(m.unreachable_count, 1); // dead
+        assert_eq!(m.depth, 2); // entry -> cond -> {body, exit}
+        // Reachable subgraph: 4 nodes, 4 edges -> 4 - 4 + 2 = 2.
+        assert_eq!(m.cyclomatic, 2);
+    }
+
+    #[test]
+    fn feature_vector_matches_names() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let m = GraphMetrics::compute(&g, a);
+        assert_eq!(m.to_features().len(), GraphMetrics::feature_names().len());
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let m = GraphMetrics::compute(&g, a);
+        assert_eq!(m.density, 0.0);
+        assert_eq!(m.exit_count, 1);
+        assert_eq!(m.depth, 0);
+        assert_eq!(m.cyclomatic, 1); // 0 - 1 + 2
+    }
+}

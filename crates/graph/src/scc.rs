@@ -1,0 +1,187 @@
+//! Strongly connected components (iterative Tarjan).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Computes the strongly connected components of `g`.
+///
+/// Returns one `Vec<NodeId>` per component, in reverse topological order of
+/// the condensation (callees/loop bodies before their callers), which is
+/// Tarjan's natural emission order. Singleton nodes without self-loops form
+/// their own components.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_graph::{DiGraph, scc};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, a, ());
+/// let comps = scc::strongly_connected_components(&g);
+/// assert_eq!(comps.len(), 1);
+/// assert_eq!(comps[0].len(), 2);
+/// ```
+pub fn strongly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut comps = Vec::new();
+
+    // Iterative Tarjan: call stack of (node, successor iterator position).
+    enum Frame {
+        Enter(NodeId),
+        Resume(NodeId, usize),
+    }
+
+    for root in g.node_ids() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame::Enter(root)];
+        while let Some(frame) = call.pop() {
+            let (u, start) = match frame {
+                Frame::Enter(u) => {
+                    index[u.index()] = next_index;
+                    lowlink[u.index()] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u.index()] = true;
+                    (u, 0)
+                }
+                Frame::Resume(u, pos) => (u, pos),
+            };
+
+            let succs: Vec<NodeId> = g.successors(u).collect();
+            let mut recursed = false;
+            for (i, &v) in succs.iter().enumerate().skip(start) {
+                if index[v.index()] == UNVISITED {
+                    call.push(Frame::Resume(u, i + 1));
+                    call.push(Frame::Enter(v));
+                    recursed = true;
+                    break;
+                } else if on_stack[v.index()] {
+                    lowlink[u.index()] = lowlink[u.index()].min(index[v.index()]);
+                }
+            }
+            if recursed {
+                continue;
+            }
+
+            if lowlink[u.index()] == index[u.index()] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("scc stack cannot underflow");
+                    on_stack[w.index()] = false;
+                    comp.push(w);
+                    if w == u {
+                        break;
+                    }
+                }
+                comps.push(comp);
+            }
+
+            // Propagate lowlink to the parent frame (if any).
+            if let Some(Frame::Resume(p, _)) = call.last() {
+                let p = *p;
+                lowlink[p.index()] = lowlink[p.index()].min(lowlink[u.index()]);
+            }
+        }
+    }
+    comps
+}
+
+/// Number of non-trivial SCCs (size > 1, or a self-loop) — a cheap proxy for
+/// "how many loops does this CFG contain".
+pub fn nontrivial_scc_count<N, E>(g: &DiGraph<N, E>) -> usize {
+    strongly_connected_components(g)
+        .into_iter()
+        .filter(|c| c.len() > 1 || c.iter().any(|&u| g.has_edge(u, u)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_gives_singletons() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        assert_eq!(nontrivial_scc_count(&g), 0);
+    }
+
+    #[test]
+    fn cycle_collapses_to_one_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[1], ids[2], ());
+        g.add_edge(ids[2], ids[0], ());
+        g.add_edge(ids[2], ids[3], ());
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        let big = comps.iter().find(|c| c.len() == 3).expect("3-cycle scc");
+        let mut sorted = big.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![ids[0], ids[1], ids[2]]);
+        assert_eq!(nontrivial_scc_count(&g), 1);
+    }
+
+    #[test]
+    fn self_loop_counts_as_nontrivial() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert_eq!(strongly_connected_components(&g).len(), 1);
+        assert_eq!(nontrivial_scc_count(&g), 1);
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[1], ids[0], ());
+        g.add_edge(ids[2], ids[3], ());
+        g.add_edge(ids[3], ids[2], ());
+        assert_eq!(nontrivial_scc_count(&g), 2);
+    }
+
+    #[test]
+    fn emission_order_is_reverse_topological() {
+        // a -> b (cycle b<->c) -> d : component {d} must be emitted before
+        // {b,c}, which must be emitted before {a}.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, b, ());
+        g.add_edge(c, d, ());
+        let comps = strongly_connected_components(&g);
+        let pos_of = |n: NodeId| comps.iter().position(|c| c.contains(&n)).unwrap();
+        assert!(pos_of(d) < pos_of(b));
+        assert!(pos_of(b) < pos_of(a));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(strongly_connected_components(&g).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Breadth-first, depth-first and reverse-postorder traversals.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start`, in breadth-first order.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_graph::{DiGraph, traversal};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, c, ());
+/// assert_eq!(traversal::bfs_order(&g, a), vec![a, b, c]);
+/// ```
+pub fn bfs_order<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.successors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start`, in depth-first preorder.
+pub fn dfs_preorder<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if seen[u.index()] {
+            continue;
+        }
+        seen[u.index()] = true;
+        order.push(u);
+        // Push successors in reverse so the first successor is visited first.
+        let succs: Vec<NodeId> = g.successors(u).collect();
+        for v in succs.into_iter().rev() {
+            if !seen[v.index()] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start`, in depth-first postorder.
+pub fn dfs_postorder<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    // (node, next successor index to try)
+    let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+    seen[start.index()] = true;
+    while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+        let succs: Vec<NodeId> = g.successors(u).collect();
+        if *next < succs.len() {
+            let v = succs[*next];
+            *next += 1;
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push((v, 0));
+            }
+        } else {
+            order.push(u);
+            stack.pop();
+        }
+    }
+    order
+}
+
+/// Reverse postorder from `start` — the canonical iteration order for
+/// forward data-flow analyses (dominators, constant propagation).
+pub fn reverse_postorder<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut order = dfs_postorder(g, start);
+    order.reverse();
+    order
+}
+
+/// Boolean reachability mask from `start` (`mask[id.index()]`).
+pub fn reachable_from<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    for n in bfs_order(g, start) {
+        seen[n.index()] = true;
+    }
+    seen
+}
+
+/// Length (in edges) of the shortest path from `start` to every node;
+/// `None` for unreachable nodes.
+pub fn bfs_distances<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for v in g.successors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -> b -> d, a -> c -> d, d -> e ; f unreachable
+    fn fixture() -> (DiGraph<(), ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..6).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[0], ids[2], ());
+        g.add_edge(ids[1], ids[3], ());
+        g.add_edge(ids[2], ids[3], ());
+        g.add_edge(ids[3], ids[4], ());
+        (g, ids)
+    }
+
+    #[test]
+    fn bfs_visits_level_by_level() {
+        let (g, ids) = fixture();
+        assert_eq!(bfs_order(&g, ids[0]), vec![ids[0], ids[1], ids[2], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn dfs_preorder_follows_first_successor() {
+        let (g, ids) = fixture();
+        assert_eq!(
+            dfs_preorder(&g, ids[0]),
+            vec![ids[0], ids[1], ids[3], ids[4], ids[2]]
+        );
+    }
+
+    #[test]
+    fn postorder_ends_at_start() {
+        let (g, ids) = fixture();
+        let po = dfs_postorder(&g, ids[0]);
+        assert_eq!(*po.last().unwrap(), ids[0]);
+        assert_eq!(po.len(), 5);
+    }
+
+    #[test]
+    fn rpo_starts_at_start_and_orders_before_successors_on_dags() {
+        let (g, ids) = fixture();
+        let rpo = reverse_postorder(&g, ids[0]);
+        assert_eq!(rpo[0], ids[0]);
+        let pos = |n: NodeId| rpo.iter().position(|&x| x == n).unwrap();
+        // On a DAG, RPO is a topological order.
+        for (u, v, _) in g.edges() {
+            assert!(pos(u) < pos(v), "{u} must precede {v}");
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_excluded() {
+        let (g, ids) = fixture();
+        let mask = reachable_from(&g, ids[0]);
+        assert!(mask[ids[4].index()]);
+        assert!(!mask[ids[5].index()]);
+    }
+
+    #[test]
+    fn distances_are_shortest() {
+        let (g, ids) = fixture();
+        let d = bfs_distances(&g, ids[0]);
+        assert_eq!(d[ids[0].index()], Some(0));
+        assert_eq!(d[ids[3].index()], Some(2));
+        assert_eq!(d[ids[4].index()], Some(3));
+        assert_eq!(d[ids[5].index()], None);
+    }
+
+    #[test]
+    fn traversals_handle_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        assert_eq!(bfs_order(&g, a).len(), 2);
+        assert_eq!(dfs_postorder(&g, a).len(), 2);
+    }
+}

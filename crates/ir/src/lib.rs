@@ -1,0 +1,34 @@
+//! Platform-agnostic intermediate representation.
+//!
+//! The heart of ScamDetect's platform-agnosticism (paper §V-B): every
+//! supported bytecode platform lifts into one [`UnifiedCfg`] whose blocks
+//! speak only the cross-platform [`InstrClass`] vocabulary. Detectors are
+//! trained on and applied to this IR, never to platform bytes, so a model
+//! trained on EVM contracts applies unchanged to WASM contracts (and vice
+//! versa) — experiment E5 quantifies how well that transfer works.
+//!
+//! * [`unified`] — the IR itself (classes, blocks, edges, CFG),
+//! * [`frontend`] — the [`Frontend`] trait plus the EVM and WASM impls,
+//! * [`features`] — node- and graph-level feature extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use scamdetect_ir::{EvmFrontend, Frontend, features};
+//!
+//! # fn main() -> Result<(), scamdetect_ir::FrontendError> {
+//! // PUSH1 0 CALLDATALOAD PUSH1 4 JUMPI STOP; JUMPDEST CALLER SELFDESTRUCT
+//! let code = [0x60, 0x00, 0x35, 0x60, 0x06, 0x57, 0x00, 0x5b, 0x33, 0xff];
+//! let cfg = EvmFrontend::new().lift(&code)?;
+//! let node_features = features::node_feature_matrix(&cfg);
+//! assert_eq!(node_features.len(), cfg.block_count() * features::NODE_FEATURE_DIM);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod features;
+pub mod frontend;
+pub mod unified;
+
+pub use frontend::{classify_evm_opcode, classify_wasm_instr, EvmFrontend, Frontend, FrontendError, WasmFrontend};
+pub use unified::{InstrClass, Platform, UnifiedBlock, UnifiedCfg, UnifiedEdge};

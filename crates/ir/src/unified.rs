@@ -1,0 +1,305 @@
+//! The platform-agnostic control-flow IR.
+//!
+//! Both frontends (EVM, WASM) lift contracts into a [`UnifiedCfg`]: a
+//! directed graph of [`UnifiedBlock`]s whose contents are described purely
+//! in terms of the cross-platform [`InstrClass`] taxonomy. Everything
+//! downstream of this module — features, classic detectors, GNNs — is
+//! platform-blind, which is precisely the property ScamDetect's Phase 2
+//! calls for.
+
+use scamdetect_graph::{DiGraph, NodeId};
+use std::fmt;
+
+/// Cross-platform instruction classes.
+///
+/// Each class exists on every supported platform (possibly via host
+/// imports rather than opcodes): e.g. EVM `SSTORE` and a WASM call to
+/// `storage_write` both classify as [`InstrClass::StorageWrite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum InstrClass {
+    /// Integer arithmetic.
+    Arithmetic = 0,
+    /// Comparisons and zero tests.
+    Comparison,
+    /// Bit manipulation.
+    Bitwise,
+    /// Hashing and other cryptographic primitives.
+    Crypto,
+    /// Transaction environment reads (caller, value, input).
+    Environment,
+    /// Block environment reads (timestamp, height).
+    BlockEnv,
+    /// Pure stack/local shuffling.
+    StackOp,
+    /// Constant pushes.
+    PushConst,
+    /// Transient memory access.
+    Memory,
+    /// Persistent state reads.
+    StorageRead,
+    /// Persistent state writes.
+    StorageWrite,
+    /// Intra-contract control flow.
+    Flow,
+    /// Event emission.
+    Log,
+    /// Cross-contract calls.
+    Call,
+    /// Contract creation.
+    Create,
+    /// Direct value transfer (EVM `SELFDESTRUCT` sweep, host `transfer`).
+    ValueTransfer,
+    /// Execution halt (normal or reverting).
+    Terminate,
+    /// Anything unclassified.
+    Other,
+}
+
+impl InstrClass {
+    /// Number of classes (the class-histogram width).
+    pub const COUNT: usize = 18;
+
+    /// All classes in discriminant order.
+    pub fn all() -> [InstrClass; InstrClass::COUNT] {
+        use InstrClass::*;
+        [
+            Arithmetic, Comparison, Bitwise, Crypto, Environment, BlockEnv, StackOp, PushConst,
+            Memory, StorageRead, StorageWrite, Flow, Log, Call, Create, ValueTransfer,
+            Terminate, Other,
+        ]
+    }
+
+    /// Zero-based histogram index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase name (used in reports).
+    pub fn name(self) -> &'static str {
+        use InstrClass::*;
+        match self {
+            Arithmetic => "arith",
+            Comparison => "cmp",
+            Bitwise => "bit",
+            Crypto => "crypto",
+            Environment => "env",
+            BlockEnv => "block",
+            StackOp => "stack",
+            PushConst => "push",
+            Memory => "mem",
+            StorageRead => "sload",
+            StorageWrite => "sstore",
+            Flow => "flow",
+            Log => "log",
+            Call => "call",
+            Create => "create",
+            ValueTransfer => "xfer",
+            Terminate => "halt",
+            Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Edge kinds surviving into the unified IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnifiedEdge {
+    /// Sequential or unconditional flow.
+    Seq,
+    /// Conditional/multi-way branch arm.
+    Branch,
+    /// Over-approximated edge from an unresolved indirect jump.
+    Unresolved,
+}
+
+/// A platform-blind basic block: an instruction-class histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnifiedBlock {
+    /// Count per [`InstrClass`] (indexed by [`InstrClass::index`]).
+    pub class_counts: [u16; InstrClass::COUNT],
+    /// Total instructions in the block.
+    pub instr_count: u32,
+}
+
+impl UnifiedBlock {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        UnifiedBlock::default()
+    }
+
+    /// Records one instruction of class `c`.
+    pub fn record(&mut self, c: InstrClass) {
+        self.class_counts[c.index()] = self.class_counts[c.index()].saturating_add(1);
+        self.instr_count += 1;
+    }
+
+    /// Count of class `c`.
+    pub fn count(&self, c: InstrClass) -> u16 {
+        self.class_counts[c.index()]
+    }
+
+    /// `true` if the block contains any instruction of a class commonly
+    /// implicated in scams (value transfer, storage write gated elsewhere,
+    /// delegatecall-style calls, creation).
+    pub fn has_sensitive_op(&self) -> bool {
+        self.count(InstrClass::ValueTransfer) > 0
+            || self.count(InstrClass::Create) > 0
+            || self.count(InstrClass::Call) > 0
+    }
+}
+
+/// Which platform a contract came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Ethereum Virtual Machine bytecode.
+    Evm,
+    /// WebAssembly module.
+    Wasm,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::Evm => f.write_str("evm"),
+            Platform::Wasm => f.write_str("wasm"),
+        }
+    }
+}
+
+/// The platform-agnostic CFG every detector consumes.
+#[derive(Debug, Clone)]
+pub struct UnifiedCfg {
+    graph: DiGraph<UnifiedBlock, UnifiedEdge>,
+    entry: NodeId,
+    platform: Platform,
+    unresolved_fraction: f32,
+}
+
+impl UnifiedCfg {
+    /// Assembles a unified CFG from its parts.
+    pub fn new(
+        graph: DiGraph<UnifiedBlock, UnifiedEdge>,
+        entry: NodeId,
+        platform: Platform,
+        unresolved_fraction: f32,
+    ) -> Self {
+        UnifiedCfg {
+            graph,
+            entry,
+            platform,
+            unresolved_fraction,
+        }
+    }
+
+    /// The block graph.
+    pub fn graph(&self) -> &DiGraph<UnifiedBlock, UnifiedEdge> {
+        &self.graph
+    }
+
+    /// Entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// Source platform.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Fraction of dynamic jump sites that failed static resolution
+    /// (0 on WASM, where control flow is structured).
+    pub fn unresolved_fraction(&self) -> f32 {
+        self.unresolved_fraction
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Total instructions across blocks.
+    pub fn instruction_count(&self) -> usize {
+        self.graph
+            .nodes()
+            .map(|(_, b)| b.instr_count as usize)
+            .sum()
+    }
+
+    /// Aggregated class histogram over the whole contract, normalized to
+    /// sum to 1 (all zeros for an empty contract).
+    pub fn class_histogram(&self) -> [f64; InstrClass::COUNT] {
+        let mut h = [0.0f64; InstrClass::COUNT];
+        for (_, b) in self.graph.nodes() {
+            for (i, &c) in b.class_counts.iter().enumerate() {
+                h[i] += c as f64;
+            }
+        }
+        let total: f64 = h.iter().sum();
+        if total > 0.0 {
+            for v in &mut h {
+                *v /= total;
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let all = InstrClass::all();
+        assert_eq!(all.len(), InstrClass::COUNT);
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = InstrClass::all().iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), InstrClass::COUNT);
+    }
+
+    #[test]
+    fn block_recording() {
+        let mut b = UnifiedBlock::new();
+        b.record(InstrClass::Arithmetic);
+        b.record(InstrClass::Arithmetic);
+        b.record(InstrClass::ValueTransfer);
+        assert_eq!(b.count(InstrClass::Arithmetic), 2);
+        assert_eq!(b.instr_count, 3);
+        assert!(b.has_sensitive_op());
+        assert!(!UnifiedBlock::new().has_sensitive_op());
+    }
+
+    #[test]
+    fn histogram_normalizes() {
+        let mut g: DiGraph<UnifiedBlock, UnifiedEdge> = DiGraph::new();
+        let mut b1 = UnifiedBlock::new();
+        b1.record(InstrClass::PushConst);
+        b1.record(InstrClass::PushConst);
+        let mut b2 = UnifiedBlock::new();
+        b2.record(InstrClass::Flow);
+        let n1 = g.add_node(b1);
+        let n2 = g.add_node(b2);
+        g.add_edge(n1, n2, UnifiedEdge::Seq);
+        let cfg = UnifiedCfg::new(g, n1, Platform::Evm, 0.0);
+        let h = cfg.class_histogram();
+        assert!((h[InstrClass::PushConst.index()] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(cfg.instruction_count(), 3);
+        assert_eq!(cfg.platform().to_string(), "evm");
+    }
+}

@@ -1,0 +1,75 @@
+//! The common detector interface.
+
+use crate::dataset::FeatureSet;
+use crate::metrics::EvalRow;
+
+/// A trainable binary classifier over dense feature vectors.
+///
+/// Implementations must be deterministic given their construction seed.
+pub trait Classifier {
+    /// Human-readable model name (appears in result tables).
+    fn name(&self) -> &str;
+
+    /// Fits the model on `data`.
+    fn fit(&mut self, data: &FeatureSet);
+
+    /// Confidence that `row` is malicious, in `[0, 1]`.
+    fn score(&self, row: &[f64]) -> f64;
+
+    /// Hard prediction (threshold 0.5).
+    fn predict(&self, row: &[f64]) -> usize {
+        usize::from(self.score(row) >= 0.5)
+    }
+}
+
+/// Fits `model` on `train` and evaluates it on `test`, producing a results
+/// row.
+pub fn fit_evaluate(
+    model: &mut dyn Classifier,
+    train: &FeatureSet,
+    test: &FeatureSet,
+) -> EvalRow {
+    model.fit(train);
+    let scores: Vec<f64> = test.x.iter().map(|r| model.score(r)).collect();
+    let predicted: Vec<usize> = scores.iter().map(|&s| usize::from(s >= 0.5)).collect();
+    EvalRow::evaluate(model.name().to_string(), &test.y, &predicted, &scores)
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two Gaussian blobs, mostly separable along every dimension.
+    pub fn blobs(n: usize, dim: usize, gap: f64, seed: u64) -> FeatureSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let center = if label == 1 { gap } else { -gap };
+            x.push(
+                (0..dim)
+                    .map(|_| center + rng.random_range(-1.0..1.0))
+                    .collect(),
+            );
+            y.push(label);
+        }
+        FeatureSet::new(x, y)
+    }
+
+    /// Asserts that a model reaches `min_acc` on held-out blobs.
+    pub fn assert_learns(model: &mut dyn Classifier, min_acc: f64) {
+        let train = blobs(200, 6, 1.5, 10);
+        let test = blobs(80, 6, 1.5, 11);
+        let row = fit_evaluate(model, &train, &test);
+        assert!(
+            row.accuracy >= min_acc,
+            "{} reached only {:.3} (< {min_acc})",
+            model.name(),
+            row.accuracy
+        );
+        assert!(row.auc >= min_acc - 0.05, "{} auc {:.3}", model.name(), row.auc);
+    }
+}

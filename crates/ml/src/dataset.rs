@@ -1,0 +1,145 @@
+//! Feature-matrix containers and preprocessing.
+
+/// A dense feature matrix with aligned binary labels.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureSet {
+    /// One feature vector per sample.
+    pub x: Vec<Vec<f64>>,
+    /// Binary labels (0 benign, 1 malicious).
+    pub y: Vec<usize>,
+}
+
+impl FeatureSet {
+    /// Creates a feature set, validating alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ or rows are ragged.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Self {
+        assert_eq!(x.len(), y.len(), "sample/label count mismatch");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        FeatureSet { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Selects rows by index.
+    pub fn subset(&self, indices: &[usize]) -> FeatureSet {
+        FeatureSet {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// Z-score standardisation fitted on training data and applied to both
+/// sides of a split (constant features pass through unchanged).
+#[derive(Debug, Clone, Default)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits on `data`.
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        if data.is_empty() {
+            return Standardizer::default();
+        }
+        let d = data[0].len();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in data {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for row in data {
+            for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave unscaled
+            }
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Transforms one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        if self.mean.is_empty() {
+            return row.to_vec();
+        }
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms a whole matrix.
+    pub fn transform(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_subset() {
+        let fs = FeatureSet::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0, 1]);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs.dim(), 2);
+        let sub = fs.subset(&[1]);
+        assert_eq!(sub.x, vec![vec![3.0, 4.0]]);
+        assert_eq!(sub.y, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn misaligned_labels_panic() {
+        FeatureSet::new(vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let data = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let s = Standardizer::fit(&data);
+        let t = s.transform(&data);
+        let mean0: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-9);
+        // Constant column untouched (std forced to 1): values become 0.
+        assert!(t.iter().all(|r| r[1].abs() < 1e-9));
+    }
+
+    #[test]
+    fn empty_standardizer_is_identity() {
+        let s = Standardizer::fit(&[]);
+        assert_eq!(s.transform_row(&[5.0]), vec![5.0]);
+    }
+}

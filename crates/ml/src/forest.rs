@@ -1,0 +1,121 @@
+//! Random forests and extremely randomized trees.
+
+use crate::classifier::Classifier;
+use crate::dataset::FeatureSet;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An ensemble of CART trees on bootstrap samples with per-split feature
+/// subsampling (Breiman's random forest), or — with
+/// [`RandomForest::extra_trees`] — extremely randomized trees (random
+/// thresholds, no bootstrap).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    n_trees: usize,
+    seed: u64,
+    extra: bool,
+    trees: Vec<DecisionTree>,
+    name: &'static str,
+}
+
+impl RandomForest {
+    /// A random forest of `n_trees` trees.
+    pub fn new(n_trees: usize, seed: u64) -> Self {
+        RandomForest {
+            n_trees,
+            seed,
+            extra: false,
+            trees: Vec::new(),
+            name: "random_forest",
+        }
+    }
+
+    /// An extra-trees ensemble of `n_trees` trees.
+    pub fn extra_trees(n_trees: usize, seed: u64) -> Self {
+        RandomForest {
+            n_trees,
+            seed,
+            extra: true,
+            trees: Vec::new(),
+            name: "extra_trees",
+        }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn fit(&mut self, data: &FeatureSet) {
+        self.trees.clear();
+        if data.is_empty() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dim = data.dim();
+        let subset = (dim as f64).sqrt().ceil() as usize;
+        for t in 0..self.n_trees {
+            let sample: FeatureSet = if self.extra {
+                // Extra-trees use the full sample.
+                FeatureSet::new(data.x.clone(), data.y.clone())
+            } else {
+                // Bootstrap.
+                let idx: Vec<usize> = (0..data.len())
+                    .map(|_| rng.random_range(0..data.len()))
+                    .collect();
+                data.subset(&idx)
+            };
+            let config = TreeConfig {
+                max_depth: 12,
+                min_samples_split: 4,
+                feature_subset: Some(subset),
+                random_thresholds: self.extra,
+            };
+            let mut tree = DecisionTree::new(config, self.seed ^ (t as u64).wrapping_mul(0x9E37));
+            tree.fit(&sample);
+            self.trees.push(tree);
+        }
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees.iter().map(|t| t.score(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::test_util::assert_learns;
+
+    #[test]
+    fn forest_learns_blobs() {
+        assert_learns(&mut RandomForest::new(15, 7), 0.9);
+    }
+
+    #[test]
+    fn extra_trees_learn_blobs() {
+        assert_learns(&mut RandomForest::extra_trees(15, 7), 0.85);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = crate::classifier::test_util::blobs(100, 4, 1.0, 3);
+        let mut a = RandomForest::new(5, 42);
+        let mut b = RandomForest::new(5, 42);
+        a.fit(&data);
+        b.fit(&data);
+        for row in data.x.iter().take(10) {
+            assert_eq!(a.score(row), b.score(row));
+        }
+    }
+
+    #[test]
+    fn unfitted_scores_half() {
+        assert_eq!(RandomForest::new(3, 0).score(&[0.0]), 0.5);
+    }
+}

@@ -1,0 +1,112 @@
+//! k-nearest-neighbours classification.
+
+use crate::classifier::Classifier;
+use crate::dataset::{FeatureSet, Standardizer};
+
+/// k-NN with Euclidean distance on standardized features; the score is the
+/// malicious fraction among the k nearest training samples.
+#[derive(Debug, Clone)]
+pub struct KNearest {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    scaler: Standardizer,
+    name: String,
+}
+
+impl KNearest {
+    /// Creates a k-NN classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KNearest {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+            scaler: Standardizer::default(),
+            name: format!("knn_{k}"),
+        }
+    }
+}
+
+impl Classifier for KNearest {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fit(&mut self, data: &FeatureSet) {
+        self.scaler = Standardizer::fit(&data.x);
+        self.x = self.scaler.transform(&data.x);
+        self.y = data.y.clone();
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        if self.x.is_empty() {
+            return 0.5;
+        }
+        let row = self.scaler.transform_row(row);
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(tr, &label)| {
+                let d: f64 = tr
+                    .iter()
+                    .zip(&row)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, label)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let ones = dists[..k].iter().filter(|(_, l)| *l == 1).count();
+        ones as f64 / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::test_util::{assert_learns, blobs};
+
+    #[test]
+    fn knn1_learns_blobs() {
+        assert_learns(&mut KNearest::new(1), 0.9);
+    }
+
+    #[test]
+    fn knn5_learns_blobs() {
+        assert_learns(&mut KNearest::new(5), 0.9);
+    }
+
+    #[test]
+    fn memorizes_training_point_with_k1() {
+        let data = blobs(40, 3, 2.0, 2);
+        let mut m = KNearest::new(1);
+        m.fit(&data);
+        for (row, &label) in data.x.iter().zip(&data.y) {
+            assert_eq!(m.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let data = blobs(4, 2, 2.0, 2);
+        let mut m = KNearest::new(99);
+        m.fit(&data);
+        let s = m.score(&data.x[0]);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KNearest::new(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Classic machine-learning detectors and evaluation metrics.
+//!
+//! PhishingHook (paper §III) benchmarks a zoo of classic classifiers over
+//! static bytecode features; this crate reimplements that lineup from
+//! scratch — no external ML dependencies:
+//!
+//! * [`linear`] — logistic regression, nearest centroid,
+//! * [`tree`] / [`forest`] — CART, random forest, extra-trees,
+//! * [`knn`] — k-nearest neighbours,
+//! * [`naive_bayes`] — Gaussian and Bernoulli NB,
+//! * [`mlp`] — a two-hidden-layer perceptron on the autodiff tensor crate,
+//! * [`zoo`] — the assembled 10-model baseline lineup (experiment E1),
+//! * [`metrics`] — accuracy/precision/recall/F1/ROC-AUC,
+//! * [`dataset`] / [`split`] — feature matrices, standardisation, k-fold.
+//!
+//! All models implement [`Classifier`] and are deterministic per seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use scamdetect_ml::{Classifier, FeatureSet, LogisticRegression};
+//!
+//! let train = FeatureSet::new(
+//!     vec![vec![0.0, 0.1], vec![0.2, 0.0], vec![1.0, 0.9], vec![0.8, 1.0]],
+//!     vec![0, 0, 1, 1],
+//! );
+//! let mut model = LogisticRegression::new();
+//! model.fit(&train);
+//! assert_eq!(model.predict(&[0.9, 0.95]), 1);
+//! assert_eq!(model.predict(&[0.05, 0.0]), 0);
+//! ```
+
+pub mod classifier;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod naive_bayes;
+pub mod split;
+pub mod tree;
+pub mod zoo;
+
+pub use classifier::{fit_evaluate, Classifier};
+pub use dataset::{FeatureSet, Standardizer};
+pub use forest::RandomForest;
+pub use knn::KNearest;
+pub use linear::{LogisticRegression, NearestCentroid};
+pub use metrics::{roc_auc, ConfusionMatrix, EvalRow};
+pub use mlp::Mlp;
+pub use naive_bayes::{BernoulliNb, GaussianNb};
+pub use split::stratified_k_fold;
+pub use tree::{DecisionTree, TreeConfig};
+pub use zoo::baseline_zoo;

@@ -1,0 +1,192 @@
+//! Logistic regression and nearest-centroid baselines.
+
+use crate::classifier::Classifier;
+use crate::dataset::{FeatureSet, Standardizer};
+
+/// L2-regularised logistic regression trained by full-batch gradient
+/// descent on standardized features.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    lr: f64,
+    epochs: usize,
+    l2: f64,
+    scaler: Standardizer,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression::new()
+    }
+}
+
+impl LogisticRegression {
+    /// Creates the model with standard hyperparameters (lr 0.5, 300
+    /// epochs, l2 1e-4).
+    pub fn new() -> Self {
+        LogisticRegression {
+            weights: Vec::new(),
+            bias: 0.0,
+            lr: 0.5,
+            epochs: 300,
+            l2: 1e-4,
+            scaler: Standardizer::default(),
+        }
+    }
+
+    /// Overrides the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    fn sigmoid(z: f64) -> f64 {
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &str {
+        "logistic_regression"
+    }
+
+    fn fit(&mut self, data: &FeatureSet) {
+        self.scaler = Standardizer::fit(&data.x);
+        let x = self.scaler.transform(&data.x);
+        let d = data.dim();
+        let n = data.len().max(1) as f64;
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        for _ in 0..self.epochs {
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (row, &label) in x.iter().zip(&data.y) {
+                let z: f64 = self
+                    .weights
+                    .iter()
+                    .zip(row)
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>()
+                    + self.bias;
+                let err = Self::sigmoid(z) - label as f64;
+                for (g, v) in gw.iter_mut().zip(row) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (w, g) in self.weights.iter_mut().zip(&gw) {
+                *w -= self.lr * (g / n + self.l2 * *w);
+            }
+            self.bias -= self.lr * gb / n;
+        }
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        let row = self.scaler.transform_row(row);
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(&row)
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.bias;
+        Self::sigmoid(z)
+    }
+}
+
+/// Nearest-centroid classifier (a.k.a. the "histogram template" detector):
+/// scores by relative distance to the two class centroids.
+#[derive(Debug, Clone, Default)]
+pub struct NearestCentroid {
+    centroid0: Vec<f64>,
+    centroid1: Vec<f64>,
+}
+
+impl NearestCentroid {
+    /// Creates the model.
+    pub fn new() -> Self {
+        NearestCentroid::default()
+    }
+
+    fn dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Classifier for NearestCentroid {
+    fn name(&self) -> &str {
+        "nearest_centroid"
+    }
+
+    fn fit(&mut self, data: &FeatureSet) {
+        let d = data.dim();
+        let mut sums = [vec![0.0; d], vec![0.0; d]];
+        let mut counts = [0usize; 2];
+        for (row, &label) in data.x.iter().zip(&data.y) {
+            for (s, v) in sums[label].iter_mut().zip(row) {
+                *s += v;
+            }
+            counts[label] += 1;
+        }
+        for (sum, count) in sums.iter_mut().zip(counts) {
+            if count > 0 {
+                for s in sum.iter_mut() {
+                    *s /= count as f64;
+                }
+            }
+        }
+        let [c0, c1] = sums;
+        self.centroid0 = c0;
+        self.centroid1 = c1;
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        if self.centroid0.is_empty() {
+            return 0.5;
+        }
+        let d0 = Self::dist(row, &self.centroid0);
+        let d1 = Self::dist(row, &self.centroid1);
+        if d0 + d1 < 1e-12 {
+            0.5
+        } else {
+            d0 / (d0 + d1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::test_util::assert_learns;
+
+    #[test]
+    fn logreg_learns_blobs() {
+        assert_learns(&mut LogisticRegression::new(), 0.9);
+    }
+
+    #[test]
+    fn centroid_learns_blobs() {
+        assert_learns(&mut NearestCentroid::new(), 0.9);
+    }
+
+    #[test]
+    fn logreg_score_in_unit_interval() {
+        let mut m = LogisticRegression::new().with_epochs(50);
+        let data = crate::classifier::test_util::blobs(50, 3, 1.0, 5);
+        m.fit(&data);
+        for row in &data.x {
+            let s = m.score(row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn centroid_unfitted_returns_half() {
+        assert_eq!(NearestCentroid::new().score(&[1.0, 2.0]), 0.5);
+    }
+}

@@ -1,0 +1,150 @@
+//! A multi-layer perceptron built on the autodiff tensor crate.
+
+use crate::classifier::Classifier;
+use crate::dataset::{FeatureSet, Standardizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scamdetect_tensor::{init, optim::Adam, Matrix, ParamId, Parameters, Tape};
+
+/// A two-hidden-layer MLP (ReLU) with softmax cross-entropy, trained by
+/// Adam on standardized features — the "deep neural network" entry in the
+/// PhishingHook-style model zoo.
+#[derive(Debug)]
+pub struct Mlp {
+    hidden: usize,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+    params: Parameters,
+    ids: Vec<ParamId>,
+    scaler: Standardizer,
+    fitted: bool,
+}
+
+impl Mlp {
+    /// Creates the model (hidden width 32, 60 epochs, lr 1e-2).
+    pub fn new(seed: u64) -> Self {
+        Mlp {
+            hidden: 32,
+            epochs: 60,
+            lr: 1e-2,
+            seed,
+            params: Parameters::new(),
+            ids: Vec::new(),
+            scaler: Standardizer::default(),
+            fitted: false,
+        }
+    }
+
+    /// Overrides the hidden width.
+    pub fn with_hidden(mut self, hidden: usize) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Overrides the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    fn to_matrix(rows: &[Vec<f64>]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        Matrix::from_fn(r, c, |i, j| rows[i][j] as f32)
+    }
+
+    fn forward(
+        &self,
+        tape: &Tape,
+        vars: &[scamdetect_tensor::Var],
+        x: scamdetect_tensor::Var,
+    ) -> scamdetect_tensor::Var {
+        let h1 = tape.matmul(x, vars[self.ids[0].index()]);
+        let h1 = tape.add_bias(h1, vars[self.ids[1].index()]);
+        let h1 = tape.relu(h1);
+        let h2 = tape.matmul(h1, vars[self.ids[2].index()]);
+        let h2 = tape.add_bias(h2, vars[self.ids[3].index()]);
+        let h2 = tape.relu(h2);
+        let out = tape.matmul(h2, vars[self.ids[4].index()]);
+        tape.add_bias(out, vars[self.ids[5].index()])
+    }
+}
+
+impl Classifier for Mlp {
+    fn name(&self) -> &str {
+        "mlp"
+    }
+
+    fn fit(&mut self, data: &FeatureSet) {
+        if data.is_empty() {
+            self.fitted = false;
+            return;
+        }
+        self.scaler = Standardizer::fit(&data.x);
+        let x = Self::to_matrix(&self.scaler.transform(&data.x));
+        let dim = data.dim();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        self.params = Parameters::new();
+        self.ids = vec![
+            self.params.add("w1", init::he_normal(dim, self.hidden, &mut rng)),
+            self.params.add("b1", Matrix::zeros(1, self.hidden)),
+            self.params.add("w2", init::he_normal(self.hidden, self.hidden, &mut rng)),
+            self.params.add("b2", Matrix::zeros(1, self.hidden)),
+            self.params.add("w3", init::xavier_uniform(self.hidden, 2, &mut rng)),
+            self.params.add("b3", Matrix::zeros(1, 2)),
+        ];
+        let mut adam = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            let tape = Tape::new();
+            let vars = self.params.bind(&tape);
+            let xv = tape.constant(x.clone());
+            let logits = self.forward(&tape, &vars, xv);
+            let loss = tape.softmax_cross_entropy(logits, &data.y);
+            let grads = tape.backward(loss);
+            adam.step(&mut self.params, |id| grads.of(vars[id.index()]));
+        }
+        self.fitted = true;
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.5;
+        }
+        let row = self.scaler.transform_row(row);
+        let x = Self::to_matrix(&[row]);
+        let tape = Tape::new();
+        let vars = self.params.bind(&tape);
+        let xv = tape.constant(x);
+        let logits = self.forward(&tape, &vars, xv);
+        let probs = scamdetect_tensor::tape::softmax_rows(&tape.value(logits));
+        probs.get(0, 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::test_util::assert_learns;
+
+    #[test]
+    fn mlp_learns_blobs() {
+        assert_learns(&mut Mlp::new(1), 0.9);
+    }
+
+    #[test]
+    fn unfitted_scores_half() {
+        assert_eq!(Mlp::new(0).score(&[1.0, 2.0]), 0.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = crate::classifier::test_util::blobs(60, 4, 1.5, 8);
+        let mut a = Mlp::new(5).with_epochs(10);
+        let mut b = Mlp::new(5).with_epochs(10);
+        a.fit(&data);
+        b.fit(&data);
+        assert_eq!(a.score(&data.x[0]), b.score(&data.x[0]));
+    }
+}

@@ -1,0 +1,204 @@
+//! Gaussian and Bernoulli naive Bayes.
+
+use crate::classifier::Classifier;
+use crate::dataset::FeatureSet;
+
+/// Gaussian naive Bayes: per-class, per-feature normal densities with a
+/// variance floor for numerical stability.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    mean: [Vec<f64>; 2],
+    var: [Vec<f64>; 2],
+    log_prior: [f64; 2],
+    fitted: bool,
+}
+
+impl GaussianNb {
+    /// Creates the model.
+    pub fn new() -> Self {
+        GaussianNb::default()
+    }
+
+    fn log_likelihood(&self, class: usize, row: &[f64]) -> f64 {
+        let mut ll = self.log_prior[class];
+        for ((v, m), var) in row.iter().zip(&self.mean[class]).zip(&self.var[class]) {
+            ll += -0.5 * ((v - m) * (v - m) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn name(&self) -> &str {
+        "gaussian_nb"
+    }
+
+    fn fit(&mut self, data: &FeatureSet) {
+        let d = data.dim();
+        let mut mean = [vec![0.0; d], vec![0.0; d]];
+        let mut var = [vec![0.0; d], vec![0.0; d]];
+        let mut count = [0usize; 2];
+        for (row, &label) in data.x.iter().zip(&data.y) {
+            count[label] += 1;
+            for (m, v) in mean[label].iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for c in 0..2 {
+            for m in &mut mean[c] {
+                *m /= count[c].max(1) as f64;
+            }
+        }
+        for (row, &label) in data.x.iter().zip(&data.y) {
+            for ((s, v), m) in var[label].iter_mut().zip(row).zip(&mean[label]) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for c in 0..2 {
+            for s in &mut var[c] {
+                *s = (*s / count[c].max(1) as f64).max(1e-9);
+            }
+        }
+        let n = data.len().max(1) as f64;
+        self.log_prior = [
+            ((count[0].max(1)) as f64 / n).ln(),
+            ((count[1].max(1)) as f64 / n).ln(),
+        ];
+        self.mean = mean;
+        self.var = var;
+        self.fitted = true;
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.5;
+        }
+        let l0 = self.log_likelihood(0, row);
+        let l1 = self.log_likelihood(1, row);
+        // Softmax over the two log-likelihoods.
+        let m = l0.max(l1);
+        let e0 = (l0 - m).exp();
+        let e1 = (l1 - m).exp();
+        e1 / (e0 + e1)
+    }
+}
+
+/// Bernoulli naive Bayes over features binarized at their training means —
+/// the "which opcodes appear at all" detector.
+#[derive(Debug, Clone, Default)]
+pub struct BernoulliNb {
+    threshold: Vec<f64>,
+    log_p: [Vec<f64>; 2],
+    log_np: [Vec<f64>; 2],
+    log_prior: [f64; 2],
+    fitted: bool,
+}
+
+impl BernoulliNb {
+    /// Creates the model.
+    pub fn new() -> Self {
+        BernoulliNb::default()
+    }
+}
+
+impl Classifier for BernoulliNb {
+    fn name(&self) -> &str {
+        "bernoulli_nb"
+    }
+
+    fn fit(&mut self, data: &FeatureSet) {
+        let d = data.dim();
+        // Binarization thresholds: feature means.
+        let mut thr = vec![0.0; d];
+        for row in &data.x {
+            for (t, v) in thr.iter_mut().zip(row) {
+                *t += v;
+            }
+        }
+        for t in &mut thr {
+            *t /= data.len().max(1) as f64;
+        }
+        let mut on = [vec![1.0f64; d], vec![1.0f64; d]]; // Laplace +1
+        let mut count = [2usize; 2]; // Laplace +2
+        for (row, &label) in data.x.iter().zip(&data.y) {
+            count[label] += 1;
+            for (o, (v, t)) in on[label].iter_mut().zip(row.iter().zip(&thr)) {
+                if v > t {
+                    *o += 1.0;
+                }
+            }
+        }
+        let mut log_p = [vec![0.0; d], vec![0.0; d]];
+        let mut log_np = [vec![0.0; d], vec![0.0; d]];
+        for c in 0..2 {
+            for i in 0..d {
+                let p = on[c][i] / count[c] as f64;
+                log_p[c][i] = p.ln();
+                log_np[c][i] = (1.0 - p).max(1e-12).ln();
+            }
+        }
+        let n = data.len().max(1) as f64;
+        let ones = data.y.iter().filter(|&&l| l == 1).count();
+        self.log_prior = [
+            (((data.len() - ones).max(1)) as f64 / n).ln(),
+            ((ones.max(1)) as f64 / n).ln(),
+        ];
+        self.threshold = thr;
+        self.log_p = log_p;
+        self.log_np = log_np;
+        self.fitted = true;
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.5;
+        }
+        let mut ll = [self.log_prior[0], self.log_prior[1]];
+        for c in 0..2 {
+            for ((v, t), (lp, lnp)) in row
+                .iter()
+                .zip(&self.threshold)
+                .zip(self.log_p[c].iter().zip(&self.log_np[c]))
+            {
+                ll[c] += if v > t { *lp } else { *lnp };
+            }
+        }
+        let m = ll[0].max(ll[1]);
+        let e0 = (ll[0] - m).exp();
+        let e1 = (ll[1] - m).exp();
+        e1 / (e0 + e1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::test_util::assert_learns;
+
+    #[test]
+    fn gaussian_nb_learns_blobs() {
+        assert_learns(&mut GaussianNb::new(), 0.9);
+    }
+
+    #[test]
+    fn bernoulli_nb_learns_blobs() {
+        assert_learns(&mut BernoulliNb::new(), 0.85);
+    }
+
+    #[test]
+    fn unfitted_scores_half() {
+        assert_eq!(GaussianNb::new().score(&[1.0]), 0.5);
+        assert_eq!(BernoulliNb::new().score(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let data = crate::classifier::test_util::blobs(100, 5, 1.0, 9);
+        let mut g = GaussianNb::new();
+        g.fit(&data);
+        for row in &data.x {
+            let s = g.score(row);
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-validation utilities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Yields `k` stratified folds of `labels` as `(train, test)` index pairs.
+///
+/// Every sample appears in exactly one test fold; class balance is
+/// preserved per fold.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` exceeds the smaller class size.
+pub fn stratified_k_fold(labels: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+    for (i, &l) in labels.iter().enumerate() {
+        by_class[l].push(i);
+    }
+    for class in &by_class {
+        assert!(
+            class.is_empty() || class.len() >= k,
+            "class smaller than k"
+        );
+    }
+    for class in &mut by_class {
+        for i in (1..class.len()).rev() {
+            let j = rng.random_range(0..=i);
+            class.swap(i, j);
+        }
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class in &by_class {
+        for (pos, &idx) in class.iter().enumerate() {
+            folds[pos % k].push(idx);
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train: Vec<usize> = (0..k)
+                .filter(|&g| g != f)
+                .flat_map(|g| folds[g].iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_the_data() {
+        let labels: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        let folds = stratified_k_fold(&labels, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..50).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 50);
+            for t in test {
+                assert!(!train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i < 30)).collect();
+        for (_, test) in stratified_k_fold(&labels, 5, 7) {
+            let ones = test.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(ones, 6, "each fold gets 30/5 positives");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k1_panics() {
+        stratified_k_fold(&[0, 1], 1, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! CART decision trees (gini impurity).
+
+use crate::classifier::Classifier;
+use crate::dataset::FeatureSet;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One tree node.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Fraction of malicious samples at this leaf.
+        p1: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Training hyperparameters shared by trees and forests.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Features examined per split: `None` = all (plain CART); `Some(k)` =
+    /// a random subset of k (forest mode).
+    pub feature_subset: Option<usize>,
+    /// Extra-trees mode: thresholds drawn uniformly at random instead of
+    /// exhaustively optimised.
+    pub random_thresholds: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 10,
+            min_samples_split: 4,
+            feature_subset: None,
+            random_thresholds: false,
+        }
+    }
+}
+
+/// A single CART decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    root: Option<Node>,
+    seed: u64,
+}
+
+impl DecisionTree {
+    /// Creates a tree with the given config and rng seed (the seed only
+    /// matters with feature subsetting / random thresholds).
+    pub fn new(config: TreeConfig, seed: u64) -> Self {
+        DecisionTree {
+            config,
+            root: None,
+            seed,
+        }
+    }
+
+    /// Plain CART with default hyperparameters.
+    pub fn default_cart() -> Self {
+        DecisionTree::new(TreeConfig::default(), 0)
+    }
+
+    fn gini(counts: (usize, usize)) -> f64 {
+        let n = (counts.0 + counts.1) as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let p0 = counts.0 as f64 / n;
+        let p1 = counts.1 as f64 / n;
+        1.0 - p0 * p0 - p1 * p1
+    }
+
+    fn build(
+        &self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &[usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Node {
+        let ones = idx.iter().filter(|&&i| y[i] == 1).count();
+        let p1 = ones as f64 / idx.len().max(1) as f64;
+        if depth >= self.config.max_depth
+            || idx.len() < self.config.min_samples_split
+            || ones == 0
+            || ones == idx.len()
+        {
+            return Node::Leaf { p1 };
+        }
+
+        let dim = x[0].len();
+        let feats: Vec<usize> = match self.config.feature_subset {
+            Some(k) => {
+                let mut fs: Vec<usize> = (0..dim).collect();
+                for i in (1..fs.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    fs.swap(i, j);
+                }
+                fs.truncate(k.max(1).min(dim));
+                fs
+            }
+            None => (0..dim).collect(),
+        };
+
+        let parent_gini = Self::gini((idx.len() - ones, ones));
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &f in &feats {
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let candidate_thresholds: Vec<f64> = if self.config.random_thresholds {
+                let lo = vals[0];
+                let hi = *vals.last().expect("nonempty");
+                vec![rng.random_range(0.0..1.0) * (hi - lo) + lo]
+            } else {
+                vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+            };
+            for t in candidate_thresholds {
+                let mut left = (0usize, 0usize);
+                let mut right = (0usize, 0usize);
+                for &i in idx {
+                    let side = if x[i][f] <= t { &mut left } else { &mut right };
+                    if y[i] == 1 {
+                        side.1 += 1;
+                    } else {
+                        side.0 += 1;
+                    }
+                }
+                let nl = (left.0 + left.1) as f64;
+                let nr = (right.0 + right.1) as f64;
+                if nl == 0.0 || nr == 0.0 {
+                    continue;
+                }
+                let n = nl + nr;
+                let gain =
+                    parent_gini - (nl / n) * Self::gini(left) - (nr / n) * Self::gini(right);
+                if best.map_or(true, |(g, _, _)| gain > g) {
+                    best = Some((gain, f, t));
+                }
+            }
+        }
+
+        let Some((gain, feature, threshold)) = best else {
+            return Node::Leaf { p1 };
+        };
+        if gain <= 1e-12 {
+            return Node::Leaf { p1 };
+        }
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, &left_idx, depth + 1, rng)),
+            right: Box::new(self.build(x, y, &right_idx, depth + 1, rng)),
+        }
+    }
+
+    fn score_node(node: &Node, row: &[f64]) -> f64 {
+        match node {
+            Node::Leaf { p1 } => *p1,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if row[*feature] <= *threshold {
+                    Self::score_node(left, row)
+                } else {
+                    Self::score_node(right, row)
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &str {
+        "decision_tree"
+    }
+
+    fn fit(&mut self, data: &FeatureSet) {
+        if data.is_empty() {
+            self.root = None;
+            return;
+        }
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = rand::SeedableRng::seed_from_u64(self.seed);
+        self.root = Some(self.build(&data.x, &data.y, &idx, 0, &mut rng));
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        match &self.root {
+            Some(root) => Self::score_node(root, row),
+            None => 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::test_util::{assert_learns, blobs};
+
+    #[test]
+    fn cart_learns_blobs() {
+        assert_learns(&mut DecisionTree::default_cart(), 0.85);
+    }
+
+    #[test]
+    fn tree_fits_band_pattern_which_linear_cannot() {
+        // label = 1 iff |x0| > 1 — needs two thresholds on one feature.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let v = -2.5 + 5.0 * (i as f64 / 199.0);
+            let jitter = (i as f64 * 0.037).sin() * 0.05;
+            x.push(vec![v + jitter, (i % 3) as f64]);
+            y.push(usize::from(v.abs() > 1.0));
+        }
+        let data = FeatureSet::new(x, y);
+        let mut tree = DecisionTree::default_cart();
+        tree.fit(&data);
+        let correct = data
+            .x
+            .iter()
+            .zip(&data.y)
+            .filter(|(r, &l)| tree.predict(r) == l)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let data = FeatureSet::new(vec![vec![0.0], vec![1.0]], vec![0, 0]);
+        let mut tree = DecisionTree::default_cart();
+        tree.fit(&data);
+        assert_eq!(tree.score(&[0.5]), 0.0);
+    }
+
+    #[test]
+    fn unfitted_scores_half() {
+        assert_eq!(DecisionTree::default_cart().score(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn blobs_with_random_thresholds_still_learn() {
+        let cfg = TreeConfig {
+            random_thresholds: true,
+            ..TreeConfig::default()
+        };
+        let mut t = DecisionTree::new(cfg, 3);
+        let train = blobs(200, 4, 1.5, 20);
+        let test = blobs(60, 4, 1.5, 21);
+        t.fit(&train);
+        let acc = test
+            .x
+            .iter()
+            .zip(&test.y)
+            .filter(|(r, &l)| t.predict(r) == l)
+            .count() as f64
+            / test.len() as f64;
+        assert!(acc > 0.8, "acc {acc}");
+    }
+}

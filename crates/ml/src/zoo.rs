@@ -1,0 +1,59 @@
+//! The baseline model zoo — the classic-detector lineup benchmarked in E1.
+
+use crate::classifier::Classifier;
+use crate::forest::RandomForest;
+use crate::knn::KNearest;
+use crate::linear::{LogisticRegression, NearestCentroid};
+use crate::mlp::Mlp;
+use crate::naive_bayes::{BernoulliNb, GaussianNb};
+use crate::tree::DecisionTree;
+
+/// Instantiates the full baseline zoo (10 models), seeded for
+/// reproducibility. Mirrors the breadth of PhishingHook's 16-model
+/// comparison with one representative per classic family: linear,
+/// instance-based, tree, ensemble, probabilistic and neural.
+pub fn baseline_zoo(seed: u64) -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(LogisticRegression::new()),
+        Box::new(Mlp::new(seed)),
+        Box::new(DecisionTree::default_cart()),
+        Box::new(RandomForest::new(25, seed)),
+        Box::new(RandomForest::extra_trees(25, seed ^ 1)),
+        Box::new(KNearest::new(1)),
+        Box::new(KNearest::new(5)),
+        Box::new(GaussianNb::new()),
+        Box::new(BernoulliNb::new()),
+        Box::new(NearestCentroid::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{fit_evaluate, test_util::blobs};
+
+    #[test]
+    fn zoo_has_ten_distinct_models() {
+        let zoo = baseline_zoo(0);
+        assert_eq!(zoo.len(), 10);
+        let mut names: Vec<String> = zoo.iter().map(|m| m.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn every_zoo_member_beats_chance_on_blobs() {
+        let train = blobs(150, 5, 1.5, 40);
+        let test = blobs(60, 5, 1.5, 41);
+        for mut model in baseline_zoo(9) {
+            let row = fit_evaluate(model.as_mut(), &train, &test);
+            assert!(
+                row.accuracy > 0.75,
+                "{} only reached {:.3}",
+                row.model,
+                row.accuracy
+            );
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! Semantics-preserving EVM obfuscation passes.
+//!
+//! All passes transform *label-form* programs ([`AsmProgram`]), so control
+//! transfers remain valid by construction after re-assembly. Each pass
+//! preserves the observable effects (storage, logs, calls, halt data) of
+//! every execution — the property tests in this crate check exactly that
+//! by differential execution on the concrete interpreter.
+//!
+//! The passes implement the transform classes described by BOSC \[22\] and
+//! BiAn \[23\] (the paper's §IV): instruction-flow manipulation, data-layout
+//! manipulation and control-structure manipulation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use scamdetect_evm::asm::{AsmOp, AsmProgram, Label};
+use scamdetect_evm::opcode::Opcode;
+use scamdetect_evm::word::U256;
+
+/// The individual EVM passes, in roughly increasing aggressiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EvmPassKind {
+    /// Insert unreferenced `JUMPDEST`s (splits blocks, no runtime effect).
+    JunkJumpdests,
+    /// Insert stack-neutral pairs (`PUSH0 POP`, `PC POP`).
+    NopPairs,
+    /// Rewrite instruction idioms (`EQ → SUB ISZERO`, commutations, …).
+    OpcodeSubstitution,
+    /// Split push constants into arithmetic recombinations.
+    ConstantSplitting,
+    /// Inject unreachable junk code after terminators.
+    DeadCode,
+    /// Insert never-taken conditional branches.
+    NeverTakenBranches,
+    /// Split straight-line runs with explicit jumps.
+    BlockSplitting,
+    /// Make fall-throughs explicit and shuffle code segments.
+    BlockReordering,
+    /// Route jump targets through memory (defeats static resolution).
+    JumpIndirection,
+    /// Route unconditional jumps through one dispatcher (flattening).
+    Flattening,
+}
+
+impl EvmPassKind {
+    /// All passes, in canonical order.
+    pub fn all() -> [EvmPassKind; 10] {
+        use EvmPassKind::*;
+        [
+            JunkJumpdests,
+            NopPairs,
+            OpcodeSubstitution,
+            ConstantSplitting,
+            DeadCode,
+            NeverTakenBranches,
+            BlockSplitting,
+            BlockReordering,
+            JumpIndirection,
+            Flattening,
+        ]
+    }
+
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        use EvmPassKind::*;
+        match self {
+            JunkJumpdests => "junk_jumpdests",
+            NopPairs => "nop_pairs",
+            OpcodeSubstitution => "opcode_substitution",
+            ConstantSplitting => "constant_splitting",
+            DeadCode => "dead_code",
+            NeverTakenBranches => "never_taken_branches",
+            BlockSplitting => "block_splitting",
+            BlockReordering => "block_reordering",
+            JumpIndirection => "jump_indirection",
+            Flattening => "flattening",
+        }
+    }
+}
+
+impl std::fmt::Display for EvmPassKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies one pass with the given `intensity` in `[0, 1]` (the fraction
+/// of eligible sites transformed).
+pub fn apply_evm_pass(
+    kind: EvmPassKind,
+    prog: &AsmProgram,
+    rng: &mut StdRng,
+    intensity: f64,
+) -> AsmProgram {
+    match kind {
+        EvmPassKind::JunkJumpdests => junk_jumpdests(prog, rng, intensity),
+        EvmPassKind::NopPairs => nop_pairs(prog, rng, intensity),
+        EvmPassKind::OpcodeSubstitution => opcode_substitution(prog, rng, intensity),
+        EvmPassKind::ConstantSplitting => constant_splitting(prog, rng, intensity),
+        EvmPassKind::DeadCode => dead_code(prog, rng, intensity),
+        EvmPassKind::NeverTakenBranches => never_taken_branches(prog, rng, intensity),
+        EvmPassKind::BlockSplitting => block_splitting(prog, rng, intensity),
+        EvmPassKind::BlockReordering => block_reordering(prog, rng),
+        EvmPassKind::JumpIndirection => jump_indirection(prog, rng, intensity),
+        EvmPassKind::Flattening => flattening(prog, rng, intensity),
+    }
+}
+
+fn is_terminator_op(op: &AsmOp) -> bool {
+    matches!(op, AsmOp::Op(o) if o.is_block_terminator())
+}
+
+fn coin(rng: &mut StdRng, p: f64) -> bool {
+    rng.random_range(0.0..1.0) < p
+}
+
+// ---------------------------------------------------------------------
+// Light passes
+// ---------------------------------------------------------------------
+
+fn junk_jumpdests(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let mut out = AsmProgram::from_ops(prog.ops().to_vec());
+    let mut ops: Vec<AsmOp> = Vec::with_capacity(prog.len());
+    for op in prog.ops() {
+        if coin(rng, intensity * 0.5) {
+            let l = out.new_label();
+            ops.push(AsmOp::LabelDef(l));
+        }
+        ops.push(op.clone());
+    }
+    AsmProgram::from_ops(ops)
+}
+
+fn nop_pairs(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let mut ops: Vec<AsmOp> = Vec::with_capacity(prog.len());
+    for op in prog.ops() {
+        if coin(rng, intensity * 0.5) {
+            if coin(rng, 0.5) {
+                ops.push(AsmOp::Push(vec![]));
+                ops.push(AsmOp::Op(Opcode::POP));
+            } else {
+                ops.push(AsmOp::Op(Opcode::PC));
+                ops.push(AsmOp::Op(Opcode::POP));
+            }
+        }
+        ops.push(op.clone());
+    }
+    AsmProgram::from_ops(ops)
+}
+
+fn opcode_substitution(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let mut ops: Vec<AsmOp> = Vec::with_capacity(prog.len());
+    for op in prog.ops() {
+        let substituted = if let AsmOp::Op(o) = op {
+            if !coin(rng, intensity) {
+                None
+            } else {
+                match o {
+                    Opcode::ADD => Some(vec![AsmOp::Op(Opcode::SWAP1), AsmOp::Op(Opcode::ADD)]),
+                    Opcode::MUL => Some(vec![AsmOp::Op(Opcode::SWAP1), AsmOp::Op(Opcode::MUL)]),
+                    Opcode::AND => Some(vec![AsmOp::Op(Opcode::SWAP1), AsmOp::Op(Opcode::AND)]),
+                    Opcode::OR => Some(vec![
+                        // a | b = ~(~a & ~b)
+                        AsmOp::Op(Opcode::NOT),
+                        AsmOp::Op(Opcode::SWAP1),
+                        AsmOp::Op(Opcode::NOT),
+                        AsmOp::Op(Opcode::AND),
+                        AsmOp::Op(Opcode::NOT),
+                    ]),
+                    Opcode::EQ => Some(vec![AsmOp::Op(Opcode::SUB), AsmOp::Op(Opcode::ISZERO)]),
+                    Opcode::ISZERO => Some(vec![
+                        AsmOp::Op(Opcode::ISZERO),
+                        AsmOp::Op(Opcode::ISZERO),
+                        AsmOp::Op(Opcode::ISZERO),
+                    ]),
+                    _ => None,
+                }
+            }
+        } else {
+            None
+        };
+        match substituted {
+            Some(seq) => ops.extend(seq),
+            None => ops.push(op.clone()),
+        }
+    }
+    AsmProgram::from_ops(ops)
+}
+
+fn constant_splitting(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let mut ops: Vec<AsmOp> = Vec::with_capacity(prog.len());
+    for op in prog.ops() {
+        match op {
+            AsmOp::Push(bytes) if bytes.len() <= 16 && coin(rng, intensity) => {
+                let v = U256::from_be_bytes(bytes);
+                let k = U256::from_u64(rng.random::<u64>());
+                if coin(rng, 0.5) {
+                    // v = (v ^ k) ^ k
+                    ops.push(AsmOp::Push(v.xor(&k).to_be_bytes_minimal()));
+                    ops.push(AsmOp::Push(k.to_be_bytes_minimal()));
+                    ops.push(AsmOp::Op(Opcode::XOR));
+                } else {
+                    // v = (v - k) + k  (wrapping)
+                    ops.push(AsmOp::Push(v.wrapping_sub(&k).to_be_bytes_minimal()));
+                    ops.push(AsmOp::Push(k.to_be_bytes_minimal()));
+                    ops.push(AsmOp::Op(Opcode::ADD));
+                }
+            }
+            _ => ops.push(op.clone()),
+        }
+    }
+    AsmProgram::from_ops(ops)
+}
+
+// ---------------------------------------------------------------------
+// Structural passes
+// ---------------------------------------------------------------------
+
+/// Opcode pool for junk code (never executed, so the semantics of the
+/// pool entries are irrelevant — the *histogram* poisoning is the point).
+fn junk_ops(rng: &mut StdRng) -> Vec<AsmOp> {
+    let mut out = Vec::new();
+    let n = rng.random_range(3..12);
+    for _ in 0..n {
+        match rng.random_range(0..8) {
+            0 => out.push(AsmOp::Push(vec![rng.random::<u8>()])),
+            1 => out.push(AsmOp::Op(Opcode::CALLER)),
+            2 => out.push(AsmOp::Op(Opcode::ADD)),
+            3 => out.push(AsmOp::Op(Opcode::SLOAD)),
+            4 => out.push(AsmOp::Op(Opcode::KECCAK256)),
+            5 => out.push(AsmOp::Op(Opcode::TIMESTAMP)),
+            6 => out.push(AsmOp::Op(Opcode::DUP1)),
+            _ => out.push(AsmOp::Op(Opcode::POP)),
+        }
+    }
+    out.push(AsmOp::Op(Opcode::INVALID));
+    out
+}
+
+fn dead_code(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let ops = prog.ops();
+    let mut out: Vec<AsmOp> = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        out.push(op.clone());
+        // After an unconditional terminator (and not at the very end),
+        // execution cannot reach the next op unless it is a label.
+        if is_terminator_op(op) && i + 1 < ops.len() && coin(rng, intensity) {
+            out.extend(junk_ops(rng));
+        }
+    }
+    AsmProgram::from_ops(out)
+}
+
+fn never_taken_branches(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let mut result = AsmProgram::from_ops(prog.ops().to_vec());
+    let mut out: Vec<AsmOp> = Vec::with_capacity(prog.len());
+    for op in prog.ops() {
+        // Do not inject between a push and its consumer in a way that
+        // matters — a full JUMPI sequence is stack-neutral, so anywhere
+        // between complete ops is safe.
+        if coin(rng, intensity * 0.3) {
+            let skip = result.new_label();
+            out.push(AsmOp::Push(vec![])); // PUSH0: condition false
+            out.push(AsmOp::PushLabel(skip));
+            out.push(AsmOp::Op(Opcode::JUMPI));
+            out.push(AsmOp::LabelDef(skip));
+        }
+        out.push(op.clone());
+    }
+    AsmProgram::from_ops(out)
+}
+
+fn block_splitting(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let mut result = AsmProgram::from_ops(prog.ops().to_vec());
+    let mut out: Vec<AsmOp> = Vec::with_capacity(prog.len());
+    for op in prog.ops() {
+        if coin(rng, intensity * 0.3) {
+            let next = result.new_label();
+            out.push(AsmOp::PushLabel(next));
+            out.push(AsmOp::Op(Opcode::JUMP));
+            out.push(AsmOp::LabelDef(next));
+        }
+        out.push(op.clone());
+    }
+    AsmProgram::from_ops(out)
+}
+
+fn block_reordering(prog: &AsmProgram, rng: &mut StdRng) -> AsmProgram {
+    // Programs containing raw data cannot be safely reordered.
+    if prog.ops().iter().any(|o| matches!(o, AsmOp::Raw(_))) {
+        return AsmProgram::from_ops(prog.ops().to_vec());
+    }
+
+    // Step 1: make every fall-through into a label explicit.
+    let mut explicit: Vec<AsmOp> = Vec::with_capacity(prog.len());
+    for op in prog.ops() {
+        if let AsmOp::LabelDef(l) = op {
+            let needs_jump = match explicit.last() {
+                Some(prev) => !is_terminator_op(prev),
+                None => false, // program entry falls into the first label
+            };
+            if needs_jump && !explicit.is_empty() {
+                explicit.push(AsmOp::PushLabel(*l));
+                explicit.push(AsmOp::Op(Opcode::JUMP));
+            }
+        }
+        explicit.push(op.clone());
+    }
+
+    // Step 2: segment at label definitions.
+    let mut prologue: Vec<AsmOp> = Vec::new();
+    let mut segments: Vec<Vec<AsmOp>> = Vec::new();
+    for op in explicit {
+        if matches!(op, AsmOp::LabelDef(_)) {
+            segments.push(vec![op]);
+        } else if let Some(seg) = segments.last_mut() {
+            seg.push(op);
+        } else {
+            prologue.push(op);
+        }
+    }
+    // The first segment stays pinned whenever execution can flow into it
+    // from the prologue — including the empty-prologue case, where the
+    // first segment IS the program entry.
+    let prologue_falls_through = !prologue.last().is_some_and(is_terminator_op);
+    // Likewise the final segment may implicitly stop at end of code.
+    if let Some(last) = segments.last_mut() {
+        if !last.last().map_or(false, is_terminator_op) {
+            last.push(AsmOp::Op(Opcode::STOP));
+        }
+    }
+
+    if segments.len() < 2 {
+        let mut all = prologue;
+        for s in segments {
+            all.extend(s);
+        }
+        return AsmProgram::from_ops(all);
+    }
+
+    // Step 3: shuffle. If the prologue falls through, segment 0 is pinned.
+    let pinned_first = prologue_falls_through;
+    let start = usize::from(pinned_first);
+    let m = segments.len();
+    for i in (start + 1..m).rev() {
+        let j = rng.random_range(start..=i);
+        segments.swap(i, j);
+    }
+
+    let mut all = prologue;
+    for s in segments {
+        all.extend(s);
+    }
+    AsmProgram::from_ops(all)
+}
+
+/// Memory region used for indirected jump targets: far above anything the
+/// generated contracts touch.
+const INDIRECTION_BASE: u64 = 0x8000;
+
+/// First free slot at or above [`INDIRECTION_BASE`]: composing the pass
+/// with itself must not overwrite the earlier application's slots.
+fn next_free_indirection_base(ops: &[AsmOp]) -> u64 {
+    let mut base = INDIRECTION_BASE;
+    for op in ops {
+        if let AsmOp::Push(bytes) = op {
+            if bytes.len() <= 8 {
+                let v = U256::from_be_bytes(bytes);
+                if let Some(v) = v.to_usize() {
+                    let v = v as u64;
+                    if v >= INDIRECTION_BASE && v < INDIRECTION_BASE + (1 << 20) {
+                        base = base.max(v + 32);
+                    }
+                }
+            }
+        }
+    }
+    base
+}
+
+fn jump_indirection(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let ops = prog.ops();
+    // Find (index, label) of PushLabel ops immediately followed by JUMP or
+    // JUMPI — those are the resolvable control transfers.
+    let mut sites: Vec<(usize, Label)> = Vec::new();
+    for i in 0..ops.len().saturating_sub(1) {
+        if let (AsmOp::PushLabel(l), AsmOp::Op(o)) = (&ops[i], &ops[i + 1]) {
+            if o.is_jump() {
+                sites.push((i, *l));
+            }
+        }
+    }
+    let chosen: Vec<(usize, Label)> = sites
+        .into_iter()
+        .filter(|_| coin(rng, intensity))
+        .collect();
+    if chosen.is_empty() {
+        return AsmProgram::from_ops(ops.to_vec());
+    }
+
+    // Assign each distinct label a memory slot, above any slots a prior
+    // application of this pass already claimed.
+    let slot_base = next_free_indirection_base(ops);
+    let mut slots: Vec<(Label, u64)> = Vec::new();
+    for (_, l) in &chosen {
+        if !slots.iter().any(|(x, _)| x == l) {
+            let slot = slot_base + 32 * slots.len() as u64;
+            slots.push((*l, slot));
+        }
+    }
+    let slot_of = |l: Label| slots.iter().find(|(x, _)| *x == l).map(|(_, s)| *s);
+
+    let mut out: Vec<AsmOp> = Vec::with_capacity(ops.len() + slots.len() * 4);
+    // Prologue: store each target address into its slot.
+    for (l, slot) in &slots {
+        out.push(AsmOp::PushLabel(*l));
+        out.push(AsmOp::Push(U256::from_u64(*slot).to_be_bytes_minimal()));
+        out.push(AsmOp::Op(Opcode::MSTORE));
+    }
+    // Body: replace chosen PushLabel with PUSH slot; MLOAD. Alternate
+    // sites additionally route the slot address through an opaque
+    // zero (`slot + CALLVALUE * 0`): the address is the same at runtime
+    // but statically unknown, so even a memory-tracking analyzer cannot
+    // resolve the load — the BOSC-style opaque-predicate escalation.
+    let chosen_idx: Vec<usize> = chosen.iter().map(|(i, _)| *i).collect();
+    let mut site_counter = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        if chosen_idx.contains(&i) {
+            if let AsmOp::PushLabel(l) = op {
+                let slot = slot_of(*l).expect("slot assigned");
+                out.push(AsmOp::Push(U256::from_u64(slot).to_be_bytes_minimal()));
+                if site_counter % 2 == 1 {
+                    // slot + callvalue * 0 == slot, opaquely.
+                    out.push(AsmOp::Op(Opcode::CALLVALUE));
+                    out.push(AsmOp::Push(vec![]));
+                    out.push(AsmOp::Op(Opcode::MUL));
+                    out.push(AsmOp::Op(Opcode::ADD));
+                }
+                out.push(AsmOp::Op(Opcode::MLOAD));
+                site_counter += 1;
+                continue;
+            }
+        }
+        out.push(op.clone());
+    }
+    AsmProgram::from_ops(out)
+}
+
+fn flattening(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmProgram {
+    let ops = prog.ops();
+    // Collect unconditional direct jumps: PushLabel + JUMP.
+    let mut sites: Vec<(usize, Label)> = Vec::new();
+    for i in 0..ops.len().saturating_sub(1) {
+        if let (AsmOp::PushLabel(l), AsmOp::Op(Opcode::JUMP)) = (&ops[i], &ops[i + 1]) {
+            if coin(rng, intensity) {
+                sites.push((i, *l));
+            }
+        }
+    }
+    if sites.is_empty() {
+        return AsmProgram::from_ops(ops.to_vec());
+    }
+
+    let mut result = AsmProgram::from_ops(ops.to_vec());
+    let dispatch = result.new_label();
+
+    // Distinct targets get sequential ids.
+    let mut targets: Vec<Label> = Vec::new();
+    for (_, l) in &sites {
+        if !targets.contains(l) {
+            targets.push(*l);
+        }
+    }
+    let id_of = |l: Label| targets.iter().position(|x| *x == l).unwrap() as u64;
+
+    let site_idx: Vec<usize> = sites.iter().map(|(i, _)| *i).collect();
+    let mut out: Vec<AsmOp> = Vec::with_capacity(ops.len() + targets.len() * 10);
+    let mut skip_next_jump = false;
+    for (i, op) in ops.iter().enumerate() {
+        if skip_next_jump {
+            skip_next_jump = false;
+            continue; // the JUMP consumed by the rewrite
+        }
+        if site_idx.contains(&i) {
+            if let AsmOp::PushLabel(l) = op {
+                out.push(AsmOp::Push(U256::from_u64(id_of(*l)).to_be_bytes_minimal()));
+                out.push(AsmOp::PushLabel(dispatch));
+                out.push(AsmOp::Op(Opcode::JUMP));
+                skip_next_jump = true;
+                continue;
+            }
+        }
+        out.push(op.clone());
+    }
+
+    // Dispatcher: sequential compare-and-jump, popping the id on match.
+    let mut result2 = AsmProgram::from_ops(out);
+    result2.place_label(dispatch);
+    for l in &targets {
+        let next_check = result2.new_label();
+        result2.op(Opcode::DUP1);
+        result2.push_value(id_of(*l));
+        result2.op(Opcode::EQ);
+        result2.op(Opcode::ISZERO);
+        result2.jumpi_to(next_check);
+        result2.op(Opcode::POP);
+        result2.jump_to(*l);
+        result2.place_label(next_check);
+    }
+    result2.op(Opcode::INVALID); // unknown id: unreachable
+    result2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use scamdetect_evm::cfg::build_cfg;
+    use scamdetect_evm::interp::{execute, InterpConfig, Outcome, TxContext};
+    use std::collections::BTreeMap;
+
+    /// A small "bank" program exercising storage, branches and a loop.
+    fn sample_program() -> AsmProgram {
+        let mut p = AsmProgram::new();
+        let deposit = p.new_label();
+        let drain = p.new_label();
+        let top = p.new_label();
+        let done = p.new_label();
+        // dispatch on callvalue: 0 -> drain path, else deposit
+        p.op(Opcode::CALLVALUE);
+        p.jumpi_to(deposit);
+        p.jump_to(drain);
+
+        p.place_label(deposit);
+        // storage[1] += callvalue (ADD with SLOAD)
+        p.push_value(1);
+        p.op(Opcode::SLOAD);
+        p.op(Opcode::CALLVALUE);
+        p.op(Opcode::ADD);
+        p.push_value(1);
+        p.op(Opcode::SSTORE);
+        p.op(Opcode::STOP);
+
+        p.place_label(drain);
+        // loop i=3: storage[i] = i*2; then log; then return 32 bytes
+        p.push_value(3);
+        p.place_label(top);
+        p.op(Opcode::DUP1);
+        p.op(Opcode::ISZERO);
+        p.jumpi_to(done);
+        p.op(Opcode::DUP1);
+        p.op(Opcode::DUP1);
+        p.push_value(2);
+        p.op(Opcode::MUL); // i*2
+        p.op(Opcode::SWAP1);
+        p.op(Opcode::SSTORE); // storage[i] = i*2
+        p.push_value(1);
+        p.op(Opcode::SWAP1);
+        p.op(Opcode::SUB);
+        p.jump_to(top);
+        p.place_label(done);
+        p.op(Opcode::POP);
+        p.push_value(0xfeed).push_value(0).op(Opcode::MSTORE);
+        p.push_value(42); // topic
+        p.push_value(32).push_value(0); // len off
+        p.op(Opcode::LOG1);
+        p.push_value(32).push_value(0).op(Opcode::RETURN);
+        p
+    }
+
+    fn contexts() -> Vec<TxContext> {
+        let mut poor = TxContext::default();
+        poor.callvalue = U256::ZERO;
+        let mut rich = TxContext::default();
+        rich.callvalue = U256::from_u64(77);
+        let mut with_data = TxContext::default();
+        with_data.calldata = vec![0xde, 0xad, 0xbe, 0xef, 1, 2, 3];
+        vec![poor, rich, with_data]
+    }
+
+    fn run(code: &[u8], ctx: &TxContext) -> Outcome {
+        execute(code, ctx, &BTreeMap::new(), &InterpConfig::default())
+    }
+
+    fn assert_equivalent(kind: EvmPassKind, seed: u64, intensity: f64) {
+        let original = sample_program();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let transformed = apply_evm_pass(kind, &original, &mut rng, intensity);
+        let code_a = original.assemble().expect("original assembles");
+        let code_b = transformed
+            .assemble()
+            .unwrap_or_else(|e| panic!("{kind} output assembles: {e}"));
+        for (i, ctx) in contexts().iter().enumerate() {
+            let oa = run(&code_a, ctx);
+            let ob = run(&code_b, ctx);
+            assert_eq!(oa, ob, "pass {kind} diverged on context {i} (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn all_passes_preserve_semantics() {
+        for kind in EvmPassKind::all() {
+            for seed in [1u64, 7, 42] {
+                assert_equivalent(kind, seed, 0.8);
+            }
+        }
+    }
+
+    #[test]
+    fn passes_change_the_bytes() {
+        let original = sample_program().assemble().unwrap();
+        for kind in EvmPassKind::all() {
+            let mut rng = StdRng::seed_from_u64(123);
+            let out = apply_evm_pass(kind, &sample_program(), &mut rng, 1.0)
+                .assemble()
+                .unwrap();
+            assert_ne!(out, original, "pass {kind} was an identity at intensity 1");
+        }
+    }
+
+    #[test]
+    fn jump_indirection_arms_race() {
+        let original = sample_program();
+        let before = build_cfg(&original.assemble().unwrap());
+        assert_eq!(before.unresolved_jump_count(), 0);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let obf = apply_evm_pass(EvmPassKind::JumpIndirection, &original, &mut rng, 1.0);
+        let after = build_cfg(&obf.assemble().unwrap());
+        // Direct memory-routed sites are RESOLVED by the memory-tracking
+        // analyzer (the defender's move)…
+        assert!(
+            after.resolved_jump_count() > 0,
+            "memory tracking must resolve the plain indirect sites"
+        );
+        // …while the opaque-predicate sites stay beyond static analysis
+        // (the attacker's counter-move).
+        assert!(
+            after.unresolved_jump_count() > 0,
+            "opaque slots must remain unresolved"
+        );
+    }
+
+    #[test]
+    fn flattening_routes_jumps_through_dispatcher() {
+        let original = sample_program();
+        let before = build_cfg(&original.assemble().unwrap());
+        let mut rng = StdRng::seed_from_u64(5);
+        let obf = apply_evm_pass(EvmPassKind::Flattening, &original, &mut rng, 1.0);
+        let after = build_cfg(&obf.assemble().unwrap());
+        assert!(after.block_count() > before.block_count());
+    }
+
+    #[test]
+    fn dead_code_grows_code_without_new_behaviour() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let original = sample_program();
+        let obf = apply_evm_pass(EvmPassKind::DeadCode, &original, &mut rng, 1.0);
+        assert!(obf.assemble().unwrap().len() > original.assemble().unwrap().len());
+    }
+
+    #[test]
+    fn reordering_moves_segments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let original = sample_program();
+        let obf = apply_evm_pass(EvmPassKind::BlockReordering, &original, &mut rng, 1.0);
+        // Same semantic tests pass (covered above); here check order changed.
+        assert_ne!(obf.ops(), original.ops());
+    }
+
+    #[test]
+    fn zero_intensity_is_identity_for_site_passes() {
+        let original = sample_program();
+        let mut rng = StdRng::seed_from_u64(3);
+        for kind in [
+            EvmPassKind::ConstantSplitting,
+            EvmPassKind::DeadCode,
+            EvmPassKind::JumpIndirection,
+            EvmPassKind::Flattening,
+        ] {
+            let out = apply_evm_pass(kind, &original, &mut rng, 0.0);
+            assert_eq!(out.ops(), original.ops(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = EvmPassKind::all().iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EvmPassKind::all().len());
+    }
+}

@@ -1,0 +1,37 @@
+//! Semantics-preserving bytecode obfuscation for EVM and WASM contracts.
+//!
+//! ScamDetect's motivating threat (paper §IV) is that obfuscation —
+//! control-structure manipulation, instruction-flow rewriting, data-layout
+//! changes (BOSC \[22\], BiAn \[23\]) and binary diversification
+//! (wasm-mutate \[1\]) — erodes static pattern detectors. This crate
+//! *implements that threat* so the evaluation can measure it:
+//!
+//! * [`evm_passes`] — ten passes over label-form EVM assembly, from junk
+//!   `JUMPDEST` insertion up to memory-routed jump indirection and CFG
+//!   flattening. All are semantics-preserving; the test suite proves it by
+//!   differential execution on the concrete EVM interpreter.
+//! * [`wasm_passes`] — five wasm-mutate-style diversification passes.
+//! * [`pipeline`] — calibrated intensity levels 0–5 used by the
+//!   robustness sweep (experiment E3).
+//!
+//! # Examples
+//!
+//! ```
+//! use scamdetect_evm::{asm::AsmProgram, opcode::Opcode};
+//! use scamdetect_obfuscate::{obfuscate_evm, ObfuscationLevel};
+//!
+//! let mut p = AsmProgram::new();
+//! p.push_value(7).push_value(0).op(Opcode::SSTORE).op(Opcode::STOP);
+//!
+//! let (obfuscated, report) = obfuscate_evm(&p, ObfuscationLevel::new(5), 1234);
+//! assert!(report.growth() > 1.0);          // code grew…
+//! assert!(obfuscated.assemble().is_ok());  // …and still assembles.
+//! ```
+
+pub mod evm_passes;
+pub mod pipeline;
+pub mod wasm_passes;
+
+pub use evm_passes::{apply_evm_pass, EvmPassKind};
+pub use pipeline::{obfuscate_evm, obfuscate_wasm, ObfuscationLevel, ObfuscationReport};
+pub use wasm_passes::{apply_wasm_pass, WasmPassKind};

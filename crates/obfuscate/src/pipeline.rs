@@ -1,0 +1,270 @@
+//! Leveled obfuscation pipelines for the robustness sweeps (E3).
+
+use crate::evm_passes::{apply_evm_pass, EvmPassKind};
+use crate::wasm_passes::{apply_wasm_pass, WasmPassKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scamdetect_evm::asm::AsmProgram;
+use scamdetect_wasm::module::Module;
+
+/// Obfuscation intensity level, 0 (identity) to 5 (maximum).
+///
+/// The level determines which passes run and at what per-site intensity,
+/// matching the sweep axis of the paper's robustness evaluation:
+///
+/// | level | added passes |
+/// |-------|--------------|
+/// | 0 | none |
+/// | 1 | junk jumpdests, nop pairs |
+/// | 2 | + opcode substitution, constant splitting |
+/// | 3 | + dead code, never-taken branches, block splitting |
+/// | 4 | + block reordering, partial jump indirection |
+/// | 5 | + CFG flattening, full jump indirection |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObfuscationLevel(u8);
+
+impl ObfuscationLevel {
+    /// Creates a level, clamping to the supported `0..=5` range.
+    pub fn new(level: u8) -> Self {
+        ObfuscationLevel(level.min(5))
+    }
+
+    /// The numeric level.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// All levels, 0 through 5.
+    pub fn all() -> [ObfuscationLevel; 6] {
+        [0, 1, 2, 3, 4, 5].map(ObfuscationLevel)
+    }
+
+    /// The EVM passes (with intensities) this level applies, in order.
+    pub fn evm_passes(self) -> Vec<(EvmPassKind, f64)> {
+        use EvmPassKind::*;
+        let mut passes = Vec::new();
+        if self.0 >= 1 {
+            passes.push((JunkJumpdests, 0.15));
+            passes.push((NopPairs, 0.15));
+        }
+        if self.0 >= 2 {
+            passes.push((OpcodeSubstitution, 0.5));
+            passes.push((ConstantSplitting, 0.5));
+        }
+        if self.0 >= 3 {
+            passes.push((DeadCode, 0.8));
+            passes.push((NeverTakenBranches, 0.2));
+            passes.push((BlockSplitting, 0.2));
+        }
+        if self.0 >= 4 {
+            passes.push((BlockReordering, 1.0));
+            passes.push((JumpIndirection, 0.4));
+        }
+        if self.0 >= 5 {
+            passes.push((Flattening, 0.8));
+            passes.push((JumpIndirection, 1.0));
+        }
+        passes
+    }
+
+    /// The WASM passes (with intensities) this level applies, in order.
+    pub fn wasm_passes(self) -> Vec<(WasmPassKind, f64)> {
+        use WasmPassKind::*;
+        let mut passes = Vec::new();
+        if self.0 >= 1 {
+            passes.push((NopInsertion, 0.2));
+        }
+        if self.0 >= 2 {
+            passes.push((ConstSplitting, 0.5));
+        }
+        if self.0 >= 3 {
+            passes.push((DeadFunctions, 0.7));
+            passes.push((BlockWrap, 0.4));
+        }
+        if self.0 >= 4 {
+            passes.push((FunctionReorder, 1.0));
+            passes.push((NopInsertion, 0.5));
+        }
+        if self.0 >= 5 {
+            passes.push((ConstSplitting, 1.0));
+            passes.push((DeadFunctions, 1.0));
+            passes.push((BlockWrap, 0.8));
+        }
+        passes
+    }
+}
+
+impl std::fmt::Display for ObfuscationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Summary of one obfuscation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObfuscationReport {
+    /// Bytes before.
+    pub size_before: usize,
+    /// Bytes after.
+    pub size_after: usize,
+    /// Names of the passes applied, in order.
+    pub passes: Vec<&'static str>,
+}
+
+impl ObfuscationReport {
+    /// Code-size growth factor.
+    pub fn growth(&self) -> f64 {
+        if self.size_before == 0 {
+            1.0
+        } else {
+            self.size_after as f64 / self.size_before as f64
+        }
+    }
+}
+
+/// Applies the leveled EVM pipeline to a label-form program.
+///
+/// Deterministic for a given `(seed, level, program)` triple.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_evm::{asm::AsmProgram, opcode::Opcode};
+/// use scamdetect_obfuscate::{obfuscate_evm, ObfuscationLevel};
+///
+/// let mut p = AsmProgram::new();
+/// p.push_value(1).push_value(2).op(Opcode::ADD).op(Opcode::STOP);
+/// let (obf, report) = obfuscate_evm(&p, ObfuscationLevel::new(3), 42);
+/// assert!(report.size_after >= report.size_before);
+/// assert!(obf.assemble().is_ok());
+/// ```
+pub fn obfuscate_evm(
+    prog: &AsmProgram,
+    level: ObfuscationLevel,
+    seed: u64,
+) -> (AsmProgram, ObfuscationReport) {
+    let size_before = prog.assemble().map(|b| b.len()).unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xEB0F_05CA);
+    let mut current = AsmProgram::from_ops(prog.ops().to_vec());
+    let mut passes = Vec::new();
+    for (kind, intensity) in level.evm_passes() {
+        current = apply_evm_pass(kind, &current, &mut rng, intensity);
+        passes.push(kind.name());
+    }
+    let size_after = current.assemble().map(|b| b.len()).unwrap_or(0);
+    (
+        current,
+        ObfuscationReport {
+            size_before,
+            size_after,
+            passes,
+        },
+    )
+}
+
+/// Applies the leveled WASM pipeline to a module.
+pub fn obfuscate_wasm(
+    module: &Module,
+    level: ObfuscationLevel,
+    seed: u64,
+) -> (Module, ObfuscationReport) {
+    let size_before = scamdetect_wasm::encode::encode_module(module).len();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5F_0CA7);
+    let mut current = module.clone();
+    let mut passes = Vec::new();
+    for (kind, intensity) in level.wasm_passes() {
+        current = apply_wasm_pass(kind, &current, &mut rng, intensity);
+        passes.push(kind.name());
+    }
+    let size_after = scamdetect_wasm::encode::encode_module(&current).len();
+    (
+        current,
+        ObfuscationReport {
+            size_before,
+            size_after,
+            passes,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scamdetect_evm::opcode::Opcode;
+
+    fn tiny_prog() -> AsmProgram {
+        let mut p = AsmProgram::new();
+        let l = p.new_label();
+        p.op(Opcode::CALLVALUE);
+        p.jumpi_to(l);
+        p.push_value(0).push_value(0).op(Opcode::REVERT);
+        p.place_label(l);
+        p.push_value(5).push_value(1).op(Opcode::SSTORE);
+        p.op(Opcode::STOP);
+        p
+    }
+
+    #[test]
+    fn level_zero_is_identity() {
+        let p = tiny_prog();
+        let (out, report) = obfuscate_evm(&p, ObfuscationLevel::new(0), 1);
+        assert_eq!(out.ops(), p.ops());
+        assert!(report.passes.is_empty());
+        assert_eq!(report.growth(), 1.0);
+    }
+
+    #[test]
+    fn levels_monotonically_add_passes() {
+        let mut prev = 0;
+        for l in ObfuscationLevel::all() {
+            let n = l.evm_passes().len();
+            assert!(n >= prev, "level {l} has fewer passes than predecessor");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn higher_levels_grow_code() {
+        let p = tiny_prog();
+        let (_, r1) = obfuscate_evm(&p, ObfuscationLevel::new(1), 7);
+        let (_, r5) = obfuscate_evm(&p, ObfuscationLevel::new(5), 7);
+        assert!(r5.size_after > r1.size_after);
+        assert!(r5.growth() > 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = tiny_prog();
+        let (a, _) = obfuscate_evm(&p, ObfuscationLevel::new(4), 99);
+        let (b, _) = obfuscate_evm(&p, ObfuscationLevel::new(4), 99);
+        assert_eq!(a.ops(), b.ops());
+        let (c, _) = obfuscate_evm(&p, ObfuscationLevel::new(4), 100);
+        assert_ne!(a.ops(), c.ops());
+    }
+
+    #[test]
+    fn clamps_out_of_range_levels() {
+        assert_eq!(ObfuscationLevel::new(9).get(), 5);
+        assert_eq!(ObfuscationLevel::new(9).to_string(), "L5");
+    }
+
+    #[test]
+    fn wasm_pipeline_roundtrips() {
+        let mut m = Module::new();
+        let f = m.add_function(
+            scamdetect_wasm::types::FuncType::default(),
+            vec![],
+            vec![
+                scamdetect_wasm::instr::Instr::I32Const(5),
+                scamdetect_wasm::instr::Instr::Drop,
+            ],
+        );
+        m.export_func("main", f);
+        for level in ObfuscationLevel::all() {
+            let (out, report) = obfuscate_wasm(&m, level, 3);
+            scamdetect_wasm::validate::validate(&out)
+                .unwrap_or_else(|e| panic!("level {level}: {e}"));
+            assert!(report.size_after >= 8, "level {level}");
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! WASM binary-diversification passes (wasm-mutate style \[1\]).
+//!
+//! Each pass preserves module semantics: constants are recombined, nops
+//! inserted, functions reordered with call-index remapping, dead functions
+//! appended, and branch-free regions wrapped in extra blocks. Together
+//! they emulate the diversification pressure the paper cites as a threat
+//! to static WASM detection.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use scamdetect_wasm::instr::{IBinOp, Instr, Width};
+use scamdetect_wasm::module::{Function, Module};
+use scamdetect_wasm::types::{BlockType, FuncType, ValType};
+
+/// The individual WASM passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WasmPassKind {
+    /// Insert `nop`s throughout bodies.
+    NopInsertion,
+    /// Split integer constants into arithmetic recombinations.
+    ConstSplitting,
+    /// Shuffle function order, remapping call indices.
+    FunctionReorder,
+    /// Append unreachable junk functions.
+    DeadFunctions,
+    /// Wrap branch-free instruction runs in redundant blocks.
+    BlockWrap,
+}
+
+impl WasmPassKind {
+    /// All passes in canonical order.
+    pub fn all() -> [WasmPassKind; 5] {
+        [
+            WasmPassKind::NopInsertion,
+            WasmPassKind::ConstSplitting,
+            WasmPassKind::FunctionReorder,
+            WasmPassKind::DeadFunctions,
+            WasmPassKind::BlockWrap,
+        ]
+    }
+
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WasmPassKind::NopInsertion => "nop_insertion",
+            WasmPassKind::ConstSplitting => "const_splitting",
+            WasmPassKind::FunctionReorder => "function_reorder",
+            WasmPassKind::DeadFunctions => "dead_functions",
+            WasmPassKind::BlockWrap => "block_wrap",
+        }
+    }
+}
+
+impl std::fmt::Display for WasmPassKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies one WASM pass at `intensity` in `[0, 1]`.
+pub fn apply_wasm_pass(
+    kind: WasmPassKind,
+    module: &Module,
+    rng: &mut StdRng,
+    intensity: f64,
+) -> Module {
+    match kind {
+        WasmPassKind::NopInsertion => nop_insertion(module, rng, intensity),
+        WasmPassKind::ConstSplitting => const_splitting(module, rng, intensity),
+        WasmPassKind::FunctionReorder => function_reorder(module, rng),
+        WasmPassKind::DeadFunctions => dead_functions(module, rng, intensity),
+        WasmPassKind::BlockWrap => block_wrap(module, rng, intensity),
+    }
+}
+
+fn coin(rng: &mut StdRng, p: f64) -> bool {
+    rng.random_range(0.0..1.0) < p
+}
+
+fn map_bodies(module: &Module, mut f: impl FnMut(&[Instr]) -> Vec<Instr>) -> Module {
+    let mut out = module.clone();
+    for func in &mut out.functions {
+        func.body = f(&func.body);
+    }
+    out
+}
+
+fn nop_insertion(module: &Module, rng: &mut StdRng, intensity: f64) -> Module {
+    fn rewrite(body: &[Instr], rng: &mut StdRng, p: f64) -> Vec<Instr> {
+        let mut out = Vec::with_capacity(body.len());
+        for i in body {
+            if coin(rng, p * 0.5) {
+                out.push(Instr::Nop);
+            }
+            out.push(match i {
+                Instr::Block { ty, body } => Instr::Block {
+                    ty: *ty,
+                    body: rewrite(body, rng, p),
+                },
+                Instr::Loop { ty, body } => Instr::Loop {
+                    ty: *ty,
+                    body: rewrite(body, rng, p),
+                },
+                Instr::If { ty, then, els } => Instr::If {
+                    ty: *ty,
+                    then: rewrite(then, rng, p),
+                    els: rewrite(els, rng, p),
+                },
+                other => other.clone(),
+            });
+        }
+        out
+    }
+    map_bodies(module, |b| rewrite(b, rng, intensity))
+}
+
+fn const_splitting(module: &Module, rng: &mut StdRng, intensity: f64) -> Module {
+    fn rewrite(body: &[Instr], rng: &mut StdRng, p: f64) -> Vec<Instr> {
+        let mut out = Vec::with_capacity(body.len());
+        for i in body {
+            match i {
+                Instr::I32Const(v) if coin(rng, p) => {
+                    let k = rng.random::<i32>();
+                    if coin(rng, 0.5) {
+                        out.push(Instr::I32Const(v ^ k));
+                        out.push(Instr::I32Const(k));
+                        out.push(Instr::Binary { width: Width::W32, op: IBinOp::Xor });
+                    } else {
+                        out.push(Instr::I32Const(v.wrapping_sub(k)));
+                        out.push(Instr::I32Const(k));
+                        out.push(Instr::Binary { width: Width::W32, op: IBinOp::Add });
+                    }
+                }
+                Instr::I64Const(v) if coin(rng, p) => {
+                    let k = rng.random::<i64>();
+                    out.push(Instr::I64Const(v ^ k));
+                    out.push(Instr::I64Const(k));
+                    out.push(Instr::Binary { width: Width::W64, op: IBinOp::Xor });
+                }
+                Instr::Block { ty, body } => out.push(Instr::Block {
+                    ty: *ty,
+                    body: rewrite(body, rng, p),
+                }),
+                Instr::Loop { ty, body } => out.push(Instr::Loop {
+                    ty: *ty,
+                    body: rewrite(body, rng, p),
+                }),
+                Instr::If { ty, then, els } => out.push(Instr::If {
+                    ty: *ty,
+                    then: rewrite(then, rng, p),
+                    els: rewrite(els, rng, p),
+                }),
+                other => out.push(other.clone()),
+            }
+        }
+        out
+    }
+    map_bodies(module, |b| rewrite(b, rng, intensity))
+}
+
+fn function_reorder(module: &Module, rng: &mut StdRng) -> Module {
+    let n = module.functions.len();
+    if n < 2 {
+        return module.clone();
+    }
+    // permutation[i] = new position of old local function i. Retry the
+    // shuffle a few times so "reorder" actually reorders; fall back to a
+    // rotation, which is never the identity for n >= 2.
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..8 {
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        if order.iter().enumerate().any(|(i, &o)| i != o) {
+            break;
+        }
+    }
+    if order.iter().enumerate().all(|(i, &o)| i == o) {
+        order.rotate_right(1);
+    }
+    let mut position = vec![0usize; n];
+    for (new_pos, &old) in order.iter().enumerate() {
+        position[old] = new_pos;
+    }
+
+    let imports = module.imports.len() as u32;
+    let remap = |idx: u32| -> u32 {
+        if idx < imports {
+            idx
+        } else {
+            imports + position[(idx - imports) as usize] as u32
+        }
+    };
+
+    fn rewrite_calls(body: &[Instr], remap: &dyn Fn(u32) -> u32) -> Vec<Instr> {
+        body.iter()
+            .map(|i| match i {
+                Instr::Call(f) => Instr::Call(remap(*f)),
+                Instr::Block { ty, body } => Instr::Block {
+                    ty: *ty,
+                    body: rewrite_calls(body, remap),
+                },
+                Instr::Loop { ty, body } => Instr::Loop {
+                    ty: *ty,
+                    body: rewrite_calls(body, remap),
+                },
+                Instr::If { ty, then, els } => Instr::If {
+                    ty: *ty,
+                    then: rewrite_calls(then, remap),
+                    els: rewrite_calls(els, remap),
+                },
+                other => other.clone(),
+            })
+            .collect()
+    }
+
+    let mut out = module.clone();
+    let mut new_functions: Vec<Function> = Vec::with_capacity(n);
+    for &old in &order {
+        let mut f = module.functions[old].clone();
+        f.body = rewrite_calls(&f.body, &remap);
+        new_functions.push(f);
+    }
+    out.functions = new_functions;
+    for e in &mut out.exports {
+        if e.kind == scamdetect_wasm::module::ExportKind::Func {
+            e.index = remap(e.index);
+        }
+    }
+    out
+}
+
+fn dead_functions(module: &Module, rng: &mut StdRng, intensity: f64) -> Module {
+    let mut out = module.clone();
+    let count = (intensity * 4.0).ceil() as usize;
+    for _ in 0..count {
+        let n = rng.random_range(4..16);
+        let mut body = Vec::with_capacity(n);
+        for _ in 0..n {
+            body.push(match rng.random_range(0..6) {
+                0 => Instr::I64Const(rng.random()),
+                1 => Instr::LocalGet(0),
+                2 => Instr::Binary { width: Width::W64, op: IBinOp::Add },
+                3 => Instr::Drop,
+                4 => Instr::I32Const(rng.random()),
+                _ => Instr::Nop,
+            });
+        }
+        // A junk function is never called, so an arbitrarily ill-typed body
+        // would still never trap — but keep it decodable and validateable:
+        // end with unreachable so no result is required.
+        body.push(Instr::Unreachable);
+        let type_idx = out.intern_type(FuncType::new(vec![ValType::I64], vec![]));
+        out.functions.push(Function {
+            type_idx,
+            locals: vec![(2, ValType::I64)],
+            body,
+        });
+    }
+    out
+}
+
+fn block_wrap(module: &Module, rng: &mut StdRng, intensity: f64) -> Module {
+    fn contains_branches(body: &[Instr]) -> bool {
+        body.iter().any(|i| match i {
+            Instr::Br(_) | Instr::BrIf(_) | Instr::BrTable { .. } => true,
+            Instr::Block { body, .. } | Instr::Loop { body, .. } => contains_branches(body),
+            Instr::If { then, els, .. } => contains_branches(then) || contains_branches(els),
+            _ => false,
+        })
+    }
+    /// `Some((pops, pushes))` for leaf instructions with a fixed stack
+    /// effect; `None` for anything not safely wrappable (control, calls).
+    fn stack_effect(i: &Instr) -> Option<(usize, usize)> {
+        Some(match i {
+            Instr::Nop => (0, 0),
+            Instr::I32Const(_) | Instr::I64Const(_) => (0, 1),
+            Instr::LocalGet(_) | Instr::GlobalGet(_) | Instr::MemorySize => (0, 1),
+            Instr::LocalSet(_) | Instr::GlobalSet(_) | Instr::Drop => (1, 0),
+            Instr::LocalTee(_) | Instr::Load { .. } | Instr::MemoryGrow => (1, 1),
+            Instr::Eqz(_) | Instr::Unary { .. } => (1, 1),
+            Instr::I32WrapI64 | Instr::I64ExtendI32S | Instr::I64ExtendI32U => (1, 1),
+            Instr::Rel { .. } | Instr::Binary { .. } => (2, 1),
+            Instr::Store { .. } => (2, 0),
+            Instr::Select => (3, 1),
+            _ => return None,
+        })
+    }
+
+    /// A run is wrappable in a result-less block iff no prefix pops below
+    /// the block floor and the net stack delta is zero.
+    fn is_balanced(slice: &[Instr]) -> bool {
+        let mut depth: isize = 0;
+        for i in slice {
+            let Some((pops, pushes)) = stack_effect(i) else {
+                return false;
+            };
+            depth -= pops as isize;
+            if depth < 0 {
+                return false;
+            }
+            depth += pushes as isize;
+        }
+        depth == 0
+    }
+
+    fn rewrite(body: &[Instr], rng: &mut StdRng, p: f64) -> Vec<Instr> {
+        let mut out: Vec<Instr> = Vec::with_capacity(body.len());
+        let mut i = 0;
+        while i < body.len() {
+            // Try to wrap a short run starting here.
+            if coin(rng, p * 0.3) {
+                let max_len = (body.len() - i).min(4);
+                let mut wrapped = false;
+                for len in (2..=max_len).rev() {
+                    let slice = &body[i..i + len];
+                    if !contains_branches(slice) && is_balanced(slice) {
+                        out.push(Instr::Block {
+                            ty: BlockType::Empty,
+                            body: slice.to_vec(),
+                        });
+                        i += len;
+                        wrapped = true;
+                        break;
+                    }
+                }
+                if wrapped {
+                    continue;
+                }
+                // Fallback: a redundant nop-block is always valid and still
+                // perturbs the CFG with an extra join node.
+                out.push(Instr::Block {
+                    ty: BlockType::Empty,
+                    body: vec![Instr::Nop],
+                });
+            }
+            out.push(match &body[i] {
+                Instr::Block { ty, body } => Instr::Block {
+                    ty: *ty,
+                    body: rewrite(body, rng, p),
+                },
+                Instr::Loop { ty, body } => Instr::Loop {
+                    ty: *ty,
+                    body: rewrite(body, rng, p),
+                },
+                Instr::If { ty, then, els } => Instr::If {
+                    ty: *ty,
+                    then: rewrite(then, rng, p),
+                    els: rewrite(els, rng, p),
+                },
+                other => other.clone(),
+            });
+            i += 1;
+        }
+        out
+    }
+    map_bodies(module, |b| rewrite(b, rng, intensity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use scamdetect_wasm::decode::decode_module;
+    use scamdetect_wasm::encode::encode_module;
+    use scamdetect_wasm::hostenv::{idx, import_standard_env};
+    use scamdetect_wasm::validate::validate;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new();
+        let env = import_standard_env(&mut m);
+        let helper = m.add_function(
+            FuncType::new(vec![ValType::I64], vec![ValType::I64]),
+            vec![],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I64Const(2),
+                Instr::Binary { width: Width::W64, op: IBinOp::Mul },
+            ],
+        );
+        let main = m.add_function(
+            FuncType::default(),
+            vec![(1, ValType::I64)],
+            vec![
+                Instr::Call(env[idx::CALLER] as u32),
+                Instr::LocalSet(0),
+                Instr::Block {
+                    ty: BlockType::Empty,
+                    body: vec![
+                        Instr::LocalGet(0),
+                        Instr::Eqz(Width::W64),
+                        Instr::BrIf(0),
+                        Instr::LocalGet(0),
+                        Instr::Call(helper),
+                        Instr::I64Const(10),
+                        Instr::Call(env[idx::TRANSFER] as u32),
+                    ],
+                },
+            ],
+        );
+        m.export_func("main", main);
+        m
+    }
+
+    #[test]
+    fn all_passes_produce_valid_decodable_modules() {
+        for kind in WasmPassKind::all() {
+            for seed in [1u64, 9, 33] {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = apply_wasm_pass(kind, &sample_module(), &mut rng, 0.9);
+                validate(&out).unwrap_or_else(|e| panic!("{kind} invalid: {e}"));
+                let bytes = encode_module(&out);
+                let back = decode_module(&bytes).unwrap_or_else(|e| panic!("{kind}: {e}"));
+                assert_eq!(back, out, "{kind} roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn passes_change_the_module() {
+        for kind in WasmPassKind::all() {
+            let mut rng = StdRng::seed_from_u64(2024);
+            let out = apply_wasm_pass(kind, &sample_module(), &mut rng, 1.0);
+            assert_ne!(out, sample_module(), "{kind} was identity at intensity 1");
+        }
+    }
+
+    #[test]
+    fn function_reorder_keeps_exports_pointing_at_main() {
+        let m = sample_module();
+        let before_main = m.exported_func("main").unwrap();
+        let before_body = {
+            let i = (before_main as usize) - m.imports.len();
+            m.functions[i].body.len()
+        };
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = function_reorder(&m, &mut rng);
+            let main_idx = out.exported_func("main").unwrap();
+            let body = &out.functions[(main_idx as usize) - out.imports.len()].body;
+            assert_eq!(body.len(), before_body, "seed {seed}: export must follow function");
+        }
+    }
+
+    #[test]
+    fn dead_functions_are_not_exported() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = sample_module();
+        let out = dead_functions(&m, &mut rng, 1.0);
+        assert!(out.functions.len() > m.functions.len());
+        assert_eq!(out.exports.len(), m.exports.len());
+    }
+
+    #[test]
+    fn const_splitting_preserves_recombination() {
+        // The recombined value must equal the original: check statically
+        // that XOR splits are inverses.
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = sample_module();
+        let out = const_splitting(&m, &mut rng, 1.0);
+        // Dig for a split triple anywhere in the new bodies.
+        fn find_split(body: &[Instr]) -> Option<i64> {
+            for w in body.windows(3) {
+                if let [Instr::I64Const(a), Instr::I64Const(b), Instr::Binary { op: IBinOp::Xor, .. }] =
+                    w
+                {
+                    return Some(a ^ b);
+                }
+            }
+            for i in body {
+                let inner = match i {
+                    Instr::Block { body, .. } | Instr::Loop { body, .. } => find_split(body),
+                    Instr::If { then, els, .. } => find_split(then).or_else(|| find_split(els)),
+                    _ => None,
+                };
+                if inner.is_some() {
+                    return inner;
+                }
+            }
+            None
+        }
+        let recombined = out.functions.iter().find_map(|f| find_split(&f.body));
+        // Original constants were 2 and 10.
+        if let Some(v) = recombined {
+            assert!(v == 2 || v == 10, "recombined to {v}");
+        }
+    }
+
+    #[test]
+    fn nop_insertion_grows_instruction_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = sample_module();
+        let out = nop_insertion(&m, &mut rng, 1.0);
+        assert!(out.instruction_count() > m.instruction_count());
+    }
+}

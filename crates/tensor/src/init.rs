@@ -1,0 +1,62 @@
+//! Seeded weight initialisation schemes.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for tanh/sigmoid layers
+/// and the GNN weight matrices.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+/// He/Kaiming normal initialisation: `N(0, sqrt(2 / fan_in))`, suited to
+/// ReLU-family activations. Uses a Box–Muller transform so only `rand`'s
+/// uniform source is required.
+pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / rows as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| std * standard_normal(rng))
+}
+
+/// A single standard-normal draw via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = xavier_uniform(16, 32, &mut rng);
+        let a = (6.0 / 48.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+        assert!(m.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn he_normal_has_roughly_right_scale() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let m = he_normal(64, 64, &mut rng);
+        let var: f32 =
+            m.as_slice().iter().map(|x| x * x).sum::<f32>() / (64.0 * 64.0);
+        let expected = 2.0 / 64.0;
+        assert!(
+            (var - expected).abs() < expected,
+            "sample variance {var} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(4, 4, &mut rand::rngs::StdRng::seed_from_u64(3));
+        let b = xavier_uniform(4, 4, &mut rand::rngs::StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

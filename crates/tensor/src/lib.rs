@@ -1,0 +1,51 @@
+//! Dense matrices with reverse-mode automatic differentiation.
+//!
+//! ScamDetect's neural models (MLP baselines and the five GNN architectures)
+//! are built from scratch on this crate. It provides:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with the usual linear
+//!   algebra (`matmul`, transpose, elementwise maps),
+//! * [`Tape`] / [`Var`] — an eager autodiff tape: every operation computes
+//!   its value immediately and records a backward closure; calling
+//!   [`Tape::backward`] accumulates gradients for every variable that
+//!   requires them,
+//! * [`optim`] — SGD and Adam optimizers over a [`Parameters`] store,
+//! * [`init`] — seeded Xavier/He initialisation.
+//!
+//! Control-flow graphs from smart contracts are small (≤ a few hundred
+//! nodes), so all graph operations use dense adjacency matrices; clarity and
+//! auditability of the layer math beat sparse cleverness at this scale.
+//!
+//! # Examples
+//!
+//! Training `y = 2x` with one weight:
+//!
+//! ```
+//! use scamdetect_tensor::{Matrix, Parameters, Tape, optim::Sgd};
+//!
+//! let mut params = Parameters::new();
+//! let w = params.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+//! let mut sgd = Sgd::new(0.1);
+//! for _ in 0..100 {
+//!     let tape = Tape::new();
+//!     let vars = params.bind(&tape);
+//!     let x = tape.constant(Matrix::from_vec(1, 1, vec![3.0]));
+//!     let y = tape.matmul(x, vars[w.index()]);
+//!     let target = tape.constant(Matrix::from_vec(1, 1, vec![6.0]));
+//!     let diff = tape.sub(y, target);
+//!     let loss = tape.mul(diff, diff);
+//!     let grads = tape.backward(loss);
+//!     sgd.step(&mut params, |id| grads.of(vars[id.index()]));
+//! }
+//! assert!((params.get(w).get(0, 0) - 2.0).abs() < 1e-3);
+//! ```
+
+pub mod init;
+pub mod matrix;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use params::{ParamId, Parameters};
+pub use tape::{Gradients, Tape, Var};

@@ -1,0 +1,236 @@
+//! First-order optimizers over a [`Parameters`] store.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, Parameters};
+
+/// Plain stochastic gradient descent with optional momentum and weight decay.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_tensor::{Matrix, Parameters, optim::Sgd};
+///
+/// let mut params = Parameters::new();
+/// let w = params.add("w", Matrix::filled(1, 1, 1.0));
+/// let mut sgd = Sgd::new(0.5);
+/// let grad = Matrix::filled(1, 1, 2.0);
+/// sgd.step(&mut params, |_| Some(&grad));
+/// assert_eq!(params.get(w).get(0, 0), 0.0); // 1.0 - 0.5 * 2.0
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`, no momentum, no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets classical momentum `mu` (0 disables).
+    pub fn with_momentum(mut self, mu: f32) -> Self {
+        self.momentum = mu;
+        self
+    }
+
+    /// Sets decoupled L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update. `grad_of` maps each parameter id to its gradient
+    /// for this step (`None` leaves the parameter untouched).
+    pub fn step<'g>(
+        &mut self,
+        params: &mut Parameters,
+        grad_of: impl Fn(ParamId) -> Option<&'g Matrix>,
+    ) {
+        self.velocity.resize(params.len(), None);
+        let ids: Vec<ParamId> = params.iter().map(|(id, _, _)| id).collect();
+        for id in ids {
+            let Some(grad) = grad_of(id) else { continue };
+            let mut update = grad.clone();
+            if self.weight_decay > 0.0 {
+                update.add_assign(&params.get(id).scale(self.weight_decay));
+            }
+            if self.momentum > 0.0 {
+                let v = self.velocity[id.index()]
+                    .get_or_insert_with(|| Matrix::zeros(update.rows(), update.cols()));
+                *v = &v.scale(self.momentum) + &update;
+                update = v.clone();
+            }
+            let new = &*params.get(id) - &update.scale(self.lr);
+            *params.get_mut(id) = new;
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional weight decay.
+///
+/// The default hyperparameters are the standard `beta1 = 0.9`,
+/// `beta2 = 0.999`, `eps = 1e-8`.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    /// Creates Adam with learning rate `lr` and standard betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Overrides the exponential decay rates.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Sets decoupled (AdamW-style) weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update; see [`Sgd::step`] for the `grad_of` contract.
+    pub fn step<'g>(
+        &mut self,
+        params: &mut Parameters,
+        grad_of: impl Fn(ParamId) -> Option<&'g Matrix>,
+    ) {
+        self.t += 1;
+        self.m.resize(params.len(), None);
+        self.v.resize(params.len(), None);
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<ParamId> = params.iter().map(|(id, _, _)| id).collect();
+        for id in ids {
+            let Some(grad) = grad_of(id) else { continue };
+            let m = self.m[id.index()]
+                .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            *m = &m.scale(self.beta1) + &grad.scale(1.0 - self.beta1);
+            let v = self.v[id.index()]
+                .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            *v = &v.scale(self.beta2) + &grad.hadamard(grad).scale(1.0 - self.beta2);
+
+            let m_hat = m.scale(1.0 / bc1);
+            let v_hat = v.scale(1.0 / bc2);
+            let eps = self.eps;
+            let update = m_hat.zip(&v_hat, |mh, vh| mh / (vh.sqrt() + eps));
+
+            let mut new = &*params.get(id) - &update.scale(self.lr);
+            if self.weight_decay > 0.0 {
+                new = &new - &params.get(id).scale(self.lr * self.weight_decay);
+            }
+            *params.get_mut(id) = new;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimises f(w) = (w - 3)^2 and expects convergence to 3.
+    fn quadratic_descent(mut apply: impl FnMut(&mut Parameters, ParamId, &Matrix)) -> f32 {
+        let mut params = Parameters::new();
+        let w = params.add("w", Matrix::filled(1, 1, 0.0));
+        for _ in 0..400 {
+            let tape = Tape::new();
+            let vars = params.bind(&tape);
+            let target = tape.constant(Matrix::filled(1, 1, 3.0));
+            let diff = tape.sub(vars[w.index()], target);
+            let loss = tape.mul(diff, diff);
+            let g = tape.backward(loss);
+            let gw = g.of(vars[w.index()]).unwrap().clone();
+            apply(&mut params, w, &gw);
+        }
+        params.get(w).get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let final_w = quadratic_descent(|p, id, g| sgd.step(p, |q| (q == id).then_some(g)));
+        assert!((final_w - 3.0).abs() < 1e-3, "got {final_w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut sgd = Sgd::new(0.05).with_momentum(0.9);
+        let final_w = quadratic_descent(|p, id, g| sgd.step(p, |q| (q == id).then_some(g)));
+        assert!((final_w - 3.0).abs() < 1e-2, "got {final_w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.1);
+        let final_w = quadratic_descent(|p, id, g| adam.step(p, |q| (q == id).then_some(g)));
+        assert!((final_w - 3.0).abs() < 1e-2, "got {final_w}");
+        assert_eq!(adam.steps(), 400);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut params = Parameters::new();
+        let w = params.add("w", Matrix::filled(1, 1, 1.0));
+        let mut sgd = Sgd::new(0.1).with_weight_decay(1.0);
+        let zero = Matrix::zeros(1, 1);
+        for _ in 0..10 {
+            sgd.step(&mut params, |_| Some(&zero));
+        }
+        assert!(params.get(w).get(0, 0) < 1.0);
+    }
+
+    #[test]
+    fn missing_gradient_leaves_param_untouched() {
+        let mut params = Parameters::new();
+        let w = params.add("w", Matrix::filled(1, 1, 7.0));
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut params, |_| None);
+        assert_eq!(params.get(w).get(0, 0), 7.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Named parameter storage shared between models and optimizers.
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Identifier of a parameter inside a [`Parameters`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// Zero-based slot of this parameter.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An ordered, named collection of trainable matrices.
+///
+/// Models allocate their weights here once; every training step *binds* the
+/// current values onto a fresh [`Tape`] (producing one differentiable leaf
+/// [`Var`] per parameter, in slot order) and optimizers write updates back.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_tensor::{Matrix, Parameters, Tape};
+///
+/// let mut params = Parameters::new();
+/// let w = params.add("weight", Matrix::identity(2));
+/// let tape = Tape::new();
+/// let vars = params.bind(&tape);
+/// assert_eq!(tape.value(vars[w.index()]), Matrix::identity(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Parameters {
+    names: Vec<String>,
+    mats: Vec<Matrix>,
+}
+
+impl Parameters {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Parameters::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, init: Matrix) -> ParamId {
+        self.names.push(name.into());
+        self.mats.push(init);
+        ParamId(self.mats.len() - 1)
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Returns `true` if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Current value of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different store.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    /// Mutable access to the value of `id`.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.mats[id.0]
+    }
+
+    /// Name of `id`.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Binds every parameter onto `tape` as a differentiable leaf, returning
+    /// the `Var`s in slot order (index with [`ParamId::index`]).
+    pub fn bind(&self, tape: &Tape) -> Vec<Var> {
+        self.mats.iter().map(|m| tape.leaf(m.clone())).collect()
+    }
+
+    /// Iterates over `(id, name, matrix)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.mats
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ParamId(i), self.names[i].as_str(), m))
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.mats.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_names() {
+        let mut p = Parameters::new();
+        let a = p.add("a", Matrix::zeros(2, 3));
+        let b = p.add("b", Matrix::identity(2));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.name(a), "a");
+        assert_eq!(p.get(b).get(1, 1), 1.0);
+        assert_eq!(p.scalar_count(), 10);
+        p.get_mut(a).set(0, 0, 5.0);
+        assert_eq!(p.get(a).get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn bind_produces_leaves_in_order() {
+        let mut p = Parameters::new();
+        let a = p.add("a", Matrix::filled(1, 1, 1.0));
+        let b = p.add("b", Matrix::filled(1, 1, 2.0));
+        let tape = Tape::new();
+        let vars = p.bind(&tape);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(tape.value(vars[a.index()]).get(0, 0), 1.0);
+        assert_eq!(tape.value(vars[b.index()]).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut p = Parameters::new();
+        p.add("x", Matrix::zeros(1, 1));
+        p.add("y", Matrix::zeros(1, 2));
+        let names: Vec<&str> = p.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

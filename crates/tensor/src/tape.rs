@@ -1,0 +1,873 @@
+//! Eager reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every differentiable operation as it is evaluated.
+//! [`Tape::backward`] then walks the record in reverse, multiplying local
+//! Jacobians, and returns a [`Gradients`] table addressed by [`Var`].
+
+use crate::matrix::Matrix;
+use std::cell::RefCell;
+
+/// Handle to a value recorded on a [`Tape`].
+///
+/// `Var`s are cheap copies and only meaningful for the tape that created
+/// them; mixing tapes panics on the first shape mismatch or out-of-bounds
+/// access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var {
+    id: u32,
+}
+
+impl Var {
+    #[inline]
+    fn index(self) -> usize {
+        self.id as usize
+    }
+}
+
+type BackwardFn = Box<dyn Fn(&Matrix, &[&Matrix], &Matrix, &[bool]) -> Vec<Option<Matrix>>>;
+
+struct Step {
+    out: usize,
+    inputs: Vec<usize>,
+    backward: BackwardFn,
+}
+
+#[derive(Default)]
+struct Inner {
+    values: Vec<Matrix>,
+    needs_grad: Vec<bool>,
+    steps: Vec<Step>,
+}
+
+/// Gradient table produced by [`Tape::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `v`, if `v` required one.
+    pub fn of(&self, v: Var) -> Option<&Matrix> {
+        self.grads.get(v.index()).and_then(|g| g.as_ref())
+    }
+}
+
+/// An autodiff tape.
+///
+/// All operations are methods on the tape so the recording is explicit at
+/// every call site. Values are computed eagerly; nothing is lazy.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_tensor::{Matrix, Tape};
+///
+/// let tape = Tape::new();
+/// let x = tape.leaf(Matrix::row_vector(&[2.0]));
+/// let y = tape.mul(x, x); // y = x^2
+/// let grads = tape.backward(y);
+/// assert_eq!(grads.of(x).unwrap().get(0, 0), 4.0); // dy/dx = 2x
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    inner: RefCell<Inner>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    fn push_value(&self, m: Matrix, needs_grad: bool) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.values.len() as u32;
+        inner.values.push(m);
+        inner.needs_grad.push(needs_grad);
+        Var { id }
+    }
+
+    /// Records a constant: no gradient will be computed for it.
+    pub fn constant(&self, m: Matrix) -> Var {
+        self.push_value(m, false)
+    }
+
+    /// Records a differentiable leaf (a parameter or input requiring grad).
+    pub fn leaf(&self, m: Matrix) -> Var {
+        self.push_value(m, true)
+    }
+
+    /// Clones the current value of `v` off the tape.
+    pub fn value(&self, v: Var) -> Matrix {
+        self.inner.borrow().values[v.index()].clone()
+    }
+
+    /// Shape of `v` without cloning.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.inner.borrow().values[v.index()].shape()
+    }
+
+    /// Number of recorded values (diagnostic).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().values.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn record(&self, inputs: Vec<Var>, out: Matrix, backward: BackwardFn) -> Var {
+        let needs = {
+            let inner = self.inner.borrow();
+            inputs.iter().any(|v| inner.needs_grad[v.index()])
+        };
+        let out_var = self.push_value(out, needs);
+        if needs {
+            self.inner.borrow_mut().steps.push(Step {
+                out: out_var.index(),
+                inputs: inputs.iter().map(|v| v.index()).collect(),
+                backward,
+            });
+        }
+        out_var
+    }
+
+    // ------------------------------------------------------------------
+    // Binary ops
+    // ------------------------------------------------------------------
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            inner.values[a.index()].matmul(&inner.values[b.index()])
+        };
+        self.record(
+            vec![a, b],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                let (a, b) = (ins[0], ins[1]);
+                let ga = needs[0].then(|| gout.matmul(&b.transpose()));
+                let gb = needs[1].then(|| a.transpose().matmul(gout));
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Elementwise sum `a + b` (same shape).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            &inner.values[a.index()] + &inner.values[b.index()]
+        };
+        self.record(
+            vec![a, b],
+            out,
+            Box::new(|gout, _, _, needs| {
+                vec![
+                    needs[0].then(|| gout.clone()),
+                    needs[1].then(|| gout.clone()),
+                ]
+            }),
+        )
+    }
+
+    /// Elementwise difference `a - b` (same shape).
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            &inner.values[a.index()] - &inner.values[b.index()]
+        };
+        self.record(
+            vec![a, b],
+            out,
+            Box::new(|gout, _, _, needs| {
+                vec![
+                    needs[0].then(|| gout.clone()),
+                    needs[1].then(|| gout.scale(-1.0)),
+                ]
+            }),
+        )
+    }
+
+    /// Elementwise (Hadamard) product `a ⊙ b`.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            inner.values[a.index()].hadamard(&inner.values[b.index()])
+        };
+        self.record(
+            vec![a, b],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                vec![
+                    needs[0].then(|| gout.hadamard(ins[1])),
+                    needs[1].then(|| gout.hadamard(ins[0])),
+                ]
+            }),
+        )
+    }
+
+    /// Broadcast add of a `1 x d` bias row onto every row of `h` (`n x d`).
+    pub fn add_bias(&self, h: Var, bias: Var) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            let hm = &inner.values[h.index()];
+            let bm = &inner.values[bias.index()];
+            assert_eq!(bm.rows(), 1, "add_bias: bias must be 1 x d");
+            assert_eq!(hm.cols(), bm.cols(), "add_bias: width mismatch");
+            Matrix::from_fn(hm.rows(), hm.cols(), |r, c| hm.get(r, c) + bm.get(0, c))
+        };
+        self.record(
+            vec![h, bias],
+            out,
+            Box::new(|gout, _, _, needs| {
+                vec![
+                    needs[0].then(|| gout.clone()),
+                    needs[1].then(|| gout.col_sums()),
+                ]
+            }),
+        )
+    }
+
+    /// Multiplies `m` by a learnable `1 x 1` scalar `s`.
+    pub fn scalar_mul(&self, s: Var, m: Var) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            let sv = inner.values[s.index()].get(0, 0);
+            inner.values[m.index()].scale(sv)
+        };
+        self.record(
+            vec![s, m],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                let gs = needs[0].then(|| {
+                    Matrix::from_vec(1, 1, vec![gout.hadamard(ins[1]).sum()])
+                });
+                let gm = needs[1].then(|| gout.scale(ins[0].get(0, 0)));
+                vec![gs, gm]
+            }),
+        )
+    }
+
+    /// Concatenates `a` (`n x d1`) and `b` (`n x d2`) along columns.
+    pub fn concat_cols(&self, a: Var, b: Var) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            let am = &inner.values[a.index()];
+            let bm = &inner.values[b.index()];
+            assert_eq!(am.rows(), bm.rows(), "concat_cols: row mismatch");
+            Matrix::from_fn(am.rows(), am.cols() + bm.cols(), |r, c| {
+                if c < am.cols() {
+                    am.get(r, c)
+                } else {
+                    bm.get(r, c - am.cols())
+                }
+            })
+        };
+        self.record(
+            vec![a, b],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                let d1 = ins[0].cols();
+                let ga = needs[0].then(|| {
+                    Matrix::from_fn(gout.rows(), d1, |r, c| gout.get(r, c))
+                });
+                let gb = needs[1].then(|| {
+                    Matrix::from_fn(gout.rows(), gout.cols() - d1, |r, c| gout.get(r, c + d1))
+                });
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Outer sum of two `n x 1` columns: `out[i][j] = u[i] + v[j]`.
+    ///
+    /// This is the pre-activation attention score matrix of GAT.
+    pub fn outer_sum(&self, u: Var, v: Var) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            let um = &inner.values[u.index()];
+            let vm = &inner.values[v.index()];
+            assert_eq!(um.cols(), 1, "outer_sum: u must be n x 1");
+            assert_eq!(vm.cols(), 1, "outer_sum: v must be n x 1");
+            assert_eq!(um.rows(), vm.rows(), "outer_sum: length mismatch");
+            Matrix::from_fn(um.rows(), vm.rows(), |i, j| um.get(i, 0) + vm.get(j, 0))
+        };
+        self.record(
+            vec![u, v],
+            out,
+            Box::new(|gout, _, _, needs| {
+                let gu = needs[0].then(|| gout.row_sums());
+                let gv = needs[1].then(|| gout.col_sums().transpose());
+                vec![gu, gv]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Unary ops / activations
+    // ------------------------------------------------------------------
+
+    /// Scales by a fixed constant.
+    pub fn scale(&self, a: Var, s: f32) -> Var {
+        let out = self.inner.borrow().values[a.index()].scale(s);
+        self.record(
+            vec![a],
+            out,
+            Box::new(move |gout, _, _, needs| vec![needs[0].then(|| gout.scale(s))]),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        let out = self.inner.borrow().values[a.index()].map(|x| x.max(0.0));
+        self.record(
+            vec![a],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                vec![needs[0]
+                    .then(|| gout.zip(ins[0], |g, x| if x > 0.0 { g } else { 0.0 }))]
+            }),
+        )
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
+        let out = self.inner.borrow().values[a.index()]
+            .map(|x| if x > 0.0 { x } else { alpha * x });
+        self.record(
+            vec![a],
+            out,
+            Box::new(move |gout, ins, _, needs| {
+                vec![needs[0]
+                    .then(|| gout.zip(ins[0], |g, x| if x > 0.0 { g } else { alpha * g }))]
+            }),
+        )
+    }
+
+    /// Exponential linear unit.
+    pub fn elu(&self, a: Var, alpha: f32) -> Var {
+        let out = self.inner.borrow().values[a.index()]
+            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        self.record(
+            vec![a],
+            out,
+            Box::new(move |gout, _, outv, needs| {
+                vec![needs[0].then(|| {
+                    gout.zip(outv, |g, y| if y > 0.0 { g } else { g * (y + alpha) })
+                })]
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let out = self.inner.borrow().values[a.index()].map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.record(
+            vec![a],
+            out,
+            Box::new(|gout, _, outv, needs| {
+                vec![needs[0].then(|| gout.zip(outv, |g, y| g * y * (1.0 - y)))]
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let out = self.inner.borrow().values[a.index()].map(f32::tanh);
+        self.record(
+            vec![a],
+            out,
+            Box::new(|gout, _, outv, needs| {
+                vec![needs[0].then(|| gout.zip(outv, |g, y| g * (1.0 - y * y)))]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions / pooling
+    // ------------------------------------------------------------------
+
+    /// Column-wise mean over rows: `n x d -> 1 x d` (mean readout).
+    pub fn mean_rows(&self, a: Var) -> Var {
+        let out = {
+            let m = &self.inner.borrow().values[a.index()];
+            m.col_sums().scale(1.0 / m.rows().max(1) as f32)
+        };
+        self.record(
+            vec![a],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                let n = ins[0].rows().max(1) as f32;
+                vec![needs[0].then(|| {
+                    Matrix::from_fn(ins[0].rows(), ins[0].cols(), |_, c| gout.get(0, c) / n)
+                })]
+            }),
+        )
+    }
+
+    /// Column-wise sum over rows: `n x d -> 1 x d` (sum readout).
+    pub fn sum_rows(&self, a: Var) -> Var {
+        let out = self.inner.borrow().values[a.index()].col_sums();
+        self.record(
+            vec![a],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                vec![needs[0].then(|| {
+                    Matrix::from_fn(ins[0].rows(), ins[0].cols(), |_, c| gout.get(0, c))
+                })]
+            }),
+        )
+    }
+
+    /// Column-wise max over rows: `n x d -> 1 x d` (max readout).
+    ///
+    /// Gradients flow to the first row attaining each column maximum.
+    pub fn max_rows(&self, a: Var) -> Var {
+        let out = {
+            let m = &self.inner.borrow().values[a.index()];
+            Matrix::from_fn(1, m.cols(), |_, c| {
+                (0..m.rows()).map(|r| m.get(r, c)).fold(f32::MIN, f32::max)
+            })
+        };
+        self.record(
+            vec![a],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                vec![needs[0].then(|| {
+                    let m = ins[0];
+                    let mut g = Matrix::zeros(m.rows(), m.cols());
+                    for c in 0..m.cols() {
+                        let mut best = 0;
+                        for r in 1..m.rows() {
+                            if m.get(r, c) > m.get(best, c) {
+                                best = r;
+                            }
+                        }
+                        g.set(best, c, gout.get(0, c));
+                    }
+                    g
+                })]
+            }),
+        )
+    }
+
+    /// Sum of all entries: `n x d -> 1 x 1`.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let out = Matrix::from_vec(1, 1, vec![self.inner.borrow().values[a.index()].sum()]);
+        self.record(
+            vec![a],
+            out,
+            Box::new(|gout, ins, _, needs| {
+                let g0 = gout.get(0, 0);
+                vec![needs[0].then(|| Matrix::filled(ins[0].rows(), ins[0].cols(), g0))]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Softmax family
+    // ------------------------------------------------------------------
+
+    /// Row-wise softmax restricted to positions where `mask > 0`.
+    ///
+    /// Masked-out entries are exactly zero in the output. Rows whose mask is
+    /// entirely zero produce an all-zero row (isolated CFG nodes receive no
+    /// attention mass). This is the attention normaliser of GAT.
+    pub fn masked_softmax_rows(&self, a: Var, mask: &Matrix) -> Var {
+        let mask = mask.clone();
+        let out = {
+            let m = &self.inner.borrow().values[a.index()];
+            assert_eq!(m.shape(), mask.shape(), "masked_softmax_rows: mask shape");
+            masked_softmax(m, &mask)
+        };
+        self.record(
+            vec![a],
+            out,
+            Box::new(move |gout, _, outv, needs| {
+                vec![needs[0].then(|| {
+                    // dE = S ⊙ (G - rowsum(G ⊙ S)); masked entries have S=0.
+                    let mut g = Matrix::zeros(outv.rows(), outv.cols());
+                    for r in 0..outv.rows() {
+                        let dot: f32 = (0..outv.cols())
+                            .map(|c| gout.get(r, c) * outv.get(r, c))
+                            .sum();
+                        for c in 0..outv.cols() {
+                            let s = outv.get(r, c);
+                            g.set(r, c, s * (gout.get(r, c) - dot));
+                        }
+                    }
+                    g
+                })]
+            }),
+        )
+    }
+
+    /// Mean softmax cross-entropy of `logits` (`n x C`) against integer
+    /// class `targets` (length `n`). Returns a `1 x 1` loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != logits.rows()` or a target is `>= C`.
+    pub fn softmax_cross_entropy(&self, logits: Var, targets: &[usize]) -> Var {
+        let targets = targets.to_vec();
+        let out = {
+            let m = &self.inner.borrow().values[logits.index()];
+            assert_eq!(targets.len(), m.rows(), "softmax_ce: target count");
+            let probs = softmax_rows(m);
+            let mut loss = 0.0;
+            for (r, &t) in targets.iter().enumerate() {
+                assert!(t < m.cols(), "softmax_ce: target class out of range");
+                loss -= probs.get(r, t).max(1e-12).ln();
+            }
+            Matrix::from_vec(1, 1, vec![loss / targets.len().max(1) as f32])
+        };
+        self.record(
+            vec![logits],
+            out,
+            Box::new(move |gout, ins, _, needs| {
+                vec![needs[0].then(|| {
+                    let mut g = softmax_rows(ins[0]);
+                    let scale = gout.get(0, 0) / targets.len().max(1) as f32;
+                    for (r, &t) in targets.iter().enumerate() {
+                        let v = g.get(r, t);
+                        g.set(r, t, v - 1.0);
+                    }
+                    g.scale(scale)
+                })]
+            }),
+        )
+    }
+
+    /// Inverted-dropout regularisation: keeps each entry with probability
+    /// `1 - p` and rescales kept entries by `1/(1-p)`. The mask is drawn from
+    /// `rng` at call time so training stays fully deterministic under a
+    /// seeded generator.
+    pub fn dropout(&self, a: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout: p must be in [0, 1)");
+        let keep = 1.0 - p;
+        let mask = {
+            let m = &self.inner.borrow().values[a.index()];
+            Matrix::from_fn(m.rows(), m.cols(), |_, _| {
+                if rng.random::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+        };
+        let out = self.inner.borrow().values[a.index()].hadamard(&mask);
+        self.record(
+            vec![a],
+            out,
+            Box::new(move |gout, _, _, needs| vec![needs[0].then(|| gout.hadamard(&mask))]),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode accumulation from `loss` (seeded with ones).
+    ///
+    /// Every recorded step is replayed in reverse; gradients are accumulated
+    /// into each variable that (transitively) required them.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        let inner = self.inner.borrow();
+        let mut grads: Vec<Option<Matrix>> = vec![None; inner.values.len()];
+        let seed = &inner.values[loss.index()];
+        grads[loss.index()] = Some(Matrix::filled(seed.rows(), seed.cols(), 1.0));
+
+        for step in inner.steps.iter().rev() {
+            let Some(gout) = grads[step.out].take() else {
+                continue;
+            };
+            let input_values: Vec<&Matrix> =
+                step.inputs.iter().map(|&i| &inner.values[i]).collect();
+            let needs: Vec<bool> = step.inputs.iter().map(|&i| inner.needs_grad[i]).collect();
+            let out_value = &inner.values[step.out];
+            let input_grads = (step.backward)(&gout, &input_values, out_value, &needs);
+            debug_assert_eq!(input_grads.len(), step.inputs.len());
+            for (&idx, grad) in step.inputs.iter().zip(input_grads) {
+                if let Some(g) = grad {
+                    match &mut grads[idx] {
+                        Some(acc) => acc.add_assign(&g),
+                        slot => *slot = Some(g),
+                    }
+                }
+            }
+            // Re-install gout if the loss var itself is a leaf someone queries.
+            if step.out == loss.index() {
+                grads[step.out] = Some(gout);
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+/// Row-wise softmax of a plain matrix (numerically stabilised).
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let mx = m.row(r).iter().copied().fold(f32::MIN, f32::max);
+        let mut denom = 0.0;
+        for c in 0..m.cols() {
+            denom += (m.get(r, c) - mx).exp();
+        }
+        for c in 0..m.cols() {
+            out.set(r, c, (m.get(r, c) - mx).exp() / denom);
+        }
+    }
+    out
+}
+
+fn masked_softmax(m: &Matrix, mask: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let mut mx = f32::MIN;
+        let mut any = false;
+        for c in 0..m.cols() {
+            if mask.get(r, c) > 0.0 {
+                mx = mx.max(m.get(r, c));
+                any = true;
+            }
+        }
+        if !any {
+            continue;
+        }
+        let mut denom = 0.0;
+        for c in 0..m.cols() {
+            if mask.get(r, c) > 0.0 {
+                denom += (m.get(r, c) - mx).exp();
+            }
+        }
+        for c in 0..m.cols() {
+            if mask.get(r, c) > 0.0 {
+                out.set(r, c, (m.get(r, c) - mx).exp() / denom);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        // loss = sum(A @ B); dA = 1 @ B^T, dB = A^T @ 1.
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = tape.leaf(Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]));
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(c);
+        let g = tape.backward(loss);
+        let ga = g.of(a).unwrap();
+        let gb = g.of(b).unwrap();
+        assert_eq!(ga.as_slice(), &[11., 15., 11., 15.]);
+        assert_eq!(gb.as_slice(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn constants_receive_no_gradient() {
+        let tape = Tape::new();
+        let a = tape.constant(Matrix::identity(2));
+        let b = tape.leaf(Matrix::identity(2));
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(c);
+        let g = tape.backward(loss);
+        assert!(g.of(a).is_none());
+        assert!(g.of(b).is_some());
+    }
+
+    #[test]
+    fn shared_input_accumulates() {
+        // y = x ⊙ x; dy/dx = 2x.
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[3.0, -2.0]));
+        let y = tape.mul(x, x);
+        let loss = tape.sum_all(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(x).unwrap().as_slice(), &[6.0, -4.0]);
+    }
+
+    #[test]
+    fn activation_values_and_grads() {
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, -1.0]));
+        let r = tape.relu(x);
+        assert_eq!(tape.value(r).as_slice(), &[1.0, 0.0]);
+        let l = tape.leaky_relu(x, 0.1);
+        assert_eq!(tape.value(l).as_slice(), &[1.0, -0.1]);
+        let s = tape.sigmoid(x);
+        assert_close(tape.value(s).get(0, 0), 0.731058, 1e-5);
+        let t = tape.tanh(x);
+        assert_close(tape.value(t).get(0, 1), -0.761594, 1e-5);
+        let e = tape.elu(x, 1.0);
+        assert_close(tape.value(e).get(0, 1), (-1f32).exp() - 1.0, 1e-6);
+
+        let loss = tape.sum_all(l);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(x).unwrap().as_slice(), &[1.0, 0.1]);
+    }
+
+    #[test]
+    fn bias_broadcast_and_grad() {
+        let tape = Tape::new();
+        let h = tape.leaf(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = tape.leaf(Matrix::row_vector(&[10., 20.]));
+        let y = tape.add_bias(h, b);
+        assert_eq!(tape.value(y).as_slice(), &[11., 22., 13., 24.]);
+        let loss = tape.sum_all(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(b).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn pooling_grads() {
+        let tape = Tape::new();
+        let h = tape.leaf(Matrix::from_vec(2, 2, vec![1., 5., 3., 2.]));
+        let mean = tape.mean_rows(h);
+        assert_eq!(tape.value(mean).as_slice(), &[2.0, 3.5]);
+        let mx = tape.max_rows(h);
+        assert_eq!(tape.value(mx).as_slice(), &[3.0, 5.0]);
+        let sm = tape.sum_rows(h);
+        assert_eq!(tape.value(sm).as_slice(), &[4.0, 7.0]);
+
+        let loss = tape.sum_all(mx);
+        let g = tape.backward(loss);
+        // Max picked (row1,col0) and (row0,col1).
+        assert_eq!(g.of(h).unwrap().as_slice(), &[0., 1., 1., 0.]);
+    }
+
+    #[test]
+    fn concat_and_outer_sum() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(2, 1, vec![1., 2.]));
+        let b = tape.leaf(Matrix::from_vec(2, 1, vec![10., 20.]));
+        let cat = tape.concat_cols(a, b);
+        assert_eq!(tape.value(cat).as_slice(), &[1., 10., 2., 20.]);
+        let os = tape.outer_sum(a, b);
+        assert_eq!(tape.value(os).as_slice(), &[11., 21., 12., 22.]);
+        let loss = tape.sum_all(os);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(a).unwrap().as_slice(), &[2., 2.]);
+        assert_eq!(g.of(b).unwrap().as_slice(), &[2., 2.]);
+    }
+
+    #[test]
+    fn masked_softmax_rows_behaviour() {
+        let tape = Tape::new();
+        let e = tape.leaf(Matrix::from_vec(2, 2, vec![1., 1., 5., 0.]));
+        let mask = Matrix::from_vec(2, 2, vec![1., 1., 0., 0.]);
+        let s = tape.masked_softmax_rows(e, &mask);
+        let v = tape.value(s);
+        assert_close(v.get(0, 0), 0.5, 1e-6);
+        assert_close(v.get(0, 1), 0.5, 1e-6);
+        assert_eq!(v.get(1, 0), 0.0); // fully masked row
+        assert_eq!(v.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn softmax_ce_loss_and_grad_direction() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Matrix::from_vec(1, 2, vec![2.0, 0.0]));
+        let loss = tape.softmax_cross_entropy(logits, &[0]);
+        let lv = tape.value(loss).get(0, 0);
+        assert!(lv > 0.0 && lv < 0.2, "confident correct answer: small loss");
+        let g = tape.backward(loss);
+        let gl = g.of(logits).unwrap();
+        assert!(gl.get(0, 0) < 0.0, "push correct logit up");
+        assert!(gl.get(0, 1) > 0.0, "push wrong logit down");
+    }
+
+    #[test]
+    fn scalar_mul_grads() {
+        let tape = Tape::new();
+        let s = tape.leaf(Matrix::from_vec(1, 1, vec![3.0]));
+        let m = tape.leaf(Matrix::row_vector(&[1.0, 2.0]));
+        let y = tape.scalar_mul(s, m);
+        assert_eq!(tape.value(y).as_slice(), &[3.0, 6.0]);
+        let loss = tape.sum_all(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(s).unwrap().get(0, 0), 3.0); // sum(m)
+        assert_eq!(g.of(m).unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0, 3.0]));
+        let y = tape.dropout(x, 0.0, &mut rng);
+        assert_eq!(tape.value(y).as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    /// Numerical gradient check on a composite expression exercising most ops.
+    #[test]
+    fn numerical_gradient_check() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let x0 = Matrix::from_fn(3, 4, |_, _| rand::Rng::random_range(&mut rng, -1.0..1.0));
+        let w0 = Matrix::from_fn(4, 2, |_, _| rand::Rng::random_range(&mut rng, -1.0..1.0));
+
+        let eval = |x: &Matrix, w: &Matrix| -> f32 {
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.leaf(w.clone());
+            let h = tape.matmul(xv, wv);
+            let h = tape.tanh(h);
+            let p = tape.mean_rows(h);
+            let loss = tape.softmax_cross_entropy(p, &[1]);
+            tape.value(loss).get(0, 0)
+        };
+
+        // Analytic grads.
+        let tape = Tape::new();
+        let xv = tape.leaf(x0.clone());
+        let wv = tape.leaf(w0.clone());
+        let h = tape.matmul(xv, wv);
+        let h = tape.tanh(h);
+        let p = tape.mean_rows(h);
+        let loss = tape.softmax_cross_entropy(p, &[1]);
+        let g = tape.backward(loss);
+        let gw = g.of(wv).unwrap().clone();
+        let gx = g.of(xv).unwrap().clone();
+
+        let eps = 1e-3;
+        for (r, c) in [(0usize, 0usize), (1, 1), (3, 0), (2, 1)] {
+            let mut wp = w0.clone();
+            wp.set(r, c, wp.get(r, c) + eps);
+            let mut wm = w0.clone();
+            wm.set(r, c, wm.get(r, c) - eps);
+            let num = (eval(&x0, &wp) - eval(&x0, &wm)) / (2.0 * eps);
+            assert_close(gw.get(r, c), num, 2e-2);
+        }
+        for (r, c) in [(0usize, 0usize), (2, 3)] {
+            let mut xp = x0.clone();
+            xp.set(r, c, xp.get(r, c) + eps);
+            let mut xm = x0.clone();
+            xm.set(r, c, xm.get(r, c) - eps);
+            let num = (eval(&xp, &w0) - eval(&xm, &w0)) / (2.0 * eps);
+            assert_close(gx.get(r, c), num, 2e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert_close(sum, 1.0, 1e-6);
+        }
+    }
+}

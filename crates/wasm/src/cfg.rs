@@ -1,0 +1,447 @@
+//! Control-flow graph lifting from structured WASM function bodies.
+//!
+//! WASM control flow is structured (no gotos), so the CFG is recovered by a
+//! single recursive walk: `block`/`if` labels branch forward to a join
+//! node, `loop` labels branch backward to the loop header. The resulting
+//! graph uses the same [`scamdetect_graph::DiGraph`] substrate as the EVM
+//! CFG, which is what lets the unified IR treat both platforms uniformly.
+
+use crate::instr::Instr;
+use crate::module::{Function, Module};
+use scamdetect_graph::{DiGraph, NodeId};
+
+/// Kind of a WASM CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WasmEdge {
+    /// Sequential flow (including block entry and join).
+    Seq,
+    /// A taken conditional branch (`br_if`, `if` condition true).
+    Branch,
+    /// The false arm of an `if` / fall-through of `br_if`.
+    Else,
+    /// A `br_table` arm.
+    Table,
+    /// A loop back edge.
+    Back,
+}
+
+/// A CFG basic block: straight-line leaf instructions.
+///
+/// Structured openers contribute a lightweight marker so that features see
+/// branching instructions (`If`, `BrTable`, …) without duplicating nested
+/// bodies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WasmBlock {
+    /// Flattened leaf instructions (nested bodies excluded).
+    pub instrs: Vec<Instr>,
+    /// `true` for the dedicated function-exit node.
+    pub is_exit: bool,
+}
+
+/// The CFG of one function.
+#[derive(Debug, Clone)]
+pub struct FuncCfg {
+    graph: DiGraph<WasmBlock, WasmEdge>,
+    entry: NodeId,
+    exit: NodeId,
+}
+
+impl FuncCfg {
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph<WasmBlock, WasmEdge> {
+        &self.graph
+    }
+
+    /// Entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The dedicated exit node (targets of `return` and function end).
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+struct Lifter {
+    g: DiGraph<WasmBlock, WasmEdge>,
+    current: NodeId,
+    /// Innermost label last: `(target, is_backward)`.
+    labels: Vec<(NodeId, bool)>,
+    exit: NodeId,
+    /// Set when the current block already ended in an unconditional exit;
+    /// subsequent code in the sequence is unreachable.
+    terminated: bool,
+}
+
+impl Lifter {
+    fn new_block(&mut self) -> NodeId {
+        self.g.add_node(WasmBlock::default())
+    }
+
+    fn emit(&mut self, i: &Instr) {
+        if !self.terminated {
+            self.g.node_mut(self.current).instrs.push(i.clone());
+        }
+    }
+
+    fn edge(&mut self, to: NodeId, kind: WasmEdge) {
+        if !self.terminated {
+            self.g.add_edge(self.current, to, kind);
+        }
+    }
+
+    fn seq(&mut self, body: &[Instr]) {
+        for i in body {
+            if self.terminated {
+                // Dead code after an unconditional exit: WASM validators
+                // allow it; it contributes nothing to the CFG.
+                break;
+            }
+            match i {
+                Instr::Block { body, .. } => {
+                    let join = self.new_block();
+                    self.labels.push((join, false));
+                    self.seq(body);
+                    self.labels.pop();
+                    self.edge(join, WasmEdge::Seq);
+                    self.current = join;
+                    self.terminated = false;
+                }
+                Instr::Loop { body, .. } => {
+                    let header = self.new_block();
+                    self.edge(header, WasmEdge::Seq);
+                    self.current = header;
+                    self.terminated = false;
+                    self.labels.push((header, true));
+                    self.seq(body);
+                    self.labels.pop();
+                    let join = self.new_block();
+                    self.edge(join, WasmEdge::Seq);
+                    self.current = join;
+                    self.terminated = false;
+                }
+                Instr::If { ty, then, els } => {
+                    // Record the conditional as a marker instruction.
+                    self.emit(&Instr::If {
+                        ty: *ty,
+                        then: Vec::new(),
+                        els: Vec::new(),
+                    });
+                    let then_node = self.new_block();
+                    let join = self.new_block();
+                    let else_node = if els.is_empty() { join } else { self.new_block() };
+                    self.edge(then_node, WasmEdge::Branch);
+                    self.edge(else_node, WasmEdge::Else);
+                    self.labels.push((join, false));
+
+                    self.current = then_node;
+                    self.terminated = false;
+                    self.seq(then);
+                    self.edge(join, WasmEdge::Seq);
+
+                    if !els.is_empty() {
+                        self.current = else_node;
+                        self.terminated = false;
+                        self.seq(els);
+                        self.edge(join, WasmEdge::Seq);
+                    }
+                    self.labels.pop();
+                    self.current = join;
+                    self.terminated = false;
+                }
+                Instr::Br(n) => {
+                    self.emit(i);
+                    let (kind, target) = self.branch_kind(*n);
+                    self.edge(target, kind);
+                    self.terminated = true;
+                }
+                Instr::BrIf(n) => {
+                    self.emit(i);
+                    let (kind, target) = self.branch_kind(*n);
+                    self.edge(target, kind);
+                    let fall = self.new_block();
+                    self.edge(fall, WasmEdge::Else);
+                    self.current = fall;
+                }
+                Instr::BrTable { targets, default } => {
+                    self.emit(i);
+                    let mut seen = Vec::new();
+                    for t in targets.iter().chain(std::iter::once(default)) {
+                        let (_, node) = self.branch_kind(*t);
+                        if !seen.contains(&node) {
+                            seen.push(node);
+                            self.edge(node, WasmEdge::Table);
+                        }
+                    }
+                    self.terminated = true;
+                }
+                Instr::Return => {
+                    self.emit(i);
+                    let exit = self.exit;
+                    self.edge(exit, WasmEdge::Seq);
+                    self.terminated = true;
+                }
+                Instr::Unreachable => {
+                    self.emit(i);
+                    self.terminated = true;
+                }
+                leaf => self.emit(leaf),
+            }
+        }
+    }
+
+    fn branch_kind(&self, depth: u32) -> (WasmEdge, NodeId) {
+        let idx = self.labels.len().checked_sub(1 + depth as usize);
+        match idx.and_then(|i| self.labels.get(i)) {
+            Some((n, true)) => (WasmEdge::Back, *n),
+            Some((n, false)) => (WasmEdge::Branch, *n),
+            None => (WasmEdge::Seq, self.exit),
+        }
+    }
+}
+
+/// Lifts one function body to a CFG.
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_wasm::{cfg::lift_function, instr::Instr, module::Function, types::BlockType};
+///
+/// let f = Function {
+///     type_idx: 0,
+///     locals: vec![],
+///     body: vec![Instr::Loop { ty: BlockType::Empty, body: vec![
+///         Instr::LocalGet(0),
+///         Instr::BrIf(0),
+///     ]}],
+/// };
+/// let cfg = lift_function(&f);
+/// assert!(cfg.block_count() >= 3);
+/// ```
+pub fn lift_function(func: &Function) -> FuncCfg {
+    let mut g: DiGraph<WasmBlock, WasmEdge> = DiGraph::new();
+    let entry = g.add_node(WasmBlock::default());
+    let exit = g.add_node(WasmBlock {
+        instrs: Vec::new(),
+        is_exit: true,
+    });
+    let mut lifter = Lifter {
+        g,
+        current: entry,
+        labels: Vec::new(),
+        exit,
+        terminated: false,
+    };
+    lifter.seq(&func.body);
+    // Implicit function end flows to exit.
+    let cur = lifter.current;
+    if !lifter.terminated {
+        lifter.g.add_edge(cur, exit, WasmEdge::Seq);
+    }
+    FuncCfg {
+        graph: lifter.g,
+        entry,
+        exit,
+    }
+}
+
+/// Lifts every function of `module` and stitches them into one module-level
+/// CFG: function CFGs are disjoint subgraphs plus `Seq` edges from each
+/// `Call` site block to the callee's entry (imports have no body and get a
+/// single synthetic node each).
+pub fn lift_module(module: &Module) -> FuncCfg {
+    let mut g: DiGraph<WasmBlock, WasmEdge> = DiGraph::new();
+    let entry = g.add_node(WasmBlock::default());
+    let exit = g.add_node(WasmBlock {
+        instrs: Vec::new(),
+        is_exit: true,
+    });
+
+    // One synthetic node per import (host call surface).
+    let mut func_entries: Vec<NodeId> = Vec::new();
+    for imp in &module.imports {
+        let n = g.add_node(WasmBlock {
+            instrs: vec![Instr::Call(0)],
+            is_exit: false,
+        });
+        let _ = imp;
+        func_entries.push(n);
+    }
+
+    // Lift each local function into the shared graph.
+    let mut call_sites: Vec<(NodeId, u32)> = Vec::new();
+    for (fi, func) in module.functions.iter().enumerate() {
+        let sub = lift_function(func);
+        // Copy nodes.
+        let mut remap = Vec::with_capacity(sub.graph().node_count());
+        for (_, block) in sub.graph().nodes() {
+            remap.push(g.add_node(block.clone()));
+        }
+        for (u, v, k) in sub.graph().edges() {
+            g.add_edge(remap[u.index()], remap[v.index()], *k);
+        }
+        let f_entry = remap[sub.entry().index()];
+        func_entries.push(f_entry);
+        // Record call sites for stitching.
+        for (id, block) in sub.graph().nodes() {
+            for ins in &block.instrs {
+                if let Instr::Call(target) = ins {
+                    call_sites.push((remap[id.index()], *target));
+                }
+            }
+        }
+        // Exported functions hang off the module entry (any export is an
+        // externally reachable entry point).
+        let exported = module
+            .exports
+            .iter()
+            .any(|e| e.index as usize == module.imports.len() + fi);
+        if exported || module.functions.len() == 1 {
+            g.add_edge(entry, f_entry, WasmEdge::Seq);
+        }
+        g.add_edge(remap[sub.exit().index()], exit, WasmEdge::Seq);
+    }
+
+    for (site, target) in call_sites {
+        if let Some(&callee) = func_entries.get(target as usize) {
+            g.add_edge(site, callee, WasmEdge::Seq);
+        }
+    }
+
+    FuncCfg { graph: g, entry, exit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BlockType, FuncType, ValType};
+
+    fn func(body: Vec<Instr>) -> Function {
+        Function {
+            type_idx: 0,
+            locals: vec![],
+            body,
+        }
+    }
+
+    #[test]
+    fn straight_line_two_blocks() {
+        let cfg = lift_function(&func(vec![Instr::Nop, Instr::Nop]));
+        // entry + exit.
+        assert_eq!(cfg.block_count(), 2);
+        assert!(cfg.graph().has_edge(cfg.entry(), cfg.exit()));
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let cfg = lift_function(&func(vec![
+            Instr::LocalGet(0),
+            Instr::If {
+                ty: BlockType::Empty,
+                then: vec![Instr::Nop],
+                els: vec![Instr::Drop],
+            },
+        ]));
+        // entry, then, else, join, exit.
+        assert_eq!(cfg.block_count(), 5);
+        let e = cfg.entry();
+        assert_eq!(cfg.graph().out_degree(e), 2);
+        let kinds: Vec<WasmEdge> = cfg.graph().out_edges(e).map(|x| *x.weight).collect();
+        assert!(kinds.contains(&WasmEdge::Branch));
+        assert!(kinds.contains(&WasmEdge::Else));
+    }
+
+    #[test]
+    fn loop_produces_back_edge() {
+        let cfg = lift_function(&func(vec![Instr::Loop {
+            ty: BlockType::Empty,
+            body: vec![Instr::LocalGet(0), Instr::BrIf(0)],
+        }]));
+        assert!(cfg
+            .graph()
+            .edges()
+            .any(|(_, _, k)| *k == WasmEdge::Back));
+    }
+
+    #[test]
+    fn br_out_of_block_is_forward_branch() {
+        let cfg = lift_function(&func(vec![Instr::Block {
+            ty: BlockType::Empty,
+            body: vec![Instr::Br(0), Instr::Nop /* dead */],
+        }]));
+        assert!(cfg
+            .graph()
+            .edges()
+            .any(|(_, _, k)| *k == WasmEdge::Branch));
+        // The dead Nop contributes nothing: no dangling blocks beyond
+        // entry/join/exit.
+        assert_eq!(cfg.block_count(), 3);
+    }
+
+    #[test]
+    fn return_connects_to_exit() {
+        let cfg = lift_function(&func(vec![
+            Instr::LocalGet(0),
+            Instr::If {
+                ty: BlockType::Empty,
+                then: vec![Instr::Return],
+                els: vec![],
+            },
+            Instr::Nop,
+        ]));
+        assert!(cfg.graph().in_degree(cfg.exit()) >= 2);
+    }
+
+    #[test]
+    fn br_table_fans_out() {
+        let cfg = lift_function(&func(vec![Instr::Block {
+            ty: BlockType::Empty,
+            body: vec![Instr::Block {
+                ty: BlockType::Empty,
+                body: vec![
+                    Instr::I32Const(1),
+                    Instr::BrTable {
+                        targets: vec![0, 1],
+                        default: 1,
+                    },
+                ],
+            }],
+        }]));
+        assert!(cfg
+            .graph()
+            .edges()
+            .filter(|(_, _, k)| **k == WasmEdge::Table)
+            .count() >= 2);
+    }
+
+    #[test]
+    fn module_level_stitching_connects_calls() {
+        let mut m = Module::new();
+        m.add_import("env", "log", FuncType::new(vec![ValType::I32], vec![]));
+        let callee = m.add_function(FuncType::default(), vec![], vec![Instr::Nop]);
+        let main = m.add_function(
+            FuncType::default(),
+            vec![],
+            vec![Instr::Call(0), Instr::Call(callee)],
+        );
+        m.export_func("main", main);
+        let cfg = lift_module(&m);
+        // Entry connects to the exported function only.
+        assert_eq!(cfg.graph().out_degree(cfg.entry()), 1);
+        // Some block calls into the import node and the callee entry.
+        assert!(cfg.block_count() > 5);
+    }
+
+    #[test]
+    fn unreachable_terminates_block() {
+        let cfg = lift_function(&func(vec![Instr::Unreachable, Instr::Nop]));
+        // Entry never reaches exit.
+        assert_eq!(cfg.graph().in_degree(cfg.exit()), 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! WASM binary-format encoder for the supported subset.
+
+use crate::instr::{IBinOp, IRelOp, IUnOp, Instr, Width};
+use crate::leb::{write_i32, write_i64, write_name, write_u32};
+use crate::module::{ExportKind, Module};
+
+const MAGIC: [u8; 8] = [0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+
+/// Encodes `module` into the standard WASM binary format.
+///
+/// The output is a spec-conformant module (section ordering, LEB128
+/// integers, structured `end` markers), decodable by any WASM tooling as
+/// well as by [`crate::decode::decode_module`].
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_wasm::{encode::encode_module, module::Module};
+///
+/// let bytes = encode_module(&Module::new());
+/// assert_eq!(&bytes[0..4], b"\0asm");
+/// ```
+pub fn encode_module(module: &Module) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+
+    // Type section (1).
+    if !module.types.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.types.len() as u32);
+        for ty in &module.types {
+            sec.push(0x60);
+            write_u32(&mut sec, ty.params.len() as u32);
+            for p in &ty.params {
+                sec.push(p.byte());
+            }
+            write_u32(&mut sec, ty.results.len() as u32);
+            for r in &ty.results {
+                sec.push(r.byte());
+            }
+        }
+        push_section(&mut out, 1, &sec);
+    }
+
+    // Import section (2).
+    if !module.imports.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.imports.len() as u32);
+        for imp in &module.imports {
+            write_name(&mut sec, &imp.module);
+            write_name(&mut sec, &imp.name);
+            sec.push(0x00); // func import
+            write_u32(&mut sec, imp.type_idx);
+        }
+        push_section(&mut out, 2, &sec);
+    }
+
+    // Function section (3).
+    if !module.functions.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.functions.len() as u32);
+        for f in &module.functions {
+            write_u32(&mut sec, f.type_idx);
+        }
+        push_section(&mut out, 3, &sec);
+    }
+
+    // Memory section (5).
+    if let Some(mem) = module.memory {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, 1);
+        match mem.max {
+            Some(max) => {
+                sec.push(0x01);
+                write_u32(&mut sec, mem.min);
+                write_u32(&mut sec, max);
+            }
+            None => {
+                sec.push(0x00);
+                write_u32(&mut sec, mem.min);
+            }
+        }
+        push_section(&mut out, 5, &sec);
+    }
+
+    // Global section (6).
+    if !module.globals.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.globals.len() as u32);
+        for g in &module.globals {
+            sec.push(g.ty.byte());
+            sec.push(g.mutable as u8);
+            match g.ty {
+                crate::types::ValType::I32 => {
+                    sec.push(0x41);
+                    write_i32(&mut sec, g.init as i32);
+                }
+                crate::types::ValType::I64 => {
+                    sec.push(0x42);
+                    write_i64(&mut sec, g.init);
+                }
+            }
+            sec.push(0x0b);
+        }
+        push_section(&mut out, 6, &sec);
+    }
+
+    // Export section (7).
+    if !module.exports.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.exports.len() as u32);
+        for e in &module.exports {
+            write_name(&mut sec, &e.name);
+            sec.push(match e.kind {
+                ExportKind::Func => 0x00,
+                ExportKind::Memory => 0x02,
+            });
+            write_u32(&mut sec, e.index);
+        }
+        push_section(&mut out, 7, &sec);
+    }
+
+    // Code section (10).
+    if !module.functions.is_empty() {
+        let mut sec = Vec::new();
+        write_u32(&mut sec, module.functions.len() as u32);
+        for f in &module.functions {
+            let mut body = Vec::new();
+            write_u32(&mut body, f.locals.len() as u32);
+            for (count, ty) in &f.locals {
+                write_u32(&mut body, *count);
+                body.push(ty.byte());
+            }
+            encode_instrs(&mut body, &f.body);
+            body.push(0x0b);
+            write_u32(&mut sec, body.len() as u32);
+            sec.extend_from_slice(&body);
+        }
+        push_section(&mut out, 10, &sec);
+    }
+
+    out
+}
+
+fn push_section(out: &mut Vec<u8>, id: u8, contents: &[u8]) {
+    out.push(id);
+    write_u32(out, contents.len() as u32);
+    out.extend_from_slice(contents);
+}
+
+/// Encodes an instruction sequence (without the trailing `end`).
+pub fn encode_instrs(out: &mut Vec<u8>, instrs: &[Instr]) {
+    for i in instrs {
+        encode_instr(out, i);
+    }
+}
+
+fn encode_instr(out: &mut Vec<u8>, i: &Instr) {
+    match i {
+        Instr::Unreachable => out.push(0x00),
+        Instr::Nop => out.push(0x01),
+        Instr::Block { ty, body } => {
+            out.push(0x02);
+            out.push(ty.byte());
+            encode_instrs(out, body);
+            out.push(0x0b);
+        }
+        Instr::Loop { ty, body } => {
+            out.push(0x03);
+            out.push(ty.byte());
+            encode_instrs(out, body);
+            out.push(0x0b);
+        }
+        Instr::If { ty, then, els } => {
+            out.push(0x04);
+            out.push(ty.byte());
+            encode_instrs(out, then);
+            if !els.is_empty() {
+                out.push(0x05);
+                encode_instrs(out, els);
+            }
+            out.push(0x0b);
+        }
+        Instr::Br(n) => {
+            out.push(0x0c);
+            write_u32(out, *n);
+        }
+        Instr::BrIf(n) => {
+            out.push(0x0d);
+            write_u32(out, *n);
+        }
+        Instr::BrTable { targets, default } => {
+            out.push(0x0e);
+            write_u32(out, targets.len() as u32);
+            for t in targets {
+                write_u32(out, *t);
+            }
+            write_u32(out, *default);
+        }
+        Instr::Return => out.push(0x0f),
+        Instr::Call(f) => {
+            out.push(0x10);
+            write_u32(out, *f);
+        }
+        Instr::Drop => out.push(0x1a),
+        Instr::Select => out.push(0x1b),
+        Instr::LocalGet(n) => {
+            out.push(0x20);
+            write_u32(out, *n);
+        }
+        Instr::LocalSet(n) => {
+            out.push(0x21);
+            write_u32(out, *n);
+        }
+        Instr::LocalTee(n) => {
+            out.push(0x22);
+            write_u32(out, *n);
+        }
+        Instr::GlobalGet(n) => {
+            out.push(0x23);
+            write_u32(out, *n);
+        }
+        Instr::GlobalSet(n) => {
+            out.push(0x24);
+            write_u32(out, *n);
+        }
+        Instr::Load { width, offset } => {
+            let (op, align) = match width {
+                Width::W32 => (0x28, 2),
+                Width::W64 => (0x29, 3),
+            };
+            out.push(op);
+            write_u32(out, align);
+            write_u32(out, *offset);
+        }
+        Instr::Store { width, offset } => {
+            let (op, align) = match width {
+                Width::W32 => (0x36, 2),
+                Width::W64 => (0x37, 3),
+            };
+            out.push(op);
+            write_u32(out, align);
+            write_u32(out, *offset);
+        }
+        Instr::MemorySize => {
+            out.push(0x3f);
+            out.push(0x00);
+        }
+        Instr::MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        Instr::I32Const(v) => {
+            out.push(0x41);
+            write_i32(out, *v);
+        }
+        Instr::I64Const(v) => {
+            out.push(0x42);
+            write_i64(out, *v);
+        }
+        Instr::Eqz(Width::W32) => out.push(0x45),
+        Instr::Eqz(Width::W64) => out.push(0x50),
+        Instr::Rel { width, op } => out.push(rel_opcode(*width, *op)),
+        Instr::Unary { width, op } => out.push(unary_opcode(*width, *op)),
+        Instr::Binary { width, op } => out.push(binary_opcode(*width, *op)),
+        Instr::I32WrapI64 => out.push(0xa7),
+        Instr::I64ExtendI32S => out.push(0xac),
+        Instr::I64ExtendI32U => out.push(0xad),
+    }
+}
+
+pub(crate) fn rel_opcode(width: Width, op: IRelOp) -> u8 {
+    let base = match width {
+        Width::W32 => 0x46,
+        Width::W64 => 0x51,
+    };
+    let off = match op {
+        IRelOp::Eq => 0,
+        IRelOp::Ne => 1,
+        IRelOp::LtS => 2,
+        IRelOp::LtU => 3,
+        IRelOp::GtS => 4,
+        IRelOp::GtU => 5,
+        IRelOp::LeS => 6,
+        IRelOp::LeU => 7,
+        IRelOp::GeS => 8,
+        IRelOp::GeU => 9,
+    };
+    base + off
+}
+
+pub(crate) fn unary_opcode(width: Width, op: IUnOp) -> u8 {
+    let base = match width {
+        Width::W32 => 0x67,
+        Width::W64 => 0x79,
+    };
+    let off = match op {
+        IUnOp::Clz => 0,
+        IUnOp::Ctz => 1,
+        IUnOp::Popcnt => 2,
+    };
+    base + off
+}
+
+pub(crate) fn binary_opcode(width: Width, op: IBinOp) -> u8 {
+    let base = match width {
+        Width::W32 => 0x6a,
+        Width::W64 => 0x7c,
+    };
+    let off = match op {
+        IBinOp::Add => 0,
+        IBinOp::Sub => 1,
+        IBinOp::Mul => 2,
+        IBinOp::DivS => 3,
+        IBinOp::DivU => 4,
+        IBinOp::RemS => 5,
+        IBinOp::RemU => 6,
+        IBinOp::And => 7,
+        IBinOp::Or => 8,
+        IBinOp::Xor => 9,
+        IBinOp::Shl => 10,
+        IBinOp::ShrS => 11,
+        IBinOp::ShrU => 12,
+        IBinOp::Rotl => 13,
+        IBinOp::Rotr => 14,
+    };
+    base + off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BlockType, FuncType, ValType};
+
+    #[test]
+    fn empty_module_is_just_header() {
+        let bytes = encode_module(&Module::new());
+        assert_eq!(bytes, MAGIC.to_vec());
+    }
+
+    #[test]
+    fn nop_function_encodes() {
+        let mut m = Module::new();
+        m.add_function(FuncType::default(), vec![], vec![Instr::Nop]);
+        let bytes = encode_module(&m);
+        // Header + type + function + code sections present.
+        assert!(bytes.len() > 8);
+        assert!(bytes[8..].contains(&0x60)); // functype marker
+        assert!(bytes.ends_with(&[0x01, 0x0b])); // nop, end
+    }
+
+    #[test]
+    fn opcode_tables_are_contiguous() {
+        assert_eq!(rel_opcode(Width::W32, IRelOp::Eq), 0x46);
+        assert_eq!(rel_opcode(Width::W32, IRelOp::GeU), 0x4f);
+        assert_eq!(rel_opcode(Width::W64, IRelOp::Eq), 0x51);
+        assert_eq!(rel_opcode(Width::W64, IRelOp::GeU), 0x5a);
+        assert_eq!(binary_opcode(Width::W32, IBinOp::Add), 0x6a);
+        assert_eq!(binary_opcode(Width::W32, IBinOp::Rotr), 0x78);
+        assert_eq!(binary_opcode(Width::W64, IBinOp::Add), 0x7c);
+        assert_eq!(binary_opcode(Width::W64, IBinOp::Rotr), 0x8a);
+        assert_eq!(unary_opcode(Width::W64, IUnOp::Popcnt), 0x7b);
+    }
+
+    #[test]
+    fn if_with_else_has_else_marker() {
+        let mut body = Vec::new();
+        encode_instr(
+            &mut body,
+            &Instr::If {
+                ty: BlockType::Empty,
+                then: vec![Instr::Nop],
+                els: vec![Instr::Unreachable],
+            },
+        );
+        assert_eq!(body, vec![0x04, 0x40, 0x01, 0x05, 0x00, 0x0b]);
+    }
+
+    #[test]
+    fn memory_and_globals_encode() {
+        let mut m = Module::new();
+        m.memory = Some(crate::types::Limits { min: 1, max: Some(4) });
+        m.globals.push(crate::module::Global {
+            ty: ValType::I64,
+            mutable: true,
+            init: -7,
+        });
+        let bytes = encode_module(&m);
+        assert!(bytes.windows(2).any(|w| w == [0x01, 0x01])); // limits flag+min
+        assert!(bytes.contains(&0x42)); // i64.const in global init
+    }
+}

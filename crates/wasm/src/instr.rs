@@ -1,0 +1,243 @@
+//! The WASM instruction subset (integer MVP + structured control flow).
+
+use crate::types::BlockType;
+
+/// Integer unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IUnOp {
+    Clz,
+    Ctz,
+    Popcnt,
+}
+
+/// Integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IBinOp {
+    Add,
+    Sub,
+    Mul,
+    DivS,
+    DivU,
+    RemS,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrS,
+    ShrU,
+    Rotl,
+    Rotr,
+}
+
+/// Integer comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IRelOp {
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    GtS,
+    GtU,
+    LeS,
+    LeU,
+    GeS,
+    GeU,
+}
+
+/// Width selector for numeric instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Width {
+    W32,
+    W64,
+}
+
+/// One WASM instruction (structured: block bodies are nested).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Trap immediately.
+    Unreachable,
+    /// Do nothing.
+    Nop,
+    /// A forward-branching structured block.
+    Block {
+        /// Result type of the block.
+        ty: BlockType,
+        /// The nested body.
+        body: Vec<Instr>,
+    },
+    /// A backward-branching structured block (branch target is the header).
+    Loop {
+        /// Result type of the loop.
+        ty: BlockType,
+        /// The nested body.
+        body: Vec<Instr>,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Result type.
+        ty: BlockType,
+        /// Taken when the condition is nonzero.
+        then: Vec<Instr>,
+        /// Taken when the condition is zero (may be empty).
+        els: Vec<Instr>,
+    },
+    /// Unconditional branch to the `n`-th enclosing label.
+    Br(u32),
+    /// Conditional branch to the `n`-th enclosing label.
+    BrIf(u32),
+    /// Multi-way branch.
+    BrTable {
+        /// Jump table entries.
+        targets: Vec<u32>,
+        /// Default label.
+        default: u32,
+    },
+    /// Return from the function.
+    Return,
+    /// Direct call of function `index` (imports first, then local
+    /// functions, per the WASM index space).
+    Call(u32),
+    /// Drop the top stack value.
+    Drop,
+    /// Ternary select.
+    Select,
+    /// Read local.
+    LocalGet(u32),
+    /// Write local.
+    LocalSet(u32),
+    /// Write local, keep value.
+    LocalTee(u32),
+    /// Read global.
+    GlobalGet(u32),
+    /// Write global.
+    GlobalSet(u32),
+    /// Load from linear memory.
+    Load {
+        /// 32- or 64-bit load.
+        width: Width,
+        /// Static address offset.
+        offset: u32,
+    },
+    /// Store to linear memory.
+    Store {
+        /// 32- or 64-bit store.
+        width: Width,
+        /// Static address offset.
+        offset: u32,
+    },
+    /// Current memory size (pages).
+    MemorySize,
+    /// Grow linear memory.
+    MemoryGrow,
+    /// Push an `i32` constant.
+    I32Const(i32),
+    /// Push an `i64` constant.
+    I64Const(i64),
+    /// Test against zero (`i32.eqz` / `i64.eqz`).
+    Eqz(Width),
+    /// Comparison producing an `i32` flag.
+    Rel {
+        /// Operand width.
+        width: Width,
+        /// The comparison.
+        op: IRelOp,
+    },
+    /// Unary numeric operation.
+    Unary {
+        /// Operand width.
+        width: Width,
+        /// The operator.
+        op: IUnOp,
+    },
+    /// Binary numeric operation.
+    Binary {
+        /// Operand width.
+        width: Width,
+        /// The operator.
+        op: IBinOp,
+    },
+    /// `i32.wrap_i64`.
+    I32WrapI64,
+    /// `i64.extend_i32_s`.
+    I64ExtendI32S,
+    /// `i64.extend_i32_u`.
+    I64ExtendI32U,
+}
+
+impl Instr {
+    /// `true` for the structured-control instructions that carry nested
+    /// bodies.
+    pub fn is_structured(&self) -> bool {
+        matches!(self, Instr::Block { .. } | Instr::Loop { .. } | Instr::If { .. })
+    }
+
+    /// `true` if the instruction unconditionally diverts control
+    /// (`br`, `br_table`, `return`, `unreachable`).
+    pub fn is_unconditional_exit(&self) -> bool {
+        matches!(
+            self,
+            Instr::Br(_) | Instr::BrTable { .. } | Instr::Return | Instr::Unreachable
+        )
+    }
+
+    /// Counts this instruction plus all nested instructions.
+    pub fn size(&self) -> usize {
+        match self {
+            Instr::Block { body, .. } | Instr::Loop { body, .. } => {
+                1 + body.iter().map(Instr::size).sum::<usize>()
+            }
+            Instr::If { then, els, .. } => {
+                1 + then.iter().map(Instr::size).sum::<usize>()
+                    + els.iter().map(Instr::size).sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// Total instruction count of a body (including nested).
+pub fn body_size(body: &[Instr]) -> usize {
+    body.iter().map(Instr::size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_detection() {
+        assert!(Instr::Block { ty: BlockType::Empty, body: vec![] }.is_structured());
+        assert!(Instr::Loop { ty: BlockType::Empty, body: vec![] }.is_structured());
+        assert!(!Instr::Nop.is_structured());
+    }
+
+    #[test]
+    fn exit_detection() {
+        assert!(Instr::Br(0).is_unconditional_exit());
+        assert!(Instr::Return.is_unconditional_exit());
+        assert!(Instr::Unreachable.is_unconditional_exit());
+        assert!(!Instr::BrIf(0).is_unconditional_exit());
+    }
+
+    #[test]
+    fn size_counts_nested() {
+        let i = Instr::Block {
+            ty: BlockType::Empty,
+            body: vec![
+                Instr::Nop,
+                Instr::If {
+                    ty: BlockType::Empty,
+                    then: vec![Instr::Nop, Instr::Nop],
+                    els: vec![Instr::Return],
+                },
+            ],
+        };
+        assert_eq!(i.size(), 6);
+        assert_eq!(body_size(&[i, Instr::Nop]), 7);
+    }
+}

@@ -1,0 +1,60 @@
+//! WASM substrate: a binary-format codec and CFG lifter for the integer
+//! subset used by smart-contract runtimes.
+//!
+//! The ScamDetect roadmap's Phase 2 (platform-agnostic detection) needs a
+//! second, genuinely different bytecode platform. This crate provides it:
+//!
+//! * [`types`] / [`instr`] / [`module`] — the module model (integer MVP:
+//!   structured control flow, locals/globals, linear memory, host imports),
+//! * [`encode`] / [`decode`] — the standard WASM binary format (LEB128,
+//!   sections, nested `end`-delimited bodies),
+//! * [`validate`] — structural validation of index spaces and label depths,
+//! * [`cfg`] — CFG lifting from structured control flow onto the same
+//!   graph substrate the EVM frontend uses,
+//! * [`hostenv`] — a NEAR-style `"env"` host ABI giving contracts chain
+//!   state access, with a semantic classification aligned to EVM opcode
+//!   categories.
+//!
+//! Floats are intentionally unsupported: contract chains commonly forbid
+//! them for determinism, and nothing in the detection pipeline needs them.
+//!
+//! # Examples
+//!
+//! Build, encode, decode and lift a module:
+//!
+//! ```
+//! use scamdetect_wasm::{
+//!     cfg::lift_module, decode::decode_module, encode::encode_module,
+//!     instr::Instr, module::Module, types::FuncType,
+//! };
+//!
+//! # fn main() -> Result<(), scamdetect_wasm::WasmError> {
+//! let mut m = Module::new();
+//! let f = m.add_function(FuncType::default(), vec![], vec![Instr::Nop]);
+//! m.export_func("main", f);
+//!
+//! let bytes = encode_module(&m);
+//! let back = decode_module(&bytes)?;
+//! assert_eq!(back, m);
+//!
+//! let cfg = lift_module(&back);
+//! assert!(cfg.block_count() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cfg;
+pub mod decode;
+pub mod encode;
+pub mod error;
+pub mod hostenv;
+pub mod instr;
+pub mod leb;
+pub mod module;
+pub mod types;
+pub mod validate;
+
+pub use error::WasmError;
+pub use instr::{IBinOp, IRelOp, IUnOp, Instr, Width};
+pub use module::{Export, ExportKind, Function, Global, Import, Module};
+pub use types::{BlockType, FuncType, Limits, ValType};

@@ -1,0 +1,213 @@
+//! WASM module structure and a convenience builder.
+
+use crate::instr::Instr;
+use crate::types::{FuncType, Limits, ValType};
+
+/// An imported host function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// Module namespace (e.g. `"env"`).
+    pub module: String,
+    /// Field name (e.g. `"transfer"`).
+    pub name: String,
+    /// Index into the module's type section.
+    pub type_idx: u32,
+}
+
+/// A locally defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Index into the type section.
+    pub type_idx: u32,
+    /// Local declarations as `(count, type)` runs.
+    pub locals: Vec<(u32, ValType)>,
+    /// Structured body.
+    pub body: Vec<Instr>,
+}
+
+/// What an export refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportKind {
+    /// A function (by function-space index: imports first).
+    Func,
+    /// The linear memory.
+    Memory,
+}
+
+/// A module export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Export {
+    /// Exported name.
+    pub name: String,
+    /// Kind of entity.
+    pub kind: ExportKind,
+    /// Index within the kind's space.
+    pub index: u32,
+}
+
+/// A module global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Global {
+    /// Value type.
+    pub ty: ValType,
+    /// Mutability.
+    pub mutable: bool,
+    /// Constant initialiser (encoded as `iNN.const`).
+    pub init: i64,
+}
+
+/// A WASM module (the subset relevant to contract runtimes).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Function signatures.
+    pub types: Vec<FuncType>,
+    /// Host-function imports.
+    pub imports: Vec<Import>,
+    /// Locally defined functions.
+    pub functions: Vec<Function>,
+    /// Optional linear memory.
+    pub memory: Option<Limits>,
+    /// Module globals.
+    pub globals: Vec<Global>,
+    /// Exports.
+    pub exports: Vec<Export>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Interns `ty`, returning its index (deduplicating).
+    pub fn intern_type(&mut self, ty: FuncType) -> u32 {
+        if let Some(pos) = self.types.iter().position(|t| *t == ty) {
+            return pos as u32;
+        }
+        self.types.push(ty);
+        (self.types.len() - 1) as u32
+    }
+
+    /// Adds a host import; returns its function-space index.
+    pub fn add_import(&mut self, module: &str, name: &str, ty: FuncType) -> u32 {
+        let type_idx = self.intern_type(ty);
+        self.imports.push(Import {
+            module: module.to_string(),
+            name: name.to_string(),
+            type_idx,
+        });
+        (self.imports.len() - 1) as u32
+    }
+
+    /// Adds a function; returns its function-space index (after imports).
+    pub fn add_function(
+        &mut self,
+        ty: FuncType,
+        locals: Vec<(u32, ValType)>,
+        body: Vec<Instr>,
+    ) -> u32 {
+        let type_idx = self.intern_type(ty);
+        self.functions.push(Function {
+            type_idx,
+            locals,
+            body,
+        });
+        (self.imports.len() + self.functions.len() - 1) as u32
+    }
+
+    /// Exports function-space index `index` under `name`.
+    pub fn export_func(&mut self, name: &str, index: u32) {
+        self.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Func,
+            index,
+        });
+    }
+
+    /// Number of entries in the function index space (imports + local).
+    pub fn func_space_len(&self) -> usize {
+        self.imports.len() + self.functions.len()
+    }
+
+    /// Signature of function-space index `index`, if valid.
+    pub fn func_type(&self, index: u32) -> Option<&FuncType> {
+        let i = index as usize;
+        let type_idx = if i < self.imports.len() {
+            self.imports[i].type_idx
+        } else {
+            self.functions.get(i - self.imports.len())?.type_idx
+        };
+        self.types.get(type_idx as usize)
+    }
+
+    /// Looks up an exported function by name, returning its function-space
+    /// index.
+    pub fn exported_func(&self, name: &str) -> Option<u32> {
+        self.exports
+            .iter()
+            .find(|e| e.kind == ExportKind::Func && e.name == name)
+            .map(|e| e.index)
+    }
+
+    /// Total instruction count across all function bodies.
+    pub fn instruction_count(&self) -> usize {
+        self.functions
+            .iter()
+            .map(|f| crate::instr::body_size(&f.body))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BlockType;
+
+    #[test]
+    fn type_interning_deduplicates() {
+        let mut m = Module::new();
+        let t1 = m.intern_type(FuncType::new(vec![ValType::I32], vec![]));
+        let t2 = m.intern_type(FuncType::new(vec![ValType::I32], vec![]));
+        let t3 = m.intern_type(FuncType::new(vec![], vec![]));
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_eq!(m.types.len(), 2);
+    }
+
+    #[test]
+    fn function_space_indices() {
+        let mut m = Module::new();
+        let imp = m.add_import("env", "caller", FuncType::new(vec![], vec![ValType::I64]));
+        let f = m.add_function(FuncType::default(), vec![], vec![Instr::Nop]);
+        assert_eq!(imp, 0);
+        assert_eq!(f, 1);
+        assert_eq!(m.func_space_len(), 2);
+        assert!(m.func_type(0).is_some());
+        assert!(m.func_type(1).is_some());
+        assert!(m.func_type(2).is_none());
+    }
+
+    #[test]
+    fn exports_lookup() {
+        let mut m = Module::new();
+        let f = m.add_function(FuncType::default(), vec![], vec![]);
+        m.export_func("main", f);
+        assert_eq!(m.exported_func("main"), Some(f));
+        assert_eq!(m.exported_func("missing"), None);
+    }
+
+    #[test]
+    fn instruction_count_sums_bodies() {
+        let mut m = Module::new();
+        m.add_function(
+            FuncType::default(),
+            vec![],
+            vec![Instr::Block {
+                ty: BlockType::Empty,
+                body: vec![Instr::Nop, Instr::Nop],
+            }],
+        );
+        m.add_function(FuncType::default(), vec![], vec![Instr::Return]);
+        assert_eq!(m.instruction_count(), 4);
+    }
+}

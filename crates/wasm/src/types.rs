@@ -1,0 +1,127 @@
+//! Core WASM type definitions (the integer subset smart contracts use).
+
+use crate::error::WasmError;
+
+/// A WASM value type. Blockchain contract runtimes (NEAR, ink!, eosio)
+/// overwhelmingly use the integer types; floats are deliberately excluded
+/// from this subset (several chains forbid them for determinism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+}
+
+impl ValType {
+    /// Binary-format type byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+        }
+    }
+
+    /// Decodes a type byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WasmError::BadValType`] for anything but `i32`/`i64`.
+    pub fn from_byte(b: u8) -> Result<Self, WasmError> {
+        match b {
+            0x7f => Ok(ValType::I32),
+            0x7e => Ok(ValType::I64),
+            byte => Err(WasmError::BadValType { byte }),
+        }
+    }
+}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types, in order.
+    pub params: Vec<ValType>,
+    /// Result types (0 or 1 in the MVP subset).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Creates a signature.
+    pub fn new(params: Vec<ValType>, results: Vec<ValType>) -> Self {
+        FuncType { params, results }
+    }
+}
+
+/// The type of a structured control block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockType {
+    /// No result.
+    #[default]
+    Empty,
+    /// One result of the given type.
+    Value(ValType),
+}
+
+impl BlockType {
+    /// Binary-format encoding byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            BlockType::Empty => 0x40,
+            BlockType::Value(v) => v.byte(),
+        }
+    }
+
+    /// Decodes a blocktype byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WasmError::BadValType`] for unsupported bytes.
+    pub fn from_byte(b: u8) -> Result<Self, WasmError> {
+        if b == 0x40 {
+            Ok(BlockType::Empty)
+        } else {
+            Ok(BlockType::Value(ValType::from_byte(b)?))
+        }
+    }
+}
+
+/// Memory or table size limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Minimum size in pages.
+    pub min: u32,
+    /// Optional maximum size in pages.
+    pub max: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_roundtrip() {
+        for t in [ValType::I32, ValType::I64] {
+            assert_eq!(ValType::from_byte(t.byte()).unwrap(), t);
+        }
+        assert!(ValType::from_byte(0x7d).is_err()); // f32 unsupported
+    }
+
+    #[test]
+    fn blocktype_roundtrip() {
+        for bt in [
+            BlockType::Empty,
+            BlockType::Value(ValType::I32),
+            BlockType::Value(ValType::I64),
+        ] {
+            assert_eq!(BlockType::from_byte(bt.byte()).unwrap(), bt);
+        }
+    }
+
+    #[test]
+    fn functype_construction() {
+        let ft = FuncType::new(vec![ValType::I32, ValType::I64], vec![ValType::I32]);
+        assert_eq!(ft.params.len(), 2);
+        assert_eq!(ft.results, vec![ValType::I32]);
+        assert_eq!(FuncType::default().params.len(), 0);
+    }
+}

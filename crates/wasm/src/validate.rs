@@ -1,0 +1,191 @@
+//! Lightweight structural validation of WASM modules.
+//!
+//! This is not a full type checker; it verifies the index-space and
+//! control-nesting invariants that the CFG lifter and feature extractor
+//! rely on, so malformed modules fail loudly at the boundary instead of
+//! corrupting analysis downstream.
+
+use crate::error::WasmError;
+use crate::instr::Instr;
+use crate::module::{ExportKind, Module};
+
+/// Validates `module`'s structural invariants.
+///
+/// Checks performed:
+///
+/// * every import/function type index points into the type section,
+/// * every `call` targets a valid function-space index,
+/// * every `local.*` index is within params + declared locals,
+/// * every `global.*` index is within the global section,
+/// * every `br`/`br_if`/`br_table` depth is within its enclosing labels
+///   (the implicit function label counts),
+/// * exports reference valid indices.
+///
+/// # Errors
+///
+/// The first violated invariant as a [`WasmError`].
+pub fn validate(module: &Module) -> Result<(), WasmError> {
+    let ntypes = module.types.len();
+    for imp in &module.imports {
+        check_index("type", imp.type_idx, ntypes)?;
+    }
+    let func_space = module.func_space_len();
+    for (fi, f) in module.functions.iter().enumerate() {
+        check_index("type", f.type_idx, ntypes)?;
+        let params = module.types[f.type_idx as usize].params.len();
+        let locals: usize = f.locals.iter().map(|(n, _)| *n as usize).sum();
+        let nlocals = params + locals;
+        validate_body(&f.body, 1, nlocals, module.globals.len(), func_space).map_err(|e| {
+            let _ = fi;
+            e
+        })?;
+    }
+    for e in &module.exports {
+        match e.kind {
+            ExportKind::Func => check_index("function", e.index, func_space)?,
+            ExportKind::Memory => {
+                if module.memory.is_none() || e.index != 0 {
+                    return Err(WasmError::IndexOutOfRange {
+                        kind: "memory",
+                        index: e.index,
+                        limit: module.memory.is_some() as usize,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_index(kind: &'static str, index: u32, limit: usize) -> Result<(), WasmError> {
+    if (index as usize) < limit {
+        Ok(())
+    } else {
+        Err(WasmError::IndexOutOfRange { kind, index, limit })
+    }
+}
+
+fn validate_body(
+    body: &[Instr],
+    label_depth: u32,
+    nlocals: usize,
+    nglobals: usize,
+    func_space: usize,
+) -> Result<(), WasmError> {
+    for i in body {
+        match i {
+            Instr::Block { body, .. } | Instr::Loop { body, .. } => {
+                validate_body(body, label_depth + 1, nlocals, nglobals, func_space)?;
+            }
+            Instr::If { then, els, .. } => {
+                validate_body(then, label_depth + 1, nlocals, nglobals, func_space)?;
+                validate_body(els, label_depth + 1, nlocals, nglobals, func_space)?;
+            }
+            Instr::Br(n) | Instr::BrIf(n) => {
+                check_index("label", *n, label_depth as usize)?;
+            }
+            Instr::BrTable { targets, default } => {
+                for t in targets.iter().chain(std::iter::once(default)) {
+                    check_index("label", *t, label_depth as usize)?;
+                }
+            }
+            Instr::Call(f) => check_index("function", *f, func_space)?,
+            Instr::LocalGet(n) | Instr::LocalSet(n) | Instr::LocalTee(n) => {
+                check_index("local", *n, nlocals)?;
+            }
+            Instr::GlobalGet(n) | Instr::GlobalSet(n) => {
+                check_index("global", *n, nglobals)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Global;
+    use crate::types::{BlockType, FuncType, ValType};
+
+    fn one_func(body: Vec<Instr>) -> Module {
+        let mut m = Module::new();
+        m.add_function(
+            FuncType::new(vec![ValType::I32], vec![]),
+            vec![(1, ValType::I64)],
+            body,
+        );
+        m
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        let mut m = one_func(vec![
+            Instr::LocalGet(0),
+            Instr::LocalSet(1),
+            Instr::Block {
+                ty: BlockType::Empty,
+                body: vec![Instr::Br(1)], // implicit function label
+            },
+        ]);
+        m.globals.push(Global { ty: ValType::I32, mutable: true, init: 0 });
+        m.functions[0].body.push(Instr::GlobalGet(0));
+        assert_eq!(validate(&m), Ok(()));
+    }
+
+    #[test]
+    fn bad_local_index() {
+        let m = one_func(vec![Instr::LocalGet(2)]); // only locals 0..=1
+        assert!(matches!(
+            validate(&m),
+            Err(WasmError::IndexOutOfRange { kind: "local", index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_branch_depth() {
+        let m = one_func(vec![Instr::Br(5)]);
+        assert!(matches!(
+            validate(&m),
+            Err(WasmError::IndexOutOfRange { kind: "label", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_call_target() {
+        let m = one_func(vec![Instr::Call(9)]);
+        assert!(matches!(
+            validate(&m),
+            Err(WasmError::IndexOutOfRange { kind: "function", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_global_index() {
+        let m = one_func(vec![Instr::GlobalSet(0)]);
+        assert!(matches!(
+            validate(&m),
+            Err(WasmError::IndexOutOfRange { kind: "global", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_export() {
+        let mut m = Module::new();
+        m.export_func("ghost", 3);
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn nested_depth_is_tracked() {
+        let m = one_func(vec![Instr::Block {
+            ty: BlockType::Empty,
+            body: vec![Instr::If {
+                ty: BlockType::Empty,
+                then: vec![Instr::Br(2)], // block + if + function = ok
+                els: vec![Instr::Br(3)],  // too deep
+            }],
+        }]);
+        assert!(validate(&m).is_err());
+    }
+}

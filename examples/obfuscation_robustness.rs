@@ -1,0 +1,74 @@
+//! Obfuscation robustness study on a single contract.
+//!
+//! Takes one honeypot vault, applies every obfuscation level, and shows
+//! what the static analyzer sees at each step: code growth, CFG blocks,
+//! unresolved jumps — and how a histogram detector's score drifts while a
+//! GNN's stays put.
+//!
+//! ```text
+//! cargo run --example obfuscation_robustness --release
+//! ```
+
+use rand::SeedableRng;
+use scamdetect::{ClassicModel, FeatureKind, GnnKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect_dataset::{generate_evm, Corpus, CorpusConfig, FamilyKind};
+use scamdetect_evm::cfg::build_cfg;
+use scamdetect_obfuscate::{obfuscate_evm, ObfuscationLevel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let target = generate_evm(FamilyKind::HoneypotVault, &mut rng);
+
+    // Train both detector styles on a clean corpus.
+    println!("training detectors on a clean corpus...");
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 200,
+        seed: 3,
+        ..CorpusConfig::default()
+    });
+    let histogram_detector = ScamDetect::train(
+        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::OpcodeHistogram),
+        &corpus,
+        &TrainOptions::default(),
+    )?;
+    let mut gnn_options = TrainOptions::default();
+    gnn_options.gnn.epochs = 20;
+    let gnn_detector = ScamDetect::train(ModelKind::Gnn(GnnKind::Gcn), &corpus, &gnn_options)?;
+
+    println!("\nobfuscating a honeypot vault, level by level:");
+    println!(
+        "{:<6} {:>8} {:>8} {:>12} {:>14} {:>10}",
+        "level", "bytes", "blocks", "unresolved", "p(mal) hist", "p(mal) gnn"
+    );
+    for level in ObfuscationLevel::all() {
+        let (obf, report) = obfuscate_evm(&target.program, level, 42);
+        let code = obf.assemble()?;
+        let cfg = build_cfg(&code);
+        // The histogram detector needs the bytes; build a throwaway
+        // contract record for its exact featurization.
+        let contract = scamdetect_dataset::Contract {
+            id: 0,
+            bytes: code.clone(),
+            platform: scamdetect_ir::Platform::Evm,
+            label: scamdetect_dataset::ContractLabel::Malicious,
+            family: FamilyKind::HoneypotVault,
+            source: scamdetect_dataset::ContractSource::Evm(obf),
+        };
+        let hist_p = histogram_detector
+            .detector()
+            .score_contract(&contract)?;
+        let gnn_p = gnn_detector.detector().score_contract(&contract)?;
+        println!(
+            "L{:<5} {:>8} {:>8} {:>12} {:>14.3} {:>10.3}",
+            level.get(),
+            report.size_after,
+            cfg.block_count(),
+            cfg.unresolved_jump_count(),
+            hist_p,
+            gnn_p
+        );
+    }
+    println!("\n(the histogram score drifts as dead code and substitutions poison");
+    println!(" the byte distribution; the CFG model sees through more of it)");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: generate a corpus, train a detector, scan contracts.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect_dataset::{ContractLabel, Corpus, CorpusConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A labeled corpus — the synthetic stand-in for the Etherscan
+    //    dataset the paper builds on (see DESIGN.md for the substitution).
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 300,
+        seed: 2024,
+        ..CorpusConfig::default()
+    });
+    let stats = corpus.stats();
+    println!(
+        "corpus: {} contracts ({} malicious, {} benign), mean {:.0} bytes",
+        stats.total, stats.malicious, stats.benign, stats.mean_size
+    );
+
+    // 2. Hold out 30% for honest evaluation.
+    let (train_idx, test_idx) = corpus.split(0.3, 7);
+
+    // 3. Train the scanner (random forest over platform-agnostic features).
+    let scanner = ScamDetect::train_on(
+        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
+        &corpus,
+        &train_idx,
+        &TrainOptions::default(),
+    )?;
+
+    // 4. Scan the held-out contracts.
+    let mut correct = 0;
+    for &i in &test_idx {
+        let contract = &corpus.contracts()[i];
+        let verdict = scanner.scan(&contract.bytes)?;
+        if verdict.label == contract.label {
+            correct += 1;
+        }
+    }
+    println!(
+        "held-out accuracy: {:.1}% ({} / {})",
+        100.0 * correct as f64 / test_idx.len() as f64,
+        correct,
+        test_idx.len()
+    );
+
+    // 5. Inspect one verdict in detail.
+    let malicious_idx = test_idx
+        .iter()
+        .find(|&&i| corpus.contracts()[i].label == ContractLabel::Malicious)
+        .copied()
+        .expect("test set contains malicious samples");
+    let target = &corpus.contracts()[malicious_idx];
+    let verdict = scanner.scan(&target.bytes)?;
+    println!("\nsample scan of a {} contract:", target.family);
+    println!("  {verdict}");
+    Ok(())
+}

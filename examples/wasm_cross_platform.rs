@@ -1,0 +1,80 @@
+//! Platform-agnostic detection: one model, two runtimes.
+//!
+//! Trains a detector on a **mixed** EVM + WASM corpus using only the
+//! unified IR, then scans contracts from both platforms with the same
+//! model — the paper's Phase 2 (§V-B) in action.
+//!
+//! ```text
+//! cargo run --example wasm_cross_platform --release
+//! ```
+
+use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_ir::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A corpus per platform, then a mixed training pool.
+    let evm = Corpus::generate(&CorpusConfig {
+        size: 150,
+        platform: Platform::Evm,
+        seed: 31,
+        ..CorpusConfig::default()
+    });
+    let wasm = Corpus::generate(&CorpusConfig {
+        size: 150,
+        platform: Platform::Wasm,
+        seed: 32,
+        ..CorpusConfig::default()
+    });
+
+    let (evm_train, evm_test) = evm.split(0.3, 5);
+    let (wasm_train, wasm_test) = wasm.split(0.3, 5);
+    let mut mixed = Vec::new();
+    for &i in &evm_train {
+        mixed.push(evm.contracts()[i].clone());
+    }
+    for &i in &wasm_train {
+        mixed.push(wasm.contracts()[i].clone());
+    }
+    let mixed = Corpus::from_contracts(mixed);
+    println!(
+        "training one agnostic model on {} mixed contracts...",
+        mixed.len()
+    );
+    let scanner = ScamDetect::train(
+        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
+        &mixed,
+        &TrainOptions::default(),
+    )?;
+
+    // Evaluate the SAME model on both platforms' held-out sets.
+    for (name, corpus, test_idx) in [("evm", &evm, &evm_test), ("wasm", &wasm, &wasm_test)] {
+        let mut correct = 0;
+        for &i in test_idx {
+            let c = &corpus.contracts()[i];
+            let verdict = scanner.scan(&c.bytes)?;
+            assert_eq!(
+                verdict.platform,
+                c.platform,
+                "platform auto-detection must agree"
+            );
+            if verdict.label == c.label {
+                correct += 1;
+            }
+        }
+        println!(
+            "{name:>5} held-out accuracy: {:.1}% ({} / {})",
+            100.0 * correct as f64 / test_idx.len() as f64,
+            correct,
+            test_idx.len()
+        );
+    }
+
+    // One verdict per platform, for show.
+    let v_evm = scanner.scan(&evm.contracts()[evm_test[0]].bytes)?;
+    let v_wasm = scanner.scan(&wasm.contracts()[wasm_test[0]].bytes)?;
+    println!("\nsame model, two runtimes:");
+    println!("  {v_evm}");
+    println!("  {v_wasm}");
+    Ok(())
+}

@@ -1,0 +1,1 @@
+pub use scamdetect as core_crate;

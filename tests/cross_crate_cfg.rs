@@ -1,0 +1,94 @@
+//! Cross-crate consistency: the same contract seen by every layer.
+
+use rand::SeedableRng;
+use scamdetect_dataset::{generate_evm, generate_wasm, FamilyKind};
+use scamdetect_evm::cfg::build_cfg;
+use scamdetect_gnn::PreparedGraph;
+use scamdetect_graph::{DominatorTree, GraphMetrics, LoopInfo};
+use scamdetect_ir::{EvmFrontend, Frontend, WasmFrontend};
+
+#[test]
+fn evm_block_structure_is_preserved_into_the_ir() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let g = generate_evm(FamilyKind::Multisig, &mut rng);
+    let code = g.program.assemble().unwrap();
+
+    let raw_cfg = build_cfg(&code);
+    let unified = EvmFrontend::new().lift(&code).unwrap();
+
+    // Same number of blocks and edges (default policy adds no nodes).
+    assert_eq!(unified.block_count(), raw_cfg.block_count());
+    assert_eq!(unified.graph().edge_count(), raw_cfg.graph().edge_count());
+    // Same instruction totals.
+    assert_eq!(unified.instruction_count(), raw_cfg.instruction_count());
+}
+
+#[test]
+fn graph_analyses_agree_between_layers() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let g = generate_evm(FamilyKind::PonziScheme, &mut rng);
+    let code = g.program.assemble().unwrap();
+    let unified = EvmFrontend::new().lift(&code).unwrap();
+
+    // The ponzi payout loop must be visible as a natural loop in the IR.
+    let dom = DominatorTree::compute(unified.graph(), unified.entry());
+    let loops = LoopInfo::detect(unified.graph(), &dom);
+    assert!(loops.loop_count() >= 1, "payout loop not recovered");
+
+    let metrics = GraphMetrics::compute(unified.graph(), unified.entry());
+    assert!(metrics.branch_count >= 2, "dispatcher branches missing");
+    assert_eq!(metrics.node_count, unified.block_count());
+}
+
+#[test]
+fn wasm_and_evm_prepare_into_identical_tensor_shapes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let evm = generate_evm(FamilyKind::Vault, &mut rng);
+    let wasm = generate_wasm(FamilyKind::Vault, &mut rng);
+
+    let evm_cfg = EvmFrontend::new()
+        .lift(&evm.program.assemble().unwrap())
+        .unwrap();
+    let wasm_cfg = WasmFrontend::new()
+        .lift(&scamdetect_wasm::encode::encode_module(&wasm.module))
+        .unwrap();
+
+    let ge = PreparedGraph::from_cfg(&evm_cfg, 0);
+    let gw = PreparedGraph::from_cfg(&wasm_cfg, 0);
+    // Node counts differ; feature dimensionality MUST NOT — that is the
+    // platform-agnosticism contract.
+    assert_eq!(ge.feature_dim(), gw.feature_dim());
+    assert_eq!(ge.adj.shape(), (ge.node_count(), ge.node_count()));
+    assert_eq!(gw.adj.shape(), (gw.node_count(), gw.node_count()));
+}
+
+#[test]
+fn family_semantics_leave_ir_fingerprints() {
+    use scamdetect_ir::InstrClass;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+
+    // Drainer: cross-contract calls present.
+    let drainer = generate_evm(FamilyKind::ApprovalDrainer, &mut rng);
+    let cfg = EvmFrontend::new()
+        .lift(&drainer.program.assemble().unwrap())
+        .unwrap();
+    assert!(cfg.class_histogram()[InstrClass::Call.index()] > 0.0);
+
+    // Escrow: block-environment reads (timestamp gate) + value transfer.
+    let escrow = generate_evm(FamilyKind::Escrow, &mut rng);
+    let cfg = EvmFrontend::new()
+        .lift(&escrow.program.assemble().unwrap())
+        .unwrap();
+    let h = cfg.class_histogram();
+    assert!(h[InstrClass::BlockEnv.index()] > 0.0);
+    assert!(h[InstrClass::ValueTransfer.index()] > 0.0);
+
+    // Registry: storage writes, no value transfer at all.
+    let registry = generate_evm(FamilyKind::Registry, &mut rng);
+    let cfg = EvmFrontend::new()
+        .lift(&registry.program.assemble().unwrap())
+        .unwrap();
+    let h = cfg.class_histogram();
+    assert!(h[InstrClass::StorageWrite.index()] > 0.0);
+    assert_eq!(h[InstrClass::ValueTransfer.index()], 0.0);
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration: corpus → training → held-out detection.
+//!
+//! These tests exercise the full pipeline across every crate boundary and
+//! assert *detection quality*, not just absence of crashes.
+
+use scamdetect::{ClassicModel, FeatureKind, GnnKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_ir::Platform;
+
+fn corpus(size: usize, platform: Platform, seed: u64) -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        size,
+        platform,
+        seed,
+        ..CorpusConfig::default()
+    })
+}
+
+fn held_out_accuracy(scanner: &ScamDetect, corpus: &Corpus, test_idx: &[usize]) -> f64 {
+    let mut correct = 0;
+    for &i in test_idx {
+        let c = &corpus.contracts()[i];
+        let verdict = scanner.scan(&c.bytes).expect("scan succeeds");
+        if verdict.label == c.label {
+            correct += 1;
+        }
+    }
+    correct as f64 / test_idx.len() as f64
+}
+
+#[test]
+fn classic_detector_beats_chance_clearly_on_evm() {
+    let corpus = corpus(160, Platform::Evm, 11);
+    let (train_idx, test_idx) = corpus.split(0.3, 5);
+    let scanner = ScamDetect::train_on(
+        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::OpcodeHistogram),
+        &corpus,
+        &train_idx,
+        &TrainOptions::default(),
+    )
+    .expect("training succeeds");
+    let acc = held_out_accuracy(&scanner, &corpus, &test_idx);
+    assert!(acc >= 0.8, "random forest reached only {acc:.3}");
+}
+
+#[test]
+fn unified_features_work_on_wasm() {
+    let corpus = corpus(120, Platform::Wasm, 13);
+    let (train_idx, test_idx) = corpus.split(0.3, 5);
+    let scanner = ScamDetect::train_on(
+        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
+        &corpus,
+        &train_idx,
+        &TrainOptions::default(),
+    )
+    .expect("training succeeds");
+    let acc = held_out_accuracy(&scanner, &corpus, &test_idx);
+    assert!(acc >= 0.75, "wasm unified-features accuracy {acc:.3}");
+}
+
+#[test]
+fn gnn_detector_learns_on_evm() {
+    let corpus = corpus(100, Platform::Evm, 17);
+    let (train_idx, test_idx) = corpus.split(0.3, 5);
+    let mut options = TrainOptions::default();
+    options.gnn.epochs = 30;
+    options.gnn.lr = 1e-2;
+    let scanner = ScamDetect::train_on(
+        ModelKind::Gnn(GnnKind::Gin),
+        &corpus,
+        &train_idx,
+        &options,
+    )
+    .expect("training succeeds");
+    let acc = held_out_accuracy(&scanner, &corpus, &test_idx);
+    assert!(acc >= 0.75, "gin reached only {acc:.3}");
+}
+
+#[test]
+fn one_model_scans_both_platforms() {
+    let evm = corpus(60, Platform::Evm, 19);
+    let wasm = corpus(60, Platform::Wasm, 23);
+    let mut mixed = Vec::new();
+    mixed.extend(evm.contracts().iter().cloned());
+    mixed.extend(wasm.contracts().iter().cloned());
+    let mixed = Corpus::from_contracts(mixed);
+    let scanner = ScamDetect::train(
+        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
+        &mixed,
+        &TrainOptions::default(),
+    )
+    .expect("training succeeds");
+
+    let v_evm = scanner.scan(&evm.contracts()[0].bytes).expect("evm scan");
+    assert_eq!(v_evm.platform, Platform::Evm);
+    let v_wasm = scanner.scan(&wasm.contracts()[0].bytes).expect("wasm scan");
+    assert_eq!(v_wasm.platform, Platform::Wasm);
+}
+
+#[test]
+fn verdicts_expose_analysis_size() {
+    let corpus = corpus(40, Platform::Evm, 29);
+    let scanner = ScamDetect::train(
+        ModelKind::Classic(ClassicModel::DecisionTree, FeatureKind::Unified),
+        &corpus,
+        &TrainOptions::default(),
+    )
+    .expect("training succeeds");
+    let v = scanner.scan(&corpus.contracts()[3].bytes).expect("scan");
+    assert!(v.blocks > 1);
+    assert!(v.instructions > 10);
+    assert!(!v.model.is_empty());
+    assert!((0.0..=1.0).contains(&v.malicious_probability));
+}

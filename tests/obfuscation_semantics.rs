@@ -1,0 +1,94 @@
+//! Differential testing: obfuscation must never change observable
+//! behaviour, across every family, level and several seeds.
+//!
+//! This is the load-bearing guarantee behind experiments E3/E4 — if a pass
+//! changed semantics, "robustness to obfuscation" would be measuring the
+//! wrong thing.
+
+use rand::SeedableRng;
+use scamdetect_dataset::{generate_evm, FamilyKind};
+use scamdetect_evm::interp::{execute, InterpConfig, TxContext};
+use scamdetect_evm::word::U256;
+use scamdetect_obfuscate::{obfuscate_evm, ObfuscationLevel};
+use std::collections::BTreeMap;
+
+fn contexts(selectors: &[[u8; 4]]) -> Vec<TxContext> {
+    let mut out = Vec::new();
+    // One context per declared function, with args and value.
+    for sel in selectors {
+        let mut ctx = TxContext::with_selector(
+            *sel,
+            &[U256::from_u64(9), U256::from_u64(4), U256::from_u64(2)],
+        );
+        ctx.callvalue = U256::from_u64(120);
+        out.push(ctx);
+    }
+    // And one junk-selector context (fallback path).
+    out.push(TxContext::with_selector([0xff, 0xfe, 0xfd, 0xfc], &[]));
+    out
+}
+
+#[test]
+fn every_family_survives_every_obfuscation_level() {
+    let interp = InterpConfig::default();
+    for family in FamilyKind::all() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFA0 ^ family as u64);
+        let generated = generate_evm(family, &mut rng);
+        let original = generated.program.assemble().expect("assembles");
+        let ctxs = contexts(&generated.selectors);
+
+        for level in ObfuscationLevel::all() {
+            let (obf_prog, _) = obfuscate_evm(&generated.program, level, 0xBEEF);
+            let obf = obf_prog.assemble().expect("obfuscated assembles");
+            for (i, ctx) in ctxs.iter().enumerate() {
+                let a = execute(&original, ctx, &BTreeMap::new(), &interp);
+                let b = execute(&obf, ctx, &BTreeMap::new(), &interp);
+                assert_eq!(
+                    a, b,
+                    "family {family}, level {level}, context {i}: behaviour diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn obfuscation_composes_with_stored_state() {
+    // Deposit-then-withdraw across an obfuscation boundary: run the
+    // deposit on the ORIGINAL, feed its storage into the OBFUSCATED
+    // withdraw (and vice versa) — storage layouts must agree because the
+    // transformation may not touch data semantics.
+    let interp = InterpConfig::default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5AFE);
+    let generated = generate_evm(FamilyKind::Vault, &mut rng);
+    let original = generated.program.assemble().unwrap();
+    let (obf_prog, _) = obfuscate_evm(&generated.program, ObfuscationLevel::new(4), 0xCAFE);
+    let obf = obf_prog.assemble().unwrap();
+
+    let mut deposit_ctx = TxContext::with_selector(generated.selectors[0], &[]);
+    deposit_ctx.callvalue = U256::from_u64(700);
+    let after_deposit = execute(&original, &deposit_ctx, &BTreeMap::new(), &interp);
+
+    let withdraw_ctx =
+        TxContext::with_selector(generated.selectors[1], &[U256::from_u64(300)]);
+    let w_orig = execute(&original, &withdraw_ctx, &after_deposit.storage, &interp);
+    let w_obf = execute(&obf, &withdraw_ctx, &after_deposit.storage, &interp);
+    assert_eq!(w_orig, w_obf, "cross-version state handling diverged");
+}
+
+#[test]
+fn obfuscated_code_differs_but_cfg_stays_buildable() {
+    for family in [FamilyKind::ApprovalDrainer, FamilyKind::Erc20Token] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let generated = generate_evm(family, &mut rng);
+        let original = generated.program.assemble().unwrap();
+        for level in ObfuscationLevel::all().into_iter().skip(1) {
+            let (obf_prog, report) = obfuscate_evm(&generated.program, level, 2);
+            let obf = obf_prog.assemble().unwrap();
+            assert_ne!(obf, original, "{family} {level}: identity transformation");
+            assert!(report.growth() >= 1.0);
+            let cfg = scamdetect_evm::cfg::build_cfg(&obf);
+            assert!(cfg.block_count() >= 1);
+        }
+    }
+}

@@ -43,9 +43,7 @@ fn bench_e1(c: &mut Criterion) {
     });
     group.bench_function("featurize_opcode_histogram", |b| {
         b.iter(|| {
-            black_box(
-                featurize_corpus(&corpus, &train_idx, FeatureKind::OpcodeHistogram).unwrap(),
-            )
+            black_box(featurize_corpus(&corpus, &train_idx, FeatureKind::OpcodeHistogram).unwrap())
         })
     });
     group.finish();

@@ -20,7 +20,11 @@ fn bench_e3(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e3_robustness");
     group.sample_size(20);
-    for level in [ObfuscationLevel::new(1), ObfuscationLevel::new(3), ObfuscationLevel::new(5)] {
+    for level in [
+        ObfuscationLevel::new(1),
+        ObfuscationLevel::new(3),
+        ObfuscationLevel::new(5),
+    ] {
         group.bench_function(format!("obfuscate_{level}"), |b| {
             b.iter(|| {
                 let (obf, _) = obfuscate_evm(&sample.program, level, 9);

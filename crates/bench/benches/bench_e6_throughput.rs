@@ -1,12 +1,15 @@
 //! E6 / Figure 3 — pipeline throughput by stage.
 //!
 //! Prints the regenerated stage table (quick profile), then measures each
-//! pipeline stage with Criterion across bytecode size buckets.
+//! pipeline stage with Criterion across bytecode size buckets, and the
+//! batch scanning path (skeleton dedup + worker fan-out) over a
+//! proxy-duplicated corpus across worker counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scamdetect::experiment::{run_e6_throughput, Profile};
+use scamdetect::{ScanRequest, ScannerBuilder};
 use scamdetect_bench::print_throughput;
-use scamdetect_dataset::{generate_evm, FamilyKind};
+use scamdetect_dataset::{generate_evm, Corpus, CorpusConfig, FamilyKind};
 use scamdetect_evm::{cfg::build_cfg, disasm::disassemble};
 use scamdetect_ir::{EvmFrontend, Frontend};
 use scamdetect_obfuscate::{obfuscate_evm, ObfuscationLevel};
@@ -40,6 +43,55 @@ fn bench_e6(c: &mut Criterion) {
             let fe = EvmFrontend::new();
             b.iter(|| black_box(fe.lift(code).unwrap()))
         });
+    }
+    group.finish();
+
+    // The batch path: a duplicate-heavy corpus (every fourth contract an
+    // ERC-1167 clone) scanned as one batch, across worker counts. The
+    // dedup cache is cleared per iteration so each measurement pays the
+    // full cold-cache cost.
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 120,
+        seed: 6,
+        proxy_duplicates: 30,
+        ..CorpusConfig::default()
+    });
+    let requests: Vec<ScanRequest> = corpus
+        .contracts()
+        .iter()
+        .map(|c| ScanRequest::new(&c.bytes))
+        .collect();
+    let total_bytes: u64 = corpus
+        .contracts()
+        .iter()
+        .map(|c| c.bytes.len() as u64)
+        .sum();
+
+    let mut group = c.benchmark_group("e6_scan_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total_bytes));
+    for workers in [1usize, 2, 4, 0] {
+        let scanner = ScannerBuilder::new()
+            .workers(workers)
+            .train(&corpus)
+            .expect("scanner trains");
+        let label = if workers == 0 {
+            "auto".to_string()
+        } else {
+            workers.to_string()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("workers", label),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    scanner.clear_cache();
+                    for outcome in scanner.scan_batch(requests) {
+                        black_box(outcome.expect("batch scan succeeds"));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

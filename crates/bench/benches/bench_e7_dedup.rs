@@ -35,9 +35,7 @@ fn bench_e7(c: &mut Criterion) {
             }
         })
     });
-    group.bench_function("full_dedup", |b| {
-        b.iter(|| black_box(corpus.dedup()))
-    });
+    group.bench_function("full_dedup", |b| b.iter(|| black_box(corpus.dedup())));
     group.bench_function("corpus_generation_60", |b| {
         b.iter(|| {
             black_box(Corpus::generate(&CorpusConfig {

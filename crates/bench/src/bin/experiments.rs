@@ -57,7 +57,10 @@ fn main() {
     }
     if want("e2") {
         let rows = run_e2_gnns(&profile).expect("E2");
-        print_eval_table("Table 2: GNN architectures over CFGs, clean EVM corpus", &rows);
+        print_eval_table(
+            "Table 2: GNN architectures over CFGs, clean EVM corpus",
+            &rows,
+        );
     }
     if want("e3") {
         let pts = run_e3_robustness(&profile).expect("E3");

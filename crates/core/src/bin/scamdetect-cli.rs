@@ -3,21 +3,25 @@
 //! ```text
 //! scamdetect-cli inspect <hexfile>            static analysis of one contract
 //! scamdetect-cli scan <hexfile> [options]     train + scan one contract
+//! scamdetect-cli batch <hexfile>... [options] train once, scan many (dedup + parallel)
 //! scamdetect-cli demo                         end-to-end demonstration
 //!
-//! scan options:
+//! scan / batch options:
 //!   --model <rf|logreg|mlp|gcn|gat|gin|tag|sage>   detector (default rf)
 //!   --corpus-size <n>                              training corpus size (default 300)
 //!   --seed <n>                                     corpus seed (default 42)
+//!   --threshold <p>                                decision threshold (default 0.5)
+//!   --workers <n>                                  batch worker threads (default: cores)
 //! ```
 //!
 //! Contract files contain hex bytes (optional `0x` prefix, whitespace
 //! ignored); `-` reads from stdin.
 
-use scamdetect::{
-    ClassicModel, FeatureKind, GnnKind, ModelKind, ScamDetect, TrainOptions,
-};
 use scamdetect::featurize::{detect_platform, lift_bytes};
+use scamdetect::{
+    ClassicModel, FeatureKind, GnnKind, ModelKind, ScamDetect, ScanRequest, ScannerBuilder,
+    TrainOptions,
+};
 use scamdetect_dataset::{generate_evm, Corpus, CorpusConfig, FamilyKind};
 use scamdetect_evm::{cfg::build_cfg, disasm::disassemble, selector::extract_selectors};
 use scamdetect_ir::{InstrClass, Platform};
@@ -29,9 +33,10 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!("usage: scamdetect-cli <inspect|scan|demo> [args]");
+            eprintln!("usage: scamdetect-cli <inspect|scan|batch|demo> [args]");
             eprintln!("       see crate docs for options");
             return ExitCode::from(2);
         }
@@ -59,7 +64,7 @@ fn read_contract(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
         .chars()
         .filter(|c| !c.is_whitespace())
         .collect();
-    if cleaned.len() % 2 != 0 {
+    if !cleaned.len().is_multiple_of(2) {
         return Err("odd number of hex digits".into());
     }
     let mut bytes = Vec::with_capacity(cleaned.len() / 2);
@@ -133,46 +138,178 @@ fn parse_model(name: &str) -> Result<ModelKind, String> {
     })
 }
 
-fn cmd_scan(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let path = args.first().ok_or("scan needs a hex file path")?;
-    let mut model = parse_model("rf").expect("default model");
-    let mut corpus_size = 300usize;
-    let mut seed = 42u64;
-    let mut i = 1;
+/// Options shared by `scan` and `batch`.
+struct ScanOptions {
+    model: ModelKind,
+    corpus_size: usize,
+    seed: u64,
+    threshold: f64,
+    workers: usize,
+    paths: Vec<String>,
+}
+
+fn parse_scan_options(args: &[String]) -> Result<ScanOptions, Box<dyn std::error::Error>> {
+    let mut opts = ScanOptions {
+        model: parse_model("rf").expect("default model"),
+        corpus_size: 300,
+        seed: 42,
+        threshold: 0.5,
+        workers: 0,
+        paths: Vec::new(),
+    };
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--model" => {
                 i += 1;
-                model = parse_model(args.get(i).ok_or("--model needs a value")?)?;
+                opts.model = parse_model(args.get(i).ok_or("--model needs a value")?)?;
             }
             "--corpus-size" => {
                 i += 1;
-                corpus_size = args.get(i).ok_or("--corpus-size needs a value")?.parse()?;
+                opts.corpus_size = args.get(i).ok_or("--corpus-size needs a value")?.parse()?;
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).ok_or("--seed needs a value")?.parse()?;
+                opts.seed = args.get(i).ok_or("--seed needs a value")?.parse()?;
             }
-            other => return Err(format!("unknown option '{other}'").into()),
+            "--threshold" => {
+                i += 1;
+                opts.threshold = args.get(i).ok_or("--threshold needs a value")?.parse()?;
+                if !opts.threshold.is_finite() || !(0.0..=1.0).contains(&opts.threshold) {
+                    return Err(
+                        format!("--threshold must be in [0, 1], got {}", opts.threshold).into(),
+                    );
+                }
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = args.get(i).ok_or("--workers needs a value")?.parse()?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'").into()),
+            path => opts.paths.push(path.to_string()),
         }
         i += 1;
     }
+    Ok(opts)
+}
 
+/// Builds the training corpus covering every platform in `platforms` —
+/// a mixed batch trains a mixed corpus so no contract is scored by a
+/// model that never saw its runtime.
+fn training_corpus(opts: &ScanOptions, platforms: &[Platform]) -> Corpus {
+    match platforms {
+        [single] => {
+            eprintln!(
+                "training on a {}-contract {single} corpus (seed {})...",
+                opts.corpus_size, opts.seed
+            );
+            Corpus::generate(&CorpusConfig {
+                size: opts.corpus_size,
+                platform: *single,
+                seed: opts.seed,
+                ..CorpusConfig::default()
+            })
+        }
+        _ => {
+            eprintln!(
+                "training on a {}-contract mixed evm+wasm corpus (seed {})...",
+                opts.corpus_size, opts.seed
+            );
+            let half = (opts.corpus_size / 2).max(1);
+            let mut contracts = Vec::new();
+            for (platform, size, seed) in [
+                (Platform::Evm, half, opts.seed),
+                (
+                    Platform::Wasm,
+                    (opts.corpus_size - half).max(1),
+                    opts.seed ^ 1,
+                ),
+            ] {
+                let corpus = Corpus::generate(&CorpusConfig {
+                    size,
+                    platform,
+                    seed,
+                    ..CorpusConfig::default()
+                });
+                contracts.extend(corpus.contracts().iter().cloned());
+            }
+            Corpus::from_contracts(contracts)
+        }
+    }
+}
+
+fn train_scanner(
+    opts: &ScanOptions,
+    platforms: &[Platform],
+) -> Result<scamdetect::Scanner, Box<dyn std::error::Error>> {
+    let corpus = training_corpus(opts, platforms);
+    let mut train = TrainOptions::default();
+    train.gnn.epochs = 30;
+    train.gnn.lr = 1e-2;
+    Ok(ScannerBuilder::new()
+        .model(opts.model)
+        .threshold(opts.threshold)
+        .workers(opts.workers)
+        .train_options(train)
+        .train(&corpus)?)
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_scan_options(args)?;
+    let path = opts.paths.first().ok_or("scan needs a hex file path")?;
     let bytes = read_contract(path)?;
-    let platform = detect_platform(&bytes);
-    eprintln!("training on a {corpus_size}-contract {platform} corpus (seed {seed})...");
-    let corpus = Corpus::generate(&CorpusConfig {
-        size: corpus_size,
-        platform,
-        seed,
-        ..CorpusConfig::default()
-    });
-    let mut options = TrainOptions::default();
-    options.gnn.epochs = 30;
-    options.gnn.lr = 1e-2;
-    let scanner = ScamDetect::train(model, &corpus, &options)?;
-    let verdict = scanner.scan(&bytes)?;
-    println!("{verdict}");
+    let scanner = train_scanner(&opts, &[detect_platform(&bytes)])?;
+    let report = scanner.scan(&bytes)?;
+    println!("{}", report.verdict);
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_scan_options(args)?;
+    if opts.paths.is_empty() {
+        return Err("batch needs at least one hex file path".into());
+    }
+    let contracts: Vec<(String, Vec<u8>)> = opts
+        .paths
+        .iter()
+        .map(|p| match read_contract(p) {
+            Ok(bytes) => Ok((p.clone(), bytes)),
+            Err(e) => Err(format!("{p}: {e}").into()),
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    let mut platforms: Vec<Platform> = Vec::new();
+    for (_, bytes) in &contracts {
+        let platform = detect_platform(bytes);
+        if !platforms.contains(&platform) {
+            platforms.push(platform);
+        }
+    }
+    let scanner = train_scanner(&opts, &platforms)?;
+
+    let requests: Vec<ScanRequest> = contracts
+        .iter()
+        .map(|(_, bytes)| ScanRequest::new(bytes))
+        .collect();
+    let started = std::time::Instant::now();
+    let outcomes = scanner.scan_batch(&requests);
+    let elapsed = started.elapsed();
+
+    let mut hits = 0usize;
+    for ((path, _), outcome) in contracts.iter().zip(&outcomes) {
+        match outcome {
+            Ok(report) => {
+                if report.cache.is_hit() {
+                    hits += 1;
+                }
+                println!("{path}: {} [cache {:?}]", report.verdict, report.cache);
+            }
+            Err(e) => println!("{path}: error: {e}"),
+        }
+    }
+    eprintln!(
+        "scanned {} contracts in {elapsed:?} ({hits} dedup cache hits)",
+        contracts.len()
+    );
     Ok(())
 }
 

@@ -129,14 +129,18 @@ impl Detector {
         options: &TrainOptions,
     ) -> Result<Detector, ScamDetectError> {
         if indices.is_empty() {
-            return Err(ScamDetectError::BadCorpus { reason: "no training samples" });
+            return Err(ScamDetectError::BadCorpus {
+                reason: "no training samples",
+            });
         }
         let classes: std::collections::BTreeSet<usize> = indices
             .iter()
             .map(|&i| corpus.contracts()[i].label.class_index())
             .collect();
         if classes.len() < 2 {
-            return Err(ScamDetectError::BadCorpus { reason: "training set is single-class" });
+            return Err(ScamDetectError::BadCorpus {
+                reason: "training set is single-class",
+            });
         }
         match kind {
             ModelKind::Classic(model_kind, features) => {
@@ -187,8 +191,33 @@ impl Detector {
         }
     }
 
+    /// P(malicious) of an already-lifted contract — always uses the exact
+    /// representation the detector was trained on, with no re-lift.
+    ///
+    /// This is the single-lift scoring path: [`Lifted`] carries both the
+    /// unified CFG and the byte-level histogram, so every model kind
+    /// (including byte-feature classic detectors) scores from it.
+    ///
+    /// [`Lifted`]: crate::featurize::Lifted
+    pub fn score_lifted(&self, lifted: &featurize::Lifted) -> f64 {
+        match self {
+            Detector::Classic { model, features } => model.score(&lifted.feature_vector(*features)),
+            Detector::Gnn { model } => {
+                let g = PreparedGraph::from_cfg(&lifted.cfg, 0);
+                model.score(&g)
+            }
+        }
+    }
+
     /// P(malicious) of raw bytes on a known platform — always uses the
     /// exact representation the detector was trained on.
+    ///
+    /// Lifts lazily: byte-feature classic detectors never build a CFG
+    /// here. When CFG statistics are needed anyway (as in every scan
+    /// path), lift once with [`Lifted`] and call
+    /// [`Detector::score_lifted`] instead.
+    ///
+    /// [`Lifted`]: crate::featurize::Lifted
     pub fn score_bytes(
         &self,
         platform: scamdetect_ir::Platform,

@@ -5,7 +5,10 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors surfaced by the ScamDetect pipeline.
-#[derive(Debug)]
+///
+/// `Clone` so batch scanning can report one underlying failure to every
+/// deduplicated request that shares the failing skeleton.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum ScamDetectError {
     /// The contract bytes could not be lifted by any frontend.

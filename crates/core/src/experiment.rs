@@ -321,7 +321,12 @@ pub fn run_e5_agnostic(profile: &Profile) -> Result<Vec<TransferCell>, ScamDetec
             &train_indices,
             &opts,
         )?;
-        let gnn = Detector::train(ModelKind::Gnn(GnnKind::Gcn), train_corpus, &train_indices, &opts)?;
+        let gnn = Detector::train(
+            ModelKind::Gnn(GnnKind::Gcn),
+            train_corpus,
+            &train_indices,
+            &opts,
+        )?;
         for (test_name, test_corpus, test_indices) in
             [("evm", &evm, &evm_test), ("wasm", &wasm, &wasm_test)]
         {
@@ -355,8 +360,9 @@ pub struct StageTiming {
     pub mean_bytes: f64,
 }
 
-/// Runs E6: times disassembly, CFG recovery, feature extraction and model
-/// inference per contract over the corpus.
+/// Runs E6: times disassembly, CFG recovery, feature extraction, model
+/// inference, and the parallel batch-scan path per contract over the
+/// corpus.
 pub fn run_e6_throughput(profile: &Profile) -> Result<Vec<StageTiming>, ScamDetectError> {
     let corpus = profile.corpus(Platform::Evm);
     let idx: Vec<usize> = (0..corpus.len()).collect();
@@ -368,8 +374,12 @@ pub fn run_e6_throughput(profile: &Profile) -> Result<Vec<StageTiming>, ScamDete
         &opts,
     )?;
     let n = corpus.len() as f64;
-    let mean_bytes =
-        corpus.contracts().iter().map(|c| c.bytes.len()).sum::<usize>() as f64 / n;
+    let mean_bytes = corpus
+        .contracts()
+        .iter()
+        .map(|c| c.bytes.len())
+        .sum::<usize>() as f64
+        / n;
 
     let mut timings = Vec::new();
     let mut time_stage = |stage: &'static str, f: &mut dyn FnMut()| {
@@ -379,7 +389,11 @@ pub fn run_e6_throughput(profile: &Profile) -> Result<Vec<StageTiming>, ScamDete
         timings.push(StageTiming {
             stage,
             mean_us,
-            contracts_per_sec: if mean_us > 0.0 { 1e6 / mean_us } else { f64::INFINITY },
+            contracts_per_sec: if mean_us > 0.0 {
+                1e6 / mean_us
+            } else {
+                f64::INFINITY
+            },
             mean_bytes,
         });
     };
@@ -403,6 +417,21 @@ pub fn run_e6_throughput(profile: &Profile) -> Result<Vec<StageTiming>, ScamDete
     time_stage("inference", &mut || {
         for c in corpus.contracts() {
             std::hint::black_box(det.score_contract(c).expect("score"));
+        }
+    });
+
+    // The production path: one batch over the whole corpus, skeleton
+    // dedup on, fanned across scoped workers (0 = one per core).
+    let scanner = crate::scan::ScannerBuilder::new().workers(0).build(det);
+    let requests: Vec<crate::scan::ScanRequest> = corpus
+        .contracts()
+        .iter()
+        .map(|c| crate::scan::ScanRequest::new(&c.bytes))
+        .collect();
+    time_stage("scan_batch", &mut || {
+        scanner.clear_cache(); // cold-cache numbers, comparable across runs
+        for outcome in scanner.scan_batch(&requests) {
+            std::hint::black_box(outcome.expect("batch scan succeeds"));
         }
     });
     Ok(timings)
@@ -491,12 +520,10 @@ pub fn run_e8_ablation(profile: &Profile) -> Result<Vec<AblationRow>, ScamDetect
     // GNN depth ablation.
     for layers in [1usize, 2, 3] {
         let graphs = featurize::prepare_graphs(&corpus, &train_idx)?;
-        let config = scamdetect_gnn::GnnConfig::new(
-            GnnKind::Gcn,
-            scamdetect_ir::features::NODE_FEATURE_DIM,
-        )
-        .with_layers(layers)
-        .with_seed(opts.seed);
+        let config =
+            scamdetect_gnn::GnnConfig::new(GnnKind::Gcn, scamdetect_ir::features::NODE_FEATURE_DIM)
+                .with_layers(layers)
+                .with_seed(opts.seed);
         let mut model = scamdetect_gnn::GnnClassifier::new(config);
         scamdetect_gnn::train(&mut model, &graphs, &opts.gnn);
         let det = Detector::Gnn { model };
@@ -512,12 +539,10 @@ pub fn run_e8_ablation(profile: &Profile) -> Result<Vec<AblationRow>, ScamDetect
     // Readout ablation.
     for readout in scamdetect_gnn::Readout::all() {
         let graphs = featurize::prepare_graphs(&corpus, &train_idx)?;
-        let config = scamdetect_gnn::GnnConfig::new(
-            GnnKind::Gcn,
-            scamdetect_ir::features::NODE_FEATURE_DIM,
-        )
-        .with_readout(readout)
-        .with_seed(opts.seed);
+        let config =
+            scamdetect_gnn::GnnConfig::new(GnnKind::Gcn, scamdetect_ir::features::NODE_FEATURE_DIM)
+                .with_readout(readout)
+                .with_seed(opts.seed);
         let mut model = scamdetect_gnn::GnnClassifier::new(config);
         scamdetect_gnn::train(&mut model, &graphs, &opts.gnn);
         let det = Detector::Gnn { model };
@@ -570,7 +595,8 @@ mod tests {
     #[test]
     fn e6_times_all_stages() {
         let stages = run_e6_throughput(&tiny()).unwrap();
-        assert_eq!(stages.len(), 4);
+        assert_eq!(stages.len(), 5);
+        assert_eq!(stages.last().unwrap().stage, "scan_batch");
         assert!(stages.iter().all(|s| s.mean_us >= 0.0));
         assert!(stages.iter().all(|s| s.contracts_per_sec > 0.0));
     }

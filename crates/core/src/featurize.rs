@@ -97,6 +97,66 @@ pub fn opcode_histogram_bytes(platform: Platform, bytes: &[u8]) -> Vec<f64> {
     }
 }
 
+/// A contract lifted exactly once: the unified CFG plus the cheap
+/// byte-level representation, everything any detector needs to score.
+///
+/// Historically each scan lifted the bytecode twice — once for verdict
+/// statistics, once inside [`crate::Detector::score_bytes`]. `Lifted`
+/// is the single-lift artifact threaded through the pipeline instead:
+/// build it once with [`Lifted::from_bytes`], then hand it to
+/// [`crate::Detector::score_lifted`] and read CFG statistics off the
+/// same object.
+#[derive(Debug, Clone)]
+pub struct Lifted {
+    /// Platform the bytes were lifted as.
+    pub platform: Platform,
+    /// The unified CFG (computed exactly once per scan).
+    pub cfg: UnifiedCfg,
+    /// Raw byte-level opcode histogram (256 bins, normalized).
+    pub opcode_histogram: Vec<f64>,
+    /// Length of the raw bytecode.
+    pub byte_len: usize,
+}
+
+impl Lifted {
+    /// Lifts raw bytes on a known platform.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn from_bytes(platform: Platform, bytes: &[u8]) -> Result<Lifted, ScamDetectError> {
+        Ok(Lifted {
+            platform,
+            cfg: lift_bytes(platform, bytes)?,
+            opcode_histogram: opcode_histogram_bytes(platform, bytes),
+            byte_len: bytes.len(),
+        })
+    }
+
+    /// Lifts raw bytes, auto-detecting the platform.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn auto(bytes: &[u8]) -> Result<Lifted, ScamDetectError> {
+        Lifted::from_bytes(detect_platform(bytes), bytes)
+    }
+
+    /// The feature vector under `kind` — identical values to
+    /// [`featurize_bytes`] on the original bytes, with no re-lift.
+    pub fn feature_vector(&self, kind: FeatureKind) -> Vec<f64> {
+        match kind {
+            FeatureKind::OpcodeHistogram => self.opcode_histogram.clone(),
+            FeatureKind::Unified => features::graph_feature_vector(&self.cfg),
+            FeatureKind::Combined => {
+                let mut v = self.opcode_histogram.clone();
+                v.extend(features::graph_feature_vector(&self.cfg));
+                v
+            }
+        }
+    }
+}
+
 /// Feature vector of one contract under `kind`.
 pub fn featurize(contract: &Contract, kind: FeatureKind) -> Result<Vec<f64>, ScamDetectError> {
     featurize_bytes(contract.platform, &contract.bytes, kind)
@@ -113,7 +173,9 @@ pub fn featurize_bytes(
         FeatureKind::Unified => features::graph_feature_vector(&lift_bytes(platform, bytes)?),
         FeatureKind::Combined => {
             let mut v = opcode_histogram_bytes(platform, bytes);
-            v.extend(features::graph_feature_vector(&lift_bytes(platform, bytes)?));
+            v.extend(features::graph_feature_vector(&lift_bytes(
+                platform, bytes,
+            )?));
             v
         }
     })
@@ -199,6 +261,39 @@ mod tests {
         let fe = featurize_corpus(&evm, &[0], FeatureKind::Unified).unwrap();
         let fw = featurize_corpus(&wasm, &[0], FeatureKind::Unified).unwrap();
         assert_eq!(fe.dim(), fw.dim());
+    }
+
+    #[test]
+    fn lifted_feature_vectors_match_featurize_bytes() {
+        for platform in [Platform::Evm, Platform::Wasm] {
+            let corpus = tiny(platform);
+            for c in corpus.contracts() {
+                let lifted = Lifted::from_bytes(c.platform, &c.bytes).unwrap();
+                assert_eq!(lifted.platform, c.platform);
+                assert_eq!(lifted.byte_len, c.bytes.len());
+                for kind in [
+                    FeatureKind::OpcodeHistogram,
+                    FeatureKind::Unified,
+                    FeatureKind::Combined,
+                ] {
+                    assert_eq!(
+                        lifted.feature_vector(kind),
+                        featurize_bytes(c.platform, &c.bytes, kind).unwrap(),
+                        "{platform} {kind:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lifted_auto_detects_platform() {
+        let evm = tiny(Platform::Evm);
+        let lifted = Lifted::auto(&evm.contracts()[0].bytes).unwrap();
+        assert_eq!(lifted.platform, Platform::Evm);
+        let wasm = tiny(Platform::Wasm);
+        let lifted = Lifted::auto(&wasm.contracts()[0].bytes).unwrap();
+        assert_eq!(lifted.platform, Platform::Wasm);
     }
 
     #[test]

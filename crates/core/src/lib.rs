@@ -26,42 +26,59 @@
 //!
 //! ## Quickstart
 //!
+//! The scanning surface is **batch-first**: a fluent [`ScannerBuilder`]
+//! configures the decision threshold, the skeleton-hash dedup cache and
+//! the worker fan-out, and the resulting [`Scanner`] serves one-shot and
+//! bulk scans alike.
+//!
 //! ```
-//! use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScamDetect, TrainOptions};
+//! use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder};
 //! use scamdetect_dataset::{Corpus, CorpusConfig};
 //!
 //! # fn main() -> Result<(), scamdetect::ScamDetectError> {
 //! // 1. A labeled corpus (synthetic stand-in for the Etherscan dataset).
 //! let corpus = Corpus::generate(&CorpusConfig { size: 60, seed: 7, ..CorpusConfig::default() });
 //!
-//! // 2. Train a detector.
-//! let scanner = ScamDetect::train(
-//!     ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
-//!     &corpus,
-//!     &TrainOptions::default(),
-//! )?;
+//! // 2. Configure and train a scanner.
+//! let scanner = ScannerBuilder::new()
+//!     .model(ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified))
+//!     .threshold(0.5)
+//!     .cache_capacity(1024)
+//!     .train(&corpus)?;
 //!
-//! // 3. Scan raw bytes (platform auto-detected).
-//! let verdict = scanner.scan(&corpus.contracts()[0].bytes)?;
-//! println!("{verdict}");
+//! // 3. Scan a batch (platforms auto-detected; ERC-1167 clones and
+//! //    resubmitted bytecode hit the dedup cache).
+//! let requests: Vec<ScanRequest> =
+//!     corpus.contracts().iter().take(8).map(|c| ScanRequest::new(&c.bytes)).collect();
+//! for outcome in scanner.scan_batch(&requests) {
+//!     let report = outcome?;
+//!     println!("{} (cache: {:?})", report.verdict, report.cache);
+//! }
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! The [`experiment`] module regenerates every table and figure of the
-//! evaluation (see DESIGN.md §3 and EXPERIMENTS.md).
+//! The legacy one-shot facade ([`ScamDetect::scan`]) remains as a thin
+//! wrapper over the same machinery — see [`pipeline`] for its
+//! deprecation path. The [`experiment`] module regenerates every table
+//! and figure of the evaluation (see DESIGN.md §3 and EXPERIMENTS.md).
 
 pub mod detector;
 pub mod error;
 pub mod experiment;
 pub mod featurize;
+pub mod lru;
 pub mod pipeline;
+pub mod scan;
 pub mod verdict;
 
 pub use detector::{ClassicModel, Detector, ModelKind, TrainOptions};
 pub use error::ScamDetectError;
-pub use featurize::{detect_platform, FeatureKind};
+pub use featurize::{detect_platform, FeatureKind, Lifted};
 pub use pipeline::ScamDetect;
+pub use scan::{
+    CacheStatus, CfgStats, ScanOutcome, ScanReport, ScanRequest, Scanner, ScannerBuilder,
+};
 pub use verdict::Verdict;
 
 // Re-export the architecture enum so users pick GNNs without an extra

@@ -1,0 +1,264 @@
+//! A bounded least-recently-used cache.
+//!
+//! Backs the [`crate::scan::Scanner`] verdict cache: bulk scans over
+//! realistic corpora are dominated by near-duplicate bytecode (ERC-1167
+//! minimal proxies above all), so a small LRU keyed by skeleton hash
+//! absorbs most of the lift-and-score work. Implemented as a slab of
+//! doubly-linked entries indexed by a `HashMap` — every operation is
+//! O(1) amortised, with no allocation after the slab reaches capacity.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map. Capacity 0 disables the cache entirely
+/// (every insert is dropped, every lookup misses).
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    entries: Vec<Entry<K, V>>,
+    /// Most recently used entry, `NIL` when empty.
+    head: usize,
+    /// Least recently used entry, `NIL` when empty.
+    tail: usize,
+}
+
+impl<K, V> std::fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("len", &self.map.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            entries: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.touch(idx);
+        Some(&self.entries[idx].value)
+    }
+
+    /// Looks up `key` without disturbing recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.entries[idx].value)
+    }
+
+    /// `true` when `key` is cached (recency untouched).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key → value`, evicting the least recently used entry if
+    /// the cache is full. Overwrites (and refreshes) an existing key.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.entries[idx].value = value;
+            self.touch(idx);
+            return;
+        }
+        let idx = if self.map.len() >= self.capacity {
+            // Recycle the LRU slot.
+            let idx = self.tail;
+            self.unlink(idx);
+            let old = &mut self.entries[idx];
+            self.map.remove(&old.key);
+            old.key = key.clone();
+            old.value = value;
+            idx
+        } else {
+            self.entries.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.entries.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Drops every entry, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Unlinks `idx` from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    /// Links `idx` as the most recently used entry.
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Moves an existing entry to the front.
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // "a" now MRU
+        c.insert("c", 3); // evicts "b"
+        assert!(c.contains(&"a"));
+        assert!(!c.contains(&"b"));
+        assert!(c.contains(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_refreshes() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh "a": "b" becomes LRU
+        c.insert("c", 3); // evicts "b"
+        assert_eq!(c.peek(&"a"), Some(&10));
+        assert!(!c.contains(&"b"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+
+    #[test]
+    fn capacity_one_churns() {
+        let mut c = LruCache::new(1);
+        for i in 0..10 {
+            c.insert(i, i * 2);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+        }
+        assert!(!c.contains(&8));
+    }
+
+    #[test]
+    fn peek_does_not_touch() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.peek(&"a"), Some(&1)); // recency unchanged: "a" stays LRU
+        c.insert("c", 3); // evicts "a"
+        assert!(!c.contains(&"a"));
+        assert!(c.contains(&"b"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.clear();
+        assert!(c.is_empty());
+        c.insert(3, 3);
+        assert_eq!(c.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn long_churn_is_consistent() {
+        let mut c = LruCache::new(8);
+        for i in 0usize..1000 {
+            c.insert(i % 13, i);
+            assert!(c.len() <= 8);
+            if i % 3 == 0 {
+                c.get(&(i % 7));
+            }
+        }
+        // The 8 cached keys must all resolve to their latest values.
+        for k in 0..13 {
+            if let Some(&v) = c.peek(&k) {
+                assert_eq!(v % 13, k);
+            }
+        }
+    }
+}

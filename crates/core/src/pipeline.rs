@@ -1,17 +1,31 @@
-//! The end-to-end scanning pipeline.
+//! The legacy one-shot scanning facade.
+//!
+//! [`ScamDetect`] predates the batch-first API and is kept as a thin
+//! wrapper over [`crate::scan::Scanner`] so existing callers (and the
+//! experiment module) keep working unchanged. New code should build a
+//! [`crate::ScannerBuilder`] directly: it exposes the decision
+//! threshold, the skeleton-hash dedup cache, worker fan-out and
+//! [`crate::scan::ScanReport`] provenance that this facade hides.
 
 use crate::detector::{Detector, ModelKind, TrainOptions};
 use crate::error::ScamDetectError;
-use crate::featurize::{detect_platform, lift_bytes};
+use crate::scan::{ScanRequest, Scanner, ScannerBuilder};
 use crate::verdict::Verdict;
-use scamdetect_dataset::{ContractLabel, Corpus};
+use scamdetect_dataset::Corpus;
 use scamdetect_ir::Platform;
 
-/// A trained, platform-agnostic contract scanner.
+/// A trained, platform-agnostic contract scanner (one-shot facade).
 ///
 /// `ScamDetect` owns a trained [`Detector`] and the platform frontends;
 /// [`ScamDetect::scan`] takes raw on-chain bytes and returns a [`Verdict`].
 /// One scanner serves every supported platform — the paper's §V-B promise.
+///
+/// **Deprecation path:** this type stays for source compatibility, but it
+/// is now a fixed-configuration view (threshold 0.5, no dedup cache, no
+/// parallelism) of the batch-first [`Scanner`]. Prefer
+/// [`crate::ScannerBuilder`] for new code; migrate with
+/// `ScannerBuilder::new().model(kind).train(&corpus)` and
+/// [`Scanner::scan_batch`] for bulk work.
 ///
 /// # Examples
 ///
@@ -29,7 +43,13 @@ use scamdetect_ir::Platform;
 /// ```
 #[derive(Debug)]
 pub struct ScamDetect {
-    detector: Detector,
+    scanner: Scanner,
+}
+
+/// Legacy semantics: exact per-call computation (no memoisation across
+/// calls) at the historical 0.5 threshold.
+fn legacy_builder() -> ScannerBuilder {
+    ScannerBuilder::new().threshold(0.5).cache_capacity(0)
 }
 
 impl ScamDetect {
@@ -59,18 +79,30 @@ impl ScamDetect {
         options: &TrainOptions,
     ) -> Result<Self, ScamDetectError> {
         Ok(ScamDetect {
-            detector: Detector::train(kind, corpus, indices, options)?,
+            scanner: legacy_builder()
+                .model(kind)
+                .train_options(options.clone())
+                .train_on(corpus, indices)?,
         })
     }
 
     /// Wraps an already-trained detector.
     pub fn from_detector(detector: Detector) -> Self {
-        ScamDetect { detector }
+        ScamDetect {
+            scanner: legacy_builder().build(detector),
+        }
     }
 
     /// The underlying detector.
     pub fn detector(&self) -> &Detector {
-        &self.detector
+        self.scanner.detector()
+    }
+
+    /// The batch-first scanner this facade wraps — the migration escape
+    /// hatch when a caller wants [`Scanner::scan_batch`] without
+    /// retraining.
+    pub fn scanner(&self) -> &Scanner {
+        &self.scanner
     }
 
     /// Scans raw bytes, auto-detecting the platform.
@@ -79,29 +111,22 @@ impl ScamDetect {
     ///
     /// Frontend errors when the bytes are not a valid contract.
     pub fn scan(&self, bytes: &[u8]) -> Result<Verdict, ScamDetectError> {
-        self.scan_on(detect_platform(bytes), bytes)
+        Ok(self.scanner.scan(bytes)?.verdict)
     }
 
     /// Scans raw bytes on an explicit platform.
+    ///
+    /// The bytes are lifted to the unified CFG exactly once, shared
+    /// between the verdict statistics and the model score.
     ///
     /// # Errors
     ///
     /// Frontend errors when the bytes are not a valid contract.
     pub fn scan_on(&self, platform: Platform, bytes: &[u8]) -> Result<Verdict, ScamDetectError> {
-        let cfg = lift_bytes(platform, bytes)?;
-        let p = self.detector.score_bytes(platform, bytes)?;
-        Ok(Verdict {
-            label: if p >= 0.5 {
-                ContractLabel::Malicious
-            } else {
-                ContractLabel::Benign
-            },
-            malicious_probability: p,
-            platform,
-            model: self.detector.name(),
-            blocks: cfg.block_count(),
-            instructions: cfg.instruction_count(),
-        })
+        Ok(self
+            .scanner
+            .scan_request(&ScanRequest::new(bytes).on(platform))?
+            .verdict)
     }
 }
 
@@ -156,5 +181,30 @@ mod tests {
         )
         .unwrap();
         assert!(scanner.scan(b"\0asm____garbage").is_err());
+    }
+
+    #[test]
+    fn facade_matches_detector_score() {
+        // The wrapper must preserve exact one-shot semantics: the verdict
+        // probability equals a direct detector score of the same bytes.
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: 30,
+            seed: 33,
+            ..CorpusConfig::default()
+        });
+        let scanner = ScamDetect::train(
+            ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Combined),
+            &corpus,
+            &TrainOptions::default(),
+        )
+        .unwrap();
+        for c in corpus.contracts().iter().take(5) {
+            let v = scanner.scan(&c.bytes).unwrap();
+            let p = scanner
+                .detector()
+                .score_bytes(c.platform, &c.bytes)
+                .unwrap();
+            assert_eq!(v.malicious_probability, p);
+        }
     }
 }

@@ -1,0 +1,815 @@
+//! The batch-first scanning API: [`ScannerBuilder`] → [`Scanner`] →
+//! [`Scanner::scan_batch`].
+//!
+//! Production scanning is dominated by bulk submissions over highly
+//! duplicated corpora — above all ERC-1167 minimal proxies, thousands of
+//! byte-identical shims differing only in an embedded address. The
+//! [`Scanner`] is built for that workload:
+//!
+//! * **Skeleton-hash dedup cache.** Every request is fingerprinted with
+//!   [`scamdetect_evm::proxy::skeleton_hash`] (immediate-masked opcode
+//!   stream — the same equivalence the corpus dedup of E7 uses), and
+//!   verdict-relevant results are memoised in a bounded LRU. Proxy
+//!   clones and re-submitted bytecode never pay the lift twice.
+//! * **Batch-local dedup.** Within one [`Scanner::scan_batch`] call,
+//!   duplicate skeletons are computed exactly once no matter how many
+//!   requests carry them, then fanned back out — so cache-hit
+//!   accounting is deterministic and independent of worker count.
+//! * **Parallel execution.** Unique skeletons are scored across
+//!   [`std::thread::scope`] workers; results are byte-identical to a
+//!   sequential scan because each unique skeleton is scored exactly once
+//!   by a deterministic detector.
+//! * **Single lift.** Each scored contract is lifted to the unified CFG
+//!   exactly once (the [`Lifted`] artifact), shared between verdict
+//!   statistics and model scoring.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder};
+//! use scamdetect_dataset::{Corpus, CorpusConfig};
+//!
+//! # fn main() -> Result<(), scamdetect::ScamDetectError> {
+//! let corpus = Corpus::generate(&CorpusConfig { size: 60, seed: 7, ..CorpusConfig::default() });
+//! let scanner = ScannerBuilder::new()
+//!     .model(ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified))
+//!     .threshold(0.5)
+//!     .cache_capacity(1024)
+//!     .workers(4)
+//!     .train(&corpus)?;
+//!
+//! let requests: Vec<ScanRequest> =
+//!     corpus.contracts().iter().map(|c| ScanRequest::new(&c.bytes)).collect();
+//! for outcome in scanner.scan_batch(&requests) {
+//!     let report = outcome?;
+//!     println!("{} (cache: {:?}, {:?})", report.verdict, report.cache, report.elapsed);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::detector::{ClassicModel, Detector, ModelKind, TrainOptions};
+use crate::error::ScamDetectError;
+use crate::featurize::{detect_platform, FeatureKind, Lifted};
+use crate::lru::LruCache;
+use crate::verdict::Verdict;
+use scamdetect_dataset::Corpus;
+use scamdetect_evm::proxy::skeleton_hash;
+use scamdetect_ir::Platform;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default bound on the scanner's skeleton-hash LRU cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// One unit of scanning work: raw bytes plus an optional platform pin.
+///
+/// Borrows the bytecode — building a batch over a corpus allocates
+/// nothing. Platform resolution precedence: the request's pin, then the
+/// scanner's [`ScannerBuilder::platform`] override, then magic-byte
+/// auto-detection.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanRequest<'a> {
+    bytes: &'a [u8],
+    platform: Option<Platform>,
+}
+
+impl<'a> ScanRequest<'a> {
+    /// A request over `bytes`, platform auto-detected at scan time.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ScanRequest {
+            bytes,
+            platform: None,
+        }
+    }
+
+    /// Pins the platform, bypassing auto-detection for this request.
+    pub fn on(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// The raw bytecode.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// The pinned platform, if any.
+    pub fn platform(&self) -> Option<Platform> {
+        self.platform
+    }
+}
+
+impl<'a> From<&'a [u8]> for ScanRequest<'a> {
+    fn from(bytes: &'a [u8]) -> Self {
+        ScanRequest::new(bytes)
+    }
+}
+
+impl<'a> From<&'a Vec<u8>> for ScanRequest<'a> {
+    fn from(bytes: &'a Vec<u8>) -> Self {
+        ScanRequest::new(bytes)
+    }
+}
+
+/// Where a scan result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Computed fresh: first sighting of this skeleton.
+    Miss,
+    /// Served from the scanner's cross-batch LRU cache.
+    CacheHit,
+    /// Deduplicated against an earlier request in the same batch.
+    BatchHit,
+}
+
+impl CacheStatus {
+    /// `true` when the lift-and-score work was skipped.
+    pub fn is_hit(self) -> bool {
+        self != CacheStatus::Miss
+    }
+}
+
+/// Structural statistics of the scanned contract's CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfgStats {
+    /// Basic blocks in the unified CFG.
+    pub blocks: usize,
+    /// Instructions across all blocks.
+    pub instructions: usize,
+    /// Control-flow edges.
+    pub edges: usize,
+    /// Raw bytecode length.
+    pub bytes: usize,
+}
+
+/// A [`Verdict`] enriched with scan provenance: the skeleton fingerprint,
+/// cache status, wall-clock cost and per-platform CFG statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanReport {
+    /// The classification verdict.
+    pub verdict: Verdict,
+    /// The immediate-masked skeleton fingerprint used as the cache key.
+    pub skeleton: u64,
+    /// Whether the result was computed or served from dedup.
+    pub cache: CacheStatus,
+    /// Wall-clock time attributable to this request (lift + score for
+    /// misses; assembly-only for hits).
+    pub elapsed: Duration,
+    /// CFG statistics of the scored contract.
+    pub cfg: CfgStats,
+}
+
+impl ScanReport {
+    /// `true` when the verdict flags the contract.
+    pub fn is_malicious(&self) -> bool {
+        self.verdict.is_malicious()
+    }
+}
+
+/// The per-request result of a batch scan: a report, or the error that
+/// request's bytes produced. One bad contract never fails the batch.
+pub type ScanOutcome = Result<ScanReport, ScamDetectError>;
+
+/// Fluent configuration for a [`Scanner`].
+///
+/// ```
+/// use scamdetect::{GnnKind, ModelKind, ScannerBuilder};
+/// use scamdetect_dataset::{Corpus, CorpusConfig};
+///
+/// # fn main() -> Result<(), scamdetect::ScamDetectError> {
+/// let corpus = Corpus::generate(&CorpusConfig { size: 40, seed: 3, ..CorpusConfig::default() });
+/// let scanner = ScannerBuilder::new()
+///     .model(ModelKind::Gnn(GnnKind::Gcn))
+///     .train_options({
+///         let mut o = scamdetect::TrainOptions::default();
+///         o.gnn.epochs = 2; // smoke-level
+///         o
+///     })
+///     .threshold(0.6)
+///     .train(&corpus)?;
+/// assert_eq!(scanner.threshold(), 0.6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScannerBuilder {
+    model: ModelKind,
+    threshold: f64,
+    cache_capacity: usize,
+    workers: usize,
+    platform: Option<Platform>,
+    train_options: TrainOptions,
+}
+
+impl Default for ScannerBuilder {
+    fn default() -> Self {
+        ScannerBuilder::new()
+    }
+}
+
+impl ScannerBuilder {
+    /// Defaults: random forest over unified features, threshold 0.5,
+    /// [`DEFAULT_CACHE_CAPACITY`], auto worker count, auto platform.
+    pub fn new() -> Self {
+        ScannerBuilder {
+            model: ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
+            threshold: 0.5,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            workers: 0,
+            platform: None,
+            train_options: TrainOptions::default(),
+        }
+    }
+
+    /// Selects the detector architecture to train.
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Decision threshold on P(malicious), in `[0, 1]` (default `0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is not a finite value in `[0, 1]`.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1], got {threshold}"
+        );
+        self.threshold = threshold;
+        self
+    }
+
+    /// Bounds the skeleton-hash LRU cache; `0` disables dedup entirely
+    /// (exact mode: every request — even within one batch — is computed
+    /// independently).
+    ///
+    /// Dedup keys are the E7 skeleton equivalence (immediate-masked
+    /// opcode stream), deliberately coarser than byte equality — see
+    /// [`Scanner::scan_batch`] for the trade-off.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Worker threads for [`Scanner::scan_batch`]; `0` (default) uses
+    /// [`std::thread::available_parallelism`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Forces every request onto `platform` unless the request itself
+    /// pins one (default: per-request magic-byte auto-detection).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Training hyperparameters for [`ScannerBuilder::train`].
+    pub fn train_options(mut self, options: TrainOptions) -> Self {
+        self.train_options = options;
+        self
+    }
+
+    /// Trains the configured model on the full corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend failures and corpus problems.
+    pub fn train(self, corpus: &Corpus) -> Result<Scanner, ScamDetectError> {
+        let indices: Vec<usize> = (0..corpus.len()).collect();
+        self.train_on(corpus, &indices)
+    }
+
+    /// Trains on an index subset (for held-out evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend failures and corpus problems.
+    pub fn train_on(self, corpus: &Corpus, indices: &[usize]) -> Result<Scanner, ScamDetectError> {
+        let detector = Detector::train(self.model, corpus, indices, &self.train_options)?;
+        Ok(self.build(detector))
+    }
+
+    /// Wraps an already-trained detector without retraining.
+    pub fn build(self, detector: Detector) -> Scanner {
+        Scanner {
+            model_name: detector.name(),
+            detector,
+            threshold: self.threshold,
+            workers: self.workers,
+            platform: self.platform,
+            cache: Mutex::new(LruCache::new(self.cache_capacity)),
+        }
+    }
+}
+
+/// The key identifying one skeleton equivalence class per platform.
+type CacheKey = (Platform, u64);
+
+/// The verdict-relevant facts memoised per skeleton class.
+#[derive(Debug, Clone, Copy)]
+struct CachedScan {
+    probability: f64,
+    cfg: CfgStats,
+}
+
+/// A trained, batch-first, cache-backed contract scanner.
+///
+/// Built by [`ScannerBuilder`]. Scanning is `&self` and thread-safe: the
+/// detector is immutable after training and the dedup cache sits behind
+/// a mutex that is only touched at batch edges.
+#[derive(Debug)]
+pub struct Scanner {
+    detector: Detector,
+    model_name: String,
+    threshold: f64,
+    workers: usize,
+    platform: Option<Platform>,
+    cache: Mutex<LruCache<CacheKey, CachedScan>>,
+}
+
+impl Scanner {
+    /// The underlying trained detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The decision threshold on P(malicious).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The configured worker count (`0` = auto).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Entries currently memoised in the dedup cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drops every cached verdict (e.g. after model retraining).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// Scans one contract, auto-detecting the platform (subject to the
+    /// builder's override). Cached like any batch request.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn scan(&self, bytes: &[u8]) -> ScanOutcome {
+        self.scan_request(&ScanRequest::new(bytes))
+    }
+
+    /// Scans one request on the calling thread (no worker fan-out), with
+    /// full cache participation.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn scan_request(&self, request: &ScanRequest) -> ScanOutcome {
+        let started = Instant::now();
+        let platform = self.resolve_platform(request);
+        let key = (platform, fingerprint(platform, request.bytes()));
+        if let Some(cached) = self.cache_lookup(&key) {
+            return Ok(self.assemble(key, CacheStatus::CacheHit, cached, started.elapsed()));
+        }
+        let computed = self.compute(platform, request.bytes())?;
+        self.cache_store(key, computed);
+        Ok(self.assemble(key, CacheStatus::Miss, computed, started.elapsed()))
+    }
+
+    /// Scans a batch: dedup against the cache and within the batch, then
+    /// fan the unique skeletons across scoped worker threads.
+    ///
+    /// Outcomes are positionally aligned with `requests`. Verdicts are
+    /// byte-identical to scanning each request sequentially with
+    /// [`Scanner::scan`]: every unique skeleton is scored exactly once by
+    /// a deterministic detector, so neither the worker count nor the
+    /// batch order can change a result. After the first occurrence of a
+    /// skeleton, every later duplicate reports a cache hit
+    /// ([`CacheStatus::BatchHit`] within the batch,
+    /// [`CacheStatus::CacheHit`] across batches).
+    ///
+    /// # Dedup approximation
+    ///
+    /// Skeleton equality is the paper's E7 dedup equivalence, not byte
+    /// equality: the EVM fingerprint masks every push immediate, so two
+    /// contracts that differ only in embedded constants — including, in
+    /// adversarial cases, constants that are *jump targets* — share one
+    /// cached verdict. That is exactly the collision that makes ERC-1167
+    /// clones cheap, and exactly the coarseness a hostile submitter could
+    /// exploit by front-running a malicious contract with a benign
+    /// skeleton twin. Verdict-critical deployments should disable dedup
+    /// with [`ScannerBuilder::cache_capacity`]\(0\), which makes every
+    /// request compute independently (still in parallel).
+    pub fn scan_batch(&self, requests: &[ScanRequest]) -> Vec<ScanOutcome> {
+        if self.cache_capacity() == 0 {
+            return self.scan_batch_exact(requests);
+        }
+        // Phase 1 — fingerprint every request and group by skeleton key,
+        // preserving first-occurrence order.
+        let keys: Vec<CacheKey> = requests
+            .iter()
+            .map(|r| {
+                let platform = self.resolve_platform(r);
+                (platform, fingerprint(platform, r.bytes()))
+            })
+            .collect();
+        let mut first_occurrence: HashMap<CacheKey, usize> = HashMap::new();
+        for (i, &key) in keys.iter().enumerate() {
+            first_occurrence.entry(key).or_insert(i);
+        }
+
+        // Phase 2 — split unique keys into warm (already cached) and cold.
+        let mut warm: HashMap<CacheKey, CachedScan> = HashMap::new();
+        let mut cold: Vec<(CacheKey, usize)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (&key, &rep) in &first_occurrence {
+                match cache.get(&key) {
+                    Some(&hit) => {
+                        warm.insert(key, hit);
+                    }
+                    None => cold.push((key, rep)),
+                }
+            }
+        }
+        // Deterministic work order (HashMap iteration above is not).
+        cold.sort_unstable_by_key(|&(_, rep)| rep);
+
+        // Phase 3 — lift and score each cold skeleton exactly once,
+        // fanned across scoped workers pulling from a shared queue.
+        let computed = self.compute_parallel(requests, &cold);
+
+        // Phase 4 — publish fresh results to the cache.
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for ((key, _), result) in cold.iter().zip(&computed) {
+                if let Ok((scan, _)) = result {
+                    cache.insert(*key, *scan);
+                }
+            }
+        }
+        let fresh: HashMap<CacheKey, &Result<(CachedScan, Duration), ScamDetectError>> = cold
+            .iter()
+            .map(|&(key, _)| key)
+            .zip(computed.iter())
+            .collect();
+
+        // Phase 5 — assemble positional outcomes.
+        keys.iter()
+            .enumerate()
+            .map(|(i, &key)| {
+                if let Some(&hit) = warm.get(&key) {
+                    return Ok(self.assemble(key, CacheStatus::CacheHit, hit, Duration::ZERO));
+                }
+                match fresh.get(&key) {
+                    Some(Ok((scan, elapsed))) => {
+                        if first_occurrence[&key] == i {
+                            Ok(self.assemble(key, CacheStatus::Miss, *scan, *elapsed))
+                        } else {
+                            Ok(self.assemble(key, CacheStatus::BatchHit, *scan, Duration::ZERO))
+                        }
+                    }
+                    // The representative failed: every duplicate shares its
+                    // skeleton, hence its failure (errors are not cached
+                    // across batches, but within the batch the lift is not
+                    // repeated).
+                    Some(Err(e)) => Err((*e).clone()),
+                    None => unreachable!("every key is warm or cold"),
+                }
+            })
+            .collect()
+    }
+
+    /// The exact-mode batch path (cache capacity 0): no skeleton dedup at
+    /// all — every request is lifted and scored independently, still
+    /// fanned across workers. Every successful outcome reports
+    /// [`CacheStatus::Miss`].
+    fn scan_batch_exact(&self, requests: &[ScanRequest]) -> Vec<ScanOutcome> {
+        let work: Vec<(CacheKey, usize)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let platform = self.resolve_platform(r);
+                ((platform, fingerprint(platform, r.bytes())), i)
+            })
+            .collect();
+        self.compute_parallel(requests, &work)
+            .into_iter()
+            .zip(&work)
+            .map(|(result, &(key, _))| {
+                let (scan, elapsed) = result?;
+                Ok(self.assemble(key, CacheStatus::Miss, scan, elapsed))
+            })
+            .collect()
+    }
+
+    fn cache_capacity(&self) -> usize {
+        self.cache.lock().expect("cache lock").capacity()
+    }
+
+    /// Lifts and scores the cold skeletons across `std::thread::scope`
+    /// workers; returns results aligned with `cold`.
+    #[allow(clippy::type_complexity)]
+    fn compute_parallel(
+        &self,
+        requests: &[ScanRequest],
+        cold: &[(CacheKey, usize)],
+    ) -> Vec<Result<(CachedScan, Duration), ScamDetectError>> {
+        let workers = self.effective_workers(cold.len());
+        let mut slots: Vec<Option<Result<(CachedScan, Duration), ScamDetectError>>> =
+            (0..cold.len()).map(|_| None).collect();
+        if workers <= 1 {
+            for (slot, &(key, rep)) in slots.iter_mut().zip(cold) {
+                *slot = Some(self.compute_timed(key.0, requests[rep].bytes()));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= cold.len() {
+                                    break;
+                                }
+                                let (key, rep) = cold[i];
+                                local.push((i, self.compute_timed(key.0, requests[rep].bytes())));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, result) in handle.join().expect("scan worker panicked") {
+                        slots[i] = Some(result);
+                    }
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every cold slot computed"))
+            .collect()
+    }
+
+    /// Resolves the platform for one request (request pin > builder
+    /// override > magic-byte auto-detection).
+    fn resolve_platform(&self, request: &ScanRequest) -> Platform {
+        request
+            .platform()
+            .or(self.platform)
+            .unwrap_or_else(|| detect_platform(request.bytes()))
+    }
+
+    fn effective_workers(&self, work_items: usize) -> usize {
+        let configured = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.workers
+        };
+        configured.min(work_items.max(1))
+    }
+
+    /// The single-lift compute kernel: lift once, score once.
+    fn compute(&self, platform: Platform, bytes: &[u8]) -> Result<CachedScan, ScamDetectError> {
+        let lifted = Lifted::from_bytes(platform, bytes)?;
+        let probability = self.detector.score_lifted(&lifted);
+        Ok(CachedScan {
+            probability,
+            cfg: CfgStats {
+                blocks: lifted.cfg.block_count(),
+                instructions: lifted.cfg.instruction_count(),
+                edges: lifted.cfg.graph().edge_count(),
+                bytes: lifted.byte_len,
+            },
+        })
+    }
+
+    fn compute_timed(
+        &self,
+        platform: Platform,
+        bytes: &[u8],
+    ) -> Result<(CachedScan, Duration), ScamDetectError> {
+        let started = Instant::now();
+        let scan = self.compute(platform, bytes)?;
+        Ok((scan, started.elapsed()))
+    }
+
+    fn cache_lookup(&self, key: &CacheKey) -> Option<CachedScan> {
+        self.cache.lock().expect("cache lock").get(key).copied()
+    }
+
+    fn cache_store(&self, key: CacheKey, scan: CachedScan) {
+        self.cache.lock().expect("cache lock").insert(key, scan);
+    }
+
+    /// Builds the per-request report from a (possibly cached) result.
+    fn assemble(
+        &self,
+        key: CacheKey,
+        cache: CacheStatus,
+        scan: CachedScan,
+        elapsed: Duration,
+    ) -> ScanReport {
+        ScanReport {
+            verdict: Verdict::decide(
+                scan.probability,
+                self.threshold,
+                key.0,
+                self.model_name.clone(),
+                scan.cfg.blocks,
+                scan.cfg.instructions,
+            ),
+            skeleton: key.1,
+            cache,
+            elapsed,
+            cfg: scan.cfg,
+        }
+    }
+}
+
+/// The skeleton fingerprint used as the cache key: the immediate-masked
+/// opcode stream for EVM (ERC-1167 clones collide, by design — the same
+/// equivalence class the paper's E7 dedup collapses), FNV-1a over the
+/// raw module bytes for WASM.
+fn fingerprint(platform: Platform, bytes: &[u8]) -> u64 {
+    match platform {
+        Platform::Evm => skeleton_hash(bytes),
+        Platform::Wasm => scamdetect_evm::proxy::fnv1a(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scamdetect_dataset::CorpusConfig;
+    use scamdetect_evm::proxy::make_erc1167;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            size: 40,
+            seed: 0x5CAB,
+            ..CorpusConfig::default()
+        })
+    }
+
+    fn scanner() -> Scanner {
+        ScannerBuilder::new().train(&corpus()).expect("trains")
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let s = scanner();
+        assert_eq!(s.threshold(), 0.5);
+        assert_eq!(s.workers(), 0);
+        assert_eq!(s.cache_len(), 0);
+    }
+
+    #[test]
+    fn single_scan_populates_cache() {
+        let s = scanner();
+        let c = corpus();
+        let bytes = &c.contracts()[0].bytes;
+        let first = s.scan(bytes).unwrap();
+        assert_eq!(first.cache, CacheStatus::Miss);
+        assert!(first.cfg.blocks > 0);
+        assert_eq!(s.cache_len(), 1);
+        let second = s.scan(bytes).unwrap();
+        assert_eq!(second.cache, CacheStatus::CacheHit);
+        assert_eq!(second.verdict, first.verdict);
+    }
+
+    #[test]
+    fn erc1167_clones_collapse_to_one_computation() {
+        let s = scanner();
+        let clones: Vec<Vec<u8>> = (0u8..8).map(|i| make_erc1167(&[i; 20])).collect();
+        let requests: Vec<ScanRequest> = clones.iter().map(ScanRequest::from).collect();
+        let outcomes = s.scan_batch(&requests);
+        let reports: Vec<&ScanReport> = outcomes.iter().map(|o| o.as_ref().unwrap()).collect();
+        assert_eq!(reports[0].cache, CacheStatus::Miss);
+        for r in &reports[1..] {
+            assert_eq!(r.cache, CacheStatus::BatchHit);
+            assert_eq!(r.verdict, reports[0].verdict);
+            assert_eq!(r.skeleton, reports[0].skeleton);
+        }
+        assert_eq!(s.cache_len(), 1);
+        // A later batch over the same clones is fully warm.
+        let again = s.scan_batch(&requests);
+        assert!(again
+            .iter()
+            .all(|o| o.as_ref().unwrap().cache == CacheStatus::CacheHit));
+    }
+
+    #[test]
+    fn batch_errors_are_positional_not_fatal() {
+        let s = scanner();
+        let c = corpus();
+        let good = &c.contracts()[0].bytes;
+        let bad = b"\0asm____garbage".to_vec();
+        let requests = [ScanRequest::new(good), ScanRequest::new(&bad)];
+        let outcomes = s.scan_batch(&requests);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[1].is_err());
+    }
+
+    #[test]
+    fn threshold_changes_label_not_probability() {
+        let c = corpus();
+        let detector = Detector::train(
+            ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
+            &c,
+            &(0..c.len()).collect::<Vec<_>>(),
+            &TrainOptions::default(),
+        )
+        .unwrap();
+        let strict = ScannerBuilder::new().threshold(0.0).build(detector);
+        let report = strict.scan(&c.contracts()[0].bytes).unwrap();
+        // With threshold 0 everything is flagged.
+        assert!(report.is_malicious());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in [0, 1]")]
+    fn out_of_range_threshold_rejected() {
+        let _ = ScannerBuilder::new().threshold(1.5);
+    }
+
+    #[test]
+    fn cache_capacity_zero_is_exact_mode() {
+        let s = ScannerBuilder::new()
+            .cache_capacity(0)
+            .train(&corpus())
+            .unwrap();
+        let bytes = make_erc1167(&[7; 20]);
+        let first = s.scan(&bytes).unwrap();
+        let second = s.scan(&bytes).unwrap();
+        // No cross-call memoisation…
+        assert_eq!(first.cache, CacheStatus::Miss);
+        assert_eq!(second.cache, CacheStatus::Miss);
+        assert_eq!(s.cache_len(), 0);
+        // …and no batch-local dedup either: every duplicate is computed
+        // independently (exact mode), with identical verdicts.
+        let requests = [ScanRequest::new(&bytes), ScanRequest::new(&bytes)];
+        let outcomes = s.scan_batch(&requests);
+        let a = outcomes[0].as_ref().unwrap();
+        let b = outcomes[1].as_ref().unwrap();
+        assert_eq!(a.cache, CacheStatus::Miss);
+        assert_eq!(b.cache, CacheStatus::Miss);
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn failing_skeleton_propagates_error_to_duplicates() {
+        let s = scanner();
+        let bad = b"\0asm____garbage".to_vec();
+        let requests = [
+            ScanRequest::new(&bad),
+            ScanRequest::new(&bad),
+            ScanRequest::new(&bad),
+        ];
+        let outcomes = s.scan_batch(&requests);
+        for outcome in &outcomes {
+            assert!(matches!(outcome, Err(ScamDetectError::Frontend(_))));
+        }
+    }
+
+    #[test]
+    fn platform_pin_beats_autodetect() {
+        let s = scanner();
+        let c = corpus();
+        let bytes = &c.contracts()[0].bytes;
+        let report = s
+            .scan_request(&ScanRequest::new(bytes).on(Platform::Evm))
+            .unwrap();
+        assert_eq!(report.verdict.platform, Platform::Evm);
+    }
+
+    #[test]
+    fn report_exposes_cfg_stats_and_skeleton() {
+        let s = scanner();
+        let c = corpus();
+        let bytes = &c.contracts()[1].bytes;
+        let report = s.scan(bytes).unwrap();
+        assert!(report.cfg.blocks > 0);
+        assert!(report.cfg.instructions > 0);
+        assert!(report.cfg.edges > 0);
+        assert_eq!(report.cfg.bytes, bytes.len());
+        assert_eq!(report.skeleton, skeleton_hash(bytes));
+        assert_eq!(report.verdict.blocks, report.cfg.blocks);
+    }
+}

@@ -22,6 +22,31 @@ pub struct Verdict {
 }
 
 impl Verdict {
+    /// Builds a verdict by thresholding `malicious_probability`: flagged
+    /// when `probability >= threshold`. This is the single decision rule
+    /// every scan path shares.
+    pub fn decide(
+        probability: f64,
+        threshold: f64,
+        platform: Platform,
+        model: String,
+        blocks: usize,
+        instructions: usize,
+    ) -> Verdict {
+        Verdict {
+            label: if probability >= threshold {
+                ContractLabel::Malicious
+            } else {
+                ContractLabel::Benign
+            },
+            malicious_probability: probability,
+            platform,
+            model,
+            blocks,
+            instructions,
+        }
+    }
+
     /// `true` when the verdict flags the contract.
     pub fn is_malicious(&self) -> bool {
         self.label == ContractLabel::Malicious

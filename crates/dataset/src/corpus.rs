@@ -5,7 +5,7 @@ use crate::families::{ContractLabel, FamilyKind};
 use crate::wasm_gen::generate_wasm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scamdetect_evm::proxy::{detect_proxy, make_erc1167, skeleton_hash, ProxyKind};
+use scamdetect_evm::proxy::{detect_proxy, fnv1a, make_erc1167, skeleton_hash, ProxyKind};
 use scamdetect_ir::Platform;
 use scamdetect_obfuscate::{obfuscate_evm, obfuscate_wasm, ObfuscationLevel};
 use std::collections::HashMap;
@@ -152,7 +152,8 @@ impl Corpus {
             } else {
                 ben[rng.random_range(0..ben.len())]
             };
-            let mut contract_rng = StdRng::seed_from_u64(config.seed ^ (id.wrapping_mul(0x9E37_79B9)));
+            let mut contract_rng =
+                StdRng::seed_from_u64(config.seed ^ (id.wrapping_mul(0x9E37_79B9)));
             let contract = match config.platform {
                 Platform::Evm => {
                     let g = generate_evm(family, &mut contract_rng);
@@ -260,14 +261,7 @@ impl Corpus {
                     Platform::Evm => skeleton_hash(&c.bytes),
                     // WASM: hash the raw bytes (no immediate-masking analog
                     // needed; generators already randomize layout).
-                    Platform::Wasm => {
-                        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-                        for &b in &c.bytes {
-                            h ^= b as u64;
-                            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-                        }
-                        h
-                    }
+                    Platform::Wasm => fnv1a(&c.bytes),
                 },
             );
             if seen.insert(key, ()).is_some() {
@@ -383,10 +377,7 @@ mod tests {
         // Balanced to within sampling noise.
         assert!(s.malicious > 100 && s.malicious < 200, "{}", s.malicious);
         assert!(s.mean_size > 50.0);
-        assert_eq!(
-            s.per_family.iter().map(|(_, n)| n).sum::<usize>(),
-            s.total
-        );
+        assert_eq!(s.per_family.iter().map(|(_, n)| n).sum::<usize>(), s.total);
     }
 
     #[test]

@@ -228,11 +228,7 @@ impl<'r> Builder<'r> {
 impl Builder<'_> {
     /// `CALL(gas, to, value, 0, 0, 0, 0)` where the generator supplies
     /// closures pushing `value` then `to`; discards the success flag.
-    fn call_out(
-        &mut self,
-        push_value: impl FnOnce(&mut Self),
-        push_to: impl FnOnce(&mut Self),
-    ) {
+    fn call_out(&mut self, push_value: impl FnOnce(&mut Self), push_to: impl FnOnce(&mut Self)) {
         self.p.push_value(0); // retLen
         self.p.push_value(0); // retOff
         self.p.push_value(0); // argLen
@@ -270,7 +266,9 @@ pub fn generate_evm(kind: FamilyKind, rng: &mut StdRng) -> GeneratedEvm {
     }
     // Fallback: tokens revert on unknown selectors, vault-likes accept ETH.
     match kind {
-        FamilyKind::Vault | FamilyKind::HoneypotVault | FamilyKind::PonziScheme
+        FamilyKind::Vault
+        | FamilyKind::HoneypotVault
+        | FamilyKind::PonziScheme
         | FamilyKind::Escrow => {
             b.p.op(Opcode::STOP);
         }
@@ -508,9 +506,12 @@ fn vault_like(b: &mut Builder<'_>, main: &[([u8; 4], Label)], honeypot: bool) {
         b.p.op(Opcode::SUB);
         b.caller_slot(bal);
         b.sstore();
-        b.call_out(|s| s.arg(0), |s| {
-            s.p.op(Opcode::CALLER);
-        });
+        b.call_out(
+            |s| s.arg(0),
+            |s| {
+                s.p.op(Opcode::CALLER);
+            },
+        );
         b.p.op(Opcode::STOP);
     }
 }
@@ -639,8 +640,7 @@ fn fake_airdrop(b: &mut Builder<'_>, main: &[([u8; 4], Label)]) {
     b.p.place_label(main[0].1);
     b.p.op(Opcode::POP);
     // Bait event.
-    b.p.push_value(0xa1d0)
-        ;
+    b.p.push_value(0xa1d0);
     b.log_top();
     // DELEGATECALL(gas, impl, 0, calldatasize, 0, 0) — full control handoff.
     b.p.push_value(0);
@@ -1035,10 +1035,10 @@ mod tests {
         let code = g.program.assemble().unwrap();
         let ctx = TxContext::with_selector(g.selectors[1], &[U256::from_u64(0xE71)]);
         let out = execute(&code, &ctx, &BTreeMap::new(), &InterpConfig::default());
-        assert!(out
-            .calls
-            .iter()
-            .any(|c| c.kind == Opcode::DELEGATECALL), "{out:?}");
+        assert!(
+            out.calls.iter().any(|c| c.kind == Opcode::DELEGATECALL),
+            "{out:?}"
+        );
     }
 
     #[test]

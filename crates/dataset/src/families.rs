@@ -117,7 +117,9 @@ impl FamilyKind {
     /// The benign families.
     pub fn benign() -> [FamilyKind; 7] {
         use FamilyKind::*;
-        [Erc20Token, Vault, AmmPool, Escrow, Multisig, NftMint, Registry]
+        [
+            Erc20Token, Vault, AmmPool, Escrow, Multisig, NftMint, Registry,
+        ]
     }
 
     /// Ground-truth label of this family.

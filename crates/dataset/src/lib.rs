@@ -37,6 +37,6 @@ pub mod families;
 pub mod wasm_gen;
 
 pub use corpus::{Contract, ContractSource, Corpus, CorpusConfig, CorpusStats, DedupReport};
-pub use families::{ContractLabel, FamilyKind};
 pub use evm_gen::{generate_evm, GeneratedEvm};
+pub use families::{ContractLabel, FamilyKind};
 pub use wasm_gen::{generate_wasm, GeneratedWasm};

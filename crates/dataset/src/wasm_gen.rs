@@ -49,7 +49,13 @@ impl<'r> WBuilder<'r> {
         self.env[i]
     }
 
-    fn export_fn(&mut self, name: &'static str, ty: FuncType, locals: Vec<(u32, ValType)>, body: Vec<Instr>) -> u32 {
+    fn export_fn(
+        &mut self,
+        name: &'static str,
+        ty: FuncType,
+        locals: Vec<(u32, ValType)>,
+        body: Vec<Instr>,
+    ) -> u32 {
         let f = self.m.add_function(ty, locals, body);
         self.m.export_func(name, f);
         self.exports.push(name);
@@ -83,7 +89,10 @@ impl<'r> WBuilder<'r> {
         vec![
             Instr::Call(self.host(idx::CALLER)),
             Instr::I64Const(owner),
-            Instr::Rel { width: Width::W64, op: IRelOp::Ne },
+            Instr::Rel {
+                width: Width::W64,
+                op: IRelOp::Ne,
+            },
             Instr::If {
                 ty: BlockType::Empty,
                 then: vec![Instr::Call(self.host(idx::PANIC)), Instr::Unreachable],
@@ -107,9 +116,15 @@ impl<'r> WBuilder<'r> {
         let body = vec![
             Instr::LocalGet(0),
             c1,
-            Instr::Binary { width: Width::W64, op: IBinOp::Mul },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Mul,
+            },
             c2,
-            Instr::Binary { width: Width::W64, op: IBinOp::Xor },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Xor,
+            },
             Instr::LocalSet(1),
             Instr::I32Const(0),
             Instr::I32Const(8),
@@ -189,11 +204,17 @@ fn wasm_token(b: &mut WBuilder<'_>, mode: TokenMode) {
     body.extend(vec![
         Instr::Call(b.host(idx::CALLER)),
         Instr::I64Const(base),
-        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Binary {
+            width: Width::W64,
+            op: IBinOp::Add,
+        },
         Instr::Call(b.host(idx::STORAGE_READ)),
         Instr::LocalTee(2),
         Instr::LocalGet(1),
-        Instr::Rel { width: Width::W64, op: IRelOp::LtU },
+        Instr::Rel {
+            width: Width::W64,
+            op: IRelOp::LtU,
+        },
         Instr::If {
             ty: BlockType::Empty,
             then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
@@ -205,12 +226,18 @@ fn wasm_token(b: &mut WBuilder<'_>, mode: TokenMode) {
         vec![
             Instr::Call(b.host(idx::CALLER)),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![
             Instr::LocalGet(2),
             Instr::LocalGet(1),
-            Instr::Binary { width: Width::W64, op: IBinOp::Sub },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Sub,
+            },
         ],
     ));
     // Rug mode skims half to the owner's balance.
@@ -218,7 +245,10 @@ fn wasm_token(b: &mut WBuilder<'_>, mode: TokenMode) {
         TokenMode::Rug => vec![
             Instr::LocalGet(1),
             Instr::I64Const(1),
-            Instr::Binary { width: Width::W64, op: IBinOp::ShrU },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::ShrU,
+            },
         ],
         _ => vec![Instr::LocalGet(1)],
     };
@@ -228,7 +258,10 @@ fn wasm_token(b: &mut WBuilder<'_>, mode: TokenMode) {
             vec![
                 Instr::LocalGet(1),
                 Instr::I64Const(1),
-                Instr::Binary { width: Width::W64, op: IBinOp::ShrU },
+                Instr::Binary {
+                    width: Width::W64,
+                    op: IBinOp::ShrU,
+                },
             ],
         );
         body.extend(skim);
@@ -236,16 +269,25 @@ fn wasm_token(b: &mut WBuilder<'_>, mode: TokenMode) {
     let mut credit_value = vec![
         Instr::LocalGet(0),
         Instr::I64Const(base),
-        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Binary {
+            width: Width::W64,
+            op: IBinOp::Add,
+        },
         Instr::Call(b.host(idx::STORAGE_READ)),
     ];
     credit_value.extend(credited);
-    credit_value.push(Instr::Binary { width: Width::W64, op: IBinOp::Add });
+    credit_value.push(Instr::Binary {
+        width: Width::W64,
+        op: IBinOp::Add,
+    });
     body.extend(b.storage_write(
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         credit_value,
     ));
@@ -267,7 +309,10 @@ fn wasm_token(b: &mut WBuilder<'_>, mode: TokenMode) {
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
             Instr::Call(b.host(idx::STORAGE_READ)),
         ],
     );
@@ -295,15 +340,24 @@ fn wasm_vault(b: &mut WBuilder<'_>, honeypot: bool) {
         vec![
             Instr::Call(b.host(idx::CALLER)),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![
             Instr::Call(b.host(idx::CALLER)),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
             Instr::Call(b.host(idx::STORAGE_READ)),
             Instr::Call(b.host(idx::ATTACHED_VALUE)),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
     );
     dep.push(Instr::I32Const(0));
@@ -342,11 +396,17 @@ fn wasm_vault(b: &mut WBuilder<'_>, honeypot: bool) {
         // if balances[caller] < amt panic
         Instr::Call(b.host(idx::CALLER)),
         Instr::I64Const(base),
-        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Binary {
+            width: Width::W64,
+            op: IBinOp::Add,
+        },
         Instr::Call(b.host(idx::STORAGE_READ)),
         Instr::LocalTee(1),
         Instr::LocalGet(0),
-        Instr::Rel { width: Width::W64, op: IRelOp::LtU },
+        Instr::Rel {
+            width: Width::W64,
+            op: IRelOp::LtU,
+        },
         Instr::If {
             ty: BlockType::Empty,
             then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
@@ -357,12 +417,18 @@ fn wasm_vault(b: &mut WBuilder<'_>, honeypot: bool) {
         vec![
             Instr::Call(b.host(idx::CALLER)),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![
             Instr::LocalGet(1),
             Instr::LocalGet(0),
-            Instr::Binary { width: Width::W64, op: IBinOp::Sub },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Sub,
+            },
         ],
     ));
     wd.extend(vec![
@@ -388,7 +454,10 @@ fn wasm_ponzi(b: &mut WBuilder<'_>) {
             Instr::I64Const(base),
             Instr::Call(b.host(idx::STORAGE_READ)),
             Instr::I64Const(base + 1),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![Instr::Call(b.host(idx::CALLER))],
     );
@@ -398,7 +467,10 @@ fn wasm_ponzi(b: &mut WBuilder<'_>) {
             Instr::I64Const(base),
             Instr::Call(b.host(idx::STORAGE_READ)),
             Instr::I64Const(1),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
     ));
     body.extend(vec![
@@ -410,15 +482,24 @@ fn wasm_ponzi(b: &mut WBuilder<'_>) {
                 // transfer(storage_read(base+1+i), attached_value/10)
                 Instr::LocalGet(0),
                 Instr::I64Const(base + 1),
-                Instr::Binary { width: Width::W64, op: IBinOp::Add },
+                Instr::Binary {
+                    width: Width::W64,
+                    op: IBinOp::Add,
+                },
                 Instr::Call(b.host(idx::STORAGE_READ)),
                 Instr::Call(b.host(idx::ATTACHED_VALUE)),
                 Instr::I64Const(10),
-                Instr::Binary { width: Width::W64, op: IBinOp::DivU },
+                Instr::Binary {
+                    width: Width::W64,
+                    op: IBinOp::DivU,
+                },
                 Instr::Call(b.host(idx::TRANSFER)),
                 Instr::LocalGet(0),
                 Instr::I64Const(1),
-                Instr::Binary { width: Width::W64, op: IBinOp::Sub },
+                Instr::Binary {
+                    width: Width::W64,
+                    op: IBinOp::Sub,
+                },
                 Instr::LocalTee(0),
                 Instr::Eqz(Width::W64),
                 Instr::Eqz(Width::W32),
@@ -474,7 +555,10 @@ fn wasm_drainer(b: &mut WBuilder<'_>) {
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(0xffff),
-            Instr::Binary { width: Width::W64, op: IBinOp::And },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::And,
+            },
         ],
     );
 }
@@ -503,7 +587,10 @@ fn wasm_backdoor(b: &mut WBuilder<'_>) {
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![Instr::LocalGet(1)],
     );
@@ -547,7 +634,10 @@ fn wasm_amm(b: &mut WBuilder<'_>) {
             Instr::I64Const(r0),
             Instr::Call(b.host(idx::STORAGE_READ)),
             Instr::LocalGet(0),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
     ));
     body.extend(vec![
@@ -555,14 +645,26 @@ fn wasm_amm(b: &mut WBuilder<'_>) {
         Instr::I64Const(r1),
         Instr::Call(b.host(idx::STORAGE_READ)),
         Instr::I64Const(997),
-        Instr::Binary { width: Width::W64, op: IBinOp::Mul },
+        Instr::Binary {
+            width: Width::W64,
+            op: IBinOp::Mul,
+        },
         Instr::I64Const(r0),
         Instr::Call(b.host(idx::STORAGE_READ)),
         Instr::I64Const(1000),
-        Instr::Binary { width: Width::W64, op: IBinOp::Mul },
+        Instr::Binary {
+            width: Width::W64,
+            op: IBinOp::Mul,
+        },
         Instr::I64Const(1),
-        Instr::Binary { width: Width::W64, op: IBinOp::Add },
-        Instr::Binary { width: Width::W64, op: IBinOp::DivU },
+        Instr::Binary {
+            width: Width::W64,
+            op: IBinOp::Add,
+        },
+        Instr::Binary {
+            width: Width::W64,
+            op: IBinOp::DivU,
+        },
         Instr::LocalTee(1),
         Instr::Call(b.host(idx::CALLER)),
         Instr::LocalGet(1),
@@ -593,7 +695,10 @@ fn wasm_escrow(b: &mut WBuilder<'_>) {
         vec![
             Instr::Call(b.host(idx::BLOCK_TIMESTAMP)),
             Instr::I64Const(deadline),
-            Instr::Rel { width: Width::W64, op: IRelOp::LtU },
+            Instr::Rel {
+                width: Width::W64,
+                op: IRelOp::LtU,
+            },
             Instr::If {
                 ty: BlockType::Empty,
                 then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
@@ -615,15 +720,24 @@ fn wasm_multisig(b: &mut WBuilder<'_>) {
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
             Instr::Call(b.host(idx::STORAGE_READ)),
             Instr::I64Const(1),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
     );
     b.export_fn(
@@ -636,10 +750,16 @@ fn wasm_multisig(b: &mut WBuilder<'_>) {
     let mut exec = vec![
         Instr::LocalGet(0),
         Instr::I64Const(base),
-        Instr::Binary { width: Width::W64, op: IBinOp::Add },
+        Instr::Binary {
+            width: Width::W64,
+            op: IBinOp::Add,
+        },
         Instr::Call(b.host(idx::STORAGE_READ)),
         Instr::I64Const(threshold),
-        Instr::Rel { width: Width::W64, op: IRelOp::LtU },
+        Instr::Rel {
+            width: Width::W64,
+            op: IRelOp::LtU,
+        },
         Instr::If {
             ty: BlockType::Empty,
             then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
@@ -653,7 +773,10 @@ fn wasm_multisig(b: &mut WBuilder<'_>) {
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![Instr::I64Const(0)],
     ));
@@ -673,7 +796,10 @@ fn wasm_nft(b: &mut WBuilder<'_>) {
         Instr::Call(b.host(idx::STORAGE_READ)),
         Instr::LocalTee(0),
         Instr::I64Const(max),
-        Instr::Rel { width: Width::W64, op: IRelOp::GeU },
+        Instr::Rel {
+            width: Width::W64,
+            op: IRelOp::GeU,
+        },
         Instr::If {
             ty: BlockType::Empty,
             then: vec![Instr::Call(b.host(idx::PANIC)), Instr::Unreachable],
@@ -685,14 +811,20 @@ fn wasm_nft(b: &mut WBuilder<'_>) {
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(1),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
     ));
     body.extend(b.storage_write(
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(counter + 1),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![Instr::Call(b.host(idx::CALLER))],
     ));
@@ -716,7 +848,10 @@ fn wasm_registry(b: &mut WBuilder<'_>) {
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
         ],
         vec![Instr::LocalGet(1)],
     );
@@ -733,7 +868,10 @@ fn wasm_registry(b: &mut WBuilder<'_>) {
         vec![
             Instr::LocalGet(0),
             Instr::I64Const(base),
-            Instr::Binary { width: Width::W64, op: IBinOp::Add },
+            Instr::Binary {
+                width: Width::W64,
+                op: IBinOp::Add,
+            },
             Instr::Call(b.host(idx::STORAGE_READ)),
         ],
     );

@@ -140,10 +140,7 @@ impl Cfg {
 
     /// Total instruction count across blocks.
     pub fn instruction_count(&self) -> usize {
-        self.graph
-            .nodes()
-            .map(|(_, b)| b.instructions.len())
-            .sum()
+        self.graph.nodes().map(|(_, b)| b.instructions.len()).sum()
     }
 
     /// Graphviz rendering with per-block instruction listings.
@@ -267,7 +264,7 @@ pub fn build_cfg_with(code: &[u8], opts: &CfgOptions) -> Cfg {
         let id = graph.add_node(b);
         offset_to_node.insert(start, id);
     }
-    let entry = offset_to_node[&0.min(*offset_to_node.keys().next().unwrap_or(&0))];
+    let entry = offset_to_node[&0];
 
     let node_order: Vec<NodeId> = graph.node_ids().collect();
     let jumpdest_nodes: Vec<NodeId> = node_order
@@ -543,7 +540,10 @@ mod tests {
         });
         let cfg = build_cfg(&code);
         assert_eq!(cfg.unresolved_jump_count(), 1);
-        assert!(!cfg.graph().edges().any(|(_, _, k)| *k == EdgeKind::Unresolved));
+        assert!(!cfg
+            .graph()
+            .edges()
+            .any(|(_, _, k)| *k == EdgeKind::Unresolved));
 
         let cfg2 = build_cfg_with(
             &code,
@@ -552,7 +552,10 @@ mod tests {
                 ..CfgOptions::default()
             },
         );
-        assert!(cfg2.graph().edges().any(|(_, _, k)| *k == EdgeKind::Unresolved));
+        assert!(cfg2
+            .graph()
+            .edges()
+            .any(|(_, _, k)| *k == EdgeKind::Unresolved));
 
         let cfg3 = build_cfg_with(
             &code,

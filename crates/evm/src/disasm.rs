@@ -180,10 +180,7 @@ mod tests {
         assert_eq!(instrs.len(), 1);
         assert_eq!(instrs[0].immediate, vec![0xaa, 0xbb]);
         // EVM pads with zeros on the right: 0xaabb0000.
-        assert_eq!(
-            instrs[0].push_value().unwrap().to_usize(),
-            Some(0xaabb0000)
-        );
+        assert_eq!(instrs[0].push_value().unwrap().to_usize(), Some(0xaabb0000));
     }
 
     #[test]

@@ -49,10 +49,16 @@ impl fmt::Display for EvmError {
                 write!(f, "assembled code of {size} bytes exceeds addressable size")
             }
             EvmError::ImmediateTooWide { width } => {
-                write!(f, "push immediate of {width} bytes exceeds the 32-byte maximum")
+                write!(
+                    f,
+                    "push immediate of {width} bytes exceeds the 32-byte maximum"
+                )
             }
             EvmError::TruncatedPush { offset } => {
-                write!(f, "bytecode truncated inside push immediate at offset {offset}")
+                write!(
+                    f,
+                    "bytecode truncated inside push immediate at offset {offset}"
+                )
             }
         }
     }

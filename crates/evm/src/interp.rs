@@ -456,9 +456,7 @@ pub fn execute(
                 }
             }
             PC => push!(U256::from_u64(ins.offset as u64)),
-            GAS => push!(U256::from_u64(
-                (config.step_limit - steps) as u64
-            )),
+            GAS => push!(U256::from_u64((config.step_limit - steps) as u64)),
             JUMPDEST => {}
             _ if op.is_push() => {
                 let v = ins.push_value().expect("push has value");
@@ -488,12 +486,10 @@ pub fn execute(
                     topics.push(pop!());
                 }
                 let data = match (off.to_usize(), len.to_usize()) {
-                    (Some(o), Some(l)) => {
-                        match mem_read(&mut memory, config.memory_limit, o, l) {
-                            Some(d) => d,
-                            None => return outcome!(Halt::Invalid),
-                        }
-                    }
+                    (Some(o), Some(l)) => match mem_read(&mut memory, config.memory_limit, o, l) {
+                        Some(d) => d,
+                        None => return outcome!(Halt::Invalid),
+                    },
                     _ => return outcome!(Halt::Invalid),
                 };
                 logs.push(LogRecord { topics, data });
@@ -501,7 +497,11 @@ pub fn execute(
             CALL | CALLCODE => {
                 let (_gas, target, value) = (pop!(), pop!(), pop!());
                 let (_ao, _al, _ro, _rl) = (pop!(), pop!(), pop!(), pop!());
-                calls.push(CallRecord { kind: op, target, value });
+                calls.push(CallRecord {
+                    kind: op,
+                    target,
+                    value,
+                });
                 push!(U256::ONE); // success
             }
             DELEGATECALL | STATICCALL => {
@@ -531,12 +531,10 @@ pub fn execute(
             RETURN | REVERT => {
                 let (off, len) = (pop!(), pop!());
                 let data = match (off.to_usize(), len.to_usize()) {
-                    (Some(o), Some(l)) => {
-                        match mem_read(&mut memory, config.memory_limit, o, l) {
-                            Some(d) => d,
-                            None => return outcome!(Halt::Invalid),
-                        }
-                    }
+                    (Some(o), Some(l)) => match mem_read(&mut memory, config.memory_limit, o, l) {
+                        Some(d) => d,
+                        None => return outcome!(Halt::Invalid),
+                    },
                     _ => return outcome!(Halt::Invalid),
                 };
                 return outcome!(if op == RETURN {
@@ -619,8 +617,10 @@ mod tests {
         let poor = run(&p, &TxContext::default());
         assert!(poor.storage.is_empty()); // zero write filtered
 
-        let mut ctx = TxContext::default();
-        ctx.callvalue = U256::from_u64(5);
+        let ctx = TxContext {
+            callvalue: U256::from_u64(5),
+            ..TxContext::default()
+        };
         let rich_out = run(&p, &ctx);
         assert_eq!(
             rich_out.storage.get(&U256::from_u64(1)),

@@ -60,7 +60,9 @@ pub mod stack;
 pub mod word;
 
 pub use asm::{AsmOp, AsmProgram, Label};
-pub use cfg::{build_cfg, build_cfg_with, BasicBlock, Cfg, CfgOptions, EdgeKind, UnknownJumpPolicy};
+pub use cfg::{
+    build_cfg, build_cfg_with, BasicBlock, Cfg, CfgOptions, EdgeKind, UnknownJumpPolicy,
+};
 pub use disasm::{disassemble, Instruction};
 pub use error::EvmError;
 pub use opcode::{OpCategory, Opcode};

@@ -146,10 +146,7 @@ mod tests {
         // all jump targets must still be valid (they moved!).
         let code = sample();
         let lifted = lift(&code);
-        let mut ops = vec![
-            AsmOp::Push(vec![]),
-            AsmOp::Op(Opcode::POP),
-        ];
+        let mut ops = vec![AsmOp::Push(vec![]), AsmOp::Op(Opcode::POP)];
         ops.extend(lifted.ops().iter().cloned());
         let grown = AsmProgram::from_ops(ops).assemble().unwrap();
         assert_ne!(grown, code);
@@ -194,8 +191,10 @@ mod tests {
         lifted.push_op(AsmOp::Op(Opcode::CALLER));
         lifted.push_op(AsmOp::Op(Opcode::POP));
         let out = lifted.assemble().unwrap();
-        let mut ctx = TxContext::default();
-        ctx.callvalue = crate::word::U256::from_u64(5);
+        let ctx = TxContext {
+            callvalue: crate::word::U256::from_u64(5),
+            ..TxContext::default()
+        };
         let a = execute(&code, &ctx, &Default::default(), &InterpConfig::default());
         let b = execute(&out, &ctx, &Default::default(), &InterpConfig::default());
         assert_eq!(a, b);

@@ -188,7 +188,9 @@ mod tests {
     #[test]
     fn mstore_then_mload_recovers_constant() {
         // PUSH2 0x1234 PUSH2 0x8000 MSTORE; PUSH2 0x8000 MLOAD
-        let s = run(&[0x61, 0x12, 0x34, 0x61, 0x80, 0x00, 0x52, 0x61, 0x80, 0x00, 0x51]);
+        let s = run(&[
+            0x61, 0x12, 0x34, 0x61, 0x80, 0x00, 0x52, 0x61, 0x80, 0x00, 0x51,
+        ]);
         assert_eq!(
             s.stack.peek(0),
             AbstractValue::Known(U256::from_u64(0x1234))

@@ -279,11 +279,7 @@ impl Opcode {
     pub fn is_halt(self) -> bool {
         matches!(
             self,
-            Opcode::STOP
-                | Opcode::RETURN
-                | Opcode::REVERT
-                | Opcode::INVALID
-                | Opcode::SELFDESTRUCT
+            Opcode::STOP | Opcode::RETURN | Opcode::REVERT | Opcode::INVALID | Opcode::SELFDESTRUCT
         )
     }
 

@@ -7,9 +7,7 @@
 //! implementation cloned thousands of times.
 
 /// The canonical ERC-1167 runtime prefix (10 bytes, before the address).
-const ERC1167_PREFIX: [u8; 10] = [
-    0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73,
-];
+const ERC1167_PREFIX: [u8; 10] = [0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73];
 
 /// The canonical ERC-1167 runtime suffix (15 bytes, after the address).
 const ERC1167_SUFFIX: [u8; 15] = [
@@ -83,15 +81,29 @@ pub fn make_erc1167(implementation: &[u8; 20]) -> Vec<u8> {
     code
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over raw bytes — the shared fingerprint primitive behind
+/// [`skeleton_hash`] and the WASM dedup keys in the dataset and scanner.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// A cheap structural fingerprint for near-duplicate detection: the FNV-1a
 /// hash of the opcode-byte sequence with every push *immediate* masked out.
 /// Contracts that differ only in embedded constants (addresses, amounts,
 /// selectors) collide — which is exactly what dedup wants.
 pub fn skeleton_hash(code: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = FNV_OFFSET;
     let mut fold = |b: u8| {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
     };
     for ins in crate::disasm::disassemble(code) {
         fold(ins.byte);
@@ -110,7 +122,12 @@ mod tests {
         let addr: [u8; 20] = std::array::from_fn(|i| i as u8);
         let code = make_erc1167(&addr);
         assert_eq!(code.len(), 45);
-        assert_eq!(detect_proxy(&code), ProxyKind::Erc1167 { implementation: addr });
+        assert_eq!(
+            detect_proxy(&code),
+            ProxyKind::Erc1167 {
+                implementation: addr
+            }
+        );
     }
 
     #[test]

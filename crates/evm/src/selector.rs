@@ -82,9 +82,7 @@ pub fn extract_selectors(code: &[u8]) -> Vec<Selector> {
 fn has_eq_nearby(instrs: &[Instruction], i: usize) -> bool {
     let lo = i.saturating_sub(3);
     let hi = (i + 4).min(instrs.len());
-    instrs[lo..hi]
-        .iter()
-        .any(|x| x.opcode == Some(Opcode::EQ))
+    instrs[lo..hi].iter().any(|x| x.opcode == Some(Opcode::EQ))
 }
 
 #[cfg(test)]
@@ -113,10 +111,7 @@ mod tests {
         p.place_label(b);
         p.op(Opcode::STOP);
         let sels = extract_selectors(&p.assemble().unwrap());
-        assert_eq!(
-            sels,
-            vec![Selector([1, 2, 3, 4]), Selector([5, 6, 7, 8])]
-        );
+        assert_eq!(sels, vec![Selector([1, 2, 3, 4]), Selector([5, 6, 7, 8])]);
     }
 
     #[test]

@@ -238,7 +238,9 @@ mod tests {
     #[test]
     fn xor_split_constant_recovers() {
         // PUSH2 0x1234 PUSH2 0xffff XOR XOR-again with 0xffff restores.
-        let s = run(&[0x61, 0x12, 0x34, 0x61, 0xff, 0xff, 0x18, 0x61, 0xff, 0xff, 0x18]);
+        let s = run(&[
+            0x61, 0x12, 0x34, 0x61, 0xff, 0xff, 0x18, 0x61, 0xff, 0xff, 0x18,
+        ]);
         assert_eq!(s.peek(0), AbstractValue::Known(U256::from_u64(0x1234)));
     }
 

@@ -68,13 +68,19 @@ impl U256 {
     /// The zero word.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The one word.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// All bits set.
-    pub const MAX: U256 = U256 { limbs: [u64::MAX; 4] };
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
 
     /// Word from a `u64`.
     pub fn from_u64(v: u64) -> Self {
-        U256 { limbs: [v, 0, 0, 0] }
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
     }
 
     /// Word from big-endian bytes (at most 32; shorter slices are
@@ -132,6 +138,7 @@ impl U256 {
     }
 
     /// Wrapping addition.
+    #[allow(clippy::needless_range_loop)] // carry chain over parallel limb arrays
     pub fn wrapping_add(&self, rhs: &U256) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
@@ -145,6 +152,7 @@ impl U256 {
     }
 
     /// Wrapping subtraction.
+    #[allow(clippy::needless_range_loop)] // carry chain over parallel limb arrays
     pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
@@ -167,9 +175,7 @@ impl U256 {
             let mut carry = 0u128;
             for j in 0..4 - i {
                 let idx = i + j;
-                let prod = self.limbs[i] as u128 * rhs.limbs[j] as u128
-                    + out[idx] as u128
-                    + carry;
+                let prod = self.limbs[i] as u128 * rhs.limbs[j] as u128 + out[idx] as u128 + carry;
                 out[idx] = prod as u64;
                 carry = prod >> 64;
             }
@@ -224,6 +230,7 @@ impl U256 {
     }
 
     /// Logical right shift by `n` bits (zero for `n >= 256`).
+    #[allow(clippy::needless_range_loop)] // carry chain over parallel limb arrays
     pub fn shr(&self, n: u32) -> U256 {
         if n >= 256 {
             return U256::ZERO;

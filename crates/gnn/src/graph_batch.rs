@@ -62,9 +62,9 @@ impl PreparedGraph {
             }
         });
         let mut deg = vec![0.0f32; n];
-        for i in 0..n {
+        for (i, d) in deg.iter_mut().enumerate() {
             for j in 0..n {
-                deg[i] += sym.get(i, j);
+                *d += sym.get(i, j);
             }
         }
         let inv_sqrt: Vec<f32> = deg
@@ -124,7 +124,7 @@ mod tests {
         // Self-loop entries: 1/d_i.
         assert!((g.agg_gcn.get(0, 0) - 0.5).abs() < 1e-6); // deg 2
         assert!((g.agg_gcn.get(1, 1) - 1.0 / 3.0).abs() < 1e-6); // deg 3
-        // Edge (0,1): 1/sqrt(2*3).
+                                                                 // Edge (0,1): 1/sqrt(2*3).
         assert!((g.agg_gcn.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
     }
 

@@ -27,7 +27,7 @@
 //!
 //! let data = synthetic_structural_dataset(20, 6, 1);
 //! let mut model = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_hidden(8));
-//! train(&mut model, &data, &TrainConfig { epochs: 10, ..TrainConfig::default() });
+//! train(&mut model, &data, &TrainConfig { epochs: 40, lr: 2e-2, ..TrainConfig::default() });
 //! assert!(accuracy(&model, &data) > 0.5);
 //! ```
 

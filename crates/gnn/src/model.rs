@@ -24,7 +24,13 @@ pub enum GnnKind {
 impl GnnKind {
     /// All five architectures.
     pub fn all() -> [GnnKind; 5] {
-        [GnnKind::Gcn, GnnKind::Gat, GnnKind::Gin, GnnKind::Tag, GnnKind::Sage]
+        [
+            GnnKind::Gcn,
+            GnnKind::Gat,
+            GnnKind::Gin,
+            GnnKind::Tag,
+            GnnKind::Sage,
+        ]
     }
 
     /// Lowercase name.
@@ -136,11 +142,28 @@ impl GnnConfig {
 /// Per-layer parameters (ids into the shared store).
 #[derive(Debug, Clone)]
 enum LayerParams {
-    Gcn { w: ParamId, b: ParamId },
-    Sage { w: ParamId, b: ParamId },
-    Gin { eps: ParamId, w1: ParamId, b1: ParamId, w2: ParamId, b2: ParamId },
-    Tag { ws: Vec<ParamId>, b: ParamId },
-    Gat { heads: Vec<GatHead> },
+    Gcn {
+        w: ParamId,
+        b: ParamId,
+    },
+    Sage {
+        w: ParamId,
+        b: ParamId,
+    },
+    Gin {
+        eps: ParamId,
+        w1: ParamId,
+        b1: ParamId,
+        w2: ParamId,
+        b2: ParamId,
+    },
+    Tag {
+        ws: Vec<ParamId>,
+        b: ParamId,
+    },
+    Gat {
+        heads: Vec<GatHead>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -183,7 +206,10 @@ impl GnnClassifier {
             let out_dim = config.hidden;
             let lp = match config.kind {
                 GnnKind::Gcn => LayerParams::Gcn {
-                    w: params.add(format!("gcn{l}.w"), init::xavier_uniform(in_dim, out_dim, &mut rng)),
+                    w: params.add(
+                        format!("gcn{l}.w"),
+                        init::xavier_uniform(in_dim, out_dim, &mut rng),
+                    ),
                     b: params.add(format!("gcn{l}.b"), Matrix::zeros(1, out_dim)),
                 },
                 GnnKind::Sage => LayerParams::Sage {
@@ -195,9 +221,15 @@ impl GnnClassifier {
                 },
                 GnnKind::Gin => LayerParams::Gin {
                     eps: params.add(format!("gin{l}.eps"), Matrix::zeros(1, 1)),
-                    w1: params.add(format!("gin{l}.w1"), init::he_normal(in_dim, out_dim, &mut rng)),
+                    w1: params.add(
+                        format!("gin{l}.w1"),
+                        init::he_normal(in_dim, out_dim, &mut rng),
+                    ),
                     b1: params.add(format!("gin{l}.b1"), Matrix::zeros(1, out_dim)),
-                    w2: params.add(format!("gin{l}.w2"), init::he_normal(out_dim, out_dim, &mut rng)),
+                    w2: params.add(
+                        format!("gin{l}.w2"),
+                        init::he_normal(out_dim, out_dim, &mut rng),
+                    ),
                     b2: params.add(format!("gin{l}.b2"), Matrix::zeros(1, out_dim)),
                 },
                 GnnKind::Tag => LayerParams::Tag {
@@ -296,7 +328,13 @@ impl GnnClassifier {
                     let z = tape.add_bias(z, vars[b.index()]);
                     tape.relu(z)
                 }
-                LayerParams::Gin { eps, w1, b1, w2, b2 } => {
+                LayerParams::Gin {
+                    eps,
+                    w1,
+                    b1,
+                    w2,
+                    b2,
+                } => {
                     // (1 + eps) * h + A h
                     let one = tape.constant(Matrix::filled(1, 1, 1.0));
                     let one_eps = tape.add(one, vars[eps.index()]);
@@ -399,8 +437,7 @@ mod tests {
     #[test]
     fn readouts_all_work() {
         for readout in Readout::all() {
-            let model =
-                GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_readout(readout));
+            let model = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_readout(readout));
             let s = model.score(&toy_graph(0));
             assert!(s.is_finite(), "{}", readout.name());
         }

@@ -124,12 +124,7 @@ pub fn accuracy(model: &GnnClassifier, data: &[PreparedGraph]) -> f64 {
         return 0.0;
     }
     let (truth, preds, _) = evaluate(model, data);
-    truth
-        .iter()
-        .zip(&preds)
-        .filter(|(t, p)| t == p)
-        .count() as f64
-        / data.len() as f64
+    truth.iter().zip(&preds).filter(|(t, p)| t == p).count() as f64 / data.len() as f64
 }
 
 /// Builds a synthetic, structurally separable graph dataset for tests and

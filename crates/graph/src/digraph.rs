@@ -231,9 +231,10 @@ impl<N, E> DiGraph<N, E> {
 
     /// Iterator over every edge as `(from, to, &weight)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &E)> {
-        self.out_adj.iter().enumerate().flat_map(|(i, adj)| {
-            adj.iter().map(move |(t, w)| (NodeId::new(i), *t, w))
-        })
+        self.out_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(i, adj)| adj.iter().map(move |(t, w)| (NodeId::new(i), *t, w)))
     }
 
     /// Builds a new graph with the same topology and edge payloads but node

@@ -165,7 +165,7 @@ mod tests {
         assert_eq!(m.branch_count, 1); // cond
         assert_eq!(m.unreachable_count, 1); // dead
         assert_eq!(m.depth, 2); // entry -> cond -> {body, exit}
-        // Reachable subgraph: 4 nodes, 4 edges -> 4 - 4 + 2 = 2.
+                                // Reachable subgraph: 4 nodes, 4 edges -> 4 - 4 + 2 = 2.
         assert_eq!(m.cyclomatic, 2);
     }
 

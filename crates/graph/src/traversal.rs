@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn bfs_visits_level_by_level() {
         let (g, ids) = fixture();
-        assert_eq!(bfs_order(&g, ids[0]), vec![ids[0], ids[1], ids[2], ids[3], ids[4]]);
+        assert_eq!(
+            bfs_order(&g, ids[0]),
+            vec![ids[0], ids[1], ids[2], ids[3], ids[4]]
+        );
     }
 
     #[test]

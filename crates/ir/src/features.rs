@@ -156,9 +156,9 @@ mod tests {
         let cfg = tiny_cfg();
         let a = adjacency_matrix(&cfg, 0.1);
         let n = 3;
-        assert_eq!(a[0 * n + 1], 1.0);
-        assert!((a[1 * n + 2] - 0.1).abs() < 1e-6);
-        assert_eq!(a[2 * n + 0], 0.0);
+        assert_eq!(a[1], 1.0);
+        assert!((a[n + 2] - 0.1).abs() < 1e-6);
+        assert_eq!(a[2 * n], 0.0);
     }
 
     #[test]

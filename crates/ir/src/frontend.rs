@@ -198,8 +198,13 @@ pub fn classify_wasm_instr(ins: &Instr, import_names: &[String]) -> InstrClass {
         Instr::Eqz(_) | Instr::Rel { .. } => InstrClass::Comparison,
         Instr::Unary { .. } => InstrClass::Bitwise,
         Instr::Binary { op, .. } => match op {
-            IBinOp::Add | IBinOp::Sub | IBinOp::Mul | IBinOp::DivS | IBinOp::DivU
-            | IBinOp::RemS | IBinOp::RemU => InstrClass::Arithmetic,
+            IBinOp::Add
+            | IBinOp::Sub
+            | IBinOp::Mul
+            | IBinOp::DivS
+            | IBinOp::DivU
+            | IBinOp::RemS
+            | IBinOp::RemU => InstrClass::Arithmetic,
             _ => InstrClass::Bitwise,
         },
         Instr::I32WrapI64 | Instr::I64ExtendI32S | Instr::I64ExtendI32U => InstrClass::Arithmetic,
@@ -217,8 +222,7 @@ impl Frontend for WasmFrontend {
         }
         let module = scamdetect_wasm::decode::decode_module(bytes)?;
         scamdetect_wasm::validate::validate(&module)?;
-        let import_names: Vec<String> =
-            module.imports.iter().map(|i| i.name.clone()).collect();
+        let import_names: Vec<String> = module.imports.iter().map(|i| i.name.clone()).collect();
         let cfg = lift_module(&module);
         let mut out: DiGraph<UnifiedBlock, UnifiedEdge> =
             DiGraph::with_capacity(cfg.graph().node_count());
@@ -320,7 +324,10 @@ mod tests {
             classify_evm_opcode(Opcode::SELFDESTRUCT),
             InstrClass::ValueTransfer
         );
-        assert_eq!(classify_evm_opcode(Opcode::TSTORE), InstrClass::StorageWrite);
+        assert_eq!(
+            classify_evm_opcode(Opcode::TSTORE),
+            InstrClass::StorageWrite
+        );
     }
 
     #[test]
@@ -344,7 +351,10 @@ mod tests {
         );
         assert_eq!(
             classify_wasm_instr(
-                &Instr::Binary { width: scamdetect_wasm::Width::W32, op: IBinOp::Xor },
+                &Instr::Binary {
+                    width: scamdetect_wasm::Width::W32,
+                    op: IBinOp::Xor
+                },
                 &imports
             ),
             InstrClass::Bitwise

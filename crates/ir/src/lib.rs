@@ -30,5 +30,7 @@ pub mod features;
 pub mod frontend;
 pub mod unified;
 
-pub use frontend::{classify_evm_opcode, classify_wasm_instr, EvmFrontend, Frontend, FrontendError, WasmFrontend};
+pub use frontend::{
+    classify_evm_opcode, classify_wasm_instr, EvmFrontend, Frontend, FrontendError, WasmFrontend,
+};
 pub use unified::{InstrClass, Platform, UnifiedBlock, UnifiedCfg, UnifiedEdge};

@@ -64,9 +64,24 @@ impl InstrClass {
     pub fn all() -> [InstrClass; InstrClass::COUNT] {
         use InstrClass::*;
         [
-            Arithmetic, Comparison, Bitwise, Crypto, Environment, BlockEnv, StackOp, PushConst,
-            Memory, StorageRead, StorageWrite, Flow, Log, Call, Create, ValueTransfer,
-            Terminate, Other,
+            Arithmetic,
+            Comparison,
+            Bitwise,
+            Crypto,
+            Environment,
+            BlockEnv,
+            StackOp,
+            PushConst,
+            Memory,
+            StorageRead,
+            StorageWrite,
+            Flow,
+            Log,
+            Call,
+            Create,
+            ValueTransfer,
+            Terminate,
+            Other,
         ]
     }
 

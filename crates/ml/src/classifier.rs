@@ -6,7 +6,7 @@ use crate::metrics::EvalRow;
 /// A trainable binary classifier over dense feature vectors.
 ///
 /// Implementations must be deterministic given their construction seed.
-pub trait Classifier {
+pub trait Classifier: Send + Sync {
     /// Human-readable model name (appears in result tables).
     fn name(&self) -> &str;
 
@@ -24,11 +24,7 @@ pub trait Classifier {
 
 /// Fits `model` on `train` and evaluates it on `test`, producing a results
 /// row.
-pub fn fit_evaluate(
-    model: &mut dyn Classifier,
-    train: &FeatureSet,
-    test: &FeatureSet,
-) -> EvalRow {
+pub fn fit_evaluate(model: &mut dyn Classifier, train: &FeatureSet, test: &FeatureSet) -> EvalRow {
     model.fit(train);
     let scores: Vec<f64> = test.x.iter().map(|r| model.score(r)).collect();
     let predicted: Vec<usize> = scores.iter().map(|&s| usize::from(s >= 0.5)).collect();
@@ -70,6 +66,11 @@ pub(crate) mod test_util {
             model.name(),
             row.accuracy
         );
-        assert!(row.auc >= min_acc - 0.05, "{} auc {:.3}", model.name(), row.auc);
+        assert!(
+            row.auc >= min_acc - 0.05,
+            "{} auc {:.3}",
+            model.name(),
+            row.auc
+        );
     }
 }

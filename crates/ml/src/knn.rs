@@ -53,11 +53,7 @@ impl Classifier for KNearest {
             .iter()
             .zip(&self.y)
             .map(|(tr, &label)| {
-                let d: f64 = tr
-                    .iter()
-                    .zip(&row)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d: f64 = tr.iter().zip(&row).map(|(a, b)| (a - b) * (a - b)).sum();
                 (d, label)
             })
             .collect();

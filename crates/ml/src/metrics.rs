@@ -139,7 +139,12 @@ pub struct EvalRow {
 
 impl EvalRow {
     /// Builds a row from raw predictions and scores.
-    pub fn evaluate(model: impl Into<String>, truth: &[usize], predicted: &[usize], scores: &[f64]) -> Self {
+    pub fn evaluate(
+        model: impl Into<String>,
+        truth: &[usize],
+        predicted: &[usize],
+        scores: &[f64],
+    ) -> Self {
         let cm = ConfusionMatrix::from_predictions(truth, predicted);
         EvalRow {
             model: model.into(),

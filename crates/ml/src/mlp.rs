@@ -88,11 +88,14 @@ impl Classifier for Mlp {
 
         self.params = Parameters::new();
         self.ids = vec![
-            self.params.add("w1", init::he_normal(dim, self.hidden, &mut rng)),
+            self.params
+                .add("w1", init::he_normal(dim, self.hidden, &mut rng)),
             self.params.add("b1", Matrix::zeros(1, self.hidden)),
-            self.params.add("w2", init::he_normal(self.hidden, self.hidden, &mut rng)),
+            self.params
+                .add("w2", init::he_normal(self.hidden, self.hidden, &mut rng)),
             self.params.add("b2", Matrix::zeros(1, self.hidden)),
-            self.params.add("w3", init::xavier_uniform(self.hidden, 2, &mut rng)),
+            self.params
+                .add("w3", init::xavier_uniform(self.hidden, 2, &mut rng)),
             self.params.add("b3", Matrix::zeros(1, 2)),
         ];
         let mut adam = Adam::new(self.lr);

@@ -154,13 +154,13 @@ impl Classifier for BernoulliNb {
             return 0.5;
         }
         let mut ll = [self.log_prior[0], self.log_prior[1]];
-        for c in 0..2 {
+        for (c, l) in ll.iter_mut().enumerate() {
             for ((v, t), (lp, lnp)) in row
                 .iter()
                 .zip(&self.threshold)
                 .zip(self.log_p[c].iter().zip(&self.log_np[c]))
             {
-                ll[c] += if v > t { *lp } else { *lnp };
+                *l += if v > t { *lp } else { *lnp };
             }
         }
         let m = ll[0].max(ll[1]);

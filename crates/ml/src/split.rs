@@ -19,10 +19,7 @@ pub fn stratified_k_fold(labels: &[usize], k: usize, seed: u64) -> Vec<(Vec<usiz
         by_class[l].push(i);
     }
     for class in &by_class {
-        assert!(
-            class.is_empty() || class.len() >= k,
-            "class smaller than k"
-        );
+        assert!(class.is_empty() || class.len() >= k, "class smaller than k");
     }
     for class in &mut by_class {
         for i in (1..class.len()).rev() {

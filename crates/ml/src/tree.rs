@@ -145,9 +145,8 @@ impl DecisionTree {
                     continue;
                 }
                 let n = nl + nr;
-                let gain =
-                    parent_gini - (nl / n) * Self::gini(left) - (nr / n) * Self::gini(right);
-                if best.map_or(true, |(g, _, _)| gain > g) {
+                let gain = parent_gini - (nl / n) * Self::gini(left) - (nr / n) * Self::gini(right);
+                if best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, f, t));
                 }
             }

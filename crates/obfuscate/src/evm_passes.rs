@@ -324,7 +324,7 @@ fn block_reordering(prog: &AsmProgram, rng: &mut StdRng) -> AsmProgram {
     let prologue_falls_through = !prologue.last().is_some_and(is_terminator_op);
     // Likewise the final segment may implicitly stop at end of code.
     if let Some(last) = segments.last_mut() {
-        if !last.last().map_or(false, is_terminator_op) {
+        if !last.last().is_some_and(is_terminator_op) {
             last.push(AsmOp::Op(Opcode::STOP));
         }
     }
@@ -367,7 +367,7 @@ fn next_free_indirection_base(ops: &[AsmOp]) -> u64 {
                 let v = U256::from_be_bytes(bytes);
                 if let Some(v) = v.to_usize() {
                     let v = v as u64;
-                    if v >= INDIRECTION_BASE && v < INDIRECTION_BASE + (1 << 20) {
+                    if (INDIRECTION_BASE..INDIRECTION_BASE + (1 << 20)).contains(&v) {
                         base = base.max(v + 32);
                     }
                 }
@@ -389,10 +389,7 @@ fn jump_indirection(prog: &AsmProgram, rng: &mut StdRng, intensity: f64) -> AsmP
             }
         }
     }
-    let chosen: Vec<(usize, Label)> = sites
-        .into_iter()
-        .filter(|_| coin(rng, intensity))
-        .collect();
+    let chosen: Vec<(usize, Label)> = sites.into_iter().filter(|_| coin(rng, intensity)).collect();
     if chosen.is_empty() {
         return AsmProgram::from_ops(ops.to_vec());
     }
@@ -568,12 +565,18 @@ mod tests {
     }
 
     fn contexts() -> Vec<TxContext> {
-        let mut poor = TxContext::default();
-        poor.callvalue = U256::ZERO;
-        let mut rich = TxContext::default();
-        rich.callvalue = U256::from_u64(77);
-        let mut with_data = TxContext::default();
-        with_data.calldata = vec![0xde, 0xad, 0xbe, 0xef, 1, 2, 3];
+        let poor = TxContext {
+            callvalue: U256::ZERO,
+            ..TxContext::default()
+        };
+        let rich = TxContext {
+            callvalue: U256::from_u64(77),
+            ..TxContext::default()
+        };
+        let with_data = TxContext {
+            calldata: vec![0xde, 0xad, 0xbe, 0xef, 1, 2, 3],
+            ..TxContext::default()
+        };
         vec![poor, rich, with_data]
     }
 

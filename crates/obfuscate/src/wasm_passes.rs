@@ -124,18 +124,27 @@ fn const_splitting(module: &Module, rng: &mut StdRng, intensity: f64) -> Module 
                     if coin(rng, 0.5) {
                         out.push(Instr::I32Const(v ^ k));
                         out.push(Instr::I32Const(k));
-                        out.push(Instr::Binary { width: Width::W32, op: IBinOp::Xor });
+                        out.push(Instr::Binary {
+                            width: Width::W32,
+                            op: IBinOp::Xor,
+                        });
                     } else {
                         out.push(Instr::I32Const(v.wrapping_sub(k)));
                         out.push(Instr::I32Const(k));
-                        out.push(Instr::Binary { width: Width::W32, op: IBinOp::Add });
+                        out.push(Instr::Binary {
+                            width: Width::W32,
+                            op: IBinOp::Add,
+                        });
                     }
                 }
                 Instr::I64Const(v) if coin(rng, p) => {
                     let k = rng.random::<i64>();
                     out.push(Instr::I64Const(v ^ k));
                     out.push(Instr::I64Const(k));
-                    out.push(Instr::Binary { width: Width::W64, op: IBinOp::Xor });
+                    out.push(Instr::Binary {
+                        width: Width::W64,
+                        op: IBinOp::Xor,
+                    });
                 }
                 Instr::Block { ty, body } => out.push(Instr::Block {
                     ty: *ty,
@@ -241,7 +250,10 @@ fn dead_functions(module: &Module, rng: &mut StdRng, intensity: f64) -> Module {
             body.push(match rng.random_range(0..6) {
                 0 => Instr::I64Const(rng.random()),
                 1 => Instr::LocalGet(0),
-                2 => Instr::Binary { width: Width::W64, op: IBinOp::Add },
+                2 => Instr::Binary {
+                    width: Width::W64,
+                    op: IBinOp::Add,
+                },
                 3 => Instr::Drop,
                 4 => Instr::I32Const(rng.random()),
                 _ => Instr::Nop,
@@ -376,7 +388,10 @@ mod tests {
             vec![
                 Instr::LocalGet(0),
                 Instr::I64Const(2),
-                Instr::Binary { width: Width::W64, op: IBinOp::Mul },
+                Instr::Binary {
+                    width: Width::W64,
+                    op: IBinOp::Mul,
+                },
             ],
         );
         let main = m.add_function(
@@ -439,7 +454,11 @@ mod tests {
             let out = function_reorder(&m, &mut rng);
             let main_idx = out.exported_func("main").unwrap();
             let body = &out.functions[(main_idx as usize) - out.imports.len()].body;
-            assert_eq!(body.len(), before_body, "seed {seed}: export must follow function");
+            assert_eq!(
+                body.len(),
+                before_body,
+                "seed {seed}: export must follow function"
+            );
         }
     }
 
@@ -462,8 +481,9 @@ mod tests {
         // Dig for a split triple anywhere in the new bodies.
         fn find_split(body: &[Instr]) -> Option<i64> {
             for w in body.windows(3) {
-                if let [Instr::I64Const(a), Instr::I64Const(b), Instr::Binary { op: IBinOp::Xor, .. }] =
-                    w
+                if let [Instr::I64Const(a), Instr::I64Const(b), Instr::Binary {
+                    op: IBinOp::Xor, ..
+                }] = w
                 {
                     return Some(a ^ b);
                 }

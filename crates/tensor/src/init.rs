@@ -44,8 +44,7 @@ mod tests {
     fn he_normal_has_roughly_right_scale() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let m = he_normal(64, 64, &mut rng);
-        let var: f32 =
-            m.as_slice().iter().map(|x| x * x).sum::<f32>() / (64.0 * 64.0);
+        let var: f32 = m.as_slice().iter().map(|x| x * x).sum::<f32>() / (64.0 * 64.0);
         let expected = 2.0 / 64.0;
         assert!(
             (var - expected).abs() < expected,

@@ -74,7 +74,7 @@ impl Sgd {
                 *v = &v.scale(self.momentum) + &update;
                 update = v.clone();
             }
-            let new = &*params.get(id) - &update.scale(self.lr);
+            let new = params.get(id) - &update.scale(self.lr);
             *params.get_mut(id) = new;
         }
     }
@@ -148,11 +148,11 @@ impl Adam {
         let ids: Vec<ParamId> = params.iter().map(|(id, _, _)| id).collect();
         for id in ids {
             let Some(grad) = grad_of(id) else { continue };
-            let m = self.m[id.index()]
-                .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let m =
+                self.m[id.index()].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
             *m = &m.scale(self.beta1) + &grad.scale(1.0 - self.beta1);
-            let v = self.v[id.index()]
-                .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let v =
+                self.v[id.index()].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
             *v = &v.scale(self.beta2) + &grad.hadamard(grad).scale(1.0 - self.beta2);
 
             let m_hat = m.scale(1.0 / bc1);
@@ -160,7 +160,7 @@ impl Adam {
             let eps = self.eps;
             let update = m_hat.zip(&v_hat, |mh, vh| mh / (vh.sqrt() + eps));
 
-            let mut new = &*params.get(id) - &update.scale(self.lr);
+            let mut new = params.get(id) - &update.scale(self.lr);
             if self.weight_decay > 0.0 {
                 new = &new - &params.get(id).scale(self.lr * self.weight_decay);
             }

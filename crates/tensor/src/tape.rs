@@ -242,9 +242,8 @@ impl Tape {
             vec![s, m],
             out,
             Box::new(|gout, ins, _, needs| {
-                let gs = needs[0].then(|| {
-                    Matrix::from_vec(1, 1, vec![gout.hadamard(ins[1]).sum()])
-                });
+                let gs =
+                    needs[0].then(|| Matrix::from_vec(1, 1, vec![gout.hadamard(ins[1]).sum()]));
                 let gm = needs[1].then(|| gout.scale(ins[0].get(0, 0)));
                 vec![gs, gm]
             }),
@@ -271,9 +270,7 @@ impl Tape {
             out,
             Box::new(|gout, ins, _, needs| {
                 let d1 = ins[0].cols();
-                let ga = needs[0].then(|| {
-                    Matrix::from_fn(gout.rows(), d1, |r, c| gout.get(r, c))
-                });
+                let ga = needs[0].then(|| Matrix::from_fn(gout.rows(), d1, |r, c| gout.get(r, c)));
                 let gb = needs[1].then(|| {
                     Matrix::from_fn(gout.rows(), gout.cols() - d1, |r, c| gout.get(r, c + d1))
                 });
@@ -327,37 +324,39 @@ impl Tape {
             vec![a],
             out,
             Box::new(|gout, ins, _, needs| {
-                vec![needs[0]
-                    .then(|| gout.zip(ins[0], |g, x| if x > 0.0 { g } else { 0.0 }))]
+                vec![needs[0].then(|| gout.zip(ins[0], |g, x| if x > 0.0 { g } else { 0.0 }))]
             }),
         )
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
-        let out = self.inner.borrow().values[a.index()]
-            .map(|x| if x > 0.0 { x } else { alpha * x });
+        let out =
+            self.inner.borrow().values[a.index()].map(|x| if x > 0.0 { x } else { alpha * x });
         self.record(
             vec![a],
             out,
             Box::new(move |gout, ins, _, needs| {
-                vec![needs[0]
-                    .then(|| gout.zip(ins[0], |g, x| if x > 0.0 { g } else { alpha * g }))]
+                vec![needs[0].then(|| gout.zip(ins[0], |g, x| if x > 0.0 { g } else { alpha * g }))]
             }),
         )
     }
 
     /// Exponential linear unit.
     pub fn elu(&self, a: Var, alpha: f32) -> Var {
-        let out = self.inner.borrow().values[a.index()]
-            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let out = self.inner.borrow().values[a.index()].map(|x| {
+            if x > 0.0 {
+                x
+            } else {
+                alpha * (x.exp() - 1.0)
+            }
+        });
         self.record(
             vec![a],
             out,
             Box::new(move |gout, _, outv, needs| {
-                vec![needs[0].then(|| {
-                    gout.zip(outv, |g, y| if y > 0.0 { g } else { g * (y + alpha) })
-                })]
+                vec![needs[0]
+                    .then(|| gout.zip(outv, |g, y| if y > 0.0 { g } else { g * (y + alpha) }))]
             }),
         )
     }
@@ -415,9 +414,8 @@ impl Tape {
             vec![a],
             out,
             Box::new(|gout, ins, _, needs| {
-                vec![needs[0].then(|| {
-                    Matrix::from_fn(ins[0].rows(), ins[0].cols(), |_, c| gout.get(0, c))
-                })]
+                vec![needs[0]
+                    .then(|| Matrix::from_fn(ins[0].rows(), ins[0].cols(), |_, c| gout.get(0, c)))]
             }),
         )
     }

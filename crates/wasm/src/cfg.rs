@@ -135,7 +135,11 @@ impl Lifter {
                     });
                     let then_node = self.new_block();
                     let join = self.new_block();
-                    let else_node = if els.is_empty() { join } else { self.new_block() };
+                    let else_node = if els.is_empty() {
+                        join
+                    } else {
+                        self.new_block()
+                    };
                     self.edge(then_node, WasmEdge::Branch);
                     self.edge(else_node, WasmEdge::Else);
                     self.labels.push((join, false));
@@ -314,7 +318,11 @@ pub fn lift_module(module: &Module) -> FuncCfg {
         }
     }
 
-    FuncCfg { graph: g, entry, exit }
+    FuncCfg {
+        graph: g,
+        entry,
+        exit,
+    }
 }
 
 #[cfg(test)]
@@ -363,10 +371,7 @@ mod tests {
             ty: BlockType::Empty,
             body: vec![Instr::LocalGet(0), Instr::BrIf(0)],
         }]));
-        assert!(cfg
-            .graph()
-            .edges()
-            .any(|(_, _, k)| *k == WasmEdge::Back));
+        assert!(cfg.graph().edges().any(|(_, _, k)| *k == WasmEdge::Back));
     }
 
     #[test]
@@ -375,10 +380,7 @@ mod tests {
             ty: BlockType::Empty,
             body: vec![Instr::Br(0), Instr::Nop /* dead */],
         }]));
-        assert!(cfg
-            .graph()
-            .edges()
-            .any(|(_, _, k)| *k == WasmEdge::Branch));
+        assert!(cfg.graph().edges().any(|(_, _, k)| *k == WasmEdge::Branch));
         // The dead Nop contributes nothing: no dangling blocks beyond
         // entry/join/exit.
         assert_eq!(cfg.block_count(), 3);
@@ -413,11 +415,13 @@ mod tests {
                 ],
             }],
         }]));
-        assert!(cfg
-            .graph()
-            .edges()
-            .filter(|(_, _, k)| **k == WasmEdge::Table)
-            .count() >= 2);
+        assert!(
+            cfg.graph()
+                .edges()
+                .filter(|(_, _, k)| **k == WasmEdge::Table)
+                .count()
+                >= 2
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, WasmError> {
                 if count > 0 {
                     let flags = sr.byte()?;
                     let min = sr.u32()?;
-                    let max = if flags & 1 != 0 { Some(sr.u32()?) } else { None };
+                    let max = if flags & 1 != 0 {
+                        Some(sr.u32()?)
+                    } else {
+                        None
+                    };
                     module.memory = Some(Limits { min, max });
                 }
             }
@@ -355,7 +359,10 @@ mod tests {
     #[test]
     fn rich_module_roundtrips() {
         let mut m = Module::new();
-        m.memory = Some(Limits { min: 1, max: Some(16) });
+        m.memory = Some(Limits {
+            min: 1,
+            max: Some(16),
+        });
         m.globals.push(Global {
             ty: ValType::I64,
             mutable: true,
@@ -381,7 +388,10 @@ mod tests {
                     body: vec![
                         Instr::LocalGet(0),
                         Instr::I32Const(1),
-                        Instr::Binary { width: Width::W32, op: IBinOp::Sub },
+                        Instr::Binary {
+                            width: Width::W32,
+                            op: IBinOp::Sub,
+                        },
                         Instr::LocalTee(0),
                         Instr::BrIf(0),
                     ],
@@ -451,7 +461,10 @@ mod tests {
                     ty: BlockType::Empty,
                     body: vec![
                         Instr::I32Const(2),
-                        Instr::BrTable { targets: vec![0, 1], default: 1 },
+                        Instr::BrTable {
+                            targets: vec![0, 1],
+                            default: 1,
+                        },
                     ],
                 }],
             }],

@@ -379,7 +379,10 @@ mod tests {
     #[test]
     fn memory_and_globals_encode() {
         let mut m = Module::new();
-        m.memory = Some(crate::types::Limits { min: 1, max: Some(4) });
+        m.memory = Some(crate::types::Limits {
+            min: 1,
+            max: Some(4),
+        });
         m.globals.push(crate::module::Global {
             ty: ValType::I64,
             mutable: true,

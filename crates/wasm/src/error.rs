@@ -85,9 +85,16 @@ mod tests {
             WasmError::BadMagic,
             WasmError::UnexpectedEof,
             WasmError::BadLeb128 { offset: 3 },
-            WasmError::UnsupportedOpcode { byte: 0xf0, offset: 9 },
+            WasmError::UnsupportedOpcode {
+                byte: 0xf0,
+                offset: 9,
+            },
             WasmError::BadSection { id: 42 },
-            WasmError::IndexOutOfRange { kind: "type", index: 7, limit: 2 },
+            WasmError::IndexOutOfRange {
+                kind: "type",
+                index: 7,
+                limit: 2,
+            },
             WasmError::BadValType { byte: 0x7b },
             WasmError::UnbalancedControl,
         ];

@@ -55,26 +55,81 @@ pub fn standard_env() -> Vec<HostFunc> {
     use HostClass::*;
     use ValType::{I32, I64};
     vec![
-        HostFunc { name: "caller", ty: FuncType::new(vec![], vec![I64]), class: Environment },
-        HostFunc { name: "attached_value", ty: FuncType::new(vec![], vec![I64]), class: Environment },
-        HostFunc { name: "input", ty: FuncType::new(vec![I32, I32], vec![I32]), class: Environment },
-        HostFunc { name: "block_timestamp", ty: FuncType::new(vec![], vec![I64]), class: Block },
-        HostFunc { name: "block_height", ty: FuncType::new(vec![], vec![I64]), class: Block },
-        HostFunc { name: "account_balance", ty: FuncType::new(vec![I64], vec![I64]), class: Environment },
-        HostFunc { name: "transfer", ty: FuncType::new(vec![I64, I64], vec![]), class: ValueTransfer },
-        HostFunc { name: "storage_read", ty: FuncType::new(vec![I64], vec![I64]), class: StorageRead },
-        HostFunc { name: "storage_write", ty: FuncType::new(vec![I64, I64], vec![]), class: StorageWrite },
-        HostFunc { name: "log", ty: FuncType::new(vec![I32, I32], vec![]), class: Log },
-        HostFunc { name: "call_contract", ty: FuncType::new(vec![I64, I32, I32], vec![I64]), class: CrossCall },
-        HostFunc { name: "panic", ty: FuncType::new(vec![], vec![]), class: Abort },
-        HostFunc { name: "sha256", ty: FuncType::new(vec![I32, I32], vec![I64]), class: Crypto },
+        HostFunc {
+            name: "caller",
+            ty: FuncType::new(vec![], vec![I64]),
+            class: Environment,
+        },
+        HostFunc {
+            name: "attached_value",
+            ty: FuncType::new(vec![], vec![I64]),
+            class: Environment,
+        },
+        HostFunc {
+            name: "input",
+            ty: FuncType::new(vec![I32, I32], vec![I32]),
+            class: Environment,
+        },
+        HostFunc {
+            name: "block_timestamp",
+            ty: FuncType::new(vec![], vec![I64]),
+            class: Block,
+        },
+        HostFunc {
+            name: "block_height",
+            ty: FuncType::new(vec![], vec![I64]),
+            class: Block,
+        },
+        HostFunc {
+            name: "account_balance",
+            ty: FuncType::new(vec![I64], vec![I64]),
+            class: Environment,
+        },
+        HostFunc {
+            name: "transfer",
+            ty: FuncType::new(vec![I64, I64], vec![]),
+            class: ValueTransfer,
+        },
+        HostFunc {
+            name: "storage_read",
+            ty: FuncType::new(vec![I64], vec![I64]),
+            class: StorageRead,
+        },
+        HostFunc {
+            name: "storage_write",
+            ty: FuncType::new(vec![I64, I64], vec![]),
+            class: StorageWrite,
+        },
+        HostFunc {
+            name: "log",
+            ty: FuncType::new(vec![I32, I32], vec![]),
+            class: Log,
+        },
+        HostFunc {
+            name: "call_contract",
+            ty: FuncType::new(vec![I64, I32, I32], vec![I64]),
+            class: CrossCall,
+        },
+        HostFunc {
+            name: "panic",
+            ty: FuncType::new(vec![], vec![]),
+            class: Abort,
+        },
+        HostFunc {
+            name: "sha256",
+            ty: FuncType::new(vec![I32, I32], vec![I64]),
+            class: Crypto,
+        },
     ]
 }
 
 /// Looks up the semantic class of host import `name`, if it belongs to the
 /// standard environment.
 pub fn classify(name: &str) -> Option<HostClass> {
-    standard_env().into_iter().find(|h| h.name == name).map(|h| h.class)
+    standard_env()
+        .into_iter()
+        .find(|h| h.name == name)
+        .map(|h| h.class)
 }
 
 /// Imports the whole standard environment into `module`, returning the

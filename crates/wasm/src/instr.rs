@@ -173,7 +173,10 @@ impl Instr {
     /// `true` for the structured-control instructions that carry nested
     /// bodies.
     pub fn is_structured(&self) -> bool {
-        matches!(self, Instr::Block { .. } | Instr::Loop { .. } | Instr::If { .. })
+        matches!(
+            self,
+            Instr::Block { .. } | Instr::Loop { .. } | Instr::If { .. }
+        )
     }
 
     /// `true` if the instruction unconditionally diverts control
@@ -211,8 +214,16 @@ mod tests {
 
     #[test]
     fn structured_detection() {
-        assert!(Instr::Block { ty: BlockType::Empty, body: vec![] }.is_structured());
-        assert!(Instr::Loop { ty: BlockType::Empty, body: vec![] }.is_structured());
+        assert!(Instr::Block {
+            ty: BlockType::Empty,
+            body: vec![]
+        }
+        .is_structured());
+        assert!(Instr::Loop {
+            ty: BlockType::Empty,
+            body: vec![]
+        }
+        .is_structured());
         assert!(!Instr::Nop.is_structured());
     }
 

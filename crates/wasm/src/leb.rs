@@ -158,7 +158,18 @@ mod tests {
 
     #[test]
     fn i64_roundtrip() {
-        for v in [0i64, 1, -1, 63, 64, -64, -65, i64::MAX, i64::MIN, 0x1234_5678_9abc] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            i64::MAX,
+            i64::MIN,
+            0x1234_5678_9abc,
+        ] {
             let mut buf = Vec::new();
             write_i64(&mut buf, v);
             assert_eq!(Reader::new(&buf).i64().unwrap(), v, "value {v}");

@@ -35,9 +35,8 @@ pub fn validate(module: &Module) -> Result<(), WasmError> {
         let params = module.types[f.type_idx as usize].params.len();
         let locals: usize = f.locals.iter().map(|(n, _)| *n as usize).sum();
         let nlocals = params + locals;
-        validate_body(&f.body, 1, nlocals, module.globals.len(), func_space).map_err(|e| {
+        validate_body(&f.body, 1, nlocals, module.globals.len(), func_space).inspect_err(|_e| {
             let _ = fi;
-            e
         })?;
     }
     for e in &module.exports {
@@ -128,7 +127,11 @@ mod tests {
                 body: vec![Instr::Br(1)], // implicit function label
             },
         ]);
-        m.globals.push(Global { ty: ValType::I32, mutable: true, init: 0 });
+        m.globals.push(Global {
+            ty: ValType::I32,
+            mutable: true,
+            init: 0,
+        });
         m.functions[0].body.push(Instr::GlobalGet(0));
         assert_eq!(validate(&m), Ok(()));
     }
@@ -138,7 +141,11 @@ mod tests {
         let m = one_func(vec![Instr::LocalGet(2)]); // only locals 0..=1
         assert!(matches!(
             validate(&m),
-            Err(WasmError::IndexOutOfRange { kind: "local", index: 2, .. })
+            Err(WasmError::IndexOutOfRange {
+                kind: "local",
+                index: 2,
+                ..
+            })
         ));
     }
 
@@ -156,7 +163,10 @@ mod tests {
         let m = one_func(vec![Instr::Call(9)]);
         assert!(matches!(
             validate(&m),
-            Err(WasmError::IndexOutOfRange { kind: "function", .. })
+            Err(WasmError::IndexOutOfRange {
+                kind: "function",
+                ..
+            })
         ));
     }
 

@@ -54,9 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             family: FamilyKind::HoneypotVault,
             source: scamdetect_dataset::ContractSource::Evm(obf),
         };
-        let hist_p = histogram_detector
-            .detector()
-            .score_contract(&contract)?;
+        let hist_p = histogram_detector.detector().score_contract(&contract)?;
         let gnn_p = gnn_detector.detector().score_contract(&contract)?;
         println!(
             "L{:<5} {:>8} {:>8} {:>12} {:>14.3} {:>10.3}",

@@ -1,18 +1,27 @@
-//! Quickstart: generate a corpus, train a detector, scan contracts.
+//! Quickstart: generate a corpus, configure a batch-first scanner, scan
+//! in bulk with skeleton-hash dedup.
 //!
 //! ```text
 //! cargo run --example quickstart --release
 //! ```
+//!
+//! Migrating from the old one-shot API? `ScamDetect::train(...)` +
+//! `scan(&bytes)` still work, but they are now a thin fixed-configuration
+//! wrapper over the `ScannerBuilder` shown here — new code should build
+//! the scanner directly and use `scan_batch` for anything bulk.
 
-use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect::{CacheStatus, ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder};
 use scamdetect_dataset::{ContractLabel, Corpus, CorpusConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A labeled corpus — the synthetic stand-in for the Etherscan
     //    dataset the paper builds on (see DESIGN.md for the substitution).
+    //    `proxy_duplicates` injects ERC-1167 clones, the duplication
+    //    pattern that dominates real scanning traffic.
     let corpus = Corpus::generate(&CorpusConfig {
         size: 300,
         seed: 2024,
+        proxy_duplicates: 60,
         ..CorpusConfig::default()
     });
     let stats = corpus.stats();
@@ -24,21 +33,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Hold out 30% for honest evaluation.
     let (train_idx, test_idx) = corpus.split(0.3, 7);
 
-    // 3. Train the scanner (random forest over platform-agnostic features).
-    let scanner = ScamDetect::train_on(
-        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
-        &corpus,
-        &train_idx,
-        &TrainOptions::default(),
-    )?;
+    // 3. Configure and train the scanner: model, decision threshold,
+    //    dedup-cache bound and worker fan-out in one fluent chain.
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::Unified,
+        ))
+        .threshold(0.5)
+        .cache_capacity(4096)
+        .workers(0) // 0 = one worker per available core
+        .train_on(&corpus, &train_idx)?;
 
-    // 4. Scan the held-out contracts.
+    // 4. Scan the held-out contracts as ONE batch.
+    let requests: Vec<ScanRequest> = test_idx
+        .iter()
+        .map(|&i| ScanRequest::new(&corpus.contracts()[i].bytes))
+        .collect();
+    let outcomes = scanner.scan_batch(&requests);
+
     let mut correct = 0;
-    for &i in &test_idx {
-        let contract = &corpus.contracts()[i];
-        let verdict = scanner.scan(&contract.bytes)?;
-        if verdict.label == contract.label {
+    let mut cache_hits = 0;
+    for (&i, outcome) in test_idx.iter().zip(&outcomes) {
+        let report = outcome.as_ref().expect("scan succeeds");
+        if report.verdict.label == corpus.contracts()[i].label {
             correct += 1;
+        }
+        if report.cache != CacheStatus::Miss {
+            cache_hits += 1;
         }
     }
     println!(
@@ -47,16 +69,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         correct,
         test_idx.len()
     );
+    println!(
+        "dedup: {cache_hits} of {} scans served from the skeleton cache",
+        test_idx.len()
+    );
 
-    // 5. Inspect one verdict in detail.
-    let malicious_idx = test_idx
+    // 5. Inspect one report in detail: verdict plus scan provenance.
+    let malicious_pos = test_idx
         .iter()
-        .find(|&&i| corpus.contracts()[i].label == ContractLabel::Malicious)
-        .copied()
+        .position(|&i| corpus.contracts()[i].label == ContractLabel::Malicious)
         .expect("test set contains malicious samples");
-    let target = &corpus.contracts()[malicious_idx];
-    let verdict = scanner.scan(&target.bytes)?;
+    let target = &corpus.contracts()[test_idx[malicious_pos]];
+    let report = outcomes[malicious_pos].as_ref().expect("scan succeeds");
     println!("\nsample scan of a {} contract:", target.family);
-    println!("  {verdict}");
+    println!("  {}", report.verdict);
+    println!(
+        "  skeleton {:016x}, cache {:?}, {} blocks / {} edges, {:?}",
+        report.skeleton, report.cache, report.cfg.blocks, report.cfg.edges, report.elapsed
+    );
     Ok(())
 }

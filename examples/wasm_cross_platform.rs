@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let c = &corpus.contracts()[i];
             let verdict = scanner.scan(&c.bytes)?;
             assert_eq!(
-                verdict.platform,
-                c.platform,
+                verdict.platform, c.platform,
                 "platform auto-detection must agree"
             );
             if verdict.label == c.label {

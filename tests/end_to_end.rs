@@ -63,15 +63,10 @@ fn gnn_detector_learns_on_evm() {
     let corpus = corpus(100, Platform::Evm, 17);
     let (train_idx, test_idx) = corpus.split(0.3, 5);
     let mut options = TrainOptions::default();
-    options.gnn.epochs = 30;
-    options.gnn.lr = 1e-2;
-    let scanner = ScamDetect::train_on(
-        ModelKind::Gnn(GnnKind::Gin),
-        &corpus,
-        &train_idx,
-        &options,
-    )
-    .expect("training succeeds");
+    options.gnn.epochs = 60;
+    options.gnn.lr = 2e-2;
+    let scanner = ScamDetect::train_on(ModelKind::Gnn(GnnKind::Gin), &corpus, &train_idx, &options)
+        .expect("training succeeds");
     let acc = held_out_accuracy(&scanner, &corpus, &test_idx);
     assert!(acc >= 0.75, "gin reached only {acc:.3}");
 }

@@ -69,8 +69,7 @@ fn obfuscation_composes_with_stored_state() {
     deposit_ctx.callvalue = U256::from_u64(700);
     let after_deposit = execute(&original, &deposit_ctx, &BTreeMap::new(), &interp);
 
-    let withdraw_ctx =
-        TxContext::with_selector(generated.selectors[1], &[U256::from_u64(300)]);
+    let withdraw_ctx = TxContext::with_selector(generated.selectors[1], &[U256::from_u64(300)]);
     let w_orig = execute(&original, &withdraw_ctx, &after_deposit.storage, &interp);
     let w_obf = execute(&obf, &withdraw_ctx, &after_deposit.storage, &interp);
     assert_eq!(w_orig, w_obf, "cross-version state handling diverged");

@@ -1,0 +1,202 @@
+//! Integration tests for the batch-first scanning API: builder
+//! configuration, skeleton-hash dedup, parallel execution and exact
+//! equivalence with the one-shot facade.
+
+use scamdetect::{
+    CacheStatus, ClassicModel, FeatureKind, ModelKind, ScamDetect, ScanRequest, ScannerBuilder,
+    TrainOptions,
+};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_evm::proxy::detect_proxy;
+
+fn dup_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        size: 48,
+        seed: 0xBA7C,
+        proxy_duplicates: 12,
+        ..CorpusConfig::default()
+    })
+}
+
+#[test]
+fn batch_verdicts_match_sequential_one_shot_scans() {
+    let corpus = dup_corpus();
+    let kind = ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Combined);
+    let options = TrainOptions::default();
+
+    let one_shot = ScamDetect::train(kind, &corpus, &options).expect("facade trains");
+    let batch = ScannerBuilder::new()
+        .model(kind)
+        .train_options(options)
+        .workers(4)
+        .train(&corpus)
+        .expect("batch scanner trains");
+
+    let requests: Vec<ScanRequest> = corpus
+        .contracts()
+        .iter()
+        .map(|c| ScanRequest::new(&c.bytes))
+        .collect();
+    let outcomes = batch.scan_batch(&requests);
+    assert_eq!(outcomes.len(), corpus.len());
+
+    for (c, outcome) in corpus.contracts().iter().zip(outcomes) {
+        let report = outcome.expect("batch scan succeeds");
+        let sequential = one_shot.scan(&c.bytes).expect("one-shot scan succeeds");
+        // Byte-identical verdicts: same label, same probability bits,
+        // same platform, model and CFG statistics.
+        assert_eq!(report.verdict, sequential);
+    }
+}
+
+#[test]
+fn erc1167_duplicates_hit_cache_after_first_occurrence() {
+    let corpus = dup_corpus();
+    let scanner = ScannerBuilder::new()
+        .workers(8)
+        .train(&corpus)
+        .expect("scanner trains");
+
+    let requests: Vec<ScanRequest> = corpus
+        .contracts()
+        .iter()
+        .map(|c| ScanRequest::new(&c.bytes))
+        .collect();
+    let outcomes = scanner.scan_batch(&requests);
+
+    // Every ERC-1167 clone after its first occurrence must be a hit.
+    let mut seen_proxy = false;
+    let mut proxy_hits = 0;
+    for (c, outcome) in corpus.contracts().iter().zip(&outcomes) {
+        let report = outcome.as_ref().expect("scan succeeds");
+        if detect_proxy(&c.bytes) != scamdetect_evm::proxy::ProxyKind::NotProxy {
+            if seen_proxy {
+                assert!(
+                    report.cache.is_hit(),
+                    "proxy clone after the first must hit the dedup cache"
+                );
+                proxy_hits += 1;
+            } else {
+                seen_proxy = true;
+            }
+        }
+    }
+    assert!(
+        proxy_hits >= 11,
+        "expected ≥11 proxy cache hits, got {proxy_hits}"
+    );
+
+    // Re-scanning the same batch is fully warm.
+    let again = scanner.scan_batch(&requests);
+    for outcome in again {
+        assert_eq!(outcome.expect("scan succeeds").cache, CacheStatus::CacheHit);
+    }
+}
+
+#[test]
+fn custom_threshold_flips_borderline_verdict() {
+    let corpus = dup_corpus();
+    let kind = ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified);
+
+    let lenient = ScannerBuilder::new()
+        .model(kind)
+        .threshold(0.05)
+        .train(&corpus)
+        .expect("trains");
+    let strict = ScannerBuilder::new()
+        .model(kind)
+        .threshold(0.95)
+        .train(&corpus)
+        .expect("trains");
+
+    // Find a borderline contract: probability strictly between the two
+    // thresholds, so the decision flips purely with the threshold.
+    let mut flipped = 0;
+    for c in corpus.contracts() {
+        let low = lenient.scan(&c.bytes).expect("scan succeeds");
+        let high = strict.scan(&c.bytes).expect("scan succeeds");
+        let p = low.verdict.malicious_probability;
+        assert_eq!(p, high.verdict.malicious_probability);
+        if p > 0.05 && p < 0.95 {
+            assert!(
+                low.is_malicious(),
+                "p={p} must be flagged at threshold 0.05"
+            );
+            assert!(!high.is_malicious(), "p={p} must pass at threshold 0.95");
+            flipped += 1;
+        }
+    }
+    assert!(flipped > 0, "corpus has no borderline contract to flip");
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let corpus = dup_corpus();
+    let requests: Vec<ScanRequest> = corpus
+        .contracts()
+        .iter()
+        .map(|c| ScanRequest::new(&c.bytes))
+        .collect();
+
+    let kind = ModelKind::Classic(ClassicModel::DecisionTree, FeatureKind::Unified);
+    let mut baseline: Option<Vec<_>> = None;
+    for workers in [1usize, 2, 7, 16] {
+        let scanner = ScannerBuilder::new()
+            .model(kind)
+            .workers(workers)
+            .train(&corpus)
+            .expect("trains");
+        let verdicts: Vec<_> = scanner
+            .scan_batch(&requests)
+            .into_iter()
+            .map(|o| {
+                let r = o.expect("scan succeeds");
+                (r.verdict, r.skeleton, r.cache)
+            })
+            .collect();
+        match &baseline {
+            None => baseline = Some(verdicts),
+            Some(expected) => assert_eq!(
+                expected, &verdicts,
+                "results changed with workers={workers}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn wasm_and_evm_mix_in_one_batch() {
+    let evm = Corpus::generate(&CorpusConfig {
+        size: 30,
+        seed: 5,
+        ..CorpusConfig::default()
+    });
+    let wasm = Corpus::generate(&CorpusConfig {
+        size: 30,
+        platform: scamdetect_ir::Platform::Wasm,
+        seed: 6,
+        ..CorpusConfig::default()
+    });
+    let mut mixed = Vec::new();
+    mixed.extend(evm.contracts().iter().cloned());
+    mixed.extend(wasm.contracts().iter().cloned());
+    let mixed = Corpus::from_contracts(mixed);
+
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::Unified,
+        ))
+        .workers(4)
+        .train(&mixed)
+        .expect("trains");
+    let requests: Vec<ScanRequest> = mixed
+        .contracts()
+        .iter()
+        .map(|c| ScanRequest::new(&c.bytes))
+        .collect();
+    for (c, outcome) in mixed.contracts().iter().zip(scanner.scan_batch(&requests)) {
+        let report = outcome.expect("scan succeeds");
+        assert_eq!(report.verdict.platform, c.platform);
+    }
+}

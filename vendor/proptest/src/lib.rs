@@ -1,0 +1,274 @@
+//! A dependency-free, offline stand-in for the crates.io `proptest`
+//! crate, covering the subset its property tests here use: the
+//! `proptest!` macro, `any::<T>()`, integer-range strategies,
+//! `collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are drawn from a deterministic
+//! per-test seed (no persisted failure file) and there is **no
+//! shrinking** — a failing case reports its index and seed instead.
+
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+/// Deterministic case generation machinery.
+pub mod test_runner {
+    /// Cases generated per property.
+    pub const CASES: usize = 128;
+
+    /// The per-case generator (SplitMix64).
+    pub struct Gen {
+        state: u64,
+    }
+
+    impl Gen {
+        /// Seeds the generator for one `(test, case)` pair.
+        pub fn for_case(test_name: &str, case: u64) -> Gen {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Gen {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::Gen;
+
+    /// Generates values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, gen: &mut Gen) -> Self::Value;
+    }
+}
+
+use strategy::Strategy;
+use test_runner::Gen;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value over the type's full domain.
+    fn arbitrary(gen: &mut Gen) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(gen: &mut Gen) -> Self {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(gen: &mut Gen) -> Self {
+        gen.next_u64() >> 63 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(gen: &mut Gen) -> Self {
+        (gen.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(gen: &mut Gen) -> Self {
+        (gen.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Strategy over a type's full domain.
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, gen: &mut Gen) -> T {
+        T::arbitrary(gen)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + gen.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return gen.next_u64() as $t;
+                }
+                (lo as i128 + gen.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::Gen;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for generated collections.
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (min, max_inclusive) = r.into_inner();
+            assert!(min <= max_inclusive, "empty size range");
+            SizeRange { min, max_inclusive }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, size)` — vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min + 1) as u64;
+            let len = self.size.min + gen.below(span) as usize;
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each function body runs for
+/// [`test_runner::CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::test_runner::CASES {
+                    let mut gen =
+                        $crate::test_runner::Gen::for_case(stringify!($name), case as u64);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut gen);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn vec_lengths_in_bounds(v in crate::collection::vec(any::<u8>(), 2..10)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+        }
+
+        #[test]
+        fn int_ranges_in_bounds(x in 0u32..4, y in any::<i64>()) {
+            prop_assert!(x < 4);
+            prop_assert_eq!(y, y);
+        }
+    }
+}

@@ -1,16 +1,64 @@
 //! E2 / Table 2 — GNN architecture comparison over CFGs.
 //!
 //! Prints the regenerated table (quick profile), then benchmarks one
-//! training epoch and one inference pass per architecture.
+//! training epoch and one inference pass per architecture, and finally a
+//! dense-vs-sparse (CSR) comparison of forward and one-epoch throughput
+//! across synthetic CFG sizes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use scamdetect::experiment::{run_e2_gnns, Profile};
 use scamdetect::featurize::prepare_graphs;
 use scamdetect_bench::print_eval_table;
 use scamdetect_dataset::{Corpus, CorpusConfig};
-use scamdetect_gnn::{train, GnnClassifier, GnnConfig, GnnKind, TrainConfig};
+use scamdetect_gnn::{
+    synthetic_sparse_graph, train, train_dense, GnnClassifier, GnnConfig, GnnKind, TrainConfig,
+};
 use scamdetect_ir::features::NODE_FEATURE_DIM;
 use std::hint::black_box;
+
+/// Dense-vs-sparse forward and one-epoch throughput across graph sizes.
+///
+/// Graphs come from [`synthetic_sparse_graph`]: chains with shortcut/back
+/// edges at average out-degree ≈ 2 — the density regime real contract CFGs
+/// live in.
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let dim = 8;
+    let mut group = c.benchmark_group("e2_sparse_vs_dense");
+    group.sample_size(10);
+    for n in [16usize, 64, 256, 1024] {
+        let g = synthetic_sparse_graph(n, 0, dim, n as u64);
+        let d = g.to_dense();
+        let data = vec![g.clone()];
+        let dense_data = vec![d.clone()];
+        for kind in [GnnKind::Gcn, GnnKind::Gat] {
+            let model = GnnClassifier::new(GnnConfig::new(kind, dim).with_seed(3));
+            group.bench_function(format!("{kind}_forward_sparse_n{n}"), |b| {
+                b.iter(|| black_box(model.score(&g)))
+            });
+            group.bench_function(format!("{kind}_forward_dense_n{n}"), |b| {
+                b.iter(|| black_box(model.score_dense(&d)))
+            });
+            let cfg = TrainConfig {
+                epochs: 1,
+                loss_target: 0.0,
+                ..TrainConfig::default()
+            };
+            group.bench_function(format!("{kind}_epoch_sparse_n{n}"), |b| {
+                b.iter(|| {
+                    let mut m = GnnClassifier::new(GnnConfig::new(kind, dim).with_seed(3));
+                    black_box(train(&mut m, &data, &cfg))
+                })
+            });
+            group.bench_function(format!("{kind}_epoch_dense_n{n}"), |b| {
+                b.iter(|| {
+                    let mut m = GnnClassifier::new(GnnConfig::new(kind, dim).with_seed(3));
+                    black_box(train_dense(&mut m, &dense_data, &cfg))
+                })
+            });
+        }
+    }
+    group.finish();
+}
 
 fn bench_e2(c: &mut Criterion) {
     let profile = Profile::quick();
@@ -51,5 +99,5 @@ fn bench_e2(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_e2);
+criterion_group!(benches, bench_e2, bench_sparse_vs_dense);
 criterion_main!(benches);

@@ -198,6 +198,10 @@ pub fn featurize_corpus(
 }
 
 /// Prepares an index subset of a corpus as GNN graphs.
+///
+/// Graphs are built straight from the CFG edge list into CSR aggregators
+/// (`O(n + e)` per contract); no dense `n x n` adjacency is materialised
+/// anywhere on the scan or training path.
 pub fn prepare_graphs(
     corpus: &Corpus,
     indices: &[usize],

@@ -1,24 +1,54 @@
 //! Conversion from unified CFGs to tensor form.
+//!
+//! [`PreparedGraph`] is the sparse (CSR) representation every scan and
+//! training step runs on; [`DenseGraph`] is the dense fallback kept for
+//! equivalence testing and benchmarking.
 
-use scamdetect_ir::features::{adjacency_matrix, node_feature_matrix, NODE_FEATURE_DIM};
+use scamdetect_ir::features::{dedup_edges_max, edge_list, node_feature_matrix, NODE_FEATURE_DIM};
 use scamdetect_ir::UnifiedCfg;
-use scamdetect_tensor::Matrix;
+use scamdetect_tensor::{CsrMatrix, CsrPair, Matrix};
+use std::sync::Arc;
 
 /// A contract CFG prepared for GNN consumption: node features plus the
 /// aggregation operators every supported architecture needs, precomputed
-/// once so training epochs only do dense algebra.
+/// once in CSR form so training epochs and scan verdicts only do
+/// `O(e · d)` sparse algebra — per-graph memory is `O(n + e)`, never
+/// `O(n²)`.
 #[derive(Debug, Clone)]
 pub struct PreparedGraph {
-    /// Node features, `n x d`.
-    pub x: Matrix,
-    /// Raw adjacency `A` (sum aggregation, GIN).
-    pub adj: Matrix,
-    /// Symmetric GCN normalisation `D̂^{-1/2} (A+I) D̂^{-1/2}`.
-    pub agg_gcn: Matrix,
+    /// Node features, `n x d` (shared: placed on tapes without copying).
+    pub x: Arc<Matrix>,
+    /// Weighted adjacency edge list `(src, dst, w)`, sorted by `(src, dst)`
+    /// with parallel edges collapsed to the maximum weight.
+    pub edges: Vec<(u32, u32, f32)>,
+    /// Raw adjacency `A` (sum aggregation, GIN), with precomputed transpose.
+    pub adj: CsrPair,
+    /// Symmetric GCN normalisation `D̂^{-1/2} (Â) D̂^{-1/2}`.
+    pub agg_gcn: CsrPair,
     /// Row-normalised `A` (mean aggregation, GraphSAGE).
-    pub agg_mean: Matrix,
-    /// Attention mask `A + I` (GAT).
-    pub mask: Matrix,
+    pub agg_mean: CsrPair,
+    /// Attention structure `A + I` (GAT edge-wise softmax).
+    pub mask: Arc<CsrMatrix>,
+    /// Binary label.
+    pub label: usize,
+}
+
+/// Dense mirror of [`PreparedGraph`]: the original `n x n` representation,
+/// retained as the reference/fallback execution path and as the baseline in
+/// the dense-vs-sparse benchmarks. All tensors are shared handles so the
+/// dense path, too, never re-clones per forward pass.
+#[derive(Debug, Clone)]
+pub struct DenseGraph {
+    /// Node features, `n x d`.
+    pub x: Arc<Matrix>,
+    /// Raw adjacency `A`.
+    pub adj: Arc<Matrix>,
+    /// Symmetric GCN normalisation.
+    pub agg_gcn: Arc<Matrix>,
+    /// Row-normalised `A`.
+    pub agg_mean: Arc<Matrix>,
+    /// Attention mask `A + I`.
+    pub mask: Arc<Matrix>,
     /// Binary label.
     pub label: usize,
 }
@@ -27,15 +57,15 @@ impl PreparedGraph {
     /// Prepares `cfg` with label `label`.
     ///
     /// Unresolved CFG edges are down-weighted to 0.25 so that policy-
-    /// injected over-approximation does not drown the real structure.
+    /// injected over-approximation does not drown the real structure. The
+    /// dense `n x n` adjacency is never materialised on this path.
     pub fn from_cfg(cfg: &UnifiedCfg, label: usize) -> Self {
         let n = cfg.block_count();
         let x = Matrix::from_vec(n, NODE_FEATURE_DIM, node_feature_matrix(cfg));
-        let adj = Matrix::from_vec(n, n, adjacency_matrix(cfg, 0.25));
-        PreparedGraph::from_parts(x, adj, label)
+        PreparedGraph::from_edges(x, edge_list(cfg, 0.25), label)
     }
 
-    /// Prepares a graph directly from a feature matrix and adjacency
+    /// Prepares a graph directly from a feature matrix and dense adjacency
     /// (used by unit tests and synthetic ablations).
     ///
     /// # Panics
@@ -44,52 +74,99 @@ impl PreparedGraph {
     pub fn from_parts(x: Matrix, adj: Matrix, label: usize) -> Self {
         let n = x.rows();
         assert_eq!(adj.shape(), (n, n), "adjacency must be n x n");
-
-        // A + I (directed; used as the GAT attention mask).
-        let mut mask = adj.clone();
-        for i in 0..n {
-            mask.set(i, i, 1.0);
+        let mut edges = Vec::new();
+        for r in 0..n {
+            for (c, &w) in adj.row(r).iter().enumerate() {
+                if w != 0.0 {
+                    edges.push((r as u32, c as u32, w));
+                }
+            }
         }
+        PreparedGraph::from_edges(x, edges, label)
+    }
+
+    /// Prepares a graph from a feature matrix and a weighted edge list —
+    /// the primary constructor; everything stays `O(n + e)`.
+    ///
+    /// Parallel edges collapse to the maximum weight (matching the dense
+    /// adjacency semantics); non-positive weights are treated as absent
+    /// edges, mirroring the dense `mask > 0` attention convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range for `x`'s `n` rows.
+    pub fn from_edges(x: Matrix, mut edges: Vec<(u32, u32, f32)>, label: usize) -> Self {
+        let n = x.rows();
+        for &(u, v, _) in &edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for {n} nodes"
+            );
+        }
+        // Non-positive weights are indistinguishable from absent edges in
+        // the dense formulation (the attention mask keeps entries > 0 only);
+        // drop them so the CSR structure agrees on every path.
+        edges.retain(|&(_, _, w)| w > 0.0);
+        dedup_edges_max(&mut edges);
+
+        let adj = CsrMatrix::from_edges(n, n, &edges);
+
+        // A + I (directed; the GAT attention structure).
+        let mut mask_edges = edges.clone();
+        for i in 0..n as u32 {
+            mask_edges.push((i, i, 1.0));
+        }
+        dedup_edges_max(&mut mask_edges);
+        let mask = CsrMatrix::from_edges(n, n, &mask_edges);
 
         // GCN: D̂^{-1/2} Â D̂^{-1/2} over the *symmetrised* adjacency
         // Â = max(A, Aᵀ) + I — the standard way to apply spectral GCNs to
         // directed CFGs (information flows both along and against edges).
-        let sym = Matrix::from_fn(n, n, |i, j| {
-            if i == j {
-                1.0
-            } else {
-                adj.get(i, j).max(adj.get(j, i))
+        let mut sym_edges: Vec<(u32, u32, f32)> = Vec::with_capacity(2 * edges.len() + n);
+        for &(u, v, w) in &edges {
+            if u != v {
+                sym_edges.push((u, v, w));
+                sym_edges.push((v, u, w));
             }
-        });
+        }
+        for i in 0..n as u32 {
+            sym_edges.push((i, i, 1.0));
+        }
+        dedup_edges_max(&mut sym_edges);
         let mut deg = vec![0.0f32; n];
-        for (i, d) in deg.iter_mut().enumerate() {
-            for j in 0..n {
-                *d += sym.get(i, j);
-            }
+        for &(u, _, w) in &sym_edges {
+            deg[u as usize] += w;
         }
         let inv_sqrt: Vec<f32> = deg
             .iter()
             .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
             .collect();
-        let agg_gcn = Matrix::from_fn(n, n, |i, j| inv_sqrt[i] * sym.get(i, j) * inv_sqrt[j]);
+        let gcn_edges: Vec<(u32, u32, f32)> = sym_edges
+            .iter()
+            .map(|&(u, v, w)| (u, v, inv_sqrt[u as usize] * w * inv_sqrt[v as usize]))
+            .collect();
+        let agg_gcn = CsrMatrix::from_edges(n, n, &gcn_edges);
 
         // Mean aggregation: row-normalised A (rows without successors stay
         // zero; SAGE concatenates self features anyway).
-        let agg_mean = Matrix::from_fn(n, n, |i, j| {
-            let row_sum: f32 = (0..n).map(|k| adj.get(i, k)).sum();
-            if row_sum > 0.0 {
-                adj.get(i, j) / row_sum
-            } else {
-                0.0
-            }
-        });
+        let mut row_sum = vec![0.0f32; n];
+        for &(u, _, w) in &edges {
+            row_sum[u as usize] += w;
+        }
+        let mean_edges: Vec<(u32, u32, f32)> = edges
+            .iter()
+            .filter(|&&(u, _, _)| row_sum[u as usize] > 0.0)
+            .map(|&(u, v, w)| (u, v, w / row_sum[u as usize]))
+            .collect();
+        let agg_mean = CsrMatrix::from_edges(n, n, &mean_edges);
 
         PreparedGraph {
-            x,
-            adj,
-            agg_gcn,
-            agg_mean,
-            mask,
+            x: Arc::new(x),
+            edges,
+            adj: CsrPair::new(adj),
+            agg_gcn: CsrPair::new(agg_gcn),
+            agg_mean: CsrPair::new(agg_mean),
+            mask: Arc::new(mask),
             label,
         }
     }
@@ -102,6 +179,30 @@ impl PreparedGraph {
     /// Feature dimensionality.
     pub fn feature_dim(&self) -> usize {
         self.x.cols()
+    }
+
+    /// Number of adjacency edges (after parallel-edge collapsing).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Expands to the dense representation (fallback path, benches, tests).
+    pub fn to_dense(&self) -> DenseGraph {
+        DenseGraph {
+            x: Arc::clone(&self.x),
+            adj: Arc::new(self.adj.matrix().to_dense()),
+            agg_gcn: Arc::new(self.agg_gcn.matrix().to_dense()),
+            agg_mean: Arc::new(self.agg_mean.matrix().to_dense()),
+            mask: Arc::new(self.mask.to_dense()),
+            label: self.label,
+        }
+    }
+}
+
+impl DenseGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.x.rows()
     }
 }
 
@@ -121,23 +222,24 @@ mod tests {
     #[test]
     fn gcn_norm_is_symmetric_in_degree() {
         let g = chain3();
+        let gcn = g.agg_gcn.matrix();
         // Self-loop entries: 1/d_i.
-        assert!((g.agg_gcn.get(0, 0) - 0.5).abs() < 1e-6); // deg 2
-        assert!((g.agg_gcn.get(1, 1) - 1.0 / 3.0).abs() < 1e-6); // deg 3
-                                                                 // Edge (0,1): 1/sqrt(2*3).
-        assert!((g.agg_gcn.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+        assert!((gcn.get(0, 0) - 0.5).abs() < 1e-6); // deg 2
+        assert!((gcn.get(1, 1) - 1.0 / 3.0).abs() < 1e-6); // deg 3
+                                                           // Edge (0,1): 1/sqrt(2*3).
+        assert!((gcn.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
     }
 
     #[test]
     fn mean_agg_rows_sum_to_one_or_zero() {
         let g = chain3();
+        let mean = g.agg_mean.matrix();
         for i in 0..3 {
-            let s: f32 = (0..3).map(|j| g.agg_mean.get(i, j)).sum();
+            let s: f32 = mean.row_vals(i).iter().sum();
             assert!(s == 0.0 || (s - 1.0).abs() < 1e-6, "row {i} sums to {s}");
         }
         // Terminal node 2 has no successors.
-        let s2: f32 = (0..3).map(|j| g.agg_mean.get(2, j)).sum();
-        assert_eq!(s2, 0.0);
+        assert_eq!(mean.row_vals(2).len(), 0);
     }
 
     #[test]
@@ -151,6 +253,45 @@ mod tests {
     }
 
     #[test]
+    fn sparse_memory_is_edge_bound() {
+        let g = chain3();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.adj.matrix().nnz(), 2);
+        assert_eq!(g.mask.nnz(), 5); // 2 edges + 3 self-loops
+        assert_eq!(g.agg_gcn.matrix().nnz(), 7); // symmetrised + diagonal
+    }
+
+    #[test]
+    fn non_positive_weights_are_absent_edges() {
+        // Matches the dense `mask > 0` convention on every aggregator.
+        let x = Matrix::identity(2);
+        let g = PreparedGraph::from_edges(x, vec![(0, 1, -1.0), (1, 0, 0.0)], 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.adj.matrix().nnz(), 0);
+        assert_eq!(g.mask.nnz(), 2); // self-loops only
+    }
+
+    #[test]
+    fn parallel_edges_collapse_to_max() {
+        let x = Matrix::identity(2);
+        let g = PreparedGraph::from_edges(x, vec![(0, 1, 0.25), (0, 1, 1.0)], 0);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.adj.matrix().get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn dense_mirror_matches_csr() {
+        let g = chain3();
+        let d = g.to_dense();
+        assert_eq!(*d.adj, g.adj.matrix().to_dense());
+        assert_eq!(*d.agg_gcn, g.agg_gcn.matrix().to_dense());
+        assert_eq!(*d.agg_mean, g.agg_mean.matrix().to_dense());
+        assert_eq!(*d.mask, g.mask.to_dense());
+        assert_eq!(d.label, g.label);
+        assert_eq!(d.node_count(), 3);
+    }
+
+    #[test]
     fn from_cfg_produces_consistent_shapes() {
         use scamdetect_ir::{EvmFrontend, Frontend};
         // CALLVALUE PUSH1 7 JUMPI STOP; JUMPDEST STOP
@@ -159,7 +300,8 @@ mod tests {
         let g = PreparedGraph::from_cfg(&cfg, 0);
         assert_eq!(g.node_count(), cfg.block_count());
         assert_eq!(g.feature_dim(), NODE_FEATURE_DIM);
-        assert_eq!(g.adj.shape(), (g.node_count(), g.node_count()));
+        assert_eq!(g.adj.matrix().shape(), (g.node_count(), g.node_count()));
+        assert!(g.edge_count() > 0);
     }
 
     #[test]

@@ -4,8 +4,7 @@
 //! GNNs over CFGs, naming five architectures: **GCN** \[13\], **GAT** \[20\],
 //! **GIN** \[21\], **TAG** \[5\] and **GraphSAGE** \[8\]. This crate implements
 //! all five from scratch on the autodiff tensor substrate, with the exact
-//! layer equations of the cited papers (dense adjacency — contract CFGs
-//! are small):
+//! layer equations of the cited papers:
 //!
 //! * GCN:  `H' = σ(D̂^{-1/2} Â D̂^{-1/2} H W)`
 //! * GAT:  multi-head masked-softmax attention, LeakyReLU(0.2), ELU
@@ -14,6 +13,22 @@
 //! * SAGE: `H' = σ([H ‖ mean(A, H)] W)`
 //!
 //! followed by a mean/max/sum readout and a linear head.
+//!
+//! # Sparse message passing
+//!
+//! Contract CFGs are sparse (a handful of successors per basic block), so
+//! [`PreparedGraph`] keeps every aggregation operator in CSR form
+//! (`scamdetect_tensor::CsrPair`) and the forward pass runs
+//! `Tape::spmm` — `O(e · d)` per layer and `O(n + e)` per-graph memory.
+//! GAT attention is computed edge-wise over the `A + I` structure
+//! (per-edge score gather → per-row softmax → weighted neighbour gather),
+//! so the `n x n` score matrix of the textbook formulation never exists.
+//! This CSR path is what [`GnnClassifier::score`], [`train`] and the scan
+//! pipeline always use; the dense `n x n` path ([`DenseGraph`],
+//! [`GnnClassifier::score_dense`], [`train_dense`]) is retained as the
+//! reference implementation for equivalence tests and as the baseline in
+//! the E2 dense-vs-sparse benchmark. Both paths produce logits equal to
+//! within float roundoff.
 //!
 //! # Examples
 //!
@@ -35,6 +50,8 @@ pub mod graph_batch;
 pub mod model;
 pub mod trainer;
 
-pub use graph_batch::PreparedGraph;
+pub use graph_batch::{DenseGraph, PreparedGraph};
 pub use model::{GnnClassifier, GnnConfig, GnnKind, Readout};
-pub use trainer::{accuracy, evaluate, train, TrainConfig, TrainHistory};
+pub use trainer::{
+    accuracy, evaluate, synthetic_sparse_graph, train, train_dense, TrainConfig, TrainHistory,
+};

@@ -1,9 +1,14 @@
 //! The GNN graph classifier: five architectures, one interface.
+//!
+//! Message passing runs over CSR aggregators ([`PreparedGraph`]) by
+//! default; the dense path ([`DenseGraph`]) is kept as the reference
+//! implementation for equivalence tests and benchmarks.
 
-use crate::graph_batch::PreparedGraph;
+use crate::graph_batch::{DenseGraph, PreparedGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scamdetect_tensor::{init, Matrix, ParamId, Parameters, Tape, Var};
+use std::sync::Arc;
 
 /// Which message-passing architecture a classifier uses — exactly the
 /// lineup the paper's Phase 1 commits to (§V-A).
@@ -173,6 +178,33 @@ struct GatHead {
     a_dst: ParamId,
 }
 
+/// A borrowed graph in either representation, dispatched inside the
+/// forward pass at the aggregation points only — the surrounding layer
+/// algebra is shared.
+#[derive(Clone, Copy)]
+pub(crate) enum GraphRef<'a> {
+    /// CSR message passing (the default execution path).
+    Sparse(&'a PreparedGraph),
+    /// Dense `n x n` fallback (reference/benchmark path).
+    Dense(&'a DenseGraph),
+}
+
+impl<'a> GraphRef<'a> {
+    fn x(&self) -> &'a Arc<Matrix> {
+        match self {
+            GraphRef::Sparse(g) => &g.x,
+            GraphRef::Dense(g) => &g.x,
+        }
+    }
+
+    pub(crate) fn label(&self) -> usize {
+        match self {
+            GraphRef::Sparse(g) => g.label,
+            GraphRef::Dense(g) => g.label,
+        }
+    }
+}
+
 /// A trainable GNN graph classifier.
 ///
 /// # Examples
@@ -307,22 +339,38 @@ impl GnnClassifier {
     }
 
     /// Forward pass for one graph; returns the `1 x 2` logits `Var`.
-    pub(crate) fn forward(&self, tape: &Tape, vars: &[Var], g: &PreparedGraph) -> Var {
-        let mut h = tape.constant(g.x.clone());
-        let agg_gcn = tape.constant(g.agg_gcn.clone());
-        let agg_mean = tape.constant(g.agg_mean.clone());
-        let adj = tape.constant(g.adj.clone());
+    ///
+    /// Aggregation dispatches on the representation: CSR graphs run
+    /// [`Tape::spmm`] / edge-wise attention; dense graphs run the original
+    /// `n x n` algebra. Shared tensors enter the tape via interned `Arc`
+    /// constants, so neither path clones per-graph data per forward call.
+    pub(crate) fn forward(&self, tape: &Tape, vars: &[Var], g: GraphRef<'_>) -> Var {
+        let mut h = tape.constant_shared(g.x());
+
+        // Aggregator application points, dispatched per representation.
+        let agg_gcn = |v: Var| match g {
+            GraphRef::Sparse(s) => tape.spmm(&s.agg_gcn, v),
+            GraphRef::Dense(d) => tape.matmul(tape.constant_shared(&d.agg_gcn), v),
+        };
+        let agg_mean = |v: Var| match g {
+            GraphRef::Sparse(s) => tape.spmm(&s.agg_mean, v),
+            GraphRef::Dense(d) => tape.matmul(tape.constant_shared(&d.agg_mean), v),
+        };
+        let agg_adj = |v: Var| match g {
+            GraphRef::Sparse(s) => tape.spmm(&s.adj, v),
+            GraphRef::Dense(d) => tape.matmul(tape.constant_shared(&d.adj), v),
+        };
 
         for layer in &self.layers {
             h = match layer {
                 LayerParams::Gcn { w, b } => {
                     let hw = tape.matmul(h, vars[w.index()]);
-                    let agg = tape.matmul(agg_gcn, hw);
+                    let agg = agg_gcn(hw);
                     let z = tape.add_bias(agg, vars[b.index()]);
                     tape.relu(z)
                 }
                 LayerParams::Sage { w, b } => {
-                    let neigh = tape.matmul(agg_mean, h);
+                    let neigh = agg_mean(h);
                     let cat = tape.concat_cols(h, neigh);
                     let z = tape.matmul(cat, vars[w.index()]);
                     let z = tape.add_bias(z, vars[b.index()]);
@@ -339,7 +387,7 @@ impl GnnClassifier {
                     let one = tape.constant(Matrix::filled(1, 1, 1.0));
                     let one_eps = tape.add(one, vars[eps.index()]);
                     let self_term = tape.scalar_mul(one_eps, h);
-                    let neigh = tape.matmul(adj, h);
+                    let neigh = agg_adj(h);
                     let mixed = tape.add(self_term, neigh);
                     let z1 = tape.matmul(mixed, vars[w1.index()]);
                     let z1 = tape.add_bias(z1, vars[b1.index()]);
@@ -354,7 +402,7 @@ impl GnnClassifier {
                     let mut prop = h; // P^0 h = h
                     for (k, w) in ws.iter().enumerate() {
                         if k > 0 {
-                            prop = tape.matmul(agg_gcn, prop);
+                            prop = agg_gcn(prop);
                         }
                         let term = tape.matmul(prop, vars[w.index()]);
                         acc = Some(match acc {
@@ -371,10 +419,22 @@ impl GnnClassifier {
                         let z = tape.matmul(h, vars[head.w.index()]);
                         let s_src = tape.matmul(z, vars[head.a_src.index()]); // n x 1
                         let s_dst = tape.matmul(z, vars[head.a_dst.index()]); // n x 1
-                        let e = tape.outer_sum(s_src, s_dst); // n x n
-                        let e = tape.leaky_relu(e, 0.2);
-                        let alpha = tape.masked_softmax_rows(e, &g.mask);
-                        let ho = tape.matmul(alpha, z);
+                        let ho = match g {
+                            GraphRef::Sparse(s) => {
+                                // Per-edge scores over A + I only: the
+                                // n x n score matrix is never formed.
+                                let e = tape.edge_score_sum(s_src, s_dst, &s.mask);
+                                let e = tape.leaky_relu(e, 0.2);
+                                let alpha = tape.edge_softmax(e, &s.mask);
+                                tape.edge_gather(alpha, z, &s.mask)
+                            }
+                            GraphRef::Dense(d) => {
+                                let e = tape.outer_sum(s_src, s_dst); // n x n
+                                let e = tape.leaky_relu(e, 0.2);
+                                let alpha = tape.masked_softmax_rows(e, &d.mask);
+                                tape.matmul(alpha, z)
+                            }
+                        };
                         let ho = tape.elu(ho, 1.0);
                         outs = Some(match outs {
                             None => ho,
@@ -395,13 +455,22 @@ impl GnnClassifier {
         tape.add_bias(logits, vars[self.head_b.index()])
     }
 
-    /// P(malicious) for one graph.
-    pub fn score(&self, g: &PreparedGraph) -> f64 {
+    fn score_ref(&self, g: GraphRef<'_>) -> f64 {
         let tape = Tape::new();
         let vars = self.params.bind(&tape);
         let logits = self.forward(&tape, &vars, g);
         let probs = scamdetect_tensor::tape::softmax_rows(&tape.value(logits));
         probs.get(0, 1) as f64
+    }
+
+    /// P(malicious) for one graph (CSR path).
+    pub fn score(&self, g: &PreparedGraph) -> f64 {
+        self.score_ref(GraphRef::Sparse(g))
+    }
+
+    /// P(malicious) through the dense fallback path.
+    pub fn score_dense(&self, g: &DenseGraph) -> f64 {
+        self.score_ref(GraphRef::Dense(g))
     }
 
     /// Hard prediction (threshold 0.5).

@@ -1,7 +1,7 @@
 //! Mini-batch training loop for GNN classifiers.
 
-use crate::graph_batch::PreparedGraph;
-use crate::model::GnnClassifier;
+use crate::graph_batch::{DenseGraph, PreparedGraph};
+use crate::model::{GnnClassifier, GraphRef};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scamdetect_tensor::{optim::Adam, Matrix, Tape};
@@ -54,8 +54,25 @@ impl TrainHistory {
 ///
 /// Each batch builds one tape, accumulates the mean cross-entropy over its
 /// graphs and applies a single Adam step — plain mini-batch SGD, fully
-/// deterministic under the config seed.
+/// deterministic under the config seed. Message passing runs through the
+/// CSR aggregators; see [`train_dense`] for the dense baseline.
 pub fn train(model: &mut GnnClassifier, data: &[PreparedGraph], cfg: &TrainConfig) -> TrainHistory {
+    let refs: Vec<GraphRef<'_>> = data.iter().map(GraphRef::Sparse).collect();
+    train_refs(model, &refs, cfg)
+}
+
+/// [`train`] over the dense fallback representation — identical loop and
+/// shuffling, used by equivalence tests and the dense-vs-sparse benchmark.
+pub fn train_dense(
+    model: &mut GnnClassifier,
+    data: &[DenseGraph],
+    cfg: &TrainConfig,
+) -> TrainHistory {
+    let refs: Vec<GraphRef<'_>> = data.iter().map(GraphRef::Dense).collect();
+    train_refs(model, &refs, cfg)
+}
+
+fn train_refs(model: &mut GnnClassifier, data: &[GraphRef<'_>], cfg: &TrainConfig) -> TrainHistory {
     let mut history = TrainHistory::default();
     if data.is_empty() {
         return history;
@@ -77,9 +94,9 @@ pub fn train(model: &mut GnnClassifier, data: &[PreparedGraph], cfg: &TrainConfi
             let vars = model.params().bind(&tape);
             let mut loss_acc = None;
             for &i in chunk {
-                let g = &data[i];
+                let g = data[i];
                 let logits = model.forward(&tape, &vars, g);
-                let loss = tape.softmax_cross_entropy(logits, &[g.label]);
+                let loss = tape.softmax_cross_entropy(logits, &[g.label()]);
                 loss_acc = Some(match loss_acc {
                     None => loss,
                     Some(acc) => tape.add(acc, loss),
@@ -161,6 +178,33 @@ pub fn synthetic_structural_dataset(n: usize, dim: usize, seed: u64) -> Vec<Prep
         out.push(PreparedGraph::from_parts(x, adj, label));
     }
     out
+}
+
+/// Builds one synthetic CFG-shaped sparse graph: a chain of `n` nodes with
+/// `n` random shortcut/back edges (average out-degree ≈ 2, a quarter
+/// down-weighted to 0.25 like unresolved jumps) plus `isolated` trailing
+/// nodes with no edges at all, labelled `seed % 2`. This is the density
+/// regime real contract CFGs live in; the dense-vs-sparse equivalence
+/// tests and the E2 benchmark both draw from it.
+pub fn synthetic_sparse_graph(n: usize, isolated: usize, dim: usize, seed: u64) -> PreparedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = n + isolated;
+    let mut edges = Vec::new();
+    for v in 0..n.saturating_sub(1) as u32 {
+        edges.push((v, v + 1, 1.0));
+    }
+    for _ in 0..n {
+        let u = rng.random_range(0..n.max(1)) as u32;
+        let v = rng.random_range(0..n.max(1)) as u32;
+        let w = if rng.random_range(0..4) == 0 {
+            0.25
+        } else {
+            1.0
+        };
+        edges.push((u, v, w));
+    }
+    let x = Matrix::from_fn(total, dim, |_, _| rng.random_range(-1.0..1.0));
+    PreparedGraph::from_edges(x, edges, (seed % 2) as usize)
 }
 
 #[cfg(test)]

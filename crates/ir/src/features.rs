@@ -85,6 +85,9 @@ pub fn graph_feature_vector(cfg: &UnifiedCfg) -> Vec<f64> {
 /// Dense adjacency matrix (row = source block) of the unified CFG, with
 /// unresolved edges optionally down-weighted so over-approximation noise
 /// does not drown real structure.
+///
+/// Only the dense fallback/reference path uses this; the scan path builds
+/// the `O(e)` [`edge_list`] instead and never materialises `n x n`.
 pub fn adjacency_matrix(cfg: &UnifiedCfg, unresolved_weight: f32) -> Vec<f32> {
     let g = cfg.graph();
     let n = g.node_count();
@@ -98,6 +101,49 @@ pub fn adjacency_matrix(cfg: &UnifiedCfg, unresolved_weight: f32) -> Vec<f32> {
         *cell = cell.max(w);
     }
     m
+}
+
+/// Weighted `(source, target, weight)` edge list of the unified CFG — the
+/// sparse counterpart of [`adjacency_matrix`] with identical semantics:
+/// unresolved edges carry `unresolved_weight`, parallel edges collapse to
+/// the maximum weight, and the result is sorted by `(source, target)`.
+pub fn edge_list(cfg: &UnifiedCfg, unresolved_weight: f32) -> Vec<(u32, u32, f32)> {
+    let g = cfg.graph();
+    let mut edges: Vec<(u32, u32, f32)> = g
+        .edges()
+        .map(|(u, v, k)| {
+            let w = match k {
+                UnifiedEdge::Unresolved => unresolved_weight,
+                _ => 1.0,
+            };
+            (u.index() as u32, v.index() as u32, w)
+        })
+        .collect();
+    dedup_edges_max(&mut edges);
+    edges
+}
+
+/// Sorts `edges` by `(source, target)` and collapses duplicate coordinates
+/// to the maximum weight — the one normalisation rule for adjacency edge
+/// lists (parallel CFG edges keep their strongest weight). Lists that are
+/// already strictly sorted (hence duplicate-free) are left untouched in
+/// `O(e)`.
+pub fn dedup_edges_max(edges: &mut Vec<(u32, u32, f32)>) {
+    if edges
+        .windows(2)
+        .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))
+    {
+        return;
+    }
+    edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    edges.dedup_by(|cur, prev| {
+        if prev.0 == cur.0 && prev.1 == cur.1 {
+            prev.2 = prev.2.max(cur.2);
+            true
+        } else {
+            false
+        }
+    });
 }
 
 #[cfg(test)]
@@ -159,6 +205,28 @@ mod tests {
         assert_eq!(a[1], 1.0);
         assert!((a[n + 2] - 0.1).abs() < 1e-6);
         assert_eq!(a[2 * n], 0.0);
+    }
+
+    #[test]
+    fn edge_list_matches_dense_adjacency() {
+        let cfg = tiny_cfg();
+        let edges = edge_list(&cfg, 0.1);
+        let dense = adjacency_matrix(&cfg, 0.1);
+        let n = 3;
+        // Every listed edge is present in the dense matrix with the same
+        // weight, and the nonzero counts agree.
+        for &(u, v, w) in &edges {
+            assert!((dense[u as usize * n + v as usize] - w).abs() < 1e-6);
+        }
+        assert_eq!(
+            edges.len(),
+            dense.iter().filter(|&&x| x != 0.0).count(),
+            "edge list must cover exactly the dense nonzeros"
+        );
+        // Sorted by (source, target).
+        let mut sorted = edges.clone();
+        sorted.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        assert_eq!(edges, sorted);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //!
 //! * [`Matrix`] — a row-major dense `f32` matrix with the usual linear
 //!   algebra (`matmul`, transpose, elementwise maps),
+//! * [`CsrMatrix`] / [`CsrPair`] — compressed-sparse-row matrices with an
+//!   `sparse @ dense` kernel ([`CsrMatrix::spmm`]) and a precomputed
+//!   transpose for reverse mode,
 //! * [`Tape`] / [`Var`] — an eager autodiff tape: every operation computes
 //!   its value immediately and records a backward closure; calling
 //!   [`Tape::backward`] accumulates gradients for every variable that
@@ -12,9 +15,21 @@
 //! * [`optim`] — SGD and Adam optimizers over a [`Parameters`] store,
 //! * [`init`] — seeded Xavier/He initialisation.
 //!
-//! Control-flow graphs from smart contracts are small (≤ a few hundred
-//! nodes), so all graph operations use dense adjacency matrices; clarity and
-//! auditability of the layer math beat sparse cleverness at this scale.
+//! # Sparse message passing
+//!
+//! Contract CFGs are sparse — a handful of successors per basic block — so
+//! the GNN aggregation operators are kept in CSR form and applied with
+//! [`Tape::spmm`] (`O(nnz · d)` per layer instead of `O(n² · d)`), whose
+//! backward pass `gX = Aᵀ @ g_out` reuses the transpose precomputed in a
+//! [`CsrPair`]. GAT attention follows the same structure edge-wise:
+//! [`Tape::edge_score_sum`] gathers per-edge scores,
+//! [`Tape::edge_softmax`] normalises them per source row, and
+//! [`Tape::edge_gather`] scatters the weighted neighbour features — no
+//! `n x n` score matrix or mask is ever materialised. Dense mirrors of
+//! these ops ([`Tape::matmul`], [`Tape::masked_softmax_rows`]) remain for
+//! the reference/fallback path and for equivalence tests. Shared per-graph
+//! tensors are placed on a tape via [`Tape::constant_shared`], which interns
+//! `Arc` handles so repeated forward passes never clone them.
 //!
 //! # Examples
 //!
@@ -44,8 +59,10 @@ pub mod init;
 pub mod matrix;
 pub mod optim;
 pub mod params;
+pub mod sparse;
 pub mod tape;
 
 pub use matrix::Matrix;
 pub use params::{ParamId, Parameters};
+pub use sparse::{CsrMatrix, CsrPair};
 pub use tape::{Gradients, Tape, Var};

@@ -5,7 +5,10 @@
 //! Jacobians, and returns a [`Gradients`] table addressed by [`Var`].
 
 use crate::matrix::Matrix;
+use crate::sparse::{CsrMatrix, CsrPair};
 use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Handle to a value recorded on a [`Tape`].
 ///
@@ -34,9 +37,13 @@ struct Step {
 
 #[derive(Default)]
 struct Inner {
-    values: Vec<Matrix>,
+    values: Vec<Arc<Matrix>>,
     needs_grad: Vec<bool>,
     steps: Vec<Step>,
+    /// Interned shared constants, keyed by `Arc` pointer identity: recording
+    /// the same `Arc<Matrix>` twice on one tape yields the same `Var`
+    /// instead of a second copy.
+    interned: HashMap<usize, Var>,
 }
 
 /// Gradient table produced by [`Tape::backward`].
@@ -80,6 +87,10 @@ impl Tape {
     }
 
     fn push_value(&self, m: Matrix, needs_grad: bool) -> Var {
+        self.push_arc(Arc::new(m), needs_grad)
+    }
+
+    fn push_arc(&self, m: Arc<Matrix>, needs_grad: bool) -> Var {
         let mut inner = self.inner.borrow_mut();
         let id = inner.values.len() as u32;
         inner.values.push(m);
@@ -92,6 +103,22 @@ impl Tape {
         self.push_value(m, false)
     }
 
+    /// Records a shared constant without copying its data.
+    ///
+    /// The `Arc` is interned by pointer identity: recording the same handle
+    /// again on this tape returns the original `Var`. This is how per-graph
+    /// tensors (node features, dense aggregators) are placed on a training
+    /// tape in O(1) instead of an O(n²) clone per forward pass.
+    pub fn constant_shared(&self, m: &Arc<Matrix>) -> Var {
+        let key = Arc::as_ptr(m) as usize;
+        if let Some(&v) = self.inner.borrow().interned.get(&key) {
+            return v;
+        }
+        let v = self.push_arc(Arc::clone(m), false);
+        self.inner.borrow_mut().interned.insert(key, v);
+        v
+    }
+
     /// Records a differentiable leaf (a parameter or input requiring grad).
     pub fn leaf(&self, m: Matrix) -> Var {
         self.push_value(m, true)
@@ -99,7 +126,7 @@ impl Tape {
 
     /// Clones the current value of `v` off the tape.
     pub fn value(&self, v: Var) -> Matrix {
-        self.inner.borrow().values[v.index()].clone()
+        self.inner.borrow().values[v.index()].as_ref().clone()
     }
 
     /// Shape of `v` without cloning.
@@ -141,7 +168,7 @@ impl Tape {
     pub fn matmul(&self, a: Var, b: Var) -> Var {
         let out = {
             let inner = self.inner.borrow();
-            inner.values[a.index()].matmul(&inner.values[b.index()])
+            inner.values[a.index()].matmul(inner.values[b.index()].as_ref())
         };
         self.record(
             vec![a, b],
@@ -159,7 +186,7 @@ impl Tape {
     pub fn add(&self, a: Var, b: Var) -> Var {
         let out = {
             let inner = self.inner.borrow();
-            &inner.values[a.index()] + &inner.values[b.index()]
+            inner.values[a.index()].as_ref() + inner.values[b.index()].as_ref()
         };
         self.record(
             vec![a, b],
@@ -177,7 +204,7 @@ impl Tape {
     pub fn sub(&self, a: Var, b: Var) -> Var {
         let out = {
             let inner = self.inner.borrow();
-            &inner.values[a.index()] - &inner.values[b.index()]
+            inner.values[a.index()].as_ref() - inner.values[b.index()].as_ref()
         };
         self.record(
             vec![a, b],
@@ -195,7 +222,7 @@ impl Tape {
     pub fn mul(&self, a: Var, b: Var) -> Var {
         let out = {
             let inner = self.inner.borrow();
-            inner.values[a.index()].hadamard(&inner.values[b.index()])
+            inner.values[a.index()].hadamard(inner.values[b.index()].as_ref())
         };
         self.record(
             vec![a, b],
@@ -299,6 +326,201 @@ impl Tape {
                 let gu = needs[0].then(|| gout.row_sums());
                 let gv = needs[1].then(|| gout.col_sums().transpose());
                 vec![gu, gv]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Sparse message passing
+    // ------------------------------------------------------------------
+
+    /// Sparse-dense product `A @ x` where `A` is a constant CSR aggregator.
+    ///
+    /// The backward pass is `gX = Aᵀ @ g_out`, served by the transpose
+    /// precomputed inside the [`CsrPair`] — no per-step transposition and no
+    /// dense `n x n` materialisation anywhere.
+    pub fn spmm(&self, a: &CsrPair, x: Var) -> Var {
+        let out = a.matrix().spmm(&self.inner.borrow().values[x.index()]);
+        let pair = a.clone();
+        self.record(
+            vec![x],
+            out,
+            Box::new(move |gout, _, _, needs| vec![needs[0].then(|| pair.transposed().spmm(gout))]),
+        )
+    }
+
+    /// Per-edge score gather `out[k] = u[row(k)] + v[col(k)]` over the edges
+    /// of `structure`, in CSR order. `u` and `v` are `n x 1`; the result is
+    /// `nnz x 1`.
+    ///
+    /// This is the sparse counterpart of [`Tape::outer_sum`]: instead of the
+    /// full `n x n` pre-activation attention matrix, only the entries that
+    /// the GAT mask would keep are ever produced.
+    pub fn edge_score_sum(&self, u: Var, v: Var, structure: &Arc<CsrMatrix>) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            let um = inner.values[u.index()].as_ref();
+            let vm = inner.values[v.index()].as_ref();
+            assert_eq!(um.cols(), 1, "edge_score_sum: u must be n x 1");
+            assert_eq!(vm.cols(), 1, "edge_score_sum: v must be n x 1");
+            assert_eq!(um.rows(), structure.rows(), "edge_score_sum: u length");
+            assert_eq!(vm.rows(), structure.cols(), "edge_score_sum: v length");
+            let mut data = Vec::with_capacity(structure.nnz());
+            for (r, c, _) in structure.iter() {
+                data.push(um.get(r, 0) + vm.get(c, 0));
+            }
+            Matrix::from_vec(structure.nnz(), 1, data)
+        };
+        let s = Arc::clone(structure);
+        self.record(
+            vec![u, v],
+            out,
+            Box::new(move |gout, ins, _, needs| {
+                let g = gout.as_slice();
+                let gu = needs[0].then(|| {
+                    let mut m = Matrix::zeros(ins[0].rows(), 1);
+                    for (k, (r, _, _)) in s.iter().enumerate() {
+                        m.set(r, 0, m.get(r, 0) + g[k]);
+                    }
+                    m
+                });
+                let gv = needs[1].then(|| {
+                    let mut m = Matrix::zeros(ins[1].rows(), 1);
+                    for (k, (_, c, _)) in s.iter().enumerate() {
+                        m.set(c, 0, m.get(c, 0) + g[k]);
+                    }
+                    m
+                });
+                vec![gu, gv]
+            }),
+        )
+    }
+
+    /// Softmax of per-edge `scores` (`nnz x 1`, CSR order) normalised within
+    /// each row segment of `structure`.
+    ///
+    /// Rows of `structure` without edges contribute nothing; together with
+    /// [`Tape::edge_gather`] this reproduces [`Tape::masked_softmax_rows`]
+    /// exactly — isolated nodes end up with an all-zero attention row —
+    /// without ever touching the `n x n` mask.
+    pub fn edge_softmax(&self, scores: Var, structure: &Arc<CsrMatrix>) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            let sm = inner.values[scores.index()].as_ref();
+            assert_eq!(
+                sm.shape(),
+                (structure.nnz(), 1),
+                "edge_softmax: scores must be nnz x 1"
+            );
+            let mut data = sm.as_slice().to_vec();
+            for r in 0..structure.rows() {
+                let seg = structure.row_range(r);
+                if seg.is_empty() {
+                    continue;
+                }
+                let mx = data[seg.clone()].iter().copied().fold(f32::MIN, f32::max);
+                let mut denom = 0.0;
+                for x in &mut data[seg.clone()] {
+                    *x = (*x - mx).exp();
+                    denom += *x;
+                }
+                for x in &mut data[seg] {
+                    *x /= denom;
+                }
+            }
+            Matrix::from_vec(structure.nnz(), 1, data)
+        };
+        let s = Arc::clone(structure);
+        self.record(
+            vec![scores],
+            out,
+            Box::new(move |gout, _, outv, needs| {
+                vec![needs[0].then(|| {
+                    // Per segment: g_k = α_k (gout_k − Σ_l α_l gout_l).
+                    let alpha = outv.as_slice();
+                    let g = gout.as_slice();
+                    let mut res = vec![0.0f32; alpha.len()];
+                    for r in 0..s.rows() {
+                        let seg = s.row_range(r);
+                        let dot: f32 = seg.clone().map(|k| alpha[k] * g[k]).sum();
+                        for k in seg {
+                            res[k] = alpha[k] * (g[k] - dot);
+                        }
+                    }
+                    Matrix::from_vec(alpha.len(), 1, res)
+                })]
+            }),
+        )
+    }
+
+    /// Edge-weighted neighbourhood gather:
+    /// `out[i] = Σ_{k ∈ row(i)} alpha[k] · z[col(k)]`.
+    ///
+    /// `alpha` is `nnz x 1` (CSR order over `structure`), `z` is `n x d`;
+    /// the result is `n x d`. This is the sparse `α @ Z` of GAT.
+    pub fn edge_gather(&self, alpha: Var, z: Var, structure: &Arc<CsrMatrix>) -> Var {
+        let out = {
+            let inner = self.inner.borrow();
+            let am = inner.values[alpha.index()].as_ref();
+            let zm = inner.values[z.index()].as_ref();
+            assert_eq!(
+                am.shape(),
+                (structure.nnz(), 1),
+                "edge_gather: alpha must be nnz x 1"
+            );
+            assert_eq!(zm.rows(), structure.cols(), "edge_gather: z row count");
+            let d = zm.cols();
+            let mut outm = Matrix::zeros(structure.rows(), d);
+            let a = am.as_slice();
+            let data = outm.as_mut_slice();
+            for r in 0..structure.rows() {
+                let orow = &mut data[r * d..(r + 1) * d];
+                for (k, &c) in structure.row_range(r).zip(structure.row_cols(r)) {
+                    let zrow = zm.row(c as usize);
+                    for (o, zv) in orow.iter_mut().zip(zrow) {
+                        *o += a[k] * zv;
+                    }
+                }
+            }
+            outm
+        };
+        let s = Arc::clone(structure);
+        self.record(
+            vec![alpha, z],
+            out,
+            Box::new(move |gout, ins, _, needs| {
+                let (am, zm) = (ins[0], ins[1]);
+                let ga = needs[0].then(|| {
+                    let mut res = vec![0.0f32; am.rows()];
+                    for r in 0..s.rows() {
+                        let grow = gout.row(r);
+                        for (k, &c) in s.row_range(r).zip(s.row_cols(r)) {
+                            res[k] = grow
+                                .iter()
+                                .zip(zm.row(c as usize))
+                                .map(|(g, zv)| g * zv)
+                                .sum();
+                        }
+                    }
+                    Matrix::from_vec(am.rows(), 1, res)
+                });
+                let gz = needs[1].then(|| {
+                    let d = zm.cols();
+                    let a = am.as_slice();
+                    let mut res = Matrix::zeros(zm.rows(), d);
+                    let data = res.as_mut_slice();
+                    for r in 0..s.rows() {
+                        let grow = gout.row(r);
+                        for (k, &c) in s.row_range(r).zip(s.row_cols(r)) {
+                            let zrow = &mut data[c as usize * d..(c as usize + 1) * d];
+                            for (o, g) in zrow.iter_mut().zip(grow) {
+                                *o += a[k] * g;
+                            }
+                        }
+                    }
+                    res
+                });
+                vec![ga, gz]
             }),
         )
     }
@@ -473,11 +695,14 @@ impl Tape {
     ///
     /// Masked-out entries are exactly zero in the output. Rows whose mask is
     /// entirely zero produce an all-zero row (isolated CFG nodes receive no
-    /// attention mass). This is the attention normaliser of GAT.
-    pub fn masked_softmax_rows(&self, a: Var, mask: &Matrix) -> Var {
-        let mask = mask.clone();
+    /// attention mass). This is the attention normaliser of the dense GAT
+    /// fallback; the CSR path uses [`Tape::edge_softmax`] instead. The mask
+    /// is taken as a shared handle so repeated heads/layers never copy it.
+    pub fn masked_softmax_rows(&self, a: Var, mask: &Arc<Matrix>) -> Var {
+        let mask = Arc::clone(mask);
         let out = {
-            let m = &self.inner.borrow().values[a.index()];
+            let m = self.inner.borrow();
+            let m = m.values[a.index()].as_ref();
             assert_eq!(m.shape(), mask.shape(), "masked_softmax_rows: mask shape");
             masked_softmax(m, &mask)
         };
@@ -512,7 +737,8 @@ impl Tape {
     pub fn softmax_cross_entropy(&self, logits: Var, targets: &[usize]) -> Var {
         let targets = targets.to_vec();
         let out = {
-            let m = &self.inner.borrow().values[logits.index()];
+            let inner = self.inner.borrow();
+            let m = inner.values[logits.index()].as_ref();
             assert_eq!(targets.len(), m.rows(), "softmax_ce: target count");
             let probs = softmax_rows(m);
             let mut loss = 0.0;
@@ -582,10 +808,13 @@ impl Tape {
             let Some(gout) = grads[step.out].take() else {
                 continue;
             };
-            let input_values: Vec<&Matrix> =
-                step.inputs.iter().map(|&i| &inner.values[i]).collect();
+            let input_values: Vec<&Matrix> = step
+                .inputs
+                .iter()
+                .map(|&i| inner.values[i].as_ref())
+                .collect();
             let needs: Vec<bool> = step.inputs.iter().map(|&i| inner.needs_grad[i]).collect();
-            let out_value = &inner.values[step.out];
+            let out_value = inner.values[step.out].as_ref();
             let input_grads = (step.backward)(&gout, &input_values, out_value, &needs);
             debug_assert_eq!(input_grads.len(), step.inputs.len());
             for (&idx, grad) in step.inputs.iter().zip(input_grads) {
@@ -622,13 +851,17 @@ pub fn softmax_rows(m: &Matrix) -> Matrix {
 }
 
 fn masked_softmax(m: &Matrix, mask: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(m.rows(), m.cols());
-    for r in 0..m.rows() {
+    let (rows, cols) = m.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        // Row slices: one bounds check per row instead of one per entry.
+        let mrow = m.row(r);
+        let krow = mask.row(r);
         let mut mx = f32::MIN;
         let mut any = false;
-        for c in 0..m.cols() {
-            if mask.get(r, c) > 0.0 {
-                mx = mx.max(m.get(r, c));
+        for (&x, &k) in mrow.iter().zip(krow) {
+            if k > 0.0 {
+                mx = mx.max(x);
                 any = true;
             }
         }
@@ -636,14 +869,15 @@ fn masked_softmax(m: &Matrix, mask: &Matrix) -> Matrix {
             continue;
         }
         let mut denom = 0.0;
-        for c in 0..m.cols() {
-            if mask.get(r, c) > 0.0 {
-                denom += (m.get(r, c) - mx).exp();
+        for (&x, &k) in mrow.iter().zip(krow) {
+            if k > 0.0 {
+                denom += (x - mx).exp();
             }
         }
-        for c in 0..m.cols() {
-            if mask.get(r, c) > 0.0 {
-                out.set(r, c, (m.get(r, c) - mx).exp() / denom);
+        let orow = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        for ((o, &x), &k) in orow.iter_mut().zip(mrow).zip(krow) {
+            if k > 0.0 {
+                *o = (x - mx).exp() / denom;
             }
         }
     }
@@ -764,13 +998,107 @@ mod tests {
     fn masked_softmax_rows_behaviour() {
         let tape = Tape::new();
         let e = tape.leaf(Matrix::from_vec(2, 2, vec![1., 1., 5., 0.]));
-        let mask = Matrix::from_vec(2, 2, vec![1., 1., 0., 0.]);
+        let mask = Arc::new(Matrix::from_vec(2, 2, vec![1., 1., 0., 0.]));
         let s = tape.masked_softmax_rows(e, &mask);
         let v = tape.value(s);
         assert_close(v.get(0, 0), 0.5, 1e-6);
         assert_close(v.get(0, 1), 0.5, 1e-6);
         assert_eq!(v.get(1, 0), 0.0); // fully masked row
         assert_eq!(v.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn shared_constants_are_interned() {
+        let tape = Tape::new();
+        let m = Arc::new(Matrix::identity(3));
+        let a = tape.constant_shared(&m);
+        let b = tape.constant_shared(&m);
+        assert_eq!(a, b);
+        let before = tape.len();
+        let _ = tape.constant_shared(&m);
+        assert_eq!(tape.len(), before, "re-interning must not grow the tape");
+        // A distinct allocation with equal contents is a different constant.
+        let other = Arc::new(Matrix::identity(3));
+        assert_ne!(tape.constant_shared(&other), a);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul_forward_and_backward() {
+        let adj = Matrix::from_vec(3, 3, vec![0., 1., 0., 0.5, 0., 2., 0., 0., 0.]);
+        let x0 = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 - 2.0);
+
+        let dense_tape = Tape::new();
+        let xd = dense_tape.leaf(x0.clone());
+        let ad = dense_tape.constant(adj.clone());
+        let outd = dense_tape.matmul(ad, xd);
+        let lossd = dense_tape.sum_all(outd);
+        let gd = dense_tape.backward(lossd);
+
+        let sparse_tape = Tape::new();
+        let xs = sparse_tape.leaf(x0.clone());
+        let pair = CsrPair::new(CsrMatrix::from_dense(&adj));
+        let outs = sparse_tape.spmm(&pair, xs);
+        let losss = sparse_tape.sum_all(outs);
+        let gs = sparse_tape.backward(losss);
+
+        assert!(
+            dense_tape
+                .value(outd)
+                .max_abs_diff(&sparse_tape.value(outs))
+                < 1e-6
+        );
+        assert!(gd.of(xd).unwrap().max_abs_diff(gs.of(xs).unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn edge_ops_match_dense_gat_attention() {
+        // mask = chain 0->1->2 plus self-loops.
+        let mut mask = Matrix::identity(3);
+        mask.set(0, 1, 1.0);
+        mask.set(1, 2, 1.0);
+        let structure = Arc::new(CsrMatrix::from_dense(&mask));
+        let s_src = Matrix::from_vec(3, 1, vec![0.3, -1.0, 0.7]);
+        let s_dst = Matrix::from_vec(3, 1, vec![-0.2, 0.9, 0.1]);
+        let z0 = Matrix::from_fn(3, 2, |r, c| (r as f32) - (c as f32) * 0.5);
+
+        // Dense reference.
+        let dt = Tape::new();
+        let (ud, vd) = (dt.leaf(s_src.clone()), dt.leaf(s_dst.clone()));
+        let zd = dt.leaf(z0.clone());
+        let ed = dt.outer_sum(ud, vd);
+        let ed = dt.leaky_relu(ed, 0.2);
+        let alphad = dt.masked_softmax_rows(ed, &Arc::new(mask.clone()));
+        let outd = dt.matmul(alphad, zd);
+        let lossd = dt.sum_all(outd);
+        let gd = dt.backward(lossd);
+
+        // Sparse path.
+        let st = Tape::new();
+        let (us, vs) = (st.leaf(s_src.clone()), st.leaf(s_dst.clone()));
+        let zs = st.leaf(z0.clone());
+        let es = st.edge_score_sum(us, vs, &structure);
+        let es = st.leaky_relu(es, 0.2);
+        let alphas = st.edge_softmax(es, &structure);
+        let outs = st.edge_gather(alphas, zs, &structure);
+        let losss = st.sum_all(outs);
+        let gs = st.backward(losss);
+
+        assert!(dt.value(outd).max_abs_diff(&st.value(outs)) < 1e-6);
+        assert!(gd.of(ud).unwrap().max_abs_diff(gs.of(us).unwrap()) < 1e-5);
+        assert!(gd.of(vd).unwrap().max_abs_diff(gs.of(vs).unwrap()) < 1e-5);
+        assert!(gd.of(zd).unwrap().max_abs_diff(gs.of(zs).unwrap()) < 1e-5);
+    }
+
+    #[test]
+    fn edge_softmax_handles_empty_rows() {
+        // Row 1 has no edges at all.
+        let structure = Arc::new(CsrMatrix::from_edges(2, 2, &[(0, 0, 1.0), (0, 1, 1.0)]));
+        let tape = Tape::new();
+        let scores = tape.leaf(Matrix::from_vec(2, 1, vec![1.0, 1.0]));
+        let alpha = tape.edge_softmax(scores, &structure);
+        let v = tape.value(alpha);
+        assert_close(v.get(0, 0), 0.5, 1e-6);
+        assert_close(v.get(1, 0), 0.5, 1e-6);
     }
 
     #[test]

@@ -58,8 +58,8 @@ fn wasm_and_evm_prepare_into_identical_tensor_shapes() {
     // Node counts differ; feature dimensionality MUST NOT — that is the
     // platform-agnosticism contract.
     assert_eq!(ge.feature_dim(), gw.feature_dim());
-    assert_eq!(ge.adj.shape(), (ge.node_count(), ge.node_count()));
-    assert_eq!(gw.adj.shape(), (gw.node_count(), gw.node_count()));
+    assert_eq!(ge.adj.matrix().shape(), (ge.node_count(), ge.node_count()));
+    assert_eq!(gw.adj.matrix().shape(), (gw.node_count(), gw.node_count()));
 }
 
 #[test]

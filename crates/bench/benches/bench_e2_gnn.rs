@@ -1,9 +1,10 @@
 //! E2 / Table 2 — GNN architecture comparison over CFGs.
 //!
 //! Prints the regenerated table (quick profile), then benchmarks one
-//! training epoch and one inference pass per architecture, and finally a
+//! training epoch and one inference pass per architecture, a
 //! dense-vs-sparse (CSR) comparison of forward and one-epoch throughput
-//! across synthetic CFG sizes.
+//! across synthetic CFG sizes, and the block-diagonal batched epoch
+//! against the per-graph unbatched baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use scamdetect::experiment::{run_e2_gnns, Profile};
@@ -11,7 +12,8 @@ use scamdetect::featurize::prepare_graphs;
 use scamdetect_bench::print_eval_table;
 use scamdetect_dataset::{Corpus, CorpusConfig};
 use scamdetect_gnn::{
-    synthetic_sparse_graph, train, train_dense, GnnClassifier, GnnConfig, GnnKind, TrainConfig,
+    synthetic_sparse_graph, train, train_batched, train_dense, train_unbatched, BatchTrainConfig,
+    GnnClassifier, GnnConfig, GnnKind, PreparedGraph, TrainConfig,
 };
 use scamdetect_ir::features::NODE_FEATURE_DIM;
 use std::hint::black_box;
@@ -46,13 +48,62 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
             group.bench_function(format!("{kind}_epoch_sparse_n{n}"), |b| {
                 b.iter(|| {
                     let mut m = GnnClassifier::new(GnnConfig::new(kind, dim).with_seed(3));
-                    black_box(train(&mut m, &data, &cfg))
+                    black_box(train_unbatched(&mut m, &data, &cfg))
                 })
             });
             group.bench_function(format!("{kind}_epoch_dense_n{n}"), |b| {
                 b.iter(|| {
                     let mut m = GnnClassifier::new(GnnConfig::new(kind, dim).with_seed(3));
                     black_box(train_dense(&mut m, &dense_data, &cfg))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Block-diagonal batched epoch vs the per-graph unbatched baseline: the
+/// same 32-graph dataset, the same hyperparameters (batch size 8), one
+/// epoch each. The batched path packs each gradient step into one
+/// `GraphBatch` and runs one tape forward/backward for the whole batch.
+fn bench_batched_vs_unbatched(c: &mut Criterion) {
+    let dim = 8;
+    let graphs_per_set = 32;
+    let mut group = c.benchmark_group("e2_batched_vs_unbatched");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let data: Vec<PreparedGraph> = (0..graphs_per_set)
+            .map(|i| synthetic_sparse_graph(n, 0, dim, (n + i) as u64))
+            .collect();
+        let batched_cfg = BatchTrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            loss_target: 0.0,
+            ..BatchTrainConfig::default()
+        };
+        let unbatched_cfg = batched_cfg.unbatched();
+        for kind in [GnnKind::Gcn, GnnKind::Gat] {
+            group.bench_function(format!("{kind}_epoch_batched_n{n}"), |b| {
+                b.iter(|| {
+                    let mut m = GnnClassifier::new(GnnConfig::new(kind, dim).with_seed(3));
+                    black_box(train_batched(&mut m, &data, &batched_cfg))
+                })
+            });
+            group.bench_function(format!("{kind}_epoch_unbatched_n{n}"), |b| {
+                b.iter(|| {
+                    let mut m = GnnClassifier::new(GnnConfig::new(kind, dim).with_seed(3));
+                    black_box(train_unbatched(&mut m, &data, &unbatched_cfg))
+                })
+            });
+            // Bucketed variant: batches packed once, shuffled by batch.
+            let bucketed_cfg = BatchTrainConfig {
+                bucket_by_size: true,
+                ..batched_cfg.clone()
+            };
+            group.bench_function(format!("{kind}_epoch_bucketed_n{n}"), |b| {
+                b.iter(|| {
+                    let mut m = GnnClassifier::new(GnnConfig::new(kind, dim).with_seed(3));
+                    black_box(train_batched(&mut m, &data, &bucketed_cfg))
                 })
             });
         }
@@ -80,9 +131,9 @@ fn bench_e2(c: &mut Criterion) {
             b.iter(|| {
                 let mut model =
                     GnnClassifier::new(GnnConfig::new(kind, NODE_FEATURE_DIM).with_seed(3));
-                let cfg = TrainConfig {
+                let cfg = BatchTrainConfig {
                     epochs: 1,
-                    ..TrainConfig::default()
+                    ..BatchTrainConfig::default()
                 };
                 black_box(train(&mut model, &graphs, &cfg))
             })
@@ -99,5 +150,10 @@ fn bench_e2(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_e2, bench_sparse_vs_dense);
+criterion_group!(
+    benches,
+    bench_e2,
+    bench_sparse_vs_dense,
+    bench_batched_vs_unbatched
+);
 criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! CI bench-smoke: a fast, JSON-emitting subset of the benchmark suite
+//! with a regression gate on batched GNN training.
+//!
+//! ```text
+//! cargo run --release -p scamdetect-bench --bin bench_smoke [-- --out BENCH_PR3.json]
+//! ```
+//!
+//! Measures two things in well under a minute:
+//!
+//! * **E2 batched-vs-unbatched** — one training epoch over 32 synthetic
+//!   CFG-shaped graphs at n ∈ {16, 64}, batch size 8, for GCN and GAT:
+//!   the block-diagonal [`train_batched`] path against the per-graph
+//!   [`train_unbatched`] baseline (best-of-5 to damp CI noise).
+//! * **E6 throughput** — the batch scanning path (skeleton dedup + worker
+//!   fan-out) over a proxy-duplicated corpus, in contracts per second.
+//!
+//! Results are written as JSON (default `BENCH_PR3.json`; CI uploads the
+//! file as a workflow artifact). The process exits nonzero when the gate
+//! fails: a batched epoch slower than its unbatched baseline at any
+//! measured size is a regression of exactly the path this suite exists to
+//! protect.
+//!
+//! [`train_batched`]: scamdetect_gnn::train_batched
+//! [`train_unbatched`]: scamdetect_gnn::train_unbatched
+
+use scamdetect::{ScanRequest, ScannerBuilder};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_gnn::{
+    synthetic_sparse_graph, train_batched, train_unbatched, BatchTrainConfig, GnnClassifier,
+    GnnConfig, GnnKind, PreparedGraph,
+};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Repetitions per measurement; the minimum is reported.
+const REPS: usize = 5;
+/// Graphs per synthetic training set.
+const GRAPHS: usize = 32;
+/// Graphs per gradient step in the batched configuration.
+const BATCH_SIZE: usize = 8;
+
+/// One E2 comparison cell.
+struct EpochCell {
+    arch: GnnKind,
+    n: usize,
+    unbatched_us: f64,
+    batched_us: f64,
+}
+
+impl EpochCell {
+    fn speedup(&self) -> f64 {
+        self.unbatched_us / self.batched_us.max(1e-9)
+    }
+
+    /// Gate floor for this cell: the batched epoch must stay above this
+    /// fraction of the unbatched baseline's speed. The floor sits well
+    /// below the speedup recorded at PR time (~1.3x at n=16, ~1.07x at
+    /// n=64 on one core) so shared-runner jitter — ~10-20% even on
+    /// best-of-5 minima — cannot fail an innocent change, while a change
+    /// that makes the batched path materially slower than the per-graph
+    /// baseline still trips it.
+    fn gate_floor(&self) -> f64 {
+        if self.n <= 16 {
+            0.9
+        } else {
+            0.8
+        }
+    }
+
+    fn passes_gate(&self) -> bool {
+        self.speedup() >= self.gate_floor()
+    }
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn measure_epochs() -> Vec<EpochCell> {
+    let dim = 8;
+    let mut cells = Vec::new();
+    for n in [16usize, 64] {
+        let data: Vec<PreparedGraph> = (0..GRAPHS)
+            .map(|i| synthetic_sparse_graph(n, 0, dim, (n + i) as u64))
+            .collect();
+        let batched_cfg = BatchTrainConfig {
+            epochs: 1,
+            batch_size: BATCH_SIZE,
+            loss_target: 0.0,
+            ..BatchTrainConfig::default()
+        };
+        let unbatched_cfg = batched_cfg.unbatched();
+        for arch in [GnnKind::Gcn, GnnKind::Gat] {
+            let batched_us = best_of(REPS, || {
+                let mut m = GnnClassifier::new(GnnConfig::new(arch, dim).with_seed(3));
+                train_batched(&mut m, &data, &batched_cfg)
+            });
+            let unbatched_us = best_of(REPS, || {
+                let mut m = GnnClassifier::new(GnnConfig::new(arch, dim).with_seed(3));
+                train_unbatched(&mut m, &data, &unbatched_cfg)
+            });
+            cells.push(EpochCell {
+                arch,
+                n,
+                unbatched_us,
+                batched_us,
+            });
+        }
+    }
+    cells
+}
+
+/// E6 batch-scan throughput over a duplicate-heavy corpus.
+struct Throughput {
+    contracts: usize,
+    total_bytes: usize,
+    elapsed_us: f64,
+}
+
+impl Throughput {
+    fn contracts_per_sec(&self) -> f64 {
+        self.contracts as f64 / (self.elapsed_us / 1e6).max(1e-9)
+    }
+}
+
+fn measure_throughput() -> Throughput {
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 120,
+        seed: 6,
+        proxy_duplicates: 30,
+        ..CorpusConfig::default()
+    });
+    let scanner = ScannerBuilder::new()
+        .train(&corpus)
+        .expect("scanner trains");
+    let requests: Vec<ScanRequest> = corpus
+        .contracts()
+        .iter()
+        .map(|c| ScanRequest::new(&c.bytes))
+        .collect();
+    let elapsed_us = best_of(3, || {
+        scanner.clear_cache();
+        for outcome in scanner.scan_batch(&requests) {
+            black_box(outcome.expect("batch scan succeeds"));
+        }
+    });
+    Throughput {
+        contracts: requests.len(),
+        total_bytes: corpus.contracts().iter().map(|c| c.bytes.len()).sum(),
+        elapsed_us,
+    }
+}
+
+fn render_json(cells: &[EpochCell], tp: &Throughput, gate_pass: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"scamdetect-bench-smoke/v1\",\n");
+    out.push_str("  \"e2_batched_vs_unbatched\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"arch\": \"{}\", \"n\": {}, \"graphs\": {GRAPHS}, \"batch_size\": {BATCH_SIZE}, \
+             \"unbatched_epoch_us\": {:.1}, \"batched_epoch_us\": {:.1}, \"speedup\": {:.2}, \
+             \"gate_floor\": {:.2}}}{}",
+            c.arch,
+            c.n,
+            c.unbatched_us,
+            c.batched_us,
+            c.speedup(),
+            c.gate_floor(),
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"e6_scan_batch\": {{\"contracts\": {}, \"total_bytes\": {}, \"elapsed_us\": {:.1}, \
+         \"contracts_per_sec\": {:.0}}},",
+        tp.contracts,
+        tp.total_bytes,
+        tp.elapsed_us,
+        tp.contracts_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "  \"gate\": {{\"pass\": {gate_pass}, \"rule\": \"batched epoch must not regress past \
+         the unbatched baseline at any measured size, beyond each cell's noise-floor \
+         gate_floor\"}}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_PR3.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => {
+                        eprintln!("--out needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option '{other}' (usage: bench_smoke [--out <path>])");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("bench-smoke: E2 batched-vs-unbatched epochs ({GRAPHS} graphs, batch {BATCH_SIZE})");
+    let cells = measure_epochs();
+    for c in &cells {
+        eprintln!(
+            "  {}  n={:<4} unbatched {:>9.1}us  batched {:>9.1}us  ({:.2}x)",
+            c.arch,
+            c.n,
+            c.unbatched_us,
+            c.batched_us,
+            c.speedup()
+        );
+    }
+    eprintln!("bench-smoke: E6 batch-scan throughput");
+    let tp = measure_throughput();
+    eprintln!(
+        "  {} contracts in {:.1}ms ({:.0} contracts/s)",
+        tp.contracts,
+        tp.elapsed_us / 1e3,
+        tp.contracts_per_sec()
+    );
+
+    let regressions: Vec<&EpochCell> = cells.iter().filter(|c| !c.passes_gate()).collect();
+    let gate_pass = regressions.is_empty();
+    let json = render_json(&cells, &tp, gate_pass);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench-smoke: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench-smoke: wrote {out_path}");
+
+    if !gate_pass {
+        for c in &regressions {
+            eprintln!(
+                "bench-smoke: REGRESSION {} n={}: batched epoch {:.1}us vs unbatched {:.1}us \
+                 ({:.2}x, floor {:.2}x)",
+                c.arch,
+                c.n,
+                c.batched_us,
+                c.unbatched_us,
+                c.speedup(),
+                c.gate_floor()
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench-smoke: gate passed");
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,9 @@
 //!   --seed <n>                                     corpus seed (default 42)
 //!   --threshold <p>                                decision threshold (default 0.5)
 //!   --workers <n>                                  batch worker threads (default: cores)
+//!   --gnn-batch <n>                                graphs per GNN training batch (default 16)
+//!   --bucket                                       length-bucket GNN training batches by
+//!                                                  node count (pack once, bounded batches)
 //! ```
 //!
 //! Contract files contain hex bytes (optional `0x` prefix, whitespace
@@ -145,6 +148,8 @@ struct ScanOptions {
     seed: u64,
     threshold: f64,
     workers: usize,
+    gnn_batch: usize,
+    bucket: bool,
     paths: Vec<String>,
 }
 
@@ -155,6 +160,8 @@ fn parse_scan_options(args: &[String]) -> Result<ScanOptions, Box<dyn std::error
         seed: 42,
         threshold: 0.5,
         workers: 0,
+        gnn_batch: 16,
+        bucket: false,
         paths: Vec::new(),
     };
     let mut i = 0;
@@ -185,6 +192,14 @@ fn parse_scan_options(args: &[String]) -> Result<ScanOptions, Box<dyn std::error
                 i += 1;
                 opts.workers = args.get(i).ok_or("--workers needs a value")?.parse()?;
             }
+            "--gnn-batch" => {
+                i += 1;
+                opts.gnn_batch = args.get(i).ok_or("--gnn-batch needs a value")?.parse()?;
+                if opts.gnn_batch == 0 {
+                    return Err("--gnn-batch must be at least 1".into());
+                }
+            }
+            "--bucket" => opts.bucket = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'").into()),
             path => opts.paths.push(path.to_string()),
         }
@@ -246,6 +261,10 @@ fn train_scanner(
     let mut train = TrainOptions::default();
     train.gnn.epochs = 30;
     train.gnn.lr = 1e-2;
+    // Block-diagonal mini-batch knobs: graphs per tape, and optional
+    // length-bucketing so batches of similar-sized CFGs pack once.
+    train.gnn.batch_size = opts.gnn_batch;
+    train.gnn.bucket_by_size = opts.bucket;
     Ok(ScannerBuilder::new()
         .model(opts.model)
         .threshold(opts.threshold)

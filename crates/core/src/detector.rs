@@ -74,8 +74,12 @@ pub enum ModelKind {
 /// Training options.
 #[derive(Debug, Clone)]
 pub struct TrainOptions {
-    /// GNN training hyperparameters (ignored by classic models).
-    pub gnn: gnn::TrainConfig,
+    /// GNN training hyperparameters (ignored by classic models). This is
+    /// the block-diagonal mini-batch configuration: every GNN detector
+    /// trains through [`gnn::train_batched`], one tape per batch of
+    /// graphs. `bucket_by_size` / `max_batch_nodes` expose the batching
+    /// knobs end to end.
+    pub gnn: gnn::BatchTrainConfig,
     /// Seed for model initialisation.
     pub seed: u64,
 }
@@ -83,7 +87,7 @@ pub struct TrainOptions {
 impl Default for TrainOptions {
     fn default() -> Self {
         TrainOptions {
-            gnn: gnn::TrainConfig::default(),
+            gnn: gnn::BatchTrainConfig::default(),
             seed: 0xD07,
         }
     }

@@ -8,7 +8,7 @@ use crate::detector::{ClassicModel, Detector, ModelKind, TrainOptions};
 use crate::error::ScamDetectError;
 use crate::featurize::{self, FeatureKind};
 use scamdetect_dataset::{Contract, ContractSource, Corpus, CorpusConfig};
-use scamdetect_gnn::{GnnKind, TrainConfig};
+use scamdetect_gnn::{BatchTrainConfig, GnnKind};
 use scamdetect_ir::Platform;
 use scamdetect_ml::{fit_evaluate, EvalRow};
 use scamdetect_obfuscate::{apply_evm_pass, EvmPassKind, ObfuscationLevel};
@@ -22,7 +22,7 @@ pub struct Profile {
     /// Held-out fraction.
     pub test_fraction: f64,
     /// GNN training hyperparameters.
-    pub gnn: TrainConfig,
+    pub gnn: BatchTrainConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -33,11 +33,11 @@ impl Profile {
         Profile {
             corpus_size: 80,
             test_fraction: 0.3,
-            gnn: TrainConfig {
+            gnn: BatchTrainConfig {
                 epochs: 12,
                 batch_size: 16,
                 lr: 1e-2,
-                ..TrainConfig::default()
+                ..BatchTrainConfig::default()
             },
             seed: 0xE0,
         }
@@ -48,11 +48,11 @@ impl Profile {
         Profile {
             corpus_size: 600,
             test_fraction: 0.3,
-            gnn: TrainConfig {
+            gnn: BatchTrainConfig {
                 epochs: 60,
                 batch_size: 16,
                 lr: 1e-2,
-                ..TrainConfig::default()
+                ..BatchTrainConfig::default()
             },
             seed: 0xE0,
         }
@@ -566,10 +566,10 @@ mod tests {
         Profile {
             corpus_size: 36,
             test_fraction: 0.3,
-            gnn: TrainConfig {
+            gnn: BatchTrainConfig {
                 epochs: 2,
                 batch_size: 12,
-                ..TrainConfig::default()
+                ..BatchTrainConfig::default()
             },
             seed: 0xF00,
         }

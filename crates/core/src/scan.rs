@@ -175,6 +175,14 @@ pub type ScanOutcome = Result<ScanReport, ScamDetectError>;
 
 /// Fluent configuration for a [`Scanner`].
 ///
+/// GNN detectors train through the block-diagonal mini-batch path: each
+/// gradient step packs [`TrainOptions::gnn`]`.batch_size` graphs into one
+/// `GraphBatch` and runs a single tape forward/backward. The batching
+/// knobs ride along on the same options struct — `batch_size` (graphs per
+/// step), `bucket_by_size` (pack similar-sized graphs together, pay the
+/// packing cost once per run) and `max_batch_nodes` (cap the node count
+/// any one batch carries).
+///
 /// ```
 /// use scamdetect::{GnnKind, ModelKind, ScannerBuilder};
 /// use scamdetect_dataset::{Corpus, CorpusConfig};
@@ -186,6 +194,8 @@ pub type ScanOutcome = Result<ScanReport, ScamDetectError>;
 ///     .train_options({
 ///         let mut o = scamdetect::TrainOptions::default();
 ///         o.gnn.epochs = 2; // smoke-level
+///         o.gnn.batch_size = 8; // graphs per block-diagonal batch
+///         o.gnn.bucket_by_size = true; // bound per-batch node counts
 ///         o
 ///     })
 ///     .threshold(0.6)

@@ -12,7 +12,7 @@
 //! * [`word`] — 256-bit wrapping arithmetic for constant folding,
 //! * [`stack`] / [`memory_model`] — abstract stack and word-granular
 //!   abstract memory simulation,
-//! * [`cfg`] — basic-block recovery with static jump resolution by
+//! * [`mod@cfg`] — basic-block recovery with static jump resolution by
 //!   constant propagation through stack *and* memory (the structural
 //!   representation the GNNs consume),
 //! * [`lift`] — lifting raw bytecode back to label-form assembly so the

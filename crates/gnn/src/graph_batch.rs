@@ -1,13 +1,56 @@
-//! Conversion from unified CFGs to tensor form.
+//! Conversion from unified CFGs to tensor form, and mini-batch packing.
 //!
 //! [`PreparedGraph`] is the sparse (CSR) representation every scan and
-//! training step runs on; [`DenseGraph`] is the dense fallback kept for
-//! equivalence testing and benchmarking.
+//! training step runs on; [`GraphBatch`] packs `K` prepared graphs into one
+//! block-diagonal operator set so a single tape forward/backward scores all
+//! of them; [`DenseGraph`] is the dense fallback kept for equivalence
+//! testing and benchmarking.
 
 use scamdetect_ir::features::{dedup_edges_max, edge_list, node_feature_matrix, NODE_FEATURE_DIM};
 use scamdetect_ir::UnifiedCfg;
 use scamdetect_tensor::{CsrMatrix, CsrPair, Matrix};
+use std::fmt;
 use std::sync::Arc;
+
+/// A malformed graph description rejected during preparation.
+///
+/// Graph preparation sits on the untrusted edge of the pipeline (CFG
+/// frontends, synthetic generators, external callers building edge lists),
+/// so structural problems surface as proper errors in every build profile —
+/// not as `debug_assert`s that release builds skip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint does not name a node of the feature matrix.
+    EdgeOutOfRange {
+        /// The offending `(src, dst)` endpoint pair.
+        edge: (u32, u32),
+        /// Number of nodes the feature matrix declares.
+        nodes: usize,
+    },
+    /// An edge weight is NaN or infinite.
+    NonFiniteWeight {
+        /// The offending `(src, dst)` endpoint pair.
+        edge: (u32, u32),
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EdgeOutOfRange {
+                edge: (u, v),
+                nodes,
+            } => {
+                write!(f, "edge ({u},{v}) out of range for {nodes} nodes")
+            }
+            GraphError::NonFiniteWeight { edge: (u, v) } => {
+                write!(f, "edge ({u},{v}) has a non-finite weight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// A contract CFG prepared for GNN consumption: node features plus the
 /// aggregation operators every supported architecture needs, precomputed
@@ -94,14 +137,39 @@ impl PreparedGraph {
     ///
     /// # Panics
     ///
-    /// Panics if an edge endpoint is out of range for `x`'s `n` rows.
-    pub fn from_edges(x: Matrix, mut edges: Vec<(u32, u32, f32)>, label: usize) -> Self {
+    /// Panics if an edge endpoint is out of range for `x`'s `n` rows or a
+    /// weight is non-finite — see [`PreparedGraph::try_from_edges`] for the
+    /// fallible variant.
+    pub fn from_edges(x: Matrix, edges: Vec<(u32, u32, f32)>, label: usize) -> Self {
+        PreparedGraph::try_from_edges(x, edges, label).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PreparedGraph::from_edges`]: validates every edge in every
+    /// build profile.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeOutOfRange`] when an endpoint does not name a row
+    /// of `x`, [`GraphError::NonFiniteWeight`] when a weight is NaN or
+    /// infinite. Release builds reject exactly what debug builds reject —
+    /// out-of-range indices must never survive to index arithmetic inside
+    /// the CSR kernels.
+    pub fn try_from_edges(
+        x: Matrix,
+        mut edges: Vec<(u32, u32, f32)>,
+        label: usize,
+    ) -> Result<Self, GraphError> {
         let n = x.rows();
-        for &(u, v, _) in &edges {
-            assert!(
-                (u as usize) < n && (v as usize) < n,
-                "edge ({u},{v}) out of range for {n} nodes"
-            );
+        for &(u, v, w) in &edges {
+            if (u as usize) >= n || (v as usize) >= n {
+                return Err(GraphError::EdgeOutOfRange {
+                    edge: (u, v),
+                    nodes: n,
+                });
+            }
+            if !w.is_finite() {
+                return Err(GraphError::NonFiniteWeight { edge: (u, v) });
+            }
         }
         // Non-positive weights are indistinguishable from absent edges in
         // the dense formulation (the attention mask keeps entries > 0 only);
@@ -160,7 +228,7 @@ impl PreparedGraph {
             .collect();
         let agg_mean = CsrMatrix::from_edges(n, n, &mean_edges);
 
-        PreparedGraph {
+        Ok(PreparedGraph {
             x: Arc::new(x),
             edges,
             adj: CsrPair::new(adj),
@@ -168,7 +236,7 @@ impl PreparedGraph {
             agg_mean: CsrPair::new(agg_mean),
             mask: Arc::new(mask),
             label,
-        }
+        })
     }
 
     /// Number of nodes.
@@ -203,6 +271,136 @@ impl DenseGraph {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.x.rows()
+    }
+}
+
+/// `K` prepared graphs packed into one block-diagonal operator set.
+///
+/// Node features are stacked row-wise, every aggregator becomes one
+/// block-diagonal CSR ([`CsrPair::block_diag`] — the precomputed per-graph
+/// transposes are reused, nothing is re-sorted), and the per-graph node
+/// ranges are kept as [`GraphBatch::offsets`] so the segment readouts pool
+/// each graph to its own logits row. One tape forward/backward over a batch
+/// scores all `K` graphs; because attention softmax normalises per CSR row
+/// and no row couples two blocks, GAT batches with zero cross-graph
+/// leakage. Per-graph results are independent of which other graphs share
+/// the batch to float roundoff (kernel selection inside `matmul` depends
+/// on operand size, so stacking can change the last ulp, nothing more).
+///
+/// # Examples
+///
+/// ```
+/// use scamdetect_gnn::{GraphBatch, PreparedGraph};
+/// use scamdetect_tensor::Matrix;
+///
+/// let a = PreparedGraph::from_parts(Matrix::identity(3), Matrix::zeros(3, 3), 0);
+/// let b = PreparedGraph::from_parts(Matrix::identity(3), Matrix::zeros(3, 3), 1);
+/// let batch = GraphBatch::pack(&[&a, &b]);
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.node_count(), 6);
+/// assert_eq!(batch.node_range(1), 3..6);
+/// assert_eq!(batch.labels(), &[0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBatch {
+    /// Stacked node features, `(Σ n_k) x d`.
+    pub x: Arc<Matrix>,
+    /// Block-diagonal raw adjacency (sum aggregation, GIN).
+    pub adj: CsrPair,
+    /// Block-diagonal GCN normalisation.
+    pub agg_gcn: CsrPair,
+    /// Block-diagonal row-normalised adjacency (mean aggregation, SAGE).
+    pub agg_mean: CsrPair,
+    /// Block-diagonal attention structure `A + I`.
+    pub mask: Arc<CsrMatrix>,
+    /// `K + 1` node offsets: graph `k` owns rows `offsets[k]..offsets[k+1]`.
+    offsets: Vec<usize>,
+    /// Per-graph binary labels, length `K`.
+    labels: Vec<usize>,
+}
+
+impl GraphBatch {
+    /// Packs `graphs` into one block-diagonal batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or the feature widths disagree.
+    pub fn pack(graphs: &[&PreparedGraph]) -> Self {
+        assert!(!graphs.is_empty(), "GraphBatch::pack: empty batch");
+        let d = graphs[0].feature_dim();
+        let mut offsets = Vec::with_capacity(graphs.len() + 1);
+        offsets.push(0usize);
+        let total: usize = graphs.iter().map(|g| g.node_count()).sum();
+        let mut data = Vec::with_capacity(total * d);
+        for g in graphs {
+            assert_eq!(
+                g.feature_dim(),
+                d,
+                "GraphBatch::pack: feature width mismatch ({} vs {d})",
+                g.feature_dim()
+            );
+            offsets.push(offsets.last().expect("nonempty") + g.node_count());
+            data.extend_from_slice(g.x.as_slice());
+        }
+        let pairs = |f: fn(&PreparedGraph) -> &CsrPair| {
+            let blocks: Vec<&CsrPair> = graphs.iter().map(|g| f(g)).collect();
+            CsrPair::block_diag(&blocks)
+        };
+        let masks: Vec<&CsrMatrix> = graphs.iter().map(|g| g.mask.as_ref()).collect();
+        GraphBatch {
+            x: Arc::new(Matrix::from_vec(total, d, data)),
+            adj: pairs(|g| &g.adj),
+            agg_gcn: pairs(|g| &g.agg_gcn),
+            agg_mean: pairs(|g| &g.agg_mean),
+            mask: Arc::new(CsrMatrix::block_diag(&masks)),
+            offsets,
+            labels: graphs.iter().map(|g| g.label).collect(),
+        }
+    }
+
+    /// Packs an owned slice of graphs (convenience over [`GraphBatch::pack`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or the feature widths disagree.
+    pub fn from_graphs(graphs: &[PreparedGraph]) -> Self {
+        let refs: Vec<&PreparedGraph> = graphs.iter().collect();
+        GraphBatch::pack(&refs)
+    }
+
+    /// Number of graphs `K` in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` only for the unreachable zero-graph case ([`GraphBatch::pack`]
+    /// rejects it); provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Total stacked node count `Σ n_k`.
+    pub fn node_count(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// The `K + 1` node offsets delimiting each graph's row range.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Node rows owned by graph `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn node_range(&self, k: usize) -> std::ops::Range<usize> {
+        self.offsets[k]..self.offsets[k + 1]
+    }
+
+    /// Per-graph labels, aligned with packing order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
     }
 }
 
@@ -308,5 +506,101 @@ mod tests {
     #[should_panic(expected = "n x n")]
     fn shape_mismatch_panics() {
         PreparedGraph::from_parts(Matrix::zeros(3, 2), Matrix::zeros(2, 2), 0);
+    }
+
+    /// Regression: out-of-range endpoints must be rejected in *every* build
+    /// profile — this test is part of the release-mode test run, where a
+    /// `debug_assert` would be compiled out.
+    #[test]
+    fn out_of_range_edges_rejected_in_release_too() {
+        let err = PreparedGraph::try_from_edges(Matrix::identity(2), vec![(0, 2, 1.0)], 0)
+            .expect_err("dst out of range");
+        assert_eq!(
+            err,
+            GraphError::EdgeOutOfRange {
+                edge: (0, 2),
+                nodes: 2
+            }
+        );
+        let err = PreparedGraph::try_from_edges(Matrix::identity(2), vec![(5, 1, 1.0)], 0)
+            .expect_err("src out of range");
+        assert!(matches!(err, GraphError::EdgeOutOfRange { .. }));
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn non_finite_weights_rejected() {
+        for w in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = PreparedGraph::try_from_edges(Matrix::identity(2), vec![(0, 1, w)], 0)
+                .expect_err("non-finite weight");
+            assert_eq!(err, GraphError::NonFiniteWeight { edge: (0, 1) });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_panics_on_out_of_range() {
+        let _ = PreparedGraph::from_edges(Matrix::identity(2), vec![(0, 7, 1.0)], 0);
+    }
+
+    #[test]
+    fn batch_packs_block_diagonal_operators() {
+        let a = chain3();
+        let b = PreparedGraph::from_edges(
+            Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32),
+            vec![(0, 1, 1.0)],
+            0,
+        );
+        let batch = GraphBatch::pack(&[&a, &b]);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.node_count(), 5);
+        assert_eq!(batch.offsets(), &[0, 3, 5]);
+        assert_eq!(batch.node_range(0), 0..3);
+        assert_eq!(batch.node_range(1), 3..5);
+        assert_eq!(batch.labels(), &[1, 0]);
+        // Stacked features keep each graph's rows.
+        assert_eq!(batch.x.row(0), a.x.row(0));
+        assert_eq!(batch.x.row(3), b.x.row(0));
+        // Operators are exactly the block diagonal of the per-graph ones.
+        assert_eq!(batch.adj.matrix().get(0, 1), a.adj.matrix().get(0, 1));
+        assert_eq!(batch.adj.matrix().get(3, 4), b.adj.matrix().get(0, 1));
+        assert_eq!(batch.adj.matrix().get(0, 4), 0.0);
+        assert_eq!(batch.adj.matrix().get(3, 0), 0.0);
+        assert_eq!(
+            batch.adj.matrix().nnz(),
+            a.adj.matrix().nnz() + b.adj.matrix().nnz()
+        );
+        assert_eq!(batch.mask.nnz(), a.mask.nnz() + b.mask.nnz());
+        // The batched backward operator is a genuine transpose.
+        assert_eq!(
+            batch.agg_gcn.transposed().to_dense(),
+            batch.agg_gcn.matrix().to_dense().transpose()
+        );
+    }
+
+    #[test]
+    fn batch_of_one_is_the_graph_itself() {
+        let g = chain3();
+        let batch = GraphBatch::from_graphs(std::slice::from_ref(&g));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.offsets(), &[0, 3]);
+        assert_eq!(batch.adj.matrix().to_dense(), g.adj.matrix().to_dense());
+        assert_eq!(batch.mask.to_dense(), g.mask.to_dense());
+        assert_eq!(*batch.x, *g.x);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let _ = GraphBatch::pack(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn mixed_feature_widths_rejected() {
+        let a = PreparedGraph::from_parts(Matrix::identity(2), Matrix::zeros(2, 2), 0);
+        let b = PreparedGraph::from_parts(Matrix::zeros(2, 3), Matrix::zeros(2, 2), 0);
+        let _ = GraphBatch::pack(&[&a, &b]);
     }
 }

@@ -30,28 +30,55 @@
 //! the E2 dense-vs-sparse benchmark. Both paths produce logits equal to
 //! within float roundoff.
 //!
+//! # Mini-batch training
+//!
+//! Training packs each gradient step's graphs into one block-diagonal
+//! [`GraphBatch`] — stacked node features, offset edge structure, segment
+//! readouts pooling each graph's node range to its own logits row — so a
+//! single tape forward/backward scores `K` graphs at once. [`train`] is
+//! this batched path ([`BatchTrainConfig`] adds seeded shuffling, optional
+//! length-bucketing and a per-batch node cap); [`train_unbatched`] keeps
+//! the per-graph loop as the reference baseline. Per-graph logits are
+//! independent of batch composition to float roundoff.
+//!
 //! # Examples
 //!
 //! Train a GCN on a structurally separable toy set:
 //!
 //! ```
 //! use scamdetect_gnn::{
-//!     trainer::{accuracy, synthetic_structural_dataset, train, TrainConfig},
+//!     trainer::{accuracy, synthetic_structural_dataset, train, BatchTrainConfig},
 //!     GnnClassifier, GnnConfig, GnnKind,
 //! };
 //!
 //! let data = synthetic_structural_dataset(20, 6, 1);
 //! let mut model = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6).with_hidden(8));
-//! train(&mut model, &data, &TrainConfig { epochs: 40, lr: 2e-2, ..TrainConfig::default() });
+//! let cfg = BatchTrainConfig { epochs: 40, lr: 2e-2, ..BatchTrainConfig::default() };
+//! train(&mut model, &data, &cfg);
 //! assert!(accuracy(&model, &data) > 0.5);
+//! ```
+//!
+//! Score a whole batch in one forward pass:
+//!
+//! ```
+//! use scamdetect_gnn::{GnnClassifier, GnnConfig, GnnKind, GraphBatch, PreparedGraph};
+//! use scamdetect_tensor::Matrix;
+//!
+//! let g0 = PreparedGraph::from_parts(Matrix::identity(4), Matrix::zeros(4, 4), 0);
+//! let g1 = PreparedGraph::from_parts(Matrix::zeros(3, 4), Matrix::zeros(3, 3), 1);
+//! let model = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 4));
+//! let scores = model.score_batch(&GraphBatch::pack(&[&g0, &g1]));
+//! assert_eq!(scores.len(), 2);
+//! assert!((scores[0] - model.score(&g0)).abs() < 1e-6);
 //! ```
 
 pub mod graph_batch;
 pub mod model;
 pub mod trainer;
 
-pub use graph_batch::{DenseGraph, PreparedGraph};
+pub use graph_batch::{DenseGraph, GraphBatch, GraphError, PreparedGraph};
 pub use model::{GnnClassifier, GnnConfig, GnnKind, Readout};
 pub use trainer::{
-    accuracy, evaluate, synthetic_sparse_graph, train, train_dense, TrainConfig, TrainHistory,
+    accuracy, evaluate, synthetic_sparse_graph, train, train_batched, train_dense, train_unbatched,
+    BatchTrainConfig, TrainConfig, TrainHistory,
 };

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use scamdetect_gnn::{
-    synthetic_sparse_graph, train, train_dense, GnnClassifier, GnnConfig, GnnKind, PreparedGraph,
-    Readout, TrainConfig,
+    synthetic_sparse_graph, train_dense, train_unbatched, GnnClassifier, GnnConfig, GnnKind,
+    PreparedGraph, Readout, TrainConfig,
 };
 
 #[test]
@@ -50,7 +50,7 @@ fn training_dynamics_match_dense_path() {
     for kind in GnnKind::all() {
         let mut ms = GnnClassifier::new(GnnConfig::new(kind, 6).with_hidden(8).with_seed(3));
         let mut md = GnnClassifier::new(GnnConfig::new(kind, 6).with_hidden(8).with_seed(3));
-        let hs = train(&mut ms, &data, &cfg);
+        let hs = train_unbatched(&mut ms, &data, &cfg);
         let hd = train_dense(&mut md, &dense, &cfg);
         assert_eq!(hs.epoch_loss.len(), hd.epoch_loss.len());
         for (ls, ld) in hs.epoch_loss.iter().zip(&hd.epoch_loss) {

@@ -31,6 +31,18 @@
 //! tensors are placed on a tape via [`Tape::constant_shared`], which interns
 //! `Arc` handles so repeated forward passes never clone them.
 //!
+//! # Mini-batch training
+//!
+//! Multiple graphs train on one tape by stacking their aggregators into a
+//! block-diagonal operator ([`CsrMatrix::block_diag`] /
+//! [`CsrPair::block_diag`], which reuses the per-block precomputed
+//! transposes) and pooling per graph with the segment readouts
+//! ([`Tape::segment_mean_rows`], [`Tape::segment_sum_rows`],
+//! [`Tape::segment_max_rows`]), each of which reduces the row range of one
+//! graph to one output row with exact gradients. [`Tape::edge_softmax`]
+//! normalises per CSR row, so attention over a block-diagonal structure is
+//! already per-segment — no cross-graph mass can leak.
+//!
 //! # Examples
 //!
 //! Training `y = 2x` with one weight:

@@ -26,6 +26,22 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+/// One output row of `matmul`: `orow += Σ_p arow[p] · rhs[p, ·]`, skipping
+/// zero scalars (post-ReLU activations are around half zeros).
+#[inline]
+fn stream_row(arow: &[f32], rhs: &Matrix, orow: &mut [f32]) {
+    let m = rhs.cols;
+    for (p, &a) in arow.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let rrow = &rhs.data[p * m..(p + 1) * m];
+        for (o, &bv) in orow.iter_mut().zip(rrow) {
+            *o += a * bv;
+        }
+    }
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
@@ -183,18 +199,115 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(n, m);
-        // ikj loop order: stream over rhs rows for cache friendliness.
+        if m <= 4 && n >= 8 {
+            // Narrow outputs (attention score columns, logit heads): the
+            // per-scalar rhs-row loads dominate, so amortise them across
+            // four output rows at a time. Accumulation order over `p` is
+            // unchanged, so for finite operands results match the
+            // streaming kernel (which additionally skips zero scalars —
+            // only observable through non-finite rhs values).
+            let mut i = 0;
+            while i + 4 <= n {
+                let (a0, a1, a2, a3) = (
+                    &self.data[i * k..(i + 1) * k],
+                    &self.data[(i + 1) * k..(i + 2) * k],
+                    &self.data[(i + 2) * k..(i + 3) * k],
+                    &self.data[(i + 3) * k..(i + 4) * k],
+                );
+                let (o01, o23) = out.data[i * m..(i + 4) * m].split_at_mut(2 * m);
+                let (o0, o1) = o01.split_at_mut(m);
+                let (o2, o3) = o23.split_at_mut(m);
+                for p in 0..k {
+                    let rrow = &rhs.data[p * m..(p + 1) * m];
+                    let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                    for j in 0..m {
+                        let bv = rrow[j];
+                        o0[j] += v0 * bv;
+                        o1[j] += v1 * bv;
+                        o2[j] += v2 * bv;
+                        o3[j] += v3 * bv;
+                    }
+                }
+                i += 4;
+            }
+            for i in i..n {
+                stream_row(
+                    &self.data[i * k..(i + 1) * k],
+                    rhs,
+                    &mut out.data[i * m..(i + 1) * m],
+                );
+            }
+        } else {
+            // ikj loop order: stream over rhs rows for cache friendliness.
+            for i in 0..n {
+                stream_row(
+                    &self.data[i * k..(i + 1) * k],
+                    rhs,
+                    &mut out.data[i * m..(i + 1) * m],
+                );
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ rhs` without materialising the transpose.
+    ///
+    /// This is the weight-gradient product of reverse mode
+    /// (`gW = Hᵀ @ g_out`): accumulating rank-1 updates row by row keeps
+    /// both operands in sequential order and the `k x m` accumulator hot,
+    /// where the transpose-then-multiply formulation strides over the
+    /// (large, batched) activation matrix twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn matmul_at(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_at: {}x{} ᵀ@ {}x{} shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(k, m);
         for i in 0..n {
-            for p in 0..k {
-                let a = self.data[i * k + p];
+            let arow = &self.data[i * k..(i + 1) * k];
+            let rrow = &rhs.data[i * m..(i + 1) * m];
+            for (p, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let rrow = &rhs.data[p * m..(p + 1) * m];
-                let orow = &mut out.data[i * m..(i + 1) * m];
-                for j in 0..m {
-                    orow[j] += a * rrow[j];
+                let orow = &mut out.data[p * m..(p + 1) * m];
+                for (o, &bv) in orow.iter_mut().zip(rrow) {
+                    *o += a * bv;
                 }
+            }
+        }
+        out
+    }
+
+    /// `self @ rhsᵀ` without materialising the transpose.
+    ///
+    /// This is the input-gradient product of reverse mode
+    /// (`gH = g_out @ Wᵀ`): each output entry is a dot product of two
+    /// row slices, so the (small, L1-resident) weight matrix is read in
+    /// row-major order instead of being copied transposed first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_bt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_bt: {}x{} @ {}x{} ᵀ shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * m..(i + 1) * m];
+            for (o, brow) in orow.iter_mut().zip(rhs.data.chunks_exact(k.max(1))) {
+                *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
             }
         }
         out
@@ -383,6 +496,56 @@ mod tests {
         assert_eq!(c.get(0, 1), 64.0);
         assert_eq!(c.get(1, 0), 139.0);
         assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn narrow_output_matmul_matches_streaming_kernel() {
+        // n >= 8, m <= 4 takes the 4-row-blocked path; compare against the
+        // reference computed through the wide path (m > 4) and sliced.
+        let a = Matrix::from_fn(11, 5, |r, c| {
+            if (r + c) % 3 == 0 {
+                0.0
+            } else {
+                (r as f32 - c as f32) * 0.25
+            }
+        });
+        let b = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 2.0);
+        let wide = Matrix::from_fn(5, 6, |r, c| if c < 2 { b.get(r, c) } else { 0.0 });
+        let blocked = a.matmul(&b);
+        let reference = a.matmul(&wide);
+        for r in 0..11 {
+            for c in 0..2 {
+                assert_eq!(blocked.get(r, c), reference.get(r, c), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_free_products_match_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| {
+            if r == c {
+                0.0
+            } else {
+                (r * 3 + c) as f32 * 0.1 - 0.5
+            }
+        });
+        let g = Matrix::from_fn(4, 2, |r, c| (r as f32) - (c as f32) * 0.3);
+        let w = Matrix::from_fn(5, 3, |r, c| (r + c) as f32 * 0.2 - 1.0);
+        assert_eq!(a.matmul_at(&g), a.transpose().matmul(&g));
+        assert_eq!(g.matmul_bt(&g), g.matmul(&g.transpose()));
+        assert_eq!(a.matmul_bt(&w), a.matmul(&w.transpose()));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_at")]
+    fn matmul_at_shape_mismatch_panics() {
+        let _ = Matrix::zeros(2, 3).matmul_at(&Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_bt")]
+    fn matmul_bt_shape_mismatch_panics() {
+        let _ = Matrix::zeros(2, 3).matmul_bt(&Matrix::zeros(2, 2));
     }
 
     #[test]

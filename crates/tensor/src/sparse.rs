@@ -106,6 +106,40 @@ impl CsrMatrix {
         }
     }
 
+    /// Stacks `blocks` into one block-diagonal CSR matrix.
+    ///
+    /// Block `k` occupies the row range `[Σ rows_{<k}, Σ rows_{≤k})` and the
+    /// column range `[Σ cols_{<k}, Σ cols_{≤k})`; no entries couple distinct
+    /// blocks. This is the packing step of mini-batched GNN training: `K`
+    /// per-graph aggregators become one operator whose single `spmm` scores
+    /// all `K` graphs at once. Runs in `O(Σ nnz + Σ rows)` — the per-block
+    /// CSR arrays are copied with offsets, never re-sorted.
+    pub fn block_diag(blocks: &[&CsrMatrix]) -> CsrMatrix {
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        row_ptr.push(0u32);
+        let mut col_off = 0u32;
+        let mut nnz_off = 0u32;
+        for b in blocks {
+            row_ptr.extend(b.row_ptr[1..].iter().map(|&p| p + nnz_off));
+            col_idx.extend(b.col_idx.iter().map(|&c| c + col_off));
+            vals.extend_from_slice(&b.vals);
+            col_off += b.cols as u32;
+            nnz_off += b.nnz() as u32;
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
     /// Builds a CSR matrix from the nonzeros of a dense matrix.
     pub fn from_dense(m: &Matrix) -> Self {
         let mut edges = Vec::new();
@@ -307,6 +341,22 @@ impl CsrPair {
     pub fn matrix_arc(&self) -> &Arc<CsrMatrix> {
         &self.fwd
     }
+
+    /// Stacks `pairs` into one block-diagonal pair.
+    ///
+    /// Because the transpose of a block-diagonal matrix is the block
+    /// diagonal of the per-block transposes (in the same block order), the
+    /// batched backward operator is assembled from the transposes already
+    /// precomputed inside each pair — packing a training batch never
+    /// re-transposes anything.
+    pub fn block_diag(pairs: &[&CsrPair]) -> CsrPair {
+        let fwd: Vec<&CsrMatrix> = pairs.iter().map(|p| p.matrix()).collect();
+        let bwd: Vec<&CsrMatrix> = pairs.iter().map(|p| p.transposed()).collect();
+        CsrPair {
+            fwd: Arc::new(CsrMatrix::block_diag(&fwd)),
+            bwd: Arc::new(CsrMatrix::block_diag(&bwd)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +425,61 @@ mod tests {
     fn pair_precomputes_transpose() {
         let p = CsrPair::new(sample());
         assert_eq!(p.transposed().to_dense(), p.matrix().to_dense().transpose());
+    }
+
+    #[test]
+    fn block_diag_places_blocks_on_the_diagonal() {
+        let a = sample(); // 3x3
+        let b = CsrMatrix::from_edges(2, 2, &[(0, 1, 7.0), (1, 0, -1.0)]);
+        let empty = CsrMatrix::from_edges(1, 1, &[]);
+        let d = CsrMatrix::block_diag(&[&a, &empty, &b]);
+        assert_eq!(d.shape(), (6, 6));
+        assert_eq!(d.nnz(), a.nnz() + b.nnz());
+        // Block A in the top-left, untouched.
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 2), 3.0);
+        // Block B offset by 3 (A) + 1 (empty) rows/cols.
+        assert_eq!(d.get(4, 5), 7.0);
+        assert_eq!(d.get(5, 4), -1.0);
+        // No cross-block coupling.
+        assert_eq!(d.get(0, 4), 0.0);
+        assert_eq!(d.get(4, 0), 0.0);
+    }
+
+    #[test]
+    fn block_diag_matches_dense_construction() {
+        let a = sample();
+        let b = CsrMatrix::from_edges(2, 3, &[(1, 2, 4.0)]);
+        let d = CsrMatrix::block_diag(&[&a, &b]);
+        let mut dense = Matrix::zeros(5, 6);
+        for (r, c, v) in a.iter() {
+            dense.set(r, c, v);
+        }
+        for (r, c, v) in b.iter() {
+            dense.set(r + 3, c + 3, v);
+        }
+        assert_eq!(d.to_dense(), dense);
+        // spmm over the packed operator equals per-block spmm stacked.
+        let x = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f32 - 4.0);
+        assert_eq!(d.spmm(&x), d.to_dense().matmul(&x));
+    }
+
+    #[test]
+    fn block_diag_of_nothing_is_empty() {
+        let d = CsrMatrix::block_diag(&[]);
+        assert_eq!(d.shape(), (0, 0));
+        assert_eq!(d.nnz(), 0);
+    }
+
+    #[test]
+    fn pair_block_diag_reuses_transposes() {
+        let p1 = CsrPair::new(sample());
+        let p2 = CsrPair::new(CsrMatrix::from_edges(2, 2, &[(0, 1, 5.0)]));
+        let packed = CsrPair::block_diag(&[&p1, &p2]);
+        assert_eq!(
+            packed.transposed().to_dense(),
+            packed.matrix().to_dense().transpose()
+        );
     }
 
     #[test]

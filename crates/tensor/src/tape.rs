@@ -175,8 +175,12 @@ impl Tape {
             out,
             Box::new(|gout, ins, _, needs| {
                 let (a, b) = (ins[0], ins[1]);
-                let ga = needs[0].then(|| gout.matmul(&b.transpose()));
-                let gb = needs[1].then(|| a.transpose().matmul(gout));
+                // Transpose-free gradient products: `g_out @ bᵀ` and
+                // `aᵀ @ g_out` read every operand in row-major order, which
+                // matters most for the large stacked activations of a
+                // block-diagonal training batch.
+                let ga = needs[0].then(|| gout.matmul_bt(b));
+                let gb = needs[1].then(|| a.matmul_at(gout));
                 vec![ga, gb]
             }),
         )
@@ -244,7 +248,15 @@ impl Tape {
             let bm = &inner.values[bias.index()];
             assert_eq!(bm.rows(), 1, "add_bias: bias must be 1 x d");
             assert_eq!(hm.cols(), bm.cols(), "add_bias: width mismatch");
-            Matrix::from_fn(hm.rows(), hm.cols(), |r, c| hm.get(r, c) + bm.get(0, c))
+            let d = hm.cols();
+            let mut out = hm.as_ref().clone();
+            let brow = bm.row(0);
+            for orow in out.as_mut_slice().chunks_exact_mut(d.max(1)) {
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += bv;
+                }
+            }
+            out
         };
         self.record(
             vec![h, bias],
@@ -284,23 +296,32 @@ impl Tape {
             let am = &inner.values[a.index()];
             let bm = &inner.values[b.index()];
             assert_eq!(am.rows(), bm.rows(), "concat_cols: row mismatch");
-            Matrix::from_fn(am.rows(), am.cols() + bm.cols(), |r, c| {
-                if c < am.cols() {
-                    am.get(r, c)
-                } else {
-                    bm.get(r, c - am.cols())
-                }
-            })
+            let (d1, d2) = (am.cols(), bm.cols());
+            let mut out = Matrix::zeros(am.rows(), d1 + d2);
+            let data = out.as_mut_slice();
+            for r in 0..am.rows() {
+                let base = r * (d1 + d2);
+                data[base..base + d1].copy_from_slice(am.row(r));
+                data[base + d1..base + d1 + d2].copy_from_slice(bm.row(r));
+            }
+            out
         };
         self.record(
             vec![a, b],
             out,
             Box::new(|gout, ins, _, needs| {
                 let d1 = ins[0].cols();
-                let ga = needs[0].then(|| Matrix::from_fn(gout.rows(), d1, |r, c| gout.get(r, c)));
-                let gb = needs[1].then(|| {
-                    Matrix::from_fn(gout.rows(), gout.cols() - d1, |r, c| gout.get(r, c + d1))
-                });
+                let d2 = gout.cols() - d1;
+                let split = |off: usize, d: usize| {
+                    let mut m = Matrix::zeros(gout.rows(), d);
+                    let data = m.as_mut_slice();
+                    for r in 0..gout.rows() {
+                        data[r * d..(r + 1) * d].copy_from_slice(&gout.row(r)[off..off + d]);
+                    }
+                    m
+                };
+                let ga = needs[0].then(|| split(0, d1));
+                let gb = needs[1].then(|| split(d1, d2));
                 vec![ga, gb]
             }),
         )
@@ -366,8 +387,12 @@ impl Tape {
             assert_eq!(um.rows(), structure.rows(), "edge_score_sum: u length");
             assert_eq!(vm.rows(), structure.cols(), "edge_score_sum: v length");
             let mut data = Vec::with_capacity(structure.nnz());
-            for (r, c, _) in structure.iter() {
-                data.push(um.get(r, 0) + vm.get(c, 0));
+            let us = um.as_slice();
+            let vs = vm.as_slice();
+            for (r, &ur) in us.iter().enumerate() {
+                for &c in structure.row_cols(r) {
+                    data.push(ur + vs[c as usize]);
+                }
             }
             Matrix::from_vec(structure.nnz(), 1, data)
         };
@@ -379,15 +404,18 @@ impl Tape {
                 let g = gout.as_slice();
                 let gu = needs[0].then(|| {
                     let mut m = Matrix::zeros(ins[0].rows(), 1);
-                    for (k, (r, _, _)) in s.iter().enumerate() {
-                        m.set(r, 0, m.get(r, 0) + g[k]);
+                    for (r, slot) in m.as_mut_slice().iter_mut().enumerate() {
+                        *slot = s.row_range(r).map(|k| g[k]).sum();
                     }
                     m
                 });
                 let gv = needs[1].then(|| {
                     let mut m = Matrix::zeros(ins[1].rows(), 1);
-                    for (k, (_, c, _)) in s.iter().enumerate() {
-                        m.set(c, 0, m.get(c, 0) + g[k]);
+                    let md = m.as_mut_slice();
+                    for r in 0..s.rows() {
+                        for (k, &c) in s.row_range(r).zip(s.row_cols(r)) {
+                            md[c as usize] += g[k];
+                        }
                     }
                     m
                 });
@@ -674,6 +702,115 @@ impl Tape {
         )
     }
 
+    /// Column-wise sum over each row segment: `n x d -> K x d`.
+    ///
+    /// `offsets` has `K + 1` nondecreasing entries with `offsets[0] == 0`
+    /// and `offsets[K] == n`; output row `k` is the sum of input rows
+    /// `offsets[k]..offsets[k+1]`. This is the sum readout of a
+    /// block-diagonal graph batch: one tape op pools every graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` does not partition the rows of `a`.
+    pub fn segment_sum_rows(&self, a: Var, offsets: &[usize]) -> Var {
+        let offsets = offsets.to_vec();
+        let out = {
+            let inner = self.inner.borrow();
+            let m = inner.values[a.index()].as_ref();
+            validate_offsets(&offsets, m.rows(), "segment_sum_rows");
+            segment_apply(m, &offsets, |_| 1.0)
+        };
+        self.record(
+            vec![a],
+            out,
+            Box::new(move |gout, ins, _, needs| {
+                vec![needs[0].then(|| segment_spread(gout, ins[0], &offsets, |_| 1.0))]
+            }),
+        )
+    }
+
+    /// Column-wise mean over each row segment: `n x d -> K x d`.
+    ///
+    /// Same contract as [`Tape::segment_sum_rows`], but each segment is
+    /// scaled by `1 / len`; empty segments produce an all-zero row. This is
+    /// the mean readout of a block-diagonal graph batch, and for `K = 1` it
+    /// reproduces [`Tape::mean_rows`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` does not partition the rows of `a`.
+    pub fn segment_mean_rows(&self, a: Var, offsets: &[usize]) -> Var {
+        let offsets = offsets.to_vec();
+        let inv = |len: usize| 1.0 / len.max(1) as f32;
+        let out = {
+            let inner = self.inner.borrow();
+            let m = inner.values[a.index()].as_ref();
+            validate_offsets(&offsets, m.rows(), "segment_mean_rows");
+            segment_apply(m, &offsets, inv)
+        };
+        self.record(
+            vec![a],
+            out,
+            Box::new(move |gout, ins, _, needs| {
+                vec![needs[0].then(|| segment_spread(gout, ins[0], &offsets, inv))]
+            }),
+        )
+    }
+
+    /// Column-wise max over each row segment: `n x d -> K x d`.
+    ///
+    /// Same contract as [`Tape::segment_sum_rows`]. Gradients flow to the
+    /// first row attaining each column maximum within its segment (matching
+    /// [`Tape::max_rows`] for `K = 1`); empty segments produce an all-zero
+    /// row and receive no gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` does not partition the rows of `a`.
+    pub fn segment_max_rows(&self, a: Var, offsets: &[usize]) -> Var {
+        let offsets = offsets.to_vec();
+        let out = {
+            let inner = self.inner.borrow();
+            let m = inner.values[a.index()].as_ref();
+            validate_offsets(&offsets, m.rows(), "segment_max_rows");
+            let k = offsets.len() - 1;
+            Matrix::from_fn(k, m.cols(), |s, c| {
+                let seg = offsets[s]..offsets[s + 1];
+                if seg.is_empty() {
+                    0.0
+                } else {
+                    seg.map(|r| m.get(r, c)).fold(f32::MIN, f32::max)
+                }
+            })
+        };
+        self.record(
+            vec![a],
+            out,
+            Box::new(move |gout, ins, _, needs| {
+                vec![needs[0].then(|| {
+                    let m = ins[0];
+                    let mut g = Matrix::zeros(m.rows(), m.cols());
+                    for s in 0..offsets.len() - 1 {
+                        let seg = offsets[s]..offsets[s + 1];
+                        if seg.is_empty() {
+                            continue;
+                        }
+                        for c in 0..m.cols() {
+                            let mut best = seg.start;
+                            for r in seg.clone().skip(1) {
+                                if m.get(r, c) > m.get(best, c) {
+                                    best = r;
+                                }
+                            }
+                            g.set(best, c, gout.get(s, c));
+                        }
+                    }
+                    g
+                })]
+            }),
+        )
+    }
+
     /// Sum of all entries: `n x d -> 1 x 1`.
     pub fn sum_all(&self, a: Var) -> Var {
         let out = Matrix::from_vec(1, 1, vec![self.inner.borrow().values[a.index()].sum()]);
@@ -850,6 +987,68 @@ pub fn softmax_rows(m: &Matrix) -> Matrix {
     out
 }
 
+/// Checks that `offsets` is a nondecreasing partition `0 = o_0 ≤ … ≤ o_K = rows`.
+fn validate_offsets(offsets: &[usize], rows: usize, op: &str) {
+    assert!(
+        offsets.len() >= 2,
+        "{op}: offsets need at least two entries"
+    );
+    assert_eq!(offsets[0], 0, "{op}: offsets must start at 0");
+    assert_eq!(
+        *offsets.last().expect("nonempty"),
+        rows,
+        "{op}: offsets must end at the row count"
+    );
+    assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "{op}: offsets must be nondecreasing"
+    );
+}
+
+/// Per-segment column sums scaled by `scale(len)`: the shared forward of
+/// the sum/mean segment readouts.
+fn segment_apply(m: &Matrix, offsets: &[usize], scale: impl Fn(usize) -> f32) -> Matrix {
+    let d = m.cols();
+    let mut out = Matrix::zeros(offsets.len() - 1, d);
+    let data = out.as_mut_slice();
+    for s in 0..offsets.len() - 1 {
+        let seg = offsets[s]..offsets[s + 1];
+        let w = scale(seg.len());
+        let orow = &mut data[s * d..(s + 1) * d];
+        for r in seg {
+            for (o, &x) in orow.iter_mut().zip(m.row(r)) {
+                *o += w * x;
+            }
+        }
+    }
+    out
+}
+
+/// Broadcasts each `gout` row back over its segment scaled by `scale(len)`:
+/// the shared backward of the sum/mean segment readouts.
+fn segment_spread(
+    gout: &Matrix,
+    input: &Matrix,
+    offsets: &[usize],
+    scale: impl Fn(usize) -> f32,
+) -> Matrix {
+    let d = input.cols();
+    let mut g = Matrix::zeros(input.rows(), input.cols());
+    let data = g.as_mut_slice();
+    for s in 0..offsets.len() - 1 {
+        let seg = offsets[s]..offsets[s + 1];
+        let w = scale(seg.len());
+        let grow = gout.row(s);
+        for r in seg {
+            let target = &mut data[r * d..(r + 1) * d];
+            for (t, &gv) in target.iter_mut().zip(grow) {
+                *t = w * gv;
+            }
+        }
+    }
+    g
+}
+
 fn masked_softmax(m: &Matrix, mask: &Matrix) -> Matrix {
     let (rows, cols) = m.shape();
     let mut out = Matrix::zeros(rows, cols);
@@ -977,6 +1176,57 @@ mod tests {
         let g = tape.backward(loss);
         // Max picked (row1,col0) and (row0,col1).
         assert_eq!(g.of(h).unwrap().as_slice(), &[0., 1., 1., 0.]);
+    }
+
+    #[test]
+    fn segment_pooling_values_and_grads() {
+        // Two segments: rows {0,1} and {2}; plus one empty segment at the end.
+        let tape = Tape::new();
+        let h = tape.leaf(Matrix::from_vec(3, 2, vec![1., 5., 3., 2., -4., 8.]));
+        let offsets = [0usize, 2, 3, 3];
+
+        let sum = tape.segment_sum_rows(h, &offsets);
+        assert_eq!(tape.value(sum).as_slice(), &[4., 7., -4., 8., 0., 0.]);
+        let mean = tape.segment_mean_rows(h, &offsets);
+        assert_eq!(tape.value(mean).as_slice(), &[2., 3.5, -4., 8., 0., 0.]);
+        let mx = tape.segment_max_rows(h, &offsets);
+        assert_eq!(tape.value(mx).as_slice(), &[3., 5., -4., 8., 0., 0.]);
+
+        let loss = tape.sum_all(mean);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(h).unwrap().as_slice(), &[0.5, 0.5, 0.5, 0.5, 1., 1.]);
+
+        let loss_mx = tape.sum_all(mx);
+        let gm = tape.backward(loss_mx);
+        // Max picked row1/col0, row0/col1 in segment 0; row 2 in segment 1.
+        assert_eq!(gm.of(h).unwrap().as_slice(), &[0., 1., 1., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn single_segment_matches_whole_matrix_pooling() {
+        let tape = Tape::new();
+        let h = tape.leaf(Matrix::from_vec(2, 2, vec![1., 5., 3., 2.]));
+        let offsets = [0usize, 2];
+        assert_eq!(
+            tape.value(tape.segment_mean_rows(h, &offsets)),
+            tape.value(tape.mean_rows(h))
+        );
+        assert_eq!(
+            tape.value(tape.segment_sum_rows(h, &offsets)),
+            tape.value(tape.sum_rows(h))
+        );
+        assert_eq!(
+            tape.value(tape.segment_max_rows(h, &offsets)),
+            tape.value(tape.max_rows(h))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end at the row count")]
+    fn segment_offsets_must_cover_rows() {
+        let tape = Tape::new();
+        let h = tape.leaf(Matrix::zeros(3, 1));
+        let _ = tape.segment_sum_rows(h, &[0, 2]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! * [`encode`] / [`decode`] — the standard WASM binary format (LEB128,
 //!   sections, nested `end`-delimited bodies),
 //! * [`validate`] — structural validation of index spaces and label depths,
-//! * [`cfg`] — CFG lifting from structured control flow onto the same
+//! * [`mod@cfg`] — CFG lifting from structured control flow onto the same
 //!   graph substrate the EVM frontend uses,
 //! * [`hostenv`] — a NEAR-style `"env"` host ABI giving contracts chain
 //!   state access, with a semantic classification aligned to EVM opcode

@@ -35,6 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Configure and train the scanner: model, decision threshold,
     //    dedup-cache bound and worker fan-out in one fluent chain.
+    //
+    //    GNN detectors (`ModelKind::Gnn(GnnKind::Gcn)` etc.) train through
+    //    block-diagonal mini-batches: each gradient step packs
+    //    `train_options().gnn.batch_size` CFGs into one batch scored by a
+    //    single tape forward/backward. The batching knobs live on the same
+    //    options struct:
+    //
+    //        .train_options({
+    //            let mut o = scamdetect::TrainOptions::default();
+    //            o.gnn.batch_size = 8;          // graphs per batch
+    //            o.gnn.bucket_by_size = true;   // pack similar-sized CFGs,
+    //                                           // pay packing once per run
+    //            o.gnn.max_batch_nodes = Some(4096); // cap nodes per batch
+    //            o
+    //        })
     let scanner = ScannerBuilder::new()
         .model(ModelKind::Classic(
             ClassicModel::RandomForest,

@@ -1,0 +1,764 @@
+//! Versioned, self-describing persistence for trained detectors — the
+//! **train-once / serve-anywhere** artifact.
+//!
+//! A [`ModelArtifact`] is the portable binary form of a trained
+//! [`Detector`] plus its serving metadata (model kind, decision
+//! threshold, training options). It is what makes the detector lifecycle
+//! split in two: `train` + [`crate::Scanner::save`] happen once, in one
+//! process; [`crate::ScannerBuilder::load`] then constructs serving
+//! scanners anywhere — CLI runs, benchmark harnesses, browser embeds,
+//! fleets of replicas — without a corpus in scope and without paying
+//! training again.
+//!
+//! # Wire format (version 1)
+//!
+//! Hand-rolled little-endian, since the workspace is offline and
+//! dependency-free (no serde). Every multi-byte value is little-endian by
+//! definition, so artifacts are portable across architectures.
+//!
+//! ```text
+//! magic      8  bytes   b"SCAMDTCT"
+//! version    u16        format version (currently 1)
+//! count      u32        number of named sections
+//! section[count]:
+//!   name     u16 len + UTF-8 bytes
+//!   length   u32        payload byte length
+//!   checksum u64        FNV-1a over the name bytes ++ payload
+//!   payload  bytes
+//! ```
+//!
+//! The `"meta"` section stores model kind, threshold, train options and
+//! the trained feature dimensionality (validated against this build's
+//! feature space at parse time);
+//! the remaining sections are the model state exported through
+//! [`ParamIo`] — for tensor-backed models (MLP, all five GNNs) that means
+//! one named section per weight matrix. Every section is individually
+//! checksummed, so a flipped bit anywhere fails loudly as
+//! [`ArtifactError::ChecksumMismatch`] instead of silently perturbing
+//! verdicts.
+//!
+//! # Failure behavior
+//!
+//! Loading never panics on bad input: truncated files, corrupted
+//! payloads, unknown enum tags and future format versions all surface as
+//! typed [`ArtifactError`]s (wrapped in
+//! [`ScamDetectError::Artifact`]) with enough context to diagnose what
+//! went wrong.
+
+use crate::detector::{ClassicModel, Detector, ModelKind, TrainOptions};
+use crate::error::ScamDetectError;
+use crate::featurize::FeatureKind;
+use scamdetect_gnn::{GnnClassifier, GnnConfig, GnnKind};
+use scamdetect_ir::features::{GRAPH_FEATURE_DIM, NODE_FEATURE_DIM};
+use scamdetect_ml::ParamIo;
+use scamdetect_tensor::io::{ByteReader, ByteWriter, CodecError, Sections};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// The artifact file magic.
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"SCAMDTCT";
+
+/// The current (and only) artifact format version.
+pub const ARTIFACT_VERSION: u16 = 1;
+
+/// Why an artifact failed to serialize, parse or reconstruct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The bytes do not start with [`ARTIFACT_MAGIC`].
+    BadMagic,
+    /// The artifact declares a format version this build cannot read.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// A section's stored checksum does not match its payload.
+    ChecksumMismatch {
+        /// The corrupted section's name.
+        section: String,
+    },
+    /// Well-formed sections were followed by unexpected extra bytes.
+    TrailingData {
+        /// How many bytes trail the last section.
+        bytes: usize,
+    },
+    /// An enum wire tag decoded to no known variant (artifact written by
+    /// a newer build, or corrupted in a way checksums cannot see —
+    /// i.e. never, in practice, past the checksum check).
+    UnknownTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The unrecognised tag value.
+        value: u8,
+    },
+    /// The detector wraps a hand-built classifier outside the
+    /// [`ClassicModel`] lineup, which the artifact format cannot name.
+    UnsupportedModel {
+        /// The classifier's self-reported name.
+        name: String,
+    },
+    /// The artifact was trained against a different feature space than
+    /// this build computes (e.g. the unified feature vector grew between
+    /// versions) — serving it would silently mis-score.
+    FeatureSpaceMismatch {
+        /// Feature dimensionality recorded in the artifact.
+        stored: usize,
+        /// Feature dimensionality this build computes for that model.
+        expected: usize,
+    },
+    /// The state sections decode to a different model than the meta
+    /// section declares, so `kind()` would misreport what is served.
+    KindMismatch {
+        /// The model kind the meta section declares.
+        declared: String,
+        /// The model kind the state sections actually reconstruct.
+        decoded: String,
+    },
+    /// A payload failed structural decoding (truncation, impossible
+    /// shapes, missing sections).
+    Codec(CodecError),
+    /// The underlying file could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => {
+                write!(f, "not a ScamDetect model artifact (bad magic)")
+            }
+            ArtifactError::VersionMismatch { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported \
+                 (this build reads version {supported})"
+            ),
+            ArtifactError::ChecksumMismatch { section } => write!(
+                f,
+                "section '{section}' failed its checksum — the artifact is corrupted"
+            ),
+            ArtifactError::TrailingData { bytes } => {
+                write!(f, "{bytes} unexpected bytes after the last section")
+            }
+            ArtifactError::UnknownTag { what, value } => {
+                write!(f, "unknown {what} tag {value}")
+            }
+            ArtifactError::UnsupportedModel { name } => write!(
+                f,
+                "classifier '{name}' is outside the ClassicModel lineup and \
+                 cannot be named in an artifact"
+            ),
+            ArtifactError::FeatureSpaceMismatch { stored, expected } => write!(
+                f,
+                "artifact was trained on a {stored}-dimensional feature space, \
+                 but this build computes {expected} dimensions — retrain or use \
+                 a matching build"
+            ),
+            ArtifactError::KindMismatch { declared, decoded } => write!(
+                f,
+                "meta declares model kind {declared} but the state sections \
+                 decode to {decoded} — the artifact is inconsistent"
+            ),
+            ArtifactError::Codec(e) => write!(f, "{e}"),
+            ArtifactError::Io { path, message } => {
+                write!(f, "{path}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArtifactError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ArtifactError {
+    fn from(e: CodecError) -> Self {
+        ArtifactError::Codec(e)
+    }
+}
+
+impl From<ArtifactError> for ScamDetectError {
+    fn from(e: ArtifactError) -> Self {
+        ScamDetectError::Artifact(e)
+    }
+}
+
+impl From<CodecError> for ScamDetectError {
+    fn from(e: CodecError) -> Self {
+        ScamDetectError::Artifact(ArtifactError::Codec(e))
+    }
+}
+
+/// A trained detector in portable binary form: model/feature/threshold/
+/// train-options metadata plus the named, checksummed state sections.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    kind: ModelKind,
+    threshold: f64,
+    train_options: TrainOptions,
+    /// Input feature dimensionality the model was trained on — checked
+    /// against this build's feature space at parse time so a detector
+    /// trained under different feature constants cannot silently
+    /// mis-score.
+    feature_dim: usize,
+    sections: Sections,
+}
+
+/// The input dimensionality this build computes for `kind`.
+fn expected_feature_dim(kind: ModelKind) -> usize {
+    match kind {
+        ModelKind::Classic(_, features) => match features {
+            FeatureKind::OpcodeHistogram => 256,
+            FeatureKind::Unified => GRAPH_FEATURE_DIM,
+            FeatureKind::Combined => 256 + GRAPH_FEATURE_DIM,
+        },
+        ModelKind::Gnn(_) => NODE_FEATURE_DIM,
+    }
+}
+
+impl ModelArtifact {
+    /// Captures a trained detector with its serving metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::UnsupportedModel`] when the detector wraps a
+    /// hand-built classifier the format cannot name.
+    pub fn from_detector(
+        detector: &Detector,
+        threshold: f64,
+        train_options: &TrainOptions,
+    ) -> Result<ModelArtifact, ScamDetectError> {
+        let kind = detector.model_kind().ok_or_else(|| {
+            ScamDetectError::Artifact(ArtifactError::UnsupportedModel {
+                name: detector.name(),
+            })
+        })?;
+        let mut sections = Sections::new();
+        let feature_dim = match detector {
+            Detector::Classic { model, .. } => {
+                model.export_state(&mut sections);
+                expected_feature_dim(kind)
+            }
+            Detector::Gnn { model } => {
+                model.export_state(&mut sections);
+                // Self-describing: hand-built toy-dimension GNNs save
+                // their real width and are rejected at load time, where
+                // the scan pipeline's feature space is fixed.
+                model.config().input_dim
+            }
+        };
+        Ok(ModelArtifact {
+            kind,
+            threshold,
+            train_options: train_options.clone(),
+            feature_dim,
+            sections,
+        })
+    }
+
+    /// The model architecture this artifact stores.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The decision threshold the saving scanner used.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The training options recorded at save time (provenance; the seed
+    /// also steers model re-instantiation on load).
+    pub fn train_options(&self) -> &TrainOptions {
+        &self.train_options
+    }
+
+    /// The input feature dimensionality the model was trained on.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Reconstructs the trained detector — no corpus, no training.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ArtifactError`]s when the state sections are missing,
+    /// corrupted or inconsistent with the declared architecture.
+    pub fn into_detector(&self) -> Result<Detector, ScamDetectError> {
+        // After import, every model's state must be consistent with the
+        // declared feature width: section checksums prove integrity, not
+        // coherence, so a crafted artifact could otherwise carry (say) a
+        // 3-weight logistic regression or a tree splitting on feature
+        // 1000 — state that silently mis-scores or panics at scan time.
+        let dim_guard = |ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(ScamDetectError::Artifact(ArtifactError::Codec(
+                    CodecError::Malformed {
+                        context: "model state dimensionality does not match the declared \
+                                  feature space",
+                    },
+                )))
+            }
+        };
+        let detector = match self.kind {
+            ModelKind::Classic(classic, features) => {
+                let mut model = classic.instantiate(self.train_options.seed);
+                model.import_state(&self.sections)?;
+                dim_guard(model.state_matches_dim(self.feature_dim))?;
+                Detector::Classic { model, features }
+            }
+            ModelKind::Gnn(kind) => {
+                let mut model = GnnClassifier::new(GnnConfig::new(kind, NODE_FEATURE_DIM));
+                model.import_state(&self.sections)?;
+                // The imported gnn.config governs the rebuilt architecture;
+                // its input width must match the feature space the scan
+                // pipeline will actually feed it (parse already pinned
+                // self.feature_dim == NODE_FEATURE_DIM).
+                dim_guard(model.state_matches_dim(self.feature_dim))?;
+                Detector::Gnn { model }
+            }
+        };
+        // The state sections are self-describing (forest `extra` flag,
+        // kNN `k`, gnn.config kind); they must agree with what the meta
+        // section declares, or `kind()` would misreport what is served.
+        if detector.model_kind() != Some(self.kind) {
+            return Err(ArtifactError::KindMismatch {
+                declared: format!("{:?}", self.kind),
+                decoded: detector
+                    .model_kind()
+                    .map_or_else(|| detector.name(), |k| format!("{k:?}")),
+            }
+            .into());
+        }
+        Ok(detector)
+    }
+
+    /// Serializes to the version-1 wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = ByteWriter::new();
+        match self.kind {
+            ModelKind::Classic(model, features) => {
+                meta.put_u8(0);
+                meta.put_u8(model.code());
+                meta.put_u8(features.code());
+            }
+            ModelKind::Gnn(kind) => {
+                meta.put_u8(1);
+                meta.put_u8(kind.code());
+            }
+        }
+        meta.put_f64(self.threshold);
+        write_train_options(&self.train_options, &mut meta);
+        meta.put_usize(self.feature_dim);
+
+        let mut w = ByteWriter::new();
+        w.put_bytes(&ARTIFACT_MAGIC);
+        w.put_u16(ARTIFACT_VERSION);
+        w.put_u32(u32::try_from(1 + self.sections.len()).expect("section count fits u32"));
+        write_section(&mut w, "meta", &meta.into_bytes());
+        for (name, payload) in self.sections.iter() {
+            write_section(&mut w, name, payload);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses the wire format, verifying magic, version and every
+    /// section checksum.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ArtifactError`]s — never a panic — on truncation,
+    /// corruption, version or tag mismatches.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ModelArtifact, ScamDetectError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r
+            .take(ARTIFACT_MAGIC.len(), "artifact magic")
+            .map_err(ArtifactError::from)?;
+        if magic != ARTIFACT_MAGIC {
+            return Err(ArtifactError::BadMagic.into());
+        }
+        let version = r.get_u16("artifact version").map_err(ArtifactError::from)?;
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            }
+            .into());
+        }
+        let count = r.get_u32("section count").map_err(ArtifactError::from)? as usize;
+        // Every section costs at least its fixed header; a count larger
+        // than the remaining byte budget is corrupt.
+        if count > r.remaining() {
+            return Err(ArtifactError::Codec(CodecError::Malformed {
+                context: "section count exceeds the artifact size",
+            })
+            .into());
+        }
+        // Single pass, single copy: the meta payload and the state
+        // sections are split as they are read (model weights can be
+        // megabytes; re-copying them to drop the meta entry would double
+        // the load cost, which matters in the embed path).
+        let mut state = Sections::new();
+        let mut meta_payload: Option<&[u8]> = None;
+        for _ in 0..count {
+            let (name, payload) = read_section(&mut r)?;
+            if name == "meta" {
+                if meta_payload.replace(payload).is_some() {
+                    return Err(ArtifactError::Codec(CodecError::Malformed {
+                        context: "duplicate meta section",
+                    })
+                    .into());
+                }
+            } else {
+                state.push(name, payload.to_vec());
+            }
+        }
+        if !r.is_done() {
+            return Err(ArtifactError::TrailingData {
+                bytes: r.remaining(),
+            }
+            .into());
+        }
+        let meta_payload = meta_payload.ok_or_else(|| {
+            ArtifactError::Codec(CodecError::MissingSection {
+                name: "meta".to_string(),
+            })
+        })?;
+
+        let mut meta = ByteReader::new(meta_payload);
+        let kind = match meta.get_u8("model kind tag").map_err(ArtifactError::from)? {
+            0 => {
+                let model_code = meta
+                    .get_u8("classic model tag")
+                    .map_err(ArtifactError::from)?;
+                let model =
+                    ClassicModel::from_code(model_code).ok_or(ArtifactError::UnknownTag {
+                        what: "classic model",
+                        value: model_code,
+                    })?;
+                let feature_code = meta
+                    .get_u8("feature kind tag")
+                    .map_err(ArtifactError::from)?;
+                let features =
+                    FeatureKind::from_code(feature_code).ok_or(ArtifactError::UnknownTag {
+                        what: "feature kind",
+                        value: feature_code,
+                    })?;
+                ModelKind::Classic(model, features)
+            }
+            1 => {
+                let gnn_code = meta.get_u8("gnn kind tag").map_err(ArtifactError::from)?;
+                let kind = GnnKind::from_code(gnn_code).ok_or(ArtifactError::UnknownTag {
+                    what: "gnn architecture",
+                    value: gnn_code,
+                })?;
+                ModelKind::Gnn(kind)
+            }
+            other => {
+                return Err(ArtifactError::UnknownTag {
+                    what: "model kind",
+                    value: other,
+                }
+                .into())
+            }
+        };
+        let threshold = meta.get_f64("threshold").map_err(ArtifactError::from)?;
+        if !threshold.is_finite() || !(0.0..=1.0).contains(&threshold) {
+            return Err(ArtifactError::Codec(CodecError::Malformed {
+                context: "threshold outside [0, 1]",
+            })
+            .into());
+        }
+        let train_options = read_train_options(&mut meta).map_err(ArtifactError::from)?;
+        let feature_dim = meta
+            .get_usize("meta feature dimension")
+            .map_err(ArtifactError::from)?;
+        if !meta.is_done() {
+            return Err(ArtifactError::Codec(CodecError::Malformed {
+                context: "meta: trailing bytes",
+            })
+            .into());
+        }
+        // Refuse artifacts from builds with a different feature space:
+        // serving them would not crash, it would silently mis-score.
+        let expected = expected_feature_dim(kind);
+        if feature_dim != expected {
+            return Err(ArtifactError::FeatureSpaceMismatch {
+                stored: feature_dim,
+                expected,
+            }
+            .into());
+        }
+
+        Ok(ModelArtifact {
+            kind,
+            threshold,
+            train_options,
+            feature_dim,
+            sections: state,
+        })
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ScamDetectError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_bytes()).map_err(|e| {
+            ScamDetectError::Artifact(ArtifactError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })
+        })
+    }
+
+    /// Reads and parses an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failures, plus every
+    /// [`ModelArtifact::from_bytes`] failure mode.
+    pub fn load(path: impl AsRef<Path>) -> Result<ModelArtifact, ScamDetectError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| {
+            ScamDetectError::Artifact(ArtifactError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })
+        })?;
+        ModelArtifact::from_bytes(&bytes)
+    }
+
+    /// The named state sections (exposed for inspection/tooling).
+    pub fn sections(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.sections.iter()
+    }
+}
+
+/// FNV-1a over the section name *and* payload (the workspace's shared
+/// fingerprint primitive, chained), so a bit flip anywhere in a section —
+/// including its name — fails the integrity check.
+fn section_checksum(name: &str, payload: &[u8]) -> u64 {
+    use scamdetect_evm::proxy::{fnv1a_extend, FNV1A_OFFSET_BASIS};
+    fnv1a_extend(fnv1a_extend(FNV1A_OFFSET_BASIS, name.as_bytes()), payload)
+}
+
+fn write_section(w: &mut ByteWriter, name: &str, payload: &[u8]) {
+    w.put_str(name);
+    w.put_u32(u32::try_from(payload.len()).expect("section payload fits u32"));
+    w.put_u64(section_checksum(name, payload));
+    w.put_bytes(payload);
+}
+
+fn read_section<'a>(r: &mut ByteReader<'a>) -> Result<(String, &'a [u8]), ArtifactError> {
+    let name = r.get_str("section name")?;
+    let len = r.get_u32("section length")? as usize;
+    let checksum = r.get_u64("section checksum")?;
+    let payload = r.take(len, "section payload")?;
+    if section_checksum(&name, payload) != checksum {
+        return Err(ArtifactError::ChecksumMismatch { section: name });
+    }
+    Ok((name, payload))
+}
+
+fn write_train_options(options: &TrainOptions, w: &mut ByteWriter) {
+    w.put_u64(options.seed);
+    let gnn = &options.gnn;
+    w.put_usize(gnn.epochs);
+    w.put_usize(gnn.batch_size);
+    w.put_f32(gnn.lr);
+    w.put_f32(gnn.weight_decay);
+    w.put_u64(gnn.seed);
+    w.put_f32(gnn.loss_target);
+    w.put_bool(gnn.bucket_by_size);
+    w.put_opt_usize(gnn.max_batch_nodes);
+}
+
+fn read_train_options(r: &mut ByteReader<'_>) -> Result<TrainOptions, CodecError> {
+    let seed = r.get_u64("train seed")?;
+    // Field order matches write_train_options; struct-literal fields
+    // evaluate in written order.
+    let gnn = scamdetect_gnn::BatchTrainConfig {
+        epochs: r.get_usize("gnn epochs")?,
+        batch_size: r.get_usize("gnn batch size")?,
+        lr: r.get_f32("gnn lr")?,
+        weight_decay: r.get_f32("gnn weight decay")?,
+        seed: r.get_u64("gnn train seed")?,
+        loss_target: r.get_f32("gnn loss target")?,
+        bucket_by_size: r.get_bool("gnn bucketing flag")?,
+        max_batch_nodes: r.get_opt_usize("gnn max batch nodes")?,
+    };
+    Ok(TrainOptions { gnn, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scamdetect_dataset::{Corpus, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            size: 30,
+            seed: 0xA27,
+            ..CorpusConfig::default()
+        })
+    }
+
+    fn trained(kind: ModelKind) -> Detector {
+        let c = corpus();
+        let idx: Vec<usize> = (0..c.len()).collect();
+        let mut options = TrainOptions::default();
+        options.gnn.epochs = 2;
+        Detector::train(kind, &c, &idx, &options).expect("trains")
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_meta() {
+        let det = trained(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ));
+        let options = TrainOptions {
+            seed: 99,
+            gnn: scamdetect_gnn::BatchTrainConfig {
+                bucket_by_size: true,
+                max_batch_nodes: Some(2048),
+                ..Default::default()
+            },
+        };
+        let artifact = ModelArtifact::from_detector(&det, 0.42, &options).unwrap();
+        let back = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+        assert_eq!(back.kind(), artifact.kind());
+        assert_eq!(back.threshold(), 0.42);
+        assert_eq!(back.train_options().seed, 99);
+        assert!(back.train_options().gnn.bucket_by_size);
+        assert_eq!(back.train_options().gnn.max_batch_nodes, Some(2048));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let det = trained(ModelKind::Classic(
+            ClassicModel::NearestCentroid,
+            FeatureKind::Unified,
+        ));
+        let artifact = ModelArtifact::from_detector(&det, 0.5, &TrainOptions::default()).unwrap();
+        let bytes = artifact.to_bytes();
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&wrong_magic),
+            Err(ScamDetectError::Artifact(ArtifactError::BadMagic))
+        ));
+
+        let mut future_version = bytes.clone();
+        future_version[8] = 0xFE;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&future_version),
+            Err(ScamDetectError::Artifact(ArtifactError::VersionMismatch {
+                found: 0xFE,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_without_panic() {
+        let det = trained(ModelKind::Classic(
+            ClassicModel::DecisionTree,
+            FeatureKind::Unified,
+        ));
+        let artifact = ModelArtifact::from_detector(&det, 0.5, &TrainOptions::default()).unwrap();
+        let bytes = artifact.to_bytes();
+        for k in 0..bytes.len() {
+            assert!(
+                ModelArtifact::from_bytes(&bytes[..k]).is_err(),
+                "prefix of {k} bytes parsed as a complete artifact"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_section_checksum() {
+        let det = trained(ModelKind::Classic(
+            ClassicModel::GaussianNb,
+            FeatureKind::Unified,
+        ));
+        let artifact = ModelArtifact::from_detector(&det, 0.5, &TrainOptions::default()).unwrap();
+        let bytes = artifact.to_bytes();
+        // Flip a byte in the dead middle — guaranteed to be inside some
+        // section's payload or header; either way the parse must fail.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(ModelArtifact::from_bytes(&corrupt).is_err());
+    }
+
+    #[test]
+    fn foreign_feature_space_rejected_at_parse() {
+        // A hand-built toy-width GNN saves its real input dimension;
+        // parsing must refuse it because this build's scan pipeline
+        // feeds NODE_FEATURE_DIM-wide features.
+        let toy = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6));
+        let det = Detector::Gnn { model: toy };
+        let artifact = ModelArtifact::from_detector(&det, 0.5, &TrainOptions::default()).unwrap();
+        assert_eq!(artifact.feature_dim(), 6);
+        let err = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            ScamDetectError::Artifact(ArtifactError::FeatureSpaceMismatch {
+                stored: 6,
+                expected: NODE_FEATURE_DIM,
+            })
+        ));
+    }
+
+    #[test]
+    fn meta_kind_must_match_decoded_state() {
+        // Meta declaring extra_trees over a random_forest state section
+        // must fail loudly instead of misreporting what is served.
+        let det = trained(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::Unified,
+        ));
+        let honest = ModelArtifact::from_detector(&det, 0.5, &TrainOptions::default()).unwrap();
+        let lying = ModelArtifact {
+            kind: ModelKind::Classic(ClassicModel::ExtraTrees, FeatureKind::Unified),
+            ..honest
+        };
+        let err = lying.into_detector().unwrap_err();
+        assert!(matches!(
+            err,
+            ScamDetectError::Artifact(ArtifactError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let det = trained(ModelKind::Classic(ClassicModel::Knn1, FeatureKind::Unified));
+        let artifact = ModelArtifact::from_detector(&det, 0.5, &TrainOptions::default()).unwrap();
+        let mut bytes = artifact.to_bytes();
+        bytes.extend_from_slice(&[0xAB; 7]);
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ScamDetectError::Artifact(ArtifactError::TrailingData {
+                bytes: 7
+            }))
+        ));
+    }
+}

@@ -2,19 +2,34 @@
 //!
 //! ```text
 //! scamdetect-cli inspect <hexfile>            static analysis of one contract
-//! scamdetect-cli scan <hexfile> [options]     train + scan one contract
-//! scamdetect-cli batch <hexfile>... [options] train once, scan many (dedup + parallel)
+//! scamdetect-cli train --save <path> [opts]   train a detector, persist the artifact
+//! scamdetect-cli scan <hexfile> [options]     scan one contract
+//! scamdetect-cli batch <hexfile>... [options] scan many (dedup + parallel)
 //! scamdetect-cli demo                         end-to-end demonstration
 //!
+//! train options:
+//!   --save <path>                                  artifact output path (required)
+//!   --model <name>                                 detector to train (default rf)
+//!   --platform <evm|wasm|mixed>                    training corpus platform (default mixed)
+//!   --corpus-size / --seed / --threshold / --gnn-batch / --bucket as below
+//!
 //! scan / batch options:
-//!   --model <rf|logreg|mlp|gcn|gat|gin|tag|sage>   detector (default rf)
+//!   --model <name|artifact-path>                   detector (default rf). A known name
+//!                                                  (rf|logreg|mlp|gcn|gat|gin|tag|sage)
+//!                                                  trains fresh; anything else is loaded
+//!                                                  as a saved model artifact — the
+//!                                                  train-once / serve-anywhere path, no
+//!                                                  training corpus needed.
 //!   --corpus-size <n>                              training corpus size (default 300)
 //!   --seed <n>                                     corpus seed (default 42)
-//!   --threshold <p>                                decision threshold (default 0.5)
+//!   --threshold <p>                                decision threshold (default 0.5, or
+//!                                                  the artifact's saved threshold)
 //!   --workers <n>                                  batch worker threads (default: cores)
 //!   --gnn-batch <n>                                graphs per GNN training batch (default 16)
 //!   --bucket                                       length-bucket GNN training batches by
 //!                                                  node count (pack once, bounded batches)
+//!   --save <path>                                  after a fresh training run, persist the
+//!                                                  model artifact for later --model loads
 //! ```
 //!
 //! Contract files contain hex bytes (optional `0x` prefix, whitespace
@@ -22,8 +37,7 @@
 
 use scamdetect::featurize::{detect_platform, lift_bytes};
 use scamdetect::{
-    ClassicModel, FeatureKind, GnnKind, ModelKind, ScamDetect, ScanRequest, ScannerBuilder,
-    TrainOptions,
+    ClassicModel, FeatureKind, GnnKind, ModelKind, ScanRequest, ScannerBuilder, TrainOptions,
 };
 use scamdetect_dataset::{generate_evm, Corpus, CorpusConfig, FamilyKind};
 use scamdetect_evm::{cfg::build_cfg, disasm::disassemble, selector::extract_selectors};
@@ -35,11 +49,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!("usage: scamdetect-cli <inspect|scan|batch|demo> [args]");
+            eprintln!("usage: scamdetect-cli <inspect|train|scan|batch|demo> [args]");
             eprintln!("       see crate docs for options");
             return ExitCode::from(2);
         }
@@ -141,27 +156,55 @@ fn parse_model(name: &str) -> Result<ModelKind, String> {
     })
 }
 
-/// Options shared by `scan` and `batch`.
+/// Where the scanner's model comes from: trained fresh on a synthetic
+/// corpus, or loaded train-free from a saved artifact.
+enum ModelSource {
+    Train(ModelKind),
+    Load(String),
+}
+
+/// `--model` accepts either a known architecture name (train fresh) or a
+/// path to a saved artifact (serve the pre-trained weights).
+fn parse_model_source(value: &str) -> Result<ModelSource, String> {
+    match parse_model(value) {
+        Ok(kind) => Ok(ModelSource::Train(kind)),
+        Err(_) if std::path::Path::new(value).exists() => Ok(ModelSource::Load(value.to_string())),
+        Err(e) => Err(format!("{e} (and no artifact file exists at that path)")),
+    }
+}
+
+/// Options shared by `train`, `scan` and `batch`.
 struct ScanOptions {
-    model: ModelKind,
+    model: ModelSource,
     corpus_size: usize,
     seed: u64,
-    threshold: f64,
+    /// `None` = builder default (0.5 when training, the saved threshold
+    /// when loading an artifact).
+    threshold: Option<f64>,
     workers: usize,
     gnn_batch: usize,
     bucket: bool,
+    save: Option<String>,
+    platform: Option<String>,
+    /// Training-only flags the user explicitly passed, so scan/batch can
+    /// reject them (instead of silently ignoring them) when `--model`
+    /// loads a pre-trained artifact and no training happens.
+    train_flags: Vec<&'static str>,
     paths: Vec<String>,
 }
 
 fn parse_scan_options(args: &[String]) -> Result<ScanOptions, Box<dyn std::error::Error>> {
     let mut opts = ScanOptions {
-        model: parse_model("rf").expect("default model"),
+        model: ModelSource::Train(parse_model("rf").expect("default model")),
         corpus_size: 300,
         seed: 42,
-        threshold: 0.5,
+        threshold: None,
         workers: 0,
         gnn_batch: 16,
         bucket: false,
+        save: None,
+        platform: None,
+        train_flags: Vec::new(),
         paths: Vec::new(),
     };
     let mut i = 0;
@@ -169,24 +212,25 @@ fn parse_scan_options(args: &[String]) -> Result<ScanOptions, Box<dyn std::error
         match args[i].as_str() {
             "--model" => {
                 i += 1;
-                opts.model = parse_model(args.get(i).ok_or("--model needs a value")?)?;
+                opts.model = parse_model_source(args.get(i).ok_or("--model needs a value")?)?;
             }
             "--corpus-size" => {
                 i += 1;
                 opts.corpus_size = args.get(i).ok_or("--corpus-size needs a value")?.parse()?;
+                opts.train_flags.push("--corpus-size");
             }
             "--seed" => {
                 i += 1;
                 opts.seed = args.get(i).ok_or("--seed needs a value")?.parse()?;
+                opts.train_flags.push("--seed");
             }
             "--threshold" => {
                 i += 1;
-                opts.threshold = args.get(i).ok_or("--threshold needs a value")?.parse()?;
-                if !opts.threshold.is_finite() || !(0.0..=1.0).contains(&opts.threshold) {
-                    return Err(
-                        format!("--threshold must be in [0, 1], got {}", opts.threshold).into(),
-                    );
+                let t: f64 = args.get(i).ok_or("--threshold needs a value")?.parse()?;
+                if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                    return Err(format!("--threshold must be in [0, 1], got {t}").into());
                 }
+                opts.threshold = Some(t);
             }
             "--workers" => {
                 i += 1;
@@ -198,8 +242,20 @@ fn parse_scan_options(args: &[String]) -> Result<ScanOptions, Box<dyn std::error
                 if opts.gnn_batch == 0 {
                     return Err("--gnn-batch must be at least 1".into());
                 }
+                opts.train_flags.push("--gnn-batch");
             }
-            "--bucket" => opts.bucket = true,
+            "--bucket" => {
+                opts.bucket = true;
+                opts.train_flags.push("--bucket");
+            }
+            "--save" => {
+                i += 1;
+                opts.save = Some(args.get(i).ok_or("--save needs a path")?.clone());
+            }
+            "--platform" => {
+                i += 1;
+                opts.platform = Some(args.get(i).ok_or("--platform needs a value")?.clone());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'").into()),
             path => opts.paths.push(path.to_string()),
         }
@@ -253,8 +309,41 @@ fn training_corpus(opts: &ScanOptions, platforms: &[Platform]) -> Corpus {
     }
 }
 
+/// Configures a builder from the shared CLI options (threshold only when
+/// explicitly given, so a loaded artifact's saved threshold survives).
+fn configure_builder(opts: &ScanOptions) -> ScannerBuilder {
+    let mut builder = ScannerBuilder::new().workers(opts.workers);
+    if let Some(t) = opts.threshold {
+        builder = builder.threshold(t);
+    }
+    builder
+}
+
+/// Builds the scanner: train-free from a saved artifact when `--model`
+/// names one, otherwise trained fresh on a synthetic corpus covering
+/// `platforms`.
+fn obtain_scanner(
+    opts: &ScanOptions,
+    platforms: &[Platform],
+) -> Result<scamdetect::Scanner, Box<dyn std::error::Error>> {
+    match &opts.model {
+        ModelSource::Load(path) => {
+            eprintln!("loading pre-trained model artifact from {path}...");
+            let scanner = configure_builder(opts).load(path)?;
+            eprintln!(
+                "serving {} (threshold {})",
+                scanner.detector().name(),
+                scanner.threshold()
+            );
+            Ok(scanner)
+        }
+        ModelSource::Train(kind) => train_scanner(opts, *kind, platforms),
+    }
+}
+
 fn train_scanner(
     opts: &ScanOptions,
+    kind: ModelKind,
     platforms: &[Platform],
 ) -> Result<scamdetect::Scanner, Box<dyn std::error::Error>> {
     let corpus = training_corpus(opts, platforms);
@@ -265,19 +354,87 @@ fn train_scanner(
     // length-bucketing so batches of similar-sized CFGs pack once.
     train.gnn.batch_size = opts.gnn_batch;
     train.gnn.bucket_by_size = opts.bucket;
-    Ok(ScannerBuilder::new()
-        .model(opts.model)
-        .threshold(opts.threshold)
-        .workers(opts.workers)
+    Ok(configure_builder(opts)
+        .model(kind)
         .train_options(train)
         .train(&corpus)?)
 }
 
+fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_scan_options(args)?;
+    let save = opts
+        .save
+        .as_deref()
+        .ok_or("train needs --save <path> for the artifact")?;
+    let kind = match &opts.model {
+        ModelSource::Train(kind) => *kind,
+        ModelSource::Load(path) => {
+            return Err(
+                format!("--model {path}: train expects a model name, not an artifact").into(),
+            )
+        }
+    };
+    let platforms = match opts.platform.as_deref() {
+        None | Some("mixed") => vec![Platform::Evm, Platform::Wasm],
+        Some("evm") => vec![Platform::Evm],
+        Some("wasm") => vec![Platform::Wasm],
+        Some(other) => return Err(format!("unknown --platform '{other}'").into()),
+    };
+    if let Some(stray) = opts.paths.first() {
+        return Err(format!("train takes no contract files (got '{stray}')").into());
+    }
+    let scanner = train_scanner(&opts, kind, &platforms)?;
+    scanner.save(save)?;
+    let size = std::fs::metadata(save)?.len();
+    println!(
+        "saved {} (threshold {}) to {save} ({size} bytes)",
+        scanner.detector().name(),
+        scanner.threshold()
+    );
+    println!("serve it with: scamdetect-cli scan --model {save} <hexfile>");
+    Ok(())
+}
+
+/// Scan-side option validation and the post-train `--save` hook, shared
+/// by `scan` and `batch`.
+fn check_scan_options(opts: &ScanOptions) -> Result<(), Box<dyn std::error::Error>> {
+    if opts.platform.is_some() {
+        return Err("--platform only applies to the train subcommand".into());
+    }
+    if matches!(opts.model, ModelSource::Load(_)) {
+        if opts.save.is_some() {
+            return Err("--save is pointless when --model loads an existing artifact".into());
+        }
+        // Loading an artifact means no training happens; accepting these
+        // silently would let users believe they changed serving behavior.
+        if let Some(flag) = opts.train_flags.first() {
+            return Err(
+                format!("{flag} has no effect when --model loads a pre-trained artifact").into(),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Persists the scanner when `--save` accompanied a fresh training run.
+fn save_if_requested(
+    opts: &ScanOptions,
+    scanner: &scamdetect::Scanner,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = opts.save.as_deref() {
+        scanner.save(path)?;
+        eprintln!("saved model artifact to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_scan(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_scan_options(args)?;
+    check_scan_options(&opts)?;
     let path = opts.paths.first().ok_or("scan needs a hex file path")?;
     let bytes = read_contract(path)?;
-    let scanner = train_scanner(&opts, &[detect_platform(&bytes)])?;
+    let scanner = obtain_scanner(&opts, &[detect_platform(&bytes)])?;
+    save_if_requested(&opts, &scanner)?;
     let report = scanner.scan(&bytes)?;
     println!("{}", report.verdict);
     Ok(())
@@ -285,6 +442,7 @@ fn cmd_scan(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_scan_options(args)?;
+    check_scan_options(&opts)?;
     if opts.paths.is_empty() {
         return Err("batch needs at least one hex file path".into());
     }
@@ -303,7 +461,8 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             platforms.push(platform);
         }
     }
-    let scanner = train_scanner(&opts, &platforms)?;
+    let scanner = obtain_scanner(&opts, &platforms)?;
+    save_if_requested(&opts, &scanner)?;
 
     let requests: Vec<ScanRequest> = contracts
         .iter()
@@ -348,12 +507,28 @@ fn cmd_demo() -> Result<(), Box<dyn std::error::Error>> {
         seed: 42,
         ..CorpusConfig::default()
     });
-    let scanner = ScamDetect::train(
-        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Combined),
-        &corpus,
-        &TrainOptions::default(),
-    )?;
-    println!("drainer: {}", scanner.scan(&drainer)?);
-    println!("token:   {}", scanner.scan(&token)?);
+    let trained = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::Combined,
+        ))
+        .train(&corpus)?;
+
+    // Train once, serve anywhere: round-trip the weights through a model
+    // artifact and score with the loaded copy — no corpus, no retraining.
+    // (Path is per-process so concurrent demos cannot race each other.)
+    let model_path =
+        std::env::temp_dir().join(format!("scamdetect-demo-model-{}.scam", std::process::id()));
+    trained.save(&model_path)?;
+    println!(
+        "saved model artifact to {} ({} bytes)",
+        model_path.display(),
+        std::fs::metadata(&model_path)?.len()
+    );
+    let scanner = ScannerBuilder::new().load(&model_path)?;
+    std::fs::remove_file(&model_path).ok();
+
+    println!("drainer: {}", scanner.scan(&drainer)?.verdict);
+    println!("token:   {}", scanner.scan(&token)?.verdict);
     Ok(())
 }

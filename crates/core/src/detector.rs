@@ -45,6 +45,52 @@ impl ClassicModel {
         ]
     }
 
+    /// Stable wire tag used by the model-artifact format. Never renumber.
+    pub fn code(self) -> u8 {
+        match self {
+            ClassicModel::LogisticRegression => 0,
+            ClassicModel::Mlp => 1,
+            ClassicModel::DecisionTree => 2,
+            ClassicModel::RandomForest => 3,
+            ClassicModel::ExtraTrees => 4,
+            ClassicModel::Knn1 => 5,
+            ClassicModel::Knn5 => 6,
+            ClassicModel::GaussianNb => 7,
+            ClassicModel::BernoulliNb => 8,
+            ClassicModel::NearestCentroid => 9,
+        }
+    }
+
+    /// Inverse of [`ClassicModel::code`].
+    pub fn from_code(code: u8) -> Option<ClassicModel> {
+        ClassicModel::all().into_iter().find(|m| m.code() == code)
+    }
+
+    /// The [`Classifier::name`] the instantiated model reports — the
+    /// reverse mapping ([`ClassicModel::from_classifier_name`]) lets a
+    /// trained trait object self-describe for persistence.
+    pub fn classifier_name(self) -> &'static str {
+        match self {
+            ClassicModel::LogisticRegression => "logistic_regression",
+            ClassicModel::Mlp => "mlp",
+            ClassicModel::DecisionTree => "decision_tree",
+            ClassicModel::RandomForest => "random_forest",
+            ClassicModel::ExtraTrees => "extra_trees",
+            ClassicModel::Knn1 => "knn_1",
+            ClassicModel::Knn5 => "knn_5",
+            ClassicModel::GaussianNb => "gaussian_nb",
+            ClassicModel::BernoulliNb => "bernoulli_nb",
+            ClassicModel::NearestCentroid => "nearest_centroid",
+        }
+    }
+
+    /// Looks the enum entry up from a [`Classifier::name`].
+    pub fn from_classifier_name(name: &str) -> Option<ClassicModel> {
+        ClassicModel::all()
+            .into_iter()
+            .find(|m| m.classifier_name() == name)
+    }
+
     /// Instantiates the model, seeded.
     pub fn instantiate(self, seed: u64) -> Box<dyn Classifier> {
         match self {
@@ -161,6 +207,47 @@ impl Detector {
                 Ok(Detector::Gnn { model })
             }
         }
+    }
+
+    /// The [`ModelKind`] this detector instantiates — `None` only for
+    /// hand-built classic classifiers outside the [`ClassicModel`]
+    /// lineup (such detectors cannot be persisted).
+    pub fn model_kind(&self) -> Option<ModelKind> {
+        match self {
+            Detector::Classic { model, features } => {
+                ClassicModel::from_classifier_name(model.name())
+                    .map(|m| ModelKind::Classic(m, *features))
+            }
+            Detector::Gnn { model } => Some(ModelKind::Gnn(model.config().kind)),
+        }
+    }
+
+    /// Persists the trained state as a versioned
+    /// [`ModelArtifact`](crate::artifact::ModelArtifact) file.
+    ///
+    /// Serving metadata defaults (threshold 0.5, default train options)
+    /// are recorded; save through [`crate::Scanner::save`] to capture the
+    /// scanner's actual threshold and training provenance.
+    ///
+    /// # Errors
+    ///
+    /// [`ScamDetectError::Artifact`] on I/O failure or a model outside
+    /// the persistable lineup.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ScamDetectError> {
+        crate::artifact::ModelArtifact::from_detector(self, 0.5, &TrainOptions::default())?
+            .save(path)
+    }
+
+    /// Loads a trained detector from a
+    /// [`ModelArtifact`](crate::artifact::ModelArtifact) file — no
+    /// corpus, no training.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ScamDetectError::Artifact`] diagnostics on truncated,
+    /// corrupted or version-mismatched artifacts.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Detector, ScamDetectError> {
+        crate::artifact::ModelArtifact::load(path)?.into_detector()
     }
 
     /// Name of the underlying model.

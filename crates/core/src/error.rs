@@ -20,6 +20,10 @@ pub enum ScamDetectError {
         /// Explanation of the problem.
         reason: &'static str,
     },
+    /// A model artifact could not be written, parsed or reconstructed
+    /// (corruption, truncation, version mismatch, I/O failure) — see
+    /// [`crate::artifact::ArtifactError`] for the precise diagnosis.
+    Artifact(crate::artifact::ArtifactError),
 }
 
 impl fmt::Display for ScamDetectError {
@@ -30,6 +34,7 @@ impl fmt::Display for ScamDetectError {
             ScamDetectError::BadCorpus { reason } => {
                 write!(f, "unusable training corpus: {reason}")
             }
+            ScamDetectError::Artifact(e) => write!(f, "model artifact: {e}"),
         }
     }
 }
@@ -38,6 +43,7 @@ impl Error for ScamDetectError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ScamDetectError::Frontend(e) => Some(e),
+            ScamDetectError::Artifact(e) => Some(e),
             _ => None,
         }
     }

@@ -20,6 +20,15 @@ pub enum FeatureKind {
 }
 
 impl FeatureKind {
+    /// All three representations.
+    pub fn all() -> [FeatureKind; 3] {
+        [
+            FeatureKind::OpcodeHistogram,
+            FeatureKind::Unified,
+            FeatureKind::Combined,
+        ]
+    }
+
     /// Lowercase name for tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -27,6 +36,20 @@ impl FeatureKind {
             FeatureKind::Unified => "unified",
             FeatureKind::Combined => "combined",
         }
+    }
+
+    /// Stable wire tag used by the model-artifact format. Never renumber.
+    pub fn code(self) -> u8 {
+        match self {
+            FeatureKind::OpcodeHistogram => 0,
+            FeatureKind::Unified => 1,
+            FeatureKind::Combined => 2,
+        }
+    }
+
+    /// Inverse of [`FeatureKind::code`].
+    pub fn from_code(code: u8) -> Option<FeatureKind> {
+        FeatureKind::all().into_iter().find(|k| k.code() == code)
     }
 }
 

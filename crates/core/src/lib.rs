@@ -24,45 +24,66 @@
 //!   both platforms, fully seeded; [`scamdetect_obfuscate`] provides the
 //!   leveled obfuscation threat model the evaluation sweeps over.
 //!
-//! ## Quickstart
+//! ## Quickstart: train once, serve anywhere
 //!
-//! The scanning surface is **batch-first**: a fluent [`ScannerBuilder`]
-//! configures the decision threshold, the skeleton-hash dedup cache and
-//! the worker fan-out, and the resulting [`Scanner`] serves one-shot and
-//! bulk scans alike.
+//! The detector lifecycle is split in two. **Training** happens once, in
+//! one process, and ends with [`Scanner::save`] writing a versioned
+//! binary [`ModelArtifact`]. **Serving** happens
+//! anywhere, any number of times: [`ScannerBuilder::load`] reconstructs a
+//! scanner from the artifact with no corpus in scope and no retraining —
+//! a CLI invocation, a fleet of replicas and a browser embed can all
+//! score with the same trained weights, and their verdicts are
+//! bit-for-bit identical to the trainer's.
 //!
 //! ```
 //! use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder};
 //! use scamdetect_dataset::{Corpus, CorpusConfig};
 //!
 //! # fn main() -> Result<(), scamdetect::ScamDetectError> {
-//! // 1. A labeled corpus (synthetic stand-in for the Etherscan dataset).
+//! # let dir = std::env::temp_dir().join("scamdetect-doc-quickstart");
+//! # std::fs::create_dir_all(&dir).unwrap();
+//! # let model_path = dir.join("model.scam");
+//! // ── Training process: corpus → scanner → artifact ───────────────
 //! let corpus = Corpus::generate(&CorpusConfig { size: 60, seed: 7, ..CorpusConfig::default() });
-//!
-//! // 2. Configure and train a scanner.
-//! let scanner = ScannerBuilder::new()
+//! let trained = ScannerBuilder::new()
 //!     .model(ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified))
 //!     .threshold(0.5)
-//!     .cache_capacity(1024)
 //!     .train(&corpus)?;
+//! trained.save(&model_path)?;
 //!
-//! // 3. Scan a batch (platforms auto-detected; ERC-1167 clones and
-//! //    resubmitted bytecode hit the dedup cache).
+//! // ── Serving process: artifact → scanner (no corpus, no training) ─
+//! let scanner = ScannerBuilder::new()
+//!     .cache_capacity(1024)
+//!     .workers(4)
+//!     .load(&model_path)?;
+//!
+//! // Scan a batch (platforms auto-detected; ERC-1167 clones and
+//! // resubmitted bytecode hit the dedup cache).
 //! let requests: Vec<ScanRequest> =
 //!     corpus.contracts().iter().take(8).map(|c| ScanRequest::new(&c.bytes)).collect();
 //! for outcome in scanner.scan_batch(&requests) {
 //!     let report = outcome?;
 //!     println!("{} (cache: {:?})", report.verdict, report.cache);
 //! }
+//! # std::fs::remove_dir_all(&dir).ok();
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! The legacy one-shot facade ([`ScamDetect::scan`]) remains as a thin
-//! wrapper over the same machinery — see [`pipeline`] for its
-//! deprecation path. The [`experiment`] module regenerates every table
-//! and figure of the evaluation (see DESIGN.md §3 and EXPERIMENTS.md).
+//! Artifacts are self-describing (magic, format version, per-section
+//! checksums) and fail loudly: a truncated download, a flipped bit or a
+//! future format version surfaces as a typed
+//! [`ScamDetectError::Artifact`] diagnosis, never a panic or a silently
+//! perturbed verdict. See the [`artifact`] module for the wire format.
+//!
+//! The legacy one-shot facade ([`ScamDetect::scan`]) is **deprecated** —
+//! it survives as a thin fixed-configuration wrapper over the same
+//! machinery (see [`pipeline`]), and new code should use
+//! [`ScannerBuilder`] directly. The [`experiment`] module regenerates
+//! every table and figure of the evaluation (see DESIGN.md §3 and
+//! EXPERIMENTS.md).
 
+pub mod artifact;
 pub mod detector;
 pub mod error;
 pub mod experiment;
@@ -72,9 +93,11 @@ pub mod pipeline;
 pub mod scan;
 pub mod verdict;
 
+pub use artifact::{ArtifactError, ModelArtifact};
 pub use detector::{ClassicModel, Detector, ModelKind, TrainOptions};
 pub use error::ScamDetectError;
 pub use featurize::{detect_platform, FeatureKind, Lifted};
+#[allow(deprecated)]
 pub use pipeline::ScamDetect;
 pub use scan::{
     CacheStatus, CfgStats, ScanOutcome, ScanReport, ScanRequest, Scanner, ScannerBuilder,

@@ -1,11 +1,23 @@
-//! The legacy one-shot scanning facade.
+//! The legacy one-shot scanning facade — **deprecated**.
 //!
-//! [`ScamDetect`] predates the batch-first API and is kept as a thin
-//! wrapper over [`crate::scan::Scanner`] so existing callers (and the
-//! experiment module) keep working unchanged. New code should build a
-//! [`crate::ScannerBuilder`] directly: it exposes the decision
-//! threshold, the skeleton-hash dedup cache, worker fan-out and
-//! [`crate::scan::ScanReport`] provenance that this facade hides.
+//! [`ScamDetect`] predates both the batch-first API and artifact
+//! persistence. It survives only for source compatibility, as a thin
+//! wrapper over [`crate::scan::Scanner`], and is now marked
+//! `#[deprecated]`. Migrate as follows:
+//!
+//! | Legacy call | Replacement |
+//! |---|---|
+//! | `ScamDetect::train(kind, &corpus, &opts)` | `ScannerBuilder::new().model(kind).train_options(opts).train(&corpus)` |
+//! | `ScamDetect::train_on(kind, &corpus, idx, &opts)` | `ScannerBuilder::new().model(kind).train_options(opts).train_on(&corpus, idx)` |
+//! | `ScamDetect::from_detector(det)` | `ScannerBuilder::new().build(det)` |
+//! | `scanner.scan(&bytes)` | `scanner.scan(&bytes)?.verdict` |
+//! | `scanner.scan_on(platform, &bytes)` | `scanner.scan_request(&ScanRequest::new(&bytes).on(platform))?.verdict` |
+//! | *(no equivalent)* | `scanner.save(path)` / `ScannerBuilder::new().load(path)` |
+//!
+//! The replacement surface exposes everything this facade hides: the
+//! decision threshold, the skeleton-hash dedup cache, worker fan-out,
+//! [`crate::scan::ScanReport`] provenance and — the reason to migrate —
+//! train-once/serve-anywhere model persistence.
 
 use crate::detector::{Detector, ModelKind, TrainOptions};
 use crate::error::ScamDetectError;
@@ -20,27 +32,14 @@ use scamdetect_ir::Platform;
 /// [`ScamDetect::scan`] takes raw on-chain bytes and returns a [`Verdict`].
 /// One scanner serves every supported platform — the paper's §V-B promise.
 ///
-/// **Deprecation path:** this type stays for source compatibility, but it
-/// is now a fixed-configuration view (threshold 0.5, no dedup cache, no
-/// parallelism) of the batch-first [`Scanner`]. Prefer
-/// [`crate::ScannerBuilder`] for new code; migrate with
-/// `ScannerBuilder::new().model(kind).train(&corpus)` and
-/// [`Scanner::scan_batch`] for bulk work.
-///
-/// # Examples
-///
-/// ```no_run
-/// use scamdetect::{ModelKind, GnnKind, ScamDetect, TrainOptions};
-/// use scamdetect_dataset::{Corpus, CorpusConfig};
-///
-/// # fn main() -> Result<(), scamdetect::ScamDetectError> {
-/// let corpus = Corpus::generate(&CorpusConfig::default());
-/// let scanner = ScamDetect::train(ModelKind::Gnn(GnnKind::Gcn), &corpus, &TrainOptions::default())?;
-/// let verdict = scanner.scan(&[0x60, 0x00, 0x60, 0x00, 0xfd])?; // PUSH PUSH REVERT
-/// println!("{verdict}");
-/// # Ok(())
-/// # }
-/// ```
+/// **Deprecated:** this type is a fixed-configuration view (threshold
+/// 0.5, no dedup cache, no parallelism, no persistence) of the
+/// batch-first [`Scanner`]. See the [module docs](crate::pipeline) for
+/// the call-by-call migration map.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ScannerBuilder::{train, load} and Scanner; see scamdetect::pipeline for the migration map"
+)]
 #[derive(Debug)]
 pub struct ScamDetect {
     scanner: Scanner,
@@ -52,6 +51,7 @@ fn legacy_builder() -> ScannerBuilder {
     ScannerBuilder::new().threshold(0.5).cache_capacity(0)
 }
 
+#[allow(deprecated)]
 impl ScamDetect {
     /// Trains a scanner of `kind` on the full corpus.
     ///
@@ -99,8 +99,8 @@ impl ScamDetect {
     }
 
     /// The batch-first scanner this facade wraps — the migration escape
-    /// hatch when a caller wants [`Scanner::scan_batch`] without
-    /// retraining.
+    /// hatch when a caller wants [`Scanner::scan_batch`] (or
+    /// [`Scanner::save`]) without retraining.
     pub fn scanner(&self) -> &Scanner {
         &self.scanner
     }
@@ -131,62 +131,18 @@ impl ScamDetect {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::detector::ClassicModel;
     use crate::featurize::FeatureKind;
     use scamdetect_dataset::CorpusConfig;
 
+    /// The one compatibility test the deprecation path keeps: the facade
+    /// must stay source-compatible and produce exactly the verdicts a
+    /// direct detector score would, on both platforms, until removal.
     #[test]
-    fn end_to_end_scan_auto_platform() {
-        let corpus = Corpus::generate(&CorpusConfig {
-            size: 30,
-            seed: 21,
-            ..CorpusConfig::default()
-        });
-        let scanner = ScamDetect::train(
-            ModelKind::Classic(ClassicModel::DecisionTree, FeatureKind::Unified),
-            &corpus,
-            &TrainOptions::default(),
-        )
-        .unwrap();
-
-        // EVM bytes scan as EVM.
-        let v = scanner.scan(&corpus.contracts()[0].bytes).unwrap();
-        assert_eq!(v.platform, Platform::Evm);
-        assert!(v.blocks > 0);
-
-        // WASM bytes scan as WASM.
-        let wasm_corpus = Corpus::generate(&CorpusConfig {
-            size: 4,
-            platform: Platform::Wasm,
-            seed: 3,
-            ..CorpusConfig::default()
-        });
-        let v2 = scanner.scan(&wasm_corpus.contracts()[0].bytes).unwrap();
-        assert_eq!(v2.platform, Platform::Wasm);
-    }
-
-    #[test]
-    fn scan_rejects_garbage_wasm() {
-        let corpus = Corpus::generate(&CorpusConfig {
-            size: 20,
-            seed: 2,
-            ..CorpusConfig::default()
-        });
-        let scanner = ScamDetect::train(
-            ModelKind::Classic(ClassicModel::Knn1, FeatureKind::Unified),
-            &corpus,
-            &TrainOptions::default(),
-        )
-        .unwrap();
-        assert!(scanner.scan(b"\0asm____garbage").is_err());
-    }
-
-    #[test]
-    fn facade_matches_detector_score() {
-        // The wrapper must preserve exact one-shot semantics: the verdict
-        // probability equals a direct detector score of the same bytes.
+    fn deprecated_facade_remains_compatible() {
         let corpus = Corpus::generate(&CorpusConfig {
             size: 30,
             seed: 33,
@@ -198,6 +154,8 @@ mod tests {
             &TrainOptions::default(),
         )
         .unwrap();
+
+        // Verdict probabilities equal a direct detector score bit-for-bit.
         for c in corpus.contracts().iter().take(5) {
             let v = scanner.scan(&c.bytes).unwrap();
             let p = scanner
@@ -205,6 +163,20 @@ mod tests {
                 .score_bytes(c.platform, &c.bytes)
                 .unwrap();
             assert_eq!(v.malicious_probability, p);
+            assert_eq!(v.platform, c.platform);
         }
+
+        // Cross-platform one-shot scanning still auto-detects.
+        let wasm_corpus = Corpus::generate(&CorpusConfig {
+            size: 4,
+            platform: Platform::Wasm,
+            seed: 3,
+            ..CorpusConfig::default()
+        });
+        let v = scanner.scan(&wasm_corpus.contracts()[0].bytes).unwrap();
+        assert_eq!(v.platform, Platform::Wasm);
+
+        // Garbage still fails loudly.
+        assert!(scanner.scan(b"\0asm____garbage").is_err());
     }
 }

@@ -23,20 +23,37 @@
 //!   exactly once (the [`Lifted`] artifact), shared between verdict
 //!   statistics and model scoring.
 //!
-//! # Quickstart
+//! # Quickstart: train once, serve anywhere
+//!
+//! A scanner is born one of two ways: **trained** from a corpus
+//! ([`ScannerBuilder::train`]) or **loaded** from a saved
+//! [`ModelArtifact`] ([`ScannerBuilder::load`]) with no corpus in scope.
+//! Training is the expensive step — serving replicas, CLI runs and
+//! embeds load the artifact instead and score with bit-for-bit the same
+//! verdicts:
 //!
 //! ```
 //! use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder};
 //! use scamdetect_dataset::{Corpus, CorpusConfig};
 //!
 //! # fn main() -> Result<(), scamdetect::ScamDetectError> {
+//! # let dir = std::env::temp_dir().join("scamdetect-doc-scan");
+//! # std::fs::create_dir_all(&dir).unwrap();
+//! # let model_path = dir.join("model.scam");
+//! // Train once…
 //! let corpus = Corpus::generate(&CorpusConfig { size: 60, seed: 7, ..CorpusConfig::default() });
-//! let scanner = ScannerBuilder::new()
+//! ScannerBuilder::new()
 //!     .model(ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified))
 //!     .threshold(0.5)
+//!     .train(&corpus)?
+//!     .save(&model_path)?;
+//!
+//! // …serve anywhere: train-free construction from the artifact, with
+//! // cache capacity / workers / threshold still overridable at load.
+//! let scanner = ScannerBuilder::new()
 //!     .cache_capacity(1024)
 //!     .workers(4)
-//!     .train(&corpus)?;
+//!     .load(&model_path)?;
 //!
 //! let requests: Vec<ScanRequest> =
 //!     corpus.contracts().iter().map(|c| ScanRequest::new(&c.bytes)).collect();
@@ -44,10 +61,14 @@
 //!     let report = outcome?;
 //!     println!("{} (cache: {:?}, {:?})", report.verdict, report.cache, report.elapsed);
 //! }
+//! # std::fs::remove_dir_all(&dir).ok();
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! [`ModelArtifact`]: crate::artifact::ModelArtifact
 
+use crate::artifact::ModelArtifact;
 use crate::detector::{ClassicModel, Detector, ModelKind, TrainOptions};
 use crate::error::ScamDetectError;
 use crate::featurize::{detect_platform, FeatureKind, Lifted};
@@ -155,8 +176,14 @@ pub struct ScanReport {
     pub skeleton: u64,
     /// Whether the result was computed or served from dedup.
     pub cache: CacheStatus,
-    /// Wall-clock time attributable to this request (lift + score for
-    /// misses; assembly-only for hits).
+    /// Compute time attributable to this request: the wall-clock cost of
+    /// the lift + score for a [`CacheStatus::Miss`], and exactly
+    /// [`Duration::ZERO`] for every hit ([`CacheStatus::CacheHit`] /
+    /// [`CacheStatus::BatchHit`]) — a memoised verdict costs no
+    /// recompute. Every scan path ([`Scanner::scan`],
+    /// [`Scanner::scan_request`], [`Scanner::scan_batch`]) reports the
+    /// same quantity, so summing `elapsed` over a batch measures real
+    /// detector work regardless of how requests were deduplicated.
     pub elapsed: Duration,
     /// CFG statistics of the scored contract.
     pub cfg: CfgStats,
@@ -207,7 +234,10 @@ pub type ScanOutcome = Result<ScanReport, ScamDetectError>;
 #[derive(Debug, Clone)]
 pub struct ScannerBuilder {
     model: ModelKind,
-    threshold: f64,
+    /// `None` until [`ScannerBuilder::threshold`] is called: training
+    /// falls back to 0.5, while [`ScannerBuilder::load`] falls back to
+    /// the threshold recorded in the artifact.
+    threshold: Option<f64>,
     cache_capacity: usize,
     workers: usize,
     platform: Option<Platform>,
@@ -226,7 +256,7 @@ impl ScannerBuilder {
     pub fn new() -> Self {
         ScannerBuilder {
             model: ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
-            threshold: 0.5,
+            threshold: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             workers: 0,
             platform: None,
@@ -240,7 +270,11 @@ impl ScannerBuilder {
         self
     }
 
-    /// Decision threshold on P(malicious), in `[0, 1]` (default `0.5`).
+    /// Decision threshold on P(malicious), in `[0, 1]`.
+    ///
+    /// When left unset, training builds default to `0.5` and
+    /// [`ScannerBuilder::load`] adopts the threshold recorded in the
+    /// artifact; setting it explicitly overrides both.
     ///
     /// # Panics
     ///
@@ -250,7 +284,7 @@ impl ScannerBuilder {
             threshold.is_finite() && (0.0..=1.0).contains(&threshold),
             "threshold must be in [0, 1], got {threshold}"
         );
-        self.threshold = threshold;
+        self.threshold = Some(threshold);
         self
     }
 
@@ -306,14 +340,57 @@ impl ScannerBuilder {
         Ok(self.build(detector))
     }
 
+    /// Constructs a serving scanner from a saved
+    /// [`ModelArtifact`] file — **train-free**: no corpus is needed (or
+    /// even accessible from this call), the trained weights come from the
+    /// artifact. The builder's cache capacity, worker count and platform
+    /// override apply as usual; the decision threshold defaults to the
+    /// one recorded at save time and is overridden by an explicit
+    /// [`ScannerBuilder::threshold`] call.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ScamDetectError::Artifact`] diagnostics on missing files
+    /// and truncated / corrupted / version-mismatched artifacts.
+    pub fn load(self, path: impl AsRef<std::path::Path>) -> Result<Scanner, ScamDetectError> {
+        let artifact = ModelArtifact::load(path)?;
+        self.from_artifact(&artifact)
+    }
+
+    /// [`ScannerBuilder::load`] from an in-memory artifact byte buffer —
+    /// the entry point for environments without a filesystem (browser
+    /// embeds, object-store blobs).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ScannerBuilder::load`], minus file I/O.
+    pub fn load_bytes(self, bytes: &[u8]) -> Result<Scanner, ScamDetectError> {
+        let artifact = ModelArtifact::from_bytes(bytes)?;
+        self.from_artifact(&artifact)
+    }
+
+    /// [`ScannerBuilder::load`] from an already-parsed artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ScamDetectError::Artifact`] when the artifact's state sections
+    /// cannot reconstruct the declared model.
+    pub fn from_artifact(mut self, artifact: &ModelArtifact) -> Result<Scanner, ScamDetectError> {
+        let detector = artifact.into_detector()?;
+        self.threshold = Some(self.threshold.unwrap_or_else(|| artifact.threshold()));
+        self.train_options = artifact.train_options().clone();
+        Ok(self.build(detector))
+    }
+
     /// Wraps an already-trained detector without retraining.
     pub fn build(self, detector: Detector) -> Scanner {
         Scanner {
             model_name: detector.name(),
             detector,
-            threshold: self.threshold,
+            threshold: self.threshold.unwrap_or(0.5),
             workers: self.workers,
             platform: self.platform,
+            train_options: self.train_options,
             cache: Mutex::new(LruCache::new(self.cache_capacity)),
         }
     }
@@ -341,6 +418,8 @@ pub struct Scanner {
     threshold: f64,
     workers: usize,
     platform: Option<Platform>,
+    /// Training provenance, recorded into saved artifacts.
+    train_options: TrainOptions,
     cache: Mutex<LruCache<CacheKey, CachedScan>>,
 }
 
@@ -348,6 +427,30 @@ impl Scanner {
     /// The underlying trained detector.
     pub fn detector(&self) -> &Detector {
         &self.detector
+    }
+
+    /// Persists the trained model (with this scanner's threshold and
+    /// training provenance) as a versioned [`ModelArtifact`] file, ready
+    /// for [`ScannerBuilder::load`] in any other process.
+    ///
+    /// # Errors
+    ///
+    /// [`ScamDetectError::Artifact`] on I/O failure or a hand-built
+    /// model outside the persistable lineup.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ScamDetectError> {
+        self.to_artifact()?.save(path)
+    }
+
+    /// The in-memory artifact form of this scanner's trained model —
+    /// serialize with [`ModelArtifact::to_bytes`] to ship it without a
+    /// filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`ScamDetectError::Artifact`] for models outside the persistable
+    /// lineup.
+    pub fn to_artifact(&self) -> Result<ModelArtifact, ScamDetectError> {
+        ModelArtifact::from_detector(&self.detector, self.threshold, &self.train_options)
     }
 
     /// The decision threshold on P(malicious).
@@ -391,7 +494,10 @@ impl Scanner {
         let platform = self.resolve_platform(request);
         let key = (platform, fingerprint(platform, request.bytes()));
         if let Some(cached) = self.cache_lookup(&key) {
-            return Ok(self.assemble(key, CacheStatus::CacheHit, cached, started.elapsed()));
+            // Hits report Duration::ZERO on every path (see
+            // [`ScanReport::elapsed`]): a memoised verdict costs no
+            // recompute, and lock/assembly overhead is not detector work.
+            return Ok(self.assemble(key, CacheStatus::CacheHit, cached, Duration::ZERO));
         }
         let computed = self.compute(platform, request.bytes())?;
         self.cache_store(key, computed);
@@ -807,6 +913,88 @@ mod tests {
             .scan_request(&ScanRequest::new(bytes).on(Platform::Evm))
             .unwrap();
         assert_eq!(report.verdict.platform, Platform::Evm);
+    }
+
+    /// Deliberately takes only a path: proves a serving scanner is
+    /// constructed with no `Corpus` anywhere in scope.
+    fn load_without_corpus(path: &std::path::Path) -> Result<Scanner, ScamDetectError> {
+        ScannerBuilder::new().load(path)
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical_and_train_free() {
+        let dir = std::env::temp_dir().join(format!("scamdetect-scan-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rf.scam");
+
+        let trained = ScannerBuilder::new()
+            .threshold(0.7)
+            .train(&corpus())
+            .unwrap();
+        trained.save(&path).unwrap();
+
+        let loaded = load_without_corpus(&path).unwrap();
+        // The artifact threshold rides along…
+        assert_eq!(loaded.threshold(), 0.7);
+        // …and probabilities reproduce bit-for-bit.
+        for c in corpus().contracts().iter().take(8) {
+            let a = trained.scan(&c.bytes).unwrap().verdict;
+            let b = loaded.scan(&c.bytes).unwrap().verdict;
+            assert_eq!(
+                a.malicious_probability.to_bits(),
+                b.malicious_probability.to_bits()
+            );
+            assert_eq!(a.model, b.model);
+        }
+
+        // An explicit builder threshold overrides the stored one; cache
+        // and workers are builder-controlled as usual.
+        let overridden = ScannerBuilder::new()
+            .threshold(0.95)
+            .workers(2)
+            .cache_capacity(16)
+            .load(&path)
+            .unwrap();
+        assert_eq!(overridden.threshold(), 0.95);
+        assert_eq!(overridden.workers(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_garbage_is_a_typed_artifact_error() {
+        let dir = std::env::temp_dir().join(format!("scamdetect-scan-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.scam");
+        std::fs::write(&path, b"definitely not a model artifact").unwrap();
+        let err = ScannerBuilder::new().load(&path).unwrap_err();
+        assert!(matches!(err, ScamDetectError::Artifact(_)));
+        let missing = ScannerBuilder::new()
+            .load(dir.join("nope.scam"))
+            .unwrap_err();
+        assert!(matches!(missing, ScamDetectError::Artifact(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_hits_report_zero_elapsed_on_every_path() {
+        let s = scanner();
+        let c = corpus();
+        let bytes = &c.contracts()[0].bytes;
+        let miss = s.scan(bytes).unwrap();
+        assert_eq!(miss.cache, CacheStatus::Miss);
+        assert!(miss.elapsed > Duration::ZERO);
+        // One-shot path: warm hit is ZERO.
+        let warm = s.scan(bytes).unwrap();
+        assert_eq!(warm.cache, CacheStatus::CacheHit);
+        assert_eq!(warm.elapsed, Duration::ZERO);
+        // Batch path: warm and duplicate hits are ZERO too.
+        let requests = [ScanRequest::new(bytes), ScanRequest::new(bytes)];
+        for outcome in s.scan_batch(&requests) {
+            let report = outcome.unwrap();
+            assert!(report.cache.is_hit());
+            assert_eq!(report.elapsed, Duration::ZERO);
+        }
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Embedded serving: score contracts with pre-trained weights, anywhere.
+//!
+//! This crate is the **serve-anywhere** end of the train-once /
+//! serve-anywhere split for hosts that have *nothing but bytes*: no
+//! filesystem, no threads, no clocks. That is exactly the environment of
+//! a browser embed compiled to `wasm32-unknown-unknown` — and also of
+//! plugin sandboxes, mobile FFI layers and unikernels.
+//!
+//! [`EmbedScanner`] deliberately avoids every host facility the full
+//! [`scamdetect::Scanner`] leans on:
+//!
+//! * **No filesystem** — models arrive as an in-memory
+//!   `ModelArtifact` byte buffer ([`EmbedScanner::from_artifact_bytes`]),
+//!   e.g. `fetch()`ed next to the wasm module.
+//! * **No threads** — scoring is a plain `&self` call on the calling
+//!   "thread"; there is no worker fan-out to spawn.
+//! * **No clocks** — no `Instant::now()`, which traps on
+//!   `wasm32-unknown-unknown`.
+//!
+//! Verdicts are **bit-for-bit identical** to the training process's: the
+//! artifact restores the exact trained state, and scoring runs the same
+//! deterministic pipeline.
+//!
+//! A browser embed wraps this with its favourite bindgen; the API is
+//! plain bytes-in / numbers-out so no binding layer is assumed:
+//!
+//! ```
+//! use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScannerBuilder};
+//! use scamdetect_dataset::{Corpus, CorpusConfig};
+//! use scamdetect_embed::EmbedScanner;
+//!
+//! # fn main() -> Result<(), scamdetect::ScamDetectError> {
+//! // Server side, once: train and export the artifact bytes.
+//! let corpus = Corpus::generate(&CorpusConfig { size: 40, seed: 9, ..CorpusConfig::default() });
+//! let trained = ScannerBuilder::new()
+//!     .model(ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified))
+//!     .train(&corpus)?;
+//! let artifact_bytes = trained.to_artifact()?.to_bytes();
+//!
+//! // Embedded side, everywhere: reconstruct from bytes and score.
+//! let embed = EmbedScanner::from_artifact_bytes(&artifact_bytes)?;
+//! let verdict = embed.classify(&corpus.contracts()[0].bytes)?;
+//! println!("{verdict}");
+//! # Ok(())
+//! # }
+//! ```
+
+use scamdetect::featurize::{detect_platform, Lifted};
+use scamdetect::{Detector, ModelArtifact, ScamDetectError, Verdict};
+use scamdetect_ir::Platform;
+
+/// A pre-trained detector serving from an in-memory artifact: the
+/// filesystem-free, thread-free, clock-free scoring surface.
+#[derive(Debug)]
+pub struct EmbedScanner {
+    detector: Detector,
+    model_name: String,
+    threshold: f64,
+}
+
+impl EmbedScanner {
+    /// Reconstructs the trained model from `ModelArtifact` bytes.
+    ///
+    /// The artifact's saved decision threshold is adopted; override it
+    /// with [`EmbedScanner::with_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ScamDetectError::Artifact`] diagnostics on truncated,
+    /// corrupted or version-mismatched buffers — never a panic, which
+    /// matters doubly inside a wasm sandbox where a trap kills the host
+    /// page's worker.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<EmbedScanner, ScamDetectError> {
+        let artifact = ModelArtifact::from_bytes(bytes)?;
+        let detector = artifact.into_detector()?;
+        Ok(EmbedScanner {
+            model_name: detector.name(),
+            detector,
+            threshold: artifact.threshold(),
+        })
+    }
+
+    /// Overrides the decision threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is not a finite value in `[0, 1]`.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1], got {threshold}"
+        );
+        self.threshold = threshold;
+        self
+    }
+
+    /// The active decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The model's name (architecture + feature representation).
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// The reconstructed detector (for direct feature-level access).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// P(malicious) of raw contract bytes, platform auto-detected.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn score(&self, bytes: &[u8]) -> Result<f64, ScamDetectError> {
+        self.score_on(detect_platform(bytes), bytes)
+    }
+
+    /// P(malicious) of raw contract bytes on a pinned platform.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn score_on(&self, platform: Platform, bytes: &[u8]) -> Result<f64, ScamDetectError> {
+        let lifted = Lifted::from_bytes(platform, bytes)?;
+        Ok(self.detector.score_lifted(&lifted))
+    }
+
+    /// Full verdict (label, probability, CFG statistics), platform
+    /// auto-detected.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn classify(&self, bytes: &[u8]) -> Result<Verdict, ScamDetectError> {
+        self.classify_on(detect_platform(bytes), bytes)
+    }
+
+    /// Full verdict on a pinned platform.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors when the bytes are not a valid contract.
+    pub fn classify_on(
+        &self,
+        platform: Platform,
+        bytes: &[u8],
+    ) -> Result<Verdict, ScamDetectError> {
+        let lifted = Lifted::from_bytes(platform, bytes)?;
+        let probability = self.detector.score_lifted(&lifted);
+        Ok(Verdict::decide(
+            probability,
+            self.threshold,
+            platform,
+            self.model_name.clone(),
+            lifted.cfg.block_count(),
+            lifted.cfg.instruction_count(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scamdetect::{ClassicModel, FeatureKind, GnnKind, ModelKind, ScannerBuilder, TrainOptions};
+    use scamdetect_dataset::{Corpus, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            size: 30,
+            seed: 0xE3B,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn embed_matches_native_scanner_bit_for_bit() {
+        let c = corpus();
+        let trained = ScannerBuilder::new()
+            .model(ModelKind::Classic(
+                ClassicModel::RandomForest,
+                FeatureKind::Combined,
+            ))
+            .threshold(0.4)
+            .train(&c)
+            .expect("trains");
+        let bytes = trained.to_artifact().unwrap().to_bytes();
+        let embed = EmbedScanner::from_artifact_bytes(&bytes).expect("loads");
+        assert_eq!(embed.threshold(), 0.4);
+        for contract in c.contracts().iter().take(10) {
+            let native = trained.scan(&contract.bytes).unwrap().verdict;
+            let embedded = embed.classify(&contract.bytes).unwrap();
+            assert_eq!(
+                native.malicious_probability.to_bits(),
+                embedded.malicious_probability.to_bits()
+            );
+            assert_eq!(native.label, embedded.label);
+            assert_eq!(native.platform, embedded.platform);
+        }
+    }
+
+    #[test]
+    fn embed_serves_gnn_artifacts() {
+        let c = corpus();
+        let mut options = TrainOptions::default();
+        options.gnn.epochs = 2;
+        let trained = ScannerBuilder::new()
+            .model(ModelKind::Gnn(GnnKind::Gcn))
+            .train_options(options)
+            .train(&c)
+            .expect("trains");
+        let bytes = trained.to_artifact().unwrap().to_bytes();
+        let embed = EmbedScanner::from_artifact_bytes(&bytes).expect("loads");
+        let native = trained.scan(&c.contracts()[0].bytes).unwrap().verdict;
+        let embedded = embed.classify(&c.contracts()[0].bytes).unwrap();
+        assert_eq!(
+            native.malicious_probability.to_bits(),
+            embedded.malicious_probability.to_bits()
+        );
+    }
+
+    #[test]
+    fn corrupted_buffer_fails_typed() {
+        let err = EmbedScanner::from_artifact_bytes(b"not an artifact").unwrap_err();
+        assert!(matches!(err, ScamDetectError::Artifact(_)));
+    }
+
+    #[test]
+    fn threshold_override() {
+        let c = corpus();
+        let trained = ScannerBuilder::new().train(&c).unwrap();
+        let bytes = trained.to_artifact().unwrap().to_bytes();
+        let embed = EmbedScanner::from_artifact_bytes(&bytes)
+            .unwrap()
+            .with_threshold(0.0);
+        // Threshold 0 flags everything.
+        let verdict = embed.classify(&c.contracts()[0].bytes).unwrap();
+        assert!(verdict.is_malicious());
+    }
+}

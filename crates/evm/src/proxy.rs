@@ -84,15 +84,25 @@ pub fn make_erc1167(implementation: &[u8; 20]) -> Vec<u8> {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// FNV-1a over raw bytes — the shared fingerprint primitive behind
-/// [`skeleton_hash`] and the WASM dedup keys in the dataset and scanner.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
+/// The FNV-1a offset basis — the seed for [`fnv1a_extend`] chains.
+pub const FNV1A_OFFSET_BASIS: u64 = FNV_OFFSET;
+
+/// Folds `bytes` into a running FNV-1a hash, so multi-part inputs
+/// (e.g. a section name followed by its payload) hash without
+/// concatenation. Seed the chain with [`FNV1A_OFFSET_BASIS`].
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
     }
-    h
+    hash
+}
+
+/// FNV-1a over raw bytes — the shared fingerprint primitive behind
+/// [`skeleton_hash`], the WASM dedup keys in the dataset and scanner,
+/// and the model-artifact section checksums.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
 }
 
 /// A cheap structural fingerprint for near-duplicate detection: the FNV-1a

@@ -7,6 +7,9 @@
 use crate::graph_batch::{DenseGraph, GraphBatch, PreparedGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use scamdetect_tensor::io::{
+    export_parameters, import_parameters, ByteReader, ByteWriter, CodecError, ParamIo, Sections,
+};
 use scamdetect_tensor::{init, Matrix, ParamId, Parameters, Tape, Var};
 use std::sync::Arc;
 
@@ -48,6 +51,22 @@ impl GnnKind {
             GnnKind::Sage => "graphsage",
         }
     }
+
+    /// Stable wire tag used by the model-artifact format. Never renumber.
+    pub fn code(self) -> u8 {
+        match self {
+            GnnKind::Gcn => 0,
+            GnnKind::Gat => 1,
+            GnnKind::Gin => 2,
+            GnnKind::Tag => 3,
+            GnnKind::Sage => 4,
+        }
+    }
+
+    /// Inverse of [`GnnKind::code`].
+    pub fn from_code(code: u8) -> Option<GnnKind> {
+        GnnKind::all().into_iter().find(|k| k.code() == code)
+    }
 }
 
 impl std::fmt::Display for GnnKind {
@@ -80,6 +99,20 @@ impl Readout {
             Readout::Max => "max",
             Readout::Sum => "sum",
         }
+    }
+
+    /// Stable wire tag used by the model-artifact format. Never renumber.
+    pub fn code(self) -> u8 {
+        match self {
+            Readout::Mean => 0,
+            Readout::Max => 1,
+            Readout::Sum => 2,
+        }
+    }
+
+    /// Inverse of [`Readout::code`].
+    pub fn from_code(code: u8) -> Option<Readout> {
+        Readout::all().into_iter().find(|r| r.code() == code)
     }
 }
 
@@ -520,6 +553,103 @@ impl GnnClassifier {
     }
 }
 
+/// Decode-side bounds on the architecture a serialized [`GnnConfig`] may
+/// describe: generous multiples of anything this framework trains, tight
+/// enough that a crafted artifact cannot coerce the importer into
+/// allocating absurd weight matrices.
+const MAX_GNN_DIM: usize = 1 << 14;
+const MAX_GNN_LAYERS: usize = 64;
+const MAX_GNN_HEADS: usize = 32;
+const MAX_GNN_TAG_K: usize = 32;
+
+impl GnnConfig {
+    /// Serializes the configuration (stable wire tags, little-endian).
+    pub fn write_into(&self, w: &mut ByteWriter) {
+        w.put_u8(self.kind.code());
+        w.put_usize(self.input_dim);
+        w.put_usize(self.hidden);
+        w.put_usize(self.layers);
+        w.put_u8(self.readout.code());
+        w.put_usize(self.heads);
+        w.put_usize(self.tag_k);
+        w.put_u64(self.seed);
+    }
+
+    /// Reads a configuration written by [`GnnConfig::write_into`],
+    /// validating tags and architecture bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, an unknown architecture/readout tag,
+    /// or out-of-bounds dimensions.
+    pub fn read_from(r: &mut ByteReader<'_>) -> Result<GnnConfig, CodecError> {
+        let kind =
+            GnnKind::from_code(r.get_u8("gnn architecture tag")?).ok_or(CodecError::Malformed {
+                context: "unknown gnn architecture tag",
+            })?;
+        let input_dim = r.get_usize("gnn input dim")?;
+        let hidden = r.get_usize("gnn hidden width")?;
+        let layers = r.get_usize("gnn layer count")?;
+        let readout =
+            Readout::from_code(r.get_u8("gnn readout tag")?).ok_or(CodecError::Malformed {
+                context: "unknown gnn readout tag",
+            })?;
+        let heads = r.get_usize("gnn head count")?;
+        let tag_k = r.get_usize("gnn tag hop count")?;
+        let seed = r.get_u64("gnn seed")?;
+        let plausible = (1..=MAX_GNN_DIM).contains(&input_dim)
+            && (1..=MAX_GNN_DIM).contains(&hidden)
+            && (1..=MAX_GNN_LAYERS).contains(&layers)
+            && (1..=MAX_GNN_HEADS).contains(&heads)
+            && tag_k <= MAX_GNN_TAG_K;
+        if !plausible {
+            return Err(CodecError::Malformed {
+                context: "gnn config: implausible architecture dimensions",
+            });
+        }
+        Ok(GnnConfig {
+            kind,
+            input_dim,
+            hidden,
+            layers,
+            readout,
+            heads,
+            tag_k,
+            seed,
+        })
+    }
+}
+
+impl ParamIo for GnnClassifier {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        self.config.write_into(&mut w);
+        sections.push("gnn.config", w.into_bytes());
+        export_parameters(&self.params, "gnn.tensor.", sections);
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("gnn.config")?);
+        let config = GnnConfig::read_from(&mut r)?;
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "gnn.config: trailing bytes",
+            });
+        }
+        // Rebuild the architecture from the config — layer layout and
+        // parameter names are a pure function of it — then overwrite every
+        // tensor, shape-checked, from its named section.
+        let mut fresh = GnnClassifier::new(config);
+        import_parameters(&mut fresh.params, "gnn.tensor.", sections)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        self.config.input_dim == dim
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +733,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn every_architecture_state_round_trips_bit_for_bit() {
+        let g = toy_graph(1);
+        for kind in GnnKind::all() {
+            let model = GnnClassifier::new(
+                GnnConfig::new(kind, 6)
+                    .with_hidden(12)
+                    .with_readout(Readout::Max)
+                    .with_seed(41),
+            );
+            let mut sections = Sections::new();
+            model.export_state(&mut sections);
+            // A differently-seeded, differently-shaped fresh model must be
+            // fully overwritten by the import.
+            let mut restored = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 3).with_seed(9));
+            restored.import_state(&sections).expect("import succeeds");
+            assert_eq!(restored.name(), model.name());
+            assert_eq!(restored.config().hidden, 12);
+            assert_eq!(
+                model.score(&g).to_bits(),
+                restored.score(&g).to_bits(),
+                "{kind}: score drifted through persistence"
+            );
+        }
+    }
+
+    #[test]
+    fn import_rejects_corrupt_config() {
+        let model = GnnClassifier::new(GnnConfig::new(GnnKind::Gin, 6));
+        let mut sections = Sections::new();
+        model.export_state(&mut sections);
+        // An unknown architecture tag must fail typed, not panic.
+        let mut bad = Sections::new();
+        for (name, bytes) in sections.iter() {
+            let mut payload = bytes.to_vec();
+            if name == "gnn.config" {
+                payload[0] = 0xFF;
+            }
+            bad.push(name, payload);
+        }
+        let mut target = GnnClassifier::new(GnnConfig::new(GnnKind::Gcn, 6));
+        assert!(target.import_state(&bad).is_err());
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_invertible() {
+        for kind in GnnKind::all() {
+            assert_eq!(GnnKind::from_code(kind.code()), Some(kind));
+        }
+        for readout in Readout::all() {
+            assert_eq!(Readout::from_code(readout.code()), Some(readout));
+        }
+        assert_eq!(GnnKind::from_code(200), None);
+        assert_eq!(Readout::from_code(200), None);
     }
 
     #[test]

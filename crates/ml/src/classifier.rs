@@ -2,11 +2,16 @@
 
 use crate::dataset::FeatureSet;
 use crate::metrics::EvalRow;
+use scamdetect_tensor::io::ParamIo;
 
 /// A trainable binary classifier over dense feature vectors.
 ///
-/// Implementations must be deterministic given their construction seed.
-pub trait Classifier: Send + Sync {
+/// Implementations must be deterministic given their construction seed,
+/// and — via the [`ParamIo`] supertrait — must export their complete
+/// trained state so a freshly instantiated model restores to bit-for-bit
+/// identical scores. This is what makes every classic detector a
+/// first-class, portable `ModelArtifact` payload.
+pub trait Classifier: ParamIo + Send + Sync {
     /// Human-readable model name (appears in result tables).
     fn name(&self) -> &str;
 

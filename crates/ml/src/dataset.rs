@@ -104,6 +104,31 @@ impl Standardizer {
     pub fn transform(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
         data.iter().map(|r| self.transform_row(r)).collect()
     }
+
+    /// Serializes the fitted statistics (exact `f64` bit patterns).
+    pub fn write_into(&self, w: &mut scamdetect_tensor::io::ByteWriter) {
+        w.put_f64_slice(&self.mean);
+        w.put_f64_slice(&self.std);
+    }
+
+    /// Reads statistics written by [`Standardizer::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`scamdetect_tensor::io::CodecError`] on truncation or a
+    /// mean/std length mismatch.
+    pub fn read_from(
+        r: &mut scamdetect_tensor::io::ByteReader<'_>,
+    ) -> Result<Standardizer, scamdetect_tensor::io::CodecError> {
+        let mean = r.get_f64_vec("standardizer mean")?;
+        let std = r.get_f64_vec("standardizer std")?;
+        if mean.len() != std.len() {
+            return Err(scamdetect_tensor::io::CodecError::Malformed {
+                context: "standardizer: mean/std length mismatch",
+            });
+        }
+        Ok(Standardizer { mean, std })
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use crate::dataset::FeatureSet;
 use crate::tree::{DecisionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use scamdetect_tensor::io::{ByteReader, ByteWriter, CodecError, ParamIo, Sections};
 
 /// An ensemble of CART trees on bootstrap samples with per-split feature
 /// subsampling (Breiman's random forest), or — with
@@ -84,6 +85,61 @@ impl Classifier for RandomForest {
             return 0.5;
         }
         self.trees.iter().map(|t| t.score(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+impl ParamIo for RandomForest {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.n_trees);
+        w.put_u64(self.seed);
+        w.put_bool(self.extra);
+        w.put_u32(u32::try_from(self.trees.len()).expect("ensemble fits u32"));
+        for tree in &self.trees {
+            tree.write_into(&mut w);
+        }
+        sections.push("forest", w.into_bytes());
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("forest")?);
+        let n_trees = r.get_usize("forest n_trees")?;
+        let seed = r.get_u64("forest seed")?;
+        let extra = r.get_bool("forest extra flag")?;
+        let fitted = r.get_u32("forest fitted tree count")? as usize;
+        // Each encoded tree occupies well over one byte: a count that
+        // exceeds the remaining payload is corrupt, and checking first
+        // keeps the loop allocation bounded by the input size.
+        if fitted > r.remaining() {
+            return Err(CodecError::Truncated {
+                context: "forest trees",
+                needed: fitted,
+                available: r.remaining(),
+            });
+        }
+        let mut trees = Vec::with_capacity(fitted);
+        for _ in 0..fitted {
+            trees.push(DecisionTree::read_from(&mut r)?);
+        }
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "forest: trailing bytes",
+            });
+        }
+        self.n_trees = n_trees;
+        self.seed = seed;
+        self.extra = extra;
+        self.trees = trees;
+        self.name = if extra {
+            "extra_trees"
+        } else {
+            "random_forest"
+        };
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        self.trees.iter().all(|t| t.state_matches_dim(dim))
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::classifier::Classifier;
 use crate::dataset::{FeatureSet, Standardizer};
+use scamdetect_tensor::io::{ByteReader, ByteWriter, CodecError, ParamIo, Sections};
 
 /// k-NN with Euclidean distance on standardized features; the score is the
 /// malicious fraction among the k nearest training samples.
@@ -63,6 +64,62 @@ impl Classifier for KNearest {
         });
         let ones = dists[..k].iter().filter(|(_, l)| *l == 1).count();
         ones as f64 / k as f64
+    }
+}
+
+impl ParamIo for KNearest {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.k);
+        w.put_f64_rows(&self.x);
+        w.put_u32(u32::try_from(self.y.len()).expect("labels fit u32"));
+        for &label in &self.y {
+            w.put_u8(u8::try_from(label).expect("binary labels"));
+        }
+        self.scaler.write_into(&mut w);
+        sections.push("knn", w.into_bytes());
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("knn")?);
+        let k = r.get_usize("knn k")?;
+        if k == 0 {
+            return Err(CodecError::Malformed {
+                context: "knn: k must be positive",
+            });
+        }
+        let x = r.get_f64_rows("knn training rows")?;
+        let n = r.get_u32("knn label count")? as usize;
+        if n != x.len() {
+            return Err(CodecError::Malformed {
+                context: "knn: label count does not match training rows",
+            });
+        }
+        let mut y = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            let label = r.get_u8("knn label")?;
+            if label > 1 {
+                return Err(CodecError::Malformed {
+                    context: "knn: non-binary label",
+                });
+            }
+            y.push(label as usize);
+        }
+        self.scaler = Standardizer::read_from(&mut r)?;
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "knn: trailing bytes",
+            });
+        }
+        self.k = k;
+        self.x = x;
+        self.y = y;
+        self.name = format!("knn_{k}");
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        self.x.first().is_none_or(|row| row.len() == dim)
     }
 }
 

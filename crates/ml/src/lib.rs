@@ -44,12 +44,16 @@ pub mod zoo;
 
 pub use classifier::{fit_evaluate, Classifier};
 pub use dataset::{FeatureSet, Standardizer};
+// Every classifier's trained state round-trips through the tensor crate's
+// persistence codec; re-exported so downstream artifact code needs no
+// extra dependency edge.
 pub use forest::RandomForest;
 pub use knn::KNearest;
 pub use linear::{LogisticRegression, NearestCentroid};
 pub use metrics::{roc_auc, ConfusionMatrix, EvalRow};
 pub use mlp::Mlp;
 pub use naive_bayes::{BernoulliNb, GaussianNb};
+pub use scamdetect_tensor::io::ParamIo;
 pub use split::stratified_k_fold;
 pub use tree::{DecisionTree, TreeConfig};
 pub use zoo::baseline_zoo;

@@ -2,6 +2,7 @@
 
 use crate::classifier::Classifier;
 use crate::dataset::{FeatureSet, Standardizer};
+use scamdetect_tensor::io::{ByteReader, ByteWriter, CodecError, ParamIo, Sections};
 
 /// L2-regularised logistic regression trained by full-batch gradient
 /// descent on standardized features.
@@ -95,6 +96,39 @@ impl Classifier for LogisticRegression {
     }
 }
 
+impl ParamIo for LogisticRegression {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        w.put_f64_slice(&self.weights);
+        w.put_f64(self.bias);
+        w.put_f64(self.lr);
+        w.put_usize(self.epochs);
+        w.put_f64(self.l2);
+        self.scaler.write_into(&mut w);
+        sections.push("logistic_regression", w.into_bytes());
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("logistic_regression")?);
+        self.weights = r.get_f64_vec("logreg weights")?;
+        self.bias = r.get_f64("logreg bias")?;
+        self.lr = r.get_f64("logreg lr")?;
+        self.epochs = r.get_usize("logreg epochs")?;
+        self.l2 = r.get_f64("logreg l2")?;
+        self.scaler = Standardizer::read_from(&mut r)?;
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "logistic_regression: trailing bytes",
+            });
+        }
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        self.weights.is_empty() || self.weights.len() == dim
+    }
+}
+
 /// Nearest-centroid classifier (a.k.a. the "histogram template" detector):
 /// scores by relative distance to the two class centroids.
 #[derive(Debug, Clone, Default)]
@@ -156,6 +190,36 @@ impl Classifier for NearestCentroid {
         } else {
             d0 / (d0 + d1)
         }
+    }
+}
+
+impl ParamIo for NearestCentroid {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        w.put_f64_slice(&self.centroid0);
+        w.put_f64_slice(&self.centroid1);
+        sections.push("nearest_centroid", w.into_bytes());
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("nearest_centroid")?);
+        self.centroid0 = r.get_f64_vec("centroid 0")?;
+        self.centroid1 = r.get_f64_vec("centroid 1")?;
+        if self.centroid0.len() != self.centroid1.len() {
+            return Err(CodecError::Malformed {
+                context: "nearest_centroid: centroid dimension mismatch",
+            });
+        }
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "nearest_centroid: trailing bytes",
+            });
+        }
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        self.centroid0.is_empty() || self.centroid0.len() == dim
     }
 }
 

@@ -4,6 +4,9 @@ use crate::classifier::Classifier;
 use crate::dataset::{FeatureSet, Standardizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use scamdetect_tensor::io::{
+    export_parameters, import_parameters, ByteReader, ByteWriter, CodecError, ParamIo, Sections,
+};
 use scamdetect_tensor::{init, optim::Adam, Matrix, ParamId, Parameters, Tape};
 
 /// A two-hidden-layer MLP (ReLU) with softmax cross-entropy, trained by
@@ -68,6 +71,91 @@ impl Mlp {
         let h2 = tape.relu(h2);
         let out = tape.matmul(h2, vars[self.ids[4].index()]);
         tape.add_bias(out, vars[self.ids[5].index()])
+    }
+}
+
+/// Decode-side bounds on the MLP shape, so a crafted artifact cannot ask
+/// the importer for an absurd pre-allocation.
+const MAX_MLP_DIM: usize = 1 << 16;
+const MAX_MLP_HIDDEN: usize = 1 << 12;
+
+impl Mlp {
+    /// Allocates the six parameter matrices (zeros) in the exact layout
+    /// and naming `fit` uses, so imported tensors are shape-checked
+    /// against the architecture.
+    fn allocate_params(&mut self, dim: usize) {
+        self.params = Parameters::new();
+        self.ids = vec![
+            self.params.add("w1", Matrix::zeros(dim, self.hidden)),
+            self.params.add("b1", Matrix::zeros(1, self.hidden)),
+            self.params
+                .add("w2", Matrix::zeros(self.hidden, self.hidden)),
+            self.params.add("b2", Matrix::zeros(1, self.hidden)),
+            self.params.add("w3", Matrix::zeros(self.hidden, 2)),
+            self.params.add("b3", Matrix::zeros(1, 2)),
+        ];
+    }
+}
+
+impl ParamIo for Mlp {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.hidden);
+        w.put_usize(self.epochs);
+        w.put_f32(self.lr);
+        w.put_u64(self.seed);
+        w.put_bool(self.fitted);
+        // Input dimensionality, recoverable from w1 when fitted.
+        let dim = if self.fitted {
+            self.params.get(self.ids[0]).rows()
+        } else {
+            0
+        };
+        w.put_usize(dim);
+        self.scaler.write_into(&mut w);
+        sections.push("mlp", w.into_bytes());
+        if self.fitted {
+            export_parameters(&self.params, "mlp.tensor.", sections);
+        }
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("mlp")?);
+        let hidden = r.get_usize("mlp hidden width")?;
+        let epochs = r.get_usize("mlp epochs")?;
+        let lr = r.get_f32("mlp lr")?;
+        let seed = r.get_u64("mlp seed")?;
+        let fitted = r.get_bool("mlp fitted flag")?;
+        let dim = r.get_usize("mlp input dim")?;
+        let scaler = Standardizer::read_from(&mut r)?;
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "mlp: trailing bytes",
+            });
+        }
+        if fitted && (dim == 0 || dim > MAX_MLP_DIM || hidden == 0 || hidden > MAX_MLP_HIDDEN) {
+            return Err(CodecError::Malformed {
+                context: "mlp: implausible input/hidden dimensions",
+            });
+        }
+        self.hidden = hidden;
+        self.epochs = epochs;
+        self.lr = lr;
+        self.seed = seed;
+        self.scaler = scaler;
+        self.fitted = fitted;
+        if fitted {
+            self.allocate_params(dim);
+            import_parameters(&mut self.params, "mlp.tensor.", sections)?;
+        } else {
+            self.params = Parameters::new();
+            self.ids = Vec::new();
+        }
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        !self.fitted || self.params.get(self.ids[0]).rows() == dim
     }
 }
 

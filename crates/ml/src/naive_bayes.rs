@@ -2,6 +2,7 @@
 
 use crate::classifier::Classifier;
 use crate::dataset::FeatureSet;
+use scamdetect_tensor::io::{ByteReader, ByteWriter, CodecError, ParamIo, Sections};
 
 /// Gaussian naive Bayes: per-class, per-feature normal densities with a
 /// variance floor for numerical stability.
@@ -80,6 +81,49 @@ impl Classifier for GaussianNb {
         let e0 = (l0 - m).exp();
         let e1 = (l1 - m).exp();
         e1 / (e0 + e1)
+    }
+}
+
+impl ParamIo for GaussianNb {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        for class in 0..2 {
+            w.put_f64_slice(&self.mean[class]);
+            w.put_f64_slice(&self.var[class]);
+        }
+        w.put_f64(self.log_prior[0]);
+        w.put_f64(self.log_prior[1]);
+        w.put_bool(self.fitted);
+        sections.push("gaussian_nb", w.into_bytes());
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("gaussian_nb")?);
+        for class in 0..2 {
+            self.mean[class] = r.get_f64_vec("gaussian mean")?;
+            self.var[class] = r.get_f64_vec("gaussian variance")?;
+        }
+        self.log_prior = [r.get_f64("gaussian prior")?, r.get_f64("gaussian prior")?];
+        self.fitted = r.get_bool("gaussian fitted flag")?;
+        let d = self.mean[0].len();
+        if [&self.mean[1], &self.var[0], &self.var[1]]
+            .iter()
+            .any(|v| v.len() != d)
+        {
+            return Err(CodecError::Malformed {
+                context: "gaussian_nb: per-class dimension mismatch",
+            });
+        }
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "gaussian_nb: trailing bytes",
+            });
+        }
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        !self.fitted || self.mean[0].len() == dim
     }
 }
 
@@ -167,6 +211,56 @@ impl Classifier for BernoulliNb {
         let e0 = (ll[0] - m).exp();
         let e1 = (ll[1] - m).exp();
         e1 / (e0 + e1)
+    }
+}
+
+impl ParamIo for BernoulliNb {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        w.put_f64_slice(&self.threshold);
+        for class in 0..2 {
+            w.put_f64_slice(&self.log_p[class]);
+            w.put_f64_slice(&self.log_np[class]);
+        }
+        w.put_f64(self.log_prior[0]);
+        w.put_f64(self.log_prior[1]);
+        w.put_bool(self.fitted);
+        sections.push("bernoulli_nb", w.into_bytes());
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("bernoulli_nb")?);
+        self.threshold = r.get_f64_vec("bernoulli thresholds")?;
+        for class in 0..2 {
+            self.log_p[class] = r.get_f64_vec("bernoulli log_p")?;
+            self.log_np[class] = r.get_f64_vec("bernoulli log_np")?;
+        }
+        self.log_prior = [r.get_f64("bernoulli prior")?, r.get_f64("bernoulli prior")?];
+        self.fitted = r.get_bool("bernoulli fitted flag")?;
+        let d = self.threshold.len();
+        if [
+            &self.log_p[0],
+            &self.log_p[1],
+            &self.log_np[0],
+            &self.log_np[1],
+        ]
+        .iter()
+        .any(|v| v.len() != d)
+        {
+            return Err(CodecError::Malformed {
+                context: "bernoulli_nb: per-class dimension mismatch",
+            });
+        }
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "bernoulli_nb: trailing bytes",
+            });
+        }
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        !self.fitted || self.threshold.len() == dim
     }
 }
 

@@ -4,6 +4,7 @@ use crate::classifier::Classifier;
 use crate::dataset::FeatureSet;
 use rand::rngs::StdRng;
 use rand::Rng;
+use scamdetect_tensor::io::{ByteReader, ByteWriter, CodecError, ParamIo, Sections};
 
 /// One tree node.
 #[derive(Debug, Clone)]
@@ -184,6 +185,151 @@ impl DecisionTree {
                 }
             }
         }
+    }
+}
+
+/// Decode-side bound on tree depth: far above anything training can
+/// produce (`max_depth` defaults to 10–12), it stops a crafted artifact
+/// from recursing the decoder off the stack.
+const MAX_DECODE_DEPTH: usize = 512;
+
+fn write_node(node: &Node, w: &mut ByteWriter) {
+    match node {
+        Node::Leaf { p1 } => {
+            w.put_u8(0);
+            w.put_f64(*p1);
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            w.put_u8(1);
+            w.put_usize(*feature);
+            w.put_f64(*threshold);
+            write_node(left, w);
+            write_node(right, w);
+        }
+    }
+}
+
+fn read_node(r: &mut ByteReader<'_>, depth: usize) -> Result<Node, CodecError> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(CodecError::Malformed {
+            context: "decision tree deeper than the supported decode limit",
+        });
+    }
+    match r.get_u8("tree node tag")? {
+        0 => Ok(Node::Leaf {
+            p1: r.get_f64("leaf probability")?,
+        }),
+        1 => {
+            let feature = r.get_usize("split feature")?;
+            // Feature vectors in this framework are a few hundred wide;
+            // an index beyond this bound is a corrupt or crafted tree
+            // that would panic at score time on the row access.
+            if feature > (1 << 20) {
+                return Err(CodecError::Malformed {
+                    context: "split feature index implausibly large",
+                });
+            }
+            Ok(Node::Split {
+                feature,
+                threshold: r.get_f64("split threshold")?,
+                left: Box::new(read_node(r, depth + 1)?),
+                right: Box::new(read_node(r, depth + 1)?),
+            })
+        }
+        _ => Err(CodecError::Malformed {
+            context: "unknown tree node tag",
+        }),
+    }
+}
+
+impl DecisionTree {
+    /// Serializes the full tree (config, seed, fitted structure) inline —
+    /// the building block [`crate::RandomForest`] composes per member.
+    pub(crate) fn write_into(&self, w: &mut ByteWriter) {
+        w.put_usize(self.config.max_depth);
+        w.put_usize(self.config.min_samples_split);
+        w.put_opt_usize(self.config.feature_subset);
+        w.put_bool(self.config.random_thresholds);
+        w.put_u64(self.seed);
+        match &self.root {
+            Some(root) => {
+                w.put_bool(true);
+                write_node(root, w);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Reads a tree written by [`DecisionTree::write_into`].
+    pub(crate) fn read_from(r: &mut ByteReader<'_>) -> Result<DecisionTree, CodecError> {
+        let config = TreeConfig {
+            max_depth: r.get_usize("tree max_depth")?,
+            min_samples_split: r.get_usize("tree min_samples_split")?,
+            feature_subset: r.get_opt_usize("tree feature_subset")?,
+            random_thresholds: r.get_bool("tree random_thresholds")?,
+        };
+        let seed = r.get_u64("tree seed")?;
+        let root = if r.get_bool("tree fitted flag")? {
+            Some(read_node(r, 0)?)
+        } else {
+            None
+        };
+        Ok(DecisionTree { config, root, seed })
+    }
+}
+
+/// The largest feature index any split in the subtree reads, if any.
+fn node_max_feature(node: &Node) -> Option<usize> {
+    match node {
+        Node::Leaf { .. } => None,
+        Node::Split {
+            feature,
+            left,
+            right,
+            ..
+        } => {
+            let mut max = *feature;
+            for child in [left, right] {
+                if let Some(m) = node_max_feature(child) {
+                    max = max.max(m);
+                }
+            }
+            Some(max)
+        }
+    }
+}
+
+impl ParamIo for DecisionTree {
+    fn export_state(&self, sections: &mut Sections) {
+        let mut w = ByteWriter::new();
+        self.write_into(&mut w);
+        sections.push("decision_tree", w.into_bytes());
+    }
+
+    fn import_state(&mut self, sections: &Sections) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(sections.require("decision_tree")?);
+        let tree = DecisionTree::read_from(&mut r)?;
+        if !r.is_done() {
+            return Err(CodecError::Malformed {
+                context: "decision_tree: trailing bytes",
+            });
+        }
+        *self = tree;
+        Ok(())
+    }
+
+    fn state_matches_dim(&self, dim: usize) -> bool {
+        // Every split must read inside the feature row, or scoring
+        // panics on the row access.
+        self.root
+            .as_ref()
+            .and_then(node_max_feature)
+            .is_none_or(|max| max < dim)
     }
 }
 

@@ -31,6 +31,7 @@ pub fn baseline_zoo(seed: u64) -> Vec<Box<dyn Classifier>> {
 mod tests {
     use super::*;
     use crate::classifier::{fit_evaluate, test_util::blobs};
+    use scamdetect_tensor::io::Sections;
 
     #[test]
     fn zoo_has_ten_distinct_models() {
@@ -40,6 +41,41 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn every_zoo_member_state_round_trips_bit_for_bit() {
+        let train = blobs(120, 5, 1.5, 30);
+        let probes = blobs(40, 5, 1.5, 31);
+        let fitted = baseline_zoo(17);
+        let fresh = baseline_zoo(99); // different seed: state must come from import
+        for (mut model, mut restored) in fitted.into_iter().zip(fresh) {
+            model.fit(&train);
+            let mut sections = Sections::new();
+            model.export_state(&mut sections);
+            restored.import_state(&sections).expect("import succeeds");
+            assert_eq!(model.name(), restored.name());
+            for row in &probes.x {
+                let a = model.score(row);
+                let b = restored.score(row);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: {a} != {b} after round trip",
+                    model.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfitted_zoo_member_state_round_trips() {
+        for (model, mut restored) in baseline_zoo(0).into_iter().zip(baseline_zoo(1)) {
+            let mut sections = Sections::new();
+            model.export_state(&mut sections);
+            restored.import_state(&sections).expect("import succeeds");
+            assert_eq!(model.score(&[0.5; 4]), restored.score(&[0.5; 4]));
+        }
     }
 
     #[test]

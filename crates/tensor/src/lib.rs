@@ -13,7 +13,11 @@
 //!   [`Tape::backward`] accumulates gradients for every variable that
 //!   requires them,
 //! * [`optim`] — SGD and Adam optimizers over a [`Parameters`] store,
-//! * [`init`] — seeded Xavier/He initialisation.
+//! * [`init`] — seeded Xavier/He initialisation,
+//! * [`io`] — the hand-rolled little-endian persistence codec: the
+//!   [`ParamIo`] state export/import trait, named [`Sections`], and raw
+//!   [`Matrix`] read/write ([`Matrix::write_le`] / [`Matrix::read_le`])
+//!   backing the versioned `ModelArtifact` format upstream.
 //!
 //! # Sparse message passing
 //!
@@ -68,12 +72,14 @@
 //! ```
 
 pub mod init;
+pub mod io;
 pub mod matrix;
 pub mod optim;
 pub mod params;
 pub mod sparse;
 pub mod tape;
 
+pub use io::{ByteReader, ByteWriter, CodecError, ParamIo, Sections};
 pub use matrix::Matrix;
 pub use params::{ParamId, Parameters};
 pub use sparse::{CsrMatrix, CsrPair};

@@ -90,6 +90,53 @@ impl Matrix {
         m
     }
 
+    /// Writes the matrix as `u32 rows, u32 cols, f32 data` — exact
+    /// little-endian bit patterns, so a round trip reproduces every entry
+    /// bit-for-bit on any architecture.
+    pub fn write_le(&self, w: &mut crate::io::ByteWriter) {
+        w.put_u32(u32::try_from(self.rows).expect("rows fit u32"));
+        w.put_u32(u32::try_from(self.cols).expect("cols fit u32"));
+        for &v in &self.data {
+            w.put_f32(v);
+        }
+    }
+
+    /// Reads a matrix written by [`Matrix::write_le`].
+    ///
+    /// The declared shape is validated against the bytes actually present
+    /// before any allocation, so truncated or corrupted input fails with a
+    /// typed error instead of panicking or over-allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::io::CodecError`] on truncation or an impossible shape.
+    pub fn read_le(r: &mut crate::io::ByteReader<'_>) -> Result<Matrix, crate::io::CodecError> {
+        let rows = r.get_u32("matrix rows")? as usize;
+        let cols = r.get_u32("matrix cols")? as usize;
+        let count = rows
+            .checked_mul(cols)
+            .ok_or(crate::io::CodecError::Malformed {
+                context: "matrix shape overflows",
+            })?;
+        let needed = count
+            .checked_mul(4)
+            .ok_or(crate::io::CodecError::Malformed {
+                context: "matrix payload size overflows",
+            })?;
+        if needed > r.remaining() {
+            return Err(crate::io::CodecError::Truncated {
+                context: "matrix data",
+                needed,
+                available: r.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(count);
+        for _ in 0..count {
+            data.push(r.get_f32("matrix entry")?);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
     /// Wraps an existing row-major buffer.
     ///
     /// # Panics

@@ -8,7 +8,7 @@
 //! ```
 
 use rand::SeedableRng;
-use scamdetect::{GnnKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect::{GnnKind, ModelKind, ScannerBuilder, TrainOptions};
 use scamdetect_dataset::{generate_evm, Corpus, CorpusConfig, FamilyKind};
 use scamdetect_evm::{cfg::build_cfg, selector::extract_selectors};
 use scamdetect_ir::{EvmFrontend, Frontend, InstrClass};
@@ -63,10 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let mut options = TrainOptions::default();
     options.gnn.epochs = 20;
-    let scanner = ScamDetect::train(ModelKind::Gnn(GnnKind::Gcn), &corpus, &options)?;
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Gnn(GnnKind::Gcn))
+        .train_options(options)
+        .train(&corpus)?;
 
     for (name, code) in [("drainer", &drainer_code), ("token", &token_code)] {
-        let verdict = scanner.scan(code)?;
+        let verdict = scanner.scan(code)?.verdict;
         println!("{name}: {verdict}");
     }
     Ok(())

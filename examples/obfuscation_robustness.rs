@@ -10,7 +10,7 @@
 //! ```
 
 use rand::SeedableRng;
-use scamdetect::{ClassicModel, FeatureKind, GnnKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect::{ClassicModel, FeatureKind, GnnKind, ModelKind, ScannerBuilder, TrainOptions};
 use scamdetect_dataset::{generate_evm, Corpus, CorpusConfig, FamilyKind};
 use scamdetect_evm::cfg::build_cfg;
 use scamdetect_obfuscate::{obfuscate_evm, ObfuscationLevel};
@@ -26,14 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 3,
         ..CorpusConfig::default()
     });
-    let histogram_detector = ScamDetect::train(
-        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::OpcodeHistogram),
-        &corpus,
-        &TrainOptions::default(),
-    )?;
+    let histogram_detector = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::OpcodeHistogram,
+        ))
+        .train(&corpus)?;
     let mut gnn_options = TrainOptions::default();
     gnn_options.gnn.epochs = 20;
-    let gnn_detector = ScamDetect::train(ModelKind::Gnn(GnnKind::Gcn), &corpus, &gnn_options)?;
+    let gnn_detector = ScannerBuilder::new()
+        .model(ModelKind::Gnn(GnnKind::Gcn))
+        .train_options(gnn_options)
+        .train(&corpus)?;
 
     println!("\nobfuscating a honeypot vault, level by level:");
     println!(

@@ -6,9 +6,11 @@
 //! ```
 //!
 //! Migrating from the old one-shot API? `ScamDetect::train(...)` +
-//! `scan(&bytes)` still work, but they are now a thin fixed-configuration
-//! wrapper over the `ScannerBuilder` shown here — new code should build
-//! the scanner directly and use `scan_batch` for anything bulk.
+//! `scan(&bytes)` still compile (behind a deprecation warning) as a thin
+//! fixed-configuration wrapper over the `ScannerBuilder` shown here —
+//! new code should build the scanner directly, use `scan_batch` for
+//! anything bulk, and persist trained models with `Scanner::save` /
+//! `ScannerBuilder::load` (see `examples/save_load.rs`).
 
 use scamdetect::{CacheStatus, ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder};
 use scamdetect_dataset::{ContractLabel, Corpus, CorpusConfig};

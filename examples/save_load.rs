@@ -1,0 +1,106 @@
+//! Train once, serve anywhere: persist a trained scanner as a versioned
+//! `ModelArtifact`, reload it in a fresh scanner with **no corpus in
+//! scope**, and verify the verdicts are bit-for-bit identical.
+//!
+//! ```text
+//! cargo run --example save_load --release
+//! ```
+//!
+//! This is the workflow that turns a learned detector into
+//! infrastructure: the expensive step (training) runs once, the artifact
+//! ships to every serving process — CLI runs (`scamdetect-cli train
+//! --save` / `scan --model <path>`), replicas, browser embeds
+//! (`scamdetect-embed`) — and each loads in milliseconds.
+
+use scamdetect::{
+    ClassicModel, FeatureKind, GnnKind, ModelArtifact, ModelKind, ScanRequest, Scanner,
+    ScannerBuilder, TrainOptions,
+};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+
+/// The serving side, deliberately written so no `Corpus` can possibly be
+/// involved: it only ever sees a path.
+fn serve(model_path: &std::path::Path, requests: &[ScanRequest]) -> Vec<f64> {
+    let scanner: Scanner = ScannerBuilder::new()
+        .cache_capacity(1024)
+        .workers(0)
+        .load(model_path)
+        .expect("artifact loads train-free");
+    scanner
+        .scan_batch(requests)
+        .into_iter()
+        .map(|o| o.expect("scan succeeds").verdict.malicious_probability)
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("scamdetect-save-load-example");
+    std::fs::create_dir_all(&dir)?;
+
+    // ── 1. The training process ─────────────────────────────────────
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 200,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
+
+    let mut gnn_options = TrainOptions::default();
+    gnn_options.gnn.epochs = 15;
+
+    for (label, kind, options) in [
+        (
+            "random forest over combined features",
+            ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Combined),
+            TrainOptions::default(),
+        ),
+        (
+            "GCN over the unified CFG",
+            ModelKind::Gnn(GnnKind::Gcn),
+            gnn_options,
+        ),
+    ] {
+        println!("training {label}...");
+        let trained = ScannerBuilder::new()
+            .model(kind)
+            .threshold(0.5)
+            .train_options(options)
+            .train(&corpus)?;
+
+        let model_path = dir.join(format!("{}.scam", trained.detector().name()));
+        trained.save(&model_path)?;
+        let artifact = ModelArtifact::load(&model_path)?;
+        println!(
+            "  saved {:?} -> {} ({} bytes, {} sections)",
+            artifact.kind(),
+            model_path.display(),
+            std::fs::metadata(&model_path)?.len(),
+            artifact.sections().count() + 1,
+        );
+
+        // ── 2. The serving process: artifact in, verdicts out ───────
+        let requests: Vec<ScanRequest> = corpus
+            .contracts()
+            .iter()
+            .take(32)
+            .map(|c| ScanRequest::new(&c.bytes))
+            .collect();
+        let served = serve(&model_path, &requests);
+
+        // ── 3. Bit-for-bit equivalence with the trainer's verdicts ──
+        let mut identical = 0;
+        for (request, served_p) in requests.iter().zip(&served) {
+            let trained_p = trained.scan_request(request)?.verdict.malicious_probability;
+            assert_eq!(
+                trained_p.to_bits(),
+                served_p.to_bits(),
+                "loaded scanner must reproduce the trainer's probabilities exactly"
+            );
+            identical += 1;
+        }
+        println!("  {identical}/{identical} served verdicts identical to the trainer's\n");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("train once, serve anywhere: verified.");
+    Ok(())
+}

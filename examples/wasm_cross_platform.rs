@@ -8,7 +8,7 @@
 //! cargo run --example wasm_cross_platform --release
 //! ```
 
-use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScannerBuilder};
 use scamdetect_dataset::{Corpus, CorpusConfig};
 use scamdetect_ir::Platform;
 
@@ -41,18 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "training one agnostic model on {} mixed contracts...",
         mixed.len()
     );
-    let scanner = ScamDetect::train(
-        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
-        &mixed,
-        &TrainOptions::default(),
-    )?;
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::Unified,
+        ))
+        .train(&mixed)?;
 
     // Evaluate the SAME model on both platforms' held-out sets.
     for (name, corpus, test_idx) in [("evm", &evm, &evm_test), ("wasm", &wasm, &wasm_test)] {
         let mut correct = 0;
         for &i in test_idx {
             let c = &corpus.contracts()[i];
-            let verdict = scanner.scan(&c.bytes)?;
+            let verdict = scanner.scan(&c.bytes)?.verdict;
             assert_eq!(
                 verdict.platform, c.platform,
                 "platform auto-detection must agree"
@@ -70,8 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // One verdict per platform, for show.
-    let v_evm = scanner.scan(&evm.contracts()[evm_test[0]].bytes)?;
-    let v_wasm = scanner.scan(&wasm.contracts()[wasm_test[0]].bytes)?;
+    let v_evm = scanner.scan(&evm.contracts()[evm_test[0]].bytes)?.verdict;
+    let v_wasm = scanner.scan(&wasm.contracts()[wasm_test[0]].bytes)?.verdict;
     println!("\nsame model, two runtimes:");
     println!("  {v_evm}");
     println!("  {v_wasm}");

@@ -3,7 +3,9 @@
 //! These tests exercise the full pipeline across every crate boundary and
 //! assert *detection quality*, not just absence of crashes.
 
-use scamdetect::{ClassicModel, FeatureKind, GnnKind, ModelKind, ScamDetect, TrainOptions};
+use scamdetect::{
+    ClassicModel, FeatureKind, GnnKind, ModelKind, Scanner, ScannerBuilder, TrainOptions,
+};
 use scamdetect_dataset::{Corpus, CorpusConfig};
 use scamdetect_ir::Platform;
 
@@ -16,11 +18,11 @@ fn corpus(size: usize, platform: Platform, seed: u64) -> Corpus {
     })
 }
 
-fn held_out_accuracy(scanner: &ScamDetect, corpus: &Corpus, test_idx: &[usize]) -> f64 {
+fn held_out_accuracy(scanner: &Scanner, corpus: &Corpus, test_idx: &[usize]) -> f64 {
     let mut correct = 0;
     for &i in test_idx {
         let c = &corpus.contracts()[i];
-        let verdict = scanner.scan(&c.bytes).expect("scan succeeds");
+        let verdict = scanner.scan(&c.bytes).expect("scan succeeds").verdict;
         if verdict.label == c.label {
             correct += 1;
         }
@@ -32,13 +34,13 @@ fn held_out_accuracy(scanner: &ScamDetect, corpus: &Corpus, test_idx: &[usize]) 
 fn classic_detector_beats_chance_clearly_on_evm() {
     let corpus = corpus(160, Platform::Evm, 11);
     let (train_idx, test_idx) = corpus.split(0.3, 5);
-    let scanner = ScamDetect::train_on(
-        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::OpcodeHistogram),
-        &corpus,
-        &train_idx,
-        &TrainOptions::default(),
-    )
-    .expect("training succeeds");
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::OpcodeHistogram,
+        ))
+        .train_on(&corpus, &train_idx)
+        .expect("training succeeds");
     let acc = held_out_accuracy(&scanner, &corpus, &test_idx);
     assert!(acc >= 0.8, "random forest reached only {acc:.3}");
 }
@@ -47,13 +49,13 @@ fn classic_detector_beats_chance_clearly_on_evm() {
 fn unified_features_work_on_wasm() {
     let corpus = corpus(120, Platform::Wasm, 13);
     let (train_idx, test_idx) = corpus.split(0.3, 5);
-    let scanner = ScamDetect::train_on(
-        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
-        &corpus,
-        &train_idx,
-        &TrainOptions::default(),
-    )
-    .expect("training succeeds");
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::Unified,
+        ))
+        .train_on(&corpus, &train_idx)
+        .expect("training succeeds");
     let acc = held_out_accuracy(&scanner, &corpus, &test_idx);
     assert!(acc >= 0.75, "wasm unified-features accuracy {acc:.3}");
 }
@@ -65,7 +67,10 @@ fn gnn_detector_learns_on_evm() {
     let mut options = TrainOptions::default();
     options.gnn.epochs = 60;
     options.gnn.lr = 2e-2;
-    let scanner = ScamDetect::train_on(ModelKind::Gnn(GnnKind::Gin), &corpus, &train_idx, &options)
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Gnn(GnnKind::Gin))
+        .train_options(options)
+        .train_on(&corpus, &train_idx)
         .expect("training succeeds");
     let acc = held_out_accuracy(&scanner, &corpus, &test_idx);
     assert!(acc >= 0.75, "gin reached only {acc:.3}");
@@ -79,29 +84,40 @@ fn one_model_scans_both_platforms() {
     mixed.extend(evm.contracts().iter().cloned());
     mixed.extend(wasm.contracts().iter().cloned());
     let mixed = Corpus::from_contracts(mixed);
-    let scanner = ScamDetect::train(
-        ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Unified),
-        &mixed,
-        &TrainOptions::default(),
-    )
-    .expect("training succeeds");
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::Unified,
+        ))
+        .train(&mixed)
+        .expect("training succeeds");
 
-    let v_evm = scanner.scan(&evm.contracts()[0].bytes).expect("evm scan");
+    let v_evm = scanner
+        .scan(&evm.contracts()[0].bytes)
+        .expect("evm scan")
+        .verdict;
     assert_eq!(v_evm.platform, Platform::Evm);
-    let v_wasm = scanner.scan(&wasm.contracts()[0].bytes).expect("wasm scan");
+    let v_wasm = scanner
+        .scan(&wasm.contracts()[0].bytes)
+        .expect("wasm scan")
+        .verdict;
     assert_eq!(v_wasm.platform, Platform::Wasm);
 }
 
 #[test]
 fn verdicts_expose_analysis_size() {
     let corpus = corpus(40, Platform::Evm, 29);
-    let scanner = ScamDetect::train(
-        ModelKind::Classic(ClassicModel::DecisionTree, FeatureKind::Unified),
-        &corpus,
-        &TrainOptions::default(),
-    )
-    .expect("training succeeds");
-    let v = scanner.scan(&corpus.contracts()[3].bytes).expect("scan");
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::DecisionTree,
+            FeatureKind::Unified,
+        ))
+        .train(&corpus)
+        .expect("training succeeds");
+    let v = scanner
+        .scan(&corpus.contracts()[3].bytes)
+        .expect("scan")
+        .verdict;
     assert!(v.blocks > 1);
     assert!(v.instructions > 10);
     assert!(!v.model.is_empty());

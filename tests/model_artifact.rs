@@ -1,0 +1,259 @@
+//! The train-once / serve-anywhere acceptance suite.
+//!
+//! * **Round-trip invariant, every architecture:** for all 10 classic
+//!   models × all 3 feature kinds and all 5 GNN architectures,
+//!   `save → load → score` reproduces the training scanner's
+//!   probabilities **bit-for-bit** on a held-out corpus, and the loaded
+//!   scanner is constructed by a function that has no `Corpus` in scope.
+//! * **Corruption robustness:** truncated, corrupted and
+//!   wrong-version artifacts fail with typed
+//!   [`ScamDetectError::Artifact`] errors — never a panic.
+//! * **Golden fixture:** a committed artifact must keep loading and keep
+//!   producing the committed scores, and re-serializing it must
+//!   reproduce the committed bytes — any silent format or endianness
+//!   drift fails the build (CI runs this on stable *and* the MSRV).
+
+use scamdetect::{
+    ArtifactError, ClassicModel, FeatureKind, GnnKind, ModelArtifact, ModelKind, ScamDetectError,
+    Scanner, ScannerBuilder, TrainOptions,
+};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use std::path::{Path, PathBuf};
+
+fn train_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        size: 30,
+        seed: 0x7EA1,
+        ..CorpusConfig::default()
+    })
+}
+
+fn held_out_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        size: 10,
+        seed: 0x0DD,
+        ..CorpusConfig::default()
+    })
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("scamdetect-artifact-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The serving side of every round trip, deliberately signature-limited
+/// to a path: no `Corpus` is in scope here, proving `ScannerBuilder::load`
+/// is train-free construction.
+fn load_scanner_without_corpus(path: &Path) -> Scanner {
+    ScannerBuilder::new().load(path).expect("artifact loads")
+}
+
+/// Trains `kind`, saves, loads train-free, and asserts held-out
+/// probabilities reproduce bit-for-bit.
+fn assert_round_trip(kind: ModelKind, options: &TrainOptions, dir: &Path) {
+    let trained = ScannerBuilder::new()
+        .model(kind)
+        .threshold(0.5)
+        .train_options(options.clone())
+        .train(&train_corpus())
+        .unwrap_or_else(|e| panic!("{kind:?} trains: {e}"));
+    let path = dir.join(format!("{}.scam", trained.detector().name()));
+    trained.save(&path).expect("saves");
+
+    let loaded = load_scanner_without_corpus(&path);
+    assert_eq!(loaded.detector().name(), trained.detector().name());
+    for contract in held_out_corpus().contracts() {
+        let a = trained.scan(&contract.bytes).expect("trained scan").verdict;
+        let b = loaded.scan(&contract.bytes).expect("loaded scan").verdict;
+        assert_eq!(
+            a.malicious_probability.to_bits(),
+            b.malicious_probability.to_bits(),
+            "{kind:?}: probability drifted through save/load ({} vs {})",
+            a.malicious_probability,
+            b.malicious_probability,
+        );
+        assert_eq!(a.label, b.label);
+    }
+}
+
+#[test]
+fn round_trip_every_classic_model_and_feature_kind() {
+    let dir = temp_dir("classic");
+    let options = TrainOptions::default();
+    for model in ClassicModel::all() {
+        for features in FeatureKind::all() {
+            assert_round_trip(ModelKind::Classic(model, features), &options, &dir);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn round_trip_every_gnn_architecture() {
+    let dir = temp_dir("gnn");
+    let mut options = TrainOptions::default();
+    options.gnn.epochs = 2; // smoke-level training: persistence, not accuracy
+    for kind in GnnKind::all() {
+        assert_round_trip(ModelKind::Gnn(kind), &options, &dir);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_and_corrupted_artifacts_fail_typed_never_panic() {
+    let trained = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&train_corpus())
+        .expect("trains");
+    let bytes = trained.to_artifact().expect("artifact").to_bytes();
+
+    // Every possible truncation point is a typed error.
+    for k in 0..bytes.len() {
+        match ModelArtifact::from_bytes(&bytes[..k]) {
+            Err(ScamDetectError::Artifact(_)) => {}
+            Err(other) => panic!("prefix {k}: non-artifact error {other}"),
+            Ok(_) => panic!("prefix of {k} bytes parsed as a complete artifact"),
+        }
+    }
+
+    // Every single-byte corruption is a typed error (magic, version,
+    // headers and payloads are all covered — payloads by checksums).
+    for k in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[k] ^= 0x01;
+        match ModelArtifact::from_bytes(&corrupt) {
+            Err(ScamDetectError::Artifact(_)) => {}
+            Err(other) => panic!("flip at {k}: non-artifact error {other}"),
+            Ok(_) => panic!("flip at byte {k} went undetected"),
+        }
+    }
+
+    // A future format version is diagnosed as exactly that.
+    let mut future = bytes.clone();
+    future[8] = 0x2A;
+    future[9] = 0x00;
+    match ModelArtifact::from_bytes(&future) {
+        Err(ScamDetectError::Artifact(ArtifactError::VersionMismatch { found, supported })) => {
+            assert_eq!(found, 0x2A);
+            assert_eq!(supported, 1);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+// ───────────────────────── golden fixture ──────────────────────────
+//
+// A committed artifact trained by `regenerate_golden_fixture` (below).
+// The assertions pin the wire format: if a code change alters how
+// artifacts serialize or deserialize — field order, endianness, checksum
+// rule, defaults — this test fails on stable and MSRV alike.
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden-logreg-unified-v1.scam"
+);
+const GOLDEN_SEED: u64 = 0x601D;
+const GOLDEN_THRESHOLD: f64 = 0.625;
+
+/// Contracts the golden scores are pinned on (deterministic generation).
+fn golden_probe_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        size: 4,
+        seed: GOLDEN_SEED ^ 1,
+        ..CorpusConfig::default()
+    })
+}
+
+fn golden_train_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        size: 40,
+        seed: GOLDEN_SEED,
+        ..CorpusConfig::default()
+    })
+}
+
+/// Expected P(malicious) bit patterns on the four probe contracts, as
+/// printed by `regenerate_golden_fixture`.
+const GOLDEN_SCORE_BITS: [u64; 4] = [
+    0x3FE5B791C7F65C58, // 0.6786583810343343
+    0x3FEBD01B2729C1DE, // 0.8691535725502566
+    0x3F7B05F5FE2E742D, // 0.006597481641532216
+    0x3F849BF9437DA553, // 0.010063121196895486
+];
+
+#[test]
+fn golden_artifact_still_loads_scores_and_reserializes_identically() {
+    let bytes = std::fs::read(GOLDEN_PATH).expect("golden fixture is committed to the repo");
+    let artifact = ModelArtifact::from_bytes(&bytes).expect("golden fixture parses");
+    assert_eq!(
+        artifact.kind(),
+        ModelKind::Classic(ClassicModel::LogisticRegression, FeatureKind::Unified)
+    );
+    assert_eq!(artifact.threshold(), GOLDEN_THRESHOLD);
+
+    // Byte-stable writer: re-serializing the parsed artifact must
+    // reproduce the committed file exactly.
+    assert_eq!(
+        artifact.to_bytes(),
+        bytes,
+        "re-serialization no longer reproduces the committed artifact"
+    );
+
+    // Score-stable reader: the served probabilities are pinned.
+    let scanner = ScannerBuilder::new()
+        .load_bytes(&bytes)
+        .expect("golden fixture serves");
+    for (contract, &expected) in golden_probe_corpus()
+        .contracts()
+        .iter()
+        .zip(&GOLDEN_SCORE_BITS)
+    {
+        let p = scanner
+            .scan(&contract.bytes)
+            .expect("probe scan")
+            .verdict
+            .malicious_probability;
+        assert_eq!(
+            p.to_bits(),
+            expected,
+            "golden score drifted: got {p} (bits {:#018X}), expected bits {expected:#018X}",
+            p.to_bits(),
+        );
+    }
+}
+
+/// Regenerates the committed fixture and prints the score constants.
+/// Run manually after an *intentional* format-version bump:
+///
+/// ```text
+/// cargo test --test model_artifact regenerate_golden_fixture -- --ignored --nocapture
+/// ```
+#[test]
+#[ignore = "writes the committed fixture; run only on deliberate format changes"]
+fn regenerate_golden_fixture() {
+    let trained = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .threshold(GOLDEN_THRESHOLD)
+        .train(&golden_train_corpus())
+        .expect("trains");
+    trained.save(GOLDEN_PATH).expect("writes fixture");
+    println!("wrote {GOLDEN_PATH}");
+    println!("const GOLDEN_SCORE_BITS: [u64; 4] = [");
+    for contract in golden_probe_corpus().contracts() {
+        let p = trained
+            .scan(&contract.bytes)
+            .expect("probe scan")
+            .verdict
+            .malicious_probability;
+        println!("    {:#018X}, // {p}", p.to_bits());
+    }
+    println!("];");
+}

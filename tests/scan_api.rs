@@ -3,8 +3,7 @@
 //! equivalence with the one-shot facade.
 
 use scamdetect::{
-    CacheStatus, ClassicModel, FeatureKind, ModelKind, ScamDetect, ScanRequest, ScannerBuilder,
-    TrainOptions,
+    CacheStatus, ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder, TrainOptions,
 };
 use scamdetect_dataset::{Corpus, CorpusConfig};
 use scamdetect_evm::proxy::detect_proxy;
@@ -18,8 +17,14 @@ fn dup_corpus() -> Corpus {
     })
 }
 
+/// The deprecated one-shot facade's integration-level compatibility
+/// test: until removal, `ScamDetect` must train and produce verdicts
+/// byte-identical to the batch-first scanner's.
 #[test]
+#[allow(deprecated)]
 fn batch_verdicts_match_sequential_one_shot_scans() {
+    use scamdetect::ScamDetect;
+
     let corpus = dup_corpus();
     let kind = ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Combined);
     let options = TrainOptions::default();
@@ -161,6 +166,72 @@ fn worker_count_does_not_change_results() {
                 "results changed with workers={workers}"
             ),
         }
+    }
+}
+
+/// The WASM-platform dedup path: duplicate WASM modules in one batch
+/// must collapse onto one computation via the FNV-1a byte fingerprint,
+/// exactly like EVM skeletons (and ERC-1167 clones) do on theirs.
+#[test]
+fn wasm_duplicates_collapse_via_fnv1a_fingerprint() {
+    let wasm = Corpus::generate(&CorpusConfig {
+        size: 40,
+        platform: scamdetect_ir::Platform::Wasm,
+        seed: 0x3A5A,
+        ..CorpusConfig::default()
+    });
+    let scanner = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::RandomForest,
+            FeatureKind::Unified,
+        ))
+        .workers(4)
+        .train(&wasm)
+        .expect("trains");
+
+    // One batch: module A four times, module B twice, interleaved.
+    let a = &wasm.contracts()[0].bytes;
+    let b = &wasm.contracts()[1].bytes;
+    let requests = [
+        ScanRequest::new(a),
+        ScanRequest::new(b),
+        ScanRequest::new(a),
+        ScanRequest::new(a),
+        ScanRequest::new(b),
+        ScanRequest::new(a),
+    ];
+    let reports: Vec<_> = scanner
+        .scan_batch(&requests)
+        .into_iter()
+        .map(|o| o.expect("wasm scan succeeds"))
+        .collect();
+
+    // Fingerprints are the FNV-1a of the raw module bytes, and all
+    // verdicts are on the WASM platform.
+    for (report, request) in reports.iter().zip(&requests) {
+        assert_eq!(report.verdict.platform, scamdetect_ir::Platform::Wasm);
+        assert_eq!(
+            report.skeleton,
+            scamdetect_evm::proxy::fnv1a(request.bytes())
+        );
+    }
+
+    // First occurrence of each module computes; every duplicate is a
+    // batch hit sharing the representative's verdict.
+    assert_eq!(reports[0].cache, CacheStatus::Miss);
+    assert_eq!(reports[1].cache, CacheStatus::Miss);
+    for &(dup, rep) in &[(2usize, 0usize), (3, 0), (4, 1), (5, 0)] {
+        assert_eq!(reports[dup].cache, CacheStatus::BatchHit, "request {dup}");
+        assert_eq!(reports[dup].verdict, reports[rep].verdict);
+        assert_eq!(reports[dup].skeleton, reports[rep].skeleton);
+    }
+    // Distinct modules never collide.
+    assert_ne!(reports[0].skeleton, reports[1].skeleton);
+    // Exactly two fingerprints are memoised for later batches…
+    assert_eq!(scanner.cache_len(), 2);
+    // …which arrive fully warm.
+    for outcome in scanner.scan_batch(&requests) {
+        assert_eq!(outcome.expect("warm scan").cache, CacheStatus::CacheHit);
     }
 }
 

@@ -139,6 +139,46 @@ impl Default for TrainOptions {
     }
 }
 
+/// The input representation a detector scores: a flat feature row for
+/// classic models, a CSR-prepared graph for GNNs.
+///
+/// Preparing the representation (lift → featurize / graph build) is
+/// model-*independent* within a kind: every GNN architecture consumes
+/// the same [`PreparedGraph`], and every classic model over the same
+/// [`FeatureKind`] consumes the same row. That makes prepared inputs
+/// safely shareable across detectors — in particular across a serving
+/// replica's **hot model swap**, where the new model re-scores cached
+/// prepared inputs without re-paying graph prep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReprKind {
+    /// A flat `Vec<f64>` row under the given feature kind.
+    Features(FeatureKind),
+    /// A [`PreparedGraph`] (CSR aggregators over the unified CFG).
+    Graph,
+}
+
+/// A scan input prepared once: the exact representation
+/// [`Detector::score_prepared`] consumes, with the lift and graph/feature
+/// construction already paid.
+#[derive(Debug, Clone)]
+pub enum PreparedInput {
+    /// Feature row for classic models (tagged with its feature kind so a
+    /// detector over a different representation rejects it).
+    Features(FeatureKind, Vec<f64>),
+    /// Prepared graph for GNN models (architecture-independent).
+    Graph(PreparedGraph),
+}
+
+impl PreparedInput {
+    /// The representation this input carries.
+    pub fn repr_kind(&self) -> ReprKind {
+        match self {
+            PreparedInput::Features(kind, _) => ReprKind::Features(*kind),
+            PreparedInput::Graph(_) => ReprKind::Graph,
+        }
+    }
+}
+
 /// A trained detector: scores unified CFGs.
 ///
 /// Constructed via [`Detector::train`]; the two implementations (classic
@@ -289,14 +329,56 @@ impl Detector {
     /// unified CFG and the byte-level histogram, so every model kind
     /// (including byte-feature classic detectors) scores from it.
     ///
+    /// Equivalent to [`Detector::prepare_lifted`] followed by
+    /// [`Detector::score_prepared`]; scan paths that may score the same
+    /// contract again (batch dedup, serving replicas across model swaps)
+    /// should keep the prepared input instead of re-lifting.
+    ///
     /// [`Lifted`]: crate::featurize::Lifted
     pub fn score_lifted(&self, lifted: &featurize::Lifted) -> f64 {
+        self.score_prepared(&self.prepare_lifted(lifted))
+            .expect("prepare_lifted produces this detector's own representation")
+    }
+
+    /// The input representation this detector consumes.
+    pub fn repr_kind(&self) -> ReprKind {
         match self {
-            Detector::Classic { model, features } => model.score(&lifted.feature_vector(*features)),
-            Detector::Gnn { model } => {
-                let g = PreparedGraph::from_cfg(&lifted.cfg, 0);
-                model.score(&g)
+            Detector::Classic { features, .. } => ReprKind::Features(*features),
+            Detector::Gnn { .. } => ReprKind::Graph,
+        }
+    }
+
+    /// Builds the exact model input this detector scores from an
+    /// already-lifted contract — the expensive half of scoring
+    /// (featurization / CSR graph construction), split out so callers
+    /// can memoise it independently of the model weights.
+    ///
+    /// [`Lifted`]: crate::featurize::Lifted
+    pub fn prepare_lifted(&self, lifted: &featurize::Lifted) -> PreparedInput {
+        match self {
+            Detector::Classic { features, .. } => {
+                PreparedInput::Features(*features, lifted.feature_vector(*features))
             }
+            Detector::Gnn { .. } => PreparedInput::Graph(PreparedGraph::from_cfg(&lifted.cfg, 0)),
+        }
+    }
+
+    /// P(malicious) of a prepared input — the cheap half of scoring.
+    ///
+    /// Returns `None` when `input` carries a different representation
+    /// than this detector consumes (e.g. a feature row prepared for an
+    /// opcode-histogram model offered to a GNN after a hot swap); the
+    /// caller re-prepares in that case. Scores are bit-identical to
+    /// [`Detector::score_lifted`] on the input's source contract.
+    pub fn score_prepared(&self, input: &PreparedInput) -> Option<f64> {
+        match (self, input) {
+            (Detector::Classic { model, features }, PreparedInput::Features(kind, row))
+                if kind == features =>
+            {
+                Some(model.score(row))
+            }
+            (Detector::Gnn { model }, PreparedInput::Graph(g)) => Some(model.score(g)),
+            _ => None,
         }
     }
 

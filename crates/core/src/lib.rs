@@ -76,6 +76,24 @@
 //! [`ScamDetectError::Artifact`] diagnosis, never a panic or a silently
 //! perturbed verdict. See the [`artifact`] module for the wire format.
 //!
+//! ## Serving over HTTP
+//!
+//! The `scamdetect-serve` crate wraps this scanner in a long-running,
+//! std-only HTTP daemon with a hot-swap model registry:
+//!
+//! ```text
+//! scamdetect-cli train --save models/rf-v1.scam        # train once
+//! scamdetect-cli serve --models-dir models             # serve forever
+//! curl -X POST localhost:7878/scan -d '{"bytecode": "0x6001…"}'
+//! curl -X POST localhost:7878/models/reload            # hot swap, zero downtime
+//! ```
+//!
+//! A model swap replaces the serving scanner atomically (in-flight
+//! scans finish on the snapshot they started with) and drops its
+//! verdict cache with it, while the model-independent [`PrepCache`]
+//! carries prepared inputs across the swap — see
+//! [`ScannerBuilder::shared_prep_cache`].
+//!
 //! The legacy one-shot facade ([`ScamDetect::scan`]) is **deprecated** —
 //! it survives as a thin fixed-configuration wrapper over the same
 //! machinery (see [`pipeline`]), and new code should use
@@ -94,13 +112,13 @@ pub mod scan;
 pub mod verdict;
 
 pub use artifact::{ArtifactError, ModelArtifact};
-pub use detector::{ClassicModel, Detector, ModelKind, TrainOptions};
+pub use detector::{ClassicModel, Detector, ModelKind, PreparedInput, ReprKind, TrainOptions};
 pub use error::ScamDetectError;
 pub use featurize::{detect_platform, FeatureKind, Lifted};
 #[allow(deprecated)]
 pub use pipeline::ScamDetect;
 pub use scan::{
-    CacheStatus, CfgStats, ScanOutcome, ScanReport, ScanRequest, Scanner, ScannerBuilder,
+    CacheStatus, CfgStats, PrepCache, ScanOutcome, ScanReport, ScanRequest, Scanner, ScannerBuilder,
 };
 pub use verdict::Verdict;
 

@@ -9,8 +9,19 @@
 //! * **Skeleton-hash dedup cache.** Every request is fingerprinted with
 //!   [`scamdetect_evm::proxy::skeleton_hash`] (immediate-masked opcode
 //!   stream — the same equivalence the corpus dedup of E7 uses), and
-//!   verdict-relevant results are memoised in a bounded LRU. Proxy
-//!   clones and re-submitted bytecode never pay the lift twice.
+//!   verdict-relevant results are memoised in a bounded, mutex-striped
+//!   LRU ([`crate::lru::ShardedLru`]): daemon worker threads and
+//!   `scan_batch` workers hammering distinct skeletons do not serialize
+//!   on one lock, and a panicked worker poisons (and clears) one stripe
+//!   instead of wedging the scanner. Proxy clones and re-submitted
+//!   bytecode never pay the lift twice.
+//! * **Prepared-input cache.** The expensive, model-*independent* half
+//!   of a miss (lift + featurize / CSR graph construction) is memoised
+//!   separately in a [`PrepCache`] that can be shared across scanners
+//!   ([`ScannerBuilder::shared_prep_cache`]): a serving replica that
+//!   hot-swaps models re-scores warm skeletons without re-lifting them,
+//!   while verdicts — which do depend on weights — die with the old
+//!   scanner.
 //! * **Batch-local dedup.** Within one [`Scanner::scan_batch`] call,
 //!   duplicate skeletons are computed exactly once no matter how many
 //!   requests carry them, then fanned back out — so cache-hit
@@ -69,17 +80,17 @@
 //! [`ModelArtifact`]: crate::artifact::ModelArtifact
 
 use crate::artifact::ModelArtifact;
-use crate::detector::{ClassicModel, Detector, ModelKind, TrainOptions};
+use crate::detector::{ClassicModel, Detector, ModelKind, PreparedInput, TrainOptions};
 use crate::error::ScamDetectError;
 use crate::featurize::{detect_platform, FeatureKind, Lifted};
-use crate::lru::LruCache;
+use crate::lru::{ShardedLru, DEFAULT_SHARDS};
 use crate::verdict::Verdict;
 use scamdetect_dataset::Corpus;
 use scamdetect_evm::proxy::skeleton_hash;
 use scamdetect_ir::Platform;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Default bound on the scanner's skeleton-hash LRU cache.
@@ -242,6 +253,10 @@ pub struct ScannerBuilder {
     workers: usize,
     platform: Option<Platform>,
     train_options: TrainOptions,
+    /// `None` = a private prep cache sized like the verdict cache;
+    /// `Some` = an externally shared cache (serving replicas thread one
+    /// across hot model swaps).
+    prep_cache: Option<Arc<PrepCache>>,
 }
 
 impl Default for ScannerBuilder {
@@ -261,6 +276,7 @@ impl ScannerBuilder {
             workers: 0,
             platform: None,
             train_options: TrainOptions::default(),
+            prep_cache: None,
         }
     }
 
@@ -297,6 +313,26 @@ impl ScannerBuilder {
     /// [`Scanner::scan_batch`] for the trade-off.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Shares an external [`PrepCache`] with this scanner instead of the
+    /// default private one (which is sized like the verdict cache).
+    ///
+    /// Prepared inputs are model-independent within a representation
+    /// (see [`crate::detector::ReprKind`]), so a serving replica threads
+    /// **one** prep cache through every scanner it constructs: after a
+    /// hot model swap the fresh scanner's verdict cache starts cold —
+    /// the old model's scores must never be served — but re-scans of
+    /// known skeletons skip the lift and graph/feature preparation and
+    /// pay only the new model's scoring work.
+    ///
+    /// Ignored by scanners in exact mode
+    /// ([`ScannerBuilder::cache_capacity`]\(0\)): prep entries share the
+    /// verdict cache's skeleton equivalence, so honoring them would
+    /// re-introduce exactly the dedup approximation exact mode disables.
+    pub fn shared_prep_cache(mut self, cache: Arc<PrepCache>) -> Self {
+        self.prep_cache = Some(cache);
         self
     }
 
@@ -384,6 +420,9 @@ impl ScannerBuilder {
 
     /// Wraps an already-trained detector without retraining.
     pub fn build(self, detector: Detector) -> Scanner {
+        let prep = self
+            .prep_cache
+            .unwrap_or_else(|| Arc::new(PrepCache::new(self.cache_capacity)));
         Scanner {
             model_name: detector.name(),
             detector,
@@ -391,7 +430,8 @@ impl ScannerBuilder {
             workers: self.workers,
             platform: self.platform,
             train_options: self.train_options,
-            cache: Mutex::new(LruCache::new(self.cache_capacity)),
+            cache: ShardedLru::new(self.cache_capacity, DEFAULT_SHARDS),
+            prep,
         }
     }
 }
@@ -406,11 +446,86 @@ struct CachedScan {
     cfg: CfgStats,
 }
 
+/// A prepared scan memoised per skeleton: the detector-ready input plus
+/// the CFG statistics — everything downstream of the lift that does not
+/// depend on model weights.
+#[derive(Debug)]
+struct PreparedScan {
+    input: PreparedInput,
+    cfg: CfgStats,
+}
+
+/// A sharded cache of prepared scan inputs (post-lift, pre-score), keyed
+/// by skeleton like the verdict cache.
+///
+/// Prepared inputs carry no model weights: a feature row or a
+/// [`PreparedGraph`](scamdetect_gnn::PreparedGraph) is a pure function
+/// of the bytecode and the representation kind. A serving replica
+/// therefore shares one `PrepCache` (via
+/// [`ScannerBuilder::shared_prep_cache`]) across every scanner it ever
+/// constructs: hot model swaps invalidate verdicts, never preparations,
+/// so a swap costs one re-*score* per skeleton instead of one re-*lift*.
+///
+/// Entries are representation-tagged; a scanner whose detector consumes
+/// a different representation ignores (and eventually overwrites)
+/// mismatched entries, so mixing model kinds across swaps degrades to a
+/// plain miss rather than an error.
+pub struct PrepCache {
+    inner: ShardedLru<CacheKey, Arc<PreparedScan>>,
+}
+
+impl std::fmt::Debug for PrepCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrepCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl PrepCache {
+    /// A cache bounded to `capacity` prepared inputs (0 disables it).
+    pub fn new(capacity: usize) -> PrepCache {
+        PrepCache {
+            inner: ShardedLru::new(capacity, DEFAULT_SHARDS),
+        }
+    }
+
+    /// [`PrepCache::new`] pre-wrapped for
+    /// [`ScannerBuilder::shared_prep_cache`].
+    pub fn shared(capacity: usize) -> Arc<PrepCache> {
+        Arc::new(PrepCache::new(capacity))
+    }
+
+    /// Prepared inputs currently memoised.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Maximum number of prepared inputs.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Drops every memoised preparation.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
+
 /// A trained, batch-first, cache-backed contract scanner.
 ///
 /// Built by [`ScannerBuilder`]. Scanning is `&self` and thread-safe: the
-/// detector is immutable after training and the dedup cache sits behind
-/// a mutex that is only touched at batch edges.
+/// detector is immutable after training and both dedup caches are
+/// mutex-striped ([`ShardedLru`]) — worker threads hammering distinct
+/// skeletons contend only when two keys hash to the same stripe, and a
+/// worker that panics while holding a stripe poisons (and clears) only
+/// that stripe instead of wedging the scanner.
 #[derive(Debug)]
 pub struct Scanner {
     detector: Detector,
@@ -420,7 +535,11 @@ pub struct Scanner {
     platform: Option<Platform>,
     /// Training provenance, recorded into saved artifacts.
     train_options: TrainOptions,
-    cache: Mutex<LruCache<CacheKey, CachedScan>>,
+    /// Verdict cache: model-dependent, owned by this scanner.
+    cache: ShardedLru<CacheKey, CachedScan>,
+    /// Prepared-input cache: model-independent, possibly shared across
+    /// scanners (hot-swapping serving replicas).
+    prep: Arc<PrepCache>,
 }
 
 impl Scanner {
@@ -463,14 +582,27 @@ impl Scanner {
         self.workers
     }
 
-    /// Entries currently memoised in the dedup cache.
+    /// Entries currently memoised in the verdict dedup cache.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache.len()
     }
 
-    /// Drops every cached verdict (e.g. after model retraining).
+    /// Drops every cached verdict **and** every memoised preparation
+    /// (e.g. after model retraining, or to time a cold scan). A serving
+    /// replica that swaps models should instead build a *new* scanner
+    /// sharing the old one's [`Scanner::prep_cache`]: verdicts start
+    /// cold by construction while preparations survive.
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        self.cache.clear();
+        self.prep.clear();
+    }
+
+    /// The prepared-input cache this scanner memoises lifts into. Hand
+    /// it to [`ScannerBuilder::shared_prep_cache`] when constructing a
+    /// successor scanner (hot model swap) so known skeletons skip graph
+    /// prep under the new model.
+    pub fn prep_cache(&self) -> Arc<PrepCache> {
+        Arc::clone(&self.prep)
     }
 
     /// Scans one contract, auto-detecting the platform (subject to the
@@ -499,7 +631,7 @@ impl Scanner {
             // recompute, and lock/assembly overhead is not detector work.
             return Ok(self.assemble(key, CacheStatus::CacheHit, cached, Duration::ZERO));
         }
-        let computed = self.compute(platform, request.bytes())?;
+        let computed = self.compute(key, platform, request.bytes())?;
         self.cache_store(key, computed);
         Ok(self.assemble(key, CacheStatus::Miss, computed, started.elapsed()))
     }
@@ -549,15 +681,12 @@ impl Scanner {
         // Phase 2 — split unique keys into warm (already cached) and cold.
         let mut warm: HashMap<CacheKey, CachedScan> = HashMap::new();
         let mut cold: Vec<(CacheKey, usize)> = Vec::new();
-        {
-            let mut cache = self.cache.lock().expect("cache lock");
-            for (&key, &rep) in &first_occurrence {
-                match cache.get(&key) {
-                    Some(&hit) => {
-                        warm.insert(key, hit);
-                    }
-                    None => cold.push((key, rep)),
+        for (&key, &rep) in &first_occurrence {
+            match self.cache.get(&key) {
+                Some(hit) => {
+                    warm.insert(key, hit);
                 }
+                None => cold.push((key, rep)),
             }
         }
         // Deterministic work order (HashMap iteration above is not).
@@ -568,12 +697,9 @@ impl Scanner {
         let computed = self.compute_parallel(requests, &cold);
 
         // Phase 4 — publish fresh results to the cache.
-        {
-            let mut cache = self.cache.lock().expect("cache lock");
-            for ((key, _), result) in cold.iter().zip(&computed) {
-                if let Ok((scan, _)) = result {
-                    cache.insert(*key, *scan);
-                }
+        for ((key, _), result) in cold.iter().zip(&computed) {
+            if let Ok((scan, _)) = result {
+                self.cache.insert(*key, *scan);
             }
         }
         let fresh: HashMap<CacheKey, &Result<(CachedScan, Duration), ScamDetectError>> = cold
@@ -632,7 +758,7 @@ impl Scanner {
     }
 
     fn cache_capacity(&self) -> usize {
-        self.cache.lock().expect("cache lock").capacity()
+        self.cache.capacity()
     }
 
     /// Lifts and scores the cold skeletons across `std::thread::scope`
@@ -648,7 +774,7 @@ impl Scanner {
             (0..cold.len()).map(|_| None).collect();
         if workers <= 1 {
             for (slot, &(key, rep)) in slots.iter_mut().zip(cold) {
-                *slot = Some(self.compute_timed(key.0, requests[rep].bytes()));
+                *slot = Some(self.compute_timed(key, requests[rep].bytes()));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -664,7 +790,7 @@ impl Scanner {
                                     break;
                                 }
                                 let (key, rep) = cold[i];
-                                local.push((i, self.compute_timed(key.0, requests[rep].bytes())));
+                                local.push((i, self.compute_timed(key, requests[rep].bytes())));
                             }
                             local
                         })
@@ -701,37 +827,76 @@ impl Scanner {
         configured.min(work_items.max(1))
     }
 
-    /// The single-lift compute kernel: lift once, score once.
-    fn compute(&self, platform: Platform, bytes: &[u8]) -> Result<CachedScan, ScamDetectError> {
+    /// The single-lift compute kernel: prepare once (memoised in the
+    /// prep cache), score once.
+    ///
+    /// The expensive half — lift + featurize / CSR graph construction —
+    /// is keyed by skeleton in the shared [`PrepCache`]: a verdict-cache
+    /// miss whose skeleton was prepared before (by this scanner *or* by
+    /// a predecessor sharing the cache across a hot model swap) pays
+    /// only the detector's scoring work. Entries carrying a different
+    /// representation than this detector consumes are recomputed and
+    /// overwritten.
+    ///
+    /// In **exact mode** (verdict-cache capacity 0) the prep cache is
+    /// bypassed entirely — even an explicitly shared one. Prep entries
+    /// are keyed by the same skeleton equivalence as verdicts, so
+    /// honoring them would silently re-introduce the dedup
+    /// approximation that exact mode exists to rule out (a skeleton
+    /// twin would be scored from the first contract's feature row).
+    fn compute(
+        &self,
+        key: CacheKey,
+        platform: Platform,
+        bytes: &[u8],
+    ) -> Result<CachedScan, ScamDetectError> {
+        let dedup = self.cache.capacity() != 0;
+        if dedup {
+            if let Some(prep) = self.prep.inner.get(&key) {
+                if let Some(probability) = self.detector.score_prepared(&prep.input) {
+                    return Ok(CachedScan {
+                        probability,
+                        cfg: prep.cfg,
+                    });
+                }
+            }
+        }
         let lifted = Lifted::from_bytes(platform, bytes)?;
-        let probability = self.detector.score_lifted(&lifted);
-        Ok(CachedScan {
-            probability,
-            cfg: CfgStats {
-                blocks: lifted.cfg.block_count(),
-                instructions: lifted.cfg.instruction_count(),
-                edges: lifted.cfg.graph().edge_count(),
-                bytes: lifted.byte_len,
-            },
-        })
+        let cfg = CfgStats {
+            blocks: lifted.cfg.block_count(),
+            instructions: lifted.cfg.instruction_count(),
+            edges: lifted.cfg.graph().edge_count(),
+            bytes: lifted.byte_len,
+        };
+        let input = self.detector.prepare_lifted(&lifted);
+        let probability = self
+            .detector
+            .score_prepared(&input)
+            .expect("prepare_lifted produces this detector's own representation");
+        if dedup {
+            self.prep
+                .inner
+                .insert(key, Arc::new(PreparedScan { input, cfg }));
+        }
+        Ok(CachedScan { probability, cfg })
     }
 
     fn compute_timed(
         &self,
-        platform: Platform,
+        key: CacheKey,
         bytes: &[u8],
     ) -> Result<(CachedScan, Duration), ScamDetectError> {
         let started = Instant::now();
-        let scan = self.compute(platform, bytes)?;
+        let scan = self.compute(key, key.0, bytes)?;
         Ok((scan, started.elapsed()))
     }
 
     fn cache_lookup(&self, key: &CacheKey) -> Option<CachedScan> {
-        self.cache.lock().expect("cache lock").get(key).copied()
+        self.cache.get(key)
     }
 
     fn cache_store(&self, key: CacheKey, scan: CachedScan) {
-        self.cache.lock().expect("cache lock").insert(key, scan);
+        self.cache.insert(key, scan);
     }
 
     /// Builds the per-request report from a (possibly cached) result.
@@ -995,6 +1160,176 @@ mod tests {
             assert!(report.cache.is_hit());
             assert_eq!(report.elapsed, Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn clear_cache_drops_verdicts_and_preparations() {
+        let s = scanner();
+        let c = corpus();
+        s.scan(&c.contracts()[0].bytes).unwrap();
+        assert_eq!(s.cache_len(), 1);
+        assert_eq!(s.prep_cache().len(), 1);
+        s.clear_cache();
+        assert_eq!(s.cache_len(), 0);
+        assert_eq!(s.prep_cache().len(), 0);
+    }
+
+    #[test]
+    fn prep_cache_shared_across_swap_keeps_verdicts_bit_identical() {
+        let c = corpus();
+        let bytes = &c.contracts()[0].bytes;
+        let prep = PrepCache::shared(256);
+
+        // "Old" serving scanner warms the shared prep cache.
+        let old = ScannerBuilder::new()
+            .shared_prep_cache(Arc::clone(&prep))
+            .train(&c)
+            .unwrap();
+        assert_eq!(old.scan(bytes).unwrap().cache, CacheStatus::Miss);
+        assert!(!prep.is_empty(), "scan memoises the prepared input");
+
+        // "New" model (different corpus → different weights) inherits
+        // the preparations but not the verdicts.
+        let other = Corpus::generate(&CorpusConfig {
+            size: 40,
+            seed: 0xB00,
+            ..CorpusConfig::default()
+        });
+        let swapped = ScannerBuilder::new()
+            .shared_prep_cache(Arc::clone(&prep))
+            .train(&other)
+            .unwrap();
+        assert_eq!(swapped.cache_len(), 0, "verdict cache starts cold");
+        let via_prep = swapped.scan(bytes).unwrap();
+        // A verdict-cache miss (fresh model really scored)…
+        assert_eq!(via_prep.cache, CacheStatus::Miss);
+
+        // …bit-identical to the same model scoring without any shared
+        // preparation state.
+        let reference = ScannerBuilder::new().train(&other).unwrap();
+        let fresh = reference.scan(bytes).unwrap();
+        assert_eq!(
+            via_prep.verdict.malicious_probability.to_bits(),
+            fresh.verdict.malicious_probability.to_bits(),
+            "prep-cache path must not perturb scores"
+        );
+        assert_eq!(via_prep.cfg, fresh.cfg);
+
+        // Sanity: the two models genuinely disagree in weights (the old
+        // cached verdict would have been stale).
+        let old_p = old.scan(bytes).unwrap().verdict.malicious_probability;
+        assert_ne!(
+            old_p.to_bits(),
+            via_prep.verdict.malicious_probability.to_bits(),
+            "test premise: the swapped model scores differently"
+        );
+    }
+
+    #[test]
+    fn exact_mode_ignores_a_shared_prep_cache() {
+        // Two ERC-1167 proxies to different targets: same skeleton,
+        // different bytes. In exact mode they must be computed
+        // independently even when a warm shared prep cache is offered —
+        // a prep hit would score the twin from the first proxy's rows.
+        let prep = PrepCache::shared(256);
+        let c = corpus();
+        let warmer = ScannerBuilder::new()
+            .shared_prep_cache(Arc::clone(&prep))
+            .train(&c)
+            .unwrap();
+        let a = make_erc1167(&[1; 20]);
+        let b = make_erc1167(&[2; 20]);
+        warmer.scan(&a).unwrap();
+        assert_eq!(prep.len(), 1, "the shared cache is warm for this skeleton");
+
+        let exact = ScannerBuilder::new()
+            .cache_capacity(0)
+            .shared_prep_cache(Arc::clone(&prep))
+            .train(&c)
+            .unwrap();
+        let ra = exact.scan(&a).unwrap();
+        let rb = exact.scan(&b).unwrap();
+        assert_eq!(ra.cache, CacheStatus::Miss);
+        assert_eq!(rb.cache, CacheStatus::Miss);
+        // No writes either: scanning a contract whose skeleton the
+        // cache has never seen must not grow it.
+        exact.scan(&c.contracts()[0].bytes).unwrap();
+        assert_eq!(
+            prep.len(),
+            1,
+            "exact mode neither reads nor writes the shared prep cache"
+        );
+    }
+
+    #[test]
+    fn mismatched_repr_prep_entries_fall_back_to_recompute() {
+        let c = corpus();
+        let bytes = &c.contracts()[0].bytes;
+        let prep = PrepCache::shared(256);
+
+        // Unified-feature scanner populates Features(Unified) entries.
+        let unified = ScannerBuilder::new()
+            .model(ModelKind::Classic(
+                ClassicModel::LogisticRegression,
+                FeatureKind::Unified,
+            ))
+            .shared_prep_cache(Arc::clone(&prep))
+            .train(&c)
+            .unwrap();
+        unified.scan(bytes).unwrap();
+
+        // A histogram-feature scanner sharing the cache must recompute,
+        // not mis-score from the foreign representation.
+        let histogram = ScannerBuilder::new()
+            .model(ModelKind::Classic(
+                ClassicModel::LogisticRegression,
+                FeatureKind::OpcodeHistogram,
+            ))
+            .shared_prep_cache(Arc::clone(&prep))
+            .train(&c)
+            .unwrap();
+        let report = histogram.scan(bytes).unwrap();
+        let reference = ScannerBuilder::new()
+            .model(ModelKind::Classic(
+                ClassicModel::LogisticRegression,
+                FeatureKind::OpcodeHistogram,
+            ))
+            .train(&c)
+            .unwrap()
+            .scan(bytes)
+            .unwrap();
+        assert_eq!(
+            report.verdict.malicious_probability.to_bits(),
+            reference.verdict.malicious_probability.to_bits()
+        );
+    }
+
+    #[test]
+    fn concurrent_batches_on_shared_scanner_stay_consistent() {
+        let s = ScannerBuilder::new().workers(2).train(&corpus()).unwrap();
+        let c = corpus();
+        let all: Vec<&Vec<u8>> = c.contracts().iter().map(|x| &x.bytes).collect();
+        let baseline: Vec<u64> = all
+            .iter()
+            .map(|b| s.scan(b).unwrap().verdict.malicious_probability.to_bits())
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let (s, all, baseline) = (&s, &all, &baseline);
+                scope.spawn(move || {
+                    let requests: Vec<ScanRequest> =
+                        all.iter().map(|b| ScanRequest::new(b)).collect();
+                    for (outcome, &expected) in s.scan_batch(&requests).iter().zip(baseline) {
+                        let report = outcome.as_ref().unwrap();
+                        assert_eq!(
+                            report.verdict.malicious_probability.to_bits(),
+                            expected,
+                            "sharded cache produced a divergent score"
+                        );
+                    }
+                });
+            }
+        });
     }
 
     #[test]

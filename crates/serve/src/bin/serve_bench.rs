@@ -1,0 +1,266 @@
+//! Loopback load generator for the scanning daemon: the serving path's
+//! perf trajectory, measured from day one.
+//!
+//! ```text
+//! cargo run --release -p scamdetect-serve --bin serve_bench \
+//!     [-- --out BENCH_PR5.json --clients 4 --requests 800]
+//! ```
+//!
+//! Trains a small logistic-regression artifact, spawns the daemon
+//! in-process on an ephemeral loopback port, then drives it with N
+//! client threads over keep-alive connections. The request mix mirrors
+//! production bulk scanning: a duplicate-heavy corpus (ERC-1167-style
+//! proxy clones included), so both the cold lift path and the verdict
+//! cache are exercised.
+//!
+//! Writes req/s and p50/p99 request latency to JSON (default
+//! `BENCH_PR5.json`; CI uploads it as a workflow artifact). The gate is
+//! **correctness**, not speed: every response must be a 200 with a
+//! parseable verdict, and the run fails loudly otherwise — latency
+//! numbers from a shared CI runner are a trajectory, not a contract.
+
+use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScannerBuilder};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_serve::client::HttpClient;
+use scamdetect_serve::daemon::{spawn, ServeConfig};
+use scamdetect_serve::json::Json;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    out_path: String,
+    clients: usize,
+    requests: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = Options {
+        out_path: "BENCH_PR5.json".to_string(),
+        clients: 4,
+        requests: 800,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--out" => options.out_path = value(&mut i)?,
+            "--clients" => {
+                options.clients = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--requests" => {
+                options.requests = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown option '{other}' (usage: serve_bench [--out <path>] \
+                     [--clients <n>] [--requests <n>])"
+                ))
+            }
+        }
+        i += 1;
+    }
+    if options.clients == 0 || options.requests == 0 {
+        return Err("--clients and --requests must be at least 1".to_string());
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("serve-bench: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // 1. Train once, persist into a throwaway models dir.
+    eprintln!("serve-bench: training the serving artifact…");
+    let models_dir =
+        std::env::temp_dir().join(format!("scamdetect-serve-bench-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&models_dir) {
+        eprintln!("serve-bench: cannot create {}: {e}", models_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let train_corpus = Corpus::generate(&CorpusConfig {
+        size: 80,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
+    let trained = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&train_corpus)
+        .expect("trains");
+    trained
+        .save(models_dir.join("bench-v1.scam"))
+        .expect("saves artifact");
+
+    // 2. Spawn the daemon on an ephemeral loopback port.
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    config.registry.models_dir = models_dir.clone();
+    let daemon = spawn(config).expect("daemon spawns");
+    eprintln!("serve-bench: daemon on http://{}", daemon.addr);
+
+    // 3. The request mix: duplicate-heavy bulk traffic.
+    let scan_corpus = Corpus::generate(&CorpusConfig {
+        size: 48,
+        seed: 12,
+        proxy_duplicates: 16,
+        ..CorpusConfig::default()
+    });
+    let bodies: Vec<String> = scan_corpus
+        .contracts()
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"bytecode": "{}"}}"#,
+                scamdetect_serve::wire::encode_hex(&c.bytes)
+            )
+        })
+        .collect();
+
+    // Warm-up pass: every unique skeleton gets lifted once before the
+    // measured window, so the numbers describe steady-state serving.
+    {
+        let mut client = HttpClient::connect(daemon.addr).expect("warm-up connects");
+        for body in &bodies {
+            let reply = client
+                .request("POST", "/scan", Some(body))
+                .expect("warm-up scan");
+            assert_eq!(reply.status, 200, "warm-up scan failed: {}", reply.body);
+        }
+    }
+
+    // 4. Measured window: N clients × keep-alive connections.
+    eprintln!(
+        "serve-bench: driving {} requests over {} client threads…",
+        options.requests, options.clients
+    );
+    let per_client = options.requests.div_ceil(options.clients);
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(options.requests);
+    let mut failures = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|client_idx| {
+                let bodies = &bodies;
+                let addr = daemon.addr;
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("client connects");
+                    let mut local = Vec::with_capacity(per_client);
+                    let mut failed = 0usize;
+                    for i in 0..per_client {
+                        let body = &bodies[(client_idx + i * 7) % bodies.len()];
+                        let sent = Instant::now();
+                        match client.request("POST", "/scan", Some(body)) {
+                            Ok(reply) if reply.status == 200 => {
+                                local.push(sent.elapsed().as_micros() as u64);
+                            }
+                            Ok(reply) => {
+                                eprintln!("serve-bench: status {}: {}", reply.status, reply.body);
+                                failed += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("serve-bench: request error: {e}");
+                                failed += 1;
+                            }
+                        }
+                    }
+                    (local, failed)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, failed) = handle.join().expect("client thread");
+            latencies_us.extend(local);
+            failures += failed;
+        }
+    });
+    let elapsed = started.elapsed();
+
+    // 5. Correctness probe after load: a verdict must still parse, and
+    //    the metrics endpoint must report the traffic.
+    let reply = scamdetect_serve::client::http_call(daemon.addr, "POST", "/scan", Some(&bodies[0]))
+        .expect("probe scan");
+    let verdict_ok = Json::parse(&reply.body)
+        .ok()
+        .and_then(|v| v.get("score").and_then(Json::as_f64))
+        .is_some();
+    let metrics_text = scamdetect_serve::client::http_call(daemon.addr, "GET", "/metrics", None)
+        .expect("metrics scrape")
+        .body;
+    let hit_ratio = daemon.metrics.cache_hit_ratio();
+
+    let stats = daemon.stop().expect("clean daemon shutdown");
+
+    // 6. Aggregate + emit.
+    latencies_us.sort_unstable();
+    let pick = |q: f64| {
+        if latencies_us.is_empty() {
+            0
+        } else {
+            latencies_us[((latencies_us.len() - 1) as f64 * q) as usize]
+        }
+    };
+    let completed = latencies_us.len();
+    let req_per_sec = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    let (p50, p99) = (pick(0.50), pick(0.99));
+    eprintln!(
+        "serve-bench: {completed} requests in {:.1}ms → {req_per_sec:.0} req/s \
+         (p50 {p50}µs, p99 {p99}µs, cache hit ratio {hit_ratio:.2})",
+        elapsed.as_secs_f64() * 1e3,
+    );
+
+    let gate_pass = failures == 0
+        && verdict_ok
+        && completed >= options.requests
+        && metrics_text.contains("scamdetect_requests_total");
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"scamdetect-serve-bench/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"scan_loopback\": {{\"clients\": {}, \"requests\": {completed}, \
+         \"elapsed_us\": {}, \"req_per_sec\": {req_per_sec:.0}, \"p50_us\": {p50}, \
+         \"p99_us\": {p99}, \"cache_hit_ratio\": {hit_ratio:.4}, \
+         \"server_connections\": {}, \"server_requests\": {}}},",
+        options.clients,
+        elapsed.as_micros(),
+        stats.connections,
+        stats.requests,
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"pass\": {gate_pass}, \"rule\": \"every request answers 200 with a \
+         parseable verdict and the daemon shuts down cleanly; latency is recorded as a \
+         trajectory, not gated\"}}"
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&options.out_path, &json) {
+        eprintln!("serve-bench: cannot write {}: {e}", options.out_path);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: wrote {}", options.out_path);
+    std::fs::remove_dir_all(&models_dir).ok();
+
+    if !gate_pass {
+        eprintln!("serve-bench: GATE FAILED ({failures} failed requests, verdict_ok {verdict_ok})");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: gate passed");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,123 @@
+//! A minimal blocking HTTP/1.1 client over [`std::net::TcpStream`] —
+//! just enough to drive the daemon from the load-generator bench, the
+//! integration tests and smoke checks. Keep-alive by default: one
+//! [`HttpClient`] holds one connection and pipelines sequential
+//! request/response pairs over it.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response: status code and body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (UTF-8; the daemon only serves text/JSON).
+    pub body: String,
+}
+
+/// A keep-alive connection to one daemon.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects with a read/write timeout suited to loopback testing.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// [`HttpClient::connect`] with an explicit timeout.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the full response (keep-alive: the
+    /// connection stays usable for the next call).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: scamdetect\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            if line == "\r\n" {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("invalid content-length"))?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            body: String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?,
+        })
+    }
+}
+
+/// One-shot convenience: fresh connection, one request, done.
+///
+/// # Errors
+///
+/// Same failure modes as [`HttpClient::request`].
+pub fn http_call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    HttpClient::connect(addr)?.request(method, path, body)
+}

@@ -1,0 +1,410 @@
+//! The scanning daemon: routes, lifecycle, and the `serve` entry point.
+//!
+//! Endpoints (see [`crate::wire`] for the JSON schema):
+//!
+//! | Route                 | Method | Purpose                                     |
+//! |-----------------------|--------|---------------------------------------------|
+//! | `/scan`               | POST   | score one contract                          |
+//! | `/batch`              | POST   | score many (dedup + parallel workers)       |
+//! | `/models`             | GET    | artifacts on disk + which one is active     |
+//! | `/models/reload`      | POST   | re-resolve the models dir, hot-swap if new  |
+//! | `/healthz`            | GET    | liveness + served model id                  |
+//! | `/metrics`            | GET    | Prometheus text format                      |
+//!
+//! Every scan response names the `model`/`model_epoch` that produced
+//! it: handlers snapshot the registry's `Arc<ServingModel>` once per
+//! request, so a hot swap never tears a response and in-flight scans
+//! finish on the model they started with.
+
+use crate::http::{
+    Handler, HttpConfig, HttpRequest, HttpResponse, HttpServer, ServerStats, ShutdownHandle,
+};
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+use crate::registry::{ModelRegistry, RegistryConfig, ServeError};
+use crate::wire;
+use scamdetect::ScanRequest;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything `serve` needs: where to listen, where the models live.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// HTTP server knobs (bind address, workers, size limits).
+    pub http: HttpConfig,
+    /// Model registry knobs (models dir, pinned id, cache sizes).
+    pub registry: RegistryConfig,
+}
+
+/// A daemon that has been bound and spawned onto a background thread —
+/// the embedded form used by tests, the load-generator bench and the
+/// CLI (which just blocks on [`RunningDaemon::join`]).
+pub struct RunningDaemon {
+    /// The bound address (real port when `:0` was configured).
+    pub addr: std::net::SocketAddr,
+    /// Graceful-stop trigger.
+    pub shutdown: ShutdownHandle,
+    /// The registry backing the daemon (tests swap through this).
+    pub registry: Arc<ModelRegistry>,
+    /// Live daemon counters.
+    pub metrics: Arc<Metrics>,
+    thread: std::thread::JoinHandle<ServerStats>,
+}
+
+impl RunningDaemon {
+    /// Blocks until the daemon shuts down; returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// The server thread's panic payload, if it panicked.
+    pub fn join(self) -> std::thread::Result<ServerStats> {
+        self.thread.join()
+    }
+
+    /// Requests shutdown and joins — the orderly stop used by tests.
+    ///
+    /// # Errors
+    ///
+    /// The server thread's panic payload, if it panicked.
+    pub fn stop(self) -> std::thread::Result<ServerStats> {
+        self.shutdown.shutdown();
+        self.join()
+    }
+}
+
+/// Binds the address, loads the registry and serves on a background
+/// thread. [`serve`] is the foreground convenience over this.
+///
+/// # Errors
+///
+/// Registry errors (no artifacts, bad artifact) and bind failures.
+pub fn spawn(config: ServeConfig) -> Result<RunningDaemon, ServeError> {
+    let registry = Arc::new(ModelRegistry::open(config.registry)?);
+    let metrics = Arc::new(Metrics::default());
+    let server = HttpServer::bind(config.http).map_err(|e| ServeError::Io {
+        path: "bind".to_string(),
+        message: e.to_string(),
+    })?;
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let handler = router(
+        Arc::clone(&registry),
+        Arc::clone(&metrics),
+        server.protocol_error_counter(),
+    );
+    let thread = std::thread::spawn(move || server.serve(handler));
+    Ok(RunningDaemon {
+        addr,
+        shutdown,
+        registry,
+        metrics,
+        thread,
+    })
+}
+
+/// Runs the daemon in the foreground until SIGTERM/SIGINT (unix) or a
+/// shutdown triggered through some other clone of the handle; prints
+/// one line per lifecycle event to stderr.
+///
+/// # Errors
+///
+/// Everything [`spawn`] can raise.
+pub fn serve(config: ServeConfig) -> Result<ServerStats, ServeError> {
+    let daemon = spawn(config)?;
+    eprintln!(
+        "scamdetect-serve: listening on http://{} (model '{}', kind {})",
+        daemon.addr,
+        daemon.registry.model().id,
+        daemon.registry.model().kind,
+    );
+    crate::http::shutdown_on_signals(daemon.shutdown.clone());
+    let stats = daemon
+        .join()
+        .unwrap_or_else(|_| panic!("server thread panicked"));
+    eprintln!(
+        "scamdetect-serve: drained and stopped ({} connections, {} requests)",
+        stats.connections, stats.requests
+    );
+    Ok(stats)
+}
+
+/// Builds the route handler over a registry + metrics pair.
+/// `protocol_errors` is the HTTP layer's below-the-router rejection
+/// counter ([`crate::http::HttpServer::protocol_error_counter`]),
+/// folded into `/metrics` scrapes.
+pub fn router(
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    protocol_errors: Arc<std::sync::atomic::AtomicU64>,
+) -> Handler {
+    Arc::new(move |request: &HttpRequest| {
+        let response = route(&registry, &metrics, &protocol_errors, request);
+        if response.status >= 400 {
+            metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    })
+}
+
+fn route(
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    protocol_errors: &std::sync::atomic::AtomicU64,
+    request: &HttpRequest,
+) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/scan") => {
+            metrics.requests_scan.fetch_add(1, Ordering::Relaxed);
+            handle_scan(registry, metrics, request)
+        }
+        ("POST", "/batch") => {
+            metrics.requests_batch.fetch_add(1, Ordering::Relaxed);
+            handle_batch(registry, metrics, request)
+        }
+        ("GET", "/models") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_models(registry)
+        }
+        ("POST", "/models/reload") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_reload(registry, metrics)
+        }
+        ("GET", "/healthz") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            let model = registry.model();
+            HttpResponse::json(
+                200,
+                &obj([
+                    ("status", Json::from("ok")),
+                    ("model", Json::from(model.id.as_str())),
+                    ("model_epoch", Json::from(model.epoch)),
+                    ("uptime_s", Json::from(registry.uptime_s())),
+                ]),
+            )
+        }
+        ("GET", "/metrics") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            let model = registry.model();
+            HttpResponse::text(
+                200,
+                metrics.render_prometheus(
+                    &model.id,
+                    model.epoch,
+                    registry.uptime_s(),
+                    model.scanner.cache_len(),
+                    registry.prep_cache().len(),
+                    protocol_errors.load(Ordering::Relaxed),
+                ),
+            )
+        }
+        (_, "/scan" | "/batch" | "/models/reload") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(405, "use POST")
+        }
+        (_, "/models" | "/healthz" | "/metrics") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(405, "use GET")
+        }
+        _ => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(404, "no such route")
+        }
+    }
+}
+
+fn parse_body(request: &HttpRequest) -> Result<Json, HttpResponse> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| HttpResponse::error(400, "request body is not valid utf-8"))?;
+    Json::parse(text).map_err(|e| HttpResponse::error(400, &format!("invalid JSON: {e}")))
+}
+
+fn handle_scan(registry: &ModelRegistry, metrics: &Metrics, request: &HttpRequest) -> HttpResponse {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let wire_request = match wire::parse_scan_request(&body) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            metrics.scan_failures.fetch_add(1, Ordering::Relaxed);
+            return HttpResponse::error(400, &message);
+        }
+    };
+    // One snapshot for the whole request: the response's model/epoch
+    // fields name exactly the weights that scored it.
+    let model = registry.model();
+    let started = Instant::now();
+    let mut scan = ScanRequest::new(&wire_request.bytes);
+    if let Some(platform) = wire_request.platform {
+        scan = scan.on(platform);
+    }
+    let outcome = model.scanner.scan_request(&scan);
+    metrics.record_latency_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    metrics.scans_total.fetch_add(1, Ordering::Relaxed);
+    match outcome {
+        Ok(report) => {
+            if report.cache == scamdetect::CacheStatus::CacheHit {
+                metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            if report.is_malicious() {
+                metrics.malicious_verdicts.fetch_add(1, Ordering::Relaxed);
+            }
+            HttpResponse::json(200, &wire::render_report(&report, &model))
+        }
+        Err(e) => {
+            metrics.scan_failures.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(422, &format!("scan failed: {e}"))
+        }
+    }
+}
+
+fn handle_batch(
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    request: &HttpRequest,
+) -> HttpResponse {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let items = match body.get("requests").and_then(Json::as_array) {
+        Some(items) => items,
+        None => return HttpResponse::error(400, "missing 'requests' array"),
+    };
+    if items.len() > wire::MAX_BATCH_REQUESTS {
+        return HttpResponse::error(
+            413,
+            &format!(
+                "batch of {} exceeds the {} request cap",
+                items.len(),
+                wire::MAX_BATCH_REQUESTS
+            ),
+        );
+    }
+
+    // Decode every slot first; a malformed slot degrades to a per-slot
+    // error without failing its neighbours (mirroring ScanOutcome).
+    let decoded: Vec<Result<wire::WireScanRequest, String>> =
+        items.iter().map(wire::parse_scan_request).collect();
+    let scannable: Vec<(usize, &wire::WireScanRequest)> = decoded
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().ok().map(|req| (i, req)))
+        .collect();
+    let requests: Vec<ScanRequest> = scannable
+        .iter()
+        .map(|(_, w)| {
+            let mut scan = ScanRequest::new(&w.bytes);
+            if let Some(platform) = w.platform {
+                scan = scan.on(platform);
+            }
+            scan
+        })
+        .collect();
+
+    let model = registry.model();
+    let started = Instant::now();
+    let outcomes = model.scanner.scan_batch(&requests);
+    // The latency ring feeds the *per-scan* p50/p99 gauges; a whole
+    // batch is many scans, so record its amortised per-contract cost
+    // rather than one giant sample that would masquerade as a slow scan.
+    if !requests.is_empty() {
+        let per_contract_us =
+            (started.elapsed().as_micros() / requests.len() as u128).min(u128::from(u64::MAX));
+        metrics.record_latency_us(per_contract_us as u64);
+    }
+
+    let mut results: Vec<Json> = decoded
+        .iter()
+        .map(|slot| match slot {
+            Ok(_) => Json::Null, // placeholder, filled below
+            Err(message) => {
+                metrics.scan_failures.fetch_add(1, Ordering::Relaxed);
+                obj([("error", Json::from(message.as_str()))])
+            }
+        })
+        .collect();
+    for ((slot, _), outcome) in scannable.iter().zip(outcomes) {
+        metrics.scans_total.fetch_add(1, Ordering::Relaxed);
+        results[*slot] = match outcome {
+            Ok(report) => {
+                match report.cache {
+                    scamdetect::CacheStatus::CacheHit => {
+                        metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    scamdetect::CacheStatus::BatchHit => {
+                        metrics.batch_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    scamdetect::CacheStatus::Miss => {}
+                }
+                if report.is_malicious() {
+                    metrics.malicious_verdicts.fetch_add(1, Ordering::Relaxed);
+                }
+                wire::render_report(&report, &model)
+            }
+            Err(e) => {
+                metrics.scan_failures.fetch_add(1, Ordering::Relaxed);
+                obj([("error", Json::from(format!("scan failed: {e}")))])
+            }
+        };
+    }
+    HttpResponse::json(
+        200,
+        &obj([
+            ("model", Json::from(model.id.as_str())),
+            ("model_epoch", Json::from(model.epoch)),
+            ("results", Json::Arr(results)),
+        ]),
+    )
+}
+
+fn handle_models(registry: &ModelRegistry) -> HttpResponse {
+    match registry.list() {
+        Ok(entries) => {
+            let active = registry.model();
+            let models: Vec<Json> = entries
+                .iter()
+                .map(|e| {
+                    obj([
+                        ("id", Json::from(e.id.as_str())),
+                        ("bytes", Json::from(e.bytes)),
+                        ("active", Json::from(e.active)),
+                    ])
+                })
+                .collect();
+            HttpResponse::json(
+                200,
+                &obj([
+                    ("active", Json::from(active.id.as_str())),
+                    ("kind", Json::from(active.kind.as_str())),
+                    ("threshold", Json::from(active.threshold)),
+                    ("model_epoch", Json::from(active.epoch)),
+                    ("models", Json::Arr(models)),
+                ]),
+            )
+        }
+        Err(e) => HttpResponse::error(500, &format!("cannot list models: {e}")),
+    }
+}
+
+fn handle_reload(registry: &ModelRegistry, metrics: &Metrics) -> HttpResponse {
+    match registry.reload() {
+        Ok(outcome) => {
+            if outcome.swapped {
+                metrics.model_swaps.fetch_add(1, Ordering::Relaxed);
+            }
+            HttpResponse::json(
+                200,
+                &obj([
+                    ("swapped", Json::from(outcome.swapped)),
+                    ("active", Json::from(outcome.active.as_str())),
+                    ("model_epoch", Json::from(outcome.epoch)),
+                ]),
+            )
+        }
+        // The old model keeps serving on a failed reload; 409 tells the
+        // operator the swap did not happen without killing traffic.
+        Err(e) => HttpResponse::error(409, &format!("reload failed (still serving): {e}")),
+    }
+}

@@ -1,0 +1,856 @@
+//! A hand-rolled HTTP/1.1 server on [`std::net::TcpListener`].
+//!
+//! The workspace is offline and std-only — no tokio, no hyper — and the
+//! daemon's needs are narrow: small JSON requests, keep-alive, bounded
+//! inputs, graceful shutdown. That fits a classic fixed worker-pool
+//! design in a few hundred lines:
+//!
+//! * **Accept loop + worker pool.** The caller's thread accepts
+//!   connections and hands them to N worker threads over a channel.
+//!   Workers own a connection for its whole keep-alive lifetime; the
+//!   scan handler itself is CPU-bound, so more connections than workers
+//!   queue at the channel rather than thrash.
+//! * **Bounded parsing.** Header block and body sizes are capped
+//!   ([`HttpConfig::max_header_bytes`] / [`HttpConfig::max_body_bytes`],
+//!   431/413 on violation); requests bodies require `Content-Length`
+//!   (chunked uploads are rejected with 411 — no scan client needs
+//!   streaming).
+//! * **Keep-alive with an idle timeout.** HTTP/1.1 connections persist
+//!   across requests until `Connection: close`, the idle read timeout,
+//!   or shutdown; each worker re-checks the shutdown flag between
+//!   requests so draining never waits on an idle client.
+//! * **Graceful shutdown.** A [`ShutdownHandle`] (cloneable, signal-safe
+//!   to trigger) flips an atomic and wakes the blocking `accept` with a
+//!   loopback connection; the accept loop stops, the channel closes,
+//!   workers finish their in-flight request and exit, and
+//!   [`HttpServer::serve`] joins them all before returning.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Server knobs. The defaults suit a loopback scanning daemon.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads owning connections; 0 = available parallelism.
+    pub workers: usize,
+    /// Largest accepted request body (413 beyond). Bytecode arrives
+    /// hex- or base64-encoded, so 8 MiB covers multi-megabyte contracts.
+    pub max_body_bytes: usize,
+    /// Largest accepted header block (431 beyond).
+    pub max_header_bytes: usize,
+    /// Idle keep-alive / mid-request read timeout (no bytes at all for
+    /// this long ends the read).
+    pub read_timeout: Duration,
+    /// Hard wall-clock cap on receiving one complete request. The idle
+    /// timeout alone cannot stop a slow-drip client (1 byte per
+    /// `read_timeout` resets it forever, pinning a pool worker); once a
+    /// request's first byte arrives, the whole thing must land within
+    /// this deadline or the connection gets a 408 and closes.
+    pub request_deadline: Duration,
+    /// Requests served per connection before an orderly close (bounds
+    /// the damage of a client that never disconnects).
+    pub max_requests_per_conn: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+            max_body_bytes: 8 << 20,
+            max_header_bytes: 16 << 10,
+            read_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(30),
+            max_requests_per_conn: 10_000,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Request method, uppercase (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string.
+    pub path: String,
+    /// Raw query string (no leading `?`; empty when absent).
+    pub query: String,
+    /// Header list with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header value under `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response to write.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, value: &crate::json::Json) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: value.render().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> HttpResponse {
+        HttpResponse::json(
+            status,
+            &crate::json::obj([("error", crate::json::Json::from(message))]),
+        )
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The route handler: pure request → response. Panics inside the
+/// handler are caught per request and served as 500s (the worker and
+/// its connection survive).
+pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// Cloneable trigger for a graceful stop. Triggering is cheap,
+/// idempotent and safe from any thread (an atomic store plus a wake
+/// connection), so signal watchers and tests share the same mechanism.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ShutdownState>,
+}
+
+struct ShutdownState {
+    flag: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: no new connections are accepted, in-flight
+    /// requests finish, [`HttpServer::serve`] returns after joining its
+    /// workers.
+    pub fn shutdown(&self) {
+        if !self.state.flag.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept with a throwaway connection; if
+            // the listener is already gone the store alone suffices.
+            let _ = TcpStream::connect_timeout(&self.state.addr, Duration::from_millis(250));
+        }
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Counters accumulated over a server's lifetime, returned by
+/// [`HttpServer::serve`] so callers can assert on clean shutdown.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests parsed and answered (any status).
+    pub requests: u64,
+}
+
+/// A bound-but-not-yet-serving HTTP server.
+pub struct HttpServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: HttpConfig,
+    shutdown: ShutdownHandle,
+    /// Rejections decided *below* the route handler (malformed request
+    /// line, 431/413/411/408): the handler's own error accounting never
+    /// sees these, so the count is shared out via
+    /// [`HttpServer::protocol_error_counter`] for metrics scrapes.
+    protocol_errors: Arc<AtomicU64>,
+}
+
+impl HttpServer {
+    /// Binds the configured address (resolving `:0` to a real port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: HttpConfig) -> std::io::Result<HttpServer> {
+        let addr =
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(ErrorKind::InvalidInput, "unresolvable address")
+            })?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(HttpServer {
+            listener,
+            local_addr,
+            config,
+            shutdown: ShutdownHandle {
+                state: Arc::new(ShutdownState {
+                    flag: AtomicBool::new(false),
+                    addr: local_addr,
+                }),
+            },
+            protocol_errors: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops this server gracefully.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// Live count of protocol-level rejections (4xx decided before the
+    /// route handler runs: malformed request lines, 431/413/411/408).
+    /// Clone it before [`HttpServer::serve`] to fold into metrics.
+    pub fn protocol_error_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.protocol_errors)
+    }
+
+    /// Serves until shutdown: accepts on the calling thread, handles
+    /// requests on the worker pool, joins everything, returns counters.
+    pub fn serve(self, handler: Handler) -> ServerStats {
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            self.config.workers
+        };
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let requests = Arc::new(AtomicU64::new(0));
+        let mut connections = 0u64;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let config = &self.config;
+                let shutdown = self.shutdown.clone();
+                let requests = Arc::clone(&requests);
+                let protocol_errors = Arc::clone(&self.protocol_errors);
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue.
+                    let conn = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                        Ok(conn) => conn,
+                        Err(_) => break, // accept loop closed the channel
+                    };
+                    let served =
+                        serve_connection(conn, config, &handler, &shutdown, &protocol_errors);
+                    requests.fetch_add(served, Ordering::Relaxed);
+                });
+            }
+
+            for conn in self.listener.incoming() {
+                if self.shutdown.is_shutdown() {
+                    break; // the wake connection (or any racer) lands here
+                }
+                match conn {
+                    Ok(stream) => {
+                        connections += 1;
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::ConnectionAborted => continue,
+                    Err(_) => break,
+                }
+            }
+            drop(tx); // workers drain queued connections, then exit
+        });
+
+        ServerStats {
+            connections,
+            requests: requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How often a blocked read wakes to re-check the shutdown flag. A
+/// worker parked on an idle keep-alive connection notices a drain
+/// within this interval instead of holding shutdown hostage for the
+/// full idle timeout.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Serves one connection for its keep-alive lifetime; returns how many
+/// requests were answered.
+fn serve_connection(
+    mut stream: TcpStream,
+    config: &HttpConfig,
+    handler: &Handler,
+    shutdown: &ShutdownHandle,
+    protocol_errors: &AtomicU64,
+) -> u64 {
+    let _ = stream.set_read_timeout(Some(READ_POLL.min(config.read_timeout)));
+    let _ = stream.set_nodelay(true);
+    let mut served = 0u64;
+    let mut buffered: Vec<u8> = Vec::new();
+    while served < config.max_requests_per_conn as u64 && !shutdown.is_shutdown() {
+        let (request, keep_alive) = match read_request(&mut stream, &mut buffered, config, shutdown)
+        {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => break, // orderly close, idle timeout or drain
+            Err(failure) => {
+                protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut stream, &failure, false);
+                // Closing with unread bytes in the kernel receive queue
+                // makes TCP send RST, which discards the error response
+                // before the client reads it (a 413's natural fate: the
+                // oversized body is still in flight). Stop the client
+                // and discard what it already sent — bounded — so the
+                // close degrades to FIN and the status line survives.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                discard_pending(&mut stream, config);
+                served += 1;
+                break;
+            }
+        };
+        // A handler panic must not take the worker down with it: catch,
+        // serve a 500, keep the connection policy honest.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
+            .unwrap_or_else(|_| HttpResponse::error(500, "handler panicked"));
+        // The advertised connection state must match what happens next:
+        // the response that exhausts the per-connection request cap (or
+        // lands during a drain) says `Connection: close`.
+        let keep_alive = keep_alive
+            && !shutdown.is_shutdown()
+            && served + 1 < config.max_requests_per_conn as u64;
+        served += 1;
+        if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
+    served
+}
+
+/// Reads and discards whatever the client is still sending after an
+/// error response, bounded in bytes (one max body + slack) and time
+/// (one read timeout), so the subsequent close is a FIN the response
+/// survives rather than a response-destroying RST.
+fn discard_pending(stream: &mut TcpStream, config: &HttpConfig) {
+    let started = std::time::Instant::now();
+    let mut remaining = config.max_body_bytes + (64 << 10);
+    let mut chunk = [0u8; 4096];
+    while remaining > 0 && started.elapsed() < config.read_timeout {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client saw our FIN and closed too
+            Ok(n) => remaining = remaining.saturating_sub(n),
+            Err(e) if is_timeout(&e) || e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads one request off the connection. `Ok(None)` = clean end of the
+/// keep-alive conversation (EOF, idle timeout before any byte, or a
+/// shutdown drain reaching an idle connection); `Err(response)` = a
+/// protocol violation to report before closing.
+///
+/// The socket's read timeout is the short [`READ_POLL`] interval, so
+/// blocked reads are really a poll loop: each wake re-checks the
+/// shutdown flag (an idle connection never delays a drain) and the
+/// accumulated idle time against [`HttpConfig::read_timeout`].
+fn read_request(
+    stream: &mut TcpStream,
+    buffered: &mut Vec<u8>,
+    config: &HttpConfig,
+    shutdown: &ShutdownHandle,
+) -> Result<Option<(HttpRequest, bool)>, HttpResponse> {
+    // Phase 1: accumulate the header block. `request_started` is set by
+    // the request's first byte and bounds the *whole* receive
+    // (`request_deadline`): the per-read idle timeout alone cannot stop
+    // a slow-drip client whose every byte resets it.
+    let mut last_activity = std::time::Instant::now();
+    let mut request_started: Option<std::time::Instant> = if buffered.is_empty() {
+        None
+    } else {
+        Some(std::time::Instant::now())
+    };
+    let overdue = |started: &Option<std::time::Instant>| {
+        started.is_some_and(|t| t.elapsed() > config.request_deadline)
+    };
+    let header_end = loop {
+        if let Some(end) = find_double_crlf(buffered) {
+            if end > config.max_header_bytes {
+                return Err(HttpResponse::error(431, "header block too large"));
+            }
+            break end;
+        }
+        if buffered.len() > config.max_header_bytes {
+            return Err(HttpResponse::error(431, "header block too large"));
+        }
+        if overdue(&request_started) {
+            return Err(HttpResponse::error(408, "request took too long to arrive"));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buffered.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpResponse::error(400, "truncated request"))
+                };
+            }
+            Ok(n) => {
+                buffered.extend_from_slice(&chunk[..n]);
+                last_activity = std::time::Instant::now();
+                request_started.get_or_insert(last_activity);
+            }
+            Err(e) if is_timeout(&e) => {
+                if buffered.is_empty() && shutdown.is_shutdown() {
+                    return Ok(None); // drain reached an idle connection
+                }
+                if last_activity.elapsed() < config.read_timeout {
+                    continue; // poll tick, not a real timeout
+                }
+                return if buffered.is_empty() {
+                    Ok(None) // idle keep-alive connection: close quietly
+                } else {
+                    Err(HttpResponse::error(400, "request read timed out"))
+                };
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(None),
+        }
+    };
+
+    let header_text = std::str::from_utf8(&buffered[..header_end])
+        .map_err(|_| HttpResponse::error(400, "headers are not valid utf-8"))?
+        .to_string();
+    let mut lines = header_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpResponse::error(400, "missing request line"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpResponse::error(400, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpResponse::error(400, "missing request target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpResponse::error(400, "missing HTTP version"))?;
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpResponse::error(400, "unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpResponse::error(400, "malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let header_of = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header_of("transfer-encoding").is_some() {
+        return Err(HttpResponse::error(
+            411,
+            "chunked bodies are not supported; send Content-Length",
+        ));
+    }
+    // RFC 9110 §8.6: duplicate Content-Length headers are a
+    // request-smuggling vector (an intermediary honoring a different
+    // occurrence desyncs on message boundaries) — reject outright.
+    if headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .count()
+        > 1
+    {
+        return Err(HttpResponse::error(400, "duplicate Content-Length"));
+    }
+    let content_length = match header_of("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpResponse::error(400, "invalid Content-Length"))?,
+    };
+    if content_length > config.max_body_bytes {
+        return Err(HttpResponse::error(413, "request body too large"));
+    }
+
+    // Phase 2: the body — whatever followed the header block in the
+    // buffer plus the remainder off the socket.
+    let body_start = header_end + 4;
+    let mut body: Vec<u8> = buffered[body_start.min(buffered.len())..].to_vec();
+    // Anything past this request's body belongs to the next pipelined
+    // request on the connection.
+    let surplus = body.split_off(body.len().min(content_length));
+    *buffered = surplus;
+    let mut last_activity = std::time::Instant::now();
+    while body.len() < content_length {
+        if overdue(&request_started) {
+            return Err(HttpResponse::error(408, "request took too long to arrive"));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpResponse::error(400, "truncated request body")),
+            Ok(n) => {
+                let needed = content_length - body.len();
+                body.extend_from_slice(&chunk[..n.min(needed)]);
+                if n > needed {
+                    buffered.extend_from_slice(&chunk[needed..n]);
+                }
+                last_activity = std::time::Instant::now();
+            }
+            Err(e) if is_timeout(&e) => {
+                if last_activity.elapsed() < config.read_timeout {
+                    continue; // poll tick, not a real timeout
+                }
+                return Err(HttpResponse::error(400, "request body read timed out"));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpResponse::error(400, "connection error mid-body")),
+        }
+    }
+
+    let keep_alive = match header_of("connection").map(str::to_ascii_lowercase) {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        _ => version == "HTTP/1.1", // protocol default
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Some((
+        HttpRequest {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        },
+        keep_alive,
+    )))
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &HttpResponse,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+// ───────────────────────── signal handling ─────────────────────────
+
+/// The process-wide "a termination signal arrived" flag. Signal
+/// handlers may only do async-signal-safe work; a relaxed store is.
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_termination_signal(_signum: i32) {
+    SIGNAL_FLAG.store(true, Ordering::Relaxed);
+}
+
+/// Installs SIGINT/SIGTERM hooks (libc `signal`, linked by std on every
+/// unix target — no crate dependency) and spawns a watcher thread that
+/// converts the flag into a graceful [`ShutdownHandle::shutdown`].
+///
+/// On non-unix targets this is a no-op: ctrl-c falls back to the OS
+/// default of killing the process.
+pub fn shutdown_on_signals(handle: ShutdownHandle) {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_termination_signal);
+            signal(SIGTERM, on_termination_signal);
+        }
+    }
+    std::thread::spawn(move || loop {
+        // `swap` consumes the flag: a later daemon in the same process
+        // must not be shut down by a signal its predecessor absorbed.
+        if SIGNAL_FLAG.swap(false, Ordering::Relaxed) || handle.is_shutdown() {
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{obj, Json};
+    use std::io::{BufRead, BufReader};
+
+    fn echo_server(
+        config: HttpConfig,
+    ) -> (
+        SocketAddr,
+        ShutdownHandle,
+        std::thread::JoinHandle<ServerStats>,
+    ) {
+        let server = HttpServer::bind(config).expect("binds");
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || {
+            server.serve(Arc::new(|req: &HttpRequest| match req.path.as_str() {
+                "/echo" => HttpResponse::json(
+                    200,
+                    &obj([
+                        ("method", Json::from(req.method.as_str())),
+                        ("len", Json::from(req.body.len())),
+                    ]),
+                ),
+                "/panic" => panic!("handler exploded"),
+                _ => HttpResponse::error(404, "no such route"),
+            }))
+        });
+        (addr, handle, join)
+    }
+
+    fn raw_round_trip(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        stream.write_all(request.as_bytes()).expect("writes");
+        let mut reply = String::new();
+        let mut reader = BufReader::new(stream);
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => reply.push_str(&line),
+                Err(_) => break,
+            }
+        }
+        reply
+    }
+
+    #[test]
+    fn serves_parses_and_shuts_down_cleanly() {
+        let (addr, handle, join) = echo_server(HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            read_timeout: Duration::from_millis(500),
+            ..HttpConfig::default()
+        });
+
+        let reply = raw_round_trip(
+            addr,
+            "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains(r#""len":5"#), "{reply}");
+
+        let reply = raw_round_trip(addr, "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+
+        handle.shutdown();
+        let stats = join.join().expect("server thread joins");
+        assert!(stats.requests >= 2);
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let (addr, handle, join) = echo_server(HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            read_timeout: Duration::from_millis(500),
+            ..HttpConfig::default()
+        });
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        for i in 0..3 {
+            let body = "x".repeat(i + 1);
+            let req = format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(req.as_bytes()).expect("writes");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut status = String::new();
+            reader.read_line(&mut status).expect("status line");
+            assert!(status.starts_with("HTTP/1.1 200"), "req {i}: {status}");
+            // Drain headers + the exact body, leaving the stream clean.
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("header line");
+                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = v.trim().parse().expect("length");
+                }
+                if line == "\r\n" {
+                    break;
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).expect("body");
+        }
+        handle.shutdown();
+        let stats = join.join().expect("joins");
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.connections, 1);
+    }
+
+    #[test]
+    fn size_limits_and_bad_requests_are_typed_statuses() {
+        let (addr, handle, join) = echo_server(HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            max_body_bytes: 64,
+            max_header_bytes: 256,
+            read_timeout: Duration::from_millis(300),
+            ..HttpConfig::default()
+        });
+
+        let reply = raw_round_trip(
+            addr,
+            "POST /echo HTTP/1.1\r\nContent-Length: 100000\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+
+        let big_header = format!("GET /echo HTTP/1.1\r\nX-Big: {}\r\n\r\n", "y".repeat(1000));
+        let reply = raw_round_trip(addr, &big_header);
+        assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
+
+        let reply = raw_round_trip(addr, "BROKEN\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+        // Duplicate Content-Length is a smuggling vector: rejected.
+        let reply = raw_round_trip(
+            addr,
+            "POST /echo HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 20\r\n\r\nhi",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+        // An oversized upload must still *receive* its 413: the server
+        // drains the announced body instead of RST-ing the response.
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        let body = vec![b'x'; 300];
+        stream
+            .write_all(b"POST /echo HTTP/1.1\r\nContent-Length: 300\r\n\r\n")
+            .expect("head");
+        stream.write_all(&body).expect("body");
+        let mut reply = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_line(&mut reply).expect("status line arrives");
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+
+        let reply = raw_round_trip(
+            addr,
+            "POST /echo HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 411"), "{reply}");
+
+        handle.shutdown();
+        join.join().expect("joins");
+    }
+
+    #[test]
+    fn handler_panic_becomes_500_not_a_dead_worker() {
+        let (addr, handle, join) = echo_server(HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            read_timeout: Duration::from_millis(500),
+            ..HttpConfig::default()
+        });
+        let reply = raw_round_trip(addr, "GET /panic HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 500"), "{reply}");
+        // The single worker must still be alive to serve this.
+        let reply = raw_round_trip(
+            addr,
+            "POST /echo HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        handle.shutdown();
+        join.join().expect("joins");
+    }
+
+    #[test]
+    fn shutdown_without_traffic_returns_promptly() {
+        let (_, handle, join) = echo_server(HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..HttpConfig::default()
+        });
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+        let stats = join.join().expect("joins");
+        assert_eq!(stats.requests, 0);
+    }
+}

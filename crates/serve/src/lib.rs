@@ -1,0 +1,90 @@
+//! # scamdetect-serve
+//!
+//! The long-running scanning daemon: a **std-only** HTTP/1.1 server
+//! (the workspace is offline — no tokio, no hyper, no serde) exposing
+//! the [`scamdetect`] scanner behind a hot-swappable model registry.
+//! This is the serving half of *train once, serve anywhere*: training
+//! writes a versioned `ModelArtifact`, and a fleet of these daemons
+//! serves it with bit-identical verdicts, swapping to new artifacts
+//! mid-traffic without dropping a request.
+//!
+//! ## Serving quickstart
+//!
+//! ```text
+//! # 1. Train once, persist the artifact into a models directory.
+//! scamdetect-cli train --save models/rf-v1.scam --model rf
+//!
+//! # 2. Serve it (lexicographically last *.scam stem wins; pin with --model).
+//! scamdetect-cli serve --models-dir models --addr 127.0.0.1:7878
+//!
+//! # 3. Scan over HTTP.
+//! curl -s -X POST http://127.0.0.1:7878/scan \
+//!      -d '{"bytecode": "0x363d3d373d3d3d363d73bebebebebebebebebebebebebebebebebebebebe5af43d82803e903d91602b57fd5bf3"}'
+//! # → {"verdict":"benign","score":0.142…,"threshold":0.5,"platform":"evm",
+//! #    "cache":"miss","model":"rf-v1","model_epoch":0,"skeleton":"…",
+//! #    "blocks":…,"instructions":…,"elapsed_us":…}
+//!
+//! # 4. Ship a new model and hot-swap it under live traffic.
+//! scamdetect-cli train --save models/rf-v2.scam --model rf --seed 43
+//! curl -s -X POST http://127.0.0.1:7878/models/reload
+//! # → {"swapped":true,"active":"rf-v2","model_epoch":1}
+//! ```
+//!
+//! `GET /healthz` answers liveness, `GET /metrics` is Prometheus text
+//! (request counters, cache hit ratio, p50/p99 scan latency, swap
+//! count), `GET /models` lists the directory, and `POST /batch` scans
+//! many contracts with skeleton dedup + parallel workers. The full
+//! JSON wire schema is documented in [`wire`].
+//!
+//! ## Architecture
+//!
+//! * [`http`] — hand-rolled HTTP/1.1 on `std::net::TcpListener`: fixed
+//!   worker pool, request size limits, keep-alive, graceful shutdown
+//!   (SIGTERM/ctrl-c on unix) that drains in-flight requests.
+//! * [`json`] — minimal JSON value/writer/tolerant reader; float
+//!   rendering round-trips `f64` bit-exactly, so served scores equal
+//!   library scores to the last bit.
+//! * [`registry`] — the [`ModelRegistry`]:
+//!   versioned artifacts on disk, one `Arc<ServingModel>` snapshot in
+//!   memory. Swaps are a pointer store; readers clone the `Arc` and
+//!   never block on a swap. Verdict caches die with their snapshot (a
+//!   stale score cannot outlive its model) while the shared
+//!   prepared-input cache ([`scamdetect::PrepCache`]) survives, so a
+//!   swap costs one re-score per warm skeleton instead of a re-lift.
+//! * [`metrics`] — relaxed-atomic counters + a latency ring buffer,
+//!   rendered as Prometheus text.
+//! * [`daemon`] — the routes, [`daemon::ServeConfig`], and the
+//!   [`daemon::serve`] / [`daemon::spawn`] entry points (foreground
+//!   CLI use vs. embedded tests/benches).
+//!
+//! The `serve_bench` binary drives a loopback daemon with N client
+//! threads and writes `BENCH_PR5.json` (req/s, p50/p99) — the serving
+//! path's perf trajectory from day one.
+//!
+//! Embedded use (tests, benches, other daemons):
+//!
+//! ```no_run
+//! use scamdetect_serve::daemon::{spawn, ServeConfig};
+//!
+//! # fn main() -> Result<(), scamdetect_serve::registry::ServeError> {
+//! let mut config = ServeConfig::default();
+//! config.http.addr = "127.0.0.1:0".to_string(); // ephemeral port
+//! config.registry.models_dir = "models".into();
+//! let daemon = spawn(config)?;
+//! println!("serving on {}", daemon.addr);
+//! daemon.stop().expect("clean shutdown");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod wire;
+
+pub use daemon::{serve, spawn, RunningDaemon, ServeConfig};
+pub use http::{HttpConfig, ShutdownHandle};
+pub use registry::{ModelRegistry, RegistryConfig, ServeError, ServingModel};

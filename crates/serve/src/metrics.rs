@@ -1,0 +1,287 @@
+//! Daemon metrics: lock-free counters plus a latency ring buffer,
+//! rendered in the Prometheus text exposition format.
+//!
+//! Everything on the hot path is a relaxed atomic op. Percentiles are
+//! computed at scrape time from a fixed ring of the most recent scan
+//! latencies (the standard "sliding window of samples" compromise: no
+//! allocation while serving, exact-enough p50/p99 over recent traffic,
+//! O(ring) work only when `/metrics` is hit).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Samples kept for percentile estimation.
+const LATENCY_RING: usize = 2048;
+
+/// Sentinel for "slot never written" (a real 0µs latency is recorded
+/// as 1µs — the measurement floor, far below anything the scan path
+/// can produce).
+const EMPTY: u64 = u64::MAX;
+
+/// Counters and latency samples for one daemon lifetime.
+pub struct Metrics {
+    /// Requests answered, by coarse endpoint family.
+    pub requests_scan: AtomicU64,
+    /// `/batch` requests (the *contracts* inside count into
+    /// `scans_total` / cache counters like single scans).
+    pub requests_batch: AtomicU64,
+    /// Every other endpoint (`/healthz`, `/metrics`, `/models`, …).
+    pub requests_other: AtomicU64,
+    /// Responses with status >= 400.
+    pub errors: AtomicU64,
+    /// Contracts scored (cache hits included).
+    pub scans_total: AtomicU64,
+    /// Scans served from the verdict cache (cross-request).
+    pub cache_hits: AtomicU64,
+    /// Scans deduplicated inside one `/batch` request.
+    pub batch_hits: AtomicU64,
+    /// Scans that flagged the contract malicious.
+    pub malicious_verdicts: AtomicU64,
+    /// Scan requests that failed: undecodable `bytecode` fields as well
+    /// as decoded-but-unliftable contracts.
+    pub scan_failures: AtomicU64,
+    /// Completed hot model swaps.
+    pub model_swaps: AtomicU64,
+    ring: [AtomicU64; LATENCY_RING],
+    ring_next: AtomicUsize,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests_scan: AtomicU64::new(0),
+            requests_batch: AtomicU64::new(0),
+            requests_other: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            scans_total: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            batch_hits: AtomicU64::new(0),
+            malicious_verdicts: AtomicU64::new(0),
+            scan_failures: AtomicU64::new(0),
+            model_swaps: AtomicU64::new(0),
+            ring: [const { AtomicU64::new(EMPTY) }; LATENCY_RING],
+            ring_next: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Records one scan latency sample (microseconds).
+    pub fn record_latency_us(&self, micros: u64) {
+        let slot = self.ring_next.fetch_add(1, Ordering::Relaxed) % LATENCY_RING;
+        self.ring[slot].store(micros.clamp(1, EMPTY - 1), Ordering::Relaxed);
+    }
+
+    /// `(p50, p99)` over the retained latency window, microseconds;
+    /// zeros before any sample arrives.
+    pub fn latency_percentiles_us(&self) -> (u64, u64) {
+        let mut samples: Vec<u64> = self
+            .ring
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&v| v != EMPTY)
+            .collect();
+        if samples.is_empty() {
+            return (0, 0);
+        }
+        samples.sort_unstable();
+        let pick = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+        (pick(0.50), pick(0.99))
+    }
+
+    /// Verdict-cache hit ratio over everything scanned so far (batch
+    /// dedup hits count as hits: the work was skipped either way).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.scans_total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let hits =
+            self.cache_hits.load(Ordering::Relaxed) + self.batch_hits.load(Ordering::Relaxed);
+        hits as f64 / total as f64
+    }
+
+    /// Renders the Prometheus text exposition format.
+    ///
+    /// `model_id` / `model_epoch` describe the currently-served model;
+    /// `uptime_s` is the daemon's, the two cache gauges are read from
+    /// the live scanner, and `protocol_errors` comes from the HTTP
+    /// layer (rejections decided before any route handler ran —
+    /// malformed request lines, 431/413/411/408).
+    pub fn render_prometheus(
+        &self,
+        model_id: &str,
+        model_epoch: u64,
+        uptime_s: u64,
+        verdict_cache_len: usize,
+        prep_cache_len: usize,
+        protocol_errors: u64,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "scamdetect_requests_total",
+            "HTTP requests answered (scan endpoint)",
+            self.requests_scan.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_batch_requests_total",
+            "HTTP requests answered (batch endpoint)",
+            self.requests_batch.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_other_requests_total",
+            "HTTP requests answered (all other endpoints)",
+            self.requests_other.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_errors_total",
+            "route-handler responses with status >= 400",
+            self.errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_protocol_errors_total",
+            "requests rejected below the route layer (bad request line, 431/413/411/408)",
+            protocol_errors,
+        );
+        counter(
+            "scamdetect_scans_total",
+            "contracts scored, cache hits included",
+            self.scans_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_cache_hits_total",
+            "scans served from the cross-request verdict cache",
+            self.cache_hits.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_batch_dedup_hits_total",
+            "scans deduplicated within one batch request",
+            self.batch_hits.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_malicious_verdicts_total",
+            "scans that flagged the contract",
+            self.malicious_verdicts.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_scan_failures_total",
+            "scan requests that failed (undecodable or unliftable bytecode)",
+            self.scan_failures.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_model_swaps_total",
+            "completed hot model swaps",
+            self.model_swaps.load(Ordering::Relaxed),
+        );
+
+        let (p50, p99) = self.latency_percentiles_us();
+        let mut gauge = |name: &str, help: &str, value: String| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "scamdetect_scan_latency_p50_us",
+            "median scan latency over the recent-sample window, microseconds",
+            p50.to_string(),
+        );
+        gauge(
+            "scamdetect_scan_latency_p99_us",
+            "p99 scan latency over the recent-sample window, microseconds",
+            p99.to_string(),
+        );
+        gauge(
+            "scamdetect_cache_hit_ratio",
+            "verdict-cache hit ratio since startup",
+            format!("{:.6}", self.cache_hit_ratio()),
+        );
+        gauge(
+            "scamdetect_verdict_cache_entries",
+            "entries in the serving scanner's verdict cache",
+            verdict_cache_len.to_string(),
+        );
+        gauge(
+            "scamdetect_prep_cache_entries",
+            "entries in the shared prepared-input cache",
+            prep_cache_len.to_string(),
+        );
+        gauge(
+            "scamdetect_uptime_seconds",
+            "seconds since the daemon started",
+            uptime_s.to_string(),
+        );
+        gauge(
+            "scamdetect_model_epoch",
+            "monotonic epoch of the served model (bumps on every swap)",
+            model_epoch.to_string(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP scamdetect_model_info served model id as a label\n\
+             # TYPE scamdetect_model_info gauge\n\
+             scamdetect_model_info{{model=\"{}\"}} 1",
+            model_id.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_samples() {
+        let m = Metrics::default();
+        assert_eq!(m.latency_percentiles_us(), (0, 0));
+        for us in 1..=100u64 {
+            m.record_latency_us(us);
+        }
+        let (p50, p99) = m.latency_percentiles_us();
+        assert!((49..=51).contains(&p50), "p50 {p50}");
+        assert!((98..=100).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn ring_wraps_without_losing_recency() {
+        let m = Metrics::default();
+        for _ in 0..(LATENCY_RING * 2) {
+            m.record_latency_us(7);
+        }
+        assert_eq!(m.latency_percentiles_us(), (7, 7));
+    }
+
+    #[test]
+    fn hit_ratio_counts_batch_dedup() {
+        let m = Metrics::default();
+        assert_eq!(m.cache_hit_ratio(), 0.0);
+        m.scans_total.store(10, Ordering::Relaxed);
+        m.cache_hits.store(3, Ordering::Relaxed);
+        m.batch_hits.store(2, Ordering::Relaxed);
+        assert!((m.cache_hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let m = Metrics::default();
+        m.requests_scan.store(4, Ordering::Relaxed);
+        m.record_latency_us(123);
+        let text = m.render_prometheus("rf-v3", 2, 60, 10, 12, 3);
+        assert!(text.contains("scamdetect_requests_total 4"));
+        assert!(text.contains("scamdetect_protocol_errors_total 3"));
+        assert!(text.contains("scamdetect_scan_latency_p50_us 123"));
+        assert!(text.contains("scamdetect_model_info{model=\"rf-v3\"} 1"));
+        assert!(text.contains("scamdetect_model_epoch 2"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            assert!(parts.next().is_some(), "{line}");
+            assert!(parts.next().unwrap().parse::<f64>().is_ok(), "{line}");
+        }
+    }
+}

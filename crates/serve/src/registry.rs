@@ -1,0 +1,539 @@
+//! The hot-swap model registry: versioned [`ModelArtifact`]s on disk,
+//! one atomically swappable serving model in memory.
+//!
+//! A registry owns a **models directory** of `*.scam` artifacts (the
+//! train-once / serve-anywhere files written by `scamdetect-cli train
+//! --save` or [`Scanner::save`]). One artifact is *active* at a time:
+//! the explicitly pinned id, or the lexicographically last file stem —
+//! so date-stamped or zero-padded version names (`rf-2026-07-31`,
+//! `rf-v007`) naturally promote the newest model.
+//!
+//! # Swap semantics
+//!
+//! The active model lives behind `RwLock<Arc<ServingModel>>`. Request
+//! handlers take a read lock just long enough to clone the `Arc` — a
+//! few nanoseconds, never held across scoring — so scans in flight
+//! during a swap finish on the snapshot they started with, and the
+//! response's `model`/`epoch` fields name exactly the weights that
+//! produced the score. There is no torn state to observe: a response
+//! is always bit-consistent with one model.
+//!
+//! Verdict caches are **per scanner** and therefore die with the
+//! snapshot on swap — a stale score physically cannot be served by the
+//! next model. What survives the swap is the shared [`PrepCache`]:
+//! prepared inputs (feature rows, CSR graphs) carry no model weights,
+//! so the new model re-scores warm skeletons without re-paying the
+//! lift and graph preparation (see `scamdetect::scan::PrepCache`).
+//!
+//! [`Scanner::save`]: scamdetect::Scanner::save
+
+use scamdetect::{ModelArtifact, PrepCache, ScamDetectError, Scanner, ScannerBuilder};
+use scamdetect_evm::proxy::fnv1a;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Registry configuration.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Directory scanned for `*.scam` artifacts.
+    pub models_dir: PathBuf,
+    /// Serve exactly this model id (file stem) instead of the
+    /// lexicographically last one.
+    pub pinned: Option<String>,
+    /// Verdict-cache capacity per serving scanner.
+    pub cache_capacity: usize,
+    /// Shared prepared-input cache capacity (survives swaps).
+    pub prep_capacity: usize,
+    /// Worker threads for `/batch` scans (0 = auto).
+    pub workers: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            models_dir: PathBuf::from("models"),
+            pinned: None,
+            cache_capacity: scamdetect::scan::DEFAULT_CACHE_CAPACITY,
+            prep_capacity: scamdetect::scan::DEFAULT_CACHE_CAPACITY,
+            workers: 0,
+        }
+    }
+}
+
+/// Why the registry could not load or swap.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Filesystem problem touching the models directory.
+    Io {
+        /// The offending path.
+        path: String,
+        /// OS error message.
+        message: String,
+    },
+    /// The models directory holds no `*.scam` artifact.
+    NoModels {
+        /// The scanned directory.
+        dir: String,
+    },
+    /// A pinned model id has no corresponding artifact file.
+    UnknownModel {
+        /// The requested id.
+        id: String,
+        /// The scanned directory.
+        dir: String,
+    },
+    /// The artifact exists but cannot be parsed/reconstructed.
+    Artifact(ScamDetectError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { path, message } => write!(f, "{path}: {message}"),
+            ServeError::NoModels { dir } => {
+                write!(f, "no *.scam model artifacts in {dir}")
+            }
+            ServeError::UnknownModel { id, dir } => {
+                write!(f, "no artifact named '{id}.scam' in {dir}")
+            }
+            ServeError::Artifact(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Artifact(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScamDetectError> for ServeError {
+    fn from(e: ScamDetectError) -> Self {
+        ServeError::Artifact(e)
+    }
+}
+
+/// One immutable serving snapshot: a scanner plus its provenance.
+/// Handlers clone the `Arc` once per request and use only this.
+pub struct ServingModel {
+    /// Model id: the artifact's file stem.
+    pub id: String,
+    /// Monotonic swap epoch (0 for the model loaded at startup).
+    pub epoch: u64,
+    /// Detector name (e.g. `random_forest[unified]`).
+    pub kind: String,
+    /// Decision threshold in effect.
+    pub threshold: f64,
+    /// FNV-1a over the artifact bytes — the swap no-op check.
+    pub fingerprint: u64,
+    /// The scanner serving this snapshot.
+    pub scanner: Scanner,
+}
+
+/// Metadata for one artifact on disk, as reported by `GET /models`.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// File stem.
+    pub id: String,
+    /// Artifact size in bytes.
+    pub bytes: u64,
+    /// `true` when this is the currently served model.
+    pub active: bool,
+}
+
+/// Outcome of a [`ModelRegistry::reload`].
+#[derive(Debug, Clone)]
+pub struct ReloadOutcome {
+    /// Whether a swap actually happened.
+    pub swapped: bool,
+    /// The id now being served.
+    pub active: String,
+    /// The epoch now being served.
+    pub epoch: u64,
+}
+
+/// See the module docs.
+pub struct ModelRegistry {
+    config: RegistryConfig,
+    prep: Arc<PrepCache>,
+    active: RwLock<Arc<ServingModel>>,
+    /// Serializes whole [`ModelRegistry::reload`] calls (HTTP workers
+    /// can race `POST /models/reload`): without it two concurrent
+    /// reloads could mint the same epoch and the write-lock loser could
+    /// overwrite a newer artifact with an older one. Readers never
+    /// touch this lock.
+    reload_lock: Mutex<()>,
+    swaps: AtomicU64,
+    loaded_at: Instant,
+}
+
+impl fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("dir", &self.config.models_dir)
+            .field("active", &self.model().id)
+            .field("swaps", &self.swaps.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// Scans the models directory and loads the active artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoModels`] / [`ServeError::UnknownModel`] when
+    /// nothing (or not the pinned id) is there, I/O and artifact
+    /// errors otherwise.
+    pub fn open(config: RegistryConfig) -> Result<ModelRegistry, ServeError> {
+        let prep = PrepCache::shared(config.prep_capacity);
+        let (id, path) = resolve_active(&config)?;
+        let model = load_model(&config, &prep, &id, &path, 0)?;
+        Ok(ModelRegistry {
+            config,
+            prep,
+            active: RwLock::new(Arc::new(model)),
+            reload_lock: Mutex::new(()),
+            swaps: AtomicU64::new(0),
+            loaded_at: Instant::now(),
+        })
+    }
+
+    /// The current serving snapshot. Cheap (`Arc` clone under a read
+    /// lock held for nanoseconds); never blocks behind scoring work,
+    /// and scoring work never blocks a swap.
+    pub fn model(&self) -> Arc<ServingModel> {
+        Arc::clone(&self.active.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Completed swaps since startup.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the registry loaded its first model.
+    pub fn uptime_s(&self) -> u64 {
+        self.loaded_at.elapsed().as_secs()
+    }
+
+    /// The prep cache shared across every scanner this registry builds.
+    pub fn prep_cache(&self) -> &Arc<PrepCache> {
+        &self.prep
+    }
+
+    /// Re-resolves the active artifact on disk and swaps it in if it
+    /// changed (different id *or* different bytes under the same id).
+    /// Scans in flight keep their snapshot; new requests see the new
+    /// model immediately after the swap.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelRegistry::open`] can raise. On error the old
+    /// model keeps serving — a bad reload is observable, never fatal.
+    pub fn reload(&self) -> Result<ReloadOutcome, ServeError> {
+        // One reload at a time, end to end: resolve → compare → build →
+        // swap. Concurrent `POST /models/reload` calls queue here (each
+        // sees the directory as of its own turn); scans are unaffected.
+        let _serialized = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let (id, path) = resolve_active(&self.config)?;
+        let bytes = read_artifact_bytes(&path)?;
+        let fingerprint = fnv1a(&bytes);
+        {
+            let current = self.model();
+            if current.id == id && current.fingerprint == fingerprint {
+                return Ok(ReloadOutcome {
+                    swapped: false,
+                    active: current.id.clone(),
+                    epoch: current.epoch,
+                });
+            }
+        }
+        // Build the successor completely before taking the write lock:
+        // artifact parsing is milliseconds, the swap itself is a
+        // pointer store.
+        let epoch = self.swaps.load(Ordering::Relaxed) + 1;
+        let model = build_model(&self.config, &self.prep, &id, &bytes, fingerprint, epoch)?;
+        let model = Arc::new(model);
+        *self.active.write().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&model);
+        self.swaps.store(epoch, Ordering::Relaxed);
+        Ok(ReloadOutcome {
+            swapped: true,
+            active: model.id.clone(),
+            epoch,
+        })
+    }
+
+    /// Every artifact currently in the models directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the directory.
+    pub fn list(&self) -> Result<Vec<ModelEntry>, ServeError> {
+        let active = self.model();
+        let mut entries: Vec<ModelEntry> = artifact_files(&self.config.models_dir)?
+            .into_iter()
+            .map(|(id, path)| {
+                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                ModelEntry {
+                    active: id == active.id,
+                    id,
+                    bytes,
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(entries)
+    }
+}
+
+/// `(file stem, path)` of every `*.scam` in `dir`.
+fn artifact_files(dir: &Path) -> Result<Vec<(String, PathBuf)>, ServeError> {
+    let read = std::fs::read_dir(dir).map_err(|e| ServeError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut found = Vec::new();
+    for entry in read {
+        let entry = entry.map_err(|e| ServeError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("scam") {
+            continue;
+        }
+        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+            found.push((stem.to_string(), path.clone()));
+        }
+    }
+    Ok(found)
+}
+
+/// Which artifact should serve: the pinned id, or the lexicographically
+/// last stem.
+fn resolve_active(config: &RegistryConfig) -> Result<(String, PathBuf), ServeError> {
+    let mut files = artifact_files(&config.models_dir)?;
+    if files.is_empty() {
+        return Err(ServeError::NoModels {
+            dir: config.models_dir.display().to_string(),
+        });
+    }
+    match &config.pinned {
+        Some(id) => files
+            .into_iter()
+            .find(|(stem, _)| stem == id)
+            .ok_or_else(|| ServeError::UnknownModel {
+                id: id.clone(),
+                dir: config.models_dir.display().to_string(),
+            }),
+        None => {
+            files.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok(files.pop().expect("non-empty"))
+        }
+    }
+}
+
+fn read_artifact_bytes(path: &Path) -> Result<Vec<u8>, ServeError> {
+    std::fs::read(path).map_err(|e| ServeError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn load_model(
+    config: &RegistryConfig,
+    prep: &Arc<PrepCache>,
+    id: &str,
+    path: &Path,
+    epoch: u64,
+) -> Result<ServingModel, ServeError> {
+    let bytes = read_artifact_bytes(path)?;
+    let fingerprint = fnv1a(&bytes);
+    build_model(config, prep, id, &bytes, fingerprint, epoch)
+}
+
+fn build_model(
+    config: &RegistryConfig,
+    prep: &Arc<PrepCache>,
+    id: &str,
+    bytes: &[u8],
+    fingerprint: u64,
+    epoch: u64,
+) -> Result<ServingModel, ServeError> {
+    // Parse once; reuse the parsed artifact for both the scanner and
+    // the provenance fields.
+    let artifact = ModelArtifact::from_bytes(bytes)?;
+    let scanner = ScannerBuilder::new()
+        .cache_capacity(config.cache_capacity)
+        .workers(config.workers)
+        .shared_prep_cache(Arc::clone(prep))
+        .from_artifact(&artifact)?;
+    Ok(ServingModel {
+        id: id.to_string(),
+        epoch,
+        kind: scanner.detector().name(),
+        threshold: scanner.threshold(),
+        fingerprint,
+        scanner,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scamdetect_dataset::{Corpus, CorpusConfig};
+
+    fn temp_models_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scamdetect-registry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp models dir");
+        dir
+    }
+
+    fn train_artifact_bytes(seed: u64) -> Vec<u8> {
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: 30,
+            seed,
+            ..CorpusConfig::default()
+        });
+        ScannerBuilder::new()
+            .model(scamdetect::ModelKind::Classic(
+                scamdetect::ClassicModel::LogisticRegression,
+                scamdetect::FeatureKind::Unified,
+            ))
+            .train(&corpus)
+            .expect("trains")
+            .to_artifact()
+            .expect("artifact")
+            .to_bytes()
+    }
+
+    fn config(dir: &Path) -> RegistryConfig {
+        RegistryConfig {
+            models_dir: dir.to_path_buf(),
+            cache_capacity: 128,
+            prep_capacity: 128,
+            ..RegistryConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_picks_lexicographically_last_and_pin_overrides() {
+        let dir = temp_models_dir("pick");
+        std::fs::write(dir.join("model-v1.scam"), train_artifact_bytes(1)).unwrap();
+        std::fs::write(dir.join("model-v2.scam"), train_artifact_bytes(2)).unwrap();
+
+        let registry = ModelRegistry::open(config(&dir)).expect("opens");
+        assert_eq!(registry.model().id, "model-v2");
+        assert_eq!(registry.model().epoch, 0);
+
+        let pinned = ModelRegistry::open(RegistryConfig {
+            pinned: Some("model-v1".to_string()),
+            ..config(&dir)
+        })
+        .expect("opens pinned");
+        assert_eq!(pinned.model().id, "model-v1");
+
+        let missing = ModelRegistry::open(RegistryConfig {
+            pinned: Some("model-v9".to_string()),
+            ..config(&dir)
+        });
+        assert!(matches!(missing, Err(ServeError::UnknownModel { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_is_a_typed_error() {
+        let dir = temp_models_dir("empty");
+        assert!(matches!(
+            ModelRegistry::open(config(&dir)),
+            Err(ServeError::NoModels { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_is_noop_without_change_and_swaps_on_new_artifact() {
+        let dir = temp_models_dir("reload");
+        std::fs::write(dir.join("m-v1.scam"), train_artifact_bytes(1)).unwrap();
+        let registry = ModelRegistry::open(config(&dir)).expect("opens");
+
+        let outcome = registry.reload().expect("reloads");
+        assert!(!outcome.swapped);
+        assert_eq!(registry.swap_count(), 0);
+
+        // New, later-sorting artifact ⇒ swap.
+        std::fs::write(dir.join("m-v2.scam"), train_artifact_bytes(2)).unwrap();
+        let outcome = registry.reload().expect("reloads");
+        assert!(outcome.swapped);
+        assert_eq!(outcome.active, "m-v2");
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(registry.model().id, "m-v2");
+        assert_eq!(registry.swap_count(), 1);
+
+        // Same id, different bytes ⇒ swap too.
+        std::fs::write(dir.join("m-v2.scam"), train_artifact_bytes(3)).unwrap();
+        let outcome = registry.reload().expect("reloads");
+        assert!(outcome.swapped);
+        assert_eq!(outcome.epoch, 2);
+
+        // A broken artifact on disk fails the reload but keeps serving.
+        std::fs::write(dir.join("m-v3.scam"), b"garbage").unwrap();
+        assert!(registry.reload().is_err());
+        assert_eq!(registry.model().id, "m-v2");
+        let list = registry.list().expect("lists");
+        assert_eq!(list.len(), 3);
+        assert!(list.iter().any(|e| e.id == "m-v2" && e.active));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prep_cache_survives_swaps_and_scores_stay_exact() {
+        let dir = temp_models_dir("prep");
+        std::fs::write(dir.join("m-v1.scam"), train_artifact_bytes(1)).unwrap();
+        let registry = ModelRegistry::open(config(&dir)).expect("opens");
+
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: 6,
+            seed: 99,
+            ..CorpusConfig::default()
+        });
+        let probe = &corpus.contracts()[0].bytes;
+        registry.model().scanner.scan(probe).expect("scan");
+        assert!(!registry.prep_cache().is_empty());
+
+        std::fs::write(dir.join("m-v2.scam"), train_artifact_bytes(2)).unwrap();
+        registry.reload().expect("swap");
+        let prep_len = registry.prep_cache().len();
+        assert!(prep_len > 0, "prep cache survives the swap");
+
+        // The new model's score via the warm prep path matches a cold
+        // scanner loaded from the same artifact — bit for bit.
+        let via_prep = registry
+            .model()
+            .scanner
+            .scan(probe)
+            .expect("scan")
+            .verdict
+            .malicious_probability;
+        let cold = ScannerBuilder::new()
+            .load(dir.join("m-v2.scam"))
+            .expect("loads")
+            .scan(probe)
+            .expect("scan")
+            .verdict
+            .malicious_probability;
+        assert_eq!(via_prep.to_bits(), cold.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

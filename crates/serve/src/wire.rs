@@ -1,0 +1,290 @@
+//! The daemon's JSON wire schema: scan requests in, verdicts out.
+//!
+//! # Scan request (`POST /scan`, and each element of `POST /batch`'s
+//! `requests` array)
+//!
+//! ```json
+//! {
+//!   "bytecode": "0x363d3d373d3d3d363d73…",
+//!   "encoding": "hex",
+//!   "platform": "evm"
+//! }
+//! ```
+//!
+//! * `bytecode` (required): the contract bytes. Hex by default
+//!   (optional `0x` prefix, embedded whitespace ignored); set
+//!   `"encoding": "base64"` for standard base64 (URL-safe alphabet and
+//!   missing padding tolerated).
+//! * `platform` (optional): `"evm"` or `"wasm"` pins the platform;
+//!   omitted = magic-byte auto-detection.
+//!
+//! Unknown fields are ignored (tolerant reader).
+//!
+//! # Scan response
+//!
+//! ```json
+//! {
+//!   "verdict": "malicious",
+//!   "score": 0.9731,
+//!   "threshold": 0.5,
+//!   "platform": "evm",
+//!   "cache": "miss",
+//!   "model": "rf-v3",
+//!   "model_epoch": 2,
+//!   "skeleton": "9f86d081884c7d65",
+//!   "blocks": 12,
+//!   "instructions": 230,
+//!   "elapsed_us": 412
+//! }
+//! ```
+//!
+//! * `verdict`: `"malicious"` | `"benign"`; `score` is P(malicious),
+//!   thresholded by `threshold` (both returned so clients can re-judge).
+//!   `score` round-trips bit-exactly through the JSON number (shortest
+//!   round-trip float formatting).
+//! * `cache`: `"miss"` | `"hit"` (cross-request verdict cache) |
+//!   `"batch"` (deduplicated within one batch request).
+//! * `model` / `model_epoch`: exactly which registry snapshot scored
+//!   this request — during a hot swap, in-flight requests finish on
+//!   their old snapshot and say so.
+//! * `skeleton`: the dedup fingerprint, 16 lowercase hex digits.
+//!
+//! A failed scan inside `/batch` yields `{"error": "<message>"}` in
+//! that slot; other slots are unaffected. `POST /scan` reports the
+//! same envelope with status 422.
+//!
+//! # Batch request / response (`POST /batch`)
+//!
+//! ```json
+//! {"requests": [{"bytecode": "…"}, {"bytecode": "…"}]}
+//! {"results": [{…scan response…}, {"error": "…"}]}
+//! ```
+
+use crate::json::{obj, Json};
+use crate::registry::ServingModel;
+use scamdetect::{CacheStatus, ScanReport};
+use scamdetect_ir::Platform;
+
+/// Hard cap on `/batch` fan-in: enough for real bulk clients, small
+/// enough that one request cannot monopolise the daemon for minutes.
+pub const MAX_BATCH_REQUESTS: usize = 1024;
+
+/// One decoded scan request.
+#[derive(Debug, Clone)]
+pub struct WireScanRequest {
+    /// Decoded contract bytes.
+    pub bytes: Vec<u8>,
+    /// Pinned platform, if the client sent one.
+    pub platform: Option<Platform>,
+}
+
+/// Parses one scan-request object.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending field.
+pub fn parse_scan_request(value: &Json) -> Result<WireScanRequest, String> {
+    let bytecode = value
+        .get("bytecode")
+        .ok_or("missing required field 'bytecode'")?
+        .as_str()
+        .ok_or("'bytecode' must be a string")?;
+    let encoding = match value.get("encoding") {
+        None => "hex",
+        Some(e) => e.as_str().ok_or("'encoding' must be a string")?,
+    };
+    let bytes = match encoding {
+        "hex" => decode_hex(bytecode)?,
+        "base64" => decode_base64(bytecode)?,
+        other => return Err(format!("unknown encoding '{other}' (hex or base64)")),
+    };
+    if bytes.is_empty() {
+        return Err("'bytecode' decodes to zero bytes".to_string());
+    }
+    let platform = match value.get("platform") {
+        None | Some(Json::Null) => None,
+        Some(p) => match p.as_str() {
+            Some("evm") => Some(Platform::Evm),
+            Some("wasm") => Some(Platform::Wasm),
+            _ => return Err("'platform' must be \"evm\" or \"wasm\"".to_string()),
+        },
+    };
+    Ok(WireScanRequest { bytes, platform })
+}
+
+/// Renders one successful scan report (see the module docs schema).
+pub fn render_report(report: &ScanReport, model: &ServingModel) -> Json {
+    obj([
+        (
+            "verdict",
+            Json::from(if report.is_malicious() {
+                "malicious"
+            } else {
+                "benign"
+            }),
+        ),
+        ("score", Json::from(report.verdict.malicious_probability)),
+        ("threshold", Json::from(model.threshold)),
+        ("platform", Json::from(report.verdict.platform.to_string())),
+        ("cache", Json::from(cache_status_str(report.cache))),
+        ("model", Json::from(model.id.as_str())),
+        ("model_epoch", Json::from(model.epoch)),
+        ("skeleton", Json::from(format!("{:016x}", report.skeleton))),
+        ("blocks", Json::from(report.cfg.blocks)),
+        ("instructions", Json::from(report.cfg.instructions)),
+        (
+            "elapsed_us",
+            Json::from(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+        ),
+    ])
+}
+
+/// The wire spelling of a [`CacheStatus`].
+pub fn cache_status_str(status: CacheStatus) -> &'static str {
+    match status {
+        CacheStatus::Miss => "miss",
+        CacheStatus::CacheHit => "hit",
+        CacheStatus::BatchHit => "batch",
+    }
+}
+
+/// Encodes bytes as lowercase hex — the inverse of [`decode_hex`],
+/// shared by clients building wire requests (load generator, smoke
+/// tests, tooling).
+pub fn encode_hex(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Decodes hex bytecode: optional `0x` prefix, whitespace ignored.
+///
+/// # Errors
+///
+/// Describes the first offending character or an odd digit count.
+pub fn decode_hex(text: &str) -> Result<Vec<u8>, String> {
+    let cleaned: String = text
+        .trim()
+        .trim_start_matches("0x")
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    if !cleaned.len().is_multiple_of(2) {
+        return Err("odd number of hex digits".to_string());
+    }
+    let mut bytes = Vec::with_capacity(cleaned.len() / 2);
+    let digits = cleaned.as_bytes();
+    for pair in digits.chunks_exact(2) {
+        let hi = hex_digit(pair[0])?;
+        let lo = hex_digit(pair[1])?;
+        bytes.push((hi << 4) | lo);
+    }
+    Ok(bytes)
+}
+
+fn hex_digit(b: u8) -> Result<u8, String> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        other => Err(format!("invalid hex digit '{}'", other as char)),
+    }
+}
+
+/// Decodes base64 (standard or URL-safe alphabet, padding optional,
+/// whitespace ignored).
+///
+/// # Errors
+///
+/// Describes the first offending character or an impossible length.
+pub fn decode_base64(text: &str) -> Result<Vec<u8>, String> {
+    let mut acc: u32 = 0;
+    let mut bits = 0u32;
+    let mut out = Vec::with_capacity(text.len() * 3 / 4);
+    for c in text.chars() {
+        if c.is_whitespace() || c == '=' {
+            continue;
+        }
+        let value = match c {
+            'A'..='Z' => c as u32 - 'A' as u32,
+            'a'..='z' => c as u32 - 'a' as u32 + 26,
+            '0'..='9' => c as u32 - '0' as u32 + 52,
+            '+' | '-' => 62,
+            '/' | '_' => 63,
+            other => return Err(format!("invalid base64 character '{other}'")),
+        };
+        acc = (acc << 6) | value;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    // 6 leftover bits (one dangling character) cannot encode a byte.
+    if bits >= 6 {
+        return Err("truncated base64 (dangling character)".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_encode_decode_round_trips() {
+        let bytes = vec![0x00, 0x60, 0xFF, 0x0A];
+        assert_eq!(encode_hex(&bytes), "0060ff0a");
+        assert_eq!(decode_hex(&encode_hex(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn hex_decodes_with_prefix_and_whitespace() {
+        assert_eq!(decode_hex("0x60 01\n60").unwrap(), vec![0x60, 0x01, 0x60]);
+        assert_eq!(
+            decode_hex("DEADbeef").unwrap(),
+            vec![0xDE, 0xAD, 0xBE, 0xEF]
+        );
+        assert!(decode_hex("abc").is_err());
+        assert!(decode_hex("zz").is_err());
+    }
+
+    #[test]
+    fn base64_standard_urlsafe_and_unpadded() {
+        assert_eq!(decode_base64("aGVsbG8=").unwrap(), b"hello");
+        assert_eq!(decode_base64("aGVsbG8").unwrap(), b"hello");
+        assert_eq!(decode_base64("_w==").unwrap(), vec![0xFF]);
+        assert_eq!(decode_base64("/w").unwrap(), vec![0xFF]);
+        assert!(decode_base64("a").is_err());
+        assert!(decode_base64("a!b").is_err());
+    }
+
+    #[test]
+    fn request_parsing_defaults_and_rejections() {
+        let ok = Json::parse(r#"{"bytecode": "0x6001", "ignored": 1}"#).unwrap();
+        let parsed = parse_scan_request(&ok).unwrap();
+        assert_eq!(parsed.bytes, vec![0x60, 0x01]);
+        assert_eq!(parsed.platform, None);
+
+        let pinned =
+            Json::parse(r#"{"bytecode": "YQ==", "encoding": "base64", "platform": "wasm"}"#)
+                .unwrap();
+        let parsed = parse_scan_request(&pinned).unwrap();
+        assert_eq!(parsed.bytes, b"a");
+        assert_eq!(parsed.platform, Some(Platform::Wasm));
+
+        for bad in [
+            r#"{}"#,
+            r#"{"bytecode": 5}"#,
+            r#"{"bytecode": ""}"#,
+            r#"{"bytecode": "60", "encoding": "rot13"}"#,
+            r#"{"bytecode": "60", "platform": "solana"}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(parse_scan_request(&v).is_err(), "{bad} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Concurrent hot-swap consistency: scanner threads hammer the
+//! registry while another thread swaps artifacts in a loop.
+//!
+//! The contract under test (the serving side of PR 4's "atomic
+//! `Arc<Detector>` swap + cache clear" follow-up):
+//!
+//! 1. **No torn state.** Every score is bit-identical to what exactly
+//!    one of the two models produces — never a blend, never garbage.
+//! 2. **No stale cache.** The snapshot that scored a request also
+//!    names the model id/fingerprint in that snapshot; a verdict cached
+//!    under the old model must be unobservable through the new one.
+//!    Because expected scores are looked up *by the snapshot's
+//!    fingerprint*, a stale cached score would show up as a bit
+//!    mismatch immediately.
+//! 3. **Preparations survive.** The shared prep cache stays warm
+//!    across swaps (that is its reason to exist) without perturbing a
+//!    single bit of any verdict.
+
+use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScannerBuilder};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_serve::registry::{ModelRegistry, RegistryConfig};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scamdetect-hotswap-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn train_artifact(seed: u64) -> Vec<u8> {
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 30,
+        seed,
+        ..CorpusConfig::default()
+    });
+    ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&corpus)
+        .expect("trains")
+        .to_artifact()
+        .expect("artifact")
+        .to_bytes()
+}
+
+#[test]
+fn swapping_under_concurrent_scans_never_tears_or_serves_stale() {
+    let dir = temp_dir("consistency");
+    let artifact_a = train_artifact(0xA);
+    let artifact_b = train_artifact(0xB);
+    let live = dir.join("live-v1.scam");
+    std::fs::write(&live, &artifact_a).expect("seed artifact");
+
+    // Probe set the scanners hammer. Includes both cold-prone and
+    // duplicate-prone shapes (the generated corpus has proxy families).
+    let probes: Vec<Vec<u8>> = Corpus::generate(&CorpusConfig {
+        size: 8,
+        seed: 0x5EED,
+        ..CorpusConfig::default()
+    })
+    .contracts()
+    .iter()
+    .map(|c| c.bytes.clone())
+    .collect();
+
+    // Ground truth: what each model scores each probe, bit-exact,
+    // keyed by artifact fingerprint. Computed on standalone scanners
+    // with no caches shared with the registry.
+    let mut expected: HashMap<u64, Vec<u64>> = HashMap::new();
+    for bytes in [&artifact_a, &artifact_b] {
+        let scanner = ScannerBuilder::new().load_bytes(bytes).expect("loads");
+        let scores: Vec<u64> = probes
+            .iter()
+            .map(|p| {
+                scanner
+                    .scan(p)
+                    .expect("probe scans")
+                    .verdict
+                    .malicious_probability
+                    .to_bits()
+            })
+            .collect();
+        expected.insert(scamdetect_evm::proxy::fnv1a(bytes), scores);
+    }
+    let expected_a = &expected[&scamdetect_evm::proxy::fnv1a(&artifact_a)];
+    let expected_b = &expected[&scamdetect_evm::proxy::fnv1a(&artifact_b)];
+    assert_ne!(
+        expected_a, expected_b,
+        "test premise: the two models must disagree on at least one probe"
+    );
+
+    let registry = Arc::new(
+        ModelRegistry::open(RegistryConfig {
+            models_dir: dir.clone(),
+            cache_capacity: 64,
+            prep_capacity: 64,
+            ..RegistryConfig::default()
+        })
+        .expect("registry opens"),
+    );
+
+    const SWAPS: usize = 24;
+    let done = AtomicBool::new(false);
+    let scans_checked = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // Scanner threads: hammer whatever snapshot is current and
+        // hold every response against the snapshot's own ground truth.
+        for worker in 0..3usize {
+            let registry = Arc::clone(&registry);
+            let (probes, expected, done, scans_checked) =
+                (&probes, &expected, &done, &scans_checked);
+            scope.spawn(move || {
+                let mut i = worker; // stagger the probe order per thread
+                while !done.load(Ordering::Relaxed) {
+                    let snapshot = registry.model();
+                    let truth = &expected[&snapshot.fingerprint];
+                    let probe_idx = i % probes.len();
+                    let report = snapshot.scanner.scan(&probes[probe_idx]).expect("scan");
+                    assert_eq!(
+                        report.verdict.malicious_probability.to_bits(),
+                        truth[probe_idx],
+                        "probe {probe_idx} scored by snapshot '{}' (epoch {}) does not \
+                         match that snapshot's model — torn state or stale cache",
+                        snapshot.id,
+                        snapshot.epoch,
+                    );
+                    scans_checked.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        // Swap thread: alternate the live artifact's bytes and reload.
+        let registry = Arc::clone(&registry);
+        let live = &live;
+        let (artifact_a, artifact_b) = (&artifact_a, &artifact_b);
+        let done = &done;
+        scope.spawn(move || {
+            for swap in 0..SWAPS {
+                let bytes = if swap % 2 == 0 {
+                    artifact_b
+                } else {
+                    artifact_a
+                };
+                std::fs::write(live, bytes).expect("rewrite live artifact");
+                let outcome = registry.reload().expect("reload");
+                assert!(outcome.swapped, "bytes changed, swap {swap} must happen");
+                // Let the scanners observe this model for a moment.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+
+    assert_eq!(registry.swap_count() as usize, SWAPS);
+    let checked = scans_checked.load(Ordering::Relaxed);
+    assert!(
+        checked > SWAPS as u64,
+        "scanner threads must actually have overlapped the swaps (checked {checked})"
+    );
+    // The shared prep cache survived every swap: warm skeletons are
+    // still memoised even though every verdict cache died with its
+    // snapshot.
+    assert!(!registry.prep_cache().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn swap_failure_leaves_the_old_model_serving_and_consistent() {
+    let dir = temp_dir("failed-swap");
+    let artifact = train_artifact(0xC);
+    let live = dir.join("only-v1.scam");
+    std::fs::write(&live, &artifact).expect("seed artifact");
+    let registry = ModelRegistry::open(RegistryConfig {
+        models_dir: dir.clone(),
+        ..RegistryConfig::default()
+    })
+    .expect("opens");
+
+    let probe = Corpus::generate(&CorpusConfig {
+        size: 2,
+        seed: 3,
+        ..CorpusConfig::default()
+    })
+    .contracts()[0]
+        .bytes
+        .clone();
+    let before = registry
+        .model()
+        .scanner
+        .scan(&probe)
+        .expect("scan")
+        .verdict
+        .malicious_probability;
+
+    // Corrupt the artifact on disk: reload must fail, serving must not.
+    std::fs::write(&live, b"not an artifact").expect("corrupt");
+    assert!(registry.reload().is_err());
+    assert_eq!(registry.swap_count(), 0);
+    let after = registry
+        .model()
+        .scanner
+        .scan(&probe)
+        .expect("scan still works")
+        .verdict
+        .malicious_probability;
+    assert_eq!(before.to_bits(), after.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,7 +5,29 @@
 //! scamdetect-cli train --save <path> [opts]   train a detector, persist the artifact
 //! scamdetect-cli scan <hexfile> [options]     scan one contract
 //! scamdetect-cli batch <hexfile>... [options] scan many (dedup + parallel)
+//! scamdetect-cli serve --models-dir <dir>     run the scanning daemon (see below)
 //! scamdetect-cli demo                         end-to-end demonstration
+//!
+//! serve options:
+//!   --models-dir <dir>                             directory of *.scam artifacts (required);
+//!                                                  the lexicographically last stem serves
+//!   --addr <host:port>                             bind address (default 127.0.0.1:7878;
+//!                                                  port 0 picks an ephemeral port)
+//!   --model <id>                                   pin a specific artifact stem
+//!   --http-workers <n>                             connection worker threads (default: cores)
+//!   --workers <n>                                  per-batch scan workers (default: cores)
+//!   --cache-capacity <n>                           verdict/prep cache entries (default 4096)
+//!
+//! The daemon answers POST /scan, POST /batch, GET /models,
+//! POST /models/reload (hot swap), GET /healthz and GET /metrics, and
+//! shuts down gracefully on SIGTERM/ctrl-c. Wire schema:
+//! `scamdetect_serve::wire`. Typical lifecycle:
+//!
+//!   scamdetect-cli train --save models/rf-v1.scam
+//!   scamdetect-cli serve --models-dir models &
+//!   curl -X POST localhost:7878/scan -d '{"bytecode": "0x6001…"}'
+//!   scamdetect-cli train --save models/rf-v2.scam --seed 43
+//!   curl -X POST localhost:7878/models/reload     # hot swap, zero downtime
 //!
 //! train options:
 //!   --save <path>                                  artifact output path (required)
@@ -52,9 +74,10 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!("usage: scamdetect-cli <inspect|train|scan|batch|demo> [args]");
+            eprintln!("usage: scamdetect-cli <inspect|train|scan|batch|serve|demo> [args]");
             eprintln!("       see crate docs for options");
             return ExitCode::from(2);
         }
@@ -76,19 +99,9 @@ fn read_contract(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
     } else {
         std::fs::read_to_string(path)?
     };
-    let cleaned: String = raw
-        .trim()
-        .trim_start_matches("0x")
-        .chars()
-        .filter(|c| !c.is_whitespace())
-        .collect();
-    if !cleaned.len().is_multiple_of(2) {
-        return Err("odd number of hex digits".into());
-    }
-    let mut bytes = Vec::with_capacity(cleaned.len() / 2);
-    for i in (0..cleaned.len()).step_by(2) {
-        bytes.push(u8::from_str_radix(&cleaned[i..i + 2], 16)?);
-    }
+    // Same hex dialect as the daemon's wire format (optional 0x prefix,
+    // whitespace ignored) — one decoder for both surfaces.
+    let bytes = scamdetect_serve::wire::decode_hex(&raw)?;
     if bytes.is_empty() {
         return Err("empty contract".into());
     }
@@ -488,6 +501,42 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "scanned {} contracts in {elapsed:?} ({hits} dedup cache hits)",
         contracts.len()
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use scamdetect_serve::daemon::{serve, ServeConfig};
+
+    let mut config = ServeConfig::default();
+    let mut models_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
+            let flag = args[*i].clone();
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match args[i].as_str() {
+            "--models-dir" => models_dir = Some(value(&mut i)?),
+            "--addr" => config.http.addr = value(&mut i)?,
+            "--model" => config.registry.pinned = Some(value(&mut i)?),
+            "--http-workers" => config.http.workers = value(&mut i)?.parse()?,
+            "--workers" => config.registry.workers = value(&mut i)?.parse()?,
+            "--cache-capacity" => {
+                let capacity: usize = value(&mut i)?.parse()?;
+                config.registry.cache_capacity = capacity;
+                config.registry.prep_capacity = capacity;
+            }
+            other => return Err(format!("unknown serve option '{other}'").into()),
+        }
+        i += 1;
+    }
+    config.registry.models_dir = models_dir
+        .ok_or("serve needs --models-dir <dir> (train one with: train --save <dir>/model-v1.scam)")?
+        .into();
+    serve(config)?;
     Ok(())
 }
 

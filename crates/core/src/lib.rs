@@ -118,7 +118,8 @@ pub use featurize::{detect_platform, FeatureKind, Lifted};
 #[allow(deprecated)]
 pub use pipeline::ScamDetect;
 pub use scan::{
-    CacheStatus, CfgStats, PrepCache, ScanOutcome, ScanReport, ScanRequest, Scanner, ScannerBuilder,
+    request_fingerprint, CacheStatus, CfgStats, PrepCache, ScanOutcome, ScanReport, ScanRequest,
+    Scanner, ScannerBuilder,
 };
 pub use verdict::Verdict;
 

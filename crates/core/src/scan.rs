@@ -624,7 +624,7 @@ impl Scanner {
     pub fn scan_request(&self, request: &ScanRequest) -> ScanOutcome {
         let started = Instant::now();
         let platform = self.resolve_platform(request);
-        let key = (platform, fingerprint(platform, request.bytes()));
+        let key = (platform, request_fingerprint(platform, request.bytes()));
         if let Some(cached) = self.cache_lookup(&key) {
             // Hits report Duration::ZERO on every path (see
             // [`ScanReport::elapsed`]): a memoised verdict costs no
@@ -670,7 +670,7 @@ impl Scanner {
             .iter()
             .map(|r| {
                 let platform = self.resolve_platform(r);
-                (platform, fingerprint(platform, r.bytes()))
+                (platform, request_fingerprint(platform, r.bytes()))
             })
             .collect();
         let mut first_occurrence: HashMap<CacheKey, usize> = HashMap::new();
@@ -744,7 +744,7 @@ impl Scanner {
             .enumerate()
             .map(|(i, r)| {
                 let platform = self.resolve_platform(r);
-                ((platform, fingerprint(platform, r.bytes())), i)
+                ((platform, request_fingerprint(platform, r.bytes())), i)
             })
             .collect();
         self.compute_parallel(requests, &work)
@@ -928,7 +928,12 @@ impl Scanner {
 /// opcode stream for EVM (ERC-1167 clones collide, by design — the same
 /// equivalence class the paper's E7 dedup collapses), FNV-1a over the
 /// raw module bytes for WASM.
-fn fingerprint(platform: Platform, bytes: &[u8]) -> u64 {
+///
+/// Public because anything that *routes* scan traffic (the fleet's
+/// consistent-hash router) must key on exactly the same equivalence the
+/// verdict/prep caches use — otherwise two requests for one skeleton
+/// land on two replicas and neither cache stays hot.
+pub fn request_fingerprint(platform: Platform, bytes: &[u8]) -> u64 {
     match platform {
         Platform::Evm => skeleton_hash(bytes),
         Platform::Wasm => scamdetect_evm::proxy::fnv1a(bytes),

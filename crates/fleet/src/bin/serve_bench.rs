@@ -1,0 +1,424 @@
+//! Loopback load generator for the serving path: one replica direct
+//! (the PR-5 trajectory), or a 2-replica fleet behind the router
+//! (`--router`, the PR-6 trajectory).
+//!
+//! ```text
+//! cargo run --release -p scamdetect-fleet --bin serve_bench \
+//!     [-- --out BENCH_PR5.json --clients 4 --requests 800]
+//! cargo run --release -p scamdetect-fleet --bin serve_bench \
+//!     -- --router [--out BENCH_PR6.json --clients 4 --requests 800]
+//! ```
+//!
+//! Trains a small logistic-regression artifact, spawns the daemon(s)
+//! in-process on ephemeral loopback ports, then drives them with N
+//! client threads over keep-alive connections. The request mix mirrors
+//! production bulk scanning: a duplicate-heavy corpus (ERC-1167-style
+//! proxy clones included), so both the cold lift path and the verdict
+//! cache are exercised.
+//!
+//! Router mode measures the **same request mix twice** — direct to one
+//! replica, then through the router — and reports the router-added
+//! p50/p99 latency. The gate is **correctness**, not speed: every
+//! response must be a 200 with a parseable verdict, and in router mode
+//! a probe request's score must be bit-identical via both paths —
+//! latency numbers from a shared CI runner are a trajectory, not a
+//! contract.
+
+use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScannerBuilder};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_fleet::proxy::{spawn_router, RouterConfig};
+use scamdetect_serve::client::HttpClient;
+use scamdetect_serve::daemon::{spawn, RunningDaemon, ServeConfig};
+use scamdetect_serve::json::Json;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    out_path: Option<String>,
+    clients: usize,
+    requests: usize,
+    router: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = Options {
+        out_path: None,
+        clients: 4,
+        requests: 800,
+        router: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--out" => options.out_path = Some(value(&mut i)?),
+            "--router" => options.router = true,
+            "--clients" => {
+                options.clients = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--requests" => {
+                options.requests = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown option '{other}' (usage: serve_bench [--router] [--out <path>] \
+                     [--clients <n>] [--requests <n>])"
+                ))
+            }
+        }
+        i += 1;
+    }
+    if options.clients == 0 || options.requests == 0 {
+        return Err("--clients and --requests must be at least 1".to_string());
+    }
+    Ok(options)
+}
+
+/// Drives `requests` POST /scan calls against `addr` over `clients`
+/// keep-alive connections. Returns (sorted latencies µs, failures,
+/// elapsed µs).
+fn drive(
+    addr: SocketAddr,
+    bodies: &[String],
+    clients: usize,
+    requests: usize,
+) -> (Vec<u64>, usize, u128) {
+    let per_client = requests.div_ceil(clients);
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+    let mut failures = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_idx| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("client connects");
+                    let mut local = Vec::with_capacity(per_client);
+                    let mut failed = 0usize;
+                    for i in 0..per_client {
+                        let body = &bodies[(client_idx + i * 7) % bodies.len()];
+                        let sent = Instant::now();
+                        match client.request("POST", "/scan", Some(body)) {
+                            Ok(reply) if reply.status == 200 => {
+                                local.push(sent.elapsed().as_micros() as u64);
+                            }
+                            Ok(reply) => {
+                                eprintln!("serve-bench: status {}: {}", reply.status, reply.body);
+                                failed += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("serve-bench: request error: {e}");
+                                failed += 1;
+                            }
+                        }
+                    }
+                    (local, failed)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, failed) = handle.join().expect("client thread");
+            latencies_us.extend(local);
+            failures += failed;
+        }
+    });
+    let elapsed = started.elapsed().as_micros();
+    latencies_us.sort_unstable();
+    (latencies_us, failures, elapsed)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * q) as usize]
+    }
+}
+
+fn warm(addr: SocketAddr, bodies: &[String]) {
+    let mut client = HttpClient::connect(addr).expect("warm-up connects");
+    for body in bodies {
+        let reply = client
+            .request("POST", "/scan", Some(body))
+            .expect("warm-up scan");
+        assert_eq!(reply.status, 200, "warm-up scan failed: {}", reply.body);
+    }
+}
+
+fn score_bits(addr: SocketAddr, body: &str) -> Option<u64> {
+    let reply = scamdetect_serve::client::http_call(addr, "POST", "/scan", Some(body)).ok()?;
+    if reply.status != 200 {
+        return None;
+    }
+    Json::parse(&reply.body)
+        .ok()?
+        .get("score")
+        .and_then(Json::as_f64)
+        .map(f64::to_bits)
+}
+
+fn spawn_replica(models_dir: &std::path::Path) -> RunningDaemon {
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    // Workers must exceed the router's idle pooled connections plus the
+    // direct bench clients: a pooled keep-alive connection parks a
+    // worker in its idle read, and on a small box the default
+    // (one-per-core) pool would starve health probes into marking the
+    // replica down mid-bench.
+    config.http.workers = 8;
+    config.registry.models_dir = models_dir.to_path_buf();
+    spawn(config).expect("daemon spawns")
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("serve-bench: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_path = options.out_path.clone().unwrap_or_else(|| {
+        if options.router {
+            "BENCH_PR6.json".to_string()
+        } else {
+            "BENCH_PR5.json".to_string()
+        }
+    });
+
+    // 1. Train once, persist into throwaway models dirs (one per
+    //    replica: a real fleet does not share a filesystem).
+    eprintln!("serve-bench: training the serving artifact…");
+    let base_dir =
+        std::env::temp_dir().join(format!("scamdetect-serve-bench-{}", std::process::id()));
+    let replica_count = if options.router { 2 } else { 1 };
+    let mut model_dirs = Vec::new();
+    for r in 0..replica_count {
+        let dir = base_dir.join(format!("models-{r}"));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("serve-bench: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        model_dirs.push(dir);
+    }
+    let train_corpus = Corpus::generate(&CorpusConfig {
+        size: 80,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
+    let trained = ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&train_corpus)
+        .expect("trains");
+    for dir in &model_dirs {
+        trained
+            .save(dir.join("bench-v1.scam"))
+            .expect("saves artifact");
+    }
+
+    // 2. Spawn the daemon(s) on ephemeral loopback ports, plus the
+    //    router in router mode.
+    let daemons: Vec<RunningDaemon> = model_dirs.iter().map(|d| spawn_replica(d)).collect();
+    let replica_addrs: Vec<SocketAddr> = daemons.iter().map(|d| d.addr).collect();
+    for addr in &replica_addrs {
+        eprintln!("serve-bench: replica on http://{addr}");
+    }
+    let router = if options.router {
+        let running = spawn_router(RouterConfig {
+            replicas: replica_addrs.clone(),
+            ..RouterConfig::default()
+        })
+        .expect("router spawns");
+        eprintln!("serve-bench: router on http://{}", running.addr);
+        Some(running)
+    } else {
+        None
+    };
+
+    // 3. The request mix: duplicate-heavy bulk traffic.
+    let scan_corpus = Corpus::generate(&CorpusConfig {
+        size: 48,
+        seed: 12,
+        proxy_duplicates: 16,
+        ..CorpusConfig::default()
+    });
+    let bodies: Vec<String> = scan_corpus
+        .contracts()
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"bytecode": "{}"}}"#,
+                scamdetect_serve::wire::encode_hex(&c.bytes)
+            )
+        })
+        .collect();
+
+    // Warm-up: every unique skeleton lifted once on every path before
+    // the measured window, so the numbers describe steady-state serving.
+    warm(replica_addrs[0], &bodies);
+    if let Some(running) = &router {
+        warm(running.addr, &bodies);
+    }
+
+    // 4. Measured windows. Direct first, routed second (same mix).
+    eprintln!(
+        "serve-bench: driving {} requests over {} client threads (direct)…",
+        options.requests, options.clients
+    );
+    let (direct_lat, direct_failures, direct_elapsed) =
+        drive(replica_addrs[0], &bodies, options.clients, options.requests);
+    let routed = router.as_ref().map(|running| {
+        eprintln!(
+            "serve-bench: driving {} requests over {} client threads (routed)…",
+            options.requests, options.clients
+        );
+        drive(running.addr, &bodies, options.clients, options.requests)
+    });
+
+    // 5. Correctness probes after load: a verdict must still parse,
+    //    and in router mode the routed score must equal the direct one
+    //    bit for bit.
+    let probe_body = &bodies[0];
+    let direct_bits = score_bits(replica_addrs[0], probe_body);
+    let verdict_ok = direct_bits.is_some();
+    let routed_bits_match = match &router {
+        Some(running) => score_bits(running.addr, probe_body) == direct_bits,
+        None => true,
+    };
+    let metrics_addr = router.as_ref().map_or(replica_addrs[0], |r| r.addr);
+    let metrics_name = if options.router {
+        "scamdetect_fleet_scan_requests_total"
+    } else {
+        "scamdetect_requests_total"
+    };
+    let metrics_text = scamdetect_serve::client::http_call(metrics_addr, "GET", "/metrics", None)
+        .expect("metrics scrape")
+        .body;
+    let hit_ratio = daemons[0].metrics.cache_hit_ratio();
+
+    let mut failures = direct_failures;
+    if let Some((_, routed_failures, _)) = &routed {
+        failures += routed_failures;
+    }
+    if let Some(running) = router {
+        running.stop().expect("clean router shutdown");
+    }
+    let mut server_connections = 0u64;
+    let mut server_requests = 0u64;
+    for daemon in daemons {
+        let stats = daemon.stop().expect("clean daemon shutdown");
+        server_connections += stats.connections;
+        server_requests += stats.requests;
+    }
+
+    // 6. Aggregate + emit.
+    let summarize = |lat: &[u64], elapsed_us: u128| {
+        let completed = lat.len();
+        let rps = completed as f64 / (elapsed_us as f64 / 1e6).max(1e-9);
+        (completed, rps, percentile(lat, 0.50), percentile(lat, 0.99))
+    };
+    let (d_count, d_rps, d_p50, d_p99) = summarize(&direct_lat, direct_elapsed);
+    eprintln!(
+        "serve-bench: direct {d_count} requests → {d_rps:.0} req/s (p50 {d_p50}µs, p99 {d_p99}µs, \
+         cache hit ratio {hit_ratio:.2})"
+    );
+
+    let mut completed_ok = d_count >= options.requests;
+    let mut json = String::new();
+    let gate_pass;
+    if options.router {
+        let (routed_lat, _, routed_elapsed) = routed.expect("router mode measured");
+        let (r_count, r_rps, r_p50, r_p99) = summarize(&routed_lat, routed_elapsed);
+        completed_ok &= r_count >= options.requests;
+        // Router-added latency: routed minus direct at the same
+        // percentile, floored at zero (CI noise can invert them).
+        let over_p50 = r_p50.saturating_sub(d_p50);
+        let over_p99 = r_p99.saturating_sub(d_p99);
+        eprintln!(
+            "serve-bench: routed {r_count} requests → {r_rps:.0} req/s (p50 {r_p50}µs, \
+             p99 {r_p99}µs; router overhead p50 +{over_p50}µs, p99 +{over_p99}µs)"
+        );
+        gate_pass = failures == 0
+            && verdict_ok
+            && routed_bits_match
+            && completed_ok
+            && metrics_text.contains(metrics_name);
+        json.push_str("{\n  \"schema\": \"scamdetect-fleet-bench/v1\",\n");
+        let _ = writeln!(
+            json,
+            "  \"direct_scan\": {{\"clients\": {}, \"requests\": {d_count}, \
+             \"elapsed_us\": {direct_elapsed}, \"req_per_sec\": {d_rps:.0}, \
+             \"p50_us\": {d_p50}, \"p99_us\": {d_p99}}},",
+            options.clients,
+        );
+        let _ = writeln!(
+            json,
+            "  \"routed_scan\": {{\"clients\": {}, \"requests\": {r_count}, \
+             \"elapsed_us\": {routed_elapsed}, \"req_per_sec\": {r_rps:.0}, \
+             \"p50_us\": {r_p50}, \"p99_us\": {r_p99}, \"replicas\": 2}},",
+            options.clients,
+        );
+        let _ = writeln!(
+            json,
+            "  \"router_overhead\": {{\"p50_us\": {over_p50}, \"p99_us\": {over_p99}}},"
+        );
+        let _ = writeln!(
+            json,
+            "  \"gate\": {{\"pass\": {gate_pass}, \"rule\": \"every request answers 200 with a \
+             parseable verdict on both paths, a probe scores bit-identically direct and routed, \
+             and everything shuts down cleanly; latency is recorded as a trajectory, not \
+             gated\"}}"
+        );
+        json.push_str("}\n");
+    } else {
+        gate_pass =
+            failures == 0 && verdict_ok && completed_ok && metrics_text.contains(metrics_name);
+        json.push_str("{\n  \"schema\": \"scamdetect-serve-bench/v1\",\n");
+        let _ = writeln!(
+            json,
+            "  \"scan_loopback\": {{\"clients\": {}, \"requests\": {d_count}, \
+             \"elapsed_us\": {direct_elapsed}, \"req_per_sec\": {d_rps:.0}, \"p50_us\": {d_p50}, \
+             \"p99_us\": {d_p99}, \"cache_hit_ratio\": {hit_ratio:.4}, \
+             \"server_connections\": {server_connections}, \
+             \"server_requests\": {server_requests}}},",
+            options.clients,
+        );
+        let _ = writeln!(
+            json,
+            "  \"gate\": {{\"pass\": {gate_pass}, \"rule\": \"every request answers 200 with a \
+             parseable verdict and the daemon shuts down cleanly; latency is recorded as a \
+             trajectory, not gated\"}}"
+        );
+        json.push_str("}\n");
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("serve-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: wrote {out_path}");
+    std::fs::remove_dir_all(&base_dir).ok();
+    if !gate_pass {
+        eprintln!(
+            "serve-bench: GATE FAILED ({failures} failed requests, verdict_ok {verdict_ok}, \
+             routed_bits_match {routed_bits_match})"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: gate passed");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,240 @@
+//! Typed helpers over one replica's management API — the verbs the
+//! health monitor, the rollout orchestrator and the CLI share. All of
+//! them ride `scamdetect_serve::client::HttpClient`, so every call
+//! inherits its one-shot reconnect-retry (a draining replica does not
+//! fail a rollout step).
+
+use scamdetect_evm::proxy::fnv1a;
+use scamdetect_serve::client::{http_call_with_timeout, HttpClient};
+use scamdetect_serve::json::Json;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// What a replica's `/healthz` body reports.
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    /// Served model id.
+    pub model: String,
+    /// Served model epoch.
+    pub model_epoch: u64,
+    /// Detector kind string.
+    pub kind: String,
+    /// Verdict-cache entries (staleness/warmth signal).
+    pub verdict_cache_entries: u64,
+}
+
+/// A failed management call, with enough context to log usefully.
+#[derive(Debug)]
+pub struct ReplicaError {
+    /// Which replica.
+    pub addr: SocketAddr,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica {}: {}", self.addr, self.message)
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+fn fail(addr: SocketAddr, message: impl Into<String>) -> ReplicaError {
+    ReplicaError {
+        addr,
+        message: message.into(),
+    }
+}
+
+fn expect_200(
+    addr: SocketAddr,
+    what: &str,
+    reply: std::io::Result<scamdetect_serve::client::ClientResponse>,
+) -> Result<Json, ReplicaError> {
+    let reply = reply.map_err(|e| fail(addr, format!("{what}: {e}")))?;
+    if reply.status != 200 {
+        return Err(fail(
+            addr,
+            format!("{what}: HTTP {} — {}", reply.status, reply.body),
+        ));
+    }
+    Json::parse(&reply.body).map_err(|e| fail(addr, format!("{what}: unparseable body: {e}")))
+}
+
+/// Probes `GET /healthz`.
+///
+/// # Errors
+///
+/// Connection failures, non-200, or a body missing the model fields.
+pub fn probe_healthz(addr: SocketAddr, timeout: Duration) -> Result<ReplicaHealth, ReplicaError> {
+    let body = expect_200(
+        addr,
+        "healthz",
+        http_call_with_timeout(addr, "GET", "/healthz", None, timeout),
+    )?;
+    let model = body
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail(addr, "healthz: no 'model' field"))?
+        .to_string();
+    let model_epoch = body
+        .get("model_epoch")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| fail(addr, "healthz: no 'model_epoch' field"))? as u64;
+    let kind = body
+        .get("kind")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let verdict_cache_entries = body
+        .get("verdict_cache_entries")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64;
+    Ok(ReplicaHealth {
+        model,
+        model_epoch,
+        kind,
+        verdict_cache_entries,
+    })
+}
+
+/// Pushes artifact bytes to `PUT /models/<id>` with the FNV-1a
+/// checksum handshake; returns the checksum the replica verified.
+///
+/// # Errors
+///
+/// Transport failures, 409 checksum mismatches, 422 artifact
+/// rejections.
+pub fn push_artifact(
+    addr: SocketAddr,
+    timeout: Duration,
+    id: &str,
+    bytes: &[u8],
+) -> Result<u64, ReplicaError> {
+    let checksum = fnv1a(bytes);
+    let header = format!("{checksum:#018x}");
+    let mut client = HttpClient::connect_with_timeout(addr, timeout)
+        .map_err(|e| fail(addr, format!("connect: {e}")))?;
+    let reply = client
+        .request_raw(
+            "PUT",
+            &format!("/models/{id}"),
+            bytes,
+            &[("x-artifact-fnv1a", &header)],
+        )
+        .map_err(|e| fail(addr, format!("push: {e}")))?;
+    if reply.status != 200 {
+        return Err(fail(
+            addr,
+            format!("push: HTTP {} — {}", reply.status, reply.body),
+        ));
+    }
+    let body =
+        Json::parse(&reply.body).map_err(|e| fail(addr, format!("push: unparseable body: {e}")))?;
+    let echoed = body
+        .get("fnv1a")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+        .ok_or_else(|| fail(addr, "push: response carries no fnv1a echo"))?;
+    if echoed != checksum {
+        return Err(fail(
+            addr,
+            format!("push: replica echoed {echoed:#018x}, pushed {checksum:#018x}"),
+        ));
+    }
+    Ok(checksum)
+}
+
+/// `POST /models/reload` — pinned to `model` when given, directory
+/// re-resolution otherwise. Returns `(active id, epoch)`.
+///
+/// # Errors
+///
+/// Transport failures and 409 reload rejections.
+pub fn reload_model(
+    addr: SocketAddr,
+    timeout: Duration,
+    model: Option<&str>,
+) -> Result<(String, u64), ReplicaError> {
+    let body =
+        model.map(|id| Json::render(&scamdetect_serve::json::obj([("model", Json::from(id))])));
+    let reply = expect_200(
+        addr,
+        "reload",
+        http_call_with_timeout(addr, "POST", "/models/reload", body.as_deref(), timeout),
+    )?;
+    let active = reply
+        .get("active")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail(addr, "reload: no 'active' field"))?
+        .to_string();
+    let epoch = reply
+        .get("model_epoch")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| fail(addr, "reload: no 'model_epoch' field"))? as u64;
+    Ok((active, epoch))
+}
+
+/// `DELETE /models/<id>` — rollout-abort cleanup.
+///
+/// # Errors
+///
+/// Transport failures, 409 (artifact is being served), 404 (absent).
+pub fn delete_model(addr: SocketAddr, timeout: Duration, id: &str) -> Result<(), ReplicaError> {
+    expect_200(
+        addr,
+        "delete",
+        http_call_with_timeout(addr, "DELETE", &format!("/models/{id}"), None, timeout),
+    )
+    .map(|_| ())
+}
+
+/// Scrapes one counter/gauge from a replica's Prometheus `/metrics`
+/// text (exact metric-name match, labels ignored).
+///
+/// # Errors
+///
+/// Transport failures or a scrape without that metric.
+pub fn fetch_metric(addr: SocketAddr, timeout: Duration, name: &str) -> Result<f64, ReplicaError> {
+    let reply = http_call_with_timeout(addr, "GET", "/metrics", None, timeout)
+        .map_err(|e| fail(addr, format!("metrics: {e}")))?;
+    if reply.status != 200 {
+        return Err(fail(addr, format!("metrics: HTTP {}", reply.status)));
+    }
+    parse_metric(&reply.body, name)
+        .ok_or_else(|| fail(addr, format!("metrics: no sample named '{name}'")))
+}
+
+/// Finds `name <value>` (or `name{labels} <value>`) in Prometheus text.
+#[must_use]
+pub fn parse_metric(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .filter(|line| !line.starts_with('#'))
+        .find_map(|line| {
+            let (metric, value) = line.split_once(' ')?;
+            let bare = metric.split('{').next()?;
+            if bare == name {
+                value.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_metric_handles_labels_comments_and_misses() {
+        let text = "# HELP x y\n# TYPE x counter\nx 42\n\
+                    scamdetect_model_info{model=\"rf-v1\"} 1\nlatency 3.5\n";
+        assert_eq!(parse_metric(text, "x"), Some(42.0));
+        assert_eq!(parse_metric(text, "scamdetect_model_info"), Some(1.0));
+        assert_eq!(parse_metric(text, "latency"), Some(3.5));
+        assert_eq!(parse_metric(text, "absent"), None);
+        // Prefix must not match.
+        assert_eq!(parse_metric(text, "laten"), None);
+    }
+}

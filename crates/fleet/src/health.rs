@@ -1,0 +1,338 @@
+//! Fleet membership and health: which replicas exist, which are up,
+//! and the live ring over the up set.
+//!
+//! [`FleetState`] is the single shared truth between the router's
+//! request path and the background [`HealthMonitor`]. The request path
+//! reads it (owner lookup) and writes it pessimistically (a forward
+//! failure marks the replica down *immediately* — no waiting for the
+//! next probe tick to stop routing into a dead socket). The monitor
+//! probes `GET /healthz` on every replica and repairs the optimism in
+//! both directions: a recovered replica rejoins the ring, a quietly
+//! dead one leaves it.
+//!
+//! Down replicas are probed on **exponential backoff** (1, 2, 4, …
+//! ticks, capped) so a long-dead replica costs one connect attempt per
+//! backoff window, not per tick, while up replicas get every tick.
+
+use crate::ring::HashRing;
+use scamdetect_serve::client::http_call_with_timeout;
+use scamdetect_serve::json::Json;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Consecutive failed probes after which the backoff stops growing
+/// (2^6 = every 64th tick).
+const MAX_BACKOFF_EXP: u32 = 6;
+
+/// One replica's last-known condition.
+#[derive(Debug, Clone)]
+pub struct ReplicaStatus {
+    /// Ring id — the replica's address string (stable and unique).
+    pub id: String,
+    /// Socket address probes and forwards go to.
+    pub addr: SocketAddr,
+    /// In the ring right now?
+    pub up: bool,
+    /// Consecutive probe/forward failures (0 when up).
+    pub consecutive_failures: u32,
+    /// Model id from the last successful `/healthz` probe.
+    pub model: Option<String>,
+    /// Model epoch from the last successful `/healthz` probe.
+    pub model_epoch: Option<u64>,
+}
+
+struct Inner {
+    statuses: Vec<ReplicaStatus>,
+    /// Ring over the *up* replicas only; rebuilt on every up/down flip.
+    ring: HashRing,
+    /// Membership-change counter (diagnostics: how often did we
+    /// rebalance).
+    rebalances: u64,
+}
+
+/// Shared fleet membership + health. Cheap to read on the request
+/// path; writes only happen on state flips and probe refreshes.
+pub struct FleetState {
+    vnodes: usize,
+    inner: RwLock<Inner>,
+}
+
+impl FleetState {
+    /// Starts with every replica optimistically **up**: the first
+    /// request to a dead replica fails fast, marks it down and
+    /// re-routes, which beats refusing traffic until a first probe
+    /// cycle completes.
+    #[must_use]
+    pub fn new(replicas: &[SocketAddr], vnodes: usize) -> FleetState {
+        let statuses: Vec<ReplicaStatus> = replicas
+            .iter()
+            .map(|&addr| ReplicaStatus {
+                id: addr.to_string(),
+                addr,
+                up: true,
+                consecutive_failures: 0,
+                model: None,
+                model_epoch: None,
+            })
+            .collect();
+        let ring = ring_over(&statuses, vnodes);
+        FleetState {
+            vnodes,
+            inner: RwLock::new(Inner {
+                statuses,
+                ring,
+                rebalances: 0,
+            }),
+        }
+    }
+
+    /// The up replica owning `key`, or `None` when the whole fleet is
+    /// down (the router's 503 path).
+    #[must_use]
+    pub fn owner_of(&self, key: u64) -> Option<(String, SocketAddr)> {
+        let inner = self.read();
+        let id = inner.ring.owner_of(key)?.to_string();
+        let addr = inner.statuses.iter().find(|s| s.id == id).map(|s| s.addr)?;
+        Some((id, addr))
+    }
+
+    /// Every replica's current status (snapshot).
+    #[must_use]
+    pub fn statuses(&self) -> Vec<ReplicaStatus> {
+        self.read().statuses.clone()
+    }
+
+    /// `(up, total)` replica counts.
+    #[must_use]
+    pub fn up_counts(&self) -> (usize, usize) {
+        let inner = self.read();
+        let up = inner.statuses.iter().filter(|s| s.up).count();
+        (up, inner.statuses.len())
+    }
+
+    /// `(replica id, slices owned)` over the current ring.
+    #[must_use]
+    pub fn shares(&self) -> Vec<(String, usize)> {
+        self.read().ring.shares()
+    }
+
+    /// Ring membership flips so far.
+    #[must_use]
+    pub fn rebalances(&self) -> u64 {
+        self.read().rebalances
+    }
+
+    /// Virtual nodes per replica this fleet was configured with.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Records a failure against `id`. Returns `true` when this call
+    /// flipped the replica out of the ring (the caller should then
+    /// re-resolve owners).
+    pub fn mark_down(&self, id: &str) -> bool {
+        let mut inner = self.write();
+        let Some(status) = inner.statuses.iter_mut().find(|s| s.id == id) else {
+            return false;
+        };
+        status.consecutive_failures = status.consecutive_failures.saturating_add(1);
+        if !status.up {
+            return false;
+        }
+        status.up = false;
+        inner.ring = ring_over(&inner.statuses, self.vnodes);
+        inner.rebalances += 1;
+        true
+    }
+
+    /// Records a successful probe of `id`, with the model snapshot its
+    /// `/healthz` body reported. Returns `true` when this call brought
+    /// the replica back into the ring.
+    pub fn mark_up(&self, id: &str, model: Option<String>, model_epoch: Option<u64>) -> bool {
+        let mut inner = self.write();
+        let Some(status) = inner.statuses.iter_mut().find(|s| s.id == id) else {
+            return false;
+        };
+        status.consecutive_failures = 0;
+        status.model = model;
+        status.model_epoch = model_epoch;
+        if status.up {
+            return false;
+        }
+        status.up = true;
+        inner.ring = ring_over(&inner.statuses, self.vnodes);
+        inner.rebalances += 1;
+        true
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn ring_over(statuses: &[ReplicaStatus], vnodes: usize) -> HashRing {
+    let up: Vec<String> = statuses
+        .iter()
+        .filter(|s| s.up)
+        .map(|s| s.id.clone())
+        .collect();
+    HashRing::build(&up, vnodes)
+}
+
+/// Background `/healthz` prober over a [`FleetState`].
+pub struct HealthMonitor {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthMonitor {
+    /// Probes every replica each `interval` (down replicas on
+    /// exponential backoff). `probe_timeout` bounds each attempt — keep
+    /// it well under `interval`.
+    #[must_use]
+    pub fn spawn(
+        state: Arc<FleetState>,
+        interval: Duration,
+        probe_timeout: Duration,
+    ) -> HealthMonitor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("fleet-health".to_string())
+            .spawn(move || {
+                let mut tick: u64 = 0;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    for status in state.statuses() {
+                        if !status.up && !backoff_due(tick, status.consecutive_failures) {
+                            continue;
+                        }
+                        probe(&state, &status, probe_timeout);
+                    }
+                    tick = tick.wrapping_add(1);
+                    // Sleep in short hops so shutdown is prompt even
+                    // with a long probe interval.
+                    let mut remaining = interval;
+                    while remaining > Duration::ZERO && !stop_flag.load(Ordering::Relaxed) {
+                        let hop = remaining.min(Duration::from_millis(25));
+                        std::thread::sleep(hop);
+                        remaining = remaining.saturating_sub(hop);
+                    }
+                }
+            })
+            .expect("spawn fleet-health thread");
+        HealthMonitor {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the prober and joins its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+impl Drop for HealthMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+/// Is a down replica due for a probe this tick? Exponential: after f
+/// consecutive failures, probe every 2^min(f,cap) ticks.
+fn backoff_due(tick: u64, consecutive_failures: u32) -> bool {
+    let exp = consecutive_failures.min(MAX_BACKOFF_EXP);
+    tick.is_multiple_of(1u64 << exp)
+}
+
+fn probe(state: &FleetState, status: &ReplicaStatus, timeout: Duration) {
+    match http_call_with_timeout(status.addr, "GET", "/healthz", None, timeout) {
+        Ok(reply) if reply.status == 200 => {
+            let parsed = Json::parse(&reply.body).ok();
+            let model = parsed
+                .as_ref()
+                .and_then(|v| v.get("model"))
+                .and_then(Json::as_str)
+                .map(str::to_string);
+            let epoch = parsed
+                .as_ref()
+                .and_then(|v| v.get("model_epoch"))
+                .and_then(Json::as_f64)
+                .map(|f| f as u64);
+            state.mark_up(&status.id, model, epoch);
+        }
+        _ => {
+            state.mark_down(&status.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|i| format!("127.0.0.1:{}", 40000 + i).parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn mark_down_rebalances_and_mark_up_restores() {
+        let addrs = fake_addrs(3);
+        let state = FleetState::new(&addrs, 8);
+        assert_eq!(state.up_counts(), (3, 3));
+
+        let victim = addrs[1].to_string();
+        // Ownership of some key by the victim must move off it.
+        let key = (0..u64::MAX)
+            .find(|&k| state.owner_of(k).map(|(id, _)| id) == Some(victim.clone()))
+            .expect("victim owns something");
+
+        assert!(state.mark_down(&victim), "first failure flips it out");
+        assert!(!state.mark_down(&victim), "already down: no second flip");
+        assert_eq!(state.up_counts(), (2, 3));
+        let (new_owner, _) = state.owner_of(key).expect("still owned");
+        assert_ne!(new_owner, victim);
+        assert_eq!(state.rebalances(), 1);
+
+        assert!(state.mark_up(&victim, Some("m".into()), Some(0)));
+        assert_eq!(state.up_counts(), (3, 3));
+        // Minimal-remap property: the key returns to its original owner.
+        assert_eq!(state.owner_of(key).unwrap().0, victim);
+    }
+
+    #[test]
+    fn whole_fleet_down_means_no_owner() {
+        let addrs = fake_addrs(2);
+        let state = FleetState::new(&addrs, 4);
+        for addr in &addrs {
+            state.mark_down(&addr.to_string());
+        }
+        assert_eq!(state.owner_of(7), None);
+        assert_eq!(state.up_counts(), (0, 2));
+    }
+
+    #[test]
+    fn backoff_schedule_thins_probes() {
+        assert!(backoff_due(0, 0));
+        assert!(backoff_due(1, 0), "healthy-ish: every tick");
+        assert!(backoff_due(2, 1));
+        assert!(!backoff_due(3, 1), "1 failure: every 2nd tick");
+        assert!(!backoff_due(63, 10));
+        assert!(backoff_due(64, 10), "capped at every 64th tick");
+    }
+}

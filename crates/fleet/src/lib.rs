@@ -1,0 +1,109 @@
+//! # scamdetect-fleet
+//!
+//! The fleet layer over [`scamdetect-serve`]: one front-door router
+//! that shards scan traffic across N replicas by **skeleton hash**, a
+//! health monitor that rebalances the ring on replica loss, and a
+//! staged **canary rollout** that distributes new model artifacts
+//! fleet-wide without a restart. Std-only, like everything below it.
+//!
+//! ## Topology
+//!
+//! ```text
+//!                         clients (POST /scan, /batch)
+//!                                    │
+//!                                    ▼
+//!                     ┌──────────────────────────────┐
+//!                     │        fleet router          │
+//!                     │  key = request_fingerprint   │
+//!                     │  ring: vnodes×64 equal       │
+//!                     │  slices, rendezvous-placed   │──── GET /fleet,
+//!                     │  ┌────────────────────────┐  │     /healthz,
+//!                     │  │ health monitor         │  │     /metrics
+//!                     │  │ GET /healthz each tick │  │
+//!                     │  │ backoff when down      │  │
+//!                     │  └────────────────────────┘  │
+//!                     └──────┬────────┬────────┬─────┘
+//!                 slice  ┌───┘        │        └───┐
+//!                 owner  ▼            ▼            ▼
+//!                ┌───────────┐ ┌───────────┐ ┌───────────┐
+//!                │ serve #1  │ │ serve #2  │ │ serve #N  │
+//!                │ caches hot│ │           │ │           │
+//!                │ for slice1│ │   …       │ │   …       │
+//!                └───────────┘ └───────────┘ └───────────┘
+//! ```
+//!
+//! Routing keys on [`scamdetect::request_fingerprint`] — the exact
+//! equivalence the replicas' verdict/prep caches use — so each
+//! replica's [`ShardedLru`]/[`PrepCache`] stays hot for its slice of
+//! skeleton space. Replica loss re-routes **only the lost slice**
+//! (rendezvous placement; see [`ring`]), and a fleet with zero up
+//! replicas answers `503` + `Retry-After` instead of hanging clients.
+//!
+//! ## Quickstart
+//!
+//! ```text
+//! # replicas (each its own models dir, same artifacts)
+//! scamdetect-cli serve --models-dir models-a --addr 127.0.0.1:7001 &
+//! scamdetect-cli serve --models-dir models-b --addr 127.0.0.1:7002 &
+//!
+//! # the router in front
+//! scamdetect-cli fleet serve --addr 127.0.0.1:7000 \
+//!     --replicas 127.0.0.1:7001,127.0.0.1:7002
+//!
+//! # clients talk to the router exactly like to a single replica
+//! curl -s -X POST http://127.0.0.1:7000/scan -d '{"bytecode": "0x6001600155"}'
+//!
+//! # topology & shard shares
+//! scamdetect-cli fleet status --router 127.0.0.1:7000
+//!
+//! # staged rollout of a new artifact to the whole fleet
+//! scamdetect-cli train --save rf-v2.scam --model rf --seed 43
+//! scamdetect-cli fleet rollout --replicas 127.0.0.1:7001,127.0.0.1:7002 \
+//!     --artifact rf-v2.scam --model-id rf-v2
+//! ```
+//!
+//! ## Rollout state machine
+//!
+//! ```text
+//! PUSH ──▶ VERIFY ──▶ CANARY ──▶ COMPARE ──▶ PROMOTE
+//!  │          │          │           │           │ failure here is
+//!  │          │          │           │           │ reported, not
+//!  ▼          ▼          ▼           ▼           ▼ auto-rolled-back
+//! abort     abort      abort       abort      (canary already proved
+//!  └──────────┴──────────┴───────────┘         the model serves)
+//!              = pin canary back + DELETE candidate everywhere
+//! ```
+//!
+//! * **Push**: `PUT /models/<id>` to every replica, body = raw
+//!   artifact bytes, `x-artifact-fnv1a` checksum handshake (409 on
+//!   mismatch, atomic install, no swap).
+//! * **Verify**: every replica echoed the same FNV-1a we computed
+//!   locally.
+//! * **Canary**: one replica hot-swaps via `POST /models/reload`
+//!   `{"model": "<id>"}` (a pinned, one-shot reload).
+//! * **Compare**: probe scans must score on the canary, its scan
+//!   failure counter must hold still, `/metrics` must name the
+//!   candidate.
+//! * **Promote**: pinned reload on the rest; `/healthz` must agree on
+//!   the new id fleet-wide.
+//!
+//! Module map: [`ring`] (slice ownership), [`health`] (membership +
+//! probing), [`proxy`] (the router), [`rollout`] (the state machine),
+//! [`client`] (typed replica management calls). The `serve_bench`
+//! binary measures direct-vs-routed latency and writes
+//! `BENCH_PR6.json` in `--router` mode.
+//!
+//! [`scamdetect-serve`]: scamdetect_serve
+//! [`ShardedLru`]: scamdetect::scan::PrepCache
+//! [`PrepCache`]: scamdetect::PrepCache
+
+pub mod client;
+pub mod health;
+pub mod proxy;
+pub mod ring;
+pub mod rollout;
+
+pub use health::{FleetState, HealthMonitor, ReplicaStatus};
+pub use proxy::{spawn_router, RouterConfig, RouterMetrics, RunningRouter};
+pub use ring::HashRing;
+pub use rollout::{run_rollout, RolloutError, RolloutPlan, RolloutReport, RolloutStage};

@@ -1,0 +1,602 @@
+//! The front-door router: one HTTP endpoint that looks exactly like a
+//! `scamdetect-serve` replica to clients, but fans `/scan` and `/batch`
+//! across the fleet by skeleton-hash ownership.
+//!
+//! # Request path
+//!
+//! 1. Decode the scan request just far enough to compute
+//!    [`scamdetect::request_fingerprint`] — the *same* equivalence the
+//!    replicas' verdict/prep caches key on, so one skeleton always
+//!    lands on the replica whose caches are warm for it.
+//! 2. Look up the owner in the live ring ([`FleetState`]).
+//! 3. Forward the original JSON over a pooled keep-alive connection.
+//!
+//! A forward failure (after the serve client's own one-shot retry)
+//! marks the replica down, rebalances the ring, and re-routes to the
+//! new owner — bounded attempts, never a spin. When no replica is up,
+//! the router degrades honestly: **503 with `Retry-After`**, so bulk
+//! clients back off instead of hammering a dead fleet.
+//!
+//! `/batch` is split by ownership into per-replica sub-batches and the
+//! replies merged back in slot order, so batch dedup still happens on
+//! the replica that owns each skeleton. Verdict JSON passes through the
+//! bit-exact float round-trip of [`scamdetect_serve::json`], so routed
+//! scores are bit-identical to direct ones.
+
+use crate::health::{FleetState, HealthMonitor};
+use scamdetect::detect_platform;
+use scamdetect_serve::client::{ClientResponse, HttpClient};
+use scamdetect_serve::http::{
+    HttpConfig, HttpRequest, HttpResponse, HttpServer, ServerStats, ShutdownHandle,
+};
+use scamdetect_serve::json::{obj, Json};
+use scamdetect_serve::wire;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Keep-alive connections retained per replica (beyond this, extra
+/// connections are simply dropped after use).
+const POOL_PER_REPLICA: usize = 8;
+
+/// Everything the router needs to run.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address for the router itself (e.g. `127.0.0.1:0`).
+    pub addr: String,
+    /// The replica fleet (each a running `scamdetect-serve`).
+    pub replicas: Vec<SocketAddr>,
+    /// Virtual nodes per replica on the ring.
+    pub vnodes: usize,
+    /// Router worker threads (0 = HTTP default).
+    pub workers: usize,
+    /// Health-probe cadence.
+    pub probe_interval: Duration,
+    /// Per-probe timeout (keep well under the interval).
+    pub probe_timeout: Duration,
+    /// Per-forward timeout.
+    pub forward_timeout: Duration,
+    /// Seconds suggested in `Retry-After` when the fleet is down.
+    pub retry_after_s: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            replicas: Vec::new(),
+            vnodes: crate::ring::DEFAULT_VNODES,
+            workers: 0,
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_millis(250),
+            forward_timeout: Duration::from_secs(10),
+            retry_after_s: 2,
+        }
+    }
+}
+
+/// Router-side counters, rendered on the router's own `/metrics`.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// `/scan` requests routed.
+    pub routed_scan: AtomicU64,
+    /// `/batch` requests routed.
+    pub routed_batch: AtomicU64,
+    /// Forwards that failed transport-level (each marks a replica
+    /// down).
+    pub forward_failures: AtomicU64,
+    /// Requests that were re-routed to a different owner after a
+    /// failure.
+    pub reroutes: AtomicU64,
+    /// Requests answered 503 because no replica was up.
+    pub unavailable: AtomicU64,
+    /// Everything else (`/fleet`, `/healthz`, `/metrics`, 404s).
+    pub requests_other: AtomicU64,
+}
+
+/// A router bound and serving on a background thread.
+pub struct RunningRouter {
+    /// The bound address (real port when `:0` was configured).
+    pub addr: SocketAddr,
+    /// Graceful-stop trigger for the HTTP front end.
+    pub shutdown: ShutdownHandle,
+    /// Shared fleet state (tests read and poke this).
+    pub state: Arc<FleetState>,
+    /// Router counters.
+    pub metrics: Arc<RouterMetrics>,
+    monitor: Option<HealthMonitor>,
+    thread: std::thread::JoinHandle<ServerStats>,
+}
+
+impl RunningRouter {
+    /// Stops the prober and the HTTP server; returns final stats.
+    ///
+    /// # Errors
+    ///
+    /// The server thread's panic payload, if it panicked.
+    pub fn stop(mut self) -> std::thread::Result<ServerStats> {
+        if let Some(monitor) = self.monitor.take() {
+            monitor.stop();
+        }
+        self.shutdown.shutdown();
+        self.thread.join()
+    }
+
+    /// Blocks until the HTTP server stops (a signal handler or another
+    /// clone of [`RunningRouter::shutdown`] triggers it), then stops
+    /// the prober; returns final stats. The foreground counterpart of
+    /// [`RunningRouter::stop`].
+    ///
+    /// # Errors
+    ///
+    /// The server thread's panic payload, if it panicked.
+    pub fn join(mut self) -> std::thread::Result<ServerStats> {
+        let stats = self.thread.join();
+        if let Some(monitor) = self.monitor.take() {
+            monitor.stop();
+        }
+        stats
+    }
+}
+
+/// Binds the router and serves on a background thread.
+///
+/// # Errors
+///
+/// Bind failures.
+pub fn spawn_router(config: RouterConfig) -> std::io::Result<RunningRouter> {
+    let state = Arc::new(FleetState::new(&config.replicas, config.vnodes));
+    let metrics = Arc::new(RouterMetrics::default());
+    let server = HttpServer::bind(HttpConfig {
+        addr: config.addr.clone(),
+        workers: config.workers,
+        ..HttpConfig::default()
+    })?;
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let monitor = HealthMonitor::spawn(
+        Arc::clone(&state),
+        config.probe_interval,
+        config.probe_timeout,
+    );
+    let ctx = Arc::new(RouterCtx {
+        state: Arc::clone(&state),
+        metrics: Arc::clone(&metrics),
+        pool: ConnPool::new(config.forward_timeout),
+        retry_after_s: config.retry_after_s,
+    });
+    let handler_ctx = Arc::clone(&ctx);
+    let thread = std::thread::spawn(move || {
+        server.serve(Arc::new(move |request: &HttpRequest| {
+            route(&handler_ctx, request)
+        }))
+    });
+    Ok(RunningRouter {
+        addr,
+        shutdown,
+        state,
+        metrics,
+        monitor: Some(monitor),
+        thread,
+    })
+}
+
+struct RouterCtx {
+    state: Arc<FleetState>,
+    metrics: Arc<RouterMetrics>,
+    pool: ConnPool,
+    retry_after_s: u32,
+}
+
+/// A tiny keep-alive connection pool, one stack of clients per
+/// replica. `HttpClient` already reconnects once on stale connections,
+/// so pooled clients can sit idle across probe intervals safely.
+///
+/// Sizing note: each idle pooled connection parks one replica worker
+/// in its keep-alive read until the replica's idle timeout expires, so
+/// replicas behind a router should run with `--http-workers` safely
+/// above the router's concurrent-forward count — otherwise health
+/// probes queue behind idle pool connections and a loaded replica can
+/// be marked down spuriously.
+struct ConnPool {
+    timeout: Duration,
+    idle: Mutex<HashMap<SocketAddr, Vec<HttpClient>>>,
+}
+
+impl ConnPool {
+    fn new(timeout: Duration) -> ConnPool {
+        ConnPool {
+            timeout,
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// One request over a pooled (or fresh) connection; the connection
+    /// returns to the pool only on success.
+    fn roundtrip(
+        &self,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let pooled = self
+            .idle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_mut(&addr)
+            .and_then(Vec::pop);
+        let mut client = match pooled {
+            Some(client) => client,
+            None => HttpClient::connect_with_timeout(addr, self.timeout)?,
+        };
+        let reply = client.request_raw(method, path, body, &[])?;
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        let stack = idle.entry(addr).or_default();
+        if stack.len() < POOL_PER_REPLICA {
+            stack.push(client);
+        }
+        Ok(reply)
+    }
+}
+
+fn route(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/scan") => {
+            ctx.metrics.routed_scan.fetch_add(1, Ordering::Relaxed);
+            handle_scan(ctx, request)
+        }
+        ("POST", "/batch") => {
+            ctx.metrics.routed_batch.fetch_add(1, Ordering::Relaxed);
+            handle_batch(ctx, request)
+        }
+        ("GET", "/fleet") => {
+            ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_fleet(ctx)
+        }
+        ("GET", "/healthz") => {
+            ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            let (up, total) = ctx.state.up_counts();
+            HttpResponse::json(
+                200,
+                &obj([
+                    ("status", Json::from(if up > 0 { "ok" } else { "degraded" })),
+                    ("role", Json::from("router")),
+                    ("replicas_up", Json::from(up as u64)),
+                    ("replicas_total", Json::from(total as u64)),
+                ]),
+            )
+        }
+        ("GET", "/metrics") => {
+            ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::text(200, render_router_metrics(ctx))
+        }
+        (_, "/scan" | "/batch") => {
+            ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(405, "use POST")
+        }
+        (_, "/fleet" | "/healthz" | "/metrics") => {
+            ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(405, "use GET")
+        }
+        _ => {
+            ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(
+                404,
+                "no such route (router exposes /scan /batch /fleet /healthz /metrics)",
+            )
+        }
+    }
+}
+
+/// The degradation path: every slice needs an owner and none is up.
+fn unavailable(ctx: &RouterCtx) -> HttpResponse {
+    ctx.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+    HttpResponse::error(503, "no replica available for this key slice; retry later")
+        .with_header("Retry-After", ctx.retry_after_s.to_string())
+}
+
+/// Re-emits a replica reply through the router's own JSON writer. The
+/// writer round-trips `f64` bit-exactly, so a routed score equals the
+/// direct one to the last bit; non-JSON bodies (shouldn't happen) pass
+/// through as text.
+fn passthrough(reply: &ClientResponse) -> HttpResponse {
+    match Json::parse(&reply.body) {
+        Ok(parsed) => HttpResponse::json(reply.status, &parsed),
+        Err(_) => HttpResponse::text(reply.status, reply.body.clone()),
+    }
+}
+
+/// Forwards `body` to the owner of `key`, marking failed replicas down
+/// and re-routing to the rebalanced owner. Attempts are bounded by the
+/// fleet size: each failure removes the attempted replica from the
+/// ring, so the loop cannot revisit one.
+fn forward_owned(ctx: &RouterCtx, key: u64, path: &str, body: &[u8]) -> HttpResponse {
+    let (_, total) = ctx.state.up_counts();
+    for attempt in 0..=total {
+        let Some((owner_id, owner_addr)) = ctx.state.owner_of(key) else {
+            return unavailable(ctx);
+        };
+        match ctx.pool.roundtrip(owner_addr, "POST", path, body) {
+            Ok(reply) => {
+                if attempt > 0 {
+                    ctx.metrics.reroutes.fetch_add(1, Ordering::Relaxed);
+                }
+                return passthrough(&reply);
+            }
+            Err(_) => {
+                ctx.metrics.forward_failures.fetch_add(1, Ordering::Relaxed);
+                ctx.state.mark_down(&owner_id);
+            }
+        }
+    }
+    unavailable(ctx)
+}
+
+/// The routing key for one decoded request: the exact cache-key
+/// equivalence the replica will use.
+fn routing_key(wire_request: &wire::WireScanRequest) -> u64 {
+    let platform = wire_request
+        .platform
+        .unwrap_or_else(|| detect_platform(&wire_request.bytes));
+    scamdetect::request_fingerprint(platform, &wire_request.bytes)
+}
+
+fn parse_json_body(request: &HttpRequest) -> Result<Json, HttpResponse> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| HttpResponse::error(400, "request body is not valid utf-8"))?;
+    Json::parse(text).map_err(|e| HttpResponse::error(400, &format!("invalid JSON: {e}")))
+}
+
+fn handle_scan(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
+    let body = match parse_json_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    // Decode only as far as the routing key; the original body is what
+    // gets forwarded (the replica re-validates it anyway).
+    let wire_request = match wire::parse_scan_request(&body) {
+        Ok(parsed) => parsed,
+        Err(message) => return HttpResponse::error(400, &message),
+    };
+    forward_owned(ctx, routing_key(&wire_request), "/scan", &request.body)
+}
+
+fn handle_batch(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
+    let body = match parse_json_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let Some(items) = body.get("requests").and_then(Json::as_array) else {
+        return HttpResponse::error(400, "missing 'requests' array");
+    };
+    if items.len() > wire::MAX_BATCH_REQUESTS {
+        return HttpResponse::error(
+            413,
+            &format!(
+                "batch of {} exceeds the {} request cap",
+                items.len(),
+                wire::MAX_BATCH_REQUESTS
+            ),
+        );
+    }
+
+    // Per slot: undecodable → local error (same message the replica
+    // would produce, it is the same parser); decodable → routing key.
+    let mut results: Vec<Option<Json>> = vec![None; items.len()];
+    let mut pending: Vec<(usize, u64)> = Vec::with_capacity(items.len());
+    for (slot, item) in items.iter().enumerate() {
+        match wire::parse_scan_request(item) {
+            Ok(wire_request) => pending.push((slot, routing_key(&wire_request))),
+            Err(message) => results[slot] = Some(obj([("error", Json::from(message))])),
+        }
+    }
+
+    let mut model: Option<(String, u64)> = None;
+    // Ownership can shift mid-batch (a forward failure rebalances), so
+    // group → forward → regroup leftovers, bounded by fleet size.
+    let (_, total) = ctx.state.up_counts();
+    for _round in 0..=total {
+        if pending.is_empty() {
+            break;
+        }
+        // Group the still-unanswered slots by current owner.
+        let mut groups: HashMap<String, (SocketAddr, Vec<(usize, u64)>)> = HashMap::new();
+        let mut unowned = false;
+        for &(slot, key) in &pending {
+            match ctx.state.owner_of(key) {
+                Some((id, addr)) => {
+                    groups
+                        .entry(id)
+                        .or_insert_with(|| (addr, Vec::new()))
+                        .1
+                        .push((slot, key));
+                }
+                None => unowned = true,
+            }
+        }
+        if unowned || groups.is_empty() {
+            return unavailable(ctx);
+        }
+        let mut still_pending: Vec<(usize, u64)> = Vec::new();
+        let mut owner_ids: Vec<&String> = groups.keys().collect();
+        owner_ids.sort(); // deterministic forward order
+        let owner_ids: Vec<String> = owner_ids.into_iter().cloned().collect();
+        for owner_id in owner_ids {
+            let (addr, slots) = groups.remove(&owner_id).expect("grouped");
+            let sub_body = Json::Obj(vec![(
+                "requests".to_string(),
+                Json::Arr(slots.iter().map(|&(slot, _)| items[slot].clone()).collect()),
+            )])
+            .render();
+            match ctx
+                .pool
+                .roundtrip(addr, "POST", "/batch", sub_body.as_bytes())
+            {
+                Ok(reply) if reply.status == 200 => {
+                    let Ok(parsed) = Json::parse(&reply.body) else {
+                        return HttpResponse::error(502, "replica returned unparseable batch body");
+                    };
+                    if model.is_none() {
+                        let id = parsed.get("model").and_then(Json::as_str).unwrap_or("");
+                        let epoch = parsed
+                            .get("model_epoch")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0) as u64;
+                        model = Some((id.to_string(), epoch));
+                    }
+                    let Some(sub_results) = parsed.get("results").and_then(Json::as_array) else {
+                        return HttpResponse::error(502, "replica batch body has no results");
+                    };
+                    if sub_results.len() != slots.len() {
+                        return HttpResponse::error(502, "replica batch result count mismatch");
+                    }
+                    for (&(slot, _), result) in slots.iter().zip(sub_results) {
+                        results[slot] = Some(result.clone());
+                    }
+                }
+                Ok(reply) => {
+                    // The replica is alive but rejected the sub-batch;
+                    // that is a real (non-transport) error — surface it.
+                    return HttpResponse::error(
+                        502,
+                        &format!(
+                            "replica {owner_id} answered {}: {}",
+                            reply.status, reply.body
+                        ),
+                    );
+                }
+                Err(_) => {
+                    ctx.metrics.forward_failures.fetch_add(1, Ordering::Relaxed);
+                    ctx.state.mark_down(&owner_id);
+                    ctx.metrics.reroutes.fetch_add(1, Ordering::Relaxed);
+                    still_pending.extend(slots);
+                }
+            }
+        }
+        pending = still_pending;
+    }
+    if !pending.is_empty() {
+        return unavailable(ctx);
+    }
+
+    let (model_id, model_epoch) = model.unwrap_or_default();
+    HttpResponse::json(
+        200,
+        &obj([
+            ("model", Json::from(model_id)),
+            ("model_epoch", Json::from(model_epoch)),
+            (
+                "results",
+                Json::Arr(
+                    results
+                        .into_iter()
+                        .map(|r| r.expect("every slot filled"))
+                        .collect(),
+                ),
+            ),
+        ]),
+    )
+}
+
+fn handle_fleet(ctx: &RouterCtx) -> HttpResponse {
+    let statuses = ctx.state.statuses();
+    let shares: HashMap<String, usize> = ctx.state.shares().into_iter().collect();
+    let replicas: Vec<Json> = statuses
+        .iter()
+        .map(|s| {
+            obj([
+                ("id", Json::from(s.id.as_str())),
+                ("up", Json::from(s.up)),
+                (
+                    "slices",
+                    Json::from(shares.get(&s.id).copied().unwrap_or(0) as u64),
+                ),
+                (
+                    "consecutive_failures",
+                    Json::from(u64::from(s.consecutive_failures)),
+                ),
+                ("model", s.model.as_deref().map_or(Json::Null, Json::from)),
+                ("model_epoch", s.model_epoch.map_or(Json::Null, Json::from)),
+            ])
+        })
+        .collect();
+    let (up, total) = ctx.state.up_counts();
+    HttpResponse::json(
+        200,
+        &obj([
+            ("vnodes", Json::from(ctx.state.vnodes() as u64)),
+            (
+                "slices",
+                Json::from((ctx.state.vnodes() * crate::ring::SLICES_PER_VNODE) as u64),
+            ),
+            ("replicas_up", Json::from(up as u64)),
+            ("replicas_total", Json::from(total as u64)),
+            ("rebalances", Json::from(ctx.state.rebalances())),
+            ("replicas", Json::Arr(replicas)),
+        ]),
+    )
+}
+
+fn render_router_metrics(ctx: &RouterCtx) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(1024);
+    let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    let m = &ctx.metrics;
+    metric(
+        "scamdetect_fleet_scan_requests_total",
+        "counter",
+        "scan requests routed",
+        m.routed_scan.load(Ordering::Relaxed),
+    );
+    metric(
+        "scamdetect_fleet_batch_requests_total",
+        "counter",
+        "batch requests routed",
+        m.routed_batch.load(Ordering::Relaxed),
+    );
+    metric(
+        "scamdetect_fleet_forward_failures_total",
+        "counter",
+        "transport-level forward failures (each marks a replica down)",
+        m.forward_failures.load(Ordering::Relaxed),
+    );
+    metric(
+        "scamdetect_fleet_reroutes_total",
+        "counter",
+        "requests re-routed to a rebalanced owner after a failure",
+        m.reroutes.load(Ordering::Relaxed),
+    );
+    metric(
+        "scamdetect_fleet_unavailable_total",
+        "counter",
+        "requests answered 503 (no up replica for the slice)",
+        m.unavailable.load(Ordering::Relaxed),
+    );
+    metric(
+        "scamdetect_fleet_rebalances_total",
+        "counter",
+        "ring membership flips",
+        ctx.state.rebalances(),
+    );
+    let (up, total) = ctx.state.up_counts();
+    metric(
+        "scamdetect_fleet_replicas_up",
+        "gauge",
+        "replicas currently in the ring",
+        up as u64,
+    );
+    metric(
+        "scamdetect_fleet_replicas_total",
+        "gauge",
+        "replicas configured",
+        total as u64,
+    );
+    out
+}

@@ -1,0 +1,399 @@
+//! Staged fleet-wide model rollout: push → verify → canary → compare →
+//! promote, with automatic rollback on any failure past the push.
+//!
+//! ```text
+//!          ┌────────┐   all replicas   ┌────────┐  echo == local
+//!          │  PUSH  ├─────────────────▶│ VERIFY │  FNV-1a on every
+//!          └────────┘  PUT /models/id  └───┬────┘  replica
+//!                                          │
+//!                                          ▼
+//!          ┌────────┐  pinned reload   ┌────────┐  probes 200, scan
+//!          │ CANARY │◀─────────────────┤        │  failures flat,
+//!          │ 1 node │  POST /models/   │COMPARE │  /metrics names the
+//!          └───┬────┘      reload      └───┬────┘  new model
+//!              │                           │
+//!              │ any failure               │ pass
+//!              ▼                           ▼
+//!          ┌────────┐                  ┌─────────┐  pinned reload on
+//!          │ ABORT  │                  │ PROMOTE │  every remaining
+//!          │ = pin  │                  └─────────┘  replica, healthz
+//!          │ back + │                                must agree
+//!          │ DELETE │
+//!          └────────┘
+//! ```
+//!
+//! The rollout never leaves the fleet torn on failure: the canary is
+//! pinned back to the model it served before, and the rejected
+//! artifact is deleted from every replica it reached. A failure during
+//! *promote* (some replicas already swapped) is reported loudly with
+//! per-replica state instead of silently half-rolled — the operator
+//! decides whether to re-run or roll back, because by then the canary
+//! has proven the model serves correctly.
+
+use crate::client::{
+    delete_model, fetch_metric, probe_healthz, push_artifact, reload_model, ReplicaError,
+};
+use scamdetect_serve::client::http_call_with_timeout;
+use scamdetect_serve::json::Json;
+use scamdetect_serve::wire::encode_hex;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Which stage a rollout failed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutStage {
+    /// Pushing artifact bytes to the replicas.
+    Push,
+    /// Checksum handshake verification.
+    Verify,
+    /// Swapping the canary replica.
+    Canary,
+    /// Judging the canary under probe traffic.
+    Compare,
+    /// Fleet-wide promotion.
+    Promote,
+}
+
+impl std::fmt::Display for RolloutStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            RolloutStage::Push => "push",
+            RolloutStage::Verify => "verify",
+            RolloutStage::Canary => "canary",
+            RolloutStage::Compare => "compare",
+            RolloutStage::Promote => "promote",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A failed rollout: which stage, why, and whether the automatic
+/// rollback completed.
+#[derive(Debug)]
+pub struct RolloutError {
+    /// Stage the failure occurred in.
+    pub stage: RolloutStage,
+    /// What went wrong.
+    pub message: String,
+    /// `true` when the canary was pinned back and the candidate
+    /// artifact deleted everywhere it had landed.
+    pub rolled_back: bool,
+    /// The log lines accumulated before the failure.
+    pub log: Vec<String>,
+}
+
+impl std::fmt::Display for RolloutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rollout failed at {}: {} (rolled back: {})",
+            self.stage, self.message, self.rolled_back
+        )
+    }
+}
+
+impl std::error::Error for RolloutError {}
+
+/// What to roll out and how to judge the canary.
+#[derive(Debug, Clone)]
+pub struct RolloutPlan {
+    /// The whole fleet; `replicas[canary]` is swapped first.
+    pub replicas: Vec<SocketAddr>,
+    /// Artifact id the fleet will serve (file stem on each replica).
+    pub model_id: String,
+    /// Raw `ModelArtifact` bytes to push.
+    pub artifact: Vec<u8>,
+    /// Index of the canary replica.
+    pub canary: usize,
+    /// Contract bytecodes smoked through the canary after its swap;
+    /// every probe must score (HTTP 200) on the new model.
+    pub probes: Vec<Vec<u8>>,
+    /// Per-call timeout.
+    pub timeout: Duration,
+}
+
+/// A completed (promoted) rollout.
+#[derive(Debug)]
+pub struct RolloutReport {
+    /// The now-fleet-wide model id.
+    pub model_id: String,
+    /// FNV-1a every replica verified during push.
+    pub checksum: u64,
+    /// The canary's address.
+    pub canary: SocketAddr,
+    /// `(replica, served model, epoch)` after promotion.
+    pub fleet: Vec<(SocketAddr, String, u64)>,
+    /// Human-readable stage log.
+    pub log: Vec<String>,
+}
+
+/// Runs the full staged rollout. See the module docs for the state
+/// machine; on `Err` the rollback status is inside the error.
+///
+/// # Errors
+///
+/// [`RolloutError`] naming the failed stage.
+///
+/// # Panics
+///
+/// When `plan.replicas` is empty or `plan.canary` is out of range.
+pub fn run_rollout(plan: &RolloutPlan) -> Result<RolloutReport, RolloutError> {
+    assert!(!plan.replicas.is_empty(), "rollout needs replicas");
+    assert!(plan.canary < plan.replicas.len(), "canary index in range");
+    let mut log: Vec<String> = Vec::new();
+    let canary_addr = plan.replicas[plan.canary];
+
+    // ── PUSH + VERIFY ──────────────────────────────────────────────
+    // `push_artifact` performs the checksum handshake per replica (the
+    // request carries the expected FNV-1a, the replica re-hashes and
+    // 409s on mismatch, the response echo is checked against our local
+    // hash), so a successful push IS a verified push. Track where the
+    // artifact landed for rollback.
+    let mut pushed_to: Vec<SocketAddr> = Vec::new();
+    let mut checksum = 0u64;
+    for &addr in &plan.replicas {
+        match push_artifact(addr, plan.timeout, &plan.model_id, &plan.artifact) {
+            Ok(sum) => {
+                checksum = sum;
+                pushed_to.push(addr);
+                log.push(format!(
+                    "push: {addr} accepted '{}' ({} bytes, fnv1a {sum:#018x})",
+                    plan.model_id,
+                    plan.artifact.len()
+                ));
+            }
+            Err(e) => {
+                let rolled_back = cleanup_artifact(&pushed_to, plan, &mut log);
+                return Err(RolloutError {
+                    stage: stage_of_push_error(&e),
+                    message: e.to_string(),
+                    rolled_back,
+                    log,
+                });
+            }
+        }
+    }
+    log.push(format!(
+        "verify: all {} replicas hold fnv1a {checksum:#018x}",
+        plan.replicas.len()
+    ));
+
+    // ── CANARY ─────────────────────────────────────────────────────
+    // Remember what the canary serves now: that is the rollback pin.
+    let before = probe_healthz(canary_addr, plan.timeout).map_err(|e| RolloutError {
+        stage: RolloutStage::Canary,
+        message: format!("cannot snapshot canary before swap: {e}"),
+        rolled_back: cleanup_artifact(&pushed_to, plan, &mut log),
+        log: log.clone(),
+    })?;
+    if before.model == plan.model_id {
+        return Err(RolloutError {
+            stage: RolloutStage::Canary,
+            message: format!("canary already serves '{}'", plan.model_id),
+            rolled_back: cleanup_artifact(&pushed_to, plan, &mut log),
+            log,
+        });
+    }
+    match reload_model(canary_addr, plan.timeout, Some(&plan.model_id)) {
+        Ok((active, epoch)) if active == plan.model_id => {
+            log.push(format!(
+                "canary: {canary_addr} swapped '{}' → '{active}' (epoch {epoch})",
+                before.model
+            ));
+        }
+        Ok((active, _)) => {
+            let rolled_back = rollback(canary_addr, &before.model, &pushed_to, plan, &mut log);
+            return Err(RolloutError {
+                stage: RolloutStage::Canary,
+                message: format!("canary swapped to '{active}', wanted '{}'", plan.model_id),
+                rolled_back,
+                log,
+            });
+        }
+        Err(e) => {
+            let rolled_back = rollback(canary_addr, &before.model, &pushed_to, plan, &mut log);
+            return Err(RolloutError {
+                stage: RolloutStage::Canary,
+                message: e.to_string(),
+                rolled_back,
+                log,
+            });
+        }
+    }
+
+    // ── COMPARE ────────────────────────────────────────────────────
+    if let Err(message) = judge_canary(canary_addr, plan, &mut log) {
+        let rolled_back = rollback(canary_addr, &before.model, &pushed_to, plan, &mut log);
+        return Err(RolloutError {
+            stage: RolloutStage::Compare,
+            message,
+            rolled_back,
+            log,
+        });
+    }
+
+    // ── PROMOTE ────────────────────────────────────────────────────
+    // Past this point we do NOT auto-rollback: the canary proved the
+    // model serves, so a partial promotion is a retry-forward
+    // situation, not a destroy-the-candidate one.
+    let mut fleet: Vec<(SocketAddr, String, u64)> = Vec::new();
+    for &addr in &plan.replicas {
+        if addr == canary_addr {
+            continue;
+        }
+        match reload_model(addr, plan.timeout, Some(&plan.model_id)) {
+            Ok((active, epoch)) if active == plan.model_id => {
+                log.push(format!(
+                    "promote: {addr} now serves '{active}' (epoch {epoch})"
+                ));
+            }
+            Ok((active, _)) => {
+                return Err(RolloutError {
+                    stage: RolloutStage::Promote,
+                    message: format!("{addr} swapped to '{active}', wanted '{}'", plan.model_id),
+                    rolled_back: false,
+                    log,
+                });
+            }
+            Err(e) => {
+                return Err(RolloutError {
+                    stage: RolloutStage::Promote,
+                    message: e.to_string(),
+                    rolled_back: false,
+                    log,
+                });
+            }
+        }
+    }
+    // Final agreement check across the whole fleet, canary included.
+    for &addr in &plan.replicas {
+        match probe_healthz(addr, plan.timeout) {
+            Ok(health) if health.model == plan.model_id => {
+                fleet.push((addr, health.model, health.model_epoch));
+            }
+            Ok(health) => {
+                return Err(RolloutError {
+                    stage: RolloutStage::Promote,
+                    message: format!("{addr} reports '{}' after promotion", health.model),
+                    rolled_back: false,
+                    log,
+                });
+            }
+            Err(e) => {
+                return Err(RolloutError {
+                    stage: RolloutStage::Promote,
+                    message: e.to_string(),
+                    rolled_back: false,
+                    log,
+                });
+            }
+        }
+    }
+    log.push(format!(
+        "promote: fleet of {} agrees on '{}'",
+        fleet.len(),
+        plan.model_id
+    ));
+    Ok(RolloutReport {
+        model_id: plan.model_id.clone(),
+        checksum,
+        canary: canary_addr,
+        fleet,
+        log,
+    })
+}
+
+/// A push failure that mentions a checksum is a Verify failure (the
+/// handshake caught corruption); anything else is transport/Push.
+fn stage_of_push_error(e: &ReplicaError) -> RolloutStage {
+    if e.message.contains("checksum") || e.message.contains("echoed") {
+        RolloutStage::Verify
+    } else {
+        RolloutStage::Push
+    }
+}
+
+/// Judge the swapped canary: every probe must score, the failure
+/// counter must hold still, and `/metrics` must name the new model.
+fn judge_canary(
+    canary: SocketAddr,
+    plan: &RolloutPlan,
+    log: &mut Vec<String>,
+) -> Result<(), String> {
+    let failures_before = fetch_metric(canary, plan.timeout, "scamdetect_scan_failures_total")
+        .map_err(|e| e.to_string())?;
+    for (i, probe) in plan.probes.iter().enumerate() {
+        let body = format!(r#"{{"bytecode": "{}"}}"#, encode_hex(probe));
+        let reply = http_call_with_timeout(canary, "POST", "/scan", Some(&body), plan.timeout)
+            .map_err(|e| format!("probe {i}: {e}"))?;
+        if reply.status != 200 {
+            return Err(format!("probe {i}: HTTP {} — {}", reply.status, reply.body));
+        }
+        let scored = Json::parse(&reply.body)
+            .ok()
+            .and_then(|v| v.get("score").and_then(Json::as_f64))
+            .is_some_and(f64::is_finite);
+        if !scored {
+            return Err(format!("probe {i}: no finite score in {}", reply.body));
+        }
+    }
+    let failures_after = fetch_metric(canary, plan.timeout, "scamdetect_scan_failures_total")
+        .map_err(|e| e.to_string())?;
+    if failures_after > failures_before {
+        return Err(format!(
+            "scan failures rose {failures_before} → {failures_after} under canary probes"
+        ));
+    }
+    // The metrics page must attribute traffic to the candidate.
+    let metrics_text = http_call_with_timeout(canary, "GET", "/metrics", None, plan.timeout)
+        .map_err(|e| format!("metrics scrape: {e}"))?
+        .body;
+    if !metrics_text.contains(&format!("model=\"{}\"", plan.model_id)) {
+        return Err("canary /metrics does not name the candidate model".to_string());
+    }
+    log.push(format!(
+        "compare: {} probes scored on the canary, scan failures flat at {failures_after}",
+        plan.probes.len()
+    ));
+    Ok(())
+}
+
+/// Pin the canary back, then delete the candidate everywhere it
+/// landed. Returns `true` when every step succeeded.
+fn rollback(
+    canary: SocketAddr,
+    previous_model: &str,
+    pushed_to: &[SocketAddr],
+    plan: &RolloutPlan,
+    log: &mut Vec<String>,
+) -> bool {
+    let mut clean = true;
+    match reload_model(canary, plan.timeout, Some(previous_model)) {
+        Ok((active, epoch)) => {
+            log.push(format!(
+                "rollback: canary pinned back to '{active}' (epoch {epoch})"
+            ));
+            clean &= active == previous_model;
+        }
+        Err(e) => {
+            log.push(format!("rollback: canary re-pin FAILED: {e}"));
+            clean = false;
+        }
+    }
+    clean & cleanup_artifact(pushed_to, plan, log)
+}
+
+/// Delete the candidate artifact from every replica it reached.
+fn cleanup_artifact(pushed_to: &[SocketAddr], plan: &RolloutPlan, log: &mut Vec<String>) -> bool {
+    let mut clean = true;
+    for &addr in pushed_to {
+        match delete_model(addr, plan.timeout, &plan.model_id) {
+            Ok(()) => log.push(format!("rollback: {addr} deleted '{}'", plan.model_id)),
+            Err(e) => {
+                log.push(format!("rollback: delete on {addr} FAILED: {e}"));
+                clean = false;
+            }
+        }
+    }
+    clean
+}

@@ -1,0 +1,302 @@
+//! The CI fleet-smoke gate: two real replicas behind a real router on
+//! loopback.
+//!
+//! What it pins, end to end over the wire:
+//!
+//! * routed `/scan` reproduces the committed golden fixture's score
+//!   bits through the router — routing adds zero numeric drift;
+//! * routed `/batch` splits by ownership and merges slot-exact;
+//! * a full push → verify → canary → compare → promote rollout lands a
+//!   new model on every replica with bumped epochs;
+//! * killing one replica rebalances the ring and the survivor serves
+//!   every key;
+//! * a fleet with zero reachable replicas answers 503 with
+//!   `Retry-After` (checked on the raw socket);
+//! * shutdown is clean and the router port closes.
+
+use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScannerBuilder};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_fleet::proxy::{spawn_router, RouterConfig};
+use scamdetect_fleet::rollout::{run_rollout, RolloutPlan};
+use scamdetect_serve::client::{http_call, HttpClient};
+use scamdetect_serve::daemon::{spawn, RunningDaemon, ServeConfig};
+use scamdetect_serve::json::Json;
+use scamdetect_serve::wire::encode_hex;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// The committed fixture (same constants as `serve_smoke.rs` and the
+/// library-level golden test).
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/golden-logreg-unified-v1.scam"
+);
+const GOLDEN_SEED: u64 = 0x601D;
+const GOLDEN_SCORE_BITS: [u64; 4] = [
+    0x3FE5B791C7F65C58,
+    0x3FEBD01B2729C1DE,
+    0x3F7B05F5FE2E742D,
+    0x3F849BF9437DA553,
+];
+
+fn golden_probe_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        size: 4,
+        seed: GOLDEN_SEED ^ 1,
+        ..CorpusConfig::default()
+    })
+}
+
+fn hex_body(bytes: &[u8]) -> String {
+    format!(r#"{{"bytecode": "{}"}}"#, encode_hex(bytes))
+}
+
+fn spawn_replica(dir: &std::path::Path) -> RunningDaemon {
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    // Enough workers that the router's idle pooled connections (which
+    // park a worker each in their keep-alive read) never starve health
+    // probes on a single-core CI runner.
+    config.http.workers = 4;
+    config.registry.models_dir = dir.to_path_buf();
+    spawn(config).expect("replica spawns")
+}
+
+/// A different (freshly trained) artifact for the rollout candidate.
+fn candidate_artifact_bytes() -> Vec<u8> {
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 30,
+        seed: 77,
+        ..CorpusConfig::default()
+    });
+    ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&corpus)
+        .expect("trains")
+        .to_artifact()
+        .expect("artifact")
+        .to_bytes()
+}
+
+fn fleet_snapshot(router: SocketAddr) -> Json {
+    let reply = http_call(router, "GET", "/fleet", None).expect("fleet");
+    assert_eq!(reply.status, 200);
+    Json::parse(&reply.body).expect("fleet JSON")
+}
+
+fn wait_for_up_count(router: SocketAddr, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snapshot = fleet_snapshot(router);
+        let up = snapshot.get("replicas_up").unwrap().as_f64().unwrap() as u64;
+        if up == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never reached {want} up replicas: {snapshot:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn router_routes_golden_bits_rolls_out_and_survives_replica_loss() {
+    // ── fleet up: 2 replicas, each its own models dir ───────────────
+    let base = std::env::temp_dir().join(format!("scamdetect-fleet-smoke-{}", std::process::id()));
+    let golden_bytes = std::fs::read(GOLDEN_PATH).expect("golden fixture is committed");
+    let dirs = [base.join("models-a"), base.join("models-b")];
+    for dir in &dirs {
+        std::fs::create_dir_all(dir).expect("models dir");
+        std::fs::write(dir.join("golden-v1.scam"), &golden_bytes).expect("stage artifact");
+    }
+    let replica_a = spawn_replica(&dirs[0]);
+    let replica_b = spawn_replica(&dirs[1]);
+    let replica_addrs = vec![replica_a.addr, replica_b.addr];
+
+    let router = spawn_router(RouterConfig {
+        replicas: replica_addrs.clone(),
+        probe_interval: Duration::from_millis(100),
+        probe_timeout: Duration::from_millis(150),
+        ..RouterConfig::default()
+    })
+    .expect("router spawns");
+    let front = router.addr;
+
+    // ── routed /scan: golden bits through the router, bit-exact ─────
+    let probes = golden_probe_corpus();
+    let mut client = HttpClient::connect(front).expect("client connects");
+    for (contract, &expected_bits) in probes.contracts().iter().zip(&GOLDEN_SCORE_BITS) {
+        let reply = client
+            .request("POST", "/scan", Some(&hex_body(&contract.bytes)))
+            .expect("routed scan");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let verdict = Json::parse(&reply.body).expect("scan JSON");
+        assert_eq!(
+            verdict.get("score").unwrap().as_f64().unwrap().to_bits(),
+            expected_bits,
+            "routed score drifted from the committed golden bits"
+        );
+        assert_eq!(verdict.get("model").unwrap().as_str(), Some("golden-v1"));
+    }
+
+    // ── routed /batch: ownership split + slot-exact merge ───────────
+    let batch_body = {
+        let slots: Vec<String> = probes
+            .contracts()
+            .iter()
+            .map(|c| format!(r#"{{"bytecode": "{}"}}"#, encode_hex(&c.bytes)))
+            .chain(std::iter::once(r#"{"bytecode": "zz"}"#.to_string()))
+            .collect();
+        format!(r#"{{"requests": [{}]}}"#, slots.join(", "))
+    };
+    let reply = client
+        .request("POST", "/batch", Some(&batch_body))
+        .expect("routed batch");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let batch = Json::parse(&reply.body).expect("batch JSON");
+    let results = batch.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 5);
+    for (slot, &expected_bits) in GOLDEN_SCORE_BITS.iter().enumerate() {
+        assert_eq!(
+            results[slot]
+                .get("score")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            expected_bits,
+            "batch slot {slot} drifted through the router"
+        );
+    }
+    assert!(
+        results[4].get("error").is_some(),
+        "the malformed slot degrades alone: {}",
+        reply.body
+    );
+
+    // ── topology: full ring, fair-ish shares ────────────────────────
+    let snapshot = fleet_snapshot(front);
+    assert_eq!(snapshot.get("replicas_total").unwrap().as_f64(), Some(2.0));
+    assert_eq!(snapshot.get("replicas_up").unwrap().as_f64(), Some(2.0));
+    let replicas = snapshot.get("replicas").unwrap().as_array().unwrap();
+    let total_slices: f64 = replicas
+        .iter()
+        .map(|r| r.get("slices").unwrap().as_f64().unwrap())
+        .sum();
+    assert_eq!(
+        total_slices,
+        snapshot.get("slices").unwrap().as_f64().unwrap(),
+        "every slice has exactly one owner"
+    );
+
+    // ── staged rollout: push → verify → canary → compare → promote ──
+    let candidate = candidate_artifact_bytes();
+    let report = run_rollout(&RolloutPlan {
+        replicas: replica_addrs.clone(),
+        model_id: "fleet-v2".to_string(),
+        artifact: candidate,
+        canary: 0,
+        probes: probes.contracts().iter().map(|c| c.bytes.clone()).collect(),
+        timeout: Duration::from_secs(5),
+    })
+    .unwrap_or_else(|e| panic!("rollout failed: {e}\nlog:\n{}", e.log.join("\n")));
+    assert_eq!(report.model_id, "fleet-v2");
+    assert_eq!(report.fleet.len(), 2);
+    for (addr, model, epoch) in &report.fleet {
+        assert_eq!(model, "fleet-v2", "replica {addr} not promoted");
+        assert!(*epoch >= 1, "replica {addr} epoch did not bump");
+    }
+    // Routed traffic now reports the promoted model.
+    let reply = client
+        .request(
+            "POST",
+            "/scan",
+            Some(&hex_body(&probes.contracts()[0].bytes)),
+        )
+        .expect("post-rollout scan");
+    let verdict = Json::parse(&reply.body).expect("JSON");
+    assert_eq!(verdict.get("model").unwrap().as_str(), Some("fleet-v2"));
+
+    // ── replica loss: kill B, ring rebalances, survivor serves all ──
+    replica_b.stop().expect("replica B stops");
+    wait_for_up_count(front, 1);
+    for contract in probes.contracts() {
+        let reply = client
+            .request("POST", "/scan", Some(&hex_body(&contract.bytes)))
+            .expect("post-loss scan");
+        assert_eq!(
+            reply.status, 200,
+            "a key lost its owner after rebalance: {}",
+            reply.body
+        );
+    }
+    let snapshot = fleet_snapshot(front);
+    assert_eq!(snapshot.get("replicas_up").unwrap().as_f64(), Some(1.0));
+    assert!(
+        snapshot.get("rebalances").unwrap().as_f64().unwrap() >= 1.0,
+        "the ring must have rebalanced"
+    );
+
+    // Router metrics page is well-formed and counts the traffic.
+    let metrics = http_call(front, "GET", "/metrics", None).expect("router metrics");
+    assert!(metrics
+        .body
+        .contains("scamdetect_fleet_scan_requests_total"));
+    assert!(metrics.body.contains("scamdetect_fleet_replicas_up 1"));
+
+    // ── clean shutdown: router then survivor; port closes ───────────
+    router.stop().expect("router thread joins");
+    assert!(
+        std::net::TcpStream::connect_timeout(&front, Duration::from_millis(300)).is_err(),
+        "the router port must be closed after shutdown"
+    );
+    replica_a.stop().expect("replica A stops");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn dead_fleet_degrades_to_503_with_retry_after() {
+    // A port that refuses connections: bind, snapshot, drop.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        listener.local_addr().expect("addr")
+    };
+    let router = spawn_router(RouterConfig {
+        replicas: vec![dead_addr],
+        probe_interval: Duration::from_millis(100),
+        probe_timeout: Duration::from_millis(100),
+        retry_after_s: 2,
+        ..RouterConfig::default()
+    })
+    .expect("router spawns");
+
+    // Raw socket: the header must actually be on the wire.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(router.addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let body = r#"{"bytecode": "6001600155"}"#;
+    write!(
+        stream,
+        "POST /scan HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("reads");
+    assert!(
+        raw.starts_with("HTTP/1.1 503"),
+        "a dead fleet must answer 503, got: {raw}"
+    );
+    assert!(
+        raw.contains("Retry-After: 2"),
+        "503 must carry Retry-After, got: {raw}"
+    );
+
+    router.stop().expect("router stops");
+}

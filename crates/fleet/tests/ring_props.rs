@@ -1,0 +1,79 @@
+//! The two properties the fleet stands on, checked over random fleets:
+//! near-fair key distribution at 64 vnodes, and removal remapping only
+//! the removed replica's share.
+
+use proptest::prelude::*;
+use scamdetect_fleet::ring::{HashRing, DEFAULT_VNODES};
+
+/// Distinct replica ids shaped like real fleet members.
+fn replica_ids(n: usize, salt: u64) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.{salt}.{i}:7878")).collect()
+}
+
+proptest! {
+    /// At 64 vnodes, every replica's share of a large key sample stays
+    /// within ±25% of fair. 16384 keys over ≤8 replicas leaves ≥2048
+    /// expected keys per replica — enough sample mass that a violation
+    /// means skew in the ring, not noise in the draw.
+    #[test]
+    fn keys_distribute_within_25_percent_of_fair(
+        n in 2usize..=8,
+        salt in 0u64..200,
+        key_seed in any::<u64>(),
+    ) {
+        let ids = replica_ids(n, salt);
+        let ring = HashRing::build(&ids, DEFAULT_VNODES);
+        const KEYS: usize = 16_384;
+        let mut counts = std::collections::HashMap::<String, usize>::new();
+        for i in 0..KEYS {
+            // Keys modelled as arbitrary 64-bit skeleton fingerprints.
+            let key = key_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let owner = ring.owner_of(key).expect("non-empty ring").to_string();
+            *counts.entry(owner).or_default() += 1;
+        }
+        let fair = KEYS as f64 / n as f64;
+        for id in &ids {
+            let got = counts.get(id).copied().unwrap_or(0) as f64;
+            let deviation = (got - fair).abs() / fair;
+            prop_assert!(
+                deviation <= 0.25,
+                "replica {} owns {} of {} keys ({:.1}% from fair share {:.0})",
+                id, got, KEYS, deviation * 100.0, fair
+            );
+        }
+    }
+
+    /// Removing one replica moves ONLY the keys it owned: every key a
+    /// survivor owned before is owned by the same survivor after, and
+    /// every orphaned key lands on some survivor.
+    #[test]
+    fn removal_remaps_only_the_removed_share(
+        n in 2usize..=8,
+        salt in 200u64..400,
+        victim_index in any::<u64>(),
+        key_seed in any::<u64>(),
+    ) {
+        let ids = replica_ids(n, salt);
+        let victim = ids[(victim_index % n as u64) as usize].clone();
+        let survivors: Vec<String> =
+            ids.iter().filter(|id| **id != victim).cloned().collect();
+        let before = HashRing::build(&ids, DEFAULT_VNODES);
+        let after = HashRing::build(&survivors, DEFAULT_VNODES);
+        for i in 0..4096u64 {
+            let key = key_seed ^ i.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            let owner_before = before.owner_of(key).expect("non-empty");
+            let owner_after = after.owner_of(key).expect("non-empty");
+            if owner_before == victim {
+                prop_assert!(
+                    owner_after != victim,
+                    "orphaned key {key:#x} still maps to the removed replica"
+                );
+            } else {
+                prop_assert_eq!(
+                    owner_before, owner_after,
+                    "key {:#x} moved between survivors", key
+                );
+            }
+        }
+    }
+}

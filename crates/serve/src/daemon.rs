@@ -7,8 +7,10 @@
 //! | `/scan`               | POST   | score one contract                          |
 //! | `/batch`              | POST   | score many (dedup + parallel workers)       |
 //! | `/models`             | GET    | artifacts on disk + which one is active     |
-//! | `/models/reload`      | POST   | re-resolve the models dir, hot-swap if new  |
-//! | `/healthz`            | GET    | liveness + served model id                  |
+//! | `/models/reload`      | POST   | re-resolve (or pin via body), hot-swap      |
+//! | `/models/<id>`        | PUT    | install pushed artifact bytes (no swap)     |
+//! | `/models/<id>`        | DELETE | delete an idle artifact                     |
+//! | `/healthz`            | GET    | liveness + model/epoch/cache snapshot       |
 //! | `/metrics`            | GET    | Prometheus text format                      |
 //!
 //! Every scan response names the `model`/`model_epoch` that produced
@@ -168,10 +170,29 @@ fn route(
         }
         ("POST", "/models/reload") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
-            handle_reload(registry, metrics)
+            handle_reload(registry, metrics, request)
+        }
+        // `/models/reload` is claimed by the arm above; any other
+        // non-empty suffix is a model id ("reload" itself can never be
+        // an artifact name over the wire).
+        ("PUT", path) if model_id_of(path).is_some() => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_install(
+                registry,
+                metrics,
+                model_id_of(path).expect("guard"),
+                request,
+            )
+        }
+        ("DELETE", path) if model_id_of(path).is_some() => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_remove(registry, model_id_of(path).expect("guard"))
         }
         ("GET", "/healthz") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            // The full snapshot a router needs for staleness-aware
+            // decisions — plain `status == ok` + HTTP 200 still works
+            // for old probes that ignore the rest.
             let model = registry.model();
             HttpResponse::json(
                 200,
@@ -179,7 +200,18 @@ fn route(
                     ("status", Json::from("ok")),
                     ("model", Json::from(model.id.as_str())),
                     ("model_epoch", Json::from(model.epoch)),
+                    ("kind", Json::from(model.kind.as_str())),
+                    ("threshold", Json::from(model.threshold)),
+                    ("swaps", Json::from(registry.swap_count())),
                     ("uptime_s", Json::from(registry.uptime_s())),
+                    (
+                        "verdict_cache_entries",
+                        Json::from(model.scanner.cache_len() as u64),
+                    ),
+                    (
+                        "prep_cache_entries",
+                        Json::from(registry.prep_cache().len() as u64),
+                    ),
                 ]),
             )
         }
@@ -202,6 +234,10 @@ fn route(
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, "use POST")
         }
+        (_, path) if model_id_of(path).is_some() => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(405, "use PUT or DELETE")
+        }
         (_, "/models" | "/healthz" | "/metrics") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, "use GET")
@@ -211,6 +247,14 @@ fn route(
             HttpResponse::error(404, "no such route")
         }
     }
+}
+
+/// The `<id>` of a `/models/<id>` path, `None` for `/models/reload`
+/// (that is an action, not an artifact) and for paths outside the
+/// models namespace. Id *validity* is the registry's call.
+fn model_id_of(path: &str) -> Option<&str> {
+    path.strip_prefix("/models/")
+        .filter(|id| !id.is_empty() && *id != "reload")
 }
 
 fn parse_body(request: &HttpRequest) -> Result<Json, HttpResponse> {
@@ -388,8 +432,91 @@ fn handle_models(registry: &ModelRegistry) -> HttpResponse {
     }
 }
 
-fn handle_reload(registry: &ModelRegistry, metrics: &Metrics) -> HttpResponse {
-    match registry.reload() {
+/// Installs pushed artifact bytes as `<id>.scam`. The body is the raw
+/// binary artifact; an optional `x-artifact-fnv1a` header (hex, with or
+/// without `0x`) is the end-to-end checksum handshake — mismatch is a
+/// 409 and nothing lands on disk.
+fn handle_install(
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    id: &str,
+    request: &HttpRequest,
+) -> HttpResponse {
+    let expected = match request.header("x-artifact-fnv1a") {
+        Some(raw) => {
+            let digits = raw.strip_prefix("0x").unwrap_or(raw);
+            match u64::from_str_radix(digits, 16) {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    return HttpResponse::error(
+                        400,
+                        "x-artifact-fnv1a must be a hex u64 (e.g. 0x1a2b3c)",
+                    )
+                }
+            }
+        }
+        None => None,
+    };
+    if request.body.is_empty() {
+        return HttpResponse::error(400, "empty body: expected ModelArtifact bytes");
+    }
+    match registry.install_artifact(id, &request.body, expected) {
+        Ok(outcome) => {
+            metrics.model_installs.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json(
+                200,
+                &obj([
+                    ("installed", Json::from(outcome.id.as_str())),
+                    ("bytes", Json::from(outcome.bytes)),
+                    (
+                        "fnv1a",
+                        Json::from(format!("{:#018x}", outcome.fingerprint)),
+                    ),
+                    ("replaced", Json::from(outcome.replaced)),
+                ]),
+            )
+        }
+        Err(e @ ServeError::ChecksumMismatch { .. }) => HttpResponse::error(409, &e.to_string()),
+        Err(e @ ServeError::InvalidModelId { .. }) => HttpResponse::error(400, &e.to_string()),
+        Err(e @ ServeError::Artifact(_)) => {
+            HttpResponse::error(422, &format!("artifact rejected: {e}"))
+        }
+        Err(e) => HttpResponse::error(500, &e.to_string()),
+    }
+}
+
+fn handle_remove(registry: &ModelRegistry, id: &str) -> HttpResponse {
+    match registry.remove_artifact(id) {
+        Ok(()) => HttpResponse::json(200, &obj([("deleted", Json::from(id))])),
+        Err(e @ ServeError::ActiveModel { .. }) => HttpResponse::error(409, &e.to_string()),
+        Err(e @ ServeError::UnknownModel { .. }) => HttpResponse::error(404, &e.to_string()),
+        Err(e @ ServeError::InvalidModelId { .. }) => HttpResponse::error(400, &e.to_string()),
+        Err(e) => HttpResponse::error(500, &e.to_string()),
+    }
+}
+
+/// `POST /models/reload`: empty body re-resolves the directory (pin or
+/// sort order); a `{"model": "<id>"}` body is a one-shot pin to exactly
+/// that artifact — the canary/rollback primitive.
+fn handle_reload(
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    request: &HttpRequest,
+) -> HttpResponse {
+    let pin: Option<String> = if request.body.is_empty() {
+        None
+    } else {
+        let body = match parse_body(request) {
+            Ok(body) => body,
+            Err(response) => return response,
+        };
+        match body.get("model") {
+            Some(Json::Str(id)) => Some(id.clone()),
+            Some(_) => return HttpResponse::error(400, "'model' must be a string"),
+            None => None,
+        }
+    };
+    match registry.reload_with(pin.as_deref()) {
         Ok(outcome) => {
             if outcome.swapped {
                 metrics.model_swaps.fetch_add(1, Ordering::Relaxed);

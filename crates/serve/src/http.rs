@@ -104,6 +104,10 @@ pub struct HttpResponse {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value) beyond the always-present
+    /// `Content-Type`/`Content-Length`/`Connection` trio — e.g. the
+    /// fleet router's `Retry-After` on 503.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -114,6 +118,7 @@ impl HttpResponse {
         HttpResponse {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: value.render().into_bytes(),
         }
     }
@@ -123,6 +128,7 @@ impl HttpResponse {
         HttpResponse {
             status,
             content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -133,6 +139,12 @@ impl HttpResponse {
             status,
             &crate::json::obj([("error", crate::json::Json::from(message))]),
         )
+    }
+
+    /// Attaches one extra response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> HttpResponse {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -600,14 +612,19 @@ fn write_response(
     response: &HttpResponse,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_reason(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &response.headers {
+        use std::fmt::Write as _;
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()

@@ -41,6 +41,8 @@ pub struct Metrics {
     pub scan_failures: AtomicU64,
     /// Completed hot model swaps.
     pub model_swaps: AtomicU64,
+    /// Artifacts accepted through `PUT /models/<id>`.
+    pub model_installs: AtomicU64,
     ring: [AtomicU64; LATENCY_RING],
     ring_next: AtomicUsize,
 }
@@ -58,6 +60,7 @@ impl Default for Metrics {
             malicious_verdicts: AtomicU64::new(0),
             scan_failures: AtomicU64::new(0),
             model_swaps: AtomicU64::new(0),
+            model_installs: AtomicU64::new(0),
             ring: [const { AtomicU64::new(EMPTY) }; LATENCY_RING],
             ring_next: AtomicUsize::new(0),
         }
@@ -177,6 +180,11 @@ impl Metrics {
             "scamdetect_model_swaps_total",
             "completed hot model swaps",
             self.model_swaps.load(Ordering::Relaxed),
+        );
+        counter(
+            "scamdetect_model_installs_total",
+            "artifacts accepted through PUT /models/<id>",
+            self.model_installs.load(Ordering::Relaxed),
         );
 
         let (p50, p99) = self.latency_percentiles_us();

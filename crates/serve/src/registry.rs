@@ -86,6 +86,27 @@ pub enum ServeError {
         /// The scanned directory.
         dir: String,
     },
+    /// A model id unfit to become a file stem (empty, too long, or
+    /// holding characters outside `[A-Za-z0-9._-]`).
+    InvalidModelId {
+        /// The rejected id.
+        id: String,
+    },
+    /// Pushed artifact bytes did not hash to the checksum the sender
+    /// claimed — the transfer (or the sender) is corrupt.
+    ChecksumMismatch {
+        /// The target id.
+        id: String,
+        /// The checksum the sender claimed.
+        expected: u64,
+        /// FNV-1a over the bytes actually received.
+        actual: u64,
+    },
+    /// Refusing to delete the artifact currently being served.
+    ActiveModel {
+        /// The active id.
+        id: String,
+    },
     /// The artifact exists but cannot be parsed/reconstructed.
     Artifact(ScamDetectError),
 }
@@ -99,6 +120,27 @@ impl fmt::Display for ServeError {
             }
             ServeError::UnknownModel { id, dir } => {
                 write!(f, "no artifact named '{id}.scam' in {dir}")
+            }
+            ServeError::InvalidModelId { id } => {
+                write!(
+                    f,
+                    "invalid model id '{id}': want 1-64 chars of [A-Za-z0-9._-], \
+                     not starting with '.'"
+                )
+            }
+            ServeError::ChecksumMismatch {
+                id,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "artifact '{id}' checksum mismatch: sender claimed \
+                     {expected:#018x}, received bytes hash to {actual:#018x}"
+                )
+            }
+            ServeError::ActiveModel { id } => {
+                write!(f, "model '{id}' is currently being served")
             }
             ServeError::Artifact(e) => write!(f, "{e}"),
         }
@@ -159,6 +201,20 @@ pub struct ReloadOutcome {
     pub epoch: u64,
 }
 
+/// Outcome of a [`ModelRegistry::install_artifact`].
+#[derive(Debug, Clone)]
+pub struct InstallOutcome {
+    /// The installed id.
+    pub id: String,
+    /// Artifact size in bytes.
+    pub bytes: u64,
+    /// FNV-1a over the artifact bytes (what a later reload will see).
+    pub fingerprint: u64,
+    /// `true` when an artifact with this id already existed and was
+    /// replaced.
+    pub replaced: bool,
+}
+
 /// See the module docs.
 pub struct ModelRegistry {
     config: RegistryConfig,
@@ -194,7 +250,7 @@ impl ModelRegistry {
     /// errors otherwise.
     pub fn open(config: RegistryConfig) -> Result<ModelRegistry, ServeError> {
         let prep = PrepCache::shared(config.prep_capacity);
-        let (id, path) = resolve_active(&config)?;
+        let (id, path) = resolve_active(&config, None)?;
         let model = load_model(&config, &prep, &id, &path, 0)?;
         Ok(ModelRegistry {
             config,
@@ -238,6 +294,22 @@ impl ModelRegistry {
     /// Everything [`ModelRegistry::open`] can raise. On error the old
     /// model keeps serving — a bad reload is observable, never fatal.
     pub fn reload(&self) -> Result<ReloadOutcome, ServeError> {
+        self.reload_with(None)
+    }
+
+    /// [`ModelRegistry::reload`] with a one-shot pin override: swap to
+    /// exactly `pin` regardless of the configured pin or sort order.
+    /// This is the rollout primitive — a canary swaps to the pushed
+    /// candidate, and an abort swaps back to the previous id — and it
+    /// is also the rollback path when a bad artifact happens to sort
+    /// last. The override applies to this call only; it does not
+    /// change the configured pin.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelRegistry::reload`] can raise, plus
+    /// [`ServeError::UnknownModel`] when `pin` has no artifact.
+    pub fn reload_with(&self, pin: Option<&str>) -> Result<ReloadOutcome, ServeError> {
         // One reload at a time, end to end: resolve → compare → build →
         // swap. Concurrent `POST /models/reload` calls queue here (each
         // sees the directory as of its own turn); scans are unaffected.
@@ -245,7 +317,7 @@ impl ModelRegistry {
             .reload_lock
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let (id, path) = resolve_active(&self.config)?;
+        let (id, path) = resolve_active(&self.config, pin)?;
         let bytes = read_artifact_bytes(&path)?;
         let fingerprint = fnv1a(&bytes);
         {
@@ -270,6 +342,102 @@ impl ModelRegistry {
             swapped: true,
             active: model.id.clone(),
             epoch,
+        })
+    }
+
+    /// Installs pushed artifact bytes as `<id>.scam` in the models
+    /// directory — the server half of `PUT /models/<id>`.
+    ///
+    /// The bytes must parse as a valid [`ModelArtifact`] (which checks
+    /// the embedded per-section checksums), and when the sender claims
+    /// a whole-file FNV-1a via `expected_fnv1a` the received bytes must
+    /// hash to it. The write is atomic (temp file + rename), so a
+    /// concurrent reload can never observe a half-written artifact.
+    /// Installing does **not** swap; the caller decides when to reload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidModelId`], [`ServeError::ChecksumMismatch`],
+    /// artifact parse errors, and I/O errors.
+    pub fn install_artifact(
+        &self,
+        id: &str,
+        bytes: &[u8],
+        expected_fnv1a: Option<u64>,
+    ) -> Result<InstallOutcome, ServeError> {
+        validate_model_id(id)?;
+        let actual = fnv1a(bytes);
+        if let Some(expected) = expected_fnv1a {
+            if expected != actual {
+                return Err(ServeError::ChecksumMismatch {
+                    id: id.to_string(),
+                    expected,
+                    actual,
+                });
+            }
+        }
+        // Reject garbage before it lands on disk: a broken file would
+        // poison every later sort-order reload.
+        ModelArtifact::from_bytes(bytes)?;
+
+        // Serialize against reloads so a reload never runs between our
+        // existence check and the rename (the rename itself is atomic;
+        // the lock just keeps `replaced` truthful and installs ordered).
+        let _serialized = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let final_path = self.config.models_dir.join(format!("{id}.scam"));
+        let replaced = final_path.exists();
+        let tmp_path = self
+            .config
+            .models_dir
+            .join(format!("{id}.scam.tmp-{}", std::process::id()));
+        let io_err = |path: &Path, e: std::io::Error| ServeError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        std::fs::write(&tmp_path, bytes).map_err(|e| io_err(&tmp_path, e))?;
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+            std::fs::remove_file(&tmp_path).ok();
+            io_err(&final_path, e)
+        })?;
+        Ok(InstallOutcome {
+            id: id.to_string(),
+            bytes: bytes.len() as u64,
+            fingerprint: actual,
+            replaced,
+        })
+    }
+
+    /// Deletes `<id>.scam` from the models directory — the server half
+    /// of `DELETE /models/<id>`, used by an aborted rollout to clean up
+    /// the rejected candidate.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ActiveModel`] when `id` is currently serving
+    /// (swap away first), [`ServeError::UnknownModel`] when no such
+    /// artifact exists, [`ServeError::InvalidModelId`], I/O errors.
+    pub fn remove_artifact(&self, id: &str) -> Result<(), ServeError> {
+        validate_model_id(id)?;
+        let _serialized = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if self.model().id == id {
+            return Err(ServeError::ActiveModel { id: id.to_string() });
+        }
+        let path = self.config.models_dir.join(format!("{id}.scam"));
+        if !path.exists() {
+            return Err(ServeError::UnknownModel {
+                id: id.to_string(),
+                dir: self.config.models_dir.display().to_string(),
+            });
+        }
+        std::fs::remove_file(&path).map_err(|e| ServeError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
         })
     }
 
@@ -319,16 +487,39 @@ fn artifact_files(dir: &Path) -> Result<Vec<(String, PathBuf)>, ServeError> {
     Ok(found)
 }
 
-/// Which artifact should serve: the pinned id, or the lexicographically
-/// last stem.
-fn resolve_active(config: &RegistryConfig) -> Result<(String, PathBuf), ServeError> {
+/// A model id doubles as a file stem, so constrain it to boring
+/// filesystem-safe names: 1–64 chars of `[A-Za-z0-9._-]`, not starting
+/// with `.` (no hidden files, no `..` traversal, no separators).
+fn validate_model_id(id: &str) -> Result<(), ServeError> {
+    let ok = !id.is_empty()
+        && id.len() <= 64
+        && !id.starts_with('.')
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(ServeError::InvalidModelId { id: id.to_string() })
+    }
+}
+
+/// Which artifact should serve: the one-shot override pin, the
+/// configured pin, or the lexicographically last stem.
+fn resolve_active(
+    config: &RegistryConfig,
+    pin_override: Option<&str>,
+) -> Result<(String, PathBuf), ServeError> {
     let mut files = artifact_files(&config.models_dir)?;
     if files.is_empty() {
         return Err(ServeError::NoModels {
             dir: config.models_dir.display().to_string(),
         });
     }
-    match &config.pinned {
+    let pinned = pin_override
+        .map(str::to_string)
+        .or_else(|| config.pinned.clone());
+    match &pinned {
         Some(id) => files
             .into_iter()
             .find(|(stem, _)| stem == id)
@@ -494,6 +685,92 @@ mod tests {
         let list = registry.list().expect("lists");
         assert_eq!(list.len(), 3);
         assert!(list.iter().any(|e| e.id == "m-v2" && e.active));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn install_checksums_validates_and_is_atomic_then_remove_guards_active() {
+        let dir = temp_models_dir("install");
+        std::fs::write(dir.join("m-v1.scam"), train_artifact_bytes(1)).unwrap();
+        let registry = ModelRegistry::open(config(&dir)).expect("opens");
+
+        let bytes = train_artifact_bytes(2);
+        let checksum = fnv1a(&bytes);
+
+        // Wrong claimed checksum ⇒ rejected, nothing lands on disk.
+        let err = registry.install_artifact("m-v2", &bytes, Some(checksum ^ 1));
+        assert!(matches!(err, Err(ServeError::ChecksumMismatch { .. })));
+        assert!(!dir.join("m-v2.scam").exists());
+
+        // Garbage bytes ⇒ rejected even with an honest checksum.
+        let err = registry.install_artifact("m-bad", b"garbage", Some(fnv1a(b"garbage")));
+        assert!(matches!(err, Err(ServeError::Artifact(_))));
+        assert!(!dir.join("m-bad.scam").exists());
+
+        // Hostile ids never touch the filesystem.
+        for id in ["", ".hidden", "a/b", "..", &"x".repeat(65)] {
+            assert!(matches!(
+                registry.install_artifact(id, &bytes, None),
+                Err(ServeError::InvalidModelId { .. })
+            ));
+        }
+
+        // The honest push installs without swapping; reload promotes it.
+        let outcome = registry
+            .install_artifact("m-v2", &bytes, Some(checksum))
+            .expect("installs");
+        assert!(!outcome.replaced);
+        assert_eq!(outcome.fingerprint, checksum);
+        assert_eq!(registry.model().id, "m-v1", "install does not swap");
+        let reload = registry.reload().expect("reloads");
+        assert!(reload.swapped);
+        assert_eq!(reload.active, "m-v2");
+
+        // Re-push of the same id reports the replacement.
+        assert!(
+            registry
+                .install_artifact("m-v2", &bytes, None)
+                .expect("reinstalls")
+                .replaced
+        );
+
+        // The serving artifact is delete-protected; the idle one is not.
+        assert!(matches!(
+            registry.remove_artifact("m-v2"),
+            Err(ServeError::ActiveModel { .. })
+        ));
+        registry.remove_artifact("m-v1").expect("removes idle");
+        assert!(!dir.join("m-v1.scam").exists());
+        assert!(matches!(
+            registry.remove_artifact("m-v1"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_with_pin_override_swaps_to_exact_id_and_back() {
+        let dir = temp_models_dir("pinswap");
+        std::fs::write(dir.join("m-v1.scam"), train_artifact_bytes(1)).unwrap();
+        std::fs::write(dir.join("m-v2.scam"), train_artifact_bytes(2)).unwrap();
+        let registry = ModelRegistry::open(config(&dir)).expect("opens");
+        assert_eq!(registry.model().id, "m-v2");
+
+        // Canary-style: swap *backwards* against sort order.
+        let outcome = registry.reload_with(Some("m-v1")).expect("pins");
+        assert!(outcome.swapped);
+        assert_eq!(outcome.active, "m-v1");
+        assert_eq!(registry.model().id, "m-v1");
+
+        // The override is one-shot: a plain reload reverts to sort order.
+        let outcome = registry.reload().expect("reloads");
+        assert!(outcome.swapped);
+        assert_eq!(outcome.active, "m-v2");
+
+        assert!(matches!(
+            registry.reload_with(Some("m-v9")),
+            Err(ServeError::UnknownModel { .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

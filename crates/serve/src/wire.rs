@@ -59,6 +59,64 @@
 //! {"requests": [{"bytecode": "…"}, {"bytecode": "…"}]}
 //! {"results": [{…scan response…}, {"error": "…"}]}
 //! ```
+//!
+//! # Health (`GET /healthz`)
+//!
+//! Always HTTP 200 while the daemon is up — old probes may keep
+//! checking only the status code. The body carries the snapshot a
+//! fleet router needs for staleness-aware decisions:
+//!
+//! ```json
+//! {
+//!   "status": "ok",
+//!   "model": "rf-v3",
+//!   "model_epoch": 2,
+//!   "kind": "random_forest[unified]",
+//!   "threshold": 0.5,
+//!   "swaps": 2,
+//!   "uptime_s": 86400,
+//!   "verdict_cache_entries": 4096,
+//!   "prep_cache_entries": 4096
+//! }
+//! ```
+//!
+//! # Artifact push (`PUT /models/<id>`)
+//!
+//! The request body is the **raw binary** [`ModelArtifact`] bytes (the
+//! same `<id>.scam` file `scamdetect-cli train --save` writes) — no
+//! JSON envelope, no base64. The optional `x-artifact-fnv1a` header is
+//! an end-to-end checksum handshake: FNV-1a over the whole body, hex
+//! (`0x` prefix optional). The daemon re-hashes what it received and
+//! answers **409** on mismatch, installing nothing; it also parses the
+//! artifact (which verifies the embedded per-section checksums) before
+//! the atomic write, answering **422** for structurally broken bytes
+//! and **400** for an unusable id (want 1–64 chars of `[A-Za-z0-9._-]`,
+//! not starting with `.`). Success:
+//!
+//! ```json
+//! {"installed": "rf-v4", "bytes": 18204,
+//!  "fnv1a": "0x1a2b3c4d5e6f7a8b", "replaced": false}
+//! ```
+//!
+//! Installing never swaps: the artifact lands in the models directory
+//! and waits for a reload. `DELETE /models/<id>` removes an idle
+//! artifact (409 when `<id>` is being served, 404 when absent) — the
+//! cleanup half of an aborted rollout.
+//!
+//! # Reload (`POST /models/reload`)
+//!
+//! Empty body: re-resolve the models directory (configured pin, else
+//! lexicographically last stem) and swap if the artifact changed. With
+//! a body `{"model": "<id>"}`: a one-shot pin to exactly that artifact
+//! regardless of sort order — how a rollout canaries one replica onto
+//! a pushed candidate and how an abort rolls it back. Response either
+//! way:
+//!
+//! ```json
+//! {"swapped": true, "active": "rf-v4", "model_epoch": 3}
+//! ```
+//!
+//! [`ModelArtifact`]: scamdetect::ModelArtifact
 
 use crate::json::{obj, Json};
 use crate::registry::ServingModel;

@@ -6,6 +6,7 @@
 //! scamdetect-cli scan <hexfile> [options]     scan one contract
 //! scamdetect-cli batch <hexfile>... [options] scan many (dedup + parallel)
 //! scamdetect-cli serve --models-dir <dir>     run the scanning daemon (see below)
+//! scamdetect-cli fleet <serve|status|rollout> multi-replica fleet operations (see below)
 //! scamdetect-cli demo                         end-to-end demonstration
 //!
 //! serve options:
@@ -28,6 +29,19 @@
 //!   curl -X POST localhost:7878/scan -d '{"bytecode": "0x6001…"}'
 //!   scamdetect-cli train --save models/rf-v2.scam --seed 43
 //!   curl -X POST localhost:7878/models/reload     # hot swap, zero downtime
+//!
+//! fleet subcommands (topology: `scamdetect_fleet` crate docs):
+//!   fleet serve --replicas <h:p,h:p,...>           run the consistent-hash front-door
+//!               [--addr <host:port>]               router over running serve replicas
+//!               [--vnodes <n>]                     (default addr 127.0.0.1:7800,
+//!                                                  64 vnodes per replica)
+//!   fleet status --router <host:port>              print ring topology, shard shares
+//!                                                  and per-replica health
+//!   fleet rollout --replicas <h:p,h:p,...>         staged artifact rollout: push to
+//!                 --artifact <path>                 every replica (checksum handshake),
+//!                 --model-id <id>                   hot-swap one canary, judge it on
+//!                 [--canary <index>]                probe scans, then promote
+//!                 [--probe <hexfile>]...            fleet-wide (aborts roll back)
 //!
 //! train options:
 //!   --save <path>                                  artifact output path (required)
@@ -75,9 +89,10 @@ fn main() -> ExitCode {
         Some("scan") => cmd_scan(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!("usage: scamdetect-cli <inspect|train|scan|batch|serve|demo> [args]");
+            eprintln!("usage: scamdetect-cli <inspect|train|scan|batch|serve|fleet|demo> [args]");
             eprintln!("       see crate docs for options");
             return ExitCode::from(2);
         }
@@ -537,6 +552,212 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("serve needs --models-dir <dir> (train one with: train --save <dir>/model-v1.scam)")?
         .into();
     serve(config)?;
+    Ok(())
+}
+
+fn parse_replicas(list: &str) -> Result<Vec<std::net::SocketAddr>, Box<dyn std::error::Error>> {
+    let replicas: Vec<std::net::SocketAddr> = list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|e| format!("replica address '{s}': {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if replicas.is_empty() {
+        return Err("--replicas needs at least one host:port".into());
+    }
+    Ok(replicas)
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_fleet_serve(&args[1..]),
+        Some("status") => cmd_fleet_status(&args[1..]),
+        Some("rollout") => cmd_fleet_rollout(&args[1..]),
+        _ => Err("usage: scamdetect-cli fleet <serve|status|rollout> [args]".into()),
+    }
+}
+
+fn cmd_fleet_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use scamdetect_fleet::{spawn_router, RouterConfig};
+
+    let mut config = RouterConfig {
+        addr: "127.0.0.1:7800".to_string(),
+        ..RouterConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
+            let flag = args[*i].clone();
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = value(&mut i)?,
+            "--replicas" => config.replicas = parse_replicas(&value(&mut i)?)?,
+            "--vnodes" => {
+                config.vnodes = value(&mut i)?.parse()?;
+                if config.vnodes == 0 {
+                    return Err("--vnodes must be at least 1".into());
+                }
+            }
+            "--http-workers" => config.workers = value(&mut i)?.parse()?,
+            other => return Err(format!("unknown fleet serve option '{other}'").into()),
+        }
+        i += 1;
+    }
+    if config.replicas.is_empty() {
+        return Err("fleet serve needs --replicas <host:port,host:port,...>".into());
+    }
+    let router = spawn_router(config.clone())?;
+    eprintln!(
+        "scamdetect-fleet: routing on http://{} over {} replicas ({} ring slices)",
+        router.addr,
+        config.replicas.len(),
+        router.state.shares().iter().map(|(_, n)| n).sum::<usize>(),
+    );
+    scamdetect_serve::http::shutdown_on_signals(router.shutdown.clone());
+    let stats = router
+        .join()
+        .unwrap_or_else(|_| panic!("router thread panicked"));
+    eprintln!(
+        "scamdetect-fleet: drained and stopped ({} connections, {} requests)",
+        stats.connections, stats.requests
+    );
+    Ok(())
+}
+
+fn cmd_fleet_status(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use scamdetect_serve::client::http_call;
+    use scamdetect_serve::json::Json;
+
+    let mut router: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--router" => {
+                i += 1;
+                router = Some(args.get(i).ok_or("--router needs a value")?.clone());
+            }
+            other => return Err(format!("unknown fleet status option '{other}'").into()),
+        }
+        i += 1;
+    }
+    let addr: std::net::SocketAddr = router
+        .ok_or("fleet status needs --router <host:port>")?
+        .parse()?;
+    let reply = http_call(addr, "GET", "/fleet", None)?;
+    if reply.status != 200 {
+        return Err(format!("router answered {}: {}", reply.status, reply.body).into());
+    }
+    let fleet = Json::parse(&reply.body)?;
+    let field = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "fleet @ {addr}: {}/{} replicas up, {} slices over {} vnodes, {} rebalances",
+        field(&fleet, "replicas_up"),
+        field(&fleet, "replicas_total"),
+        field(&fleet, "slices"),
+        field(&fleet, "vnodes"),
+        field(&fleet, "rebalances"),
+    );
+    for replica in fleet
+        .get("replicas")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
+        let id = replica.get("id").and_then(Json::as_str).unwrap_or("?");
+        let up = replica.get("up").and_then(Json::as_bool).unwrap_or(false);
+        let model = replica.get("model").and_then(Json::as_str).unwrap_or("-");
+        println!(
+            "  {:<24} {:<4} {:>5} slices  model {} (epoch {})",
+            id,
+            if up { "up" } else { "DOWN" },
+            field(replica, "slices"),
+            model,
+            field(replica, "model_epoch"),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fleet_rollout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use scamdetect_fleet::{run_rollout, RolloutPlan};
+
+    let mut replicas = Vec::new();
+    let mut artifact: Option<String> = None;
+    let mut model_id: Option<String> = None;
+    let mut canary = 0usize;
+    let mut probes: Vec<Vec<u8>> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
+            let flag = args[*i].clone();
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match args[i].as_str() {
+            "--replicas" => replicas = parse_replicas(&value(&mut i)?)?,
+            "--artifact" => artifact = Some(value(&mut i)?),
+            "--model-id" => model_id = Some(value(&mut i)?),
+            "--canary" => canary = value(&mut i)?.parse()?,
+            "--probe" => probes.push(read_contract(&value(&mut i)?)?),
+            other => return Err(format!("unknown fleet rollout option '{other}'").into()),
+        }
+        i += 1;
+    }
+    if replicas.is_empty() {
+        return Err("fleet rollout needs --replicas <host:port,host:port,...>".into());
+    }
+    let artifact = artifact.ok_or("fleet rollout needs --artifact <path>")?;
+    let model_id = model_id.ok_or("fleet rollout needs --model-id <id>")?;
+    if canary >= replicas.len() {
+        return Err(format!(
+            "--canary {canary} out of range for a {}-replica fleet",
+            replicas.len()
+        )
+        .into());
+    }
+    if probes.is_empty() {
+        // No operator probes: judge the canary on a small synthetic
+        // corpus instead of skipping the compare stage.
+        probes = Corpus::generate(&CorpusConfig {
+            size: 4,
+            seed: 42,
+            ..CorpusConfig::default()
+        })
+        .contracts()
+        .iter()
+        .map(|c| c.bytes.clone())
+        .collect();
+    }
+    let report = run_rollout(&RolloutPlan {
+        replicas,
+        model_id,
+        artifact: std::fs::read(&artifact).map_err(|e| format!("{artifact}: {e}"))?,
+        canary,
+        probes,
+        timeout: std::time::Duration::from_secs(10),
+    })
+    .map_err(|e| format!("{e}\nrollout log:\n  {}", e.log.join("\n  ")))?;
+    for line in &report.log {
+        eprintln!("{line}");
+    }
+    println!(
+        "rolled out '{}' (fnv1a {:#018x}) to {} replicas; canary was {}",
+        report.model_id,
+        report.checksum,
+        report.fleet.len(),
+        report.canary,
+    );
+    for (addr, model, epoch) in &report.fleet {
+        println!("  {addr}: model {model} (epoch {epoch})");
+    }
     Ok(())
 }
 

@@ -1,13 +1,26 @@
 //! Loopback load generator for the serving path: one replica direct
-//! (the PR-5 trajectory), or a 2-replica fleet behind the router
-//! (`--router`, the PR-6 trajectory).
+//! (the PR-5 trajectory), a 2-replica fleet behind the router
+//! (`--router`, the PR-6 trajectory), or one replica driven past
+//! saturation to measure graceful degradation (`--shed`, the PR-7
+//! trajectory).
 //!
 //! ```text
 //! cargo run --release -p scamdetect-fleet --bin serve_bench \
 //!     [-- --out BENCH_PR5.json --clients 4 --requests 800]
 //! cargo run --release -p scamdetect-fleet --bin serve_bench \
 //!     -- --router [--out BENCH_PR6.json --clients 4 --requests 800]
+//! cargo run --release -p scamdetect-fleet --bin serve_bench \
+//!     -- --shed [--out BENCH_PR7.json --requests 800]
 //! ```
+//!
+//! Shed mode floods a deliberately small daemon (2 workers, shed
+//! watermark 2) with close-per-request connections at ~2× saturation
+//! and gates on *honest degradation*: some load must actually be shed
+//! as `429 + Retry-After`, every reply must be a 200 verdict or a 429
+//! (nothing torn, nothing hung), and the p99 of **accepted** requests
+//! must stay within 5× the unloaded close-per-request p99 (floored at
+//! 500µs to keep shared-runner noise from failing an honest daemon) —
+//! shedding exists precisely so accepted traffic keeps its latency.
 //!
 //! Trains a small logistic-regression artifact, spawns the daemon(s)
 //! in-process on ephemeral loopback ports, then drives them with N
@@ -40,6 +53,7 @@ struct Options {
     clients: usize,
     requests: usize,
     router: bool,
+    shed: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -49,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
         clients: 4,
         requests: 800,
         router: false,
+        shed: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -61,6 +76,7 @@ fn parse_args() -> Result<Options, String> {
         match args[i].as_str() {
             "--out" => options.out_path = Some(value(&mut i)?),
             "--router" => options.router = true,
+            "--shed" => options.shed = true,
             "--clients" => {
                 options.clients = value(&mut i)?
                     .parse()
@@ -73,8 +89,8 @@ fn parse_args() -> Result<Options, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown option '{other}' (usage: serve_bench [--router] [--out <path>] \
-                     [--clients <n>] [--requests <n>])"
+                    "unknown option '{other}' (usage: serve_bench [--router | --shed] \
+                     [--out <path>] [--clients <n>] [--requests <n>])"
                 ))
             }
         }
@@ -82,6 +98,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if options.clients == 0 || options.requests == 0 {
         return Err("--clients and --requests must be at least 1".to_string());
+    }
+    if options.router && options.shed {
+        return Err("--router and --shed are separate modes; pick one".to_string());
     }
     Ok(options)
 }
@@ -181,6 +200,256 @@ fn spawn_replica(models_dir: &std::path::Path) -> RunningDaemon {
     spawn(config).expect("daemon spawns")
 }
 
+/// One close-per-request scan over a raw socket: connect, send, read
+/// to EOF, classify. Returns (status, whether a `Retry-After` header
+/// was present, total latency µs).
+fn one_shot_scan(addr: SocketAddr, body: &str) -> std::io::Result<(u16, bool, u64)> {
+    use std::io::{Read as _, Write as _};
+    let started = Instant::now();
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    let request = format!(
+        "POST /scan HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    // A shed connection may FIN before the whole request lands; the 429
+    // is still in the socket, so a write error is not a verdict — read.
+    let _ = stream.write_all(request.as_bytes());
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("unparseable reply: {raw:?}")))?;
+    let has_retry_after = raw.to_ascii_lowercase().contains("retry-after:");
+    Ok((
+        status,
+        has_retry_after,
+        started.elapsed().as_micros() as u64,
+    ))
+}
+
+/// The `--shed` mode: flood one deliberately small daemon at ~2×
+/// saturation with close-per-request connections and gate on honest,
+/// bounded degradation.
+#[allow(clippy::too_many_lines)]
+fn run_shed(options: &Options) -> ExitCode {
+    const WORKERS: usize = 2;
+    const WATERMARK: usize = 2;
+    // p99 floor: below this, the 5× multiplier is all shared-runner
+    // noise and no daemon could honestly fail or pass it.
+    const P99_FLOOR_US: u64 = 500;
+    let out_path = options
+        .out_path
+        .clone()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+
+    eprintln!("serve-bench: training the serving artifact…");
+    let base_dir =
+        std::env::temp_dir().join(format!("scamdetect-shed-bench-{}", std::process::id()));
+    let models_dir = base_dir.join("models");
+    if let Err(e) = std::fs::create_dir_all(&models_dir) {
+        eprintln!("serve-bench: cannot create {}: {e}", models_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let train_corpus = Corpus::generate(&CorpusConfig {
+        size: 80,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
+    ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&train_corpus)
+        .expect("trains")
+        .save(models_dir.join("bench-v1.scam"))
+        .expect("saves artifact");
+
+    // A deliberately small daemon: the point is to saturate it.
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    config.http.workers = WORKERS;
+    config.http.shed_watermark = WATERMARK;
+    config.http.retry_after_s = 1;
+    config.registry.models_dir = models_dir;
+    let daemon = spawn(config).expect("daemon spawns");
+    let addr = daemon.addr;
+    eprintln!("serve-bench: replica on http://{addr} ({WORKERS} workers, watermark {WATERMARK})");
+
+    let scan_corpus = Corpus::generate(&CorpusConfig {
+        size: 48,
+        seed: 12,
+        proxy_duplicates: 16,
+        ..CorpusConfig::default()
+    });
+    let bodies: Vec<String> = scan_corpus
+        .contracts()
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"bytecode": "{}"}}"#,
+                scamdetect_serve::wire::encode_hex(&c.bytes)
+            )
+        })
+        .collect();
+    warm(addr, &bodies);
+
+    // Calibration: unloaded close-per-request latency, one sequential
+    // client — the baseline the loaded p99 is gated against.
+    let calibration_requests = options.requests.clamp(1, 200);
+    eprintln!("serve-bench: calibrating unloaded latency ({calibration_requests} requests)…");
+    let mut unloaded: Vec<u64> = Vec::with_capacity(calibration_requests);
+    for i in 0..calibration_requests {
+        match one_shot_scan(addr, &bodies[i % bodies.len()]) {
+            Ok((200, _, us)) => unloaded.push(us),
+            Ok((status, _, _)) => {
+                eprintln!("serve-bench: unloaded request answered {status}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("serve-bench: unloaded request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    unloaded.sort_unstable();
+    let unloaded_p50 = percentile(&unloaded, 0.50);
+    let unloaded_p99 = percentile(&unloaded, 0.99);
+    eprintln!("serve-bench: unloaded p50 {unloaded_p50}µs, p99 {unloaded_p99}µs");
+
+    // The flood: 2× the daemon's total capacity (workers + queue
+    // slots) in concurrent close-per-request clients.
+    let flood_clients = 2 * (WORKERS + WATERMARK);
+    let per_client = options.requests.div_ceil(flood_clients);
+    eprintln!(
+        "serve-bench: flooding {} requests over {flood_clients} close-per-request clients…",
+        options.requests
+    );
+    let started = Instant::now();
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut shed = 0usize;
+    let mut shed_without_retry_after = 0usize;
+    let mut failures = 0usize;
+    std::thread::scope(|scope| {
+        let bodies = &bodies;
+        let handles: Vec<_> = (0..flood_clients)
+            .map(|client_idx| {
+                scope.spawn(move || {
+                    let mut local_accepted = Vec::with_capacity(per_client);
+                    let mut local_shed = 0usize;
+                    let mut local_bad_shed = 0usize;
+                    let mut local_failures = 0usize;
+                    for i in 0..per_client {
+                        match one_shot_scan(addr, &bodies[(client_idx + i * 7) % bodies.len()]) {
+                            Ok((200, _, us)) => local_accepted.push(us),
+                            Ok((429, retry_after, _)) => {
+                                local_shed += 1;
+                                if !retry_after {
+                                    local_bad_shed += 1;
+                                }
+                            }
+                            Ok((status, _, _)) => {
+                                eprintln!("serve-bench: unexpected status {status} under flood");
+                                local_failures += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("serve-bench: flood request failed: {e}");
+                                local_failures += 1;
+                            }
+                        }
+                    }
+                    (local_accepted, local_shed, local_bad_shed, local_failures)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local_accepted, local_shed, local_bad_shed, local_failures) =
+                handle.join().expect("flood thread");
+            accepted.extend(local_accepted);
+            shed += local_shed;
+            shed_without_retry_after += local_bad_shed;
+            failures += local_failures;
+        }
+    });
+    let flood_elapsed = started.elapsed().as_micros();
+    accepted.sort_unstable();
+    let accepted_p50 = percentile(&accepted, 0.50);
+    let accepted_p99 = percentile(&accepted, 0.99);
+    let total = accepted.len() + shed + failures;
+    let shed_rate = shed as f64 / (total as f64).max(1.0);
+
+    // The daemon's own ledger must agree that shedding happened.
+    let metrics_text = scamdetect_serve::client::http_call(addr, "GET", "/metrics", None)
+        .expect("metrics scrape")
+        .body;
+    let shed_counted = metrics_text
+        .lines()
+        .find_map(|l| l.strip_prefix("scamdetect_requests_shed_total "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    daemon.stop().expect("clean daemon shutdown");
+
+    let p99_budget = 5 * unloaded_p99.max(P99_FLOOR_US);
+    let latency_held = accepted_p99 <= p99_budget;
+    let gate_pass = failures == 0
+        && shed_without_retry_after == 0
+        && shed > 0
+        && shed_counted > 0
+        && !accepted.is_empty()
+        && latency_held;
+    eprintln!(
+        "serve-bench: flood {} requests → {} accepted (p50 {accepted_p50}µs, p99 {accepted_p99}µs, \
+         budget {p99_budget}µs), {shed} shed ({:.0}% shed rate), {failures} failures",
+        total,
+        accepted.len(),
+        shed_rate * 100.0
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"scamdetect-shed-bench/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"unloaded\": {{\"requests\": {calibration_requests}, \"p50_us\": {unloaded_p50}, \
+         \"p99_us\": {unloaded_p99}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"overload\": {{\"clients\": {flood_clients}, \"requests\": {total}, \
+         \"elapsed_us\": {flood_elapsed}, \"accepted\": {}, \"shed\": {shed}, \
+         \"failures\": {failures}, \"accepted_p50_us\": {accepted_p50}, \
+         \"accepted_p99_us\": {accepted_p99}, \"shed_rate\": {shed_rate:.4}, \
+         \"server_shed_total\": {shed_counted}}},",
+        accepted.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"pass\": {gate_pass}, \"accepted_p99_budget_us\": {p99_budget}, \
+         \"rule\": \"at 2x saturation every reply is a 200 verdict or a 429 with Retry-After, \
+         load is actually shed (client- and server-side counts agree it happened), and the p99 \
+         of accepted requests stays within 5x the unloaded p99 (floored at {P99_FLOOR_US}us)\"}}"
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("serve-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: wrote {out_path}");
+    std::fs::remove_dir_all(&base_dir).ok();
+    if !gate_pass {
+        eprintln!(
+            "serve-bench: GATE FAILED ({failures} failures, {shed} shed \
+             ({shed_without_retry_after} without Retry-After, server counted {shed_counted}), \
+             accepted p99 {accepted_p99}µs vs budget {p99_budget}µs)"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: gate passed");
+    ExitCode::SUCCESS
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let options = match parse_args() {
@@ -190,6 +459,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if options.shed {
+        return run_shed(&options);
+    }
     let out_path = options.out_path.clone().unwrap_or_else(|| {
         if options.router {
             "BENCH_PR6.json".to_string()

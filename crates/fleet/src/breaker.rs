@@ -1,0 +1,452 @@
+//! Per-replica circuit breakers: closed → open → half-open.
+//!
+//! The old health model was binary — one failed probe or forward
+//! flipped a replica out of the ring, one good probe flipped it back.
+//! That is both trigger-happy (a single dropped packet rebalances the
+//! whole ring) and blind to **brownouts**: a replica that still answers
+//! probes but fails half its traffic never leaves the ring at all.
+//!
+//! The breaker fixes both with two trip conditions and a staged
+//! recovery:
+//!
+//! * **Trip** (closed → open) on `consecutive_failures` failures in a
+//!   row *or* on an error rate ≥ `error_rate` over a sliding window of
+//!   recent outcomes (once at least `min_samples` are in the window) —
+//!   the second condition catches the brownout the first cannot.
+//! * **Cooldown** while open: probes are suppressed for
+//!   `cooldown × 2^reopens` (capped), plus a deterministic per-replica
+//!   jitter so a fleet of routers does not re-probe a recovering
+//!   replica in lockstep.
+//! * **Half-open** after the cooldown: probe successes accumulate; only
+//!   `half_open_successes` consecutive good probes re-close the breaker
+//!   (and readmit the replica to the ring). One failure in half-open
+//!   re-opens with a longer cooldown.
+//!
+//! The breaker records outcomes and decides state; ring membership and
+//! flap accounting live in [`crate::health::FleetState`], which owns
+//! one breaker per replica.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Sliding-window capacity (bitmask bits): the error rate is computed
+/// over at most this many recent outcomes.
+const WINDOW_BITS: u32 = 64;
+
+/// Cap on the cooldown's exponential growth (2^6 = 64× base).
+const MAX_REOPEN_EXP: u32 = 6;
+
+/// Breaker thresholds. Defaults suit a loopback fleet with sub-second
+/// probe intervals; the CLI exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker (the fast path for a
+    /// hard-down replica).
+    pub consecutive_failures: u32,
+    /// Error rate over the sliding window that trips the breaker (the
+    /// brownout path), in `0.0..=1.0`.
+    pub error_rate: f64,
+    /// Minimum outcomes in the window before the error-rate condition
+    /// is allowed to trip (stops one early failure reading as 100%).
+    pub min_samples: u32,
+    /// Base cooldown while open; doubles on every re-open (capped).
+    pub cooldown: Duration,
+    /// Consecutive half-open probe successes required to re-close.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            consecutive_failures: 2,
+            error_rate: 0.5,
+            min_samples: 8,
+            cooldown: Duration::from_millis(500),
+            half_open_successes: 2,
+        }
+    }
+}
+
+/// Where the breaker stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows, outcomes are recorded.
+    Closed,
+    /// Tripped: no traffic, probes suppressed until the cooldown ends.
+    Open,
+    /// Probation: probes flow, successes accumulate toward re-close.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lowercase label for metrics and `/fleet` JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What a recorded outcome changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// This outcome tripped the breaker closed → open (the caller
+    /// should eject the replica from the ring).
+    Opened,
+    /// This outcome completed half-open probation (the caller should
+    /// readmit the replica).
+    Closed,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    /// Consecutive failures since the last success (closed state).
+    consecutive: u32,
+    /// Outcome bitmask, newest in bit 0; 1 = failure.
+    window: u64,
+    /// Outcomes recorded into the window, saturating at [`WINDOW_BITS`].
+    window_len: u32,
+    /// When the breaker last opened.
+    opened_at: Option<Instant>,
+    /// Times the breaker has opened (drives the cooldown exponent).
+    reopens: u32,
+    /// Successes accumulated in half-open.
+    probation_successes: u32,
+}
+
+/// One replica's breaker. All methods take `&self`; a small mutex
+/// serializes outcome recording (the router's forward path records one
+/// outcome per request — negligible next to the socket work around it).
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    /// FNV-1a of the replica id: the deterministic jitter seed.
+    jitter_seed: u64,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker for the replica named `id` (the id only feeds
+    /// the deterministic probe jitter).
+    #[must_use]
+    pub fn new(id: &str, config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            jitter_seed: fnv1a(id.as_bytes()),
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive: 0,
+                window: 0,
+                window_len: 0,
+                opened_at: None,
+                reopens: 0,
+                probation_successes: 0,
+            }),
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Failure rate over the sliding window (`0.0` before any sample).
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        let inner = self.lock();
+        if inner.window_len == 0 {
+            return 0.0;
+        }
+        let mask = mask_of(inner.window_len);
+        f64::from((inner.window & mask).count_ones()) / f64::from(inner.window_len)
+    }
+
+    /// Records a successful outcome (forward or probe).
+    pub fn record_success(&self) -> Transition {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive = 0;
+                push_outcome(&mut inner, false);
+                Transition::None
+            }
+            // A success against an open breaker is the first half-open
+            // probe landing: enter probation.
+            BreakerState::Open | BreakerState::HalfOpen => {
+                inner.state = BreakerState::HalfOpen;
+                inner.probation_successes += 1;
+                if inner.probation_successes >= self.config.half_open_successes {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive = 0;
+                    inner.window = 0;
+                    inner.window_len = 0;
+                    inner.opened_at = None;
+                    inner.probation_successes = 0;
+                    Transition::Closed
+                } else {
+                    Transition::None
+                }
+            }
+        }
+    }
+
+    /// Records a failed outcome (forward or probe) observed at `now`.
+    pub fn record_failure(&self, now: Instant) -> Transition {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive = inner.consecutive.saturating_add(1);
+                push_outcome(&mut inner, true);
+                let mask = mask_of(inner.window_len);
+                let rate =
+                    f64::from((inner.window & mask).count_ones()) / f64::from(inner.window_len);
+                let consecutive_trip = inner.consecutive >= self.config.consecutive_failures;
+                let rate_trip =
+                    inner.window_len >= self.config.min_samples && rate >= self.config.error_rate;
+                if consecutive_trip || rate_trip {
+                    open(&mut inner, now);
+                    Transition::Opened
+                } else {
+                    Transition::None
+                }
+            }
+            // A half-open failure aborts probation: re-open with a
+            // longer cooldown. Already-open failures (a racing forward
+            // that was in flight when the breaker tripped) just refresh
+            // the cooldown clock.
+            BreakerState::HalfOpen => {
+                open(&mut inner, now);
+                Transition::None
+            }
+            BreakerState::Open => {
+                inner.opened_at = Some(now);
+                Transition::None
+            }
+        }
+    }
+
+    /// Should the health prober attempt this replica at `now`? Closed
+    /// and half-open replicas are probed every tick; open ones only
+    /// once their (exponential, jittered) cooldown has elapsed.
+    #[must_use]
+    pub fn probe_due(&self, now: Instant) -> bool {
+        let inner = self.lock();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => match inner.opened_at {
+                Some(at) => now.duration_since(at) >= self.current_cooldown(inner.reopens),
+                None => true,
+            },
+        }
+    }
+
+    /// The open-state cooldown after `reopens` trips: exponential with
+    /// a deterministic per-replica jitter (up to +25% of the base), so
+    /// recovering replicas across a fleet of routers are not re-probed
+    /// in lockstep.
+    #[must_use]
+    pub fn current_cooldown(&self, reopens: u32) -> Duration {
+        let exp = reopens.saturating_sub(1).min(MAX_REOPEN_EXP);
+        let base = self.config.cooldown * (1u32 << exp);
+        let quarter = (self.config.cooldown.as_millis() as u64 / 4).max(1);
+        let jitter = splitmix64(self.jitter_seed ^ u64::from(reopens)) % quarter;
+        base + Duration::from_millis(jitter)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn open(inner: &mut BreakerInner, now: Instant) {
+    inner.state = BreakerState::Open;
+    inner.opened_at = Some(now);
+    inner.reopens = inner.reopens.saturating_add(1);
+    inner.probation_successes = 0;
+    inner.consecutive = 0;
+}
+
+fn push_outcome(inner: &mut BreakerInner, failure: bool) {
+    inner.window = (inner.window << 1) | u64::from(failure);
+    inner.window_len = (inner.window_len + 1).min(WINDOW_BITS);
+}
+
+fn mask_of(len: u32) -> u64 {
+    if len >= WINDOW_BITS {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
+/// FNV-1a over bytes — the workspace's standard no-dependency hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// splitmix64: one multiply-xor-shift round, enough to decorrelate the
+/// jitter across `(replica, reopens)` pairs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker::new("127.0.0.1:40000", config)
+    }
+
+    #[test]
+    fn consecutive_failures_trip_and_probation_recloses() {
+        let b = breaker(BreakerConfig::default());
+        let now = Instant::now();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(
+            b.record_failure(now),
+            Transition::None,
+            "one failure is noise"
+        );
+        assert_eq!(
+            b.record_failure(now),
+            Transition::Opened,
+            "two in a row trip"
+        );
+        assert_eq!(b.state(), BreakerState::Open);
+        // First good probe enters probation, second re-closes.
+        assert_eq!(b.record_success(), Transition::None);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.record_success(), Transition::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn a_success_between_failures_resets_the_consecutive_count() {
+        let b = breaker(BreakerConfig {
+            min_samples: 64, // keep the rate condition out of the way
+            ..BreakerConfig::default()
+        });
+        let now = Instant::now();
+        for _ in 0..10 {
+            assert_eq!(b.record_failure(now), Transition::None);
+            assert_eq!(b.record_success(), Transition::None);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "never two in a row");
+    }
+
+    #[test]
+    fn error_rate_catches_the_brownout_consecutive_count_misses() {
+        // Alternating success/failure: consecutive never reaches 2, but
+        // the window hits 50% error rate once min_samples accumulate.
+        let b = breaker(BreakerConfig {
+            consecutive_failures: 2,
+            error_rate: 0.5,
+            min_samples: 8,
+            ..BreakerConfig::default()
+        });
+        let now = Instant::now();
+        let mut tripped = false;
+        for _ in 0..8 {
+            b.record_success();
+            if b.record_failure(now) == Transition::Opened {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "a 50% brownout must trip the rate condition");
+    }
+
+    #[test]
+    fn half_open_failure_reopens_with_a_longer_cooldown() {
+        let b = breaker(BreakerConfig {
+            cooldown: Duration::from_millis(100),
+            ..BreakerConfig::default()
+        });
+        let now = Instant::now();
+        b.record_failure(now);
+        b.record_failure(now); // trips: reopens = 1
+        b.record_success(); // half-open
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure(now); // probation aborted: reopens = 2
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(
+            b.current_cooldown(2) >= b.current_cooldown(1),
+            "the cooldown must not shrink on a re-open"
+        );
+        assert!(
+            b.current_cooldown(2) >= Duration::from_millis(200),
+            "second open doubles the base cooldown"
+        );
+    }
+
+    #[test]
+    fn open_suppresses_probes_until_the_cooldown_elapses() {
+        let b = breaker(BreakerConfig {
+            cooldown: Duration::from_millis(100),
+            ..BreakerConfig::default()
+        });
+        let opened = Instant::now();
+        b.record_failure(opened);
+        b.record_failure(opened);
+        assert!(!b.probe_due(opened), "fresh open: not due");
+        assert!(
+            !b.probe_due(opened + Duration::from_millis(50)),
+            "mid-cooldown: not due"
+        );
+        assert!(
+            b.probe_due(opened + Duration::from_millis(200)),
+            "past cooldown + max jitter: due"
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_replica_specific() {
+        let config = BreakerConfig {
+            cooldown: Duration::from_millis(400),
+            ..BreakerConfig::default()
+        };
+        let a1 = CircuitBreaker::new("127.0.0.1:1", config.clone());
+        let a2 = CircuitBreaker::new("127.0.0.1:1", config.clone());
+        let c = CircuitBreaker::new("127.0.0.1:2", config);
+        assert_eq!(
+            a1.current_cooldown(1),
+            a2.current_cooldown(1),
+            "same replica, same reopen count: identical jitter"
+        );
+        assert_ne!(
+            a1.current_cooldown(1),
+            c.current_cooldown(1),
+            "distinct replicas must not probe in lockstep"
+        );
+    }
+
+    #[test]
+    fn reclose_clears_the_window() {
+        let b = breaker(BreakerConfig::default());
+        let now = Instant::now();
+        b.record_failure(now);
+        b.record_failure(now); // open
+        b.record_success();
+        b.record_success(); // closed again
+        assert_eq!(b.error_rate(), 0.0, "probation wipes the stale window");
+        assert_eq!(
+            b.record_failure(now),
+            Transition::None,
+            "one failure after recovery is noise again"
+        );
+    }
+}

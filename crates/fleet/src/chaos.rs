@@ -1,0 +1,468 @@
+//! Fault injection for chaos tests: a **std-only, in-process TCP
+//! proxy** that sits between a client (usually the fleet router) and a
+//! real upstream (usually a `scamdetect-serve` replica) and injects
+//! transport faults on a **seeded, deterministic schedule** — the same
+//! seed always produces the same fault sequence, so a chaos failure
+//! reproduces locally from the seed in the test name alone.
+//!
+//! Faults model what real networks and sick replicas actually do:
+//!
+//! * [`FaultKind::Reset`] — accept, then drop the connection before
+//!   reading a byte (the peer sees EOF / broken pipe mid-request);
+//! * [`FaultKind::Stall`] — accept and read the request, then never
+//!   respond (a wedged replica; only the caller's deadline saves it);
+//! * [`FaultKind::Latency`] — delay the response by a fixed amount
+//!   (use [`FaultSchedule::ramp`] for latency that grows per
+//!   connection, the classic slow-degradation curve);
+//! * [`FaultKind::Truncate`] — forward only the first N response
+//!   bytes, then close (a torn body mid-JSON);
+//! * [`FaultKind::Corrupt`] — flip the high bit of one response byte
+//!   (a single flipped bit in an ASCII JSON body is always invalid
+//!   UTF-8, so corruption is detectable without checksums);
+//! * [`FaultKind::Pass`] — relay untouched (the control arm).
+//!
+//! The proxy is thread-per-connection like everything else in this
+//! workspace: the accept loop hands each connection a fault drawn from
+//! the schedule by **connection index**, relays client→upstream
+//! verbatim on a side thread, and applies the fault to the
+//! upstream→client direction. The `chaos_smoke` integration suite
+//! drives a router + healthy replica + faulty replica through every
+//! fault class and asserts the end-to-end invariant: every response is
+//! either the bit-exact golden score or a well-formed 408/429/503 with
+//! `Retry-After` — never a hang, a panic, or torn JSON.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Relay buffer size; replies in this workspace are well under 64 KiB,
+/// so the "first chunk" a fault manipulates is usually the whole reply.
+const CHUNK: usize = 64 * 1024;
+
+/// Poll granularity for stop-flag checks inside stalled or relaying
+/// connections.
+const POLL: Duration = Duration::from_millis(50);
+
+/// One injectable transport fault, applied per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Relay untouched.
+    Pass,
+    /// Drop the connection immediately after accept.
+    Reset,
+    /// Read the request, never respond; hold until the peer gives up.
+    Stall,
+    /// Delay the response by this much, then relay normally.
+    Latency(Duration),
+    /// Forward only the first N response bytes, then close.
+    Truncate(usize),
+    /// XOR `0x80` into the last byte of the first response chunk.
+    Corrupt,
+}
+
+/// How faults map to connection indices. Deterministic: the same
+/// schedule and seed produce the same fault for the same index.
+#[derive(Debug, Clone)]
+enum Plan {
+    Always(FaultKind),
+    Weighted(Vec<(u32, FaultKind)>),
+    Ramp { base: Duration, step: Duration },
+}
+
+/// A seeded, deterministic fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    seed: u64,
+    plan: Plan,
+}
+
+impl FaultSchedule {
+    /// Every connection gets the same fault.
+    #[must_use]
+    pub fn always(kind: FaultKind) -> FaultSchedule {
+        FaultSchedule {
+            seed: 0,
+            plan: Plan::Always(kind),
+        }
+    }
+
+    /// Connection `i` gets `Latency(base + step × i)` — latency that
+    /// ramps as connections accumulate.
+    #[must_use]
+    pub fn ramp(base: Duration, step: Duration) -> FaultSchedule {
+        FaultSchedule {
+            seed: 0,
+            plan: Plan::Ramp { base, step },
+        }
+    }
+
+    /// Connection `i` draws a fault by weight from
+    /// `splitmix64(seed ^ i)` — a fixed seed pins the whole sequence.
+    /// Zero-weight entries never fire; an empty or all-zero list
+    /// degenerates to [`FaultKind::Pass`].
+    #[must_use]
+    pub fn weighted(seed: u64, faults: Vec<(u32, FaultKind)>) -> FaultSchedule {
+        FaultSchedule {
+            seed,
+            plan: Plan::Weighted(faults),
+        }
+    }
+
+    /// The fault connection number `index` receives.
+    #[must_use]
+    pub fn fault_for(&self, index: u64) -> FaultKind {
+        match &self.plan {
+            Plan::Always(kind) => *kind,
+            Plan::Ramp { base, step } => {
+                FaultKind::Latency(*base + step.saturating_mul(index.min(1 << 20) as u32))
+            }
+            Plan::Weighted(faults) => {
+                let total: u64 = faults.iter().map(|&(w, _)| u64::from(w)).sum();
+                if total == 0 {
+                    return FaultKind::Pass;
+                }
+                let mut draw = splitmix64(self.seed ^ index) % total;
+                for &(weight, kind) in faults {
+                    let weight = u64::from(weight);
+                    if draw < weight {
+                        return kind;
+                    }
+                    draw -= weight;
+                }
+                FaultKind::Pass
+            }
+        }
+    }
+}
+
+/// SplitMix64: the workspace's standard seedable mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A running fault proxy: connect to [`FaultProxy::addr`] instead of
+/// the upstream, and faults happen per the schedule.
+pub struct FaultProxy {
+    /// Where clients connect (ephemeral loopback port).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds an ephemeral loopback port and relays to `upstream`,
+    /// injecting faults from `schedule` keyed on connection index.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn spawn(upstream: SocketAddr, schedule: FaultSchedule) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let conns = AtomicU64::new(0);
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let index = conns.fetch_add(1, Ordering::Relaxed);
+                let fault = schedule.fault_for(index);
+                let conn_stop = Arc::clone(&accept_stop);
+                std::thread::spawn(move || {
+                    handle_connection(stream, upstream, fault, &conn_stop);
+                });
+            }
+        });
+        Ok(FaultProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Stops accepting; live connections die with their streams.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn handle_connection(client: TcpStream, upstream: SocketAddr, fault: FaultKind, stop: &AtomicBool) {
+    match fault {
+        FaultKind::Reset => {
+            // Drop before reading a byte: the peer's write or read
+            // fails with EOF/broken pipe, the closest std-only stand-in
+            // for a hard RST (`TcpStream::set_linger` is unstable).
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        FaultKind::Stall => stall(client, stop),
+        FaultKind::Pass => relay(client, upstream, None, usize::MAX, false, stop),
+        FaultKind::Latency(delay) => relay(client, upstream, Some(delay), usize::MAX, false, stop),
+        FaultKind::Truncate(limit) => relay(client, upstream, None, limit, false, stop),
+        FaultKind::Corrupt => relay(client, upstream, None, usize::MAX, true, stop),
+    }
+}
+
+/// Reads (and discards) whatever the client sends, forever — a wedged
+/// replica. Exits when the client closes or the proxy stops.
+fn stall(mut client: TcpStream, stop: &AtomicBool) {
+    let _ = client.set_read_timeout(Some(POLL));
+    let mut sink = [0u8; 1024];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match client.read(&mut sink) {
+            Ok(0) => return,                // client gave up
+            Ok(_) => {}                     // keep swallowing the request
+            Err(e) if would_block(&e) => {} // idle; poll the stop flag
+            Err(_) => return,
+        }
+    }
+}
+
+/// Full relay with response-direction fault hooks: client→upstream
+/// verbatim on a side thread; upstream→client through `latency` /
+/// `limit` / `corrupt`.
+fn relay(
+    client: TcpStream,
+    upstream: SocketAddr,
+    latency: Option<Duration>,
+    mut limit: usize,
+    corrupt: bool,
+    stop: &AtomicBool,
+) {
+    let Ok(mut server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(2)) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (Ok(client_read), Ok(mut client_write)) = (client.try_clone(), client.try_clone()) else {
+        return;
+    };
+    drop(client);
+    let Ok(server_write) = server.try_clone() else {
+        return;
+    };
+    // Request direction: verbatim, fire-and-forget. The thread dies
+    // when either side closes.
+    std::thread::spawn(move || {
+        pump(client_read, server_write);
+    });
+
+    // Response direction, with the fault applied to the first chunk.
+    let _ = server.set_read_timeout(Some(POLL));
+    let mut buffer = vec![0u8; CHUNK];
+    let mut first_chunk = true;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match server.read(&mut buffer) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if would_block(&e) => continue,
+            Err(_) => break,
+        };
+        if first_chunk {
+            first_chunk = false;
+            if let Some(delay) = latency {
+                std::thread::sleep(delay);
+            }
+            if corrupt {
+                // High-bit flip: one non-ASCII byte in an ASCII JSON
+                // reply, guaranteed invalid UTF-8 at the receiver.
+                buffer[n - 1] ^= 0x80;
+            }
+        }
+        let send = n.min(limit);
+        limit -= send;
+        if send > 0 && client_write.write_all(&buffer[..send]).is_err() {
+            break;
+        }
+        if limit == 0 {
+            break; // truncation point reached
+        }
+    }
+    let _ = client_write.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+}
+
+/// Verbatim one-direction byte pump; returns when either side closes.
+fn pump(mut from: TcpStream, mut to: TcpStream) {
+    let mut buffer = vec![0u8; CHUNK];
+    loop {
+        match from.read(&mut buffer) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buffer[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// A one-shot upstream: accepts connections forever, reads a line,
+    /// answers with `payload`, closes.
+    fn upstream_with(payload: &'static [u8]) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                let mut byte = [0u8; 1];
+                // Wait for the first request byte, then reply in full.
+                if stream.read(&mut byte).map(|n| n == 0).unwrap_or(true) {
+                    continue;
+                }
+                if stream.write_all(payload).is_err() {
+                    continue;
+                }
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        });
+        (addr, thread)
+    }
+
+    fn roundtrip_via(proxy: &FaultProxy) -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect(proxy.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.write_all(b"x")?;
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply)?;
+        Ok(reply)
+    }
+
+    #[test]
+    fn schedules_are_deterministic_in_the_seed() {
+        let schedule = FaultSchedule::weighted(
+            0xC0FFEE,
+            vec![
+                (2, FaultKind::Pass),
+                (1, FaultKind::Reset),
+                (1, FaultKind::Corrupt),
+            ],
+        );
+        let first: Vec<FaultKind> = (0..64).map(|i| schedule.fault_for(i)).collect();
+        let second: Vec<FaultKind> = (0..64).map(|i| schedule.fault_for(i)).collect();
+        assert_eq!(first, second, "same seed, same sequence");
+        assert!(
+            first.contains(&FaultKind::Reset) && first.contains(&FaultKind::Pass),
+            "64 draws at these weights hit multiple kinds: {first:?}"
+        );
+
+        let reseeded = FaultSchedule::weighted(
+            0xBEEF,
+            vec![
+                (2, FaultKind::Pass),
+                (1, FaultKind::Reset),
+                (1, FaultKind::Corrupt),
+            ],
+        );
+        let third: Vec<FaultKind> = (0..64).map(|i| reseeded.fault_for(i)).collect();
+        assert_ne!(first, third, "different seed, different sequence");
+    }
+
+    #[test]
+    fn ramp_latency_grows_per_connection() {
+        let schedule = FaultSchedule::ramp(Duration::from_millis(10), Duration::from_millis(5));
+        assert_eq!(
+            schedule.fault_for(0),
+            FaultKind::Latency(Duration::from_millis(10))
+        );
+        assert_eq!(
+            schedule.fault_for(4),
+            FaultKind::Latency(Duration::from_millis(30))
+        );
+    }
+
+    #[test]
+    fn pass_relays_bytes_untouched() {
+        let (upstream, _server) = upstream_with(b"HELLO-FROM-UPSTREAM");
+        let proxy =
+            FaultProxy::spawn(upstream, FaultSchedule::always(FaultKind::Pass)).expect("proxy");
+        let reply = roundtrip_via(&proxy).expect("roundtrip");
+        assert_eq!(reply, b"HELLO-FROM-UPSTREAM");
+        proxy.stop();
+    }
+
+    #[test]
+    fn truncate_cuts_the_response_short() {
+        let (upstream, _server) = upstream_with(b"0123456789");
+        let proxy = FaultProxy::spawn(upstream, FaultSchedule::always(FaultKind::Truncate(4)))
+            .expect("proxy");
+        let reply = roundtrip_via(&proxy).expect("roundtrip");
+        assert_eq!(reply, b"0123", "exactly the truncation limit arrives");
+        proxy.stop();
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_byte() {
+        let (upstream, _server) = upstream_with(b"{\"score\":0.25}");
+        let proxy =
+            FaultProxy::spawn(upstream, FaultSchedule::always(FaultKind::Corrupt)).expect("proxy");
+        let reply = roundtrip_via(&proxy).expect("roundtrip");
+        assert_eq!(reply.len(), b"{\"score\":0.25}".len());
+        let flipped: Vec<usize> = reply
+            .iter()
+            .zip(b"{\"score\":0.25}")
+            .enumerate()
+            .filter(|(_, (got, want))| got != want)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(flipped.len(), 1, "exactly one byte differs");
+        assert!(reply[flipped[0]] >= 0x80, "the flip breaks UTF-8");
+        assert!(
+            String::from_utf8(reply).is_err(),
+            "a corrupted ASCII JSON body is detectably invalid"
+        );
+        proxy.stop();
+    }
+
+    #[test]
+    fn reset_drops_the_connection_without_a_reply() {
+        let (upstream, _server) = upstream_with(b"never-sent");
+        let proxy =
+            FaultProxy::spawn(upstream, FaultSchedule::always(FaultKind::Reset)).expect("proxy");
+        let reply = roundtrip_via(&proxy).unwrap_or_default();
+        assert!(reply.is_empty(), "reset yields no bytes: {reply:?}");
+        proxy.stop();
+    }
+}

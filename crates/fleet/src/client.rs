@@ -116,12 +116,17 @@ pub fn push_artifact(
     let header = format!("{checksum:#018x}");
     let mut client = HttpClient::connect_with_timeout(addr, timeout)
         .map_err(|e| fail(addr, format!("connect: {e}")))?;
+    // `retry_safe = false`: an artifact push must never double-send —
+    // if the first attempt died mid-body the caller retries explicitly,
+    // rather than the client silently resending megabytes on a maybe-
+    // already-applied write.
     let reply = client
-        .request_raw(
+        .request_raw_opts(
             "PUT",
             &format!("/models/{id}"),
             bytes,
             &[("x-artifact-fnv1a", &header)],
+            false,
         )
         .map_err(|e| fail(addr, format!("push: {e}")))?;
     if reply.status != 200 {

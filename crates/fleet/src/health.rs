@@ -2,29 +2,34 @@
 //! and the live ring over the up set.
 //!
 //! [`FleetState`] is the single shared truth between the router's
-//! request path and the background [`HealthMonitor`]. The request path
-//! reads it (owner lookup) and writes it pessimistically (a forward
-//! failure marks the replica down *immediately* — no waiting for the
-//! next probe tick to stop routing into a dead socket). The monitor
-//! probes `GET /healthz` on every replica and repairs the optimism in
-//! both directions: a recovered replica rejoins the ring, a quietly
-//! dead one leaves it.
+//! request path and the background [`HealthMonitor`]. Both report
+//! outcomes — forward results from the request path, `GET /healthz`
+//! results from the prober — into one [`CircuitBreaker`] per replica,
+//! and ring membership follows the breaker:
 //!
-//! Down replicas are probed on **exponential backoff** (1, 2, 4, …
-//! ticks, capped) so a long-dead replica costs one connect attempt per
-//! backoff window, not per tick, while up replicas get every tick.
+//! * a replica leaves the ring when its breaker **trips** (N
+//!   consecutive failures, or the error rate over a sliding outcome
+//!   window — the brownout detector a binary up/down flip lacks);
+//! * while the breaker is **open**, probes are suppressed for an
+//!   exponential, per-replica-jittered cooldown, so a long-dead
+//!   replica costs one connect attempt per cooldown window;
+//! * after the cooldown the breaker goes **half-open**: only a run of
+//!   consecutive good probes readmits the replica — one good packet
+//!   out of a flapping host no longer rebuilds the ring.
+//!
+//! A single failed probe no longer flips a replica (the old behavior
+//! caused ring-rebuild flapping on every dropped packet); replicas
+//! that *do* flap — go down again after recovering — are counted in
+//! [`FleetState::flaps`] for the router's metrics page.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 use crate::ring::HashRing;
 use scamdetect_serve::client::http_call_with_timeout;
 use scamdetect_serve::json::Json;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::Duration;
-
-/// Consecutive failed probes after which the backoff stops growing
-/// (2^6 = every 64th tick).
-const MAX_BACKOFF_EXP: u32 = 6;
+use std::time::{Duration, Instant};
 
 /// One replica's last-known condition.
 #[derive(Debug, Clone)]
@@ -35,8 +40,12 @@ pub struct ReplicaStatus {
     pub addr: SocketAddr,
     /// In the ring right now?
     pub up: bool,
-    /// Consecutive probe/forward failures (0 when up).
+    /// Breaker state backing `up` (`up` ⇔ closed).
+    pub breaker: BreakerState,
+    /// Consecutive probe/forward failures (0 after any success).
     pub consecutive_failures: u32,
+    /// Times this replica has been readmitted after a trip.
+    pub recoveries: u32,
     /// Model id from the last successful `/healthz` probe.
     pub model: Option<String>,
     /// Model epoch from the last successful `/healthz` probe.
@@ -57,25 +66,46 @@ struct Inner {
 pub struct FleetState {
     vnodes: usize,
     inner: RwLock<Inner>,
+    /// One breaker per replica, same order as `statuses`. The replica
+    /// set is fixed at construction, so this needs no lock.
+    breakers: Vec<(String, CircuitBreaker)>,
+    /// Down-flips of replicas that had previously recovered.
+    flaps: AtomicU64,
 }
 
 impl FleetState {
+    /// [`FleetState::with_breaker`] with default thresholds.
+    #[must_use]
+    pub fn new(replicas: &[SocketAddr], vnodes: usize) -> FleetState {
+        FleetState::with_breaker(replicas, vnodes, BreakerConfig::default())
+    }
+
     /// Starts with every replica optimistically **up**: the first
-    /// request to a dead replica fails fast, marks it down and
+    /// request to a dead replica fails fast, feeds its breaker and
     /// re-routes, which beats refusing traffic until a first probe
     /// cycle completes.
     #[must_use]
-    pub fn new(replicas: &[SocketAddr], vnodes: usize) -> FleetState {
+    pub fn with_breaker(
+        replicas: &[SocketAddr],
+        vnodes: usize,
+        breaker: BreakerConfig,
+    ) -> FleetState {
         let statuses: Vec<ReplicaStatus> = replicas
             .iter()
             .map(|&addr| ReplicaStatus {
                 id: addr.to_string(),
                 addr,
                 up: true,
+                breaker: BreakerState::Closed,
                 consecutive_failures: 0,
+                recoveries: 0,
                 model: None,
                 model_epoch: None,
             })
+            .collect();
+        let breakers = statuses
+            .iter()
+            .map(|s| (s.id.clone(), CircuitBreaker::new(&s.id, breaker.clone())))
             .collect();
         let ring = ring_over(&statuses, vnodes);
         FleetState {
@@ -85,6 +115,8 @@ impl FleetState {
                 ring,
                 rebalances: 0,
             }),
+            breakers,
+            flaps: AtomicU64::new(0),
         }
     }
 
@@ -124,48 +156,118 @@ impl FleetState {
         self.read().rebalances
     }
 
+    /// Down-flips of replicas that had previously recovered — the flap
+    /// count a binary health model hides.
+    #[must_use]
+    pub fn flaps(&self) -> u64 {
+        self.flaps.load(Ordering::Relaxed)
+    }
+
     /// Virtual nodes per replica this fleet was configured with.
     #[must_use]
     pub fn vnodes(&self) -> usize {
         self.vnodes
     }
 
-    /// Records a failure against `id`. Returns `true` when this call
-    /// flipped the replica out of the ring (the caller should then
-    /// re-resolve owners).
-    pub fn mark_down(&self, id: &str) -> bool {
+    /// Replicas whose breakers are currently open / half-open.
+    #[must_use]
+    pub fn breaker_counts(&self) -> (usize, usize) {
+        let mut open = 0;
+        let mut half_open = 0;
+        for (_, breaker) in &self.breakers {
+            match breaker.state() {
+                BreakerState::Open => open += 1,
+                BreakerState::HalfOpen => half_open += 1,
+                BreakerState::Closed => {}
+            }
+        }
+        (open, half_open)
+    }
+
+    /// Records a failed forward or probe against `id`. Returns `true`
+    /// when this call tripped the breaker and ejected the replica from
+    /// the ring (the caller should then re-resolve owners).
+    pub fn record_failure(&self, id: &str) -> bool {
+        let Some(breaker) = self.breaker_of(id) else {
+            return false;
+        };
+        let transition = breaker.record_failure(Instant::now());
+        let state_now = breaker.state();
         let mut inner = self.write();
         let Some(status) = inner.statuses.iter_mut().find(|s| s.id == id) else {
             return false;
         };
         status.consecutive_failures = status.consecutive_failures.saturating_add(1);
-        if !status.up {
-            return false;
+        status.breaker = state_now;
+        let flapped = status.recoveries > 0;
+        if transition == Transition::Opened && status.up {
+            status.up = false;
+            inner.ring = ring_over(&inner.statuses, self.vnodes);
+            inner.rebalances += 1;
+            if flapped {
+                self.flaps.fetch_add(1, Ordering::Relaxed);
+            }
+            return true;
         }
-        status.up = false;
-        inner.ring = ring_over(&inner.statuses, self.vnodes);
-        inner.rebalances += 1;
-        true
+        false
+    }
+
+    /// Records a successful forward against `id` (request path — does
+    /// not touch the model snapshot).
+    pub fn record_success(&self, id: &str) {
+        self.success(id, None);
     }
 
     /// Records a successful probe of `id`, with the model snapshot its
-    /// `/healthz` body reported. Returns `true` when this call brought
-    /// the replica back into the ring.
-    pub fn mark_up(&self, id: &str, model: Option<String>, model_epoch: Option<u64>) -> bool {
+    /// `/healthz` body reported. Returns `true` when this probe
+    /// completed half-open probation and readmitted the replica.
+    pub fn record_probe_success(
+        &self,
+        id: &str,
+        model: Option<String>,
+        model_epoch: Option<u64>,
+    ) -> bool {
+        self.success(id, Some((model, model_epoch)))
+    }
+
+    /// Is `id` due for a health probe at `now`? Closed/half-open: every
+    /// tick. Open: only once the breaker cooldown has elapsed.
+    #[must_use]
+    pub fn probe_due(&self, id: &str, now: Instant) -> bool {
+        self.breaker_of(id).is_none_or(|b| b.probe_due(now))
+    }
+
+    fn success(&self, id: &str, model_update: Option<(Option<String>, Option<u64>)>) -> bool {
+        let Some(breaker) = self.breaker_of(id) else {
+            return false;
+        };
+        let transition = breaker.record_success();
+        let state_now = breaker.state();
         let mut inner = self.write();
         let Some(status) = inner.statuses.iter_mut().find(|s| s.id == id) else {
             return false;
         };
         status.consecutive_failures = 0;
-        status.model = model;
-        status.model_epoch = model_epoch;
-        if status.up {
-            return false;
+        status.breaker = state_now;
+        if let Some((model, epoch)) = model_update {
+            status.model = model;
+            status.model_epoch = epoch;
         }
-        status.up = true;
-        inner.ring = ring_over(&inner.statuses, self.vnodes);
-        inner.rebalances += 1;
-        true
+        if transition == Transition::Closed && !status.up {
+            status.up = true;
+            status.recoveries = status.recoveries.saturating_add(1);
+            inner.ring = ring_over(&inner.statuses, self.vnodes);
+            inner.rebalances += 1;
+            return true;
+        }
+        false
+    }
+
+    fn breaker_of(&self, id: &str) -> Option<&CircuitBreaker> {
+        self.breakers
+            .iter()
+            .find(|(bid, _)| bid == id)
+            .map(|(_, b)| b)
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
@@ -193,9 +295,9 @@ pub struct HealthMonitor {
 }
 
 impl HealthMonitor {
-    /// Probes every replica each `interval` (down replicas on
-    /// exponential backoff). `probe_timeout` bounds each attempt — keep
-    /// it well under `interval`.
+    /// Probes every replica each `interval`; open-breaker replicas are
+    /// skipped until their cooldown elapses. `probe_timeout` bounds
+    /// each attempt — keep it well under `interval`.
     #[must_use]
     pub fn spawn(
         state: Arc<FleetState>,
@@ -207,15 +309,14 @@ impl HealthMonitor {
         let thread = std::thread::Builder::new()
             .name("fleet-health".to_string())
             .spawn(move || {
-                let mut tick: u64 = 0;
                 while !stop_flag.load(Ordering::Relaxed) {
+                    let now = Instant::now();
                     for status in state.statuses() {
-                        if !status.up && !backoff_due(tick, status.consecutive_failures) {
+                        if !state.probe_due(&status.id, now) {
                             continue;
                         }
                         probe(&state, &status, probe_timeout);
                     }
-                    tick = tick.wrapping_add(1);
                     // Sleep in short hops so shutdown is prompt even
                     // with a long probe interval.
                     let mut remaining = interval;
@@ -251,13 +352,6 @@ impl Drop for HealthMonitor {
     }
 }
 
-/// Is a down replica due for a probe this tick? Exponential: after f
-/// consecutive failures, probe every 2^min(f,cap) ticks.
-fn backoff_due(tick: u64, consecutive_failures: u32) -> bool {
-    let exp = consecutive_failures.min(MAX_BACKOFF_EXP);
-    tick.is_multiple_of(1u64 << exp)
-}
-
 fn probe(state: &FleetState, status: &ReplicaStatus, timeout: Duration) {
     match http_call_with_timeout(status.addr, "GET", "/healthz", None, timeout) {
         Ok(reply) if reply.status == 200 => {
@@ -272,10 +366,10 @@ fn probe(state: &FleetState, status: &ReplicaStatus, timeout: Duration) {
                 .and_then(|v| v.get("model_epoch"))
                 .and_then(Json::as_f64)
                 .map(|f| f as u64);
-            state.mark_up(&status.id, model, epoch);
+            state.record_probe_success(&status.id, model, epoch);
         }
         _ => {
-            state.mark_down(&status.id);
+            state.record_failure(&status.id);
         }
     }
 }
@@ -290,10 +384,20 @@ mod tests {
             .collect()
     }
 
+    /// Fast-trip config for tests that need deterministic readmission.
+    fn test_breaker() -> BreakerConfig {
+        BreakerConfig {
+            consecutive_failures: 2,
+            half_open_successes: 2,
+            cooldown: Duration::from_millis(10),
+            ..BreakerConfig::default()
+        }
+    }
+
     #[test]
-    fn mark_down_rebalances_and_mark_up_restores() {
+    fn breaker_trip_rebalances_and_probation_restores() {
         let addrs = fake_addrs(3);
-        let state = FleetState::new(&addrs, 8);
+        let state = FleetState::with_breaker(&addrs, 8, test_breaker());
         assert_eq!(state.up_counts(), (3, 3));
 
         let victim = addrs[1].to_string();
@@ -302,37 +406,88 @@ mod tests {
             .find(|&k| state.owner_of(k).map(|(id, _)| id) == Some(victim.clone()))
             .expect("victim owns something");
 
-        assert!(state.mark_down(&victim), "first failure flips it out");
-        assert!(!state.mark_down(&victim), "already down: no second flip");
+        assert!(
+            !state.record_failure(&victim),
+            "one failure is noise, not a rebalance"
+        );
+        assert_eq!(state.up_counts(), (3, 3));
+        assert!(
+            state.record_failure(&victim),
+            "the second consecutive failure trips the breaker"
+        );
+        assert!(
+            !state.record_failure(&victim),
+            "already out: no second flip"
+        );
         assert_eq!(state.up_counts(), (2, 3));
         let (new_owner, _) = state.owner_of(key).expect("still owned");
         assert_ne!(new_owner, victim);
         assert_eq!(state.rebalances(), 1);
 
-        assert!(state.mark_up(&victim, Some("m".into()), Some(0)));
+        // Readmission takes the full half-open probation, not one probe.
+        assert!(!state.record_probe_success(&victim, Some("m".into()), Some(0)));
+        assert_eq!(state.up_counts(), (2, 3), "one good probe is probation");
+        assert!(state.record_probe_success(&victim, Some("m".into()), Some(0)));
         assert_eq!(state.up_counts(), (3, 3));
         // Minimal-remap property: the key returns to its original owner.
         assert_eq!(state.owner_of(key).unwrap().0, victim);
     }
 
     #[test]
+    fn flaps_count_post_recovery_down_flips() {
+        let addrs = fake_addrs(2);
+        let state = FleetState::with_breaker(&addrs, 4, test_breaker());
+        let id = addrs[0].to_string();
+        // First outage: not a flap (never recovered before).
+        state.record_failure(&id);
+        state.record_failure(&id);
+        assert_eq!(state.flaps(), 0);
+        // Recover…
+        state.record_probe_success(&id, None, None);
+        state.record_probe_success(&id, None, None);
+        assert_eq!(state.up_counts(), (2, 2));
+        // …and fail again: that is a flap.
+        state.record_failure(&id);
+        state.record_failure(&id);
+        assert_eq!(state.flaps(), 1);
+    }
+
+    #[test]
     fn whole_fleet_down_means_no_owner() {
         let addrs = fake_addrs(2);
-        let state = FleetState::new(&addrs, 4);
+        let state = FleetState::with_breaker(&addrs, 4, test_breaker());
         for addr in &addrs {
-            state.mark_down(&addr.to_string());
+            let id = addr.to_string();
+            state.record_failure(&id);
+            state.record_failure(&id);
         }
         assert_eq!(state.owner_of(7), None);
         assert_eq!(state.up_counts(), (0, 2));
     }
 
     #[test]
-    fn backoff_schedule_thins_probes() {
-        assert!(backoff_due(0, 0));
-        assert!(backoff_due(1, 0), "healthy-ish: every tick");
-        assert!(backoff_due(2, 1));
-        assert!(!backoff_due(3, 1), "1 failure: every 2nd tick");
-        assert!(!backoff_due(63, 10));
-        assert!(backoff_due(64, 10), "capped at every 64th tick");
+    fn open_breaker_suppresses_probes_until_cooldown() {
+        let addrs = fake_addrs(1);
+        let state = FleetState::with_breaker(
+            &addrs,
+            4,
+            BreakerConfig {
+                cooldown: Duration::from_millis(100),
+                ..test_breaker()
+            },
+        );
+        let id = addrs[0].to_string();
+        let now = Instant::now();
+        assert!(state.probe_due(&id, now), "closed: probed every tick");
+        state.record_failure(&id);
+        state.record_failure(&id);
+        assert!(!state.probe_due(&id, now), "fresh open: suppressed");
+        assert!(
+            state.probe_due(&id, now + Duration::from_millis(250)),
+            "past cooldown + jitter: due again"
+        );
+        // Half-open probation probes every tick to converge quickly.
+        state.record_probe_success(&id, None, None);
+        assert!(state.probe_due(&id, now));
     }
 }

@@ -87,22 +87,69 @@
 //! * **Promote**: pinned reload on the rest; `/healthz` must agree on
 //!   the new id fleet-wide.
 //!
+//! ## Operating under load
+//!
+//! The router treats replica failure as a spectrum, not a bit:
+//!
+//! * **Circuit breakers, not up/down flags.** Every replica carries a
+//!   [`breaker::CircuitBreaker`] (closed → open → half-open). It trips
+//!   on *consecutive* failures (default 2) **or** a windowed error
+//!   rate (default ≥50% over the last 8 outcomes) — a replica that
+//!   fails every other request never hits "consecutive" but still gets
+//!   ejected. An open breaker removes the replica from the ring;
+//!   half-open probes re-admit it only after consecutive successes,
+//!   with exponential cooldown plus deterministic jitter between
+//!   probation rounds so a flapping replica costs progressively less.
+//! * **Deadline budgets.** Every `/scan` and `/batch` carries a budget
+//!   (the `x-deadline-ms` request header, defaulting to
+//!   [`proxy::RouterConfig::forward_timeout`]). Each forward attempt's
+//!   socket timeout is the *remaining* budget, so re-routes after a
+//!   trip can never stretch a client's wait past its own deadline —
+//!   when the budget dies first the router answers an honest `503` +
+//!   `Retry-After` and counts it in
+//!   `scamdetect_fleet_deadline_exhausted_total`.
+//! * **Reply validation.** A forwarded reply must parse as JSON (and a
+//!   200 scan must carry a score) before it passes through; torn,
+//!   truncated, or bit-corrupted bodies count as transport failures
+//!   and re-route instead of reaching the client.
+//! * **Flap accounting.** A replica that recovers and then trips again
+//!   increments `scamdetect_fleet_flaps_total`; breaker states surface
+//!   per-replica on `GET /fleet` and as
+//!   `scamdetect_fleet_breaker_open` / `_half_open` gauges.
+//!
+//! The [`chaos`] module makes all of this testable: a std-only
+//! in-process TCP [`chaos::FaultProxy`] injects resets, stalls,
+//! ramping latency, truncated bodies, and single-bit corruption on a
+//! seeded deterministic schedule. The `chaos_smoke` integration suite
+//! (`cargo test -p scamdetect-fleet --test chaos_smoke`) drives a real
+//! router + replicas through a mixed fault storm and asserts the
+//! invariant CI enforces: every response is either the bit-exact
+//! golden score or a well-formed 408/429/503 with `Retry-After` —
+//! never a hang, a panic, or torn JSON.
+//!
 //! Module map: [`ring`] (slice ownership), [`health`] (membership +
-//! probing), [`proxy`] (the router), [`rollout`] (the state machine),
-//! [`client`] (typed replica management calls). The `serve_bench`
-//! binary measures direct-vs-routed latency and writes
-//! `BENCH_PR6.json` in `--router` mode.
+//! probing), [`breaker`] (per-replica circuit breakers), [`proxy`]
+//! (the router), [`rollout`] (the state machine), [`client`] (typed
+//! replica management calls), [`chaos`] (fault injection). The
+//! `serve_bench` binary measures direct-vs-routed latency and writes
+//! `BENCH_PR6.json` in `--router` mode; `serve_bench --shed` drives a
+//! replica past saturation and writes the `BENCH_PR7.json`
+//! graceful-degradation gate.
 //!
 //! [`scamdetect-serve`]: scamdetect_serve
 //! [`ShardedLru`]: scamdetect::scan::PrepCache
 //! [`PrepCache`]: scamdetect::PrepCache
 
+pub mod breaker;
+pub mod chaos;
 pub mod client;
 pub mod health;
 pub mod proxy;
 pub mod ring;
 pub mod rollout;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{FaultKind, FaultProxy, FaultSchedule};
 pub use health::{FleetState, HealthMonitor, ReplicaStatus};
 pub use proxy::{spawn_router, RouterConfig, RouterMetrics, RunningRouter};
 pub use ring::HashRing;

@@ -12,10 +12,19 @@
 //! 3. Forward the original JSON over a pooled keep-alive connection.
 //!
 //! A forward failure (after the serve client's own one-shot retry)
-//! marks the replica down, rebalances the ring, and re-routes to the
-//! new owner — bounded attempts, never a spin. When no replica is up,
-//! the router degrades honestly: **503 with `Retry-After`**, so bulk
-//! clients back off instead of hammering a dead fleet.
+//! feeds the replica's [`crate::breaker::CircuitBreaker`]; a tripped
+//! breaker ejects the replica, rebalances the ring, and the request
+//! re-routes to the new owner — bounded attempts, never a spin. Every
+//! request carries a **deadline budget** (the `x-deadline-ms` header,
+//! defaulting to the forward timeout): each attempt's socket timeout
+//! is the *remaining* budget, so a retry can never stretch the
+//! client's wait beyond its original deadline — when the budget runs
+//! out mid-re-route the router answers **503 with `Retry-After`**
+//! instead of silently overshooting. Replica replies are validated
+//! before passing through (parseable JSON, and a `score` on a 200
+//! scan): a torn or corrupted body counts as a transport failure and
+//! re-routes rather than reaching the client. When no replica is up,
+//! the router degrades the same honest way: 503 + `Retry-After`.
 //!
 //! `/batch` is split by ownership into per-replica sub-batches and the
 //! replies merged back in slot order, so batch dedup still happens on
@@ -23,6 +32,7 @@
 //! bit-exact float round-trip of [`scamdetect_serve::json`], so routed
 //! scores are bit-identical to direct ones.
 
+use crate::breaker::BreakerConfig;
 use crate::health::{FleetState, HealthMonitor};
 use scamdetect::detect_platform;
 use scamdetect_serve::client::{ClientResponse, HttpClient};
@@ -35,7 +45,7 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Keep-alive connections retained per replica (beyond this, extra
 /// connections are simply dropped after use).
@@ -56,10 +66,13 @@ pub struct RouterConfig {
     pub probe_interval: Duration,
     /// Per-probe timeout (keep well under the interval).
     pub probe_timeout: Duration,
-    /// Per-forward timeout.
+    /// Per-forward timeout, and the default deadline budget for
+    /// requests that do not send an `x-deadline-ms` header.
     pub forward_timeout: Duration,
     /// Seconds suggested in `Retry-After` when the fleet is down.
     pub retry_after_s: u32,
+    /// Per-replica circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for RouterConfig {
@@ -73,6 +86,7 @@ impl Default for RouterConfig {
             probe_timeout: Duration::from_millis(250),
             forward_timeout: Duration::from_secs(10),
             retry_after_s: 2,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -92,6 +106,9 @@ pub struct RouterMetrics {
     pub reroutes: AtomicU64,
     /// Requests answered 503 because no replica was up.
     pub unavailable: AtomicU64,
+    /// Requests answered 503 because their deadline budget ran out
+    /// before any replica produced a sound reply.
+    pub deadline_exhausted: AtomicU64,
     /// Everything else (`/fleet`, `/healthz`, `/metrics`, 404s).
     pub requests_other: AtomicU64,
 }
@@ -147,7 +164,11 @@ impl RunningRouter {
 ///
 /// Bind failures.
 pub fn spawn_router(config: RouterConfig) -> std::io::Result<RunningRouter> {
-    let state = Arc::new(FleetState::new(&config.replicas, config.vnodes));
+    let state = Arc::new(FleetState::with_breaker(
+        &config.replicas,
+        config.vnodes,
+        config.breaker.clone(),
+    ));
     let metrics = Arc::new(RouterMetrics::default());
     let server = HttpServer::bind(HttpConfig {
         addr: config.addr.clone(),
@@ -166,6 +187,8 @@ pub fn spawn_router(config: RouterConfig) -> std::io::Result<RunningRouter> {
         metrics: Arc::clone(&metrics),
         pool: ConnPool::new(config.forward_timeout),
         retry_after_s: config.retry_after_s,
+        forward_timeout: config.forward_timeout,
+        attempts_per_replica: config.breaker.consecutive_failures.max(1) as usize,
     });
     let handler_ctx = Arc::clone(&ctx);
     let thread = std::thread::spawn(move || {
@@ -188,6 +211,11 @@ struct RouterCtx {
     metrics: Arc<RouterMetrics>,
     pool: ConnPool,
     retry_after_s: u32,
+    /// Per-attempt timeout cap and the default deadline budget.
+    forward_timeout: Duration,
+    /// How many failures it takes to trip one replica's breaker —
+    /// bounds the re-route loop at `replicas × this` attempts.
+    attempts_per_replica: usize,
 }
 
 /// A tiny keep-alive connection pool, one stack of clients per
@@ -214,13 +242,17 @@ impl ConnPool {
     }
 
     /// One request over a pooled (or fresh) connection; the connection
-    /// returns to the pool only on success.
+    /// returns to the pool only on success. `timeout` is this attempt's
+    /// I/O deadline — the caller passes its request's *remaining*
+    /// budget, so a pooled connection never waits longer than the
+    /// client would.
     fn roundtrip(
         &self,
         addr: SocketAddr,
         method: &str,
         path: &str,
         body: &[u8],
+        timeout: Duration,
     ) -> std::io::Result<ClientResponse> {
         let pooled = self
             .idle
@@ -230,9 +262,13 @@ impl ConnPool {
             .and_then(Vec::pop);
         let mut client = match pooled {
             Some(client) => client,
-            None => HttpClient::connect_with_timeout(addr, self.timeout)?,
+            None => HttpClient::connect_with_timeout(addr, timeout)?,
         };
+        client.set_io_timeout(timeout);
         let reply = client.request_raw(method, path, body, &[])?;
+        // Pooled connections revert to the default forward timeout so a
+        // short-budget request cannot poison the next user's deadline.
+        client.set_io_timeout(self.timeout);
         let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
         let stack = idle.entry(addr).or_default();
         if stack.len() < POOL_PER_REPLICA {
@@ -298,37 +334,98 @@ fn unavailable(ctx: &RouterCtx) -> HttpResponse {
         .with_header("Retry-After", ctx.retry_after_s.to_string())
 }
 
+/// The deadline path: the request's budget ran out before any replica
+/// produced a sound reply. Still a well-formed 503 + Retry-After — the
+/// router never lets a retry overshoot the client's deadline silently.
+fn deadline_exhausted(ctx: &RouterCtx) -> HttpResponse {
+    ctx.metrics
+        .deadline_exhausted
+        .fetch_add(1, Ordering::Relaxed);
+    HttpResponse::error(503, "deadline budget exhausted before a replica answered")
+        .with_header("Retry-After", ctx.retry_after_s.to_string())
+}
+
+/// This request's deadline: the client's `x-deadline-ms` header when
+/// present (clamped to something sane), else the forward timeout.
+fn deadline_of(ctx: &RouterCtx, request: &HttpRequest) -> Instant {
+    let budget = request
+        .header("x-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(ctx.forward_timeout)
+        .clamp(Duration::from_millis(1), Duration::from_secs(300));
+    Instant::now() + budget
+}
+
+/// Budget left before `deadline`, if any useful amount remains.
+fn remaining_budget(deadline: Instant) -> Option<Duration> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    (remaining >= Duration::from_millis(1)).then_some(remaining)
+}
+
 /// Re-emits a replica reply through the router's own JSON writer. The
 /// writer round-trips `f64` bit-exactly, so a routed score equals the
-/// direct one to the last bit; non-JSON bodies (shouldn't happen) pass
-/// through as text.
-fn passthrough(reply: &ClientResponse) -> HttpResponse {
-    match Json::parse(&reply.body) {
+/// direct one to the last bit. Backpressure statuses re-attach
+/// `Retry-After` (the replica's copy of the header does not survive
+/// the hop). Callers validate the body with [`reply_is_sound`] first —
+/// by the time a reply reaches here it is known-parseable JSON.
+fn passthrough(ctx: &RouterCtx, reply: &ClientResponse) -> HttpResponse {
+    let response = match Json::parse(&reply.body) {
         Ok(parsed) => HttpResponse::json(reply.status, &parsed),
         Err(_) => HttpResponse::text(reply.status, reply.body.clone()),
+    };
+    if matches!(reply.status, 408 | 429 | 503) {
+        response.with_header("Retry-After", ctx.retry_after_s.to_string())
+    } else {
+        response
     }
 }
 
-/// Forwards `body` to the owner of `key`, marking failed replicas down
-/// and re-routing to the rebalanced owner. Attempts are bounded by the
-/// fleet size: each failure removes the attempted replica from the
-/// ring, so the loop cannot revisit one.
-fn forward_owned(ctx: &RouterCtx, key: u64, path: &str, body: &[u8]) -> HttpResponse {
+/// Is a replica reply fit to pass through? A torn, truncated or
+/// corrupted body must read as a *transport* failure (feed the breaker,
+/// re-route), never reach the client: the body must parse as JSON, and
+/// a `200` scan verdict must actually carry a `score`.
+fn reply_is_sound(path: &str, reply: &ClientResponse) -> bool {
+    match Json::parse(&reply.body) {
+        Ok(parsed) => reply.status != 200 || path != "/scan" || parsed.get("score").is_some(),
+        Err(_) => false,
+    }
+}
+
+/// Forwards `body` to the owner of `key` within the request's deadline
+/// budget, feeding every outcome to the owner's breaker and re-routing
+/// after trips. Attempts are bounded by `replicas × failures-to-trip`
+/// (each replica leaves the ring after at most that many failures) and
+/// by the deadline itself, so the loop can neither spin nor overshoot
+/// the client's wait.
+fn forward_owned(
+    ctx: &RouterCtx,
+    key: u64,
+    path: &str,
+    body: &[u8],
+    deadline: Instant,
+) -> HttpResponse {
     let (_, total) = ctx.state.up_counts();
-    for attempt in 0..=total {
+    let max_attempts = total * ctx.attempts_per_replica + 1;
+    for attempt in 0..max_attempts {
+        let Some(remaining) = remaining_budget(deadline) else {
+            return deadline_exhausted(ctx);
+        };
         let Some((owner_id, owner_addr)) = ctx.state.owner_of(key) else {
             return unavailable(ctx);
         };
-        match ctx.pool.roundtrip(owner_addr, "POST", path, body) {
-            Ok(reply) => {
+        let timeout = remaining.min(ctx.forward_timeout);
+        match ctx.pool.roundtrip(owner_addr, "POST", path, body, timeout) {
+            Ok(reply) if reply_is_sound(path, &reply) => {
+                ctx.state.record_success(&owner_id);
                 if attempt > 0 {
                     ctx.metrics.reroutes.fetch_add(1, Ordering::Relaxed);
                 }
-                return passthrough(&reply);
+                return passthrough(ctx, &reply);
             }
-            Err(_) => {
+            Ok(_) | Err(_) => {
                 ctx.metrics.forward_failures.fetch_add(1, Ordering::Relaxed);
-                ctx.state.mark_down(&owner_id);
+                ctx.state.record_failure(&owner_id);
             }
         }
     }
@@ -361,7 +458,14 @@ fn handle_scan(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
         Ok(parsed) => parsed,
         Err(message) => return HttpResponse::error(400, &message),
     };
-    forward_owned(ctx, routing_key(&wire_request), "/scan", &request.body)
+    let deadline = deadline_of(ctx, request);
+    forward_owned(
+        ctx,
+        routing_key(&wire_request),
+        "/scan",
+        &request.body,
+        deadline,
+    )
 }
 
 fn handle_batch(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
@@ -394,11 +498,13 @@ fn handle_batch(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
         }
     }
 
+    let deadline = deadline_of(ctx, request);
     let mut model: Option<(String, u64)> = None;
     // Ownership can shift mid-batch (a forward failure rebalances), so
-    // group → forward → regroup leftovers, bounded by fleet size.
+    // group → forward → regroup leftovers, bounded by fleet size times
+    // the breaker's failures-to-trip, and by the deadline budget.
     let (_, total) = ctx.state.up_counts();
-    for _round in 0..=total {
+    for _round in 0..(total * ctx.attempts_per_replica + 1) {
         if pending.is_empty() {
             break;
         }
@@ -426,40 +532,51 @@ fn handle_batch(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
         let owner_ids: Vec<String> = owner_ids.into_iter().cloned().collect();
         for owner_id in owner_ids {
             let (addr, slots) = groups.remove(&owner_id).expect("grouped");
+            let Some(remaining) = remaining_budget(deadline) else {
+                return deadline_exhausted(ctx);
+            };
             let sub_body = Json::Obj(vec![(
                 "requests".to_string(),
                 Json::Arr(slots.iter().map(|&(slot, _)| items[slot].clone()).collect()),
             )])
             .render();
-            match ctx
+            let timeout = remaining.min(ctx.forward_timeout);
+            let outcome = ctx
                 .pool
-                .roundtrip(addr, "POST", "/batch", sub_body.as_bytes())
-            {
-                Ok(reply) if reply.status == 200 => {
-                    let Ok(parsed) = Json::parse(&reply.body) else {
-                        return HttpResponse::error(502, "replica returned unparseable batch body");
-                    };
-                    if model.is_none() {
-                        let id = parsed.get("model").and_then(Json::as_str).unwrap_or("");
-                        let epoch = parsed
-                            .get("model_epoch")
-                            .and_then(Json::as_f64)
-                            .unwrap_or(0.0) as u64;
-                        model = Some((id.to_string(), epoch));
+                .roundtrip(addr, "POST", "/batch", sub_body.as_bytes(), timeout);
+            // A 200 with results for every slot settles the group; a
+            // transport error, a torn/short body, or a backpressure
+            // status (408/429/503) feeds the breaker and re-pends the
+            // slots for the next round's (possibly rebalanced) owner.
+            let mut settled = false;
+            if let Ok(reply) = &outcome {
+                if reply.status == 200 {
+                    if let Ok(parsed) = Json::parse(&reply.body) {
+                        let sub_results = parsed.get("results").and_then(Json::as_array);
+                        if let Some(sub_results) = sub_results {
+                            if sub_results.len() == slots.len() {
+                                if model.is_none() {
+                                    let id =
+                                        parsed.get("model").and_then(Json::as_str).unwrap_or("");
+                                    let epoch = parsed
+                                        .get("model_epoch")
+                                        .and_then(Json::as_f64)
+                                        .unwrap_or(0.0)
+                                        as u64;
+                                    model = Some((id.to_string(), epoch));
+                                }
+                                for (&(slot, _), result) in slots.iter().zip(sub_results) {
+                                    results[slot] = Some(result.clone());
+                                }
+                                ctx.state.record_success(&owner_id);
+                                settled = true;
+                            }
+                        }
                     }
-                    let Some(sub_results) = parsed.get("results").and_then(Json::as_array) else {
-                        return HttpResponse::error(502, "replica batch body has no results");
-                    };
-                    if sub_results.len() != slots.len() {
-                        return HttpResponse::error(502, "replica batch result count mismatch");
-                    }
-                    for (&(slot, _), result) in slots.iter().zip(sub_results) {
-                        results[slot] = Some(result.clone());
-                    }
-                }
-                Ok(reply) => {
-                    // The replica is alive but rejected the sub-batch;
-                    // that is a real (non-transport) error — surface it.
+                } else if !matches!(reply.status, 408 | 429 | 503) {
+                    // The replica is alive and deliberately rejected the
+                    // sub-batch; that is a real (non-transport) error —
+                    // surface it rather than retrying a hopeless send.
                     return HttpResponse::error(
                         502,
                         &format!(
@@ -468,12 +585,12 @@ fn handle_batch(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
                         ),
                     );
                 }
-                Err(_) => {
-                    ctx.metrics.forward_failures.fetch_add(1, Ordering::Relaxed);
-                    ctx.state.mark_down(&owner_id);
-                    ctx.metrics.reroutes.fetch_add(1, Ordering::Relaxed);
-                    still_pending.extend(slots);
-                }
+            }
+            if !settled {
+                ctx.metrics.forward_failures.fetch_add(1, Ordering::Relaxed);
+                ctx.state.record_failure(&owner_id);
+                ctx.metrics.reroutes.fetch_add(1, Ordering::Relaxed);
+                still_pending.extend(slots);
             }
         }
         pending = still_pending;
@@ -510,6 +627,7 @@ fn handle_fleet(ctx: &RouterCtx) -> HttpResponse {
             obj([
                 ("id", Json::from(s.id.as_str())),
                 ("up", Json::from(s.up)),
+                ("breaker", Json::from(s.breaker.as_str())),
                 (
                     "slices",
                     Json::from(shares.get(&s.id).copied().unwrap_or(0) as u64),
@@ -518,6 +636,7 @@ fn handle_fleet(ctx: &RouterCtx) -> HttpResponse {
                     "consecutive_failures",
                     Json::from(u64::from(s.consecutive_failures)),
                 ),
+                ("recoveries", Json::from(u64::from(s.recoveries))),
                 ("model", s.model.as_deref().map_or(Json::Null, Json::from)),
                 ("model_epoch", s.model_epoch.map_or(Json::Null, Json::from)),
             ])
@@ -580,10 +699,35 @@ fn render_router_metrics(ctx: &RouterCtx) -> String {
         m.unavailable.load(Ordering::Relaxed),
     );
     metric(
+        "scamdetect_fleet_deadline_exhausted_total",
+        "counter",
+        "requests answered 503 because their deadline budget ran out",
+        m.deadline_exhausted.load(Ordering::Relaxed),
+    );
+    metric(
         "scamdetect_fleet_rebalances_total",
         "counter",
         "ring membership flips",
         ctx.state.rebalances(),
+    );
+    metric(
+        "scamdetect_fleet_flaps_total",
+        "counter",
+        "post-recovery down flips (a flapping replica re-trips its breaker)",
+        ctx.state.flaps(),
+    );
+    let (open, half_open) = ctx.state.breaker_counts();
+    metric(
+        "scamdetect_fleet_breaker_open",
+        "gauge",
+        "replicas whose circuit breaker is open",
+        open as u64,
+    );
+    metric(
+        "scamdetect_fleet_breaker_half_open",
+        "gauge",
+        "replicas whose circuit breaker is half-open (probation)",
+        half_open as u64,
     );
     let (up, total) = ctx.state.up_counts();
     metric(

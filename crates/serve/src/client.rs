@@ -15,8 +15,14 @@
 //! `ConnectionReset` / `BrokenPipe`) after a short jittered backoff,
 //! over a *fresh* connection. The retry only happens when no byte of a
 //! response was consumed, so a half-read reply can never be mistaken
-//! for a fresh one. Every request the daemon serves is idempotent
-//! (scans are pure, reload/install converge), so resending is safe.
+//! for a fresh one — but "no response byte arrived" does **not** prove
+//! the request wasn't processed (the peer may have acted and died
+//! before answering). Resending is therefore gated on the caller's
+//! `retry_safe` claim: scans are pure and reload/install converge, so
+//! the default is to retry, but a caller for whom double-delivery is
+//! unacceptable (the fleet's artifact push) passes `retry_safe = false`
+//! via [`HttpClient::request_raw_opts`] and handles the ambiguity
+//! itself.
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -79,6 +85,23 @@ impl HttpClient {
         self.addr
     }
 
+    /// Re-arms the read/write/connect timeout, applying it to the live
+    /// connection too. The fleet router uses this to shrink a pooled
+    /// connection's I/O deadline to a request's remaining budget.
+    pub fn set_io_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+        if let Some(conn) = &self.conn {
+            let stream = conn.reader.get_ref();
+            if stream.set_read_timeout(Some(timeout)).is_err()
+                || conn.writer.set_write_timeout(Some(timeout)).is_err()
+            {
+                // A socket that rejects timeout changes cannot honor the
+                // deadline; drop it and reconnect lazily.
+                self.conn = None;
+            }
+        }
+    }
+
     /// Sends one request and reads the full response (keep-alive: the
     /// connection stays usable for the next call). Retries once over a
     /// fresh connection on `ConnectionRefused`/`UnexpectedEof`-class
@@ -110,9 +133,29 @@ impl HttpClient {
         body: &[u8],
         extra_headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
+        self.request_raw_opts(method, path, body, extra_headers, true)
+    }
+
+    /// [`HttpClient::request_raw`] with the resend decision exposed:
+    /// `retry_safe = false` turns the one-shot retry off, for requests
+    /// where a duplicate delivery is worse than a reported failure
+    /// (non-idempotent writes like the fleet's artifact push).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`HttpClient::request`]; with
+    /// `retry_safe = false`, transport failures surface immediately.
+    pub fn request_raw_opts(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        extra_headers: &[(&str, &str)],
+        retry_safe: bool,
+    ) -> std::io::Result<ClientResponse> {
         match self.try_once(method, path, body, extra_headers) {
             Ok(response) => Ok(response),
-            Err(e) if is_retryable(&e) => {
+            Err(e) if retry_safe && is_retryable(&e) => {
                 // The connection died before any response byte arrived:
                 // back off briefly (jittered so a fleet of clients does
                 // not stampede a restarting replica), reconnect, resend.
@@ -322,6 +365,49 @@ mod tests {
         let stats = join.join().expect("joins");
         assert_eq!(stats.requests, 4);
         assert!(stats.connections >= 4, "each request used a fresh conn");
+    }
+
+    /// With `retry_safe = false` the stale-connection class surfaces as
+    /// an error instead of a transparent resend — the guarantee the
+    /// fleet's artifact push relies on to never double-send.
+    #[test]
+    fn non_retry_safe_request_surfaces_stale_connection_instead_of_resending() {
+        let server = HttpServer::bind(HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            max_requests_per_conn: 1,
+            read_timeout: Duration::from_millis(300),
+            ..HttpConfig::default()
+        })
+        .expect("binds");
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || {
+            server.serve(Arc::new(|_req: &HttpRequest| HttpResponse::text(200, "ok")))
+        });
+
+        let mut client = HttpClient::connect(addr).expect("connects");
+        let first = client
+            .request_raw_opts("PUT", "/models/x", b"artifact", &[], false)
+            .expect("first request on a fresh connection succeeds");
+        assert_eq!(first.status, 200);
+        // The server closed after request 1 (cap = 1). The second
+        // attempt hits the stale socket and MUST error rather than
+        // silently resend over a fresh connection.
+        let second = client.request_raw_opts("PUT", "/models/x", b"artifact", &[], false);
+        assert!(
+            second.is_err(),
+            "a non-retry-safe request must not transparently resend: {second:?}"
+        );
+        // The client recovers on the next call (fresh connection).
+        let third = client
+            .request_raw_opts("PUT", "/models/x", b"artifact", &[], false)
+            .expect("fresh connection after the surfaced error");
+        assert_eq!(third.status, 200);
+
+        handle.shutdown();
+        let stats = join.join().expect("joins");
+        assert_eq!(stats.requests, 2, "exactly two PUTs reached the server");
     }
 
     /// A dead address stays an error: the retry is one reconnect, not a

@@ -19,7 +19,8 @@
 //! finish on the model they started with.
 
 use crate::http::{
-    Handler, HttpConfig, HttpRequest, HttpResponse, HttpServer, ServerStats, ShutdownHandle,
+    Handler, HttpConfig, HttpRequest, HttpResponse, HttpServer, LoadGauge, ServerStats,
+    ShutdownHandle,
 };
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
@@ -94,6 +95,7 @@ pub fn spawn(config: ServeConfig) -> Result<RunningDaemon, ServeError> {
         Arc::clone(&registry),
         Arc::clone(&metrics),
         server.protocol_error_counter(),
+        server.load_gauge(),
     );
     let thread = std::thread::spawn(move || server.serve(handler));
     Ok(RunningDaemon {
@@ -133,15 +135,18 @@ pub fn serve(config: ServeConfig) -> Result<ServerStats, ServeError> {
 
 /// Builds the route handler over a registry + metrics pair.
 /// `protocol_errors` is the HTTP layer's below-the-router rejection
-/// counter ([`crate::http::HttpServer::protocol_error_counter`]),
-/// folded into `/metrics` scrapes.
+/// counter ([`crate::http::HttpServer::protocol_error_counter`]) and
+/// `load` its admission-gate gauge
+/// ([`crate::http::HttpServer::load_gauge`]), both folded into
+/// `/metrics` scrapes.
 pub fn router(
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
     protocol_errors: Arc<std::sync::atomic::AtomicU64>,
+    load: Arc<LoadGauge>,
 ) -> Handler {
     Arc::new(move |request: &HttpRequest| {
-        let response = route(&registry, &metrics, &protocol_errors, request);
+        let response = route(&registry, &metrics, &protocol_errors, &load, request);
         if response.status >= 400 {
             metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -153,6 +158,7 @@ fn route(
     registry: &ModelRegistry,
     metrics: &Metrics,
     protocol_errors: &std::sync::atomic::AtomicU64,
+    load: &LoadGauge,
     request: &HttpRequest,
 ) -> HttpResponse {
     match (request.method.as_str(), request.path.as_str()) {
@@ -220,14 +226,15 @@ fn route(
             let model = registry.model();
             HttpResponse::text(
                 200,
-                metrics.render_prometheus(
-                    &model.id,
-                    model.epoch,
-                    registry.uptime_s(),
-                    model.scanner.cache_len(),
-                    registry.prep_cache().len(),
-                    protocol_errors.load(Ordering::Relaxed),
-                ),
+                metrics.render_prometheus(&crate::metrics::ScrapeSnapshot {
+                    model_id: &model.id,
+                    model_epoch: model.epoch,
+                    uptime_s: registry.uptime_s(),
+                    verdict_cache_len: model.scanner.cache_len(),
+                    prep_cache_len: registry.prep_cache().len(),
+                    protocol_errors: protocol_errors.load(Ordering::Relaxed),
+                    load,
+                }),
             )
         }
         (_, "/scan" | "/batch" | "/models/reload") => {

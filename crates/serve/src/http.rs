@@ -27,7 +27,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -56,6 +56,17 @@ pub struct HttpConfig {
     /// Requests served per connection before an orderly close (bounds
     /// the damage of a client that never disconnects).
     pub max_requests_per_conn: usize,
+    /// Admission watermark: connections queued at the accept→worker
+    /// handoff beyond which new connections are **shed** with
+    /// `429 + Retry-After` instead of queueing unboundedly. In this
+    /// worker-pool design a queued connection waits for a worker to
+    /// free, which under keep-alive saturation can be arbitrarily long —
+    /// an honest early 429 beats an unbounded silent queue. `0`
+    /// disables shedding (the pre-admission-control behavior).
+    pub shed_watermark: usize,
+    /// Seconds suggested in `Retry-After` on shed (429) and
+    /// slow-request (408) responses.
+    pub retry_after_s: u32,
 }
 
 impl Default for HttpConfig {
@@ -68,8 +79,25 @@ impl Default for HttpConfig {
             read_timeout: Duration::from_secs(5),
             request_deadline: Duration::from_secs(30),
             max_requests_per_conn: 10_000,
+            shed_watermark: 256,
+            retry_after_s: 1,
         }
     }
+}
+
+/// Live load observed by the server, shared out for metrics scrapes
+/// and the admission gate. All relaxed atomics — the counters steer
+/// shedding and dashboards, not correctness.
+#[derive(Debug, Default)]
+pub struct LoadGauge {
+    /// Connections accepted and handed to the worker channel, not yet
+    /// picked up by a worker (the unbounded queue the shed watermark
+    /// bounds).
+    pub queued: AtomicUsize,
+    /// Requests currently inside a route handler.
+    pub in_flight: AtomicUsize,
+    /// Connections answered `429 + Retry-After` at the admission gate.
+    pub shed_total: AtomicU64,
 }
 
 /// One parsed request.
@@ -159,6 +187,7 @@ fn status_reason(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Content",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -223,6 +252,9 @@ pub struct HttpServer {
     /// sees these, so the count is shared out via
     /// [`HttpServer::protocol_error_counter`] for metrics scrapes.
     protocol_errors: Arc<AtomicU64>,
+    /// Queue depth / in-flight / shed counters, shared out via
+    /// [`HttpServer::load_gauge`].
+    load: Arc<LoadGauge>,
 }
 
 impl HttpServer {
@@ -249,6 +281,7 @@ impl HttpServer {
                 }),
             },
             protocol_errors: Arc::new(AtomicU64::new(0)),
+            load: Arc::new(LoadGauge::default()),
         })
     }
 
@@ -269,6 +302,12 @@ impl HttpServer {
         Arc::clone(&self.protocol_errors)
     }
 
+    /// Live queue-depth / in-flight / shed counters (clone before
+    /// [`HttpServer::serve`] to fold into metrics).
+    pub fn load_gauge(&self) -> Arc<LoadGauge> {
+        Arc::clone(&self.load)
+    }
+
     /// Serves until shutdown: accepts on the calling thread, handles
     /// requests on the worker pool, joins everything, returns counters.
     pub fn serve(self, handler: Handler) -> ServerStats {
@@ -279,10 +318,20 @@ impl HttpServer {
         };
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
+        let (shed_tx, shed_rx) = mpsc::channel::<TcpStream>();
         let requests = Arc::new(AtomicU64::new(0));
         let mut connections = 0u64;
 
         std::thread::scope(|scope| {
+            // One dedicated shedder: rejected connections cost the
+            // accept loop a channel send and nothing more, so a shed
+            // storm cannot delay the admission of acceptable traffic.
+            let retry_after_s = self.config.retry_after_s;
+            scope.spawn(move || {
+                while let Ok(stream) = shed_rx.recv() {
+                    shed_connection(stream, retry_after_s);
+                }
+            });
             for _ in 0..workers {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
@@ -290,14 +339,22 @@ impl HttpServer {
                 let shutdown = self.shutdown.clone();
                 let requests = Arc::clone(&requests);
                 let protocol_errors = Arc::clone(&self.protocol_errors);
+                let load = Arc::clone(&self.load);
                 scope.spawn(move || loop {
                     // Hold the receiver lock only for the dequeue.
                     let conn = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
                         Ok(conn) => conn,
                         Err(_) => break, // accept loop closed the channel
                     };
-                    let served =
-                        serve_connection(conn, config, &handler, &shutdown, &protocol_errors);
+                    load.queued.fetch_sub(1, Ordering::Relaxed);
+                    let served = serve_connection(
+                        conn,
+                        config,
+                        &handler,
+                        &shutdown,
+                        &protocol_errors,
+                        &load,
+                    );
                     requests.fetch_add(served, Ordering::Relaxed);
                 });
             }
@@ -308,7 +365,19 @@ impl HttpServer {
                 }
                 match conn {
                     Ok(stream) => {
+                        // Admission gate: past the watermark a queued
+                        // connection would wait for a worker with no
+                        // bound, so shed it *now* with an honest 429.
+                        if self.config.shed_watermark > 0
+                            && self.load.queued.load(Ordering::Relaxed)
+                                >= self.config.shed_watermark
+                        {
+                            self.load.shed_total.fetch_add(1, Ordering::Relaxed);
+                            let _ = shed_tx.send(stream);
+                            continue;
+                        }
                         connections += 1;
+                        self.load.queued.fetch_add(1, Ordering::Relaxed);
                         if tx.send(stream).is_err() {
                             break;
                         }
@@ -318,6 +387,7 @@ impl HttpServer {
                 }
             }
             drop(tx); // workers drain queued connections, then exit
+            drop(shed_tx); // the shedder drains its backlog, then exits
         });
 
         ServerStats {
@@ -333,6 +403,36 @@ impl HttpServer {
 /// full idle timeout.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Answers a connection the admission gate rejected: a one-line 429
+/// with `Retry-After`, then an orderly close. Runs on the dedicated
+/// shedder thread with every step timeout-bounded, so a slow client
+/// can neither stall the accept loop nor hold the shedder hostage.
+///
+/// The close is half-close-then-drain, not an immediate teardown:
+/// closing a socket with the client's unread request bytes still
+/// buffered makes the kernel send RST, which can destroy the 429
+/// before the client reads it. Sending FIN first and then draining
+/// (briefly — the timeout bounds a malicious dribbler) lets the 429
+/// land and the connection die with a clean FIN exchange.
+fn shed_connection(mut stream: TcpStream, retry_after_s: u32) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let response = HttpResponse::error(429, "server saturated; retry later")
+        .with_header("Retry-After", retry_after_s.to_string());
+    let _ = write_response(&mut stream, &response, false);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    let deadline = std::time::Instant::now() + Duration::from_millis(250);
+    while std::time::Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break, // client saw the FIN and closed
+            Ok(_) => {}              // discard whatever was in flight
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
 /// Serves one connection for its keep-alive lifetime; returns how many
 /// requests were answered.
 fn serve_connection(
@@ -341,6 +441,7 @@ fn serve_connection(
     handler: &Handler,
     shutdown: &ShutdownHandle,
     protocol_errors: &AtomicU64,
+    load: &LoadGauge,
 ) -> u64 {
     let _ = stream.set_read_timeout(Some(READ_POLL.min(config.read_timeout)));
     let _ = stream.set_nodelay(true);
@@ -368,8 +469,10 @@ fn serve_connection(
         };
         // A handler panic must not take the worker down with it: catch,
         // serve a 500, keep the connection policy honest.
+        load.in_flight.fetch_add(1, Ordering::Relaxed);
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
             .unwrap_or_else(|_| HttpResponse::error(500, "handler panicked"));
+        load.in_flight.fetch_sub(1, Ordering::Relaxed);
         // The advertised connection state must match what happens next:
         // the response that exhausts the per-connection request cap (or
         // lands during a drain) says `Connection: close`.
@@ -441,7 +544,8 @@ fn read_request(
             return Err(HttpResponse::error(431, "header block too large"));
         }
         if overdue(&request_started) {
-            return Err(HttpResponse::error(408, "request took too long to arrive"));
+            return Err(HttpResponse::error(408, "request took too long to arrive")
+                .with_header("Retry-After", config.retry_after_s.to_string()));
         }
         let mut chunk = [0u8; 4096];
         match stream.read(&mut chunk) {
@@ -554,7 +658,8 @@ fn read_request(
     let mut last_activity = std::time::Instant::now();
     while body.len() < content_length {
         if overdue(&request_started) {
-            return Err(HttpResponse::error(408, "request took too long to arrive"));
+            return Err(HttpResponse::error(408, "request took too long to arrive")
+                .with_header("Retry-After", config.retry_after_s.to_string()));
         }
         let mut chunk = [0u8; 4096];
         match stream.read(&mut chunk) {
@@ -854,6 +959,62 @@ mod tests {
             "POST /echo HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
         );
         assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        handle.shutdown();
+        join.join().expect("joins");
+    }
+
+    #[test]
+    fn admission_gate_sheds_past_the_watermark_with_429() {
+        let server = HttpServer::bind(HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            shed_watermark: 1,
+            retry_after_s: 3,
+            read_timeout: Duration::from_millis(500),
+            ..HttpConfig::default()
+        })
+        .expect("binds");
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let load = server.load_gauge();
+        let join = std::thread::spawn(move || {
+            server.serve(Arc::new(|_req: &HttpRequest| {
+                std::thread::sleep(Duration::from_millis(600));
+                HttpResponse::text(200, "finally")
+            }))
+        });
+
+        // Occupy the single worker and wait until its handler is truly
+        // in flight (so the next connection parks in the queue instead
+        // of racing the dequeue).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut busy = TcpStream::connect(addr).expect("connects");
+        busy.write_all(b"GET /slow HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("writes");
+        while load.in_flight.load(Ordering::Relaxed) < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "the busy request never reached the handler"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Park one more connection in the queue: that reaches the
+        // watermark.
+        let _parked = TcpStream::connect(addr).expect("connects");
+        while load.queued.load(Ordering::Relaxed) < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "the parked connection never reached the queue"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // The next connection must be shed immediately with 429.
+        let reply = raw_round_trip(addr, "GET /slow HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 429"), "{reply}");
+        assert!(reply.contains("Retry-After: 3"), "{reply}");
+        assert_eq!(load.shed_total.load(Ordering::Relaxed), 1);
+
         handle.shutdown();
         join.join().expect("joins");
     }

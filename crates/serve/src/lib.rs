@@ -61,6 +61,37 @@
 //! threads and writes `BENCH_PR5.json` (req/s, p50/p99) — the serving
 //! path's perf trajectory from day one.
 //!
+//! ## Operating under load
+//!
+//! The daemon degrades *explicitly*, never silently:
+//!
+//! * **Admission control.** Connections queue at the accept→worker
+//!   handoff; past [`HttpConfig::shed_watermark`] queued connections
+//!   (default 256, `--shed-watermark` on the CLI, `0` disables) new
+//!   arrivals are shed immediately with `429 Too Many Requests` plus a
+//!   `Retry-After: <s>` header ([`HttpConfig::retry_after_s`]). An
+//!   honest early 429 beats an unbounded queue: the client can back
+//!   off or re-route while accepted requests keep their latency.
+//! * **Slow-client defense.** A request that does not fully arrive
+//!   within [`HttpConfig::request_deadline`] gets `408 + Retry-After`
+//!   and the connection closes — a slowloris dribbling one byte per
+//!   idle-timeout cannot pin a pool worker forever, and healthy
+//!   requests on other connections are unaffected.
+//! * **Observability.** `GET /metrics` exposes the live gauge:
+//!   `scamdetect_queue_depth`, `scamdetect_in_flight_requests`, and
+//!   the `scamdetect_requests_shed_total` counter, alongside p50/p99
+//!   scan latency. Watch shed-total's rate to size the fleet.
+//! * **Retry semantics.** 408/429 responses always carry `Retry-After`;
+//!   clients should treat them as backpressure, not failure. The
+//!   bundled [`client::HttpClient`] resends idempotent requests once
+//!   over a fresh connection and exposes
+//!   [`client::HttpClient::request_raw_opts`] with `retry_safe = false`
+//!   for writes that must never double-send.
+//!
+//! `serve_bench --shed` (in the fleet crate) drives the daemon at 2x
+//! saturation and records shed-rate plus accepted-request p99 to
+//! `BENCH_PR7.json` — the graceful-degradation gate CI enforces.
+//!
 //! Embedded use (tests, benches, other daemons):
 //!
 //! ```no_run
@@ -86,5 +117,5 @@ pub mod registry;
 pub mod wire;
 
 pub use daemon::{serve, spawn, RunningDaemon, ServeConfig};
-pub use http::{HttpConfig, ShutdownHandle};
+pub use http::{HttpConfig, LoadGauge, ShutdownHandle};
 pub use registry::{ModelRegistry, RegistryConfig, ServeError, ServingModel};

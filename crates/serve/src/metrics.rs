@@ -7,6 +7,7 @@
 //! allocation while serving, exact-enough p50/p99 over recent traffic,
 //! O(ring) work only when `/metrics` is hit).
 
+use crate::http::LoadGauge;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Samples kept for percentile estimation.
@@ -16,6 +17,29 @@ const LATENCY_RING: usize = 2048;
 /// as 1µs — the measurement floor, far below anything the scan path
 /// can produce).
 const EMPTY: u64 = u64::MAX;
+
+/// Point-in-time state gathered by the `/metrics` route handler for
+/// one scrape: the identity of the served model, daemon uptime, live
+/// cache sizes, the HTTP layer's below-route rejection count (bad
+/// request lines, 431/413/411/408), and the live admission-gate gauge
+/// (queue depth, in-flight, shed count).
+#[derive(Debug, Clone, Copy)]
+pub struct ScrapeSnapshot<'a> {
+    /// Id of the model currently serving.
+    pub model_id: &'a str,
+    /// Monotonic epoch of the served model (bumps on every swap).
+    pub model_epoch: u64,
+    /// Seconds since the daemon started.
+    pub uptime_s: u64,
+    /// Entries in the serving scanner's verdict cache.
+    pub verdict_cache_len: usize,
+    /// Entries in the shared prepared-input cache.
+    pub prep_cache_len: usize,
+    /// Requests rejected below the route layer.
+    pub protocol_errors: u64,
+    /// Live server load (queue depth, in-flight, shed count).
+    pub load: &'a LoadGauge,
+}
 
 /// Counters and latency samples for one daemon lifetime.
 pub struct Metrics {
@@ -103,22 +127,18 @@ impl Metrics {
         hits as f64 / total as f64
     }
 
-    /// Renders the Prometheus text exposition format.
-    ///
-    /// `model_id` / `model_epoch` describe the currently-served model;
-    /// `uptime_s` is the daemon's, the two cache gauges are read from
-    /// the live scanner, and `protocol_errors` comes from the HTTP
-    /// layer (rejections decided before any route handler ran —
-    /// malformed request lines, 431/413/411/408).
-    pub fn render_prometheus(
-        &self,
-        model_id: &str,
-        model_epoch: u64,
-        uptime_s: u64,
-        verdict_cache_len: usize,
-        prep_cache_len: usize,
-        protocol_errors: u64,
-    ) -> String {
+    /// Renders the Prometheus text exposition format over `snap`, the
+    /// scrape-time state gathered by the `/metrics` route handler.
+    pub fn render_prometheus(&self, snap: &ScrapeSnapshot<'_>) -> String {
+        let ScrapeSnapshot {
+            model_id,
+            model_epoch,
+            uptime_s,
+            verdict_cache_len,
+            prep_cache_len,
+            protocol_errors,
+            load,
+        } = *snap;
         use std::fmt::Write as _;
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, value: u64| {
@@ -186,6 +206,11 @@ impl Metrics {
             "artifacts accepted through PUT /models/<id>",
             self.model_installs.load(Ordering::Relaxed),
         );
+        counter(
+            "scamdetect_requests_shed_total",
+            "connections answered 429 at the admission gate",
+            load.shed_total.load(Ordering::Relaxed),
+        );
 
         let (p50, p99) = self.latency_percentiles_us();
         let mut gauge = |name: &str, help: &str, value: String| {
@@ -217,6 +242,16 @@ impl Metrics {
             "scamdetect_prep_cache_entries",
             "entries in the shared prepared-input cache",
             prep_cache_len.to_string(),
+        );
+        gauge(
+            "scamdetect_queue_depth",
+            "connections waiting at the accept-to-worker handoff",
+            load.queued.load(Ordering::Relaxed).to_string(),
+        );
+        gauge(
+            "scamdetect_in_flight_requests",
+            "requests currently inside a route handler",
+            load.in_flight.load(Ordering::Relaxed).to_string(),
         );
         gauge(
             "scamdetect_uptime_seconds",
@@ -279,9 +314,23 @@ mod tests {
         let m = Metrics::default();
         m.requests_scan.store(4, Ordering::Relaxed);
         m.record_latency_us(123);
-        let text = m.render_prometheus("rf-v3", 2, 60, 10, 12, 3);
+        let load = LoadGauge::default();
+        load.shed_total.store(5, Ordering::Relaxed);
+        load.queued.store(2, Ordering::Relaxed);
+        let text = m.render_prometheus(&ScrapeSnapshot {
+            model_id: "rf-v3",
+            model_epoch: 2,
+            uptime_s: 60,
+            verdict_cache_len: 10,
+            prep_cache_len: 12,
+            protocol_errors: 3,
+            load: &load,
+        });
         assert!(text.contains("scamdetect_requests_total 4"));
         assert!(text.contains("scamdetect_protocol_errors_total 3"));
+        assert!(text.contains("scamdetect_requests_shed_total 5"));
+        assert!(text.contains("scamdetect_queue_depth 2"));
+        assert!(text.contains("scamdetect_in_flight_requests 0"));
         assert!(text.contains("scamdetect_scan_latency_p50_us 123"));
         assert!(text.contains("scamdetect_model_info{model=\"rf-v3\"} 1"));
         assert!(text.contains("scamdetect_model_epoch 2"));

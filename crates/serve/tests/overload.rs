@@ -1,0 +1,242 @@
+//! Overload and slow-client behavior of the serve daemon, driven over
+//! raw `std::net::TcpStream` so the wire bytes themselves are pinned:
+//!
+//! * a **slowloris** client dribbling one byte per 100ms past
+//!   `request_deadline` gets `408 + Retry-After` and does **not**
+//!   consume the pool — a concurrent healthy request completes
+//!   sub-second;
+//! * a **truncated body** (Content-Length promised, connection closed
+//!   early) gets a well-formed `400`, not a hang;
+//! * past the **shed watermark** new connections get `429 +
+//!   Retry-After` immediately, the daemon recovers once the queue
+//!   drains, and `/metrics` reports `requests_shed_total`.
+
+use scamdetect_serve::daemon::{spawn, RunningDaemon, ServeConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/golden-logreg-unified-v1.scam"
+);
+
+/// Stages the committed golden artifact into a fresh models dir and
+/// spawns a daemon over it with the given HTTP knobs applied.
+fn daemon_with(
+    tag: &str,
+    tune: impl FnOnce(&mut ServeConfig),
+) -> (RunningDaemon, std::path::PathBuf) {
+    let dir =
+        std::env::temp_dir().join(format!("scamdetect-overload-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("models dir");
+    let golden = std::fs::read(GOLDEN_PATH).expect("golden fixture is committed");
+    std::fs::write(dir.join("golden-v1.scam"), &golden).expect("stage artifact");
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    config.registry.models_dir = dir.clone();
+    tune(&mut config);
+    (spawn(config).expect("daemon spawns"), dir)
+}
+
+/// Reads everything the server sends until it closes the connection.
+fn read_to_close(stream: TcpStream) -> String {
+    let mut reply = String::new();
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => reply.push_str(&line),
+        }
+    }
+    reply
+}
+
+fn timed_healthz(addr: std::net::SocketAddr) -> (String, Duration) {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("writes");
+    let reply = read_to_close(stream);
+    (reply, started.elapsed())
+}
+
+#[test]
+fn slowloris_gets_408_and_does_not_consume_the_pool() {
+    let (daemon, dir) = daemon_with("slowloris", |config| {
+        config.http.workers = 2;
+        config.http.request_deadline = Duration::from_millis(500);
+        config.http.retry_after_s = 2;
+    });
+    let addr = daemon.addr;
+
+    // The slowloris: a request that never finishes arriving, one byte
+    // per 100ms — each byte resets the per-read idle timeout, so only
+    // the request deadline can stop it.
+    let dribbler = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nX-Drip: ")
+            .expect("opening bytes");
+        // 12 dribbled bytes x 100ms = 1.2s of dripping, past the 500ms
+        // deadline; the server must cut in with a 408 mid-drip.
+        for _ in 0..12 {
+            std::thread::sleep(Duration::from_millis(100));
+            if stream.write_all(b"y").is_err() {
+                break; // server already closed on us — expected
+            }
+        }
+        read_to_close(stream)
+    });
+
+    // While the dribble is in flight, a healthy request on the other
+    // worker must complete sub-second.
+    std::thread::sleep(Duration::from_millis(150)); // dribble underway
+    let (reply, elapsed) = timed_healthz(addr);
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "healthy request stalled behind the slowloris: {elapsed:?}"
+    );
+
+    let reply = dribbler.join().expect("dribbler joins");
+    assert!(
+        reply.starts_with("HTTP/1.1 408"),
+        "a slow-drip request must time out with 408: {reply}"
+    );
+    assert!(reply.contains("Retry-After: 2"), "{reply}");
+
+    daemon.stop().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_body_gets_a_well_formed_400() {
+    let (daemon, dir) = daemon_with("truncated", |config| {
+        config.http.workers = 2;
+        config.http.read_timeout = Duration::from_millis(500);
+    });
+    let addr = daemon.addr;
+
+    // Promise 50 body bytes, deliver 5, then close our write half: the
+    // server sees EOF mid-body and must answer a clean 400.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream
+        .write_all(b"POST /scan HTTP/1.1\r\nHost: x\r\nContent-Length: 50\r\n\r\nshort")
+        .expect("writes");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let reply = read_to_close(stream);
+    assert!(
+        reply.starts_with("HTTP/1.1 400"),
+        "a truncated body must be a clean 400: {reply}"
+    );
+
+    // The worker survived: the daemon still answers.
+    let (reply, _) = timed_healthz(addr);
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+
+    daemon.stop().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn saturated_daemon_sheds_429_then_recovers() {
+    let (daemon, dir) = daemon_with("shed", |config| {
+        config.http.workers = 1;
+        config.http.shed_watermark = 1;
+        config.http.retry_after_s = 1;
+        config.http.read_timeout = Duration::from_millis(500);
+    });
+    let addr = daemon.addr;
+
+    // Occupy the single worker for its keep-alive lifetime: one full
+    // round trip proves the worker owns this connection, and keeping it
+    // open parks the worker in the keep-alive read.
+    let mut busy = TcpStream::connect(addr).expect("connects");
+    busy.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    busy.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .expect("writes");
+    {
+        let mut reader = BufReader::new(busy.try_clone().expect("clone"));
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status");
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header");
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("length");
+            }
+            if line == "\r\n" {
+                break;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+    }
+
+    // The queue fills to the watermark with one parked connection…
+    let parked = TcpStream::connect(addr).expect("connects");
+    // …and the next arrival is shed immediately with 429 + Retry-After,
+    // without us sending a single byte.
+    let shed = TcpStream::connect(addr).expect("connects");
+    shed.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let reply = read_to_close(shed);
+    assert!(
+        reply.starts_with("HTTP/1.1 429"),
+        "past the watermark the daemon must shed with 429: {reply}"
+    );
+    assert!(reply.contains("Retry-After: 1"), "{reply}");
+
+    // Recovery: close the busy connection, the worker drains the queue,
+    // the parked connection gets served, and new traffic flows again.
+    drop(busy);
+    parked
+        .try_clone()
+        .expect("clone")
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("writes");
+    parked
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let reply = read_to_close(parked);
+    assert!(
+        reply.starts_with("HTTP/1.1 200"),
+        "the queued connection must be served once the worker frees: {reply}"
+    );
+
+    let (metrics, _) = {
+        let started = Instant::now();
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("writes");
+        (read_to_close(stream), started.elapsed())
+    };
+    assert!(
+        metrics.contains("scamdetect_requests_shed_total 1"),
+        "the shed must be counted: {metrics}"
+    );
+
+    daemon.stop().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}

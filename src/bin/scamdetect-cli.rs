@@ -18,6 +18,9 @@
 //!   --http-workers <n>                             connection worker threads (default: cores)
 //!   --workers <n>                                  per-batch scan workers (default: cores)
 //!   --cache-capacity <n>                           verdict/prep cache entries (default 4096)
+//!   --shed-watermark <n>                           queued connections past which new
+//!                                                  arrivals get 429 (default 256, 0 = off)
+//!   --retry-after <s>                              Retry-After seconds on 408/429 (default 1)
 //!
 //! The daemon answers POST /scan, POST /batch, GET /models,
 //! POST /models/reload (hot swap), GET /healthz and GET /metrics, and
@@ -34,7 +37,13 @@
 //!   fleet serve --replicas <h:p,h:p,...>           run the consistent-hash front-door
 //!               [--addr <host:port>]               router over running serve replicas
 //!               [--vnodes <n>]                     (default addr 127.0.0.1:7800,
-//!                                                  64 vnodes per replica)
+//!               [--forward-timeout-ms <ms>]        64 vnodes per replica; forward timeout
+//!               [--retry-after <s>]                doubles as the default per-request
+//!               [--breaker-failures <n>]           deadline budget, overridable per
+//!               [--breaker-error-rate <p>]         request via the x-deadline-ms header;
+//!               [--breaker-cooldown-ms <ms>]       breaker: trip after n consecutive
+//!                                                  failures or error rate ≥ p, re-probe
+//!                                                  after the cooldown)
 //!   fleet status --router <host:port>              print ring topology, shard shares
 //!                                                  and per-replica health
 //!   fleet rollout --replicas <h:p,h:p,...>         staged artifact rollout: push to
@@ -544,6 +553,8 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 config.registry.cache_capacity = capacity;
                 config.registry.prep_capacity = capacity;
             }
+            "--shed-watermark" => config.http.shed_watermark = value(&mut i)?.parse()?,
+            "--retry-after" => config.http.retry_after_s = value(&mut i)?.parse()?,
             other => return Err(format!("unknown serve option '{other}'").into()),
         }
         i += 1;
@@ -606,6 +617,25 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             "--http-workers" => config.workers = value(&mut i)?.parse()?,
+            "--forward-timeout-ms" => {
+                config.forward_timeout = std::time::Duration::from_millis(value(&mut i)?.parse()?);
+            }
+            "--retry-after" => config.retry_after_s = value(&mut i)?.parse()?,
+            "--breaker-failures" => {
+                config.breaker.consecutive_failures = value(&mut i)?.parse()?;
+                if config.breaker.consecutive_failures == 0 {
+                    return Err("--breaker-failures must be at least 1".into());
+                }
+            }
+            "--breaker-error-rate" => {
+                config.breaker.error_rate = value(&mut i)?.parse()?;
+                if !(0.0..=1.0).contains(&config.breaker.error_rate) {
+                    return Err("--breaker-error-rate must be in [0, 1]".into());
+                }
+            }
+            "--breaker-cooldown-ms" => {
+                config.breaker.cooldown = std::time::Duration::from_millis(value(&mut i)?.parse()?);
+            }
             other => return Err(format!("unknown fleet serve option '{other}'").into()),
         }
         i += 1;

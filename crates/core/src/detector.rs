@@ -108,7 +108,7 @@ impl ClassicModel {
     }
 }
 
-/// Which detector a [`crate::ScamDetect`] instance trains.
+/// Which detector a [`crate::ScannerBuilder`] trains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
     /// A classic classifier over byte/graph features.

@@ -94,10 +94,11 @@
 //! carries prepared inputs across the swap — see
 //! [`ScannerBuilder::shared_prep_cache`].
 //!
-//! The legacy one-shot facade ([`ScamDetect::scan`]) is **deprecated** —
-//! it survives as a thin fixed-configuration wrapper over the same
-//! machinery (see [`pipeline`]), and new code should use
-//! [`ScannerBuilder`] directly. The [`experiment`] module regenerates
+//! The legacy one-shot `ScamDetect` facade has been removed after its
+//! deprecation cycle: [`ScannerBuilder`] is the single entry point
+//! (`ScamDetect::train(kind, corpus, opts)` →
+//! `ScannerBuilder::new().model(kind).train_options(opts).train(corpus)`,
+//! then [`Scanner::scan`]). The [`experiment`] module regenerates
 //! every table and figure of the evaluation (see DESIGN.md §3 and
 //! EXPERIMENTS.md).
 
@@ -107,7 +108,6 @@ pub mod error;
 pub mod experiment;
 pub mod featurize;
 pub mod lru;
-pub mod pipeline;
 pub mod scan;
 pub mod verdict;
 
@@ -115,8 +115,6 @@ pub use artifact::{ArtifactError, ModelArtifact};
 pub use detector::{ClassicModel, Detector, ModelKind, PreparedInput, ReprKind, TrainOptions};
 pub use error::ScamDetectError;
 pub use featurize::{detect_platform, FeatureKind, Lifted};
-#[allow(deprecated)]
-pub use pipeline::ScamDetect;
 pub use scan::{
     request_fingerprint, CacheStatus, CfgStats, PrepCache, ScanOutcome, ScanReport, ScanRequest,
     Scanner, ScannerBuilder,

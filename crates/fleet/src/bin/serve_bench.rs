@@ -1,8 +1,9 @@
 //! Loopback load generator for the serving path: one replica direct
 //! (the PR-5 trajectory), a 2-replica fleet behind the router
-//! (`--router`, the PR-6 trajectory), or one replica driven past
+//! (`--router`, the PR-6 trajectory), one replica driven past
 //! saturation to measure graceful degradation (`--shed`, the PR-7
-//! trajectory).
+//! trajectory), or both transports compared on an open-connections
+//! axis (`--connections`, the PR-8 trajectory).
 //!
 //! ```text
 //! cargo run --release -p scamdetect-fleet --bin serve_bench \
@@ -11,7 +12,18 @@
 //!     -- --router [--out BENCH_PR6.json --clients 4 --requests 800]
 //! cargo run --release -p scamdetect-fleet --bin serve_bench \
 //!     -- --shed [--out BENCH_PR7.json --requests 800]
+//! cargo run --release -p scamdetect-fleet --bin serve_bench \
+//!     -- --connections [--out BENCH_PR8.json --idle-cap 5000]
 //! ```
+//!
+//! Connections mode runs the same req/s measurement against a
+//! threaded-transport daemon and an epoll-transport daemon, then ramps
+//! **held idle keep-alive connections** on each (a connection counts as
+//! held only after it has served a request — merely TCP-established
+//! doesn't count) until a probe fails or the cap is reached. The gate
+//! is the tentpole's claim: the epoll backend's ceiling must be ≥ 10×
+//! the threaded backend's, and the epoll daemon must keep serving
+//! (≥ 30% of its unloaded req/s) with the whole herd parked.
 //!
 //! Shed mode floods a deliberately small daemon (2 workers, shed
 //! watermark 2) with close-per-request connections at ~2× saturation
@@ -54,6 +66,8 @@ struct Options {
     requests: usize,
     router: bool,
     shed: bool,
+    connections: bool,
+    idle_cap: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -64,6 +78,8 @@ fn parse_args() -> Result<Options, String> {
         requests: 800,
         router: false,
         shed: false,
+        connections: false,
+        idle_cap: 5000,
     };
     let mut i = 0;
     while i < args.len() {
@@ -77,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
             "--out" => options.out_path = Some(value(&mut i)?),
             "--router" => options.router = true,
             "--shed" => options.shed = true,
+            "--connections" => options.connections = true,
             "--clients" => {
                 options.clients = value(&mut i)?
                     .parse()
@@ -87,20 +104,28 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--requests: {e}"))?
             }
+            "--idle-cap" => {
+                options.idle_cap = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--idle-cap: {e}"))?
+            }
             other => {
                 return Err(format!(
-                    "unknown option '{other}' (usage: serve_bench [--router | --shed] \
-                     [--out <path>] [--clients <n>] [--requests <n>])"
+                    "unknown option '{other}' (usage: serve_bench \
+                     [--router | --shed | --connections] [--out <path>] \
+                     [--clients <n>] [--requests <n>] [--idle-cap <n>])"
                 ))
             }
         }
         i += 1;
     }
-    if options.clients == 0 || options.requests == 0 {
-        return Err("--clients and --requests must be at least 1".to_string());
+    if options.clients == 0 || options.requests == 0 || options.idle_cap == 0 {
+        return Err("--clients, --requests and --idle-cap must be at least 1".to_string());
     }
-    if options.router && options.shed {
-        return Err("--router and --shed are separate modes; pick one".to_string());
+    if usize::from(options.router) + usize::from(options.shed) + usize::from(options.connections)
+        > 1
+    {
+        return Err("--router, --shed and --connections are separate modes; pick one".to_string());
     }
     Ok(options)
 }
@@ -450,6 +475,262 @@ fn run_shed(options: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One held idle connection: connect, serve one `/healthz` round trip
+/// (proving the server actually owns this connection), then park it.
+/// `None` means the backend could not take on one more connection —
+/// the ceiling.
+fn probe_idle(addr: SocketAddr) -> Option<std::net::TcpStream> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .ok()?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .ok()?;
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => raw.push(byte[0]),
+            _ => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&raw).into_owned();
+    if !head.starts_with("HTTP/1.1 200") {
+        return None;
+    }
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())?;
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).ok()?;
+    Some(stream)
+}
+
+/// Live thread count of this process (0 where `/proc` is absent).
+fn process_threads() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find_map(|l| l.strip_prefix("Threads:"))
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Per-backend numbers from the `--connections` mode.
+struct BackendRun {
+    req_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    failures: usize,
+    idle_held: usize,
+    threads_at_peak: u64,
+    /// req/s re-measured with the full idle herd parked (epoll only:
+    /// under threads the herd pins every worker, which is the point).
+    loaded_req_per_sec: Option<f64>,
+}
+
+/// The `--connections` mode: same req/s measurement on both
+/// transports, then ramp held idle keep-alive connections to each
+/// backend's ceiling.
+#[allow(clippy::too_many_lines)]
+fn run_connections(options: &Options) -> ExitCode {
+    use scamdetect_serve::http::TransportKind;
+    const WORKERS: usize = 4;
+    let out_path = options
+        .out_path
+        .clone()
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+
+    eprintln!("serve-bench: training the serving artifact…");
+    let base_dir =
+        std::env::temp_dir().join(format!("scamdetect-conn-bench-{}", std::process::id()));
+    let models_dir = base_dir.join("models");
+    if let Err(e) = std::fs::create_dir_all(&models_dir) {
+        eprintln!("serve-bench: cannot create {}: {e}", models_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let train_corpus = Corpus::generate(&CorpusConfig {
+        size: 80,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
+    ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&train_corpus)
+        .expect("trains")
+        .save(models_dir.join("bench-v1.scam"))
+        .expect("saves artifact");
+    let scan_corpus = Corpus::generate(&CorpusConfig {
+        size: 48,
+        seed: 12,
+        proxy_duplicates: 16,
+        ..CorpusConfig::default()
+    });
+    let bodies: Vec<String> = scan_corpus
+        .contracts()
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"bytecode": "{}"}}"#,
+                scamdetect_serve::wire::encode_hex(&c.bytes)
+            )
+        })
+        .collect();
+
+    let mut runs: Vec<(TransportKind, BackendRun)> = Vec::new();
+    for kind in [TransportKind::Threaded, TransportKind::Epoll] {
+        let mut config = ServeConfig::default();
+        config.http.addr = "127.0.0.1:0".to_string();
+        config.http.transport = kind;
+        config.http.workers = WORKERS;
+        // The herd must park idle for the whole measurement.
+        config.http.read_timeout = std::time::Duration::from_secs(120);
+        config.http.request_deadline = std::time::Duration::from_secs(120);
+        config.registry.models_dir = models_dir.clone();
+        let daemon = match spawn(config) {
+            Ok(daemon) => daemon,
+            Err(e) => {
+                eprintln!("serve-bench: cannot spawn {kind} daemon: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let addr = daemon.addr;
+        eprintln!("serve-bench: {kind} replica on http://{addr} ({WORKERS} workers)");
+        warm(addr, &bodies);
+
+        // Phase 1: throughput with no idle herd — the "equal req/s"
+        // baseline both backends are compared at.
+        let (lat, failures, elapsed) = drive(addr, &bodies, options.clients, options.requests);
+        let req_per_sec = lat.len() as f64 / (elapsed as f64 / 1e6).max(1e-9);
+        let (p50_us, p99_us) = (percentile(&lat, 0.50), percentile(&lat, 0.99));
+        eprintln!(
+            "serve-bench: {kind} baseline {} requests → {req_per_sec:.0} req/s \
+             (p50 {p50_us}µs, p99 {p99_us}µs)",
+            lat.len()
+        );
+
+        // Phase 2: ramp held idle connections to the ceiling. Each
+        // probe must be *served* before it counts.
+        let mut herd = Vec::new();
+        while herd.len() < options.idle_cap {
+            match probe_idle(addr) {
+                Some(stream) => herd.push(stream),
+                None => break,
+            }
+        }
+        let idle_held = herd.len();
+        let threads_at_peak = process_threads();
+        eprintln!(
+            "serve-bench: {kind} holds {idle_held} idle connections \
+             (cap {}, process threads {threads_at_peak})",
+            options.idle_cap
+        );
+
+        // Phase 3: throughput with the herd still parked. Only
+        // meaningful where the herd leaves workers free — under the
+        // threaded backend every held connection pins a pool worker,
+        // which is exactly the limitation this mode documents.
+        let loaded_req_per_sec = if kind == TransportKind::Epoll && idle_held > 0 {
+            let (lat, _, elapsed) = drive(addr, &bodies, options.clients, options.requests);
+            let rps = lat.len() as f64 / (elapsed as f64 / 1e6).max(1e-9);
+            eprintln!("serve-bench: {kind} with {idle_held} parked connections → {rps:.0} req/s");
+            Some(rps)
+        } else {
+            None
+        };
+
+        drop(herd);
+        daemon.stop().expect("clean daemon shutdown");
+        runs.push((
+            kind,
+            BackendRun {
+                req_per_sec,
+                p50_us,
+                p99_us,
+                failures,
+                idle_held,
+                threads_at_peak,
+                loaded_req_per_sec,
+            },
+        ));
+    }
+
+    let threaded = &runs[0].1;
+    let epoll = &runs[1].1;
+    let ceiling_ratio = epoll.idle_held as f64 / (threaded.idle_held as f64).max(1.0);
+    let loaded_ok = epoll
+        .loaded_req_per_sec
+        .is_some_and(|rps| rps >= 0.3 * epoll.req_per_sec);
+    let gate_pass =
+        threaded.failures == 0 && epoll.failures == 0 && ceiling_ratio >= 10.0 && loaded_ok;
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"scamdetect-transport-bench/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workers\": {WORKERS}, \"clients\": {}, \"requests\": {}, \"idle_cap\": {},",
+        options.clients, options.requests, options.idle_cap
+    );
+    for (kind, run) in &runs {
+        let loaded = run
+            .loaded_req_per_sec
+            .map_or("null".to_string(), |rps| format!("{rps:.0}"));
+        let _ = writeln!(
+            json,
+            "  \"{kind}\": {{\"req_per_sec\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"failures\": {}, \"idle_connections_held\": {}, \"process_threads_at_peak\": {}, \
+             \"req_per_sec_with_idle_herd\": {loaded}}},",
+            run.req_per_sec,
+            run.p50_us,
+            run.p99_us,
+            run.failures,
+            run.idle_held,
+            run.threads_at_peak
+        );
+    }
+    let _ = writeln!(json, "  \"ceiling_ratio\": {ceiling_ratio:.1},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"pass\": {gate_pass}, \"rule\": \"every baseline request answers 200 on \
+         both transports, the epoll idle-connection ceiling is at least 10x the threaded \
+         backend's, and with the whole herd parked the epoll daemon still serves at least 30% \
+         of its unloaded req/s\"}}"
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("serve-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: wrote {out_path}");
+    std::fs::remove_dir_all(&base_dir).ok();
+    if !gate_pass {
+        eprintln!(
+            "serve-bench: GATE FAILED (threaded held {} / epoll held {} → ratio {ceiling_ratio:.1}, \
+             loaded_ok {loaded_ok}, failures {}+{})",
+            threaded.idle_held, epoll.idle_held, threaded.failures, epoll.failures
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: gate passed");
+    ExitCode::SUCCESS
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let options = match parse_args() {
@@ -461,6 +742,9 @@ fn main() -> ExitCode {
     };
     if options.shed {
         return run_shed(&options);
+    }
+    if options.connections {
+        return run_connections(&options);
     }
     let out_path = options.out_path.clone().unwrap_or_else(|| {
         if options.router {

@@ -37,7 +37,7 @@ use crate::health::{FleetState, HealthMonitor};
 use scamdetect::detect_platform;
 use scamdetect_serve::client::{ClientResponse, HttpClient};
 use scamdetect_serve::http::{
-    HttpConfig, HttpRequest, HttpResponse, HttpServer, ServerStats, ShutdownHandle,
+    HttpConfig, HttpRequest, HttpResponse, HttpServer, ServerStats, ShutdownHandle, TransportKind,
 };
 use scamdetect_serve::json::{obj, Json};
 use scamdetect_serve::wire;
@@ -62,6 +62,11 @@ pub struct RouterConfig {
     pub vnodes: usize,
     /// Router worker threads (0 = HTTP default).
     pub workers: usize,
+    /// Connection backend for the router's own listener. A front door
+    /// is exactly the fan-in point where idle client keep-alive
+    /// connections dwarf the worker pool, so `epoll` pays off here
+    /// first; `threads` stays the portable default.
+    pub transport: TransportKind,
     /// Health-probe cadence.
     pub probe_interval: Duration,
     /// Per-probe timeout (keep well under the interval).
@@ -82,6 +87,7 @@ impl Default for RouterConfig {
             replicas: Vec::new(),
             vnodes: crate::ring::DEFAULT_VNODES,
             workers: 0,
+            transport: TransportKind::default(),
             probe_interval: Duration::from_millis(500),
             probe_timeout: Duration::from_millis(250),
             forward_timeout: Duration::from_secs(10),
@@ -170,11 +176,16 @@ pub fn spawn_router(config: RouterConfig) -> std::io::Result<RunningRouter> {
         config.breaker.clone(),
     ));
     let metrics = Arc::new(RouterMetrics::default());
-    let server = HttpServer::bind(HttpConfig {
-        addr: config.addr.clone(),
-        workers: config.workers,
-        ..HttpConfig::default()
-    })?;
+    let mut http = HttpConfig::builder()
+        .addr(config.addr.clone())
+        .transport(config.transport);
+    if config.workers > 0 {
+        http = http.workers(config.workers);
+    }
+    let http = http
+        .build()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let server = HttpServer::bind(http)?;
     let addr = server.local_addr();
     let shutdown = server.shutdown_handle();
     let monitor = HealthMonitor::spawn(

@@ -34,7 +34,7 @@ use std::time::Instant;
 /// Everything `serve` needs: where to listen, where the models live.
 #[derive(Debug, Clone, Default)]
 pub struct ServeConfig {
-    /// HTTP server knobs (bind address, workers, size limits).
+    /// HTTP server knobs (bind address, transport, workers, limits).
     pub http: HttpConfig,
     /// Model registry knobs (models dir, pinned id, cache sizes).
     pub registry: RegistryConfig,
@@ -115,12 +115,14 @@ pub fn spawn(config: ServeConfig) -> Result<RunningDaemon, ServeError> {
 ///
 /// Everything [`spawn`] can raise.
 pub fn serve(config: ServeConfig) -> Result<ServerStats, ServeError> {
+    let transport = config.http.transport;
     let daemon = spawn(config)?;
     eprintln!(
-        "scamdetect-serve: listening on http://{} (model '{}', kind {})",
+        "scamdetect-serve: listening on http://{} (model '{}', kind {}, transport {})",
         daemon.addr,
         daemon.registry.model().id,
         daemon.registry.model().kind,
+        transport,
     );
     crate::http::shutdown_on_signals(daemon.shutdown.clone());
     let stats = daemon

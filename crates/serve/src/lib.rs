@@ -38,9 +38,18 @@
 //!
 //! ## Architecture
 //!
-//! * [`http`] — hand-rolled HTTP/1.1 on `std::net::TcpListener`: fixed
-//!   worker pool, request size limits, keep-alive, graceful shutdown
-//!   (SIGTERM/ctrl-c on unix) that drains in-flight requests.
+//! * [`http`] — hand-rolled HTTP/1.1 on `std::net::TcpListener`, split
+//!   into a protocol layer and a connection layer behind the
+//!   [`http::Transport`] seam. The protocol layer (incremental
+//!   request parser, size limits, deadlines, keep-alive rules,
+//!   graceful shutdown on SIGTERM/ctrl-c) is shared; the connection
+//!   layer is pluggable: [`http::ThreadedTransport`] is the portable
+//!   blocking worker pool, [`http::EpollTransport`] is an
+//!   event-driven `epoll` readiness loop (Linux) where idle
+//!   keep-alive connections cost a registration + parser buffer
+//!   instead of a thread. Select with [`HttpConfig::transport`]
+//!   (`--transport {threads,epoll}` on the CLI, or the
+//!   `SCAMDETECT_TRANSPORT` env var).
 //! * [`json`] — minimal JSON value/writer/tolerant reader; float
 //!   rendering round-trips `f64` bit-exactly, so served scores equal
 //!   library scores to the last bit.
@@ -63,10 +72,24 @@
 //!
 //! ## Operating under load
 //!
-//! The daemon degrades *explicitly*, never silently:
+//! The daemon degrades *explicitly*, never silently, and the policy is
+//! transport-independent: both backends enforce the same admission
+//! gate, deadlines, and drain semantics, so switching transports is a
+//! capacity decision, not a behavior change.
 //!
+//! * **Choosing a transport.** `threads` (the default) parks one pool
+//!   worker per live connection — simple, portable, and right when
+//!   connection counts stay near the pool size. `epoll` multiplexes
+//!   every connection onto one event-loop thread and hands only
+//!   *complete* requests to the same worker pool — right for fleet
+//!   fronts and long-poll clients where idle keep-alive connections
+//!   dwarf the pool (thousands of open connections, worker-pool-sized
+//!   thread count). The epoll backend is Linux-only;
+//!   [`HttpServer::bind`](http::HttpServer::bind) fails fast with
+//!   `Unsupported` elsewhere, and `threads` remains the portable
+//!   fallback.
 //! * **Admission control.** Connections queue at the accept→worker
-//!   handoff; past [`HttpConfig::shed_watermark`] queued connections
+//!   handoff; past [`HttpConfig::shed_watermark`] queued jobs
 //!   (default 256, `--shed-watermark` on the CLI, `0` disables) new
 //!   arrivals are shed immediately with `429 Too Many Requests` plus a
 //!   `Retry-After: <s>` header ([`HttpConfig::retry_after_s`]). An
@@ -117,5 +140,8 @@ pub mod registry;
 pub mod wire;
 
 pub use daemon::{serve, spawn, RunningDaemon, ServeConfig};
-pub use http::{HttpConfig, LoadGauge, ShutdownHandle};
+pub use http::{
+    ConfigError, EpollTransport, HttpConfig, HttpConfigBuilder, LoadGauge, ShutdownHandle,
+    ThreadedTransport, Transport, TransportKind,
+};
 pub use registry::{ModelRegistry, RegistryConfig, ServeError, ServingModel};

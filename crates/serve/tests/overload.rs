@@ -152,6 +152,13 @@ fn truncated_body_gets_a_well_formed_400() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Threaded-transport specific: saturation here works by parking a
+/// keep-alive connection, which pins a pool worker only on the threaded
+/// backend. Under `SCAMDETECT_TRANSPORT=epoll` a parked connection
+/// costs no worker (that is the transport's point) and the watermark is
+/// never reached this way — CI skips this case on the epoll run; the
+/// transport-conformance suite gates epoll admission shedding with a
+/// request that is actually in flight.
 #[test]
 fn saturated_daemon_sheds_429_then_recovers() {
     let (daemon, dir) = daemon_with("shed", |config| {

@@ -5,12 +5,12 @@
 //! cargo run --example quickstart --release
 //! ```
 //!
-//! Migrating from the old one-shot API? `ScamDetect::train(...)` +
-//! `scan(&bytes)` still compile (behind a deprecation warning) as a thin
-//! fixed-configuration wrapper over the `ScannerBuilder` shown here —
-//! new code should build the scanner directly, use `scan_batch` for
-//! anything bulk, and persist trained models with `Scanner::save` /
-//! `ScannerBuilder::load` (see `examples/save_load.rs`).
+//! Migrating from the removed one-shot `ScamDetect` facade? Build the
+//! scanner directly with the `ScannerBuilder` shown here
+//! (`ScamDetect::train(kind, corpus, opts)` becomes
+//! `ScannerBuilder::new().model(kind).train_options(opts).train(corpus)`),
+//! use `scan_batch` for anything bulk, and persist trained models with
+//! `Scanner::save` / `ScannerBuilder::load` (see `examples/save_load.rs`).
 
 use scamdetect::{CacheStatus, ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder};
 use scamdetect_dataset::{ContractLabel, Corpus, CorpusConfig};

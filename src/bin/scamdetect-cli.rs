@@ -16,6 +16,12 @@
 //!                                                  port 0 picks an ephemeral port)
 //!   --model <id>                                   pin a specific artifact stem
 //!   --http-workers <n>                             connection worker threads (default: cores)
+//!   --transport <threads|epoll>                    connection backend: blocking worker pool
+//!                                                  (portable default) or an event-driven
+//!                                                  epoll loop (Linux) that holds thousands
+//!                                                  of idle keep-alive connections with a
+//!                                                  pool-sized thread count; also settable
+//!                                                  via SCAMDETECT_TRANSPORT
 //!   --workers <n>                                  per-batch scan workers (default: cores)
 //!   --cache-capacity <n>                           verdict/prep cache entries (default 4096)
 //!   --shed-watermark <n>                           queued connections past which new
@@ -42,8 +48,9 @@
 //!               [--breaker-failures <n>]           deadline budget, overridable per
 //!               [--breaker-error-rate <p>]         request via the x-deadline-ms header;
 //!               [--breaker-cooldown-ms <ms>]       breaker: trip after n consecutive
-//!                                                  failures or error rate ≥ p, re-probe
-//!                                                  after the cooldown)
+//!               [--transport <threads|epoll>]      failures or error rate ≥ p, re-probe
+//!                                                  after the cooldown; --transport picks
+//!                                                  the router's connection backend)
 //!   fleet status --router <host:port>              print ring topology, shard shares
 //!                                                  and per-replica health
 //!   fleet rollout --replicas <h:p,h:p,...>         staged artifact rollout: push to
@@ -530,8 +537,13 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use scamdetect_serve::daemon::{serve, ServeConfig};
+    use scamdetect_serve::http::HttpConfig;
 
     let mut config = ServeConfig::default();
+    // The builder validates what the flags feed it (zero workers,
+    // watermark inversions, …) so bad values fail at startup, not as a
+    // mystery under load.
+    let mut http = HttpConfig::builder();
     let mut models_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -544,21 +556,23 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         };
         match args[i].as_str() {
             "--models-dir" => models_dir = Some(value(&mut i)?),
-            "--addr" => config.http.addr = value(&mut i)?,
+            "--addr" => http = http.addr(value(&mut i)?),
             "--model" => config.registry.pinned = Some(value(&mut i)?),
-            "--http-workers" => config.http.workers = value(&mut i)?.parse()?,
+            "--http-workers" => http = http.workers(value(&mut i)?.parse()?),
+            "--transport" => http = http.transport(value(&mut i)?.parse()?),
             "--workers" => config.registry.workers = value(&mut i)?.parse()?,
             "--cache-capacity" => {
                 let capacity: usize = value(&mut i)?.parse()?;
                 config.registry.cache_capacity = capacity;
                 config.registry.prep_capacity = capacity;
             }
-            "--shed-watermark" => config.http.shed_watermark = value(&mut i)?.parse()?,
-            "--retry-after" => config.http.retry_after_s = value(&mut i)?.parse()?,
+            "--shed-watermark" => http = http.shed_watermark(value(&mut i)?.parse()?),
+            "--retry-after" => http = http.retry_after_s(value(&mut i)?.parse()?),
             other => return Err(format!("unknown serve option '{other}'").into()),
         }
         i += 1;
     }
+    config.http = http.build()?;
     config.registry.models_dir = models_dir
         .ok_or("serve needs --models-dir <dir> (train one with: train --save <dir>/model-v1.scam)")?
         .into();
@@ -617,6 +631,7 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             "--http-workers" => config.workers = value(&mut i)?.parse()?,
+            "--transport" => config.transport = value(&mut i)?.parse()?,
             "--forward-timeout-ms" => {
                 config.forward_timeout = std::time::Duration::from_millis(value(&mut i)?.parse()?);
             }

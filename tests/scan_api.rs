@@ -1,6 +1,6 @@
 //! Integration tests for the batch-first scanning API: builder
 //! configuration, skeleton-hash dedup, parallel execution and exact
-//! equivalence with the one-shot facade.
+//! equivalence between batched and sequential scans.
 
 use scamdetect::{
     CacheStatus, ClassicModel, FeatureKind, ModelKind, ScanRequest, ScannerBuilder, TrainOptions,
@@ -17,19 +17,23 @@ fn dup_corpus() -> Corpus {
     })
 }
 
-/// The deprecated one-shot facade's integration-level compatibility
-/// test: until removal, `ScamDetect` must train and produce verdicts
-/// byte-identical to the batch-first scanner's.
+/// Parallel batch scanning is an optimization, never a semantic
+/// change: a batch scan must produce verdicts byte-identical to
+/// one-at-a-time `scan` calls on a second, identically-trained
+/// scanner. (Training is deterministic, so two scanners built from
+/// the same corpus and options carry the same weights.)
 #[test]
-#[allow(deprecated)]
 fn batch_verdicts_match_sequential_one_shot_scans() {
-    use scamdetect::ScamDetect;
-
     let corpus = dup_corpus();
     let kind = ModelKind::Classic(ClassicModel::RandomForest, FeatureKind::Combined);
     let options = TrainOptions::default();
 
-    let one_shot = ScamDetect::train(kind, &corpus, &options).expect("facade trains");
+    let sequential = ScannerBuilder::new()
+        .model(kind)
+        .train_options(options.clone())
+        .workers(1)
+        .train(&corpus)
+        .expect("sequential scanner trains");
     let batch = ScannerBuilder::new()
         .model(kind)
         .train_options(options)
@@ -47,10 +51,10 @@ fn batch_verdicts_match_sequential_one_shot_scans() {
 
     for (c, outcome) in corpus.contracts().iter().zip(outcomes) {
         let report = outcome.expect("batch scan succeeds");
-        let sequential = one_shot.scan(&c.bytes).expect("one-shot scan succeeds");
+        let one_at_a_time = sequential.scan(&c.bytes).expect("sequential scan succeeds");
         // Byte-identical verdicts: same label, same probability bits,
         // same platform, model and CFG statistics.
-        assert_eq!(report.verdict, sequential);
+        assert_eq!(report.verdict, one_at_a_time.verdict);
     }
 }
 

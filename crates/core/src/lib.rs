@@ -107,6 +107,7 @@ pub mod detector;
 pub mod error;
 pub mod experiment;
 pub mod featurize;
+pub mod lifecycle;
 pub mod lru;
 pub mod scan;
 pub mod verdict;
@@ -115,6 +116,7 @@ pub use artifact::{ArtifactError, ModelArtifact};
 pub use detector::{ClassicModel, Detector, ModelKind, PreparedInput, ReprKind, TrainOptions};
 pub use error::ScamDetectError;
 pub use featurize::{detect_platform, FeatureKind, Lifted};
+pub use lifecycle::{fold_feedback, FeedbackError, FeedbackLog, FeedbackRecord};
 pub use scan::{
     request_fingerprint, CacheStatus, CfgStats, PrepCache, ScanOutcome, ScanReport, ScanRequest,
     Scanner, ScannerBuilder,

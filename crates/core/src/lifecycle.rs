@@ -1,0 +1,655 @@
+//! Feedback log: the durable half of the model lifecycle loop.
+//!
+//! Served verdicts are corrections waiting to happen. When an operator (or a
+//! downstream labeling pipeline) disputes a verdict, the serving daemon
+//! appends a [`FeedbackRecord`] to an on-disk [`FeedbackLog`]; `retrain`
+//! later replays that log and folds the corrected labels back into the
+//! training corpus with [`fold_feedback`]. The result is deterministic:
+//! the same corpus seed plus the same log bytes always produce the same
+//! retraining corpus.
+//!
+//! # On-disk format
+//!
+//! The log is append-only and length-prefixed, in the same hand-rolled
+//! little-endian style as the `ModelArtifact` container (see
+//! [`crate::artifact`]):
+//!
+//! ```text
+//! magic     8 bytes   b"SCAMFDBK"
+//! version   u16       FEEDBACK_VERSION (currently 1)
+//! record*   ...       zero or more records, appended over time
+//! ```
+//!
+//! Each record is independently framed and checksummed:
+//!
+//! ```text
+//! length    u32       payload length in bytes
+//! checksum  u64       FNV-1a over the payload bytes
+//! payload   length bytes:
+//!   fingerprint  u64          request fingerprint (skeleton hash)
+//!   platform     u8           0 = Evm, 1 = Wasm
+//!   label        u8           0 = Benign, 1 = Malicious (the correction)
+//!   score        f64          served score being disputed (NaN = unknown)
+//!   model_epoch  u64          registry epoch that served the verdict
+//!   model id     u16-len str  model that served the verdict
+//! ```
+//!
+//! # Crash safety
+//!
+//! Appends are a single `write` of the whole frame, fsynced every
+//! `fsync_every` records (and on [`FeedbackLog::sync`]). A crash mid-append
+//! leaves a *torn tail*: a partial frame, or a frame whose checksum no
+//! longer matches its payload. Replay recovers to the **last whole
+//! record** — everything before the first short or corrupt frame is
+//! returned, the tail is discarded, and [`FeedbackLog::open`] truncates the
+//! file back to the recovered prefix before accepting new appends. Replay
+//! never panics on arbitrary bytes; structural impossibilities (wrong
+//! magic, unsupported version) surface as typed [`FeedbackError`]s.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+// Re-exported so lifecycle consumers (the serving daemon, the CLI) can
+// name the label type without their own dataset dependency edge.
+pub use scamdetect_dataset::{Contract, ContractLabel};
+use scamdetect_evm::proxy::fnv1a;
+use scamdetect_ir::Platform;
+use scamdetect_tensor::io::{ByteReader, ByteWriter};
+
+use crate::scan::request_fingerprint;
+
+/// Magic bytes opening every feedback log.
+pub const FEEDBACK_MAGIC: &[u8; 8] = b"SCAMFDBK";
+
+/// Current feedback-log format version.
+pub const FEEDBACK_VERSION: u16 = 1;
+
+/// Default number of appends between fsyncs.
+pub const FEEDBACK_FSYNC_EVERY: u64 = 8;
+
+/// Length of the fixed log header (magic + version).
+const HEADER_LEN: usize = 10;
+
+/// Length of a record frame header (length + checksum).
+const FRAME_LEN: usize = 12;
+
+/// One verdict correction, as persisted in the feedback log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackRecord {
+    /// Request fingerprint (skeleton hash for EVM, FNV-1a for Wasm) of the
+    /// contract whose verdict is being corrected.
+    pub fingerprint: u64,
+    /// Platform the fingerprint was computed under.
+    pub platform: Platform,
+    /// The corrected label.
+    pub label: ContractLabel,
+    /// The served score being disputed; NaN when the submitter did not
+    /// know it (e.g. corrections keyed by skeleton hash alone).
+    pub score: f64,
+    /// Registry epoch of the model that served the disputed verdict.
+    pub model_epoch: u64,
+    /// Id of the model that served the disputed verdict.
+    pub model_id: String,
+}
+
+impl FeedbackRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.fingerprint);
+        w.put_u8(match self.platform {
+            Platform::Evm => 0,
+            Platform::Wasm => 1,
+        });
+        w.put_u8(self.label.class_index() as u8);
+        w.put_f64(self.score);
+        w.put_u64(self.model_epoch);
+        w.put_str(&self.model_id);
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Option<FeedbackRecord> {
+        let mut r = ByteReader::new(payload);
+        let fingerprint = r.get_u64("feedback fingerprint").ok()?;
+        let platform = match r.get_u8("feedback platform").ok()? {
+            0 => Platform::Evm,
+            1 => Platform::Wasm,
+            _ => return None,
+        };
+        let label = match r.get_u8("feedback label").ok()? {
+            0 => ContractLabel::Benign,
+            1 => ContractLabel::Malicious,
+            _ => return None,
+        };
+        let score = r.get_f64("feedback score").ok()?;
+        let model_epoch = r.get_u64("feedback model epoch").ok()?;
+        let model_id = r.get_str("feedback model id").ok()?;
+        if !r.is_done() {
+            return None;
+        }
+        Some(FeedbackRecord {
+            fingerprint,
+            platform,
+            label,
+            score,
+            model_epoch,
+            model_id,
+        })
+    }
+}
+
+/// Errors surfaced by the feedback log.
+///
+/// Torn or corrupt record *tails* are not errors — replay recovers past
+/// them (see the module docs). These variants cover structural
+/// impossibilities and I/O failures only.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FeedbackError {
+    /// The file does not open with [`FEEDBACK_MAGIC`] (or is shorter than
+    /// the fixed header).
+    BadMagic,
+    /// The header's format version is not supported by this build.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// An operating-system I/O failure.
+    Io {
+        /// Path the operation was against.
+        path: PathBuf,
+        /// Stringified OS error.
+        message: String,
+    },
+}
+
+impl fmt::Display for FeedbackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedbackError::BadMagic => {
+                write!(f, "not a feedback log (bad magic; expected \"SCAMFDBK\")")
+            }
+            FeedbackError::VersionMismatch { found, supported } => write!(
+                f,
+                "unsupported feedback log version {found} (this build supports {supported})"
+            ),
+            FeedbackError::Io { path, message } => {
+                write!(f, "feedback log I/O error at {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedbackError {}
+
+fn io_err(path: &Path, err: std::io::Error) -> FeedbackError {
+    FeedbackError::Io {
+        path: path.to_path_buf(),
+        message: err.to_string(),
+    }
+}
+
+/// Replay feedback-log bytes, recovering to the last whole record.
+///
+/// Returns the decoded records plus the byte length of the valid prefix
+/// (header + whole records). A torn or corrupt frame stops the replay
+/// there — everything after it is discarded, and is **not** an error.
+/// Only a missing or short header, wrong magic, or unsupported version
+/// fail.
+pub fn replay_bytes(bytes: &[u8]) -> Result<(Vec<FeedbackRecord>, usize), FeedbackError> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != FEEDBACK_MAGIC {
+        return Err(FeedbackError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != FEEDBACK_VERSION {
+        return Err(FeedbackError::VersionMismatch {
+            found: version,
+            supported: FEEDBACK_VERSION,
+        });
+    }
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN;
+    while bytes.len() - offset >= FRAME_LEN {
+        let length = u32::from_le_bytes([
+            bytes[offset],
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+        ]) as usize;
+        let checksum = u64::from_le_bytes([
+            bytes[offset + 4],
+            bytes[offset + 5],
+            bytes[offset + 6],
+            bytes[offset + 7],
+            bytes[offset + 8],
+            bytes[offset + 9],
+            bytes[offset + 10],
+            bytes[offset + 11],
+        ]);
+        let start = offset + FRAME_LEN;
+        let Some(end) = start.checked_add(length) else {
+            break; // length overflows: corrupt frame header, stop here
+        };
+        if end > bytes.len() {
+            break; // torn tail: partial payload
+        }
+        let payload = &bytes[start..end];
+        if fnv1a(payload) != checksum {
+            break; // corrupt payload (or corrupt frame header)
+        }
+        let Some(record) = FeedbackRecord::decode(payload) else {
+            break; // checksum matched but payload doesn't parse: stop
+        };
+        records.push(record);
+        offset = end;
+    }
+    Ok((records, offset))
+}
+
+/// Append-only, checksummed, crash-safe log of verdict corrections.
+///
+/// See the module docs for the on-disk format and recovery semantics.
+#[derive(Debug)]
+pub struct FeedbackLog {
+    file: File,
+    path: PathBuf,
+    records: u64,
+    appends_since_sync: u64,
+    fsync_every: u64,
+}
+
+impl FeedbackLog {
+    /// Open (or create) the log at `path`.
+    ///
+    /// A new file is written with the fixed header and fsynced. An
+    /// existing file is replayed; a torn tail left by a crash is
+    /// truncated back to the last whole record before the log accepts
+    /// new appends. `fsync_every` bounds data loss: an fsync is issued
+    /// every that many appends (0 is treated as 1 — sync every append).
+    pub fn open(path: impl Into<PathBuf>, fsync_every: u64) -> Result<FeedbackLog, FeedbackError> {
+        let path = path.into();
+        let fsync_every = fsync_every.max(1);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| io_err(&path, e))?;
+        if bytes.is_empty() {
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(FEEDBACK_MAGIC);
+            header.extend_from_slice(&FEEDBACK_VERSION.to_le_bytes());
+            file.write_all(&header).map_err(|e| io_err(&path, e))?;
+            file.sync_all().map_err(|e| io_err(&path, e))?;
+            return Ok(FeedbackLog {
+                file,
+                path,
+                records: 0,
+                appends_since_sync: 0,
+                fsync_every,
+            });
+        }
+        let (records, valid_len) = replay_bytes(&bytes)?;
+        if valid_len < bytes.len() {
+            file.set_len(valid_len as u64)
+                .map_err(|e| io_err(&path, e))?;
+            file.sync_all().map_err(|e| io_err(&path, e))?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))
+            .map_err(|e| io_err(&path, e))?;
+        Ok(FeedbackLog {
+            file,
+            path,
+            records: records.len() as u64,
+            appends_since_sync: 0,
+            fsync_every,
+        })
+    }
+
+    /// Append one record as a single write, fsyncing per the bound given
+    /// to [`FeedbackLog::open`].
+    pub fn append(&mut self, record: &FeedbackRecord) -> Result<(), FeedbackError> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.records += 1;
+        self.appends_since_sync += 1;
+        if self.appends_since_sync >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force an fsync now, regardless of the append bound.
+    pub fn sync(&mut self) -> Result<(), FeedbackError> {
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Number of whole records in the log (recovered + appended).
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Path the log writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Replay the log at `path` without opening it for appends.
+    ///
+    /// Recovery semantics match [`replay_bytes`]: a torn tail yields the
+    /// whole-record prefix, not an error. A missing file is an I/O error.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<FeedbackRecord>, FeedbackError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        let (records, _) = replay_bytes(&bytes)?;
+        Ok(records)
+    }
+}
+
+/// Fold feedback corrections into a training corpus, in place.
+///
+/// Each contract's fingerprint is computed with [`request_fingerprint`]
+/// under its own platform; contracts matching a feedback record get the
+/// corrected label. When several records dispute the same fingerprint,
+/// the **last record wins** (the log is chronological). Returns the
+/// number of contracts whose label actually changed. Deterministic given
+/// the corpus and the log — the retraining corpus depends only on
+/// `(seed, log bytes)`.
+pub fn fold_feedback(contracts: &mut [Contract], records: &[FeedbackRecord]) -> usize {
+    let mut overrides: HashMap<(Platform, u64), ContractLabel> = HashMap::new();
+    for record in records {
+        overrides.insert((record.platform, record.fingerprint), record.label);
+    }
+    if overrides.is_empty() {
+        return 0;
+    }
+    let mut changed = 0;
+    for contract in contracts.iter_mut() {
+        let fp = request_fingerprint(contract.platform, &contract.bytes);
+        if let Some(&label) = overrides.get(&(contract.platform, fp)) {
+            if contract.label != label {
+                contract.label = label;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scamdetect_dataset::{Corpus, CorpusConfig};
+
+    fn temp_log_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "scamdetect-feedback-{}-{tag}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_record(i: u64) -> FeedbackRecord {
+        FeedbackRecord {
+            fingerprint: 0x1234_5678_9abc_def0 ^ i,
+            platform: if i.is_multiple_of(2) {
+                Platform::Evm
+            } else {
+                Platform::Wasm
+            },
+            label: if i.is_multiple_of(3) {
+                ContractLabel::Malicious
+            } else {
+                ContractLabel::Benign
+            },
+            score: if i == 2 { f64::NAN } else { 0.125 * i as f64 },
+            model_epoch: 40 + i,
+            model_id: format!("model-v{i}"),
+        }
+    }
+
+    fn records_eq(a: &FeedbackRecord, b: &FeedbackRecord) -> bool {
+        a.fingerprint == b.fingerprint
+            && a.platform == b.platform
+            && a.label == b.label
+            && a.score.to_bits() == b.score.to_bits()
+            && a.model_epoch == b.model_epoch
+            && a.model_id == b.model_id
+    }
+
+    #[test]
+    fn round_trips_records_through_disk() {
+        let path = temp_log_path("roundtrip");
+        let originals: Vec<FeedbackRecord> = (0..5).map(sample_record).collect();
+        {
+            let mut log = FeedbackLog::open(&path, 2).expect("open");
+            for r in &originals {
+                log.append(r).expect("append");
+            }
+            assert_eq!(log.len(), 5);
+            log.sync().expect("sync");
+        }
+        let replayed = FeedbackLog::replay(&path).expect("replay");
+        assert_eq!(replayed.len(), originals.len());
+        for (a, b) in replayed.iter().zip(&originals) {
+            assert!(
+                records_eq(a, b),
+                "record drifted through disk: {a:?} vs {b:?}"
+            );
+        }
+        // Reopen keeps the count and accepts more appends.
+        let mut log = FeedbackLog::open(&path, 8).expect("reopen");
+        assert_eq!(log.len(), 5);
+        log.append(&sample_record(9)).expect("append after reopen");
+        assert_eq!(FeedbackLog::replay(&path).expect("replay").len(), 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_recovers_whole_records() {
+        let records: Vec<FeedbackRecord> = (0..4).map(sample_record).collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FEEDBACK_MAGIC);
+        bytes.extend_from_slice(&FEEDBACK_VERSION.to_le_bytes());
+        let mut boundaries = vec![bytes.len()];
+        for r in &records {
+            let payload = r.encode();
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            boundaries.push(bytes.len());
+        }
+        for k in 0..=bytes.len() {
+            let truncated = &bytes[..k];
+            match replay_bytes(truncated) {
+                Ok((recovered, valid_len)) => {
+                    // Recovered exactly the records whose frames fit whole.
+                    let expect = boundaries.iter().filter(|&&b| b <= k).count() - 1;
+                    assert_eq!(recovered.len(), expect, "truncated at {k}");
+                    assert_eq!(valid_len, boundaries[expect], "truncated at {k}");
+                    for (a, b) in recovered.iter().zip(&records) {
+                        assert!(records_eq(a, b), "truncated at {k}");
+                    }
+                }
+                Err(FeedbackError::BadMagic) => {
+                    assert!(k < HEADER_LEN, "BadMagic past the header at {k}");
+                }
+                Err(e) => panic!("unexpected error at truncation {k}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_flips_never_panic_and_recover_a_prefix() {
+        let records: Vec<FeedbackRecord> = (0..3).map(sample_record).collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FEEDBACK_MAGIC);
+        bytes.extend_from_slice(&FEEDBACK_VERSION.to_le_bytes());
+        for r in &records {
+            let payload = r.encode();
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                match replay_bytes(&corrupt) {
+                    Ok((recovered, _)) => {
+                        // Whatever survives must be an exact prefix of the
+                        // true records: corruption may shorten the replay,
+                        // never invent or mutate a record undetected. (A
+                        // flip inside a payload is caught by the checksum;
+                        // a flip in a frame header desyncs and stops.)
+                        assert!(recovered.len() <= records.len(), "flip at {pos}");
+                        for (a, b) in recovered.iter().zip(&records) {
+                            assert!(records_eq(a, b), "flip at {pos} mutated a record");
+                        }
+                    }
+                    Err(FeedbackError::BadMagic) | Err(FeedbackError::VersionMismatch { .. }) => {
+                        assert!(pos < HEADER_LEN, "header error from body flip at {pos}");
+                    }
+                    Err(e) => panic!("unexpected error for flip at {pos}: {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_appends_cleanly() {
+        let path = temp_log_path("torntail");
+        {
+            let mut log = FeedbackLog::open(&path, 1).expect("open");
+            log.append(&sample_record(0)).expect("append");
+            log.append(&sample_record(1)).expect("append");
+        }
+        // Simulate a crash mid-append: tack on half a frame.
+        {
+            let mut file = OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("append open");
+            file.write_all(&[0x20, 0, 0, 0, 0xde, 0xad])
+                .expect("torn write");
+        }
+        let full_len = std::fs::metadata(&path).expect("meta").len();
+        {
+            let mut log = FeedbackLog::open(&path, 1).expect("reopen over torn tail");
+            assert_eq!(log.len(), 2, "torn tail must not count as a record");
+            assert!(
+                std::fs::metadata(&path).expect("meta").len() < full_len,
+                "reopen must truncate the torn tail"
+            );
+            log.append(&sample_record(7))
+                .expect("append after recovery");
+        }
+        let replayed = FeedbackLog::replay(&path).expect("replay");
+        assert_eq!(replayed.len(), 3);
+        assert!(records_eq(&replayed[2], &sample_record(7)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_future_versions() {
+        assert_eq!(replay_bytes(b"NOTALOG!"), Err(FeedbackError::BadMagic));
+        assert_eq!(replay_bytes(&[]), Err(FeedbackError::BadMagic));
+        let mut future = Vec::new();
+        future.extend_from_slice(FEEDBACK_MAGIC);
+        future.extend_from_slice(&99u16.to_le_bytes());
+        assert_eq!(
+            replay_bytes(&future),
+            Err(FeedbackError::VersionMismatch {
+                found: 99,
+                supported: FEEDBACK_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn fold_overrides_labels_by_fingerprint_deterministically() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: 24,
+            seed: 41,
+            ..CorpusConfig::default()
+        });
+        let mut contracts: Vec<Contract> = corpus.contracts().to_vec();
+        // Flip the first benign contract to malicious via its fingerprint.
+        let target = contracts
+            .iter()
+            .position(|c| c.label == ContractLabel::Benign)
+            .expect("corpus has a benign contract");
+        let fp = request_fingerprint(contracts[target].platform, &contracts[target].bytes);
+        let platform = contracts[target].platform;
+        // Same-fingerprint duplicates all flip together.
+        let dup_count = contracts
+            .iter()
+            .filter(|c| {
+                c.platform == platform
+                    && c.label == ContractLabel::Benign
+                    && request_fingerprint(c.platform, &c.bytes) == fp
+            })
+            .count();
+        let records = vec![
+            // Earlier record is overridden by the later one (last wins).
+            FeedbackRecord {
+                fingerprint: fp,
+                platform,
+                label: ContractLabel::Benign,
+                score: 0.1,
+                model_epoch: 1,
+                model_id: "m".into(),
+            },
+            FeedbackRecord {
+                fingerprint: fp,
+                platform,
+                label: ContractLabel::Malicious,
+                score: 0.2,
+                model_epoch: 2,
+                model_id: "m".into(),
+            },
+            // Unknown fingerprint: must change nothing.
+            FeedbackRecord {
+                fingerprint: 0xdead_beef_dead_beef,
+                platform,
+                label: ContractLabel::Malicious,
+                score: f64::NAN,
+                model_epoch: 2,
+                model_id: "m".into(),
+            },
+        ];
+        let changed = fold_feedback(&mut contracts, &records);
+        assert_eq!(changed, dup_count, "every same-fingerprint duplicate flips");
+        assert_eq!(contracts[target].label, ContractLabel::Malicious);
+        // Deterministic: folding a fresh copy gives identical labels.
+        let mut again: Vec<Contract> = corpus.contracts().to_vec();
+        assert_eq!(fold_feedback(&mut again, &records), changed);
+        for (a, b) in contracts.iter().zip(&again) {
+            assert_eq!(a.label, b.label);
+        }
+        // Folding the already-folded corpus changes nothing further.
+        assert_eq!(fold_feedback(&mut contracts, &records), 0);
+    }
+}

@@ -605,6 +605,19 @@ impl Scanner {
         Arc::clone(&self.prep)
     }
 
+    /// Resolves the platform and cache fingerprint this scanner would use
+    /// for `request`, without scanning it.
+    ///
+    /// This is the feedback hook for the model lifecycle: verdict
+    /// corrections (see [`crate::lifecycle`]) are keyed by exactly this
+    /// `(platform, fingerprint)` pair, so a correction submitted against
+    /// a served response matches the same contracts the serving cache
+    /// deduplicates — including skeleton twins.
+    pub fn fingerprint_of(&self, request: &ScanRequest) -> (Platform, u64) {
+        let platform = self.resolve_platform(request);
+        (platform, request_fingerprint(platform, request.bytes()))
+    }
+
     /// Scans one contract, auto-detecting the platform (subject to the
     /// builder's override). Cached like any batch request.
     ///

@@ -2,8 +2,10 @@
 //! (the PR-5 trajectory), a 2-replica fleet behind the router
 //! (`--router`, the PR-6 trajectory), one replica driven past
 //! saturation to measure graceful degradation (`--shed`, the PR-7
-//! trajectory), or both transports compared on an open-connections
-//! axis (`--connections`, the PR-8 trajectory).
+//! trajectory), both transports compared on an open-connections
+//! axis (`--connections`, the PR-8 trajectory), or the same replica
+//! measured with and without a shadow candidate mirroring every scan
+//! (`--shadow`, the PR-9 trajectory).
 //!
 //! ```text
 //! cargo run --release -p scamdetect-fleet --bin serve_bench \
@@ -14,7 +16,17 @@
 //!     -- --shed [--out BENCH_PR7.json --requests 800]
 //! cargo run --release -p scamdetect-fleet --bin serve_bench \
 //!     -- --connections [--out BENCH_PR8.json --idle-cap 5000]
+//! cargo run --release -p scamdetect-fleet --bin serve_bench \
+//!     -- --shadow [--out BENCH_PR9.json --clients 4 --requests 800]
 //! ```
+//!
+//! Shadow mode drives the duplicate-heavy mix twice against one
+//! replica — shadow off, then with a second candidate model scoring
+//! every mirrored scan off the response path — and gates on the
+//! off-path claim: a probe's champion score must be bit-identical in
+//! both phases, the candidate must actually have scored samples, and
+//! the shadow-on p99 must stay within 1.5× the shadow-off p99
+//! (floored at 500µs against shared-runner noise).
 //!
 //! Connections mode runs the same req/s measurement against a
 //! threaded-transport daemon and an epoll-transport daemon, then ramps
@@ -67,6 +79,7 @@ struct Options {
     router: bool,
     shed: bool,
     connections: bool,
+    shadow: bool,
     idle_cap: usize,
 }
 
@@ -79,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
         router: false,
         shed: false,
         connections: false,
+        shadow: false,
         idle_cap: 5000,
     };
     let mut i = 0;
@@ -94,6 +108,7 @@ fn parse_args() -> Result<Options, String> {
             "--router" => options.router = true,
             "--shed" => options.shed = true,
             "--connections" => options.connections = true,
+            "--shadow" => options.shadow = true,
             "--clients" => {
                 options.clients = value(&mut i)?
                     .parse()
@@ -112,7 +127,7 @@ fn parse_args() -> Result<Options, String> {
             other => {
                 return Err(format!(
                     "unknown option '{other}' (usage: serve_bench \
-                     [--router | --shed | --connections] [--out <path>] \
+                     [--router | --shed | --connections | --shadow] [--out <path>] \
                      [--clients <n>] [--requests <n>] [--idle-cap <n>])"
                 ))
             }
@@ -122,10 +137,15 @@ fn parse_args() -> Result<Options, String> {
     if options.clients == 0 || options.requests == 0 || options.idle_cap == 0 {
         return Err("--clients, --requests and --idle-cap must be at least 1".to_string());
     }
-    if usize::from(options.router) + usize::from(options.shed) + usize::from(options.connections)
+    if usize::from(options.router)
+        + usize::from(options.shed)
+        + usize::from(options.connections)
+        + usize::from(options.shadow)
         > 1
     {
-        return Err("--router, --shed and --connections are separate modes; pick one".to_string());
+        return Err(
+            "--router, --shed, --connections and --shadow are separate modes; pick one".to_string(),
+        );
     }
     Ok(options)
 }
@@ -731,6 +751,200 @@ fn run_connections(options: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--shadow` mode: the same duplicate-heavy mix measured with the
+/// shadow scorer off and on, gated on champion bit-identity and a
+/// bounded latency tax.
+#[allow(clippy::too_many_lines)]
+fn run_shadow(options: &Options) -> ExitCode {
+    use scamdetect_fleet::client::parse_metric;
+    const WORKERS: usize = 8;
+    // Below this, the 1.5× multiplier is all shared-runner noise.
+    const P99_FLOOR_US: u64 = 500;
+    let out_path = options
+        .out_path
+        .clone()
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+
+    eprintln!("serve-bench: training champion and candidate artifacts…");
+    let base_dir =
+        std::env::temp_dir().join(format!("scamdetect-shadow-bench-{}", std::process::id()));
+    let models_dir = base_dir.join("models");
+    if let Err(e) = std::fs::create_dir_all(&models_dir) {
+        eprintln!("serve-bench: cannot create {}: {e}", models_dir.display());
+        return ExitCode::FAILURE;
+    }
+    // Different corpus seeds → genuinely different weights, so the
+    // candidate does real scoring work instead of replaying the
+    // champion's arithmetic.
+    for (stem, seed) in [("bench-v1", 11u64), ("bench-cand", 13u64)] {
+        let train_corpus = Corpus::generate(&CorpusConfig {
+            size: 80,
+            seed,
+            ..CorpusConfig::default()
+        });
+        ScannerBuilder::new()
+            .model(ModelKind::Classic(
+                ClassicModel::LogisticRegression,
+                FeatureKind::Unified,
+            ))
+            .train(&train_corpus)
+            .expect("trains")
+            .save(models_dir.join(format!("{stem}.scam")))
+            .expect("saves artifact");
+    }
+
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    config.http.workers = WORKERS;
+    config.registry.models_dir = models_dir;
+    // "bench-v1" sorts after "bench-cand", so the champion wins the
+    // directory scan — pin anyway to keep the intent explicit.
+    config.registry.pinned = Some("bench-v1".to_string());
+    let daemon = spawn(config).expect("daemon spawns");
+    let addr = daemon.addr;
+    eprintln!("serve-bench: replica on http://{addr} serving bench-v1 ({WORKERS} workers)");
+
+    let scan_corpus = Corpus::generate(&CorpusConfig {
+        size: 48,
+        seed: 12,
+        proxy_duplicates: 16,
+        ..CorpusConfig::default()
+    });
+    let bodies: Vec<String> = scan_corpus
+        .contracts()
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"bytecode": "{}"}}"#,
+                scamdetect_serve::wire::encode_hex(&c.bytes)
+            )
+        })
+        .collect();
+    warm(addr, &bodies);
+    let probe_body = &bodies[0];
+
+    // Phase 1: shadow off.
+    eprintln!(
+        "serve-bench: driving {} requests over {} clients (shadow off)…",
+        options.requests, options.clients
+    );
+    let (lat_off, failures_off, elapsed_off) =
+        drive(addr, &bodies, options.clients, options.requests);
+    let bits_off = score_bits(addr, probe_body);
+    let (off_count, off_p50, off_p99) = (
+        lat_off.len(),
+        percentile(&lat_off, 0.50),
+        percentile(&lat_off, 0.99),
+    );
+    let off_rps = off_count as f64 / (elapsed_off as f64 / 1e6).max(1e-9);
+    eprintln!("serve-bench: shadow off → {off_rps:.0} req/s (p50 {off_p50}µs, p99 {off_p99}µs)");
+
+    // Phase 2: candidate mirrors every scan off the response path.
+    let reply = scamdetect_serve::client::http_call(
+        addr,
+        "POST",
+        "/shadow/start",
+        Some(r#"{"model": "bench-cand"}"#),
+    )
+    .expect("shadow start call");
+    if reply.status != 200 {
+        eprintln!(
+            "serve-bench: shadow start answered {}: {}",
+            reply.status, reply.body
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "serve-bench: driving {} requests over {} clients (shadow on)…",
+        options.requests, options.clients
+    );
+    let (lat_on, failures_on, elapsed_on) = drive(addr, &bodies, options.clients, options.requests);
+    let bits_on = score_bits(addr, probe_body);
+    let (on_count, on_p50, on_p99) = (
+        lat_on.len(),
+        percentile(&lat_on, 0.50),
+        percentile(&lat_on, 0.99),
+    );
+    let on_rps = on_count as f64 / (elapsed_on as f64 / 1e6).max(1e-9);
+    eprintln!("serve-bench: shadow on  → {on_rps:.0} req/s (p50 {on_p50}µs, p99 {on_p99}µs)");
+
+    // The candidate must have done real work: scrape the session
+    // counters off /metrics before stopping anything.
+    let metrics_text = scamdetect_serve::client::http_call(addr, "GET", "/metrics", None)
+        .expect("metrics scrape")
+        .body;
+    let shadow_samples =
+        parse_metric(&metrics_text, "scamdetect_shadow_samples_total").unwrap_or(0.0) as u64;
+    let shadow_dropped =
+        parse_metric(&metrics_text, "scamdetect_shadow_dropped_total").unwrap_or(0.0) as u64;
+    let shadow_agreement =
+        parse_metric(&metrics_text, "scamdetect_shadow_agreement_ratio").unwrap_or(0.0);
+    daemon.stop().expect("clean daemon shutdown");
+
+    let p99_budget = 3 * off_p99.max(P99_FLOOR_US) / 2;
+    let latency_held = on_p99 <= p99_budget;
+    let bits_identical = bits_off.is_some() && bits_off == bits_on;
+    let gate_pass = failures_off == 0
+        && failures_on == 0
+        && off_count >= options.requests
+        && on_count >= options.requests
+        && bits_identical
+        && shadow_samples > 0
+        && latency_held;
+    eprintln!(
+        "serve-bench: candidate scored {shadow_samples} mirrored scans \
+         (agreement {shadow_agreement:.3}, {shadow_dropped} dropped)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"scamdetect-shadow-bench/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"shadow_off\": {{\"clients\": {}, \"requests\": {off_count}, \
+         \"elapsed_us\": {elapsed_off}, \"req_per_sec\": {off_rps:.0}, \"p50_us\": {off_p50}, \
+         \"p99_us\": {off_p99}, \"failures\": {failures_off}}},",
+        options.clients
+    );
+    let _ = writeln!(
+        json,
+        "  \"shadow_on\": {{\"clients\": {}, \"requests\": {on_count}, \
+         \"elapsed_us\": {elapsed_on}, \"req_per_sec\": {on_rps:.0}, \"p50_us\": {on_p50}, \
+         \"p99_us\": {on_p99}, \"failures\": {failures_on}, \"candidate\": \"bench-cand\", \
+         \"shadow_samples\": {shadow_samples}, \"shadow_dropped\": {shadow_dropped}, \
+         \"shadow_agreement\": {shadow_agreement:.4}}},",
+        options.clients
+    );
+    let _ = writeln!(
+        json,
+        "  \"champion_score_bits_identical\": {bits_identical},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"pass\": {gate_pass}, \"shadow_on_p99_budget_us\": {p99_budget}, \
+         \"rule\": \"every request answers 200 in both phases, a probe's champion score is \
+         bit-identical with the shadow on and off, the candidate actually scores mirrored \
+         traffic, and the shadow-on p99 stays within 1.5x the shadow-off p99 (floored at \
+         {P99_FLOOR_US}us)\"}}"
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("serve-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: wrote {out_path}");
+    std::fs::remove_dir_all(&base_dir).ok();
+    if !gate_pass {
+        eprintln!(
+            "serve-bench: GATE FAILED ({failures_off}+{failures_on} failures, \
+             bits_identical {bits_identical}, {shadow_samples} shadow samples, \
+             p99 {on_p99}µs vs budget {p99_budget}µs)"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: gate passed");
+    ExitCode::SUCCESS
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let options = match parse_args() {
@@ -745,6 +959,9 @@ fn main() -> ExitCode {
     }
     if options.connections {
         return run_connections(&options);
+    }
+    if options.shadow {
+        return run_shadow(&options);
     }
     let out_path = options.out_path.clone().unwrap_or_else(|| {
         if options.router {

@@ -195,6 +195,130 @@ pub fn delete_model(addr: SocketAddr, timeout: Duration, id: &str) -> Result<(),
     .map(|_| ())
 }
 
+/// One replica's shadow-session snapshot (`GET /shadow`).
+#[derive(Debug, Clone, Default)]
+pub struct ShadowStatus {
+    /// A candidate is loaded and mirroring traffic.
+    pub active: bool,
+    /// Candidate artifact id (empty when inactive).
+    pub candidate: String,
+    /// Mirrored scans the candidate has scored.
+    pub samples: u64,
+    /// Scores agreeing with the champion verdict.
+    pub agreements: u64,
+    /// Scores disagreeing (candidate failures count here too).
+    pub disagreements: u64,
+    /// Mirrored scans dropped because the shadow queue was full.
+    pub dropped: u64,
+    /// `agreements / samples` (0 when no samples).
+    pub agreement: f64,
+}
+
+/// `POST /shadow/start` — loads `id` as the shadow candidate. Returns
+/// `(candidate id, candidate epoch)`.
+///
+/// # Errors
+///
+/// Transport failures, 404 (unknown artifact), 409 (already serving).
+pub fn shadow_start(
+    addr: SocketAddr,
+    timeout: Duration,
+    id: &str,
+) -> Result<(String, u64), ReplicaError> {
+    let body = Json::render(&scamdetect_serve::json::obj([("model", Json::from(id))]));
+    let reply = expect_200(
+        addr,
+        "shadow start",
+        http_call_with_timeout(addr, "POST", "/shadow/start", Some(&body), timeout),
+    )?;
+    let candidate = reply
+        .get("shadowing")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail(addr, "shadow start: no 'shadowing' field"))?
+        .to_string();
+    let epoch = reply
+        .get("candidate_epoch")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64;
+    Ok((candidate, epoch))
+}
+
+/// `GET /shadow` — the live session counters.
+///
+/// # Errors
+///
+/// Transport failures or an unparseable body.
+pub fn shadow_status(addr: SocketAddr, timeout: Duration) -> Result<ShadowStatus, ReplicaError> {
+    let body = expect_200(
+        addr,
+        "shadow status",
+        http_call_with_timeout(addr, "GET", "/shadow", None, timeout),
+    )?;
+    let num = |k: &str| body.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    Ok(ShadowStatus {
+        active: body.get("active").and_then(Json::as_bool).unwrap_or(false),
+        candidate: body
+            .get("candidate")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        samples: num("samples") as u64,
+        agreements: num("agreements") as u64,
+        disagreements: num("disagreements") as u64,
+        dropped: num("dropped") as u64,
+        agreement: num("agreement"),
+    })
+}
+
+/// `POST /shadow/stop` — tears the shadow session down. Returns `true`
+/// when a session was actually running.
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn shadow_stop(addr: SocketAddr, timeout: Duration) -> Result<bool, ReplicaError> {
+    let body = expect_200(
+        addr,
+        "shadow stop",
+        http_call_with_timeout(addr, "POST", "/shadow/stop", None, timeout),
+    )?;
+    Ok(body.get("stopped").and_then(Json::as_bool).unwrap_or(false))
+}
+
+/// `POST /shadow/promote` — the thresholded candidate → champion swap.
+/// Returns `(promoted id, new epoch)`.
+///
+/// # Errors
+///
+/// Transport failures and 409 (no session, or thresholds not met).
+pub fn shadow_promote(
+    addr: SocketAddr,
+    timeout: Duration,
+    min_samples: u64,
+    min_agreement: f64,
+) -> Result<(String, u64), ReplicaError> {
+    let body = Json::render(&scamdetect_serve::json::obj([
+        ("min_samples", Json::from(min_samples)),
+        ("min_agreement", Json::from(min_agreement)),
+    ]));
+    let reply = expect_200(
+        addr,
+        "shadow promote",
+        http_call_with_timeout(addr, "POST", "/shadow/promote", Some(&body), timeout),
+    )?;
+    let promoted = reply
+        .get("promoted")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail(addr, "shadow promote: no 'promoted' field"))?
+        .to_string();
+    let epoch = reply
+        .get("model_epoch")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| fail(addr, "shadow promote: no 'model_epoch' field"))?
+        as u64;
+    Ok((promoted, epoch))
+}
+
 /// Scrapes one counter/gauge from a replica's Prometheus `/metrics`
 /// text (exact metric-name match, labels ignored).
 ///

@@ -65,12 +65,12 @@
 //! ## Rollout state machine
 //!
 //! ```text
-//! PUSH ──▶ VERIFY ──▶ CANARY ──▶ COMPARE ──▶ PROMOTE
-//!  │          │          │           │           │ failure here is
-//!  │          │          │           │           │ reported, not
-//!  ▼          ▼          ▼           ▼           ▼ auto-rolled-back
-//! abort     abort      abort       abort      (canary already proved
-//!  └──────────┴──────────┴───────────┘         the model serves)
+//! PUSH ──▶ VERIFY ──▶ [SHADOW] ──▶ CANARY ──▶ COMPARE ──▶ PROMOTE
+//!  │          │           │           │           │           │ failure here is
+//!  │          │           │           │           │           │ reported, not
+//!  ▼          ▼           ▼           ▼           ▼           ▼ auto-rolled-back
+//! abort     abort       abort       abort       abort      (canary already proved
+//!  └──────────┴───────────┴───────────┴───────────┘         the model serves)
 //!              = pin canary back + DELETE candidate everywhere
 //! ```
 //!
@@ -79,8 +79,15 @@
 //!   mismatch, atomic install, no swap).
 //! * **Verify**: every replica echoed the same FNV-1a we computed
 //!   locally.
+//! * **Shadow** (opt-in via [`rollout::RolloutPlan::shadow`], `fleet
+//!   rollout --shadow` on the CLI): the candidate loads *beside* the
+//!   canary's champion and scores every mirrored probe off the
+//!   response path; the canary swap becomes the replica's own
+//!   thresholded `POST /shadow/promote` — refused until the candidate
+//!   has scored enough real traffic at high enough champion agreement.
 //! * **Canary**: one replica hot-swaps via `POST /models/reload`
-//!   `{"model": "<id>"}` (a pinned, one-shot reload).
+//!   `{"model": "<id>"}` (a pinned, one-shot reload) — or has already
+//!   swapped through the shadow gate above.
 //! * **Compare**: probe scans must score on the canary, its scan
 //!   failure counter must hold still, `/metrics` must name the
 //!   candidate.
@@ -150,7 +157,10 @@ pub mod rollout;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{FaultKind, FaultProxy, FaultSchedule};
+pub use client::ShadowStatus;
 pub use health::{FleetState, HealthMonitor, ReplicaStatus};
 pub use proxy::{spawn_router, RouterConfig, RouterMetrics, RunningRouter};
 pub use ring::HashRing;
-pub use rollout::{run_rollout, RolloutError, RolloutPlan, RolloutReport, RolloutStage};
+pub use rollout::{
+    run_rollout, RolloutError, RolloutPlan, RolloutReport, RolloutStage, ShadowPlan,
+};

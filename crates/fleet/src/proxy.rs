@@ -753,5 +753,46 @@ fn render_router_metrics(ctx: &RouterCtx) -> String {
         "replicas configured",
         total as u64,
     );
+
+    // ── Lifecycle roll-up ──────────────────────────────────────────
+    // The one registration point in the serve crate
+    // (`LIFECYCLE_COUNTERS`) drives the fleet aggregation too: every
+    // counter in the family is scraped from each up replica and summed
+    // under a `scamdetect_fleet_` prefix, so feedback volume and
+    // shadow agreement are fleet-wide reads off one endpoint. The
+    // family is label-free by construction, which is what makes the
+    // bare-name `parse_metric` sum sound.
+    let mut sums = vec![0u64; scamdetect_serve::LIFECYCLE_COUNTERS.len()];
+    let mut scraped = 0u64;
+    for status in ctx.state.statuses().iter().filter(|s| s.up) {
+        let Ok(reply) =
+            ctx.pool
+                .roundtrip(status.addr, "GET", "/metrics", &[], ctx.forward_timeout)
+        else {
+            continue;
+        };
+        if reply.status != 200 {
+            continue;
+        }
+        scraped += 1;
+        for (sum, def) in sums.iter_mut().zip(scamdetect_serve::LIFECYCLE_COUNTERS) {
+            if let Some(value) = crate::client::parse_metric(&reply.body, def.name) {
+                *sum += value as u64;
+            }
+        }
+    }
+    metric(
+        "scamdetect_fleet_lifecycle_scrape_replicas",
+        "gauge",
+        "up replicas whose lifecycle counters landed in this scrape",
+        scraped,
+    );
+    for (def, sum) in scamdetect_serve::LIFECYCLE_COUNTERS.iter().zip(&sums) {
+        let name = format!(
+            "scamdetect_fleet_{}",
+            def.name.trim_start_matches("scamdetect_")
+        );
+        metric(&name, "counter", def.help, *sum);
+    }
     out
 }

@@ -31,7 +31,8 @@
 //! has proven the model serves correctly.
 
 use crate::client::{
-    delete_model, fetch_metric, probe_healthz, push_artifact, reload_model, ReplicaError,
+    delete_model, fetch_metric, probe_healthz, push_artifact, reload_model, shadow_promote,
+    shadow_start, shadow_status, shadow_stop, ReplicaError,
 };
 use scamdetect_serve::client::http_call_with_timeout;
 use scamdetect_serve::json::Json;
@@ -46,6 +47,8 @@ pub enum RolloutStage {
     Push,
     /// Checksum handshake verification.
     Verify,
+    /// Shadow-scoring the candidate on mirrored canary traffic.
+    Shadow,
     /// Swapping the canary replica.
     Canary,
     /// Judging the canary under probe traffic.
@@ -59,6 +62,7 @@ impl std::fmt::Display for RolloutStage {
         let name = match self {
             RolloutStage::Push => "push",
             RolloutStage::Verify => "verify",
+            RolloutStage::Shadow => "shadow",
             RolloutStage::Canary => "canary",
             RolloutStage::Compare => "compare",
             RolloutStage::Promote => "promote",
@@ -110,6 +114,36 @@ pub struct RolloutPlan {
     pub probes: Vec<Vec<u8>>,
     /// Per-call timeout.
     pub timeout: Duration,
+    /// `Some` interposes a shadow-scoring gate before the canary swap:
+    /// the candidate is loaded alongside the canary's champion, probes
+    /// are replayed as real mirrored traffic (the champion answers the
+    /// wire, the candidate scores off-path), and the swap happens via
+    /// the replica's thresholded `/shadow/promote` instead of a blind
+    /// reload.
+    pub shadow: Option<ShadowPlan>,
+}
+
+/// The shadow gate ahead of the canary swap ([`RolloutPlan::shadow`]).
+#[derive(Debug, Clone)]
+pub struct ShadowPlan {
+    /// Mirrored scans the candidate must score before promotion.
+    pub min_samples: u64,
+    /// Champion-agreement ratio the candidate must clear.
+    pub min_agreement: f64,
+    /// Probe-replay rounds to attempt before giving up on reaching
+    /// `min_samples` (a full shadow queue drops mirrors, so one round
+    /// is not guaranteed to land one sample per probe).
+    pub max_rounds: usize,
+}
+
+impl Default for ShadowPlan {
+    fn default() -> ShadowPlan {
+        ShadowPlan {
+            min_samples: 32,
+            min_agreement: 0.95,
+            max_rounds: 64,
+        }
+    }
 }
 
 /// A completed (promoted) rollout.
@@ -194,30 +228,50 @@ pub fn run_rollout(plan: &RolloutPlan) -> Result<RolloutReport, RolloutError> {
             log,
         });
     }
-    match reload_model(canary_addr, plan.timeout, Some(&plan.model_id)) {
-        Ok((active, epoch)) if active == plan.model_id => {
-            log.push(format!(
-                "canary: {canary_addr} swapped '{}' → '{active}' (epoch {epoch})",
-                before.model
-            ));
-        }
-        Ok((active, _)) => {
-            let rolled_back = rollback(canary_addr, &before.model, &pushed_to, plan, &mut log);
+    if let Some(shadow) = &plan.shadow {
+        // ── SHADOW ─────────────────────────────────────────────────
+        // The candidate scores real mirrored canary traffic off the
+        // response path; the swap is the replica's own thresholded
+        // promote. The champion never stops serving, so a failure here
+        // only needs the session torn down + the artifact deleted.
+        if let Err(message) = shadow_canary(canary_addr, plan, shadow, &mut log) {
+            if let Err(e) = shadow_stop(canary_addr, plan.timeout) {
+                log.push(format!("rollback: shadow stop FAILED: {e}"));
+            }
+            let rolled_back = cleanup_artifact(&pushed_to, plan, &mut log);
             return Err(RolloutError {
-                stage: RolloutStage::Canary,
-                message: format!("canary swapped to '{active}', wanted '{}'", plan.model_id),
+                stage: RolloutStage::Shadow,
+                message,
                 rolled_back,
                 log,
             });
         }
-        Err(e) => {
-            let rolled_back = rollback(canary_addr, &before.model, &pushed_to, plan, &mut log);
-            return Err(RolloutError {
-                stage: RolloutStage::Canary,
-                message: e.to_string(),
-                rolled_back,
-                log,
-            });
+    } else {
+        match reload_model(canary_addr, plan.timeout, Some(&plan.model_id)) {
+            Ok((active, epoch)) if active == plan.model_id => {
+                log.push(format!(
+                    "canary: {canary_addr} swapped '{}' → '{active}' (epoch {epoch})",
+                    before.model
+                ));
+            }
+            Ok((active, _)) => {
+                let rolled_back = rollback(canary_addr, &before.model, &pushed_to, plan, &mut log);
+                return Err(RolloutError {
+                    stage: RolloutStage::Canary,
+                    message: format!("canary swapped to '{active}', wanted '{}'", plan.model_id),
+                    rolled_back,
+                    log,
+                });
+            }
+            Err(e) => {
+                let rolled_back = rollback(canary_addr, &before.model, &pushed_to, plan, &mut log);
+                return Err(RolloutError {
+                    stage: RolloutStage::Canary,
+                    message: e.to_string(),
+                    rolled_back,
+                    log,
+                });
+            }
         }
     }
 
@@ -311,6 +365,89 @@ fn stage_of_push_error(e: &ReplicaError) -> RolloutStage {
     } else {
         RolloutStage::Push
     }
+}
+
+/// The shadow gate: load the candidate beside the canary's champion,
+/// replay the probes as real traffic (the champion answers each scan,
+/// the daemon mirrors it to the candidate off-path), wait for the
+/// mirror queue to drain, and promote through the replica's own
+/// sample/agreement thresholds.
+fn shadow_canary(
+    canary: SocketAddr,
+    plan: &RolloutPlan,
+    shadow: &ShadowPlan,
+    log: &mut Vec<String>,
+) -> Result<(), String> {
+    if plan.probes.is_empty() {
+        return Err("shadow stage needs probe traffic to mirror".to_string());
+    }
+    let (candidate, epoch) =
+        shadow_start(canary, plan.timeout, &plan.model_id).map_err(|e| e.to_string())?;
+    log.push(format!(
+        "shadow: {canary} mirroring traffic to '{candidate}' (candidate epoch {epoch})"
+    ));
+
+    let mut sent = 0u64;
+    let mut status = crate::client::ShadowStatus::default();
+    for round in 0..shadow.max_rounds.max(1) {
+        for (i, probe) in plan.probes.iter().enumerate() {
+            let body = format!(r#"{{"bytecode": "{}"}}"#, encode_hex(probe));
+            let reply = http_call_with_timeout(canary, "POST", "/scan", Some(&body), plan.timeout)
+                .map_err(|e| format!("mirror round {round} probe {i}: {e}"))?;
+            if reply.status != 200 {
+                return Err(format!(
+                    "mirror round {round} probe {i}: HTTP {} — {}",
+                    reply.status, reply.body
+                ));
+            }
+        }
+        sent += plan.probes.len() as u64;
+        // Shadow scoring is asynchronous: wait until every mirror we
+        // sent is either scored or dropped before judging the round.
+        loop {
+            status = shadow_status(canary, plan.timeout).map_err(|e| e.to_string())?;
+            if !status.active {
+                return Err("shadow session vanished mid-mirror".to_string());
+            }
+            if status.samples + status.dropped >= sent {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if status.samples >= shadow.min_samples {
+            break;
+        }
+    }
+    if status.samples < shadow.min_samples {
+        return Err(format!(
+            "candidate scored {} mirrored scans across {} rounds ({} dropped), needed {}",
+            status.samples, shadow.max_rounds, status.dropped, shadow.min_samples
+        ));
+    }
+    log.push(format!(
+        "shadow: candidate scored {} mirrored scans, agreement {:.3} ({} disagreements, {} dropped)",
+        status.samples, status.agreement, status.disagreements, status.dropped
+    ));
+
+    // The replica re-checks the thresholds under its swap lock; this is
+    // the epoch-bumped hot swap, not a separate reload.
+    let (promoted, epoch) = shadow_promote(
+        canary,
+        plan.timeout,
+        shadow.min_samples,
+        shadow.min_agreement,
+    )
+    .map_err(|e| e.to_string())?;
+    if promoted != plan.model_id {
+        return Err(format!(
+            "promote swapped to '{promoted}', wanted '{}'",
+            plan.model_id
+        ));
+    }
+    log.push(format!(
+        "shadow: {canary} promoted '{promoted}' (epoch {epoch})"
+    ));
+    Ok(())
 }
 
 /// Judge the swapped canary: every probe must score, the failure

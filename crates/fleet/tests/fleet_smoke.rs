@@ -202,6 +202,7 @@ fn router_routes_golden_bits_rolls_out_and_survives_replica_loss() {
         canary: 0,
         probes: probes.contracts().iter().map(|c| c.bytes.clone()).collect(),
         timeout: Duration::from_secs(5),
+        shadow: None,
     })
     .unwrap_or_else(|e| panic!("rollout failed: {e}\nlog:\n{}", e.log.join("\n")));
     assert_eq!(report.model_id, "fleet-v2");

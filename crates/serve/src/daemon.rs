@@ -10,6 +10,11 @@
 //! | `/models/reload`      | POST   | re-resolve (or pin via body), hot-swap      |
 //! | `/models/<id>`        | PUT    | install pushed artifact bytes (no swap)     |
 //! | `/models/<id>`        | DELETE | delete an idle artifact                     |
+//! | `/feedback`           | POST   | record a verdict correction (lifecycle)     |
+//! | `/shadow`             | GET    | shadow-session status                       |
+//! | `/shadow/start`       | POST   | load a candidate for shadow scoring         |
+//! | `/shadow/stop`        | POST   | end the shadow session                      |
+//! | `/shadow/promote`     | POST   | thresholded candidate → champion hot swap   |
 //! | `/healthz`            | GET    | liveness + model/epoch/cache snapshot       |
 //! | `/metrics`            | GET    | Prometheus text format                      |
 //!
@@ -23,13 +28,22 @@ use crate::http::{
     ShutdownHandle,
 };
 use crate::json::{obj, Json};
-use crate::metrics::Metrics;
-use crate::registry::{ModelRegistry, RegistryConfig, ServeError};
+use crate::lifecycle::LifecycleConfig;
+use crate::metrics::{LifecycleCounter, Metrics, ShadowScrape};
+use crate::registry::{
+    ModelRegistry, RegistryConfig, ServeError, ShadowState, SHADOW_MIN_AGREEMENT_DEFAULT,
+    SHADOW_MIN_SAMPLES_DEFAULT,
+};
 use crate::wire;
+use scamdetect::lifecycle::{FeedbackLog, FeedbackRecord, FEEDBACK_FSYNC_EVERY};
 use scamdetect::ScanRequest;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The feedback log as the router holds it: appended under a mutex
+/// (corrections are rare, human-scale events; scans never touch it).
+type SharedFeedbackLog = Arc<Mutex<FeedbackLog>>;
 
 /// Everything `serve` needs: where to listen, where the models live.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +52,8 @@ pub struct ServeConfig {
     pub http: HttpConfig,
     /// Model registry knobs (models dir, pinned id, cache sizes).
     pub registry: RegistryConfig,
+    /// Model lifecycle knobs (feedback log path, fsync bound).
+    pub lifecycle: LifecycleConfig,
 }
 
 /// A daemon that has been bound and spawned onto a background thread —
@@ -85,6 +101,21 @@ impl RunningDaemon {
 pub fn spawn(config: ServeConfig) -> Result<RunningDaemon, ServeError> {
     let registry = Arc::new(ModelRegistry::open(config.registry)?);
     let metrics = Arc::new(Metrics::default());
+    let feedback = match &config.lifecycle.feedback_log {
+        Some(path) => {
+            let fsync_every = if config.lifecycle.fsync_every == 0 {
+                FEEDBACK_FSYNC_EVERY
+            } else {
+                config.lifecycle.fsync_every
+            };
+            let log = FeedbackLog::open(path, fsync_every).map_err(|e| ServeError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            Some(Arc::new(Mutex::new(log)))
+        }
+        None => None,
+    };
     let server = HttpServer::bind(config.http).map_err(|e| ServeError::Io {
         path: "bind".to_string(),
         message: e.to_string(),
@@ -96,6 +127,7 @@ pub fn spawn(config: ServeConfig) -> Result<RunningDaemon, ServeError> {
         Arc::clone(&metrics),
         server.protocol_error_counter(),
         server.load_gauge(),
+        feedback,
     );
     let thread = std::thread::spawn(move || server.serve(handler));
     Ok(RunningDaemon {
@@ -146,9 +178,17 @@ pub fn router(
     metrics: Arc<Metrics>,
     protocol_errors: Arc<std::sync::atomic::AtomicU64>,
     load: Arc<LoadGauge>,
+    feedback: Option<SharedFeedbackLog>,
 ) -> Handler {
     Arc::new(move |request: &HttpRequest| {
-        let response = route(&registry, &metrics, &protocol_errors, &load, request);
+        let response = route(
+            &registry,
+            &metrics,
+            &protocol_errors,
+            &load,
+            feedback.as_ref(),
+            request,
+        );
         if response.status >= 400 {
             metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -161,6 +201,7 @@ fn route(
     metrics: &Metrics,
     protocol_errors: &std::sync::atomic::AtomicU64,
     load: &LoadGauge,
+    feedback: Option<&SharedFeedbackLog>,
     request: &HttpRequest,
 ) -> HttpResponse {
     match (request.method.as_str(), request.path.as_str()) {
@@ -179,6 +220,26 @@ fn route(
         ("POST", "/models/reload") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             handle_reload(registry, metrics, request)
+        }
+        ("POST", "/feedback") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_feedback(registry, metrics, feedback, request)
+        }
+        ("GET", "/shadow") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_shadow_status(registry)
+        }
+        ("POST", "/shadow/start") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_shadow_start(registry, metrics, request)
+        }
+        ("POST", "/shadow/stop") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json(200, &obj([("stopped", Json::from(registry.shadow_stop()))]))
+        }
+        ("POST", "/shadow/promote") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_shadow_promote(registry, metrics, request)
         }
         // `/models/reload` is claimed by the arm above; any other
         // non-empty suffix is a model id ("reload" itself can never be
@@ -202,6 +263,10 @@ fn route(
             // decisions — plain `status == ok` + HTTP 200 still works
             // for old probes that ignore the rest.
             let model = registry.model();
+            let shadow_state = registry
+                .shadow()
+                .map(|s| Json::from(s.model.id.as_str()))
+                .unwrap_or_else(|| Json::from("off"));
             HttpResponse::json(
                 200,
                 &obj([
@@ -220,12 +285,28 @@ fn route(
                         "prep_cache_entries",
                         Json::from(registry.prep_cache().len() as u64),
                     ),
+                    ("shadow", shadow_state),
                 ]),
             )
         }
         ("GET", "/metrics") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             let model = registry.model();
+            // The local keeps the shadow candidate's id alive for the
+            // borrow in ShadowScrape.
+            let shadow = registry.shadow();
+            let shadow_scrape = shadow.as_ref().map(|s| ShadowScrape {
+                candidate: &s.model.id,
+                candidate_epoch: s.model.epoch,
+                samples: s.counters.samples.load(Ordering::Relaxed),
+                agreements: s.counters.agreements.load(Ordering::Relaxed),
+                disagreements: s.counters.disagreements.load(Ordering::Relaxed),
+                failures: s.counters.failures.load(Ordering::Relaxed),
+                dropped: s.counters.dropped.load(Ordering::Relaxed),
+                latency_delta_us: s.counters.latency_delta_us.load(Ordering::Relaxed),
+            });
+            let feedback_log_records =
+                feedback.map(|log| log.lock().unwrap_or_else(|e| e.into_inner()).len());
             HttpResponse::text(
                 200,
                 metrics.render_prometheus(&crate::metrics::ScrapeSnapshot {
@@ -236,10 +317,16 @@ fn route(
                     prep_cache_len: registry.prep_cache().len(),
                     protocol_errors: protocol_errors.load(Ordering::Relaxed),
                     load,
+                    shadow: shadow_scrape,
+                    feedback_log_records,
                 }),
             )
         }
-        (_, "/scan" | "/batch" | "/models/reload") => {
+        (_, "/scan" | "/batch" | "/models/reload" | "/feedback") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(405, "use POST")
+        }
+        (_, "/shadow/start" | "/shadow/stop" | "/shadow/promote") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, "use POST")
         }
@@ -247,7 +334,7 @@ fn route(
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, "use PUT or DELETE")
         }
-        (_, "/models" | "/healthz" | "/metrics") => {
+        (_, "/models" | "/healthz" | "/metrics" | "/shadow") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, "use GET")
         }
@@ -293,15 +380,31 @@ fn handle_scan(registry: &ModelRegistry, metrics: &Metrics, request: &HttpReques
         scan = scan.on(platform);
     }
     let outcome = model.scanner.scan_request(&scan);
-    metrics.record_latency_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    metrics.record_latency_us(elapsed_us);
     metrics.scans_total.fetch_add(1, Ordering::Relaxed);
     match outcome {
         Ok(report) => {
-            if report.cache == scamdetect::CacheStatus::CacheHit {
+            let cache_hit = report.cache == scamdetect::CacheStatus::CacheHit;
+            if cache_hit {
                 metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             }
             if report.is_malicious() {
                 metrics.malicious_verdicts.fetch_add(1, Ordering::Relaxed);
+            }
+            metrics.drift.observe_score(
+                report.verdict.platform,
+                report.verdict.malicious_probability,
+                cache_hit,
+            );
+            if let Some(shadow) = registry.shadow() {
+                shadow.submit(
+                    wire_request.bytes.clone(),
+                    wire_request.platform,
+                    report.is_malicious(),
+                    elapsed_us,
+                    &metrics.lifecycle,
+                );
             }
             HttpResponse::json(200, &wire::render_report(&report, &model))
         }
@@ -378,21 +481,39 @@ fn handle_batch(
             }
         })
         .collect();
-    for ((slot, _), outcome) in scannable.iter().zip(outcomes) {
+    let shadow = registry.shadow();
+    for ((slot, wire_request), outcome) in scannable.iter().zip(outcomes) {
         metrics.scans_total.fetch_add(1, Ordering::Relaxed);
         results[*slot] = match outcome {
             Ok(report) => {
+                let mut cache_hit = false;
                 match report.cache {
                     scamdetect::CacheStatus::CacheHit => {
+                        cache_hit = true;
                         metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                     }
                     scamdetect::CacheStatus::BatchHit => {
+                        cache_hit = true;
                         metrics.batch_hits.fetch_add(1, Ordering::Relaxed);
                     }
                     scamdetect::CacheStatus::Miss => {}
                 }
                 if report.is_malicious() {
                     metrics.malicious_verdicts.fetch_add(1, Ordering::Relaxed);
+                }
+                metrics.drift.observe_score(
+                    report.verdict.platform,
+                    report.verdict.malicious_probability,
+                    cache_hit,
+                );
+                if let Some(shadow) = &shadow {
+                    shadow.submit(
+                        wire_request.bytes.clone(),
+                        wire_request.platform,
+                        report.is_malicious(),
+                        report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                        &metrics.lifecycle,
+                    );
                 }
                 wire::render_report(&report, &model)
             }
@@ -426,6 +547,13 @@ fn handle_models(registry: &ModelRegistry) -> HttpResponse {
                     ])
                 })
                 .collect();
+            // The shadow candidate rides along so one GET answers the
+            // operator's whole question: what is on disk, what serves,
+            // and what is being auditioned.
+            let shadow = registry
+                .shadow()
+                .map(|s| shadow_status_json(&s))
+                .unwrap_or(Json::Null);
             HttpResponse::json(
                 200,
                 &obj([
@@ -434,10 +562,62 @@ fn handle_models(registry: &ModelRegistry) -> HttpResponse {
                     ("threshold", Json::from(active.threshold)),
                     ("model_epoch", Json::from(active.epoch)),
                     ("models", Json::Arr(models)),
+                    ("shadow", shadow),
                 ]),
             )
         }
         Err(e) => HttpResponse::error(500, &format!("cannot list models: {e}")),
+    }
+}
+
+/// The JSON summary of a live shadow session, shared by `GET /shadow`
+/// and the `shadow` field of `GET /models`.
+fn shadow_status_json(state: &ShadowState) -> Json {
+    let samples = state.counters.samples.load(Ordering::Relaxed);
+    let latency_delta = state.counters.latency_delta_us.load(Ordering::Relaxed);
+    let mean_delta = if samples == 0 {
+        0.0
+    } else {
+        latency_delta as f64 / samples as f64
+    };
+    obj([
+        ("candidate", Json::from(state.model.id.as_str())),
+        ("candidate_kind", Json::from(state.model.kind.as_str())),
+        ("candidate_epoch", Json::from(state.model.epoch)),
+        ("samples", Json::from(samples)),
+        (
+            "agreements",
+            Json::from(state.counters.agreements.load(Ordering::Relaxed)),
+        ),
+        (
+            "disagreements",
+            Json::from(state.counters.disagreements.load(Ordering::Relaxed)),
+        ),
+        ("agreement", Json::from(state.counters.agreement())),
+        (
+            "failures",
+            Json::from(state.counters.failures.load(Ordering::Relaxed)),
+        ),
+        (
+            "dropped",
+            Json::from(state.counters.dropped.load(Ordering::Relaxed)),
+        ),
+        ("latency_delta_us_avg", Json::from(mean_delta)),
+    ])
+}
+
+/// `GET /shadow`: the live session summary, or `{"active": false}`.
+fn handle_shadow_status(registry: &ModelRegistry) -> HttpResponse {
+    match registry.shadow() {
+        Some(state) => {
+            // Flatten the shared summary under a top-level `active` flag.
+            let mut fields = vec![("active".to_string(), Json::from(true))];
+            if let Json::Obj(pairs) = shadow_status_json(&state) {
+                fields.extend(pairs);
+            }
+            HttpResponse::json(200, &Json::Obj(fields))
+        }
+        None => HttpResponse::json(200, &obj([("active", Json::from(false))])),
     }
 }
 
@@ -542,5 +722,232 @@ fn handle_reload(
         // The old model keeps serving on a failed reload; 409 tells the
         // operator the swap did not happen without killing traffic.
         Err(e) => HttpResponse::error(409, &format!("reload failed (still serving): {e}")),
+    }
+}
+
+/// Parses a `"platform"` JSON field: `"evm"` or `"wasm"`.
+fn parse_platform_field(value: &Json) -> Result<scamdetect_ir::Platform, HttpResponse> {
+    match value.as_str() {
+        Some("evm") => Ok(scamdetect_ir::Platform::Evm),
+        Some("wasm") => Ok(scamdetect_ir::Platform::Wasm),
+        _ => Err(HttpResponse::error(
+            400,
+            "'platform' must be \"evm\" or \"wasm\"",
+        )),
+    }
+}
+
+/// `POST /feedback`: records a verdict correction into the feedback log.
+///
+/// The correction carries a `label` (`"malicious"` / `"benign"`) and
+/// identifies the contract either by `bytecode` (re-scored by the
+/// champion, so the served verdict/score and the cache fingerprint are
+/// recovered exactly) or by `skeleton` + `platform` (the fingerprint a
+/// previous scan response reported; `score`/`served_verdict` optional —
+/// without `served_verdict` the disagreement counter is not advanced
+/// and the response's `disagreement` is `null`).
+fn handle_feedback(
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    feedback: Option<&SharedFeedbackLog>,
+    request: &HttpRequest,
+) -> HttpResponse {
+    let Some(log) = feedback else {
+        return HttpResponse::error(
+            409,
+            "feedback ingestion disabled (start the daemon with --feedback-log <path>)",
+        );
+    };
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let label = match body.get("label").and_then(Json::as_str) {
+        Some("malicious") => scamdetect::lifecycle::ContractLabel::Malicious,
+        Some("benign") => scamdetect::lifecycle::ContractLabel::Benign,
+        _ => {
+            return HttpResponse::error(400, "missing 'label': \"malicious\" or \"benign\"");
+        }
+    };
+    let model = registry.model();
+
+    // Resolve (platform, fingerprint, disputed score, disagreement).
+    let (platform, fingerprint, score, disagreement) = if body.get("bytecode").is_some() {
+        // Keyed by bytes: re-score with the champion so the correction
+        // disputes exactly what the wire served (cache included).
+        let wire_request = match wire::parse_scan_request(&body) {
+            Ok(parsed) => parsed,
+            Err(message) => return HttpResponse::error(400, &message),
+        };
+        let mut scan = ScanRequest::new(&wire_request.bytes);
+        if let Some(platform) = wire_request.platform {
+            scan = scan.on(platform);
+        }
+        match model.scanner.scan_request(&scan) {
+            Ok(report) => {
+                let disagreement = (report.verdict.label != label) as u8;
+                (
+                    report.verdict.platform,
+                    report.skeleton,
+                    report.verdict.malicious_probability,
+                    Some(disagreement == 1),
+                )
+            }
+            Err(e) => {
+                return HttpResponse::error(422, &format!("cannot score feedback subject: {e}"))
+            }
+        }
+    } else if let Some(skeleton) = body.get("skeleton") {
+        let Some(hex) = skeleton.as_str() else {
+            return HttpResponse::error(400, "'skeleton' must be a hex string");
+        };
+        let digits = hex.strip_prefix("0x").unwrap_or(hex);
+        let Ok(fingerprint) = u64::from_str_radix(digits, 16) else {
+            return HttpResponse::error(400, "'skeleton' must be a hex u64");
+        };
+        let Some(platform_field) = body.get("platform") else {
+            return HttpResponse::error(400, "skeleton feedback requires 'platform'");
+        };
+        let platform = match parse_platform_field(platform_field) {
+            Ok(p) => p,
+            Err(response) => return response,
+        };
+        let score = body.get("score").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let disagreement = match body.get("served_verdict").and_then(Json::as_str) {
+            Some("malicious") => Some(label != scamdetect::lifecycle::ContractLabel::Malicious),
+            Some("benign") => Some(label != scamdetect::lifecycle::ContractLabel::Benign),
+            Some(_) => {
+                return HttpResponse::error(
+                    400,
+                    "'served_verdict' must be \"malicious\" or \"benign\"",
+                )
+            }
+            None => None,
+        };
+        (platform, fingerprint, score, disagreement)
+    } else {
+        return HttpResponse::error(400, "feedback requires 'bytecode' or 'skeleton'");
+    };
+
+    let record = FeedbackRecord {
+        fingerprint,
+        platform,
+        label,
+        score,
+        model_epoch: model.epoch,
+        model_id: model.id.clone(),
+    };
+    let records = {
+        let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = log.append(&record) {
+            return HttpResponse::error(500, &format!("feedback log write failed: {e}"));
+        }
+        log.len()
+    };
+    metrics.lifecycle.incr(LifecycleCounter::Feedback);
+    if disagreement == Some(true) {
+        metrics
+            .lifecycle
+            .incr(LifecycleCounter::FeedbackDisagreements);
+    }
+    HttpResponse::json(
+        200,
+        &obj([
+            ("recorded", Json::from(true)),
+            ("skeleton", Json::from(format!("{fingerprint:016x}"))),
+            ("platform", Json::from(platform.to_string())),
+            (
+                "disagreement",
+                disagreement.map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("log_records", Json::from(records)),
+        ]),
+    )
+}
+
+/// `POST /shadow/start`: loads `{"model": "<id>"}` as the shadow
+/// candidate and begins mirroring served scans to it.
+fn handle_shadow_start(
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    request: &HttpRequest,
+) -> HttpResponse {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let Some(id) = body.get("model").and_then(Json::as_str) else {
+        return HttpResponse::error(400, "missing 'model': the candidate artifact id");
+    };
+    match registry.shadow_start(id, Arc::clone(&metrics.lifecycle)) {
+        Ok(state) => HttpResponse::json(
+            200,
+            &obj([
+                ("shadowing", Json::from(state.model.id.as_str())),
+                ("candidate_kind", Json::from(state.model.kind.as_str())),
+                ("candidate_epoch", Json::from(state.model.epoch)),
+            ]),
+        ),
+        Err(e @ ServeError::UnknownModel { .. }) => HttpResponse::error(404, &e.to_string()),
+        Err(e @ ServeError::ActiveModel { .. }) => HttpResponse::error(409, &e.to_string()),
+        Err(e @ ServeError::InvalidModelId { .. }) => HttpResponse::error(400, &e.to_string()),
+        Err(e @ ServeError::Artifact(_)) => {
+            HttpResponse::error(422, &format!("candidate rejected: {e}"))
+        }
+        Err(e) => HttpResponse::error(500, &e.to_string()),
+    }
+}
+
+/// `POST /shadow/promote`: the thresholded candidate → champion swap.
+/// Body optional: `{"min_samples": n, "min_agreement": x}` override the
+/// defaults (32 samples, 0.95 agreement).
+fn handle_shadow_promote(
+    registry: &ModelRegistry,
+    metrics: &Metrics,
+    request: &HttpRequest,
+) -> HttpResponse {
+    let (min_samples, min_agreement) = if request.body.is_empty() {
+        (SHADOW_MIN_SAMPLES_DEFAULT, SHADOW_MIN_AGREEMENT_DEFAULT)
+    } else {
+        let body = match parse_body(request) {
+            Ok(body) => body,
+            Err(response) => return response,
+        };
+        let min_samples = match body.get("min_samples") {
+            Some(v) => match v.as_f64() {
+                Some(n) if n >= 0.0 => n as u64,
+                _ => {
+                    return HttpResponse::error(400, "'min_samples' must be a non-negative number")
+                }
+            },
+            None => SHADOW_MIN_SAMPLES_DEFAULT,
+        };
+        let min_agreement = match body.get("min_agreement") {
+            Some(v) => match v.as_f64() {
+                Some(x) if (0.0..=1.0).contains(&x) => x,
+                _ => return HttpResponse::error(400, "'min_agreement' must be in [0, 1]"),
+            },
+            None => SHADOW_MIN_AGREEMENT_DEFAULT,
+        };
+        (min_samples, min_agreement)
+    };
+    match registry.shadow_promote(min_samples, min_agreement) {
+        Ok(outcome) => {
+            if outcome.swapped {
+                metrics.model_swaps.fetch_add(1, Ordering::Relaxed);
+            }
+            HttpResponse::json(
+                200,
+                &obj([
+                    ("promoted", Json::from(outcome.active.as_str())),
+                    ("swapped", Json::from(outcome.swapped)),
+                    ("model_epoch", Json::from(outcome.epoch)),
+                ]),
+            )
+        }
+        Err(e @ (ServeError::ShadowUnavailable | ServeError::ShadowNotReady { .. })) => {
+            HttpResponse::error(409, &e.to_string())
+        }
+        Err(e) => HttpResponse::error(409, &format!("promotion failed (still serving): {e}")),
     }
 }

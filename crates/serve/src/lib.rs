@@ -115,6 +115,68 @@
 //! saturation and records shed-rate plus accepted-request p99 to
 //! `BENCH_PR7.json` — the graceful-degradation gate CI enforces.
 //!
+//! ## Model lifecycle
+//!
+//! Serving is not the end of a model's life: verdicts come back as
+//! corrections, corrections become the next model, and the next model
+//! must prove itself on real traffic before it answers the wire. The
+//! [`lifecycle`] module (with [`scamdetect::lifecycle`] underneath)
+//! closes that loop in three stages:
+//!
+//! * **Feedback ingestion.** `POST /feedback` records ground-truth
+//!   corrections — keyed by the same skeleton fingerprint the caches
+//!   shard on — into an append-only, length+checksum-framed log
+//!   ([`scamdetect::lifecycle::FeedbackLog`], enabled with
+//!   `--feedback-log <path>`). Replay tolerates torn tails and
+//!   detects corruption, in the same crash-safety style as the model
+//!   artifact format. Disagreement with the serving champion is
+//!   counted as it happens (`scamdetect_feedback_total`,
+//!   `scamdetect_feedback_disagreements_total`).
+//! * **Shadow scoring.** `POST /shadow/start` loads a candidate
+//!   artifact beside the champion; every scan is mirrored to it off
+//!   the response path (a bounded queue that drops rather than
+//!   blocks — serving latency is never taxed, and champion scores
+//!   stay bit-identical shadow on or off). `POST /shadow/promote`
+//!   refuses until the candidate has scored enough mirrored traffic
+//!   at high enough agreement, then performs the usual epoch-bumped
+//!   hot swap. The wire details live in [`wire`].
+//! * **Drift telemetry.** [`DriftTelemetry`] keeps per-platform score
+//!   histograms for the current window against a trailing baseline,
+//!   cache-hit-rate decay, and the feedback disagreement rate —
+//!   `/metrics` surfaces all three so dashboards see a model aging
+//!   before operators do.
+//!
+//! Every lifecycle counter is declared once, in
+//! [`LIFECYCLE_COUNTERS`] — the daemon's `/metrics` renderer, the
+//! fleet router's roll-up, and the CLI all read that one table, so a
+//! new counter cannot silently miss an aggregation point.
+//!
+//! The operator's loop, end to end:
+//!
+//! ```text
+//! # 1. Serve with feedback ingestion on.
+//! scamdetect-cli serve --models-dir models --feedback-log feedback.log
+//!
+//! # 2. File corrections as they come back from analysts.
+//! curl -s -X POST http://127.0.0.1:7878/feedback \
+//!      -d '{"bytecode": "0x6001600155", "label": "malicious"}'
+//!
+//! # 3. Retrain with the log folded into the corpus (deterministic
+//! #    given --seed and the log), saving a candidate artifact.
+//! scamdetect-cli retrain --feedback-log feedback.log \
+//!     --save models/rf-v4.scam --model rf --seed 44
+//!
+//! # 4. Shadow it on real traffic; watch agreement; promote when ready.
+//! scamdetect-cli shadow start --model rf-v4
+//! scamdetect-cli shadow status
+//! scamdetect-cli shadow promote --min-samples 256 --min-agreement 0.98
+//! ```
+//!
+//! Fleet-wide, `scamdetect-cli fleet rollout --shadow` runs the same
+//! gate per replica inside the staged rollout, and `serve_bench
+//! --shadow` writes `BENCH_PR9.json` — the CI gate that mirroring
+//! costs the serving path at most 1.5x p99.
+//!
 //! Embedded use (tests, benches, other daemons):
 //!
 //! ```no_run
@@ -135,6 +197,7 @@ pub mod client;
 pub mod daemon;
 pub mod http;
 pub mod json;
+pub mod lifecycle;
 pub mod metrics;
 pub mod registry;
 pub mod wire;
@@ -144,4 +207,6 @@ pub use http::{
     ConfigError, EpollTransport, HttpConfig, HttpConfigBuilder, LoadGauge, ShutdownHandle,
     ThreadedTransport, Transport, TransportKind,
 };
+pub use lifecycle::{DriftTelemetry, LifecycleConfig};
+pub use metrics::{LifecycleCounter, LifecycleCounters, MetricDef, LIFECYCLE_COUNTERS};
 pub use registry::{ModelRegistry, RegistryConfig, ServeError, ServingModel};

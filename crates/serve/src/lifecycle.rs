@@ -1,0 +1,282 @@
+//! Serving-side model lifecycle: drift telemetry and feedback config.
+//!
+//! The lifecycle loop (see the crate docs' *Model lifecycle* section)
+//! needs the daemon to answer one question continuously: *is the champion
+//! still scoring the traffic it was trained for?* This module holds the
+//! streaming telemetry that answers it without touching the response
+//! path:
+//!
+//! * **Score-distribution drift** — per-platform streaming histograms of
+//!   served scores. Scores accumulate into a *current* window; every
+//!   [`DRIFT_WINDOW`] samples the window rotates into the *trailing
+//!   baseline* and the L1 distance between the two normalized histograms
+//!   becomes the `scamdetect_score_drift{platform=…}` gauge. A model
+//!   scoring stable traffic sits near 0; a population shift (or a decayed
+//!   model, per Sendner et al.'s scanner study) pushes it toward 2.
+//! * **Cache-hit decay** — the verdict cache's lifetime hit ratio minus
+//!   its recent-window ratio. Contract populations churn; when recent
+//!   traffic stops resembling what the cache memoised, the recent ratio
+//!   falls first and the (signed) decay gauge goes positive.
+//!
+//! Everything here is relaxed atomics: observations race with rotations
+//! by design, and a histogram that is off by a handful of samples at the
+//! rotation boundary is irrelevant at window sizes of 1024. No lock, no
+//! allocation, no effect on scan latency.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use scamdetect_ir::Platform;
+
+/// Score-histogram buckets per platform (`[0,0.1) … [0.9,1]`).
+pub const DRIFT_BUCKETS: usize = 10;
+
+/// Samples per drift window; the current histogram rotates into the
+/// trailing baseline every this many observations.
+pub const DRIFT_WINDOW: u64 = 1024;
+
+/// Scan samples per cache-decay window.
+const CACHE_WINDOW: u64 = 1024;
+
+/// Feedback-ingestion configuration for one daemon.
+///
+/// Part of `ServeConfig`; the daemon opens the log at startup and the
+/// `POST /feedback` endpoint appends to it. With no path configured the
+/// endpoint answers 409 — ingestion is opt-in because it persists
+/// operator input to disk.
+#[derive(Debug, Clone, Default)]
+pub struct LifecycleConfig {
+    /// Path of the append-only feedback log; `None` disables ingestion.
+    pub feedback_log: Option<PathBuf>,
+    /// Appends between fsyncs (0 = sync every append). Zero value of the
+    /// field itself falls back to [`scamdetect::lifecycle::FEEDBACK_FSYNC_EVERY`].
+    pub fsync_every: u64,
+}
+
+/// One platform's streaming score histogram: a filling current window
+/// plus the last completed window as baseline.
+struct PlatformDrift {
+    current: [AtomicU64; DRIFT_BUCKETS],
+    baseline: [AtomicU64; DRIFT_BUCKETS],
+    current_total: AtomicU64,
+}
+
+impl PlatformDrift {
+    const fn new() -> Self {
+        PlatformDrift {
+            current: [const { AtomicU64::new(0) }; DRIFT_BUCKETS],
+            baseline: [const { AtomicU64::new(0) }; DRIFT_BUCKETS],
+            current_total: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, score: f64) {
+        let bucket = if score.is_finite() && score > 0.0 {
+            ((score * DRIFT_BUCKETS as f64) as usize).min(DRIFT_BUCKETS - 1)
+        } else {
+            0
+        };
+        self.current[bucket].fetch_add(1, Ordering::Relaxed);
+        let seen = self.current_total.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen.is_multiple_of(DRIFT_WINDOW) {
+            // Rotate: the filled window becomes the trailing baseline.
+            // Racing observers may land a few samples on either side of
+            // the swap; at window size 1024 that noise is invisible.
+            for i in 0..DRIFT_BUCKETS {
+                let v = self.current[i].swap(0, Ordering::Relaxed);
+                self.baseline[i].store(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self, window: DriftWindow) -> [u64; DRIFT_BUCKETS] {
+        let source = match window {
+            DriftWindow::Current => &self.current,
+            DriftWindow::Baseline => &self.baseline,
+        };
+        let mut out = [0u64; DRIFT_BUCKETS];
+        for (slot, v) in out.iter_mut().zip(source.iter()) {
+            *slot = v.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// L1 distance between the normalized current and baseline
+    /// histograms, in `[0, 2]`; 0 until a baseline window completes.
+    fn drift(&self) -> f64 {
+        let cur = self.snapshot(DriftWindow::Current);
+        let base = self.snapshot(DriftWindow::Baseline);
+        let cur_total: u64 = cur.iter().sum();
+        let base_total: u64 = base.iter().sum();
+        if cur_total == 0 || base_total == 0 {
+            return 0.0;
+        }
+        cur.iter()
+            .zip(base.iter())
+            .map(|(&c, &b)| (c as f64 / cur_total as f64 - b as f64 / base_total as f64).abs())
+            .sum()
+    }
+}
+
+/// Which drift window to snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftWindow {
+    /// The window currently filling.
+    Current,
+    /// The last completed window (trailing baseline).
+    Baseline,
+}
+
+/// Streaming drift telemetry for one daemon lifetime: per-platform score
+/// histograms plus the cache-hit decay window. All operations are
+/// relaxed atomics; see the module docs for the accuracy contract.
+pub struct DriftTelemetry {
+    evm: PlatformDrift,
+    wasm: PlatformDrift,
+    cache_window_total: AtomicU64,
+    cache_window_hits: AtomicU64,
+    /// Hit ratio of the last completed cache window, as f64 bits; NaN
+    /// bits until the first window completes.
+    prev_cache_ratio_bits: AtomicU64,
+}
+
+impl Default for DriftTelemetry {
+    fn default() -> Self {
+        DriftTelemetry {
+            evm: PlatformDrift::new(),
+            wasm: PlatformDrift::new(),
+            cache_window_total: AtomicU64::new(0),
+            cache_window_hits: AtomicU64::new(0),
+            prev_cache_ratio_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+}
+
+impl DriftTelemetry {
+    fn platform(&self, platform: Platform) -> &PlatformDrift {
+        match platform {
+            Platform::Evm => &self.evm,
+            Platform::Wasm => &self.wasm,
+        }
+    }
+
+    /// Feed one served scan into the telemetry: buckets the score under
+    /// its platform and advances the cache-decay window.
+    pub fn observe_score(&self, platform: Platform, score: f64, cache_hit: bool) {
+        self.platform(platform).observe(score);
+        if cache_hit {
+            self.cache_window_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let seen = self.cache_window_total.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen.is_multiple_of(CACHE_WINDOW) {
+            let hits = self.cache_window_hits.swap(0, Ordering::Relaxed);
+            self.cache_window_total.store(0, Ordering::Relaxed);
+            let ratio = hits as f64 / CACHE_WINDOW as f64;
+            self.prev_cache_ratio_bits
+                .store(ratio.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Per-platform score drift: L1 distance between the normalized
+    /// current and trailing-baseline histograms, `[0, 2]`.
+    pub fn score_drift(&self, platform: Platform) -> f64 {
+        self.platform(platform).drift()
+    }
+
+    /// Raw bucket counts for one platform and window.
+    pub fn histogram(&self, platform: Platform, window: DriftWindow) -> [u64; DRIFT_BUCKETS] {
+        self.platform(platform).snapshot(window)
+    }
+
+    /// Cache-hit ratio over the recent window: the last completed
+    /// window's ratio once one exists, else the partial current window
+    /// (0 before any sample).
+    pub fn recent_cache_ratio(&self) -> f64 {
+        let prev = f64::from_bits(self.prev_cache_ratio_bits.load(Ordering::Relaxed));
+        if !prev.is_nan() {
+            return prev;
+        }
+        let total = self.cache_window_total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_window_hits.load(Ordering::Relaxed) as f64 / total as f64
+    }
+
+    /// Signed cache-hit decay: `lifetime_ratio` (since startup) minus the
+    /// recent-window ratio. Positive when recent traffic hits the cache
+    /// less than history did — the population is moving away from what
+    /// the cache memoised.
+    pub fn cache_hit_decay(&self, lifetime_ratio: f64) -> f64 {
+        lifetime_ratio - self.recent_cache_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_is_zero_until_a_baseline_exists_then_tracks_shift() {
+        let d = DriftTelemetry::default();
+        assert_eq!(d.score_drift(Platform::Evm), 0.0);
+        // Fill one full window with low scores → becomes the baseline.
+        for _ in 0..DRIFT_WINDOW {
+            d.observe_score(Platform::Evm, 0.05, false);
+        }
+        // Identical traffic in the next partial window: drift ~ 0.
+        for _ in 0..100 {
+            d.observe_score(Platform::Evm, 0.05, false);
+        }
+        assert!(d.score_drift(Platform::Evm) < 1e-9);
+        // Shift the population to high scores: drift approaches 2.
+        for _ in 0..(DRIFT_WINDOW - 100) {
+            d.observe_score(Platform::Evm, 0.95, false);
+        }
+        // The window just rotated (low+high mix became baseline); push a
+        // pure-high partial window and compare.
+        for _ in 0..200 {
+            d.observe_score(Platform::Evm, 0.95, false);
+        }
+        assert!(
+            d.score_drift(Platform::Evm) > 0.1,
+            "{}",
+            d.score_drift(Platform::Evm)
+        );
+        // Platforms are independent.
+        assert_eq!(d.score_drift(Platform::Wasm), 0.0);
+    }
+
+    #[test]
+    fn scores_land_in_the_right_buckets() {
+        let d = DriftTelemetry::default();
+        d.observe_score(Platform::Wasm, 0.0, false);
+        d.observe_score(Platform::Wasm, 0.05, false);
+        d.observe_score(Platform::Wasm, 0.55, false);
+        d.observe_score(Platform::Wasm, 1.0, false);
+        d.observe_score(Platform::Wasm, f64::NAN, false); // clamps to bucket 0
+        let h = d.histogram(Platform::Wasm, DriftWindow::Current);
+        assert_eq!(h[0], 3);
+        assert_eq!(h[5], 1);
+        assert_eq!(h[9], 1);
+        assert_eq!(h.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn cache_decay_goes_positive_when_recent_hits_fall() {
+        let d = DriftTelemetry::default();
+        assert_eq!(d.recent_cache_ratio(), 0.0);
+        // A full window at 100% hits…
+        for _ in 0..CACHE_WINDOW {
+            d.observe_score(Platform::Evm, 0.5, true);
+        }
+        assert!((d.recent_cache_ratio() - 1.0).abs() < 1e-12);
+        // …then a full window of misses: recent ratio collapses and the
+        // decay against a (historic) 50% lifetime ratio is positive.
+        for _ in 0..CACHE_WINDOW {
+            d.observe_score(Platform::Evm, 0.5, false);
+        }
+        assert_eq!(d.recent_cache_ratio(), 0.0);
+        assert!(d.cache_hit_decay(0.5) > 0.49);
+    }
+}

@@ -8,10 +8,135 @@
 //! O(ring) work only when `/metrics` is hit).
 
 use crate::http::LoadGauge;
+use crate::lifecycle::{DriftTelemetry, DriftWindow};
+use scamdetect_ir::Platform;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Samples kept for percentile estimation.
 const LATENCY_RING: usize = 2048;
+
+/// Name + help text of one exported metric — the registration record.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Prometheus metric name.
+    pub name: &'static str,
+    /// `# HELP` text.
+    pub help: &'static str,
+}
+
+/// The single registration point for the lifecycle counter family.
+///
+/// Everything that renders or aggregates these counters iterates this
+/// table — the daemon's `/metrics` (on both transports, which share one
+/// `render_prometheus`) and the fleet router's cross-replica aggregation
+/// — so a counter added here appears everywhere at once and a name can
+/// never drift between the exporter and the aggregator. Indexed by
+/// [`LifecycleCounter`]; the unit tests pin the two in sync.
+///
+/// Counters only: these names are scraped back by the fleet router's
+/// bare-name metric parser, so the family must stay label-free.
+pub const LIFECYCLE_COUNTERS: &[MetricDef] = &[
+    MetricDef {
+        name: "scamdetect_feedback_total",
+        help: "verdict corrections accepted through POST /feedback",
+    },
+    MetricDef {
+        name: "scamdetect_feedback_disagreements_total",
+        help: "accepted corrections that contradicted the served verdict",
+    },
+    MetricDef {
+        name: "scamdetect_shadow_samples_total",
+        help: "scans mirrored to a shadow candidate (all shadow sessions)",
+    },
+    MetricDef {
+        name: "scamdetect_shadow_agreements_total",
+        help: "mirrored scans where champion and candidate verdicts agreed",
+    },
+    MetricDef {
+        name: "scamdetect_shadow_disagreements_total",
+        help: "mirrored scans where the candidate contradicted the champion (or failed)",
+    },
+    MetricDef {
+        name: "scamdetect_shadow_dropped_total",
+        help: "scans not mirrored because the shadow queue was full",
+    },
+];
+
+/// Index into [`LIFECYCLE_COUNTERS`] / [`LifecycleCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleCounter {
+    /// Corrections accepted through `POST /feedback`.
+    Feedback = 0,
+    /// Accepted corrections contradicting the served verdict.
+    FeedbackDisagreements = 1,
+    /// Scans mirrored to a shadow candidate.
+    ShadowSamples = 2,
+    /// Mirrored scans with agreeing verdicts.
+    ShadowAgreements = 3,
+    /// Mirrored scans where the candidate disagreed or failed.
+    ShadowDisagreements = 4,
+    /// Scans dropped at a full shadow queue.
+    ShadowDropped = 5,
+}
+
+/// Values behind [`LIFECYCLE_COUNTERS`], one relaxed atomic per entry.
+///
+/// Lives behind an `Arc` on [`Metrics`] because the shadow-scoring
+/// worker thread increments it off the response path.
+#[derive(Debug, Default)]
+pub struct LifecycleCounters {
+    values: [AtomicU64; LIFECYCLE_COUNTERS.len()],
+}
+
+impl LifecycleCounters {
+    /// Adds 1 to one counter.
+    pub fn incr(&self, which: LifecycleCounter) {
+        self.values[which as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads one counter.
+    pub fn get(&self, which: LifecycleCounter) -> u64 {
+        self.values[which as usize].load(Ordering::Relaxed)
+    }
+
+    /// Reads every counter, positionally aligned with
+    /// [`LIFECYCLE_COUNTERS`].
+    pub fn snapshot(&self) -> [u64; LIFECYCLE_COUNTERS.len()] {
+        let mut out = [0u64; LIFECYCLE_COUNTERS.len()];
+        for (slot, v) in out.iter_mut().zip(self.values.iter()) {
+            *slot = v.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Scrape-time view of the active shadow-scoring session, if any.
+///
+/// Session-scoped (reset on `shadow start`), unlike the cumulative
+/// [`LifecycleCounters`]; promotion thresholds judge the session, the
+/// counters record the lifetime.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowScrape<'a> {
+    /// Candidate model id.
+    pub candidate: &'a str,
+    /// Registry epoch at candidate load (informational; the real epoch
+    /// is minted at promotion).
+    pub candidate_epoch: u64,
+    /// Mirrored scans scored by the candidate this session.
+    pub samples: u64,
+    /// Samples where both models agreed.
+    pub agreements: u64,
+    /// Samples where the candidate disagreed (failures included).
+    pub disagreements: u64,
+    /// Candidate scans that errored.
+    pub failures: u64,
+    /// Scans dropped at a full queue this session.
+    pub dropped: u64,
+    /// Sum of signed per-sample latency deltas (candidate − champion),
+    /// microseconds.
+    pub latency_delta_us: i64,
+}
 
 /// Sentinel for "slot never written" (a real 0µs latency is recorded
 /// as 1µs — the measurement floor, far below anything the scan path
@@ -39,6 +164,10 @@ pub struct ScrapeSnapshot<'a> {
     pub protocol_errors: u64,
     /// Live server load (queue depth, in-flight, shed count).
     pub load: &'a LoadGauge,
+    /// The active shadow-scoring session, when one is running.
+    pub shadow: Option<ShadowScrape<'a>>,
+    /// Whole records in the feedback log; `None` when ingestion is off.
+    pub feedback_log_records: Option<u64>,
 }
 
 /// Counters and latency samples for one daemon lifetime.
@@ -67,6 +196,11 @@ pub struct Metrics {
     pub model_swaps: AtomicU64,
     /// Artifacts accepted through `PUT /models/<id>`.
     pub model_installs: AtomicU64,
+    /// Lifecycle counter family (see [`LIFECYCLE_COUNTERS`]). Shared
+    /// with the shadow-scoring worker thread.
+    pub lifecycle: Arc<LifecycleCounters>,
+    /// Streaming drift telemetry (score histograms, cache decay).
+    pub drift: DriftTelemetry,
     ring: [AtomicU64; LATENCY_RING],
     ring_next: AtomicUsize,
 }
@@ -85,6 +219,8 @@ impl Default for Metrics {
             scan_failures: AtomicU64::new(0),
             model_swaps: AtomicU64::new(0),
             model_installs: AtomicU64::new(0),
+            lifecycle: Arc::new(LifecycleCounters::default()),
+            drift: DriftTelemetry::default(),
             ring: [const { AtomicU64::new(EMPTY) }; LATENCY_RING],
             ring_next: AtomicUsize::new(0),
         }
@@ -138,6 +274,8 @@ impl Metrics {
             prep_cache_len,
             protocol_errors,
             load,
+            shadow,
+            feedback_log_records,
         } = *snap;
         use std::fmt::Write as _;
         let mut out = String::with_capacity(2048);
@@ -211,6 +349,13 @@ impl Metrics {
             "connections answered 429 at the admission gate",
             load.shed_total.load(Ordering::Relaxed),
         );
+        // The lifecycle family renders straight off its registration
+        // table — adding a counter there adds it here, to the epoll
+        // transport's scrape, and to the fleet router's aggregation,
+        // with no second list to keep in sync.
+        for (def, value) in LIFECYCLE_COUNTERS.iter().zip(self.lifecycle.snapshot()) {
+            counter(def.name, def.help, value);
+        }
 
         let (p50, p99) = self.latency_percentiles_us();
         let mut gauge = |name: &str, help: &str, value: String| {
@@ -263,6 +408,112 @@ impl Metrics {
             "monotonic epoch of the served model (bumps on every swap)",
             model_epoch.to_string(),
         );
+        // Drift telemetry. The drift and decay gauges are the headline
+        // signals; the raw histogram series (labeled, so deliberately
+        // outside the aggregated counter family) let an operator see
+        // *where* the score mass moved.
+        let disagreement_rate = {
+            let total = self.lifecycle.get(LifecycleCounter::Feedback);
+            if total == 0 {
+                0.0
+            } else {
+                self.lifecycle.get(LifecycleCounter::FeedbackDisagreements) as f64 / total as f64
+            }
+        };
+        gauge(
+            "scamdetect_feedback_disagreement_rate",
+            "fraction of accepted corrections contradicting the served verdict",
+            format!("{disagreement_rate:.6}"),
+        );
+        gauge(
+            "scamdetect_cache_hit_recent_ratio",
+            "verdict-cache hit ratio over the recent window",
+            format!("{:.6}", self.drift.recent_cache_ratio()),
+        );
+        gauge(
+            "scamdetect_cache_hit_decay",
+            "lifetime cache-hit ratio minus the recent-window ratio (positive = decaying)",
+            format!("{:.6}", self.drift.cache_hit_decay(self.cache_hit_ratio())),
+        );
+        if let Some(records) = feedback_log_records {
+            gauge(
+                "scamdetect_feedback_log_records",
+                "whole records in the feedback log",
+                records.to_string(),
+            );
+        }
+
+        // Shadow-scoring session state, when one is running.
+        gauge(
+            "scamdetect_shadow_active",
+            "1 while a shadow candidate is loaded and scoring mirrored traffic",
+            if shadow.is_some() { "1" } else { "0" }.to_string(),
+        );
+        if let Some(sh) = shadow {
+            let agreement = if sh.samples == 0 {
+                0.0
+            } else {
+                sh.agreements as f64 / sh.samples as f64
+            };
+            gauge(
+                "scamdetect_shadow_agreement_ratio",
+                "fraction of mirrored samples where candidate agreed with champion (this session)",
+                format!("{agreement:.6}"),
+            );
+            let mean_delta = if sh.samples == 0 {
+                0.0
+            } else {
+                sh.latency_delta_us as f64 / sh.samples as f64
+            };
+            gauge(
+                "scamdetect_shadow_latency_delta_us",
+                "mean signed candidate-minus-champion scan latency delta, microseconds (this session)",
+                format!("{mean_delta:.3}"),
+            );
+        }
+
+        // Labeled series, written directly (the counter/gauge helpers
+        // above emit bare names only).
+        let _ = writeln!(
+            out,
+            "# HELP scamdetect_score_drift L1 distance between current and baseline score histograms, per platform\n\
+             # TYPE scamdetect_score_drift gauge"
+        );
+        for platform in [Platform::Evm, Platform::Wasm] {
+            let _ = writeln!(
+                out,
+                "scamdetect_score_drift{{platform=\"{platform}\"}} {:.6}",
+                self.drift.score_drift(platform)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP scamdetect_score_hist served-score histogram buckets per platform and window\n\
+             # TYPE scamdetect_score_hist gauge"
+        );
+        for platform in [Platform::Evm, Platform::Wasm] {
+            for (window, tag) in [
+                (DriftWindow::Current, "current"),
+                (DriftWindow::Baseline, "baseline"),
+            ] {
+                let hist = self.drift.histogram(platform, window);
+                for (bucket, count) in hist.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "scamdetect_score_hist{{platform=\"{platform}\",window=\"{tag}\",bucket=\"{bucket}\"}} {count}"
+                    );
+                }
+            }
+        }
+        if let Some(sh) = shadow {
+            let _ = writeln!(
+                out,
+                "# HELP scamdetect_shadow_info shadow candidate id as a label\n\
+                 # TYPE scamdetect_shadow_info gauge\n\
+                 scamdetect_shadow_info{{candidate=\"{}\"}} 1",
+                sh.candidate.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
         let _ = writeln!(
             out,
             "# HELP scamdetect_model_info served model id as a label\n\
@@ -317,6 +568,9 @@ mod tests {
         let load = LoadGauge::default();
         load.shed_total.store(5, Ordering::Relaxed);
         load.queued.store(2, Ordering::Relaxed);
+        m.lifecycle.incr(LifecycleCounter::Feedback);
+        m.lifecycle.incr(LifecycleCounter::FeedbackDisagreements);
+        m.drift.observe_score(Platform::Evm, 0.85, true);
         let text = m.render_prometheus(&ScrapeSnapshot {
             model_id: "rf-v3",
             model_epoch: 2,
@@ -325,6 +579,17 @@ mod tests {
             prep_cache_len: 12,
             protocol_errors: 3,
             load: &load,
+            shadow: Some(ShadowScrape {
+                candidate: "rf-v4",
+                candidate_epoch: 2,
+                samples: 8,
+                agreements: 6,
+                disagreements: 2,
+                failures: 0,
+                dropped: 1,
+                latency_delta_us: -40,
+            }),
+            feedback_log_records: Some(17),
         });
         assert!(text.contains("scamdetect_requests_total 4"));
         assert!(text.contains("scamdetect_protocol_errors_total 3"));
@@ -334,11 +599,80 @@ mod tests {
         assert!(text.contains("scamdetect_scan_latency_p50_us 123"));
         assert!(text.contains("scamdetect_model_info{model=\"rf-v3\"} 1"));
         assert!(text.contains("scamdetect_model_epoch 2"));
+        // Every registered lifecycle counter renders by its table name.
+        for def in LIFECYCLE_COUNTERS {
+            assert!(
+                text.contains(&format!("\n{} ", def.name)),
+                "{} missing",
+                def.name
+            );
+        }
+        assert!(text.contains("scamdetect_feedback_total 1"));
+        assert!(text.contains("scamdetect_feedback_disagreement_rate 1.000000"));
+        assert!(text.contains("scamdetect_feedback_log_records 17"));
+        assert!(text
+            .contains("scamdetect_score_hist{platform=\"evm\",window=\"current\",bucket=\"8\"} 1"));
+        assert!(text.contains("scamdetect_score_drift{platform=\"wasm\"} 0.000000"));
+        assert!(text.contains("scamdetect_shadow_active 1"));
+        assert!(text.contains("scamdetect_shadow_agreement_ratio 0.750000"));
+        assert!(text.contains("scamdetect_shadow_latency_delta_us -5.000"));
+        assert!(text.contains("scamdetect_shadow_info{candidate=\"rf-v4\"} 1"));
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.split(' ');
             assert!(parts.next().is_some(), "{line}");
             assert!(parts.next().unwrap().parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn shadow_off_renders_inactive_gauge_and_no_session_series() {
+        let m = Metrics::default();
+        let load = LoadGauge::default();
+        let text = m.render_prometheus(&ScrapeSnapshot {
+            model_id: "rf-v3",
+            model_epoch: 1,
+            uptime_s: 1,
+            verdict_cache_len: 0,
+            prep_cache_len: 0,
+            protocol_errors: 0,
+            load: &load,
+            shadow: None,
+            feedback_log_records: None,
+        });
+        assert!(text.contains("scamdetect_shadow_active 0"));
+        assert!(!text.contains("scamdetect_shadow_info"));
+        assert!(!text.contains("scamdetect_feedback_log_records"));
+        // The cumulative family still renders (zeros) with shadow off.
+        assert!(text.contains("scamdetect_shadow_samples_total 0"));
+    }
+
+    #[test]
+    fn lifecycle_table_and_index_agree() {
+        // The enum indexes the table; a counter added to one without the
+        // other fails here, named.
+        let counters = [
+            LifecycleCounter::Feedback,
+            LifecycleCounter::FeedbackDisagreements,
+            LifecycleCounter::ShadowSamples,
+            LifecycleCounter::ShadowAgreements,
+            LifecycleCounter::ShadowDisagreements,
+            LifecycleCounter::ShadowDropped,
+        ];
+        assert_eq!(counters.len(), LIFECYCLE_COUNTERS.len());
+        let c = LifecycleCounters::default();
+        for (i, &which) in counters.iter().enumerate() {
+            assert_eq!(which as usize, i);
+            c.incr(which);
+            assert_eq!(c.get(which), 1);
+            assert_eq!(c.snapshot()[i], 1);
+        }
+        // Aggregation constraint: the family must stay label-free and
+        // use the shared prefix + _total convention.
+        for def in LIFECYCLE_COUNTERS {
+            assert!(def.name.starts_with("scamdetect_"), "{}", def.name);
+            assert!(def.name.ends_with("_total"), "{}", def.name);
+            assert!(!def.name.contains('{'), "{}", def.name);
         }
     }
 }

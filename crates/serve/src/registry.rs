@@ -27,13 +27,27 @@
 //!
 //! [`Scanner::save`]: scamdetect::Scanner::save
 
-use scamdetect::{ModelArtifact, PrepCache, ScamDetectError, Scanner, ScannerBuilder};
+use crate::metrics::{LifecycleCounter, LifecycleCounters};
+use scamdetect::{ModelArtifact, PrepCache, ScamDetectError, ScanRequest, Scanner, ScannerBuilder};
 use scamdetect_evm::proxy::fnv1a;
+use scamdetect_ir::Platform;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+/// Default minimum mirrored samples before a shadow candidate may be
+/// promoted.
+pub const SHADOW_MIN_SAMPLES_DEFAULT: u64 = 32;
+
+/// Default minimum champion/candidate agreement ratio for promotion.
+pub const SHADOW_MIN_AGREEMENT_DEFAULT: f64 = 0.95;
+
+/// Bounded depth of the shadow mirror queue; scans beyond it are
+/// dropped (counted), never blocked on.
+const SHADOW_QUEUE: usize = 1024;
 
 /// Registry configuration.
 #[derive(Debug, Clone)]
@@ -107,6 +121,20 @@ pub enum ServeError {
         /// The active id.
         id: String,
     },
+    /// A shadow operation needs a running shadow session and none is.
+    ShadowUnavailable,
+    /// Promotion refused: the shadow session has not cleared the
+    /// configured sample-count / agreement thresholds.
+    ShadowNotReady {
+        /// Mirrored samples scored so far.
+        samples: u64,
+        /// Required sample count.
+        min_samples: u64,
+        /// Agreement ratio so far.
+        agreement: f64,
+        /// Required agreement ratio.
+        min_agreement: f64,
+    },
     /// The artifact exists but cannot be parsed/reconstructed.
     Artifact(ScamDetectError),
 }
@@ -141,6 +169,24 @@ impl fmt::Display for ServeError {
             }
             ServeError::ActiveModel { id } => {
                 write!(f, "model '{id}' is currently being served")
+            }
+            ServeError::ShadowUnavailable => {
+                write!(
+                    f,
+                    "no shadow session is running (start one with POST /shadow/start)"
+                )
+            }
+            ServeError::ShadowNotReady {
+                samples,
+                min_samples,
+                agreement,
+                min_agreement,
+            } => {
+                write!(
+                    f,
+                    "shadow candidate not ready for promotion: {samples} samples \
+                     (need {min_samples}), agreement {agreement:.4} (need {min_agreement:.4})"
+                )
             }
             ServeError::Artifact(e) => write!(f, "{e}"),
         }
@@ -215,11 +261,150 @@ pub struct InstallOutcome {
     pub replaced: bool,
 }
 
+/// Session counters for one shadow-scoring run. Relaxed atomics,
+/// written by the shadow worker, read by `/metrics`, `/shadow` and the
+/// promotion gate.
+#[derive(Debug, Default)]
+pub struct ShadowCounters {
+    /// Mirrored scans the candidate scored (failures included).
+    pub samples: AtomicU64,
+    /// Samples where candidate and champion verdicts agreed.
+    pub agreements: AtomicU64,
+    /// Samples where the candidate disagreed or failed.
+    pub disagreements: AtomicU64,
+    /// Candidate scans that errored (counted into disagreements too —
+    /// a candidate that cannot score traffic must not promote).
+    pub failures: AtomicU64,
+    /// Scans not mirrored because the queue was full.
+    pub dropped: AtomicU64,
+    /// Sum of signed candidate-minus-champion latency deltas, µs.
+    pub latency_delta_us: AtomicI64,
+}
+
+impl ShadowCounters {
+    /// Session agreement ratio; 0 before any sample.
+    pub fn agreement(&self) -> f64 {
+        let samples = self.samples.load(Ordering::Relaxed);
+        if samples == 0 {
+            return 0.0;
+        }
+        self.agreements.load(Ordering::Relaxed) as f64 / samples as f64
+    }
+}
+
+/// One mirrored scan, queued for the shadow worker.
+struct ShadowJob {
+    bytes: Vec<u8>,
+    platform: Option<Platform>,
+    champion_malicious: bool,
+    champion_us: u64,
+}
+
+/// A live shadow-scoring session: the candidate model, its session
+/// counters, and the mirror queue feeding the worker thread.
+///
+/// The worker holds only the candidate `Arc`, the counters and the
+/// queue's receiving end — never this struct — so dropping the last
+/// `ShadowState` (on `shadow stop`, promotion, or a replacing start)
+/// closes the channel and the worker exits on its own.
+pub struct ShadowState {
+    /// The candidate serving snapshot (scores off the response path).
+    pub model: Arc<ServingModel>,
+    /// Session counters.
+    pub counters: Arc<ShadowCounters>,
+    tx: SyncSender<ShadowJob>,
+}
+
+impl fmt::Debug for ShadowState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShadowState")
+            .field("candidate", &self.model.id)
+            .field("samples", &self.counters.samples.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ShadowState {
+    /// Mirrors one served scan to the candidate, off the response path.
+    ///
+    /// Non-blocking: a full queue drops the sample and counts it — the
+    /// champion's latency is never hostage to a slow candidate.
+    pub fn submit(
+        &self,
+        bytes: Vec<u8>,
+        platform: Option<Platform>,
+        champion_malicious: bool,
+        champion_us: u64,
+        lifecycle: &LifecycleCounters,
+    ) {
+        let job = ShadowJob {
+            bytes,
+            platform,
+            champion_malicious,
+            champion_us,
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                lifecycle.incr(LifecycleCounter::ShadowDropped);
+            }
+        }
+    }
+}
+
+/// The shadow worker loop: drains mirrored scans, scores them on the
+/// candidate, and books agreement/latency against both the session
+/// counters and the cumulative lifecycle family.
+fn shadow_worker(
+    candidate: Arc<ServingModel>,
+    counters: Arc<ShadowCounters>,
+    lifecycle: Arc<LifecycleCounters>,
+    rx: Receiver<ShadowJob>,
+) {
+    while let Ok(job) = rx.recv() {
+        let mut request = ScanRequest::new(&job.bytes);
+        if let Some(platform) = job.platform {
+            request = request.on(platform);
+        }
+        let started = Instant::now();
+        let outcome = candidate.scanner.scan_request(&request);
+        let candidate_us = started.elapsed().as_micros() as u64;
+        counters.samples.fetch_add(1, Ordering::Relaxed);
+        lifecycle.incr(LifecycleCounter::ShadowSamples);
+        match outcome {
+            Ok(report) => {
+                if report.is_malicious() == job.champion_malicious {
+                    counters.agreements.fetch_add(1, Ordering::Relaxed);
+                    lifecycle.incr(LifecycleCounter::ShadowAgreements);
+                } else {
+                    counters.disagreements.fetch_add(1, Ordering::Relaxed);
+                    lifecycle.incr(LifecycleCounter::ShadowDisagreements);
+                }
+                let delta = candidate_us as i64 - job.champion_us as i64;
+                counters
+                    .latency_delta_us
+                    .fetch_add(delta, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // A candidate that cannot score live traffic is the
+                // strongest possible disagreement.
+                counters.failures.fetch_add(1, Ordering::Relaxed);
+                counters.disagreements.fetch_add(1, Ordering::Relaxed);
+                lifecycle.incr(LifecycleCounter::ShadowDisagreements);
+            }
+        }
+    }
+}
+
 /// See the module docs.
 pub struct ModelRegistry {
     config: RegistryConfig,
     prep: Arc<PrepCache>,
     active: RwLock<Arc<ServingModel>>,
+    /// The live shadow session, if any. Readers clone the `Arc`;
+    /// start/stop/promote replace the option under [`Self::reload_lock`].
+    shadow: RwLock<Option<Arc<ShadowState>>>,
     /// Serializes whole [`ModelRegistry::reload`] calls (HTTP workers
     /// can race `POST /models/reload`): without it two concurrent
     /// reloads could mint the same epoch and the write-lock loser could
@@ -256,6 +441,7 @@ impl ModelRegistry {
             config,
             prep,
             active: RwLock::new(Arc::new(model)),
+            shadow: RwLock::new(None),
             reload_lock: Mutex::new(()),
             swaps: AtomicU64::new(0),
             loaded_at: Instant::now(),
@@ -439,6 +625,123 @@ impl ModelRegistry {
             path: path.display().to_string(),
             message: e.to_string(),
         })
+    }
+
+    /// The live shadow session, if any. Cheap `Arc` clone, like
+    /// [`ModelRegistry::model`].
+    pub fn shadow(&self) -> Option<Arc<ShadowState>> {
+        self.shadow
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(Arc::clone)
+    }
+
+    /// Loads `<id>.scam` as a shadow candidate alongside the champion.
+    ///
+    /// The candidate gets its own scanner (own verdict cache, shared
+    /// prep cache) and a dedicated worker thread; served scans are
+    /// mirrored to it via [`ShadowState::submit`] while the champion
+    /// keeps answering the wire. Starting replaces any previous shadow
+    /// session (its worker drains and exits once its queue closes).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ActiveModel`] when `id` is the champion (shadowing
+    /// the model already serving measures nothing),
+    /// [`ServeError::UnknownModel`] / [`ServeError::InvalidModelId`] /
+    /// artifact and I/O errors as in [`ModelRegistry::reload_with`].
+    pub fn shadow_start(
+        &self,
+        id: &str,
+        lifecycle: Arc<LifecycleCounters>,
+    ) -> Result<Arc<ShadowState>, ServeError> {
+        validate_model_id(id)?;
+        // Same serialization as reloads: a concurrent promote/reload
+        // must not race the champion comparison below.
+        let _serialized = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if self.model().id == id {
+            return Err(ServeError::ActiveModel { id: id.to_string() });
+        }
+        let (resolved, path) = resolve_active(&self.config, Some(id))?;
+        let epoch = self.swaps.load(Ordering::Relaxed);
+        let candidate = Arc::new(load_model(
+            &self.config,
+            &self.prep,
+            &resolved,
+            &path,
+            epoch,
+        )?);
+        let counters = Arc::new(ShadowCounters::default());
+        let (tx, rx) = sync_channel::<ShadowJob>(SHADOW_QUEUE);
+        {
+            let candidate = Arc::clone(&candidate);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name(format!("shadow-{resolved}"))
+                .spawn(move || shadow_worker(candidate, counters, lifecycle, rx))
+                .map_err(|e| ServeError::Io {
+                    path: "shadow worker".to_string(),
+                    message: e.to_string(),
+                })?;
+        }
+        let state = Arc::new(ShadowState {
+            model: candidate,
+            counters,
+            tx,
+        });
+        *self.shadow.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&state));
+        Ok(state)
+    }
+
+    /// Ends the shadow session, if any. Returns whether one was
+    /// running. The worker exits once the dropped queue drains.
+    pub fn shadow_stop(&self) -> bool {
+        self.shadow
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .is_some()
+    }
+
+    /// Promotes the shadow candidate to champion — the measured hot
+    /// swap at the end of the lifecycle loop.
+    ///
+    /// Refused unless the session has scored at least `min_samples`
+    /// mirrored scans at an agreement ratio of at least `min_agreement`
+    /// (pass the `SHADOW_*_DEFAULT` consts for the standard gate). On
+    /// success the candidate's artifact is reloaded from disk under the
+    /// usual swap discipline (epoch bump, in-flight scans keep their
+    /// snapshot) and the shadow session ends.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShadowUnavailable`] with no session running,
+    /// [`ServeError::ShadowNotReady`] below thresholds, and everything
+    /// [`ModelRegistry::reload_with`] can raise (on reload failure the
+    /// shadow session stays up — the operator can retry).
+    pub fn shadow_promote(
+        &self,
+        min_samples: u64,
+        min_agreement: f64,
+    ) -> Result<ReloadOutcome, ServeError> {
+        let state = self.shadow().ok_or(ServeError::ShadowUnavailable)?;
+        let samples = state.counters.samples.load(Ordering::Relaxed);
+        let agreement = state.counters.agreement();
+        if samples < min_samples || agreement < min_agreement {
+            return Err(ServeError::ShadowNotReady {
+                samples,
+                min_samples,
+                agreement,
+                min_agreement,
+            });
+        }
+        let outcome = self.reload_with(Some(&state.model.id))?;
+        self.shadow_stop();
+        Ok(outcome)
     }
 
     /// Every artifact currently in the models directory.
@@ -811,6 +1114,137 @@ mod tests {
             .verdict
             .malicious_probability;
         assert_eq!(via_prep.to_bits(), cold.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn train_artifact_bytes_with_threshold(seed: u64, threshold: f64) -> Vec<u8> {
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: 30,
+            seed,
+            ..CorpusConfig::default()
+        });
+        ScannerBuilder::new()
+            .model(scamdetect::ModelKind::Classic(
+                scamdetect::ClassicModel::LogisticRegression,
+                scamdetect::FeatureKind::Unified,
+            ))
+            .threshold(threshold)
+            .train(&corpus)
+            .expect("trains")
+            .to_artifact()
+            .expect("artifact")
+            .to_bytes()
+    }
+
+    #[test]
+    fn shadow_session_scores_mirrored_traffic_and_gates_promotion() {
+        let dir = temp_models_dir("shadow");
+        std::fs::write(dir.join("m-v1.scam"), train_artifact_bytes(1)).unwrap();
+        // Same weights, threshold 0: the candidate flags everything, so
+        // every benign champion verdict becomes a disagreement.
+        std::fs::write(
+            dir.join("cand-v2.scam"),
+            train_artifact_bytes_with_threshold(1, 0.0),
+        )
+        .unwrap();
+        let registry = ModelRegistry::open(config(&dir)).expect("opens");
+        assert_eq!(registry.model().id, "m-v1");
+        assert!(registry.shadow().is_none());
+
+        let lifecycle = Arc::new(LifecycleCounters::default());
+
+        // Shadowing the champion itself is refused.
+        assert!(matches!(
+            registry.shadow_start("m-v1", Arc::clone(&lifecycle)),
+            Err(ServeError::ActiveModel { .. })
+        ));
+        // Unknown candidates are a typed error.
+        assert!(matches!(
+            registry.shadow_start("nope", Arc::clone(&lifecycle)),
+            Err(ServeError::UnknownModel { .. })
+        ));
+
+        let shadow = registry
+            .shadow_start("cand-v2", Arc::clone(&lifecycle))
+            .expect("starts");
+        assert_eq!(shadow.model.id, "cand-v2");
+
+        // Mirror a small corpus through the session.
+        let corpus = Corpus::generate(&CorpusConfig {
+            size: 12,
+            seed: 5,
+            ..CorpusConfig::default()
+        });
+        let champion = registry.model();
+        let mut expected_agree = 0u64;
+        for contract in corpus.contracts() {
+            let report = champion.scanner.scan(&contract.bytes).expect("scan");
+            // Candidate threshold 0 flags everything: agreement exactly
+            // when the champion flagged too.
+            if report.is_malicious() {
+                expected_agree += 1;
+            }
+            shadow.submit(
+                contract.bytes.clone(),
+                None,
+                report.is_malicious(),
+                report.elapsed.as_micros() as u64,
+                &lifecycle,
+            );
+        }
+        let total = corpus.contracts().len() as u64;
+        // The worker is asynchronous; wait for it to drain the queue.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while shadow.counters.samples.load(Ordering::Relaxed) < total {
+            assert!(Instant::now() < deadline, "shadow worker stalled");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(shadow.counters.samples.load(Ordering::Relaxed), total);
+        assert_eq!(
+            shadow.counters.agreements.load(Ordering::Relaxed),
+            expected_agree
+        );
+        assert_eq!(
+            shadow.counters.disagreements.load(Ordering::Relaxed),
+            total - expected_agree
+        );
+        assert_eq!(shadow.counters.failures.load(Ordering::Relaxed), 0);
+        assert!(
+            expected_agree < total,
+            "corpus must contain benign champion verdicts for the test to bite"
+        );
+        // The cumulative lifecycle family tracked the session.
+        assert_eq!(lifecycle.get(LifecycleCounter::ShadowSamples), total);
+        assert_eq!(
+            lifecycle.get(LifecycleCounter::ShadowAgreements),
+            expected_agree
+        );
+
+        // Under-sampled or under-agreeing sessions are refused, typed.
+        assert!(matches!(
+            registry.shadow_promote(total + 100, 0.0),
+            Err(ServeError::ShadowNotReady { .. })
+        ));
+        assert!(matches!(
+            registry.shadow_promote(1, 1.01),
+            Err(ServeError::ShadowNotReady { .. })
+        ));
+        assert_eq!(registry.model().id, "m-v1", "refusal must not swap");
+
+        // A cleared gate promotes: epoch bump, shadow session ends.
+        let outcome = registry
+            .shadow_promote(total, shadow.counters.agreement())
+            .expect("promotes");
+        assert!(outcome.swapped);
+        assert_eq!(outcome.active, "cand-v2");
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(registry.model().id, "cand-v2");
+        assert!(registry.shadow().is_none());
+        assert!(matches!(
+            registry.shadow_promote(0, 0.0),
+            Err(ServeError::ShadowUnavailable)
+        ));
+        assert!(!registry.shadow_stop());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -76,9 +76,14 @@
 //!   "swaps": 2,
 //!   "uptime_s": 86400,
 //!   "verdict_cache_entries": 4096,
-//!   "prep_cache_entries": 4096
+//!   "prep_cache_entries": 4096,
+//!   "shadow": "off"
 //! }
 //! ```
+//!
+//! `shadow` names the candidate of the live shadow session, or the
+//! string `"off"` — a router can see mid-evaluation replicas at a
+//! glance.
 //!
 //! # Artifact push (`PUT /models/<id>`)
 //!
@@ -115,6 +120,73 @@
 //! ```json
 //! {"swapped": true, "active": "rf-v4", "model_epoch": 3}
 //! ```
+//!
+//! # Feedback (`POST /feedback`)
+//!
+//! Records a ground-truth correction into the append-only feedback
+//! log (409 unless the daemon was started with `--feedback-log`).
+//! Two shapes, by subject:
+//!
+//! ```json
+//! {"bytecode": "0x6001600155", "label": "malicious"}
+//! {"skeleton": "9f86d081884c7d65", "platform": "evm",
+//!  "label": "benign", "score": 0.97, "served_verdict": "malicious"}
+//! ```
+//!
+//! * With `bytecode`, the daemon re-scores the contract on the current
+//!   champion itself: the record's fingerprint is the scan's skeleton,
+//!   its score the champion's, and *disagreement* is judged against
+//!   the champion's own verdict (422 when the bytes cannot be
+//!   scanned).
+//! * With `skeleton` (16 hex digits, `0x` tolerated), `platform`
+//!   (`"evm"` | `"wasm"`) is required, `score` and `served_verdict`
+//!   are optional — clients that kept the original scan response can
+//!   file corrections without resending bytecode. Without
+//!   `served_verdict`, disagreement is unknown and reported `null`.
+//! * `label` (required): `"malicious"` | `"benign"` — the corrected
+//!   ground truth.
+//!
+//! ```json
+//! {"recorded": true, "skeleton": "9f86d081884c7d65",
+//!  "platform": "evm", "disagreement": true, "log_records": 42}
+//! ```
+//!
+//! Each record also captures the serving model's id and epoch, so a
+//! folded retrain can be traced to the champion it corrects.
+//! `scamdetect-cli retrain --feedback-log <path>` replays the log and
+//! folds it into the training corpus (last record wins per
+//! fingerprint), deterministically given the seed and the log.
+//!
+//! # Shadow scoring (`/shadow`, `/shadow/start`, `/shadow/stop`,
+//! `/shadow/promote`)
+//!
+//! A shadow session loads a **candidate** artifact beside the serving
+//! champion and mirrors every `/scan` and `/batch` subject to it off
+//! the response path — the champion alone answers the wire, and its
+//! scores stay bit-identical whether a shadow is running or not.
+//!
+//! * `POST /shadow/start`, body `{"model": "<id>"}`: load `<id>` from
+//!   the models directory as the candidate (404 unknown, 409 when it
+//!   is the champion, 422 when the artifact is broken). Response:
+//!   `{"shadowing": "<id>", "candidate_kind": …, "candidate_epoch": …}`.
+//! * `GET /shadow`: `{"active": false}` or the live session summary —
+//!   candidate identity, `samples`, `agreements`, `disagreements`,
+//!   `dropped` (mirror-queue overflow: mirroring sheds before it ever
+//!   blocks serving), `agreement` ratio, and the mean candidate-vs-
+//!   champion `latency_delta_us`.
+//! * `POST /shadow/promote`, body `{"min_samples": 32,
+//!   "min_agreement": 0.95}` (both optional, defaults shown): refuse
+//!   with 409 until the candidate has scored at least `min_samples`
+//!   mirrored requests at `min_agreement` champion agreement; then
+//!   perform the same epoch-bumped hot swap as a reload and end the
+//!   session. Response: `{"promoted": "<id>", "swapped": true,
+//!   "model_epoch": …}`.
+//! * `POST /shadow/stop`: tear the session down, candidate never
+//!   served — `{"stopped": true}`.
+//!
+//! Session counters reset per session and gate promotion; the
+//! monotonic `scamdetect_shadow_*` counters on `/metrics` never reset
+//! and track the daemon's lifetime mirroring volume.
 //!
 //! [`ModelArtifact`]: scamdetect::ModelArtifact
 

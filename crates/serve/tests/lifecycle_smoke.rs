@@ -1,0 +1,421 @@
+//! The CI lifecycle-smoke gate: the full served-verdict → retrained-
+//! model loop against a real daemon on an ephemeral port.
+//!
+//! What it pins, end to end over the wire:
+//!
+//! * `POST /feedback` records corrections into the append-only log,
+//!   computes disagreement against the champion's own re-score, and
+//!   advances the feedback counters on `/metrics`.
+//! * Replaying the log and folding it into the training corpus
+//!   produces a candidate whose labels differ from the champion's.
+//! * `POST /shadow/start` mirrors every subsequent scan to the
+//!   candidate off the response path; `GET /shadow`, `/healthz` and
+//!   `GET /models` all report the session.
+//! * `POST /shadow/promote` refuses below its thresholds and performs
+//!   an epoch-bumped hot swap once they clear.
+//! * Shadow scoring never perturbs the champion: under concurrent
+//!   traffic, every served score is bit-identical with the shadow on,
+//!   off, and stopped.
+//!
+//! Both tests build on `ServeConfig::default()`, so the whole suite
+//! re-runs against the epoll transport via `SCAMDETECT_TRANSPORT=epoll`
+//! without touching call sites.
+
+use scamdetect::lifecycle::{fold_feedback, ContractLabel, FeedbackLog};
+use scamdetect::{ClassicModel, FeatureKind, ModelKind, ScannerBuilder};
+use scamdetect_dataset::{Corpus, CorpusConfig};
+use scamdetect_serve::client::{http_call, HttpClient};
+use scamdetect_serve::daemon::{spawn, ServeConfig};
+use scamdetect_serve::json::Json;
+use scamdetect_serve::wire::encode_hex;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+fn hex_body(bytes: &[u8]) -> String {
+    format!(r#"{{"bytecode": "{}"}}"#, encode_hex(bytes))
+}
+
+/// Trains a small logistic-regression artifact on a seeded corpus and
+/// saves it as `<dir>/<stem>.scam`.
+fn train_artifact(dir: &Path, stem: &str, seed: u64, threshold: Option<f64>) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 30,
+        seed,
+        ..CorpusConfig::default()
+    });
+    let mut builder = ScannerBuilder::new().model(ModelKind::Classic(
+        ClassicModel::LogisticRegression,
+        FeatureKind::Unified,
+    ));
+    if let Some(t) = threshold {
+        builder = builder.threshold(t);
+    }
+    builder
+        .train(&corpus)
+        .expect("trains")
+        .save(dir.join(format!("{stem}.scam")))
+        .expect("saves artifact");
+}
+
+/// Scrapes one bare-name sample out of `/metrics`.
+fn metric(addr: SocketAddr, name: &str) -> f64 {
+    let text = http_call(addr, "GET", "/metrics", None)
+        .expect("metrics scrape")
+        .body;
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            let (metric, value) = l.split_once(' ')?;
+            (metric == name).then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or_else(|| panic!("no metric named '{name}'"))
+}
+
+/// Polls `GET /shadow` until the session has scored at least
+/// `min_samples` mirrored scans (shadow scoring is asynchronous).
+fn wait_for_shadow_samples(addr: SocketAddr, min_samples: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let reply = http_call(addr, "GET", "/shadow", None).expect("shadow status");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let status = Json::parse(&reply.body).expect("shadow status is JSON");
+        assert_eq!(status.get("active").unwrap().as_bool(), Some(true));
+        let samples = status.get("samples").unwrap().as_f64().unwrap() as u64;
+        if samples >= min_samples {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shadow scored only {samples}/{min_samples} samples before the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn feedback_retrain_shadow_promote_closes_the_lifecycle_loop() {
+    let dir = std::env::temp_dir().join(format!("scamdetect-lifecycle-e2e-{}", std::process::id()));
+    let models_dir = dir.join("models");
+    std::fs::create_dir_all(&models_dir).expect("models dir");
+    let log_path = dir.join("feedback.log");
+    train_artifact(&models_dir, "m-v1", 1, None);
+
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    config.http.workers = 2;
+    config.registry.models_dir = models_dir.clone();
+    config.lifecycle.feedback_log = Some(log_path.clone());
+    let daemon = spawn(config).expect("daemon spawns");
+    let addr = daemon.addr;
+
+    // ── serve traffic: the champion's training corpus over the wire ──
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 30,
+        seed: 1,
+        ..CorpusConfig::default()
+    });
+    let mut client = HttpClient::connect(addr).expect("client connects");
+    let mut served: Vec<(String, String)> = Vec::new(); // (verdict, skeleton)
+    for contract in corpus.contracts() {
+        let reply = client
+            .request("POST", "/scan", Some(&hex_body(&contract.bytes)))
+            .expect("scan");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let verdict = Json::parse(&reply.body).expect("scan response is JSON");
+        served.push((
+            verdict
+                .get("verdict")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string(),
+            verdict
+                .get("skeleton")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string(),
+        ));
+    }
+
+    // ── corrections over the wire: oppose the dataset's ground truth ─
+    // Disagreement is judged against the champion's re-score, which we
+    // know from the scan responses — assert it record by record.
+    let mut expected_disagreements = 0u64;
+    for (i, contract) in corpus.contracts().iter().take(6).enumerate() {
+        let corrected = match contract.label {
+            ContractLabel::Malicious => "benign",
+            ContractLabel::Benign => "malicious",
+        };
+        let expected = served[i].0 != corrected;
+        expected_disagreements += u64::from(expected);
+        let body = format!(
+            r#"{{"bytecode": "{}", "label": "{corrected}"}}"#,
+            encode_hex(&contract.bytes)
+        );
+        let reply = client
+            .request("POST", "/feedback", Some(&body))
+            .expect("feedback");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let ack = Json::parse(&reply.body).expect("feedback ack is JSON");
+        assert_eq!(ack.get("recorded").unwrap().as_bool(), Some(true));
+        assert_eq!(ack.get("disagreement").unwrap().as_bool(), Some(expected));
+        assert_eq!(
+            ack.get("skeleton").unwrap().as_str(),
+            Some(served[i].1.as_str()),
+            "feedback must key on the skeleton the scan reported"
+        );
+        assert_eq!(
+            ack.get("log_records").unwrap().as_f64(),
+            Some((i + 1) as f64)
+        );
+    }
+    // Skeleton-keyed submissions: one agreeing with its served verdict
+    // (no disagreement), one with no served verdict (null).
+    let body = format!(
+        r#"{{"skeleton": "{}", "platform": "evm", "label": "{}", "served_verdict": "{}"}}"#,
+        served[6].1, served[6].0, served[6].0
+    );
+    let reply = client
+        .request("POST", "/feedback", Some(&body))
+        .expect("skeleton feedback");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let ack = Json::parse(&reply.body).expect("JSON");
+    assert_eq!(ack.get("disagreement").unwrap().as_bool(), Some(false));
+    let body = format!(
+        r#"{{"skeleton": "{}", "platform": "evm", "label": "malicious"}}"#,
+        served[7].1
+    );
+    let reply = client
+        .request("POST", "/feedback", Some(&body))
+        .expect("verdict-less feedback");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let ack = Json::parse(&reply.body).expect("JSON");
+    assert!(
+        matches!(ack.get("disagreement"), Some(Json::Null)),
+        "no served verdict → disagreement must be null, got {}",
+        reply.body
+    );
+
+    assert_eq!(metric(addr, "scamdetect_feedback_total") as u64, 8);
+    assert_eq!(
+        metric(addr, "scamdetect_feedback_disagreements_total") as u64,
+        expected_disagreements
+    );
+    assert_eq!(metric(addr, "scamdetect_feedback_log_records") as u64, 8);
+
+    // ── retrain: fold the log into the corpus, train the candidate ───
+    let records = FeedbackLog::replay(&log_path).expect("log replays");
+    assert_eq!(records.len(), 8);
+    let mut contracts = corpus.contracts().to_vec();
+    let overridden = fold_feedback(&mut contracts, &records);
+    assert!(
+        overridden >= 1,
+        "ground-truth-opposing corrections must override corpus labels"
+    );
+    let folded = Corpus::from_contracts(contracts);
+    ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&folded)
+        .expect("candidate trains")
+        .save(models_dir.join("cand-v1.scam"))
+        .expect("candidate saves");
+
+    // ── shadow: candidate scores mirrored traffic off-path ───────────
+    let reply = http_call(
+        addr,
+        "POST",
+        "/shadow/start",
+        Some(r#"{"model": "cand-v1"}"#),
+    )
+    .expect("shadow start");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let ack = Json::parse(&reply.body).expect("JSON");
+    assert_eq!(ack.get("shadowing").unwrap().as_str(), Some("cand-v1"));
+    let health = http_call(addr, "GET", "/healthz", None).expect("healthz");
+    let health = Json::parse(&health.body).expect("JSON");
+    assert_eq!(health.get("shadow").unwrap().as_str(), Some("cand-v1"));
+
+    // Premature promotion must refuse without swapping.
+    let reply = http_call(
+        addr,
+        "POST",
+        "/shadow/promote",
+        Some(r#"{"min_samples": 99999}"#),
+    )
+    .expect("premature promote");
+    assert_eq!(reply.status, 409, "{}", reply.body);
+
+    // Replay the traffic; every scan (cache hits included) mirrors.
+    for contract in corpus.contracts() {
+        let reply = client
+            .request("POST", "/scan", Some(&hex_body(&contract.bytes)))
+            .expect("mirrored scan");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+    }
+    let status = wait_for_shadow_samples(addr, 30);
+    assert_eq!(status.get("candidate").unwrap().as_str(), Some("cand-v1"));
+    assert!(metric(addr, "scamdetect_shadow_samples_total") as u64 >= 30);
+    assert_eq!(metric(addr, "scamdetect_shadow_active") as u64, 1);
+    let models = http_call(addr, "GET", "/models", None).expect("models");
+    let models = Json::parse(&models.body).expect("JSON");
+    assert_eq!(
+        models
+            .get("shadow")
+            .and_then(|s| s.get("candidate"))
+            .and_then(Json::as_str),
+        Some("cand-v1"),
+        "GET /models must report the shadow candidate"
+    );
+
+    // ── promote: thresholded, epoch-bumped hot swap ──────────────────
+    let reply = http_call(
+        addr,
+        "POST",
+        "/shadow/promote",
+        Some(r#"{"min_samples": 30, "min_agreement": 0.0}"#),
+    )
+    .expect("promote");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let outcome = Json::parse(&reply.body).expect("JSON");
+    assert_eq!(outcome.get("promoted").unwrap().as_str(), Some("cand-v1"));
+    assert_eq!(outcome.get("swapped").unwrap().as_bool(), Some(true));
+    assert_eq!(outcome.get("model_epoch").unwrap().as_f64(), Some(1.0));
+
+    let health = http_call(addr, "GET", "/healthz", None).expect("healthz");
+    let health = Json::parse(&health.body).expect("JSON");
+    assert_eq!(health.get("model").unwrap().as_str(), Some("cand-v1"));
+    assert_eq!(health.get("shadow").unwrap().as_str(), Some("off"));
+    let reply = http_call(addr, "GET", "/shadow", None).expect("shadow status");
+    let status = Json::parse(&reply.body).expect("JSON");
+    assert_eq!(status.get("active").unwrap().as_bool(), Some(false));
+    let reply = client
+        .request(
+            "POST",
+            "/scan",
+            Some(&hex_body(&corpus.contracts()[0].bytes)),
+        )
+        .expect("post-promotion scan");
+    let verdict = Json::parse(&reply.body).expect("JSON");
+    assert_eq!(verdict.get("model").unwrap().as_str(), Some("cand-v1"));
+
+    daemon.stop().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_shadow_scoring_leaves_champion_scores_bit_identical() {
+    let dir =
+        std::env::temp_dir().join(format!("scamdetect-lifecycle-bits-{}", std::process::id()));
+    let models_dir = dir.join("models");
+    std::fs::create_dir_all(&models_dir).expect("models dir");
+    train_artifact(&models_dir, "m-v1", 1, None);
+    // Same weights, threshold 0 — the candidate flags everything, so
+    // the shadow path does real disagreement bookkeeping while the
+    // champion's arithmetic stays comparable bit for bit.
+    train_artifact(&models_dir, "flagger", 1, Some(0.0));
+
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    config.http.workers = 4;
+    config.registry.models_dir = models_dir;
+    config.registry.pinned = Some("m-v1".to_string());
+    let daemon = spawn(config).expect("daemon spawns");
+    let addr = daemon.addr;
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        size: 12,
+        seed: 9,
+        proxy_duplicates: 4,
+        ..CorpusConfig::default()
+    });
+    let bodies: Vec<String> = corpus
+        .contracts()
+        .iter()
+        .map(|c| hex_body(&c.bytes))
+        .collect();
+
+    // Baseline bits with the shadow off.
+    let mut client = HttpClient::connect(addr).expect("client connects");
+    let baseline: Vec<u64> = bodies
+        .iter()
+        .map(|body| {
+            let reply = client.request("POST", "/scan", Some(body)).expect("scan");
+            assert_eq!(reply.status, 200, "{}", reply.body);
+            Json::parse(&reply.body)
+                .expect("JSON")
+                .get("score")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits()
+        })
+        .collect();
+
+    let reply = http_call(
+        addr,
+        "POST",
+        "/shadow/start",
+        Some(r#"{"model": "flagger"}"#),
+    )
+    .expect("shadow start");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+
+    // Concurrent traffic with the candidate mirroring every scan: the
+    // wire answer must carry the champion's exact baseline bits.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let bodies = &bodies;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("thread client");
+                for round in 0..3 {
+                    for (body, &expected) in bodies.iter().zip(baseline) {
+                        let reply = client.request("POST", "/scan", Some(body)).expect("scan");
+                        assert_eq!(reply.status, 200, "{}", reply.body);
+                        let bits = Json::parse(&reply.body)
+                            .expect("JSON")
+                            .get("score")
+                            .unwrap()
+                            .as_f64()
+                            .unwrap()
+                            .to_bits();
+                        assert_eq!(
+                            bits, expected,
+                            "round {round}: shadow scoring perturbed a served score"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The candidate really scored (rather than the queue dropping
+    // everything), and stopping the session restores shadow-off
+    // serving with the same bits.
+    let status = wait_for_shadow_samples(addr, 1);
+    assert!(status.get("samples").unwrap().as_f64().unwrap() >= 1.0);
+    let reply = http_call(addr, "POST", "/shadow/stop", None).expect("shadow stop");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let ack = Json::parse(&reply.body).expect("JSON");
+    assert_eq!(ack.get("stopped").unwrap().as_bool(), Some(true));
+    assert_eq!(metric(addr, "scamdetect_shadow_active") as u64, 0);
+    for (body, &expected) in bodies.iter().zip(&baseline) {
+        let reply = client.request("POST", "/scan", Some(body)).expect("scan");
+        let bits = Json::parse(&reply.body)
+            .expect("JSON")
+            .get("score")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .to_bits();
+        assert_eq!(bits, expected, "stopping the shadow changed a score");
+    }
+
+    daemon.stop().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,9 +3,13 @@
 //! ```text
 //! scamdetect-cli inspect <hexfile>            static analysis of one contract
 //! scamdetect-cli train --save <path> [opts]   train a detector, persist the artifact
+//! scamdetect-cli retrain --feedback-log <p>   fold served feedback into the corpus and
+//!                 --save <path> [opts]        train a candidate artifact (see below)
 //! scamdetect-cli scan <hexfile> [options]     scan one contract
 //! scamdetect-cli batch <hexfile>... [options] scan many (dedup + parallel)
 //! scamdetect-cli serve --models-dir <dir>     run the scanning daemon (see below)
+//! scamdetect-cli shadow <start|status|stop|promote>  drive a daemon's shadow-scoring
+//!                 --addr <host:port> [opts]          session (see below)
 //! scamdetect-cli fleet <serve|status|rollout> multi-replica fleet operations (see below)
 //! scamdetect-cli demo                         end-to-end demonstration
 //!
@@ -27,17 +31,40 @@
 //!   --shed-watermark <n>                           queued connections past which new
 //!                                                  arrivals get 429 (default 256, 0 = off)
 //!   --retry-after <s>                              Retry-After seconds on 408/429 (default 1)
+//!   --feedback-log <path>                          enable POST /feedback, persisting verdict
+//!                                                  corrections to this append-only log
+//!   --fsync-every <n>                              fsync the feedback log every n appends
+//!                                                  (default 8)
 //!
 //! The daemon answers POST /scan, POST /batch, GET /models,
-//! POST /models/reload (hot swap), GET /healthz and GET /metrics, and
-//! shuts down gracefully on SIGTERM/ctrl-c. Wire schema:
-//! `scamdetect_serve::wire`. Typical lifecycle:
+//! POST /models/reload (hot swap), POST /feedback, GET+POST /shadow/*,
+//! GET /healthz and GET /metrics, and shuts down gracefully on
+//! SIGTERM/ctrl-c. Wire schema: `scamdetect_serve::wire`. Typical
+//! lifecycle:
 //!
 //!   scamdetect-cli train --save models/rf-v1.scam
-//!   scamdetect-cli serve --models-dir models &
+//!   scamdetect-cli serve --models-dir models --feedback-log feedback.log &
 //!   curl -X POST localhost:7878/scan -d '{"bytecode": "0x6001…"}'
-//!   scamdetect-cli train --save models/rf-v2.scam --seed 43
-//!   curl -X POST localhost:7878/models/reload     # hot swap, zero downtime
+//!   curl -X POST localhost:7878/feedback \
+//!        -d '{"bytecode": "0x6001…", "label": "malicious"}'
+//!   scamdetect-cli retrain --feedback-log feedback.log --save models/rf-v2.scam
+//!   scamdetect-cli shadow start   --addr 127.0.0.1:7878 --model rf-v2
+//!   ... mirrored traffic accumulates ...
+//!   scamdetect-cli shadow status  --addr 127.0.0.1:7878
+//!   scamdetect-cli shadow promote --addr 127.0.0.1:7878   # thresholded hot swap
+//!
+//! retrain options: every train option, plus
+//!   --feedback-log <path>                          the daemon's feedback log (required);
+//!                                                  label overrides are keyed by request
+//!                                                  fingerprint, the output is deterministic
+//!                                                  given --seed + the log contents
+//!
+//! shadow subcommands (all take --addr <host:port>, default 127.0.0.1:7878):
+//!   shadow start --model <id>                      load <id> as the shadow candidate
+//!   shadow status                                  print session counters + agreement
+//!   shadow stop                                    tear the session down (no swap)
+//!   shadow promote [--min-samples <n>]             promote candidate → champion; refused
+//!                  [--min-agreement <p>]           below the thresholds (default 32, 0.95)
 //!
 //! fleet subcommands (topology: `scamdetect_fleet` crate docs):
 //!   fleet serve --replicas <h:p,h:p,...>           run the consistent-hash front-door
@@ -58,6 +85,10 @@
 //!                 --model-id <id>                   hot-swap one canary, judge it on
 //!                 [--canary <index>]                probe scans, then promote
 //!                 [--probe <hexfile>]...            fleet-wide (aborts roll back)
+//!                 [--shadow]                        gate the canary swap behind shadow
+//!                 [--shadow-min-samples <n>]        scoring: candidate mirrors real probe
+//!                 [--shadow-min-agreement <p>]      traffic and swaps via the replica's
+//!                                                   thresholded /shadow/promote
 //!
 //! train options:
 //!   --save <path>                                  artifact output path (required)
@@ -102,13 +133,17 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("retrain") => cmd_retrain(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("shadow") => cmd_shadow(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!("usage: scamdetect-cli <inspect|train|scan|batch|serve|fleet|demo> [args]");
+            eprintln!(
+                "usage: scamdetect-cli <inspect|train|retrain|scan|batch|serve|shadow|fleet|demo> [args]"
+            );
             eprintln!("       see crate docs for options");
             return ExitCode::from(2);
         }
@@ -391,6 +426,16 @@ fn train_scanner(
     platforms: &[Platform],
 ) -> Result<scamdetect::Scanner, Box<dyn std::error::Error>> {
     let corpus = training_corpus(opts, platforms);
+    train_scanner_on(opts, kind, &corpus)
+}
+
+/// Trains on an explicit corpus — the seam `retrain` uses to inject a
+/// feedback-folded corpus into the ordinary training path.
+fn train_scanner_on(
+    opts: &ScanOptions,
+    kind: ModelKind,
+    corpus: &Corpus,
+) -> Result<scamdetect::Scanner, Box<dyn std::error::Error>> {
     let mut train = TrainOptions::default();
     train.gnn.epochs = 30;
     train.gnn.lr = 1e-2;
@@ -401,7 +446,7 @@ fn train_scanner(
     Ok(configure_builder(opts)
         .model(kind)
         .train_options(train)
-        .train(&corpus)?)
+        .train(corpus)?)
 }
 
 fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -436,6 +481,75 @@ fn cmd_train(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         scanner.threshold()
     );
     println!("serve it with: scamdetect-cli scan --model {save} <hexfile>");
+    Ok(())
+}
+
+/// The corpus-closing half of the model lifecycle: replay the daemon's
+/// feedback log, override corpus labels by request fingerprint
+/// (last record wins), train on the folded corpus and persist the
+/// candidate artifact. Deterministic given `--seed` + the log bytes,
+/// so two operators retraining from the same log get bit-identical
+/// candidates.
+fn cmd_retrain(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use scamdetect::lifecycle::{fold_feedback, FeedbackLog};
+
+    // Peel off --feedback-log; everything else is the train option set.
+    let mut rest: Vec<String> = Vec::new();
+    let mut log_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--feedback-log" {
+            i += 1;
+            log_path = Some(args.get(i).ok_or("--feedback-log needs a path")?.clone());
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let log_path = log_path.ok_or("retrain needs --feedback-log <path> (the daemon's log)")?;
+    let opts = parse_scan_options(&rest)?;
+    let save = opts
+        .save
+        .as_deref()
+        .ok_or("retrain needs --save <path> for the candidate artifact")?;
+    let kind = match &opts.model {
+        ModelSource::Train(kind) => *kind,
+        ModelSource::Load(path) => {
+            return Err(
+                format!("--model {path}: retrain expects a model name, not an artifact").into(),
+            )
+        }
+    };
+    let platforms = match opts.platform.as_deref() {
+        None | Some("mixed") => vec![Platform::Evm, Platform::Wasm],
+        Some("evm") => vec![Platform::Evm],
+        Some("wasm") => vec![Platform::Wasm],
+        Some(other) => return Err(format!("unknown --platform '{other}'").into()),
+    };
+    if let Some(stray) = opts.paths.first() {
+        return Err(format!("retrain takes no contract files (got '{stray}')").into());
+    }
+
+    let records = FeedbackLog::replay(&log_path)?;
+    if records.is_empty() {
+        return Err(format!("{log_path}: no feedback records to fold").into());
+    }
+    let mut contracts = training_corpus(&opts, &platforms).contracts().to_vec();
+    let overridden = fold_feedback(&mut contracts, &records);
+    eprintln!(
+        "folded {} feedback records: {overridden} corpus labels overridden",
+        records.len()
+    );
+    let corpus = Corpus::from_contracts(contracts);
+    let scanner = train_scanner_on(&opts, kind, &corpus)?;
+    scanner.save(save)?;
+    let size = std::fs::metadata(save)?.len();
+    println!(
+        "saved candidate {} (threshold {}) to {save} ({size} bytes)",
+        scanner.detector().name(),
+        scanner.threshold()
+    );
+    println!("shadow it with: scamdetect-cli shadow start --model <id>");
     Ok(())
 }
 
@@ -568,6 +682,13 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--shed-watermark" => http = http.shed_watermark(value(&mut i)?.parse()?),
             "--retry-after" => http = http.retry_after_s(value(&mut i)?.parse()?),
+            "--feedback-log" => config.lifecycle.feedback_log = Some(value(&mut i)?.into()),
+            "--fsync-every" => {
+                config.lifecycle.fsync_every = value(&mut i)?.parse()?;
+                if config.lifecycle.fsync_every == 0 {
+                    return Err("--fsync-every must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown serve option '{other}'").into()),
         }
         i += 1;
@@ -577,6 +698,92 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("serve needs --models-dir <dir> (train one with: train --save <dir>/model-v1.scam)")?
         .into();
     serve(config)?;
+    Ok(())
+}
+
+/// `shadow <start|status|stop|promote>` — drive one daemon's
+/// shadow-scoring session over its management API.
+fn cmd_shadow(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use scamdetect_fleet::client::{shadow_promote, shadow_start, shadow_status, shadow_stop};
+
+    let verb = args
+        .first()
+        .map(String::as_str)
+        .ok_or("usage: scamdetect-cli shadow <start|status|stop|promote> [args]")?;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut model: Option<String> = None;
+    let mut min_samples: u64 = 32;
+    let mut min_agreement: f64 = 0.95;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
+            let flag = args[*i].clone();
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match args[i].as_str() {
+            "--addr" => addr = value(&mut i)?,
+            "--model" => model = Some(value(&mut i)?),
+            "--min-samples" => min_samples = value(&mut i)?.parse()?,
+            "--min-agreement" => {
+                min_agreement = value(&mut i)?.parse()?;
+                if !(0.0..=1.0).contains(&min_agreement) {
+                    return Err("--min-agreement must be in [0, 1]".into());
+                }
+            }
+            other => return Err(format!("unknown shadow option '{other}'").into()),
+        }
+        i += 1;
+    }
+    let addr: std::net::SocketAddr = addr.parse()?;
+    let timeout = std::time::Duration::from_secs(10);
+    match verb {
+        "start" => {
+            let model = model.ok_or("shadow start needs --model <id>")?;
+            let (candidate, epoch) = shadow_start(addr, timeout, &model)?;
+            println!("{addr}: shadowing '{candidate}' (candidate epoch {epoch})");
+        }
+        "status" => {
+            let status = shadow_status(addr, timeout)?;
+            if !status.active {
+                println!("{addr}: no shadow session");
+                return Ok(());
+            }
+            println!(
+                "{addr}: shadowing '{}' — {} samples, {} agree / {} disagree \
+                 (agreement {:.3}), {} dropped",
+                status.candidate,
+                status.samples,
+                status.agreements,
+                status.disagreements,
+                status.agreement,
+                status.dropped,
+            );
+        }
+        "stop" => {
+            let stopped = shadow_stop(addr, timeout)?;
+            println!(
+                "{addr}: {}",
+                if stopped {
+                    "shadow session stopped"
+                } else {
+                    "no shadow session was running"
+                }
+            );
+        }
+        "promote" => {
+            let (promoted, epoch) = shadow_promote(addr, timeout, min_samples, min_agreement)?;
+            println!("{addr}: promoted '{promoted}' (model epoch {epoch})");
+        }
+        other => {
+            return Err(format!(
+                "unknown shadow subcommand '{other}' (want start|status|stop|promote)"
+            )
+            .into())
+        }
+    }
     Ok(())
 }
 
@@ -730,13 +937,14 @@ fn cmd_fleet_status(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_fleet_rollout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    use scamdetect_fleet::{run_rollout, RolloutPlan};
+    use scamdetect_fleet::{run_rollout, RolloutPlan, ShadowPlan};
 
     let mut replicas = Vec::new();
     let mut artifact: Option<String> = None;
     let mut model_id: Option<String> = None;
     let mut canary = 0usize;
     let mut probes: Vec<Vec<u8>> = Vec::new();
+    let mut shadow: Option<ShadowPlan> = None;
     let mut i = 0;
     while i < args.len() {
         let value = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
@@ -752,6 +960,20 @@ fn cmd_fleet_rollout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> 
             "--model-id" => model_id = Some(value(&mut i)?),
             "--canary" => canary = value(&mut i)?.parse()?,
             "--probe" => probes.push(read_contract(&value(&mut i)?)?),
+            "--shadow" => {
+                shadow.get_or_insert_with(ShadowPlan::default);
+            }
+            "--shadow-min-samples" => {
+                shadow.get_or_insert_with(ShadowPlan::default).min_samples =
+                    value(&mut i)?.parse()?;
+            }
+            "--shadow-min-agreement" => {
+                let p: f64 = value(&mut i)?.parse()?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err("--shadow-min-agreement must be in [0, 1]".into());
+                }
+                shadow.get_or_insert_with(ShadowPlan::default).min_agreement = p;
+            }
             other => return Err(format!("unknown fleet rollout option '{other}'").into()),
         }
         i += 1;
@@ -788,6 +1010,7 @@ fn cmd_fleet_rollout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> 
         canary,
         probes,
         timeout: std::time::Duration::from_secs(10),
+        shadow,
     })
     .map_err(|e| format!("{e}\nrollout log:\n  {}", e.log.join("\n  ")))?;
     for line in &report.log {

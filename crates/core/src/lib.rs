@@ -110,6 +110,7 @@ pub mod featurize;
 pub mod lifecycle;
 pub mod lru;
 pub mod scan;
+pub mod trace;
 pub mod verdict;
 
 pub use artifact::{ArtifactError, ModelArtifact};
@@ -121,6 +122,7 @@ pub use scan::{
     request_fingerprint, CacheStatus, CfgStats, PrepCache, ScanOutcome, ScanReport, ScanRequest,
     Scanner, ScannerBuilder,
 };
+pub use trace::{ActiveTrace, Sampler, Stage, Trace, TraceId, TraceRing, TraceSpan};
 pub use verdict::Verdict;
 
 // Re-export the architecture enum so users pick GNNs without an extra

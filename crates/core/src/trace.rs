@@ -1,0 +1,659 @@
+//! Request tracing primitives: ids, hierarchical spans, bounded rings.
+//!
+//! This module is the std-only core of the serving stack's distributed
+//! tracing subsystem. It deliberately knows nothing about HTTP, threads,
+//! or Prometheus — it defines the *data model* and the two lock-light
+//! containers everything else composes:
+//!
+//! * [`TraceId`] — a 64-bit id produced by a splitmix64 mix over a
+//!   process-global counter (seeded from wall clock ⊕ pid), rendered as
+//!   16 lowercase hex digits. Ids travel between processes in the
+//!   `x-trace-id` header, so [`TraceId::parse`] accepts exactly what
+//!   [`TraceId::to_hex`] emits.
+//! * [`Stage`] — the closed vocabulary of span tags. Serve-side stages
+//!   follow the request path (`queue_wait` → `parse` → `admission` →
+//!   `handler` → `cache_lookup`/`prep`/`score` → `serialize` → `write`);
+//!   router-side stages describe fleet forwarding (`route`, `forward`,
+//!   `retry`, `breaker`). A typed enum (not free-form strings) keeps the
+//!   per-stage histogram array dense and the wire format stable.
+//! * [`ActiveTrace`] — the per-request span collector. It is owned by
+//!   exactly one request and carried *inside* the request object, so
+//!   recording a span is a plain `Vec::push` with no shared-state
+//!   contention; cross-thread hand-off happens at most twice per request
+//!   (dispatch → worker → writer), piggy-backing on existing channels.
+//! * [`TraceRing`] — the bounded completed-trace ring. Pushes use
+//!   `try_lock` and **drop rather than block** (the same discipline as
+//!   the shadow-scoring queue): tracing must never add tail latency to
+//!   the request path it observes.
+//! * [`Sampler`] — head-based 1-in-N sampling with a slow-request
+//!   override threshold. The decision to *record* is made once at
+//!   request start; the decision to *keep* is made once at finish.
+//!
+//! Timestamps are monotonic ([`std::time::Instant`]) relative to a
+//! per-trace origin; only the origin itself is stamped with wall-clock
+//! time (`unix_start_us`) so cross-process timelines can be aligned
+//! approximately by the stitcher.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// The splitmix64 increment (golden-ratio gamma). Shared with the
+/// jittered-backoff helper in the fleet layer by value, not by import.
+const SPLITMIX64_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One round of splitmix64: a fast, well-dispersed 64-bit mixer.
+/// Good enough for trace-id uniqueness (we never need cryptographic
+/// unpredictability, only collision resistance across a fleet).
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(SPLITMIX64_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn trace_seed() -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    nanos ^ ((std::process::id() as u64) << 32)
+}
+
+/// A non-zero 64-bit trace identifier, wire-encoded as 16 hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Generates a fresh id: splitmix64 over a global counter whose
+    /// first use seeds it from wall clock ⊕ pid. Zero is reserved as
+    /// "no id" and never produced.
+    pub fn generate() -> TraceId {
+        loop {
+            let n = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+            let seed = if n == 0 {
+                trace_seed()
+            } else {
+                trace_seed().wrapping_add(n)
+            };
+            let mixed = splitmix64(seed);
+            if mixed != 0 {
+                return TraceId(mixed);
+            }
+        }
+    }
+
+    /// Wraps a raw value; zero means "absent" and is rejected.
+    pub fn from_raw(raw: u64) -> Option<TraceId> {
+        if raw == 0 {
+            None
+        } else {
+            Some(TraceId(raw))
+        }
+    }
+
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The canonical wire form: exactly 16 lowercase hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the wire form. Accepts 1–16 hex digits (case-insensitive)
+    /// so hand-typed short ids work at the CLI; rejects zero and junk.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().and_then(TraceId::from_raw)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Typed span tags covering both the replica request path and the fleet
+/// router's forwarding path. The numeric order is the canonical render
+/// order for per-stage metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Stage {
+    /// The root span: covers the whole request from origin to finish.
+    Request,
+    /// Time between enqueue (accept or dispatch) and a worker picking
+    /// the request up.
+    QueueWait,
+    /// Receiving and parsing the request head + body off the wire.
+    Parse,
+    /// Admission control decision (shed watermark check, load snapshot).
+    Admission,
+    /// The registered handler, end to end. Stage spans below nest here.
+    Handler,
+    /// Verdict-cache fingerprint + probe inside the scanner.
+    CacheLookup,
+    /// Input preparation: wire decode, hex/base64 lift, featurization.
+    Prep,
+    /// Model scoring (detector inference) on a cache miss.
+    Score,
+    /// Rendering the response body (report JSON).
+    Serialize,
+    /// Encoding + writing the response bytes to the socket.
+    Write,
+    /// Router: consistent-hash ring lookup choosing the owning replica.
+    Route,
+    /// Router: one forward attempt to a replica (note carries
+    /// `replica=ADDR status=N attempt=K`).
+    Forward,
+    /// Router: the decision to retry after a failed attempt.
+    Retry,
+    /// Router: a replica skipped or request refused by breaker state.
+    Breaker,
+}
+
+impl Stage {
+    /// Every stage, in canonical order. `Stage::ALL[s.index()] == s`.
+    pub const ALL: [Stage; 14] = [
+        Stage::Request,
+        Stage::QueueWait,
+        Stage::Parse,
+        Stage::Admission,
+        Stage::Handler,
+        Stage::CacheLookup,
+        Stage::Prep,
+        Stage::Score,
+        Stage::Serialize,
+        Stage::Write,
+        Stage::Route,
+        Stage::Forward,
+        Stage::Retry,
+        Stage::Breaker,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Request => "request",
+            Stage::QueueWait => "queue_wait",
+            Stage::Parse => "parse",
+            Stage::Admission => "admission",
+            Stage::Handler => "handler",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Prep => "prep",
+            Stage::Score => "score",
+            Stage::Serialize => "serialize",
+            Stage::Write => "write",
+            Stage::Route => "route",
+            Stage::Forward => "forward",
+            Stage::Retry => "retry",
+            Stage::Breaker => "breaker",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|stage| stage.as_str() == s)
+    }
+
+    /// Dense index into [`Stage::ALL`]; used for per-stage histograms.
+    pub fn index(self) -> usize {
+        Stage::ALL.iter().position(|s| *s == self).unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One completed span: microsecond offsets relative to the trace origin.
+#[derive(Clone, Debug)]
+pub struct TraceSpan {
+    /// Span id, unique within the trace. The root span is always id 0.
+    pub id: u32,
+    /// Parent span id; `None` only for the root.
+    pub parent: Option<u32>,
+    pub stage: Stage,
+    /// Start offset from the trace origin, µs.
+    pub start_us: u64,
+    pub duration_us: u64,
+    /// Free-form detail (`replica=127.0.0.1:4100 status=200 attempt=0`).
+    pub note: Option<String>,
+}
+
+/// A finished, immutable trace ready for the ring and the wire.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    pub id: TraceId,
+    /// Wall-clock stamp of the trace origin, µs since the Unix epoch.
+    /// Approximate — used only to align cross-process timelines.
+    pub unix_start_us: u64,
+    /// Origin-to-finish duration, µs (root span duration).
+    pub total_us: u64,
+    /// True when `total_us` met the slow-trace threshold at finish.
+    pub slow: bool,
+    /// True when head sampling elected this trace.
+    pub sampled: bool,
+    /// True when the id arrived from upstream via `x-trace-id`.
+    pub forced: bool,
+    pub spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// First span with the given stage, if any.
+    pub fn span_of(&self, stage: Stage) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.stage == stage)
+    }
+
+    /// True when every non-root span's parent exists and the child's
+    /// interval is contained in the parent's (1µs slack per edge, since
+    /// offsets truncate to whole microseconds).
+    pub fn nesting_consistent(&self) -> bool {
+        self.spans.iter().all(|span| match span.parent {
+            None => span.id == 0,
+            Some(parent) => self.spans.iter().any(|p| {
+                p.id == parent
+                    && p.start_us <= span.start_us.saturating_add(1)
+                    && span.start_us + span.duration_us <= p.start_us + p.duration_us + 1
+            }),
+        })
+    }
+}
+
+/// The per-request span collector. Owned by one request at a time and
+/// mutated without shared locks; finished into an immutable [`Trace`].
+#[derive(Debug)]
+pub struct ActiveTrace {
+    id: TraceId,
+    origin: Instant,
+    unix_start_us: u64,
+    sampled: bool,
+    forced: bool,
+    spans: Vec<TraceSpan>,
+    /// Open span ids, innermost last. The root (id 0) is open from
+    /// `start` until `finish`.
+    stack: Vec<u32>,
+    next: u32,
+}
+
+impl ActiveTrace {
+    /// Opens a trace whose root `request` span starts at `origin`.
+    pub fn start(id: TraceId, origin: Instant, sampled: bool, forced: bool) -> ActiveTrace {
+        let unix_start_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+            .saturating_sub(origin.elapsed().as_micros() as u64);
+        ActiveTrace {
+            id,
+            origin,
+            unix_start_us,
+            sampled,
+            forced,
+            spans: vec![TraceSpan {
+                id: 0,
+                parent: None,
+                stage: Stage::Request,
+                start_us: 0,
+                duration_us: 0,
+                note: None,
+            }],
+            stack: vec![0],
+            next: 1,
+        }
+    }
+
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    pub fn sampled(&self) -> bool {
+        self.sampled
+    }
+
+    pub fn forced(&self) -> bool {
+        self.forced
+    }
+
+    fn offset_us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.origin).as_micros() as u64
+    }
+
+    /// Opens a span now, nested under the innermost open span. Returns
+    /// the span id to pass to [`ActiveTrace::end`].
+    pub fn begin(&mut self, stage: Stage) -> u32 {
+        let id = self.next;
+        self.next += 1;
+        let parent = self.stack.last().copied();
+        self.spans.push(TraceSpan {
+            id,
+            parent,
+            stage,
+            start_us: self.offset_us(Instant::now()),
+            duration_us: 0,
+            note: None,
+        });
+        self.stack.push(id);
+        id
+    }
+
+    /// Closes an open span (and, tolerantly, anything opened inside it
+    /// that was never closed) at the current instant.
+    pub fn end(&mut self, span_id: u32) {
+        self.end_at(span_id, Instant::now(), None);
+    }
+
+    /// Closes an open span and attaches a note.
+    pub fn end_with_note(&mut self, span_id: u32, note: String) {
+        self.end_at(span_id, Instant::now(), Some(note));
+    }
+
+    fn end_at(&mut self, span_id: u32, at: Instant, note: Option<String>) {
+        let end = self.offset_us(at);
+        while let Some(open) = self.stack.pop() {
+            if open == 0 {
+                // Never implicitly close the root; put it back.
+                self.stack.push(0);
+                break;
+            }
+            if let Some(span) = self.spans.iter_mut().find(|s| s.id == open) {
+                span.duration_us = end.saturating_sub(span.start_us);
+                if open == span_id {
+                    span.note = note;
+                    return;
+                }
+            }
+            if open == span_id {
+                return;
+            }
+        }
+    }
+
+    /// Records an already-measured interval as a closed span nested
+    /// under the innermost open span.
+    pub fn record(&mut self, stage: Stage, start: Instant, end: Instant) -> u32 {
+        self.record_note(stage, start, end, None)
+    }
+
+    /// [`ActiveTrace::record`] with a note attached.
+    pub fn record_note(
+        &mut self,
+        stage: Stage,
+        start: Instant,
+        end: Instant,
+        note: Option<String>,
+    ) -> u32 {
+        let id = self.next;
+        self.next += 1;
+        let start_us = self.offset_us(start);
+        let end_us = self.offset_us(end);
+        self.spans.push(TraceSpan {
+            id,
+            parent: self.stack.last().copied(),
+            stage,
+            start_us,
+            duration_us: end_us.saturating_sub(start_us),
+            note,
+        });
+        id
+    }
+
+    /// Seals the trace: closes every still-open span (including the
+    /// root) at `now` and stamps the slow flag against `slow_us`.
+    pub fn finish(mut self, now: Instant, slow_us: u64) -> Trace {
+        let end = self.offset_us(now);
+        while let Some(open) = self.stack.pop() {
+            if let Some(span) = self.spans.iter_mut().find(|s| s.id == open) {
+                span.duration_us = end.saturating_sub(span.start_us);
+            }
+        }
+        Trace {
+            id: self.id,
+            unix_start_us: self.unix_start_us,
+            total_us: end,
+            slow: slow_us > 0 && end >= slow_us,
+            sampled: self.sampled,
+            forced: self.forced,
+            spans: self.spans,
+        }
+    }
+}
+
+/// Bounded ring of completed traces. Push uses `try_lock` and drops on
+/// contention — the same drop-not-block discipline as the shadow queue:
+/// observability must never stall the request path.
+#[derive(Debug)]
+pub struct TraceRing {
+    ring: Mutex<VecDeque<Arc<Trace>>>,
+    capacity: usize,
+    kept: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            kept: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a trace, evicting the oldest at capacity. Returns false
+    /// (and counts a drop) when the ring lock is contended or poisoned.
+    pub fn push(&self, trace: Arc<Trace>) -> bool {
+        match self.ring.try_lock() {
+            Ok(mut ring) => {
+                if ring.len() >= self.capacity {
+                    ring.pop_front();
+                }
+                ring.push_back(trace);
+                self.kept.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Newest-first snapshot of up to `limit` traces.
+    pub fn recent(&self, limit: usize) -> Vec<Arc<Trace>> {
+        match self.ring.lock() {
+            Ok(ring) => ring.iter().rev().take(limit).cloned().collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    pub fn find(&self, id: TraceId) -> Option<Arc<Trace>> {
+        match self.ring.lock() {
+            Ok(ring) => ring.iter().rev().find(|t| t.id == id).cloned(),
+            Err(_) => None,
+        }
+    }
+
+    /// Traces accepted into the ring since start.
+    pub fn kept(&self) -> u64 {
+        self.kept.load(Ordering::Relaxed)
+    }
+
+    /// Traces dropped at the door (lock contention) since start.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Head-based 1-in-N sampler with a slow-request override threshold.
+/// `every == 0` disables tracing entirely.
+#[derive(Debug)]
+pub struct Sampler {
+    every: u32,
+    slow_us: u64,
+    counter: AtomicU64,
+}
+
+impl Sampler {
+    pub fn new(every: u32, slow_us: u64) -> Sampler {
+        Sampler {
+            every,
+            slow_us,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// False when tracing is off (`every == 0`).
+    pub fn enabled(&self) -> bool {
+        self.every != 0
+    }
+
+    /// The head decision: true for one request in `every`. The first
+    /// request is always sampled so a cold process has a trace to show.
+    pub fn sample(&self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        self.counter
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(u64::from(self.every))
+    }
+
+    pub fn every(&self) -> u32 {
+        self.every
+    }
+
+    pub fn slow_us(&self) -> u64 {
+        self.slow_us
+    }
+
+    /// The keep override: a request at or past the slow threshold is
+    /// kept even when head sampling passed on it.
+    pub fn is_slow(&self, total_us: u64) -> bool {
+        self.slow_us > 0 && total_us >= self.slow_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn trace_ids_are_nonzero_unique_and_roundtrip_hex() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = TraceId::generate();
+            assert_ne!(id.as_u64(), 0);
+            assert!(seen.insert(id.as_u64()), "duplicate trace id");
+            let hex = id.to_hex();
+            assert_eq!(hex.len(), 16);
+            assert_eq!(TraceId::parse(&hex), Some(id));
+        }
+        assert_eq!(TraceId::parse(""), None);
+        assert_eq!(TraceId::parse("0"), None);
+        assert_eq!(TraceId::parse("xyz"), None);
+        assert_eq!(TraceId::parse("00112233445566778"), None); // 17 digits
+        assert_eq!(TraceId::parse("ABC").map(|i| i.as_u64()), Some(0xabc));
+    }
+
+    #[test]
+    fn stage_names_roundtrip_and_index_matches_all() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+            assert_eq!(Stage::parse(stage.as_str()), Some(*stage));
+        }
+        assert_eq!(Stage::parse("bogus"), None);
+    }
+
+    #[test]
+    fn spans_nest_under_the_innermost_open_span() {
+        let origin = Instant::now();
+        let mut at = ActiveTrace::start(TraceId::generate(), origin, true, false);
+        let handler = at.begin(Stage::Handler);
+        let score = at.begin(Stage::Score);
+        at.end(score);
+        at.record(Stage::Serialize, Instant::now(), Instant::now());
+        at.end_with_note(handler, "status=200".to_string());
+        let trace = at.finish(Instant::now(), 0);
+
+        let root = trace.span_of(Stage::Request).unwrap();
+        assert_eq!(root.id, 0);
+        assert_eq!(root.parent, None);
+        let h = trace.span_of(Stage::Handler).unwrap();
+        assert_eq!(h.parent, Some(0));
+        assert_eq!(h.note.as_deref(), Some("status=200"));
+        let s = trace.span_of(Stage::Score).unwrap();
+        assert_eq!(s.parent, Some(h.id));
+        let ser = trace.span_of(Stage::Serialize).unwrap();
+        assert_eq!(ser.parent, Some(h.id));
+        assert!(trace.nesting_consistent());
+    }
+
+    #[test]
+    fn finish_closes_open_spans_and_flags_slow() {
+        let origin = Instant::now() - Duration::from_millis(10);
+        let mut at = ActiveTrace::start(TraceId::generate(), origin, false, false);
+        let handler = at.begin(Stage::Handler);
+        let trace = at.finish(Instant::now(), 1_000);
+        assert!(trace.slow, "10ms trace must trip a 1ms threshold");
+        assert!(trace.total_us >= 10_000);
+        let h = trace.spans.iter().find(|s| s.id == handler).unwrap();
+        assert!(h.duration_us > 0, "finish must close the open handler span");
+        assert_eq!(trace.spans[0].duration_us, trace.total_us);
+    }
+
+    #[test]
+    fn ring_bounds_capacity_and_finds_by_id() {
+        let ring = TraceRing::new(4);
+        let origin = Instant::now();
+        let mut ids = Vec::new();
+        for _ in 0..6 {
+            let at = ActiveTrace::start(TraceId::generate(), origin, true, false);
+            let trace = Arc::new(at.finish(Instant::now(), 0));
+            ids.push(trace.id);
+            assert!(ring.push(trace));
+        }
+        assert_eq!(ring.recent(16).len(), 4, "ring must evict past capacity");
+        assert_eq!(ring.kept(), 6);
+        assert!(ring.find(ids[0]).is_none(), "oldest must be evicted");
+        assert!(ring.find(ids[5]).is_some());
+        // Newest first.
+        assert_eq!(ring.recent(1)[0].id, ids[5]);
+    }
+
+    #[test]
+    fn ring_drops_instead_of_blocking_under_contention() {
+        let ring = TraceRing::new(4);
+        let guard = ring.ring.lock().unwrap();
+        let at = ActiveTrace::start(TraceId::generate(), Instant::now(), true, false);
+        let trace = Arc::new(at.finish(Instant::now(), 0));
+        assert!(!ring.push(trace), "contended push must drop, not block");
+        assert_eq!(ring.dropped(), 1);
+        drop(guard);
+    }
+
+    #[test]
+    fn sampler_elects_one_in_n_and_zero_disables() {
+        let sampler = Sampler::new(4, 1_000);
+        let hits = (0..16).filter(|_| sampler.sample()).count();
+        assert_eq!(hits, 4);
+        assert!(sampler.is_slow(1_000));
+        assert!(!sampler.is_slow(999));
+
+        let off = Sampler::new(0, 1_000);
+        assert!(!off.enabled());
+        assert!(!(0..16).any(|_| off.sample()));
+    }
+}

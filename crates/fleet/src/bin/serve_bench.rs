@@ -3,9 +3,11 @@
 //! (`--router`, the PR-6 trajectory), one replica driven past
 //! saturation to measure graceful degradation (`--shed`, the PR-7
 //! trajectory), both transports compared on an open-connections
-//! axis (`--connections`, the PR-8 trajectory), or the same replica
+//! axis (`--connections`, the PR-8 trajectory), the same replica
 //! measured with and without a shadow candidate mirroring every scan
-//! (`--shadow`, the PR-9 trajectory).
+//! (`--shadow`, the PR-9 trajectory), or the same replica measured
+//! with request tracing off and on at the default 1-in-16 sampling
+//! (`--trace`, the PR-10 trajectory).
 //!
 //! ```text
 //! cargo run --release -p scamdetect-fleet --bin serve_bench \
@@ -18,7 +20,16 @@
 //!     -- --connections [--out BENCH_PR8.json --idle-cap 5000]
 //! cargo run --release -p scamdetect-fleet --bin serve_bench \
 //!     -- --shadow [--out BENCH_PR9.json --clients 4 --requests 800]
+//! cargo run --release -p scamdetect-fleet --bin serve_bench \
+//!     -- --trace [--out BENCH_PR10.json --clients 4 --requests 800]
 //! ```
+//!
+//! Trace mode drives the duplicate-heavy mix against a replica with
+//! tracing disabled, then against one sampling 1-in-16 requests into
+//! the span ring, and gates on the observability tax: traces must
+//! actually be kept and readable back (`/trace/recent` → `/trace/<id>`
+//! round-trips with spans), and the tracing-on p99 must stay within
+//! 1.1× the tracing-off p99 (floored at 500µs against runner noise).
 //!
 //! Shadow mode drives the duplicate-heavy mix twice against one
 //! replica — shadow off, then with a second candidate model scoring
@@ -80,6 +91,7 @@ struct Options {
     shed: bool,
     connections: bool,
     shadow: bool,
+    trace: bool,
     idle_cap: usize,
 }
 
@@ -93,6 +105,7 @@ fn parse_args() -> Result<Options, String> {
         shed: false,
         connections: false,
         shadow: false,
+        trace: false,
         idle_cap: 5000,
     };
     let mut i = 0;
@@ -109,6 +122,7 @@ fn parse_args() -> Result<Options, String> {
             "--shed" => options.shed = true,
             "--connections" => options.connections = true,
             "--shadow" => options.shadow = true,
+            "--trace" => options.trace = true,
             "--clients" => {
                 options.clients = value(&mut i)?
                     .parse()
@@ -127,7 +141,7 @@ fn parse_args() -> Result<Options, String> {
             other => {
                 return Err(format!(
                     "unknown option '{other}' (usage: serve_bench \
-                     [--router | --shed | --connections | --shadow] [--out <path>] \
+                     [--router | --shed | --connections | --shadow | --trace] [--out <path>] \
                      [--clients <n>] [--requests <n>] [--idle-cap <n>])"
                 ))
             }
@@ -141,10 +155,12 @@ fn parse_args() -> Result<Options, String> {
         + usize::from(options.shed)
         + usize::from(options.connections)
         + usize::from(options.shadow)
+        + usize::from(options.trace)
         > 1
     {
         return Err(
-            "--router, --shed, --connections and --shadow are separate modes; pick one".to_string(),
+            "--router, --shed, --connections, --shadow and --trace are separate modes; pick one"
+                .to_string(),
         );
     }
     Ok(options)
@@ -945,6 +961,187 @@ fn run_shadow(options: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--trace` mode: the same duplicate-heavy mix measured with
+/// request tracing disabled and at the default 1-in-16 head sampling,
+/// gated on traces being genuinely readable back and a bounded
+/// latency tax.
+#[allow(clippy::too_many_lines)]
+fn run_trace(options: &Options) -> ExitCode {
+    const WORKERS: usize = 8;
+    const SAMPLE_EVERY: u32 = 16;
+    // Below this, the 1.1× multiplier is all shared-runner noise.
+    const P99_FLOOR_US: u64 = 500;
+    let out_path = options
+        .out_path
+        .clone()
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
+
+    eprintln!("serve-bench: training the serving artifact…");
+    let base_dir =
+        std::env::temp_dir().join(format!("scamdetect-trace-bench-{}", std::process::id()));
+    let models_dir = base_dir.join("models");
+    if let Err(e) = std::fs::create_dir_all(&models_dir) {
+        eprintln!("serve-bench: cannot create {}: {e}", models_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let train_corpus = Corpus::generate(&CorpusConfig {
+        size: 80,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
+    ScannerBuilder::new()
+        .model(ModelKind::Classic(
+            ClassicModel::LogisticRegression,
+            FeatureKind::Unified,
+        ))
+        .train(&train_corpus)
+        .expect("trains")
+        .save(models_dir.join("bench-v1.scam"))
+        .expect("saves artifact");
+
+    let scan_corpus = Corpus::generate(&CorpusConfig {
+        size: 48,
+        seed: 12,
+        proxy_duplicates: 16,
+        ..CorpusConfig::default()
+    });
+    let bodies: Vec<String> = scan_corpus
+        .contracts()
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"bytecode": "{}"}}"#,
+                scamdetect_serve::wire::encode_hex(&c.bytes)
+            )
+        })
+        .collect();
+
+    // One fresh daemon per phase: tracing is a startup knob, and a
+    // clean process per phase keeps the comparison honest (no warm ring
+    // or allocator state leaking across).
+    let mut phases: Vec<(u32, usize, f64, u64, u64, usize)> = Vec::new();
+    let mut traces_kept = 0u64;
+    let mut readback_spans = 0usize;
+    for sample in [0u32, SAMPLE_EVERY] {
+        let mut config = ServeConfig::default();
+        config.http.addr = "127.0.0.1:0".to_string();
+        config.http.workers = WORKERS;
+        config.http.trace_sample = sample;
+        config.registry.models_dir = models_dir.clone();
+        let daemon = spawn(config).expect("daemon spawns");
+        let addr = daemon.addr;
+        eprintln!(
+            "serve-bench: replica on http://{addr} (trace sample {sample}); \
+             driving {} requests over {} clients…",
+            options.requests, options.clients
+        );
+        warm(addr, &bodies);
+        let (lat, failures, elapsed) = drive(addr, &bodies, options.clients, options.requests);
+        let count = lat.len();
+        let rps = count as f64 / (elapsed as f64 / 1e6).max(1e-9);
+        let (p50, p99) = (percentile(&lat, 0.50), percentile(&lat, 0.99));
+        eprintln!(
+            "serve-bench: trace sample {sample} → {rps:.0} req/s (p50 {p50}µs, p99 {p99}µs, \
+             {failures} failures)"
+        );
+
+        if sample > 0 {
+            // The tax only counts if the traces are real: round-trip
+            // /trace/recent → /trace/<id> and demand actual spans.
+            let recent = scamdetect_serve::client::http_call(addr, "GET", "/trace/recent", None)
+                .expect("trace/recent scrape");
+            if recent.status == 200 {
+                if let Ok(parsed) = Json::parse(&recent.body) {
+                    traces_kept = parsed.get("kept").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                    let first_id = parsed
+                        .get("traces")
+                        .and_then(Json::as_array)
+                        .and_then(<[Json]>::first)
+                        .and_then(|t| t.get("trace_id").and_then(Json::as_str))
+                        .map(str::to_string);
+                    if let Some(id) = first_id {
+                        let one = scamdetect_serve::client::http_call(
+                            addr,
+                            "GET",
+                            &format!("/trace/{id}"),
+                            None,
+                        )
+                        .expect("trace fetch");
+                        if one.status == 200 {
+                            readback_spans = Json::parse(&one.body)
+                                .ok()
+                                .and_then(|t| {
+                                    t.get("spans").and_then(Json::as_array).map(<[Json]>::len)
+                                })
+                                .unwrap_or(0);
+                        }
+                    }
+                }
+            }
+            eprintln!(
+                "serve-bench: {traces_kept} traces kept; read-back trace carries \
+                 {readback_spans} spans"
+            );
+        }
+        daemon.stop().expect("clean daemon shutdown");
+        phases.push((sample, count, rps, p50, p99, failures));
+    }
+
+    let (_, off_count, off_rps, off_p50, off_p99, off_failures) = phases[0];
+    let (_, on_count, on_rps, on_p50, on_p99, on_failures) = phases[1];
+    let p99_budget = 11 * off_p99.max(P99_FLOOR_US) / 10;
+    let latency_held = on_p99 <= p99_budget;
+    let gate_pass = off_failures == 0
+        && on_failures == 0
+        && off_count >= options.requests
+        && on_count >= options.requests
+        && traces_kept > 0
+        && readback_spans > 0
+        && latency_held;
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"scamdetect-trace-bench/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"tracing_off\": {{\"clients\": {}, \"requests\": {off_count}, \
+         \"req_per_sec\": {off_rps:.0}, \"p50_us\": {off_p50}, \"p99_us\": {off_p99}, \
+         \"failures\": {off_failures}}},",
+        options.clients
+    );
+    let _ = writeln!(
+        json,
+        "  \"tracing_on\": {{\"clients\": {}, \"requests\": {on_count}, \
+         \"req_per_sec\": {on_rps:.0}, \"p50_us\": {on_p50}, \"p99_us\": {on_p99}, \
+         \"failures\": {on_failures}, \"sample_every\": {SAMPLE_EVERY}, \
+         \"traces_kept\": {traces_kept}, \"readback_spans\": {readback_spans}}},",
+        options.clients
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"pass\": {gate_pass}, \"tracing_on_p99_budget_us\": {p99_budget}, \
+         \"rule\": \"every request answers 200 in both phases, the 1-in-{SAMPLE_EVERY}-sampled \
+         daemon keeps traces that read back with real spans, and the tracing-on p99 stays \
+         within 1.1x the tracing-off p99 (floored at {P99_FLOOR_US}us)\"}}"
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("serve-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: wrote {out_path}");
+    std::fs::remove_dir_all(&base_dir).ok();
+    if !gate_pass {
+        eprintln!(
+            "serve-bench: GATE FAILED ({off_failures}+{on_failures} failures, \
+             {traces_kept} traces kept, {readback_spans} read-back spans, \
+             p99 {on_p99}µs vs budget {p99_budget}µs)"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("serve-bench: gate passed");
+    ExitCode::SUCCESS
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let options = match parse_args() {
@@ -962,6 +1159,9 @@ fn main() -> ExitCode {
     }
     if options.shadow {
         return run_shadow(&options);
+    }
+    if options.trace {
+        return run_trace(&options);
     }
     let out_path = options.out_path.clone().unwrap_or_else(|| {
         if options.router {

@@ -35,9 +35,11 @@
 use crate::breaker::BreakerConfig;
 use crate::health::{FleetState, HealthMonitor};
 use scamdetect::detect_platform;
+use scamdetect::trace::{Stage, TraceId};
 use scamdetect_serve::client::{ClientResponse, HttpClient};
 use scamdetect_serve::http::{
-    HttpConfig, HttpRequest, HttpResponse, HttpServer, ServerStats, ShutdownHandle, TransportKind,
+    HttpConfig, HttpRequest, HttpResponse, HttpServer, ServerStats, ShutdownHandle, TraceHub,
+    TransportKind,
 };
 use scamdetect_serve::json::{obj, Json};
 use scamdetect_serve::wire;
@@ -78,6 +80,12 @@ pub struct RouterConfig {
     pub retry_after_s: u32,
     /// Per-replica circuit-breaker thresholds.
     pub breaker: BreakerConfig,
+    /// Head-sampling rate for the router's own request traces: keep
+    /// 1-in-N. `0` disables tracing entirely (`/trace/*` answers 409).
+    pub trace_sample: u32,
+    /// Requests slower than this (µs, wire-observed at the router) are
+    /// kept regardless of sampling.
+    pub trace_slow_us: u64,
 }
 
 impl Default for RouterConfig {
@@ -93,6 +101,8 @@ impl Default for RouterConfig {
             forward_timeout: Duration::from_secs(10),
             retry_after_s: 2,
             breaker: BreakerConfig::default(),
+            trace_sample: 16,
+            trace_slow_us: 50_000,
         }
     }
 }
@@ -178,7 +188,9 @@ pub fn spawn_router(config: RouterConfig) -> std::io::Result<RunningRouter> {
     let metrics = Arc::new(RouterMetrics::default());
     let mut http = HttpConfig::builder()
         .addr(config.addr.clone())
-        .transport(config.transport);
+        .transport(config.transport)
+        .trace_sample(config.trace_sample)
+        .trace_slow_us(config.trace_slow_us);
     if config.workers > 0 {
         http = http.workers(config.workers);
     }
@@ -200,6 +212,7 @@ pub fn spawn_router(config: RouterConfig) -> std::io::Result<RunningRouter> {
         retry_after_s: config.retry_after_s,
         forward_timeout: config.forward_timeout,
         attempts_per_replica: config.breaker.consecutive_failures.max(1) as usize,
+        trace: server.trace_hub(),
     });
     let handler_ctx = Arc::clone(&ctx);
     let thread = std::thread::spawn(move || {
@@ -227,6 +240,9 @@ struct RouterCtx {
     /// How many failures it takes to trip one replica's breaker —
     /// bounds the re-route loop at `replicas × this` attempts.
     attempts_per_replica: usize,
+    /// The router's own completed-trace ring (same hub the transport
+    /// layer samples into); `/trace/*` reads it.
+    trace: Arc<TraceHub>,
 }
 
 /// A tiny keep-alive connection pool, one stack of clients per
@@ -256,7 +272,8 @@ impl ConnPool {
     /// returns to the pool only on success. `timeout` is this attempt's
     /// I/O deadline — the caller passes its request's *remaining*
     /// budget, so a pooled connection never waits longer than the
-    /// client would.
+    /// client would. `headers` rides along verbatim — the forward path
+    /// uses it to propagate `x-trace-id` to the owning replica.
     fn roundtrip(
         &self,
         addr: SocketAddr,
@@ -264,6 +281,7 @@ impl ConnPool {
         path: &str,
         body: &[u8],
         timeout: Duration,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
         let pooled = self
             .idle
@@ -276,7 +294,7 @@ impl ConnPool {
             None => HttpClient::connect_with_timeout(addr, timeout)?,
         };
         client.set_io_timeout(timeout);
-        let reply = client.request_raw(method, path, body, &[])?;
+        let reply = client.request_raw(method, path, body, headers)?;
         // Pooled connections revert to the default forward timeout so a
         // short-budget request cannot poison the next user's deadline.
         client.set_io_timeout(self.timeout);
@@ -320,11 +338,24 @@ fn route(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
             ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::text(200, render_router_metrics(ctx))
         }
+        ("GET", "/trace/recent") => {
+            ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_trace_recent(ctx)
+        }
+        ("GET", path) if path.strip_prefix("/trace/").is_some_and(|s| !s.is_empty()) => {
+            ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_trace_by_id(ctx, path.strip_prefix("/trace/").expect("guard matched"))
+        }
         (_, "/scan" | "/batch") => {
             ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, "use POST")
         }
-        (_, "/fleet" | "/healthz" | "/metrics") => {
+        (_, path)
+            if path == "/fleet"
+                || path == "/healthz"
+                || path == "/metrics"
+                || path.starts_with("/trace/") =>
+        {
             ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, "use GET")
         }
@@ -332,9 +363,39 @@ fn route(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
             ctx.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(
                 404,
-                "no such route (router exposes /scan /batch /fleet /healthz /metrics)",
+                "no such route (router exposes /scan /batch /fleet /healthz /metrics /trace)",
             )
         }
+    }
+}
+
+/// Router-side `/trace/recent`: the most recent kept traces from the
+/// router's own ring (summaries only; fetch `/trace/<id>` for spans).
+fn handle_trace_recent(ctx: &RouterCtx) -> HttpResponse {
+    if !ctx.trace.enabled() {
+        return HttpResponse::error(409, "tracing disabled (serve with trace sampling > 0)");
+    }
+    let (kept, dropped) = ctx.trace.ring_counts();
+    let recent = ctx.trace.recent(wire::TRACE_RECENT_LIMIT);
+    HttpResponse::json(200, &wire::render_trace_recent(&recent, kept, dropped))
+}
+
+/// Router-side `/trace/<id>`: the full span tree for one kept trace.
+/// The `forward` span notes name the owning replica, which is what
+/// `scamdetect-cli trace` follows to stitch the cross-process timeline.
+fn handle_trace_by_id(ctx: &RouterCtx, raw: &str) -> HttpResponse {
+    if !ctx.trace.enabled() {
+        return HttpResponse::error(409, "tracing disabled (serve with trace sampling > 0)");
+    }
+    let Some(id) = TraceId::parse(raw) else {
+        return HttpResponse::error(400, "trace id must be 1-16 hex digits");
+    };
+    match ctx.trace.find(id) {
+        Some(trace) => HttpResponse::json(200, &wire::render_trace(&trace)),
+        None => HttpResponse::error(
+            404,
+            "no kept trace with that id (sampled away, evicted, or never seen)",
+        ),
     }
 }
 
@@ -411,32 +472,91 @@ fn reply_is_sound(path: &str, reply: &ClientResponse) -> bool {
 /// the client's wait.
 fn forward_owned(
     ctx: &RouterCtx,
+    request: &HttpRequest,
     key: u64,
     path: &str,
     body: &[u8],
     deadline: Instant,
 ) -> HttpResponse {
+    // The replica treats a client-sent `x-trace-id` as *forced* capture,
+    // so a trace the router kept is guaranteed to have its child spans
+    // kept replica-side — that is what makes stitching deterministic.
+    let trace_hex = request.trace_id().map(|id| id.to_hex());
+    let forward_headers: Vec<(&str, &str)> = trace_hex
+        .as_deref()
+        .map(|hex| ("x-trace-id", hex))
+        .into_iter()
+        .collect();
     let (_, total) = ctx.state.up_counts();
     let max_attempts = total * ctx.attempts_per_replica + 1;
     for attempt in 0..max_attempts {
+        let attempt_start = Instant::now();
         let Some(remaining) = remaining_budget(deadline) else {
             return deadline_exhausted(ctx);
         };
         let Some((owner_id, owner_addr)) = ctx.state.owner_of(key) else {
             return unavailable(ctx);
         };
+        request.trace_record_note(
+            Stage::Route,
+            attempt_start,
+            Instant::now(),
+            format!("owner={owner_id} attempt={attempt}"),
+        );
         let timeout = remaining.min(ctx.forward_timeout);
-        match ctx.pool.roundtrip(owner_addr, "POST", path, body, timeout) {
+        let forward_start = Instant::now();
+        let outcome = ctx
+            .pool
+            .roundtrip(owner_addr, "POST", path, body, timeout, &forward_headers);
+        match outcome {
             Ok(reply) if reply_is_sound(path, &reply) => {
+                // Note format is a contract: `scamdetect-cli trace`
+                // parses `replica=<addr>` to find the owning replica's
+                // child spans.
+                request.trace_record_note(
+                    Stage::Forward,
+                    forward_start,
+                    Instant::now(),
+                    format!(
+                        "replica={owner_addr} status={} attempt={attempt}",
+                        reply.status
+                    ),
+                );
                 ctx.state.record_success(&owner_id);
                 if attempt > 0 {
                     ctx.metrics.reroutes.fetch_add(1, Ordering::Relaxed);
+                    request.trace_record_note(
+                        Stage::Retry,
+                        attempt_start,
+                        Instant::now(),
+                        format!("attempts={}", attempt + 1),
+                    );
                 }
                 return passthrough(ctx, &reply);
             }
-            Ok(_) | Err(_) => {
+            outcome => {
+                let detail = match &outcome {
+                    Ok(reply) => format!(
+                        "replica={owner_addr} status={} attempt={attempt} unsound",
+                        reply.status
+                    ),
+                    Err(e) => {
+                        format!(
+                            "replica={owner_addr} attempt={attempt} error={:?}",
+                            e.kind()
+                        )
+                    }
+                };
+                request.trace_record_note(Stage::Forward, forward_start, Instant::now(), detail);
                 ctx.metrics.forward_failures.fetch_add(1, Ordering::Relaxed);
+                let breaker_start = Instant::now();
                 ctx.state.record_failure(&owner_id);
+                request.trace_record_note(
+                    Stage::Breaker,
+                    breaker_start,
+                    Instant::now(),
+                    format!("replica={owner_id} failure recorded"),
+                );
             }
         }
     }
@@ -472,6 +592,7 @@ fn handle_scan(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
     let deadline = deadline_of(ctx, request);
     forward_owned(
         ctx,
+        request,
         routing_key(&wire_request),
         "/scan",
         &request.body,
@@ -510,6 +631,12 @@ fn handle_batch(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
     }
 
     let deadline = deadline_of(ctx, request);
+    let trace_hex = request.trace_id().map(|id| id.to_hex());
+    let forward_headers: Vec<(&str, &str)> = trace_hex
+        .as_deref()
+        .map(|hex| ("x-trace-id", hex))
+        .into_iter()
+        .collect();
     let mut model: Option<(String, u64)> = None;
     // Ownership can shift mid-batch (a forward failure rebalances), so
     // group → forward → regroup leftovers, bounded by fleet size times
@@ -552,9 +679,28 @@ fn handle_batch(ctx: &RouterCtx, request: &HttpRequest) -> HttpResponse {
             )])
             .render();
             let timeout = remaining.min(ctx.forward_timeout);
-            let outcome = ctx
-                .pool
-                .roundtrip(addr, "POST", "/batch", sub_body.as_bytes(), timeout);
+            let forward_start = Instant::now();
+            let outcome = ctx.pool.roundtrip(
+                addr,
+                "POST",
+                "/batch",
+                sub_body.as_bytes(),
+                timeout,
+                &forward_headers,
+            );
+            request.trace_record_note(
+                Stage::Forward,
+                forward_start,
+                Instant::now(),
+                match &outcome {
+                    Ok(reply) => format!(
+                        "replica={addr} status={} slots={}",
+                        reply.status,
+                        slots.len()
+                    ),
+                    Err(e) => format!("replica={addr} slots={} error={:?}", slots.len(), e.kind()),
+                },
+            );
             // A 200 with results for every slot settles the group; a
             // transport error, a torn/short body, or a backpressure
             // status (408/429/503) feeds the breaker and re-pends the
@@ -753,6 +899,21 @@ fn render_router_metrics(ctx: &RouterCtx) -> String {
         "replicas configured",
         total as u64,
     );
+    if ctx.trace.enabled() {
+        let (kept, dropped) = ctx.trace.ring_counts();
+        metric(
+            "scamdetect_fleet_traces_kept_total",
+            "counter",
+            "router request traces kept in the ring",
+            kept,
+        );
+        metric(
+            "scamdetect_fleet_traces_dropped_total",
+            "counter",
+            "router request traces dropped (ring contention)",
+            dropped,
+        );
+    }
 
     // ── Lifecycle roll-up ──────────────────────────────────────────
     // The one registration point in the serve crate
@@ -765,10 +926,14 @@ fn render_router_metrics(ctx: &RouterCtx) -> String {
     let mut sums = vec![0u64; scamdetect_serve::LIFECYCLE_COUNTERS.len()];
     let mut scraped = 0u64;
     for status in ctx.state.statuses().iter().filter(|s| s.up) {
-        let Ok(reply) =
-            ctx.pool
-                .roundtrip(status.addr, "GET", "/metrics", &[], ctx.forward_timeout)
-        else {
+        let Ok(reply) = ctx.pool.roundtrip(
+            status.addr,
+            "GET",
+            "/metrics",
+            &[],
+            ctx.forward_timeout,
+            &[],
+        ) else {
             continue;
         };
         if reply.status != 200 {

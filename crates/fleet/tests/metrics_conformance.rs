@@ -1,0 +1,320 @@
+//! Prometheus text-format conformance over the real scrape surfaces:
+//! a full daemon `/metrics` (tracing on, traffic driven so histograms
+//! and exemplars are populated) and a fleet router `/metrics`.
+//!
+//! What it pins:
+//!
+//! * every sample's family has exactly one `# HELP` and one `# TYPE`
+//!   declaration, and no family is declared twice;
+//! * no duplicate series (same name + same label set twice);
+//! * every value parses as a finite float;
+//! * every histogram family's buckets are cumulative, `+Inf`-terminated,
+//!   and agree with the family's `_count`;
+//! * the full `LIFECYCLE_COUNTERS` registry is present bare (label-free)
+//!   on the daemon scrape, and its fleet roll-up twin on the router
+//!   scrape.
+
+use scamdetect_fleet::proxy::{spawn_router, RouterConfig};
+use scamdetect_serve::client::{http_call, HttpClient};
+use scamdetect_serve::daemon::{spawn, RunningDaemon, ServeConfig};
+use scamdetect_serve::wire::encode_hex;
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/golden-logreg-unified-v1.scam"
+);
+
+fn spawn_replica(dir: &std::path::Path) -> RunningDaemon {
+    std::fs::create_dir_all(dir).expect("models dir");
+    let golden = std::fs::read(GOLDEN_PATH).expect("golden fixture is committed");
+    std::fs::write(dir.join("golden-v1.scam"), &golden).expect("stage artifact");
+    let mut config = ServeConfig::default();
+    config.http.addr = "127.0.0.1:0".to_string();
+    config.http.workers = 4;
+    // Sample everything: the conformance pass should see populated
+    // trace gauges, stage histograms and exemplars, not an empty ring.
+    config.http.trace_sample = 1;
+    config.registry.models_dir = dir.to_path_buf();
+    spawn(config).expect("replica spawns")
+}
+
+fn bodies() -> Vec<String> {
+    let corpus = scamdetect_dataset::Corpus::generate(&scamdetect_dataset::CorpusConfig {
+        size: 4,
+        seed: 0x7247,
+        ..scamdetect_dataset::CorpusConfig::default()
+    });
+    corpus
+        .contracts()
+        .iter()
+        .map(|c| format!(r#"{{"bytecode": "{}"}}"#, encode_hex(&c.bytes)))
+        .collect()
+}
+
+/// One parsed sample line: family-resolved name, raw series key, value.
+struct Sample {
+    name: String,
+    labels: String,
+    value: f64,
+}
+
+/// Parses a scrape and enforces the text-format invariants shared by
+/// both surfaces; returns samples keyed for surface-specific checks.
+fn check_conformance(text: &str, who: &str) -> Vec<Sample> {
+    let mut help: HashSet<String> = HashSet::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a family");
+            assert!(
+                help.insert(name.to_string()),
+                "{who}: duplicate # HELP for {name}"
+            );
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE names a family");
+            let kind = parts.next().expect("TYPE declares a kind");
+            assert!(
+                matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ),
+                "{who}: {name} declares unknown type {kind}"
+            );
+            assert!(
+                types.insert(name.to_string(), kind.to_string()).is_none(),
+                "{who}: duplicate # TYPE for {name}"
+            );
+        } else if let Some(stripped) = line.strip_prefix('#') {
+            panic!("{who}: malformed comment line: #{stripped}");
+        } else {
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let value: f64 = value.trim().parse().unwrap_or_else(|e| {
+                panic!("{who}: unparseable value on '{line}': {e}");
+            });
+            assert!(value.is_finite(), "{who}: non-finite value on '{line}'");
+            assert!(
+                seen_series.insert(series.to_string()),
+                "{who}: duplicate series {series}"
+            );
+            let (name, labels) = match series.split_once('{') {
+                Some((name, rest)) => {
+                    assert!(rest.ends_with('}'), "{who}: unterminated labels: {series}");
+                    (name.to_string(), rest.trim_end_matches('}').to_string())
+                }
+                None => (series.to_string(), String::new()),
+            };
+            samples.push(Sample {
+                name,
+                labels,
+                value,
+            });
+        }
+    }
+
+    // Every sample's family is declared. Histogram samples resolve to
+    // their family by stripping the _bucket/_sum/_count suffix.
+    let family_of = |name: &str| -> String {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stem) = name.strip_suffix(suffix) {
+                if types.get(stem).is_some_and(|k| k == "histogram") {
+                    return stem.to_string();
+                }
+            }
+        }
+        name.to_string()
+    };
+    for sample in &samples {
+        let family = family_of(&sample.name);
+        assert!(
+            types.contains_key(&family),
+            "{who}: series {} has no # TYPE",
+            sample.name
+        );
+        assert!(
+            help.contains(&family),
+            "{who}: series {} has no # HELP",
+            sample.name
+        );
+    }
+
+    // Histogram shape: per label set (minus `le`), buckets cumulative,
+    // +Inf-terminated, and the +Inf bucket equals the family _count.
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{family}_bucket");
+        // Group buckets by their label set with `le` removed,
+        // preserving scrape order (which is bound order within a set).
+        let mut groups: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+        for sample in samples.iter().filter(|s| s.name == bucket_name) {
+            let mut le = None;
+            let rest: Vec<&str> = sample
+                .labels
+                .split(',')
+                .filter(|part| match part.strip_prefix("le=\"") {
+                    Some(v) => {
+                        le = Some(v.trim_end_matches('"').to_string());
+                        false
+                    }
+                    None => true,
+                })
+                .collect();
+            let le = le.unwrap_or_else(|| panic!("{who}: {bucket_name} sample without le"));
+            let key = rest.join(",");
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, buckets)) => buckets.push((le, sample.value)),
+                None => groups.push((key, vec![(le, sample.value)])),
+            }
+        }
+        assert!(
+            !groups.is_empty(),
+            "{who}: histogram {family} rendered no buckets"
+        );
+        for (key, buckets) in &groups {
+            let (last_le, inf_count) = buckets.last().expect("nonempty");
+            assert_eq!(
+                last_le, "+Inf",
+                "{who}: {family}{{{key}}} buckets not +Inf-terminated"
+            );
+            let mut previous = f64::NEG_INFINITY;
+            let mut previous_bound = f64::NEG_INFINITY;
+            for (le, count) in buckets {
+                assert!(
+                    *count >= previous,
+                    "{who}: {family}{{{key}}} buckets not cumulative at le={le}"
+                );
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse()
+                        .unwrap_or_else(|e| panic!("{who}: {family}{{{key}}} bad le '{le}': {e}"))
+                };
+                assert!(
+                    bound > previous_bound,
+                    "{who}: {family}{{{key}}} le bounds not increasing at {le}"
+                );
+                previous = *count;
+                previous_bound = bound;
+            }
+            let count_series = samples
+                .iter()
+                .find(|s| s.name == format!("{family}_count") && s.labels == *key)
+                .unwrap_or_else(|| panic!("{who}: {family}{{{key}}} has no _count"));
+            assert_eq!(
+                *inf_count, count_series.value,
+                "{who}: {family}{{{key}}} +Inf bucket disagrees with _count"
+            );
+            assert!(
+                samples
+                    .iter()
+                    .any(|s| s.name == format!("{family}_sum") && s.labels == *key),
+                "{who}: {family}{{{key}}} has no _sum"
+            );
+        }
+    }
+    samples
+}
+
+#[test]
+fn daemon_and_router_scrapes_conform_and_cover_the_lifecycle_registry() {
+    let base = std::env::temp_dir().join(format!(
+        "scamdetect-metrics-conformance-{}",
+        std::process::id()
+    ));
+    let replica = spawn_replica(&base.join("models"));
+    let router = spawn_router(RouterConfig {
+        replicas: vec![replica.addr],
+        probe_interval: Duration::from_millis(100),
+        probe_timeout: Duration::from_millis(150),
+        ..RouterConfig::default()
+    })
+    .expect("router spawns");
+
+    // Populate: direct scans (some repeated for cache hits), a batch,
+    // and a routed scan so the router's forward path has counters too.
+    let bodies = bodies();
+    let mut client = HttpClient::connect(replica.addr).expect("client connects");
+    for body in bodies.iter().chain(bodies.iter().take(2)) {
+        let reply = client.request("POST", "/scan", Some(body)).expect("scan");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+    }
+    let batch = format!(
+        r#"{{"requests": [{}]}}"#,
+        bodies
+            .iter()
+            .map(|b| b.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let reply = client
+        .request("POST", "/batch", Some(&batch))
+        .expect("batch");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let reply = http_call(router.addr, "POST", "/scan", Some(&bodies[0])).expect("routed scan");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+
+    // ── daemon scrape ───────────────────────────────────────────────
+    let daemon_text = http_call(replica.addr, "GET", "/metrics", None)
+        .expect("daemon scrape")
+        .body;
+    let daemon_samples = check_conformance(&daemon_text, "daemon");
+    for def in scamdetect_serve::LIFECYCLE_COUNTERS {
+        assert!(
+            daemon_samples
+                .iter()
+                .any(|s| s.name == def.name && s.labels.is_empty()),
+            "daemon scrape lacks the bare lifecycle counter {}",
+            def.name
+        );
+    }
+    // The PR-10 families are present and populated.
+    let series_with_data = |name: &str| {
+        daemon_samples
+            .iter()
+            .any(|s| s.name == name && s.value > 0.0)
+    };
+    assert!(series_with_data("scamdetect_request_duration_us_count"));
+    assert!(series_with_data("scamdetect_stage_duration_us_count"));
+    assert!(series_with_data("scamdetect_traces_kept_total"));
+    assert!(
+        daemon_samples
+            .iter()
+            .any(|s| s.name == "scamdetect_slowest_trace_us" && s.labels.contains("trace_id=")),
+        "slowest-sample exemplars must carry a trace_id label"
+    );
+    assert!(
+        daemon_samples
+            .iter()
+            .any(|s| s.name == "scamdetect_build_info"
+                && s.labels.contains("version=")
+                && s.value == 1.0),
+        "build info gauge missing"
+    );
+
+    // ── router scrape: the fleet roll-up twin of every counter ──────
+    let router_text = http_call(router.addr, "GET", "/metrics", None)
+        .expect("router scrape")
+        .body;
+    let router_samples = check_conformance(&router_text, "router");
+    for def in scamdetect_serve::LIFECYCLE_COUNTERS {
+        let rolled = format!(
+            "scamdetect_fleet_{}",
+            def.name.trim_start_matches("scamdetect_")
+        );
+        assert!(
+            router_samples.iter().any(|s| s.name == rolled),
+            "router scrape lacks the lifecycle roll-up {rolled}"
+        );
+    }
+
+    router.stop().expect("clean router shutdown");
+    replica.stop().expect("clean replica shutdown");
+    std::fs::remove_dir_all(&base).ok();
+}

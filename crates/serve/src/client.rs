@@ -32,13 +32,27 @@ use std::time::Duration;
 /// same amount again so racing clients do not reconnect in lockstep.
 const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(5);
 
-/// One response: status code and body.
+/// One response: status code, headers and body.
 #[derive(Debug, Clone)]
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers, names lowercased, in wire order.
+    pub headers: Vec<(String, String)>,
     /// Response body (UTF-8; the daemon only serves text/JSON).
     pub body: String,
+}
+
+impl ClientResponse {
+    /// First header with `name` (case-insensitive), if present — how
+    /// callers read `x-trace-id` off a traced response.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == wanted)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A keep-alive connection to one daemon (reconnecting: see the module
@@ -265,6 +279,7 @@ fn round_trip(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
     let mut content_length = 0usize;
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let mut line = String::new();
         if conn.reader.read_line(&mut line)? == 0 {
@@ -276,17 +291,20 @@ fn round_trip(
         if line == "\r\n" {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = v
-                .trim()
-                .parse()
-                .map_err(|_| bad("invalid content-length"))?;
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad("invalid content-length"))?;
+            }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     conn.reader.read_exact(&mut body)?;
     Ok(ClientResponse {
         status,
+        headers,
         body: String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?,
     })
 }

@@ -17,6 +17,8 @@
 //! | `/shadow/promote`     | POST   | thresholded candidate → champion hot swap   |
 //! | `/healthz`            | GET    | liveness + model/epoch/cache snapshot       |
 //! | `/metrics`            | GET    | Prometheus text format                      |
+//! | `/trace/recent`       | GET    | recently kept request traces (span trees)   |
+//! | `/trace/<id>`         | GET    | one kept trace by its hex id                |
 //!
 //! Every scan response names the `model`/`model_epoch` that produced
 //! it: handlers snapshot the registry's `Arc<ServingModel>` once per
@@ -25,7 +27,7 @@
 
 use crate::http::{
     Handler, HttpConfig, HttpRequest, HttpResponse, HttpServer, LoadGauge, ServerStats,
-    ShutdownHandle,
+    ShutdownHandle, TraceHub,
 };
 use crate::json::{obj, Json};
 use crate::lifecycle::LifecycleConfig;
@@ -36,6 +38,7 @@ use crate::registry::{
 };
 use crate::wire;
 use scamdetect::lifecycle::{FeedbackLog, FeedbackRecord, FEEDBACK_FSYNC_EVERY};
+use scamdetect::trace::{Stage, TraceId};
 use scamdetect::ScanRequest;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -128,6 +131,7 @@ pub fn spawn(config: ServeConfig) -> Result<RunningDaemon, ServeError> {
         server.protocol_error_counter(),
         server.load_gauge(),
         feedback,
+        server.trace_hub(),
     );
     let thread = std::thread::spawn(move || server.serve(handler));
     Ok(RunningDaemon {
@@ -179,6 +183,7 @@ pub fn router(
     protocol_errors: Arc<std::sync::atomic::AtomicU64>,
     load: Arc<LoadGauge>,
     feedback: Option<SharedFeedbackLog>,
+    trace: Arc<TraceHub>,
 ) -> Handler {
     Arc::new(move |request: &HttpRequest| {
         let response = route(
@@ -187,6 +192,7 @@ pub fn router(
             &protocol_errors,
             &load,
             feedback.as_ref(),
+            &trace,
             request,
         );
         if response.status >= 400 {
@@ -202,6 +208,7 @@ fn route(
     protocol_errors: &std::sync::atomic::AtomicU64,
     load: &LoadGauge,
     feedback: Option<&SharedFeedbackLog>,
+    trace: &TraceHub,
     request: &HttpRequest,
 ) -> HttpResponse {
     match (request.method.as_str(), request.path.as_str()) {
@@ -256,6 +263,14 @@ fn route(
         ("DELETE", path) if model_id_of(path).is_some() => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             handle_remove(registry, model_id_of(path).expect("guard"))
+        }
+        ("GET", "/trace/recent") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_trace_recent(trace)
+        }
+        ("GET", path) if path.strip_prefix("/trace/").is_some_and(|s| !s.is_empty()) => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            handle_trace_by_id(trace, path.strip_prefix("/trace/").expect("guard"))
         }
         ("GET", "/healthz") => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
@@ -319,6 +334,7 @@ fn route(
                     load,
                     shadow: shadow_scrape,
                     feedback_log_records,
+                    trace: Some(trace),
                 }),
             )
         }
@@ -338,6 +354,10 @@ fn route(
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(405, "use GET")
         }
+        (_, path) if path == "/trace/recent" || path.starts_with("/trace/") => {
+            metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error(405, "use GET")
+        }
         _ => {
             metrics.requests_other.fetch_add(1, Ordering::Relaxed);
             HttpResponse::error(404, "no such route")
@@ -353,6 +373,34 @@ fn model_id_of(path: &str) -> Option<&str> {
         .filter(|id| !id.is_empty() && *id != "reload")
 }
 
+/// `GET /trace/recent`: the most recently kept traces, newest first,
+/// as summaries (fetch a full span tree via `/trace/<id>`).
+fn handle_trace_recent(trace: &TraceHub) -> HttpResponse {
+    if !trace.enabled() {
+        return HttpResponse::error(409, "tracing disabled (serve with --trace-sample > 0)");
+    }
+    let recent = trace.recent(wire::TRACE_RECENT_LIMIT);
+    let (kept, dropped) = trace.ring_counts();
+    HttpResponse::json(200, &wire::render_trace_recent(&recent, kept, dropped))
+}
+
+/// `GET /trace/<id>`: one kept trace as a full span tree.
+fn handle_trace_by_id(trace: &TraceHub, raw: &str) -> HttpResponse {
+    if !trace.enabled() {
+        return HttpResponse::error(409, "tracing disabled (serve with --trace-sample > 0)");
+    }
+    let Some(id) = TraceId::parse(raw) else {
+        return HttpResponse::error(400, "trace id must be 1-16 hex digits");
+    };
+    match trace.find(id) {
+        Some(t) => HttpResponse::json(200, &wire::render_trace(&t)),
+        None => HttpResponse::error(
+            404,
+            "no kept trace with that id (sampled away, evicted, or never seen)",
+        ),
+    }
+}
+
 fn parse_body(request: &HttpRequest) -> Result<Json, HttpResponse> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| HttpResponse::error(400, "request body is not valid utf-8"))?;
@@ -360,6 +408,8 @@ fn parse_body(request: &HttpRequest) -> Result<Json, HttpResponse> {
 }
 
 fn handle_scan(registry: &ModelRegistry, metrics: &Metrics, request: &HttpRequest) -> HttpResponse {
+    // Prep: body decode — JSON parse plus hex/base64 bytecode decode.
+    let prep_start = Instant::now();
     let body = match parse_body(request) {
         Ok(body) => body,
         Err(response) => return response,
@@ -371,6 +421,7 @@ fn handle_scan(registry: &ModelRegistry, metrics: &Metrics, request: &HttpReques
             return HttpResponse::error(400, &message);
         }
     };
+    request.trace_record(Stage::Prep, prep_start, Instant::now());
     // One snapshot for the whole request: the response's model/epoch
     // fields name exactly the weights that scored it.
     let model = registry.model();
@@ -380,12 +431,31 @@ fn handle_scan(registry: &ModelRegistry, metrics: &Metrics, request: &HttpReques
         scan = scan.on(platform);
     }
     let outcome = model.scanner.scan_request(&scan);
+    let scanned_at = Instant::now();
     let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    metrics.record_latency_us(elapsed_us);
+    metrics
+        .scan_latency
+        .record_with_trace(elapsed_us, request.trace_id());
     metrics.scans_total.fetch_add(1, Ordering::Relaxed);
     match outcome {
         Ok(report) => {
             let cache_hit = report.cache == scamdetect::CacheStatus::CacheHit;
+            if request.trace.is_some() {
+                // The scan window splits on the report's own compute
+                // time: everything outside it is fingerprint + cache
+                // probe, everything inside is model scoring (zero on a
+                // cache hit, which therefore records no score span).
+                let score_start = scanned_at.checked_sub(report.elapsed).unwrap_or(started);
+                request.trace_record_note(
+                    Stage::CacheLookup,
+                    started,
+                    score_start,
+                    format!("cache={:?}", report.cache),
+                );
+                if !report.elapsed.is_zero() {
+                    request.trace_record(Stage::Score, score_start, scanned_at);
+                }
+            }
             if cache_hit {
                 metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             }
@@ -406,7 +476,10 @@ fn handle_scan(registry: &ModelRegistry, metrics: &Metrics, request: &HttpReques
                     &metrics.lifecycle,
                 );
             }
-            HttpResponse::json(200, &wire::render_report(&report, &model))
+            let serialize_start = Instant::now();
+            let response = HttpResponse::json(200, &wire::render_report(&report, &model));
+            request.trace_record(Stage::Serialize, serialize_start, Instant::now());
+            response
         }
         Err(e) => {
             metrics.scan_failures.fetch_add(1, Ordering::Relaxed);
@@ -420,6 +493,8 @@ fn handle_batch(
     metrics: &Metrics,
     request: &HttpRequest,
 ) -> HttpResponse {
+    let batch_start = Instant::now();
+    let prep_start = batch_start;
     let body = match parse_body(request) {
         Ok(body) => body,
         Err(response) => return response,
@@ -459,10 +534,18 @@ fn handle_batch(
         })
         .collect();
 
+    request.trace_record_note(
+        Stage::Prep,
+        prep_start,
+        Instant::now(),
+        format!("contracts={}", items.len()),
+    );
+
     let model = registry.model();
     let started = Instant::now();
     let outcomes = model.scanner.scan_batch(&requests);
-    // The latency ring feeds the *per-scan* p50/p99 gauges; a whole
+    request.trace_record(Stage::Score, started, Instant::now());
+    // The scan histogram feeds the *per-scan* p50/p99 gauges; a whole
     // batch is many scans, so record its amortised per-contract cost
     // rather than one giant sample that would masquerade as a slow scan.
     if !requests.is_empty() {
@@ -523,14 +606,23 @@ fn handle_batch(
             }
         };
     }
-    HttpResponse::json(
+    let serialize_start = Instant::now();
+    let response = HttpResponse::json(
         200,
         &obj([
             ("model", Json::from(model.id.as_str())),
             ("model_epoch", Json::from(model.epoch)),
             ("results", Json::Arr(results)),
         ]),
-    )
+    );
+    request.trace_record(Stage::Serialize, serialize_start, Instant::now());
+    // The whole-request histogram (per endpoint) complements the
+    // amortised per-contract sample recorded above.
+    metrics.batch_latency.record_with_trace(
+        batch_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        request.trace_id(),
+    );
+    response
 }
 
 fn handle_models(registry: &ModelRegistry) -> HttpResponse {

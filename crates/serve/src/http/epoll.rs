@@ -101,13 +101,16 @@ mod linux {
     use std::net::{Shutdown, TcpListener, TcpStream};
     use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{mpsc, Arc, Mutex};
+    use std::sync::{mpsc, Arc, Mutex, PoisonError};
     use std::time::Instant;
+
+    use scamdetect::trace::{ActiveTrace, Stage};
 
     use crate::http::parser::{Parsed, Phase, RequestParser};
     use crate::http::{
-        encode_response, shed_connection, DrainBudget, Handler, HttpConfig, HttpRequest,
-        HttpResponse, LoadGauge, ServerStats, ShutdownHandle, TransportHost, READ_POLL,
+        attach_trace, encode_response, shed_connection, DrainBudget, Handler, HttpConfig,
+        HttpRequest, HttpResponse, LoadGauge, ServerStats, ShutdownHandle, TraceHub, TransportHost,
+        READ_POLL,
     };
 
     // ───────────────────────── raw syscalls ─────────────────────────
@@ -250,6 +253,9 @@ mod linux {
         slot: usize,
         generation: u32,
         request: HttpRequest,
+        /// When the request entered the job queue — the start of its
+        /// trace `queue_wait` span, ended by the worker's dequeue.
+        queued_at: Instant,
     }
 
     /// A handler result bound for the event loop.
@@ -257,6 +263,10 @@ mod linux {
         slot: usize,
         generation: u32,
         response: HttpResponse,
+        /// The request's span collector, riding back so the event loop
+        /// can record the `write` span and seal the trace once the
+        /// response bytes hit the socket.
+        trace: Option<ActiveTrace>,
     }
 
     /// What happens when a response finishes writing.
@@ -282,6 +292,9 @@ mod linux {
             buf: Vec<u8>,
             off: usize,
             then: AfterWrite,
+            /// The request's trace (collector + write-start instant),
+            /// sealed when the final byte lands.
+            trace: Option<(ActiveTrace, Instant)>,
         },
         /// Rejection sent and FIN'd; discarding the client's in-flight
         /// bytes within budget so the close stays RST-safe.
@@ -317,7 +330,7 @@ mod linux {
     /// What `advance_conn` decided while the connection was borrowed.
     enum ParseOutcome {
         Wait,
-        Dispatch(HttpRequest, bool),
+        Dispatch(HttpRequest, bool, Instant),
         Reject(HttpResponse),
         Close,
     }
@@ -330,6 +343,7 @@ mod linux {
         shutdown: ShutdownHandle,
         protocol_errors: Arc<AtomicU64>,
         load: Arc<LoadGauge>,
+        trace: Arc<TraceHub>,
         slots: Vec<Option<Conn>>,
         /// Per-slot generation counters, persisting across reuse.
         generations: Vec<u32>,
@@ -356,6 +370,7 @@ mod linux {
             shutdown,
             protocol_errors,
             load,
+            trace,
         } = host;
         listener.set_nonblocking(true)?;
         let ep = Epoll::new()?;
@@ -378,6 +393,7 @@ mod linux {
             shutdown,
             protocol_errors,
             load: Arc::clone(&load),
+            trace,
             slots: Vec::new(),
             generations: Vec::new(),
             free: Vec::new(),
@@ -402,6 +418,7 @@ mod linux {
                     shed_connection(stream, retry_after_s);
                 }
             });
+            let watermark = el.config.shed_watermark;
             for _ in 0..workers {
                 let job_rx = Arc::clone(&job_rx);
                 let handler = Arc::clone(&handler);
@@ -410,17 +427,45 @@ mod linux {
                 let wake = el.wake.signaller();
                 scope.spawn(move || loop {
                     // Hold the receiver lock only for the dequeue.
-                    let job = match job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                    let mut job = match job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
                         Ok(job) => job,
                         Err(_) => break, // event loop dropped the sender
                     };
+                    let dequeued = Instant::now();
                     load.queued.fetch_sub(1, Ordering::Relaxed);
                     load.in_flight.fetch_add(1, Ordering::Relaxed);
-                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        handler(&job.request)
-                    }))
-                    .unwrap_or_else(|_| HttpResponse::error(500, "handler panicked"));
+                    if job.request.trace.is_some() {
+                        job.request
+                            .trace_record(Stage::QueueWait, job.queued_at, dequeued);
+                        job.request.trace_record_note(
+                            Stage::Admission,
+                            dequeued,
+                            dequeued,
+                            format!(
+                                "queued={} in_flight={} watermark={}",
+                                load.queued.load(Ordering::Relaxed),
+                                load.in_flight.load(Ordering::Relaxed),
+                                watermark,
+                            ),
+                        );
+                    }
+                    let handler_span = job.request.trace_begin(Stage::Handler);
+                    let mut response =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            handler(&job.request)
+                        }))
+                        .unwrap_or_else(|_| HttpResponse::error(500, "handler panicked"));
                     load.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(id) = job.request.trace_id() {
+                        job.request
+                            .trace_end_note(handler_span, format!("status={}", response.status));
+                        response = response.with_header("x-trace-id", id.to_hex());
+                    }
+                    let trace = job
+                        .request
+                        .trace
+                        .take()
+                        .map(|cell| cell.into_inner().unwrap_or_else(PoisonError::into_inner));
                     completions
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
@@ -428,6 +473,7 @@ mod linux {
                             slot: job.slot,
                             generation: job.generation,
                             response,
+                            trace,
                         });
                     signal_wake(&wake);
                 });
@@ -619,7 +665,8 @@ mod linux {
                     Ok(Parsed::Request {
                         request,
                         keep_alive,
-                    }) => ParseOutcome::Dispatch(request, keep_alive),
+                        received,
+                    }) => ParseOutcome::Dispatch(request, keep_alive, received),
                     Ok(Parsed::NeedMore) => {
                         if conn.parser.overdue(&self.config) {
                             ParseOutcome::Reject(RequestParser::deadline_response(&self.config))
@@ -648,8 +695,8 @@ mod linux {
             };
             match outcome {
                 ParseOutcome::Wait => {}
-                ParseOutcome::Dispatch(request, keep_alive) => {
-                    self.dispatch(slot, request, keep_alive)
+                ParseOutcome::Dispatch(request, keep_alive, received) => {
+                    self.dispatch(slot, request, keep_alive, received)
                 }
                 ParseOutcome::Reject(failure) => self.reject(slot, failure),
                 ParseOutcome::Close => self.close(slot),
@@ -658,7 +705,13 @@ mod linux {
 
         /// Hands a complete request to the worker pool and parks the
         /// connection (interest cleared) until the response lands.
-        fn dispatch(&mut self, slot: usize, request: HttpRequest, keep_alive: bool) {
+        fn dispatch(
+            &mut self,
+            slot: usize,
+            mut request: HttpRequest,
+            keep_alive: bool,
+            received: Instant,
+        ) {
             let generation = {
                 let Some(conn) = self.slots[slot].as_mut() else {
                     return;
@@ -667,6 +720,12 @@ mod linux {
                 conn.generation
             };
             self.set_interest(slot, 0);
+            // Under epoll the trace's time axis starts at the request's
+            // first byte (connections idle in the slab for free, so
+            // accept time would charge keep-alive idle to the request).
+            let parsed_at = Instant::now();
+            attach_trace(&self.trace, &mut request, received);
+            request.trace_record(Stage::Parse, received, parsed_at);
             self.load.queued.fetch_add(1, Ordering::Relaxed);
             let sent = match &self.job_tx {
                 Some(tx) => tx
@@ -674,6 +733,7 @@ mod linux {
                         slot,
                         generation,
                         request,
+                        queued_at: Instant::now(),
                     })
                     .is_ok(),
                 None => false,
@@ -716,7 +776,7 @@ mod linux {
                 } else {
                     AfterWrite::Close
                 };
-                self.start_write(item.slot, &item.response, keep_alive, then);
+                self.start_write(item.slot, &item.response, keep_alive, then, item.trace);
             }
         }
 
@@ -728,7 +788,7 @@ mod linux {
             if let Some(conn) = self.slots[slot].as_mut() {
                 conn.served += 1;
             }
-            self.start_write(slot, &failure, false, AfterWrite::Drain);
+            self.start_write(slot, &failure, false, AfterWrite::Drain, None);
         }
 
         fn start_write(
@@ -737,6 +797,7 @@ mod linux {
             response: &HttpResponse,
             keep_alive: bool,
             then: AfterWrite,
+            trace: Option<ActiveTrace>,
         ) {
             {
                 let Some(conn) = self.slots[slot].as_mut() else {
@@ -746,6 +807,7 @@ mod linux {
                     buf: encode_response(response, keep_alive),
                     off: 0,
                     then,
+                    trace: trace.map(|active| (active, Instant::now())),
                 };
                 conn.last_activity = Instant::now();
             }
@@ -765,7 +827,7 @@ mod linux {
                     let Some(conn) = self.slots[slot].as_mut() else {
                         return;
                     };
-                    let State::Writing { buf, off, then } = &mut conn.state else {
+                    let State::Writing { buf, off, then, .. } = &mut conn.state else {
                         return;
                     };
                     if *off >= buf.len() {
@@ -802,6 +864,18 @@ mod linux {
         }
 
         fn finish_write(&mut self, slot: usize, then: AfterWrite) {
+            // Every response byte is on the socket: record the write
+            // span and seal the trace before the state transition.
+            let sealed = self.slots[slot]
+                .as_mut()
+                .and_then(|conn| match &mut conn.state {
+                    State::Writing { trace, .. } => trace.take(),
+                    _ => None,
+                });
+            if let Some((mut active, write_start)) = sealed {
+                active.record(Stage::Write, write_start, Instant::now());
+                self.trace.finish(active);
+            }
             match then {
                 AfterWrite::Close => self.close(slot),
                 AfterWrite::KeepAlive => {

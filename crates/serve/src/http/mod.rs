@@ -38,8 +38,11 @@ pub use threaded::ThreadedTransport;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+use crate::metrics::LatencyHistogram;
+use scamdetect::trace::{ActiveTrace, Sampler, Stage, Trace, TraceId, TraceRing};
 
 /// Which connection backend a server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +148,19 @@ pub struct HttpConfig {
     /// [`TransportKind::Threaded`] unless `SCAMDETECT_TRANSPORT`
     /// overrides it.
     pub transport: TransportKind,
+    /// Head-sampling cadence for request tracing: keep 1 trace in every
+    /// `trace_sample` into the completed-trace ring. `0` disables
+    /// tracing entirely (no spans recorded, no `x-trace-id` echoed).
+    /// Requests slower than [`HttpConfig::trace_slow_us`] and requests
+    /// arriving with an `x-trace-id` header are kept regardless.
+    pub trace_sample: u32,
+    /// Slow-trace override, µs: a request whose end-to-end time meets
+    /// this threshold is kept even when head sampling passed on it.
+    /// `0` disables the override.
+    pub trace_slow_us: u64,
+    /// Capacity of the bounded completed-trace ring served by
+    /// `GET /trace/recent` and `GET /trace/<id>`.
+    pub trace_ring: usize,
 }
 
 impl Default for HttpConfig {
@@ -160,6 +176,9 @@ impl Default for HttpConfig {
             shed_watermark: 256,
             retry_after_s: 1,
             transport: TransportKind::default(),
+            trace_sample: 16,
+            trace_slow_us: 50_000,
+            trace_ring: 256,
         }
     }
 }
@@ -300,6 +319,25 @@ impl HttpConfigBuilder {
         self
     }
 
+    /// Head-sampling cadence: keep 1 trace in `every` (0 disables
+    /// tracing).
+    pub fn trace_sample(mut self, every: u32) -> Self {
+        self.config.trace_sample = every;
+        self
+    }
+
+    /// Slow-trace keep threshold, µs (0 disables the override).
+    pub fn trace_slow_us(mut self, micros: u64) -> Self {
+        self.config.trace_slow_us = micros;
+        self
+    }
+
+    /// Completed-trace ring capacity.
+    pub fn trace_ring(mut self, capacity: usize) -> Self {
+        self.config.trace_ring = capacity;
+        self
+    }
+
     /// Validates and produces the config.
     ///
     /// # Errors
@@ -353,6 +391,115 @@ pub struct LoadGauge {
     pub shed_total: AtomicU64,
 }
 
+/// The server's tracing surface: the head sampler, the bounded
+/// completed-trace ring, and per-stage latency histograms folded from
+/// every finished trace (sampled or not — recording is per-request,
+/// *keeping* is sampled/slow/forced). One hub per [`HttpServer`],
+/// shared by the transport, the route handler (for `/trace/*`) and the
+/// metrics scrape.
+#[derive(Debug)]
+pub struct TraceHub {
+    sampler: Sampler,
+    ring: TraceRing,
+    stage_hist: Vec<LatencyHistogram>,
+}
+
+impl TraceHub {
+    pub fn new(sample_every: u32, slow_us: u64, ring_capacity: usize) -> TraceHub {
+        TraceHub {
+            sampler: Sampler::new(sample_every, slow_us),
+            ring: TraceRing::new(ring_capacity),
+            stage_hist: Stage::ALL.iter().map(|_| LatencyHistogram::new()).collect(),
+        }
+    }
+
+    fn from_config(config: &HttpConfig) -> TraceHub {
+        TraceHub::new(config.trace_sample, config.trace_slow_us, config.trace_ring)
+    }
+
+    /// False when tracing is disabled (`trace_sample == 0`).
+    pub fn enabled(&self) -> bool {
+        self.sampler.enabled()
+    }
+
+    /// The configured head-sampling cadence (0 = off).
+    pub fn sample_every(&self) -> u32 {
+        self.sampler.every()
+    }
+
+    /// The slow-trace keep threshold, µs.
+    pub fn slow_us(&self) -> u64 {
+        self.sampler.slow_us()
+    }
+
+    /// Opens a trace for one request. `forced` carries an upstream id
+    /// from `x-trace-id` — such traces are always kept, so a router (or
+    /// an operator with `curl -H`) can demand capture end to end.
+    /// Returns `None` when tracing is disabled.
+    pub fn begin(&self, origin: Instant, forced: Option<TraceId>) -> Option<ActiveTrace> {
+        if !self.sampler.enabled() {
+            return None;
+        }
+        let sampled = self.sampler.sample();
+        Some(match forced {
+            Some(id) => ActiveTrace::start(id, origin, sampled, true),
+            None => ActiveTrace::start(TraceId::generate(), origin, sampled, false),
+        })
+    }
+
+    /// Seals a trace: folds every span into the per-stage histograms,
+    /// then keeps it in the ring iff head-sampled, slow, or forced.
+    pub fn finish(&self, active: ActiveTrace) -> Arc<Trace> {
+        let trace = Arc::new(active.finish(Instant::now(), self.sampler.slow_us()));
+        for span in &trace.spans {
+            self.stage_hist[span.stage.index()].record_with_trace(span.duration_us, Some(trace.id));
+        }
+        if trace.sampled || trace.slow || trace.forced {
+            self.ring.push(Arc::clone(&trace));
+        }
+        trace
+    }
+
+    /// Newest-first snapshot of up to `limit` kept traces.
+    pub fn recent(&self, limit: usize) -> Vec<Arc<Trace>> {
+        self.ring.recent(limit)
+    }
+
+    /// A kept trace by id, if still in the ring.
+    pub fn find(&self, id: TraceId) -> Option<Arc<Trace>> {
+        self.ring.find(id)
+    }
+
+    /// Traces kept in / dropped at the ring since start.
+    pub fn ring_counts(&self) -> (u64, u64) {
+        (self.ring.kept(), self.ring.dropped())
+    }
+
+    /// Per-stage duration histograms in [`Stage::ALL`] order, for the
+    /// metrics scrape.
+    pub fn stage_histograms(&self) -> impl Iterator<Item = (Stage, &LatencyHistogram)> {
+        Stage::ALL.iter().copied().zip(self.stage_hist.iter())
+    }
+}
+
+/// Attaches a span collector to a freshly parsed request when the hub
+/// elects to trace it. `origin` anchors the trace's time axis (accept
+/// time for a connection's first request, first byte otherwise).
+pub(crate) fn attach_trace(hub: &TraceHub, request: &mut HttpRequest, origin: Instant) {
+    let forced = request.header("x-trace-id").and_then(TraceId::parse);
+    if let Some(active) = hub.begin(origin, forced) {
+        request.trace = Some(Mutex::new(active));
+    }
+}
+
+/// Seals a request's trace after its response bytes hit the socket:
+/// records the `write` span and hands the trace to the hub.
+pub(crate) fn finish_trace(hub: &TraceHub, cell: Mutex<ActiveTrace>, write_start: Instant) {
+    let mut active = cell.into_inner().unwrap_or_else(PoisonError::into_inner);
+    active.record(Stage::Write, write_start, Instant::now());
+    hub.finish(active);
+}
+
 /// One parsed request.
 #[derive(Debug)]
 pub struct HttpRequest {
@@ -366,6 +513,12 @@ pub struct HttpRequest {
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// The request's span collector when tracing elected it, attached
+    /// by the transport before dispatch. Handlers receive `&HttpRequest`
+    /// so the collector sits behind a `Mutex` — uncontended in practice
+    /// (one request, one thread at a time), it exists purely for
+    /// interior mutability.
+    pub trace: Option<Mutex<ActiveTrace>>,
 }
 
 impl HttpRequest {
@@ -375,6 +528,49 @@ impl HttpRequest {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Runs `f` against the span collector, if this request is traced.
+    pub fn with_trace<R>(&self, f: impl FnOnce(&mut ActiveTrace) -> R) -> Option<R> {
+        self.trace
+            .as_ref()
+            .map(|cell| f(&mut cell.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+
+    /// This request's trace id, when traced.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.with_trace(|at| at.id())
+    }
+
+    /// Opens a span under the innermost open span; pair with
+    /// [`HttpRequest::trace_end`]. No-op (returns `None`) when the
+    /// request is untraced.
+    pub fn trace_begin(&self, stage: Stage) -> Option<u32> {
+        self.with_trace(|at| at.begin(stage))
+    }
+
+    /// Closes a span opened by [`HttpRequest::trace_begin`].
+    pub fn trace_end(&self, span: Option<u32>) {
+        if let Some(id) = span {
+            self.with_trace(|at| at.end(id));
+        }
+    }
+
+    /// Closes a span and attaches a note.
+    pub fn trace_end_note(&self, span: Option<u32>, note: String) {
+        if let Some(id) = span {
+            self.with_trace(|at| at.end_with_note(id, note));
+        }
+    }
+
+    /// Records an already-measured interval as a closed child span.
+    pub fn trace_record(&self, stage: Stage, start: Instant, end: Instant) {
+        self.with_trace(|at| at.record(stage, start, end));
+    }
+
+    /// [`HttpRequest::trace_record`] with a note.
+    pub fn trace_record_note(&self, stage: Stage, start: Instant, end: Instant, note: String) {
+        self.with_trace(|at| at.record_note(stage, start, end, Some(note)));
     }
 }
 
@@ -514,6 +710,10 @@ pub struct TransportHost {
     /// Queue-depth / in-flight / shed gauges feeding the admission
     /// gate and metrics.
     pub load: Arc<LoadGauge>,
+    /// The tracing surface: sampler, completed-trace ring, per-stage
+    /// histograms. Transports attach collectors to elected requests and
+    /// seal them after the response write.
+    pub trace: Arc<TraceHub>,
 }
 
 /// A connection backend: owns the accept → read → dispatch → write →
@@ -553,6 +753,8 @@ pub struct HttpServer {
     /// Queue depth / in-flight / shed counters, shared out via
     /// [`HttpServer::load_gauge`].
     load: Arc<LoadGauge>,
+    /// Tracing surface, shared out via [`HttpServer::trace_hub`].
+    trace: Arc<TraceHub>,
 }
 
 impl HttpServer {
@@ -575,6 +777,7 @@ impl HttpServer {
             })?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let trace = Arc::new(TraceHub::from_config(&config));
         Ok(HttpServer {
             listener,
             local_addr,
@@ -587,6 +790,7 @@ impl HttpServer {
             },
             protocol_errors: Arc::new(AtomicU64::new(0)),
             load: Arc::new(LoadGauge::default()),
+            trace,
         })
     }
 
@@ -611,6 +815,13 @@ impl HttpServer {
     /// [`HttpServer::serve`] to fold into metrics).
     pub fn load_gauge(&self) -> Arc<LoadGauge> {
         Arc::clone(&self.load)
+    }
+
+    /// The tracing surface (sampler, completed-trace ring, per-stage
+    /// histograms). Clone before [`HttpServer::serve`] to route
+    /// `/trace/*` requests and fold stage histograms into metrics.
+    pub fn trace_hub(&self) -> Arc<TraceHub> {
+        Arc::clone(&self.trace)
     }
 
     /// Serves until shutdown on the transport named by
@@ -643,6 +854,7 @@ impl HttpServer {
                 shutdown: self.shutdown,
                 protocol_errors: self.protocol_errors,
                 load: self.load,
+                trace: self.trace,
             },
             handler,
         )

@@ -34,6 +34,11 @@ pub(crate) enum Phase {
 }
 
 /// One step of [`RequestParser::advance`].
+///
+/// The size skew is deliberate: a `Parsed` lives only for the one call
+/// that destructures it, so boxing the request would trade a stack copy
+/// for a per-request heap allocation on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub(crate) enum Parsed {
     /// The buffer holds no complete request; feed more bytes.
@@ -43,6 +48,9 @@ pub(crate) enum Parsed {
     Request {
         request: HttpRequest,
         keep_alive: bool,
+        /// When the request's first byte arrived — the start of the
+        /// trace `parse` span (receive + parse window).
+        received: Instant,
     },
 }
 
@@ -179,6 +187,7 @@ impl RequestParser {
         }
         let head = self.head.take().expect("head is present");
         let body: Vec<u8> = self.buf.drain(..head.content_length).collect();
+        let received = self.started.take().unwrap_or_else(Instant::now);
         // Anything left belongs to the next pipelined request, whose
         // deadline clock starts now.
         self.started = if self.buf.is_empty() {
@@ -194,8 +203,10 @@ impl RequestParser {
                 query: head.query,
                 headers: head.headers,
                 body,
+                trace: None,
             },
             keep_alive: head.keep_alive,
+            received,
         })
     }
 
@@ -317,6 +328,7 @@ mod tests {
         while let Ok(Parsed::Request {
             request,
             keep_alive,
+            ..
         }) = parser.advance(cfg)
         {
             out.push((request, keep_alive));

@@ -13,12 +13,15 @@ use std::io::{ErrorKind, Read};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use scamdetect::trace::Stage;
 
 use super::parser::{Parsed, Phase, RequestParser};
 use super::{
-    finish_rejected, is_timeout, shed_connection, write_response, DrainBudget, Handler, HttpConfig,
-    HttpRequest, HttpResponse, LoadGauge, ServerStats, ShutdownHandle, Transport, TransportHost,
-    READ_POLL,
+    attach_trace, finish_rejected, finish_trace, is_timeout, shed_connection, write_response,
+    DrainBudget, Handler, HttpConfig, HttpRequest, HttpResponse, LoadGauge, ServerStats,
+    ShutdownHandle, TraceHub, Transport, TransportHost, READ_POLL,
 };
 
 /// The blocking worker-pool backend; see the module docs.
@@ -36,9 +39,12 @@ impl Transport for ThreadedTransport {
             shutdown,
             protocol_errors,
             load,
+            trace,
         } = host;
         let workers = config.resolved_workers();
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // Each queued connection carries its accept instant so the
+        // worker can record the queue-wait span it just ended.
+        let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
         let rx = Arc::new(Mutex::new(rx));
         let (shed_tx, shed_rx) = mpsc::channel::<TcpStream>();
         let requests = Arc::new(AtomicU64::new(0));
@@ -62,20 +68,24 @@ impl Transport for ThreadedTransport {
                 let requests = Arc::clone(&requests);
                 let protocol_errors = Arc::clone(&protocol_errors);
                 let load = Arc::clone(&load);
+                let trace = Arc::clone(&trace);
                 scope.spawn(move || loop {
                     // Hold the receiver lock only for the dequeue.
-                    let conn = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                    let (conn, accepted) = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv()
+                    {
                         Ok(conn) => conn,
                         Err(_) => break, // accept loop closed the channel
                     };
                     load.queued.fetch_sub(1, Ordering::Relaxed);
                     let served = serve_connection(
                         conn,
+                        accepted,
                         config,
                         &handler,
                         &shutdown,
                         &protocol_errors,
                         &load,
+                        &trace,
                     );
                     requests.fetch_add(served, Ordering::Relaxed);
                 });
@@ -99,7 +109,7 @@ impl Transport for ThreadedTransport {
                         }
                         connections += 1;
                         load.queued.fetch_add(1, Ordering::Relaxed);
-                        if tx.send(stream).is_err() {
+                        if tx.send((stream, Instant::now())).is_err() {
                             break;
                         }
                     }
@@ -120,39 +130,81 @@ impl Transport for ThreadedTransport {
 
 /// Serves one connection for its keep-alive lifetime; returns how many
 /// requests were answered.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: TcpStream,
+    accepted: Instant,
     config: &HttpConfig,
     handler: &Handler,
     shutdown: &ShutdownHandle,
     protocol_errors: &AtomicU64,
     load: &LoadGauge,
+    trace: &TraceHub,
 ) -> u64 {
     let _ = stream.set_read_timeout(Some(READ_POLL.min(config.read_timeout)));
     let _ = stream.set_nodelay(true);
     let mut served = 0u64;
     let mut parser = RequestParser::new();
+    // The accept→worker handoff only the connection's first request
+    // waited through; consumed by that request's queue-wait span.
+    let mut queue_wait = Some((accepted, Instant::now()));
     while served < config.max_requests_per_conn as u64 && !shutdown.is_shutdown() {
-        let (request, keep_alive) = match read_request(&mut stream, &mut parser, config, shutdown) {
-            Ok(Some(parsed)) => parsed,
-            Ok(None) => break, // orderly close, idle timeout or drain
-            Err(failure) => {
-                protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_response(&mut stream, &failure, false);
-                // RST-safe close: stop the client and discard what it
-                // already sent — bounded — so the close degrades to
-                // FIN and the status line survives.
-                finish_rejected(&mut stream, DrainBudget::for_rejection(config));
-                served += 1;
-                break;
-            }
+        let (mut request, keep_alive, received) =
+            match read_request(&mut stream, &mut parser, config, shutdown) {
+                Ok(Some(parsed)) => parsed,
+                Ok(None) => break, // orderly close, idle timeout or drain
+                Err(failure) => {
+                    protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(&mut stream, &failure, false);
+                    // RST-safe close: stop the client and discard what it
+                    // already sent — bounded — so the close degrades to
+                    // FIN and the status line survives.
+                    finish_rejected(&mut stream, DrainBudget::for_rejection(config));
+                    served += 1;
+                    break;
+                }
+            };
+        let parsed_at = Instant::now();
+        // The trace's time axis starts where the request's wait did:
+        // at accept for the connection's first request, at first byte
+        // for keep-alive successors.
+        let origin = match queue_wait {
+            Some((enqueued, _)) => enqueued.min(received),
+            None => received,
         };
+        attach_trace(trace, &mut request, origin);
+        let handler_span = if request.trace.is_some() {
+            if let Some((enqueued, dequeued)) = queue_wait {
+                request.trace_record(Stage::QueueWait, enqueued, dequeued);
+            }
+            request.trace_record(Stage::Parse, received, parsed_at);
+            request.trace_record_note(
+                Stage::Admission,
+                parsed_at,
+                parsed_at,
+                format!(
+                    "queued={} in_flight={} watermark={}",
+                    load.queued.load(Ordering::Relaxed),
+                    load.in_flight.load(Ordering::Relaxed),
+                    config.shed_watermark,
+                ),
+            );
+            request.trace_begin(Stage::Handler)
+        } else {
+            None
+        };
+        queue_wait = None;
         // A handler panic must not take the worker down with it: catch,
         // serve a 500, keep the connection policy honest.
         load.in_flight.fetch_add(1, Ordering::Relaxed);
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
-            .unwrap_or_else(|_| HttpResponse::error(500, "handler panicked"));
+        let mut response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
+                .unwrap_or_else(|_| HttpResponse::error(500, "handler panicked"));
         load.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(id) = request.trace_id() {
+            request.trace_end_note(handler_span, format!("status={}", response.status));
+            response = response.with_header("x-trace-id", id.to_hex());
+        }
         // The advertised connection state must match what happens next:
         // the response that exhausts the per-connection request cap (or
         // lands during a drain) says `Connection: close`.
@@ -160,7 +212,12 @@ fn serve_connection(
             && !shutdown.is_shutdown()
             && served + 1 < config.max_requests_per_conn as u64;
         served += 1;
-        if write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+        let write_start = Instant::now();
+        let wrote = write_response(&mut stream, &response, keep_alive);
+        if let Some(cell) = request.trace.take() {
+            finish_trace(trace, cell, write_start);
+        }
+        if wrote.is_err() || !keep_alive {
             break;
         }
     }
@@ -182,7 +239,7 @@ fn read_request(
     parser: &mut RequestParser,
     config: &HttpConfig,
     shutdown: &ShutdownHandle,
-) -> Result<Option<(HttpRequest, bool)>, HttpResponse> {
+) -> Result<Option<(HttpRequest, bool, Instant)>, HttpResponse> {
     let mut last_activity = std::time::Instant::now();
     loop {
         // Consume buffered bytes first: a pipelined request may already
@@ -191,9 +248,10 @@ fn read_request(
         if let Parsed::Request {
             request,
             keep_alive,
+            received,
         } = parser.advance(config)?
         {
-            return Ok(Some((request, keep_alive)));
+            return Ok(Some((request, keep_alive, received)));
         }
         if parser.overdue(config) {
             return Err(RequestParser::deadline_response(config));

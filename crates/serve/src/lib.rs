@@ -177,6 +177,49 @@
 //! --shadow` writes `BENCH_PR9.json` — the CI gate that mirroring
 //! costs the serving path at most 1.5x p99.
 //!
+//! ## Observability
+//!
+//! Every request can carry a distributed trace: a [`scamdetect::trace::TraceId`]
+//! plus a tree of stage spans (accept → parse → queue wait → admission
+//! → handler → cache lookup → prep → score → serialize → write)
+//! recorded with monotonic timestamps on both transports. The span
+//! machinery is std-only ([`scamdetect::trace`]); completed traces
+//! drain into a bounded in-memory ring ([`http::TraceHub`]) that
+//! *drops* under pressure rather than blocking a worker.
+//!
+//! * **Sampling.** Head-based: 1 in [`HttpConfig::trace_sample`]
+//!   requests is captured (`--trace-sample <n>` on the CLI; default 16,
+//!   `0` disables tracing entirely and the `/trace/*` routes answer
+//!   `409`). Two overrides force capture regardless of the sampler: a
+//!   client-sent `x-trace-id` header (honored verbatim, echoed on the
+//!   response — this is how the fleet router propagates one id across
+//!   processes), and any request slower than
+//!   [`HttpConfig::trace_slow_us`] (`--trace-slow-ms`, default 50 ms) —
+//!   the tail you most want to explain is always kept.
+//! * **Reading a trace.** `GET /trace/recent` lists the ring's newest
+//!   traces (plus kept/dropped totals); `GET /trace/<id>` returns one
+//!   full span tree. Both are documented in [`wire`]. For a routed
+//!   request, `scamdetect-cli trace <id> --router <addr>` stitches the
+//!   cross-process timeline: it fetches the router's trace, follows
+//!   each forward span's `replica=<addr>` note to the replica that
+//!   served it, and splices the replica's spans under the forward span
+//!   on one shifted clock — queue wait, cache lookup, and scoring time
+//!   line up against the wire latency in a single indented tree.
+//! * **Histograms.** `/metrics` renders real log-linear latency
+//!   histograms ([`metrics::LatencyHistogram`]) as Prometheus
+//!   `_bucket`/`_sum`/`_count` series — per endpoint
+//!   (`scamdetect_request_duration_us`) and per pipeline stage
+//!   (`scamdetect_stage_duration_us`) — so dashboards aggregate true
+//!   percentiles across the fleet instead of averaging per-replica
+//!   p99s. Each slowest-bucket gauge carries a `trace_id` exemplar
+//!   label: from a latency spike on a dashboard to the exact span tree
+//!   that caused it is one `scamdetect-cli trace` away.
+//!
+//! `serve_bench --trace` (in the fleet crate) drives the same loopback
+//! load with tracing off and then sampling 1-in-16, and writes
+//! `BENCH_PR10.json` — the CI gate that tracing-on p99 stays within
+//! 1.1x tracing-off.
+//!
 //! Embedded use (tests, benches, other daemons):
 //!
 //! ```no_run
@@ -205,7 +248,7 @@ pub mod wire;
 pub use daemon::{serve, spawn, RunningDaemon, ServeConfig};
 pub use http::{
     ConfigError, EpollTransport, HttpConfig, HttpConfigBuilder, LoadGauge, ShutdownHandle,
-    ThreadedTransport, Transport, TransportKind,
+    ThreadedTransport, TraceHub, Transport, TransportKind,
 };
 pub use lifecycle::{DriftTelemetry, LifecycleConfig};
 pub use metrics::{LifecycleCounter, LifecycleCounters, MetricDef, LIFECYCLE_COUNTERS};

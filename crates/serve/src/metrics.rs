@@ -1,20 +1,240 @@
-//! Daemon metrics: lock-free counters plus a latency ring buffer,
-//! rendered in the Prometheus text exposition format.
+//! Daemon metrics: lock-free counters plus log-linear latency
+//! histograms, rendered in the Prometheus text exposition format.
 //!
-//! Everything on the hot path is a relaxed atomic op. Percentiles are
-//! computed at scrape time from a fixed ring of the most recent scan
-//! latencies (the standard "sliding window of samples" compromise: no
-//! allocation while serving, exact-enough p50/p99 over recent traffic,
-//! O(ring) work only when `/metrics` is hit).
+//! Everything on the hot path is a relaxed atomic op. Latency lives in
+//! [`LatencyHistogram`]s — HDR-style log-linear buckets (two linear
+//! sub-buckets per power-of-two octave, 1µs to ~100s) — so `/metrics`
+//! exposes real `_bucket`/`_sum`/`_count` series per endpoint and, via
+//! the trace hub, per pipeline stage. The p50/p99 gauges of earlier
+//! releases remain, now interpolated from the buckets instead of
+//! sorted from a sample ring; the slowest sample of each histogram
+//! carries its trace id as an exemplar series so a latency spike links
+//! straight to a captured span timeline.
 
-use crate::http::LoadGauge;
+use crate::http::{LoadGauge, TraceHub};
 use crate::lifecycle::{DriftTelemetry, DriftWindow};
+use scamdetect::trace::TraceId;
 use scamdetect_ir::Platform;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Samples kept for percentile estimation.
-const LATENCY_RING: usize = 2048;
+/// Number of finite histogram bucket bounds (the overflow bucket —
+/// Prometheus `+Inf` — is stored separately).
+pub const HIST_BOUNDS_LEN: usize = 53;
+
+/// Upper bounds (µs, inclusive) of the log-linear latency histogram:
+/// two linear sub-buckets per power-of-two octave, so every bucket is
+/// at most 33% wider than its lower edge. Spans 1µs .. ~100s; samples
+/// above the last bound land in the overflow (`+Inf`) bucket.
+pub const HIST_BOUNDS: [u64; HIST_BOUNDS_LEN] = hist_bounds();
+
+const fn hist_bounds() -> [u64; HIST_BOUNDS_LEN] {
+    // 1, then per octave k >= 1 the pair (2^k, 3 * 2^(k-1)):
+    // 1, 2, 3, 4, 6, 8, 12, 16, 24, ... 67_108_864, 100_663_296.
+    let mut bounds = [0u64; HIST_BOUNDS_LEN];
+    bounds[0] = 1;
+    let mut i = 1;
+    let mut k = 1u32;
+    while i < HIST_BOUNDS_LEN {
+        bounds[i] = 1u64 << k;
+        if i + 1 < HIST_BOUNDS_LEN {
+            bounds[i + 1] = 3u64 << (k - 1);
+        }
+        i += 2;
+        k += 1;
+    }
+    bounds
+}
+
+/// Index of the finite bucket whose bound is the smallest `>= us`, or
+/// `HIST_BOUNDS_LEN` for the overflow bucket. O(1): the octave comes
+/// from the leading-zero count, the sub-bucket from one compare.
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        return 0;
+    }
+    let k = (63 - us.leading_zeros()) as usize; // floor(log2(us)), >= 1
+    let idx = if us == 1u64 << k {
+        2 * k - 1
+    } else if us <= 3u64 << (k - 1) {
+        2 * k
+    } else {
+        2 * k + 1
+    };
+    idx.min(HIST_BOUNDS_LEN)
+}
+
+/// A fixed-footprint log-linear latency histogram (HDR-style): lock
+/// free, allocation free, every recording path three relaxed atomic
+/// adds plus a `fetch_max`. Percentiles are interpolated from the
+/// buckets at read time and clamped to the observed maximum, so a
+/// lone sample reads back exactly and bulk traffic reads back within
+/// one sub-bucket (≤ 33% relative error by construction).
+///
+/// The slowest sample's trace id is retained alongside the maximum —
+/// the exemplar that links a histogram tail to a span timeline.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BOUNDS_LEN + 1], // last = overflow (+Inf)
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+    /// TraceId bits of the slowest sample; 0 = none recorded.
+    max_trace: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BOUNDS_LEN + 1],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            max_trace: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample (microseconds). A real 0µs sample is
+    /// recorded as 0µs: occupancy is the bucket count, so no sentinel
+    /// value exists for zero to collide with.
+    pub fn record(&self, us: u64) {
+        self.record_with_trace(us, None);
+    }
+
+    /// Records one sample and, when it becomes the new maximum, retains
+    /// `trace` as the exemplar for the histogram's tail.
+    pub fn record_with_trace(&self, us: u64, trace: Option<TraceId>) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let prev = self.max.fetch_max(us, Ordering::Relaxed);
+        if us >= prev {
+            if let Some(id) = trace {
+                // Benign race: two concurrent maxima may interleave the
+                // two stores; either exemplar is a real slow trace.
+                self.max_trace.store(id.as_u64(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, microseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen, microseconds (0 before any sample).
+    pub fn max_us(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// `(max_us, trace_id)` of the slowest traced sample, when the
+    /// current maximum arrived with a trace id attached.
+    pub fn exemplar(&self) -> Option<(u64, TraceId)> {
+        let id = TraceId::from_raw(self.max_trace.load(Ordering::Relaxed))?;
+        Some((self.max_us(), id))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), microseconds, interpolated
+    /// linearly within the containing bucket and clamped to the
+    /// observed maximum; 0 before any sample arrives.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let max = self.max_us();
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lower = if i == 0 { 0 } else { HIST_BOUNDS[i - 1] };
+                let upper = if i < HIST_BOUNDS_LEN {
+                    HIST_BOUNDS[i].min(max.max(lower))
+                } else {
+                    max
+                };
+                let within = (rank - seen) as f64 / n as f64;
+                let value = lower as f64 + within * (upper.saturating_sub(lower)) as f64;
+                return (value.round() as u64).min(max);
+            }
+            seen += n;
+        }
+        max
+    }
+
+    /// Cumulative `(le_bound, count)` pairs over the finite bounds,
+    /// trimmed after the last occupied bucket; the caller appends the
+    /// `+Inf` line from [`LatencyHistogram::count`]. Trimming keeps a
+    /// cold histogram from costing 54 scrape lines.
+    fn cumulative_trimmed(&self) -> Vec<(u64, u64)> {
+        let counts: Vec<u64> = self.buckets[..HIST_BOUNDS_LEN]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let keep = match counts.iter().rposition(|&n| n > 0) {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        let mut cum = 0u64;
+        HIST_BOUNDS[..keep]
+            .iter()
+            .zip(counts)
+            .map(|(&bound, n)| {
+                cum += n;
+                (bound, cum)
+            })
+            .collect()
+    }
+}
+
+/// Writes one Prometheus histogram series (`_bucket`/`_sum`/`_count`)
+/// for `hist` under `name{labels}`. `labels` is either empty or a
+/// comma-joined `key="value"` list without braces. The caller emits
+/// the family's `# HELP`/`# TYPE histogram` header once.
+pub(crate) fn write_histogram_series(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    hist: &LatencyHistogram,
+) {
+    use std::fmt::Write as _;
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (bound, cum) in hist.cumulative_trimmed() {
+        let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cum}");
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        hist.count()
+    );
+    let brace = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}_sum{brace} {}", hist.sum());
+    let _ = writeln!(out, "{name}_count{brace} {}", hist.count());
+}
 
 /// Name + help text of one exported metric — the registration record.
 #[derive(Debug, Clone, Copy)]
@@ -138,16 +358,13 @@ pub struct ShadowScrape<'a> {
     pub latency_delta_us: i64,
 }
 
-/// Sentinel for "slot never written" (a real 0µs latency is recorded
-/// as 1µs — the measurement floor, far below anything the scan path
-/// can produce).
-const EMPTY: u64 = u64::MAX;
-
 /// Point-in-time state gathered by the `/metrics` route handler for
 /// one scrape: the identity of the served model, daemon uptime, live
 /// cache sizes, the HTTP layer's below-route rejection count (bad
-/// request lines, 431/413/411/408), and the live admission-gate gauge
-/// (queue depth, in-flight, shed count).
+/// request lines, 431/413/411/408), the live admission-gate gauge
+/// (queue depth, in-flight, shed count), and — when the serving layer
+/// runs with tracing enabled — the trace hub whose per-stage
+/// histograms and ring counters the scrape renders.
 #[derive(Debug, Clone, Copy)]
 pub struct ScrapeSnapshot<'a> {
     /// Id of the model currently serving.
@@ -168,9 +385,12 @@ pub struct ScrapeSnapshot<'a> {
     pub shadow: Option<ShadowScrape<'a>>,
     /// Whole records in the feedback log; `None` when ingestion is off.
     pub feedback_log_records: Option<u64>,
+    /// The serving layer's trace hub (stage histograms, sampling
+    /// config, ring occupancy); `None` on scrapes without one.
+    pub trace: Option<&'a TraceHub>,
 }
 
-/// Counters and latency samples for one daemon lifetime.
+/// Counters and latency histograms for one daemon lifetime.
 pub struct Metrics {
     /// Requests answered, by coarse endpoint family.
     pub requests_scan: AtomicU64,
@@ -201,8 +421,10 @@ pub struct Metrics {
     pub lifecycle: Arc<LifecycleCounters>,
     /// Streaming drift telemetry (score histograms, cache decay).
     pub drift: DriftTelemetry,
-    ring: [AtomicU64; LATENCY_RING],
-    ring_next: AtomicUsize,
+    /// `/scan` handler latency.
+    pub scan_latency: LatencyHistogram,
+    /// `/batch` handler latency (whole request, not per contract).
+    pub batch_latency: LatencyHistogram,
 }
 
 impl Default for Metrics {
@@ -221,34 +443,28 @@ impl Default for Metrics {
             model_installs: AtomicU64::new(0),
             lifecycle: Arc::new(LifecycleCounters::default()),
             drift: DriftTelemetry::default(),
-            ring: [const { AtomicU64::new(EMPTY) }; LATENCY_RING],
-            ring_next: AtomicUsize::new(0),
+            scan_latency: LatencyHistogram::new(),
+            batch_latency: LatencyHistogram::new(),
         }
     }
 }
 
 impl Metrics {
-    /// Records one scan latency sample (microseconds).
+    /// Records one scan latency sample (microseconds). Zero is a real
+    /// value here: sub-microsecond cache hits count as 0µs instead of
+    /// being rounded up to dodge a sentinel, because histogram
+    /// occupancy — not a magic value — marks a bucket live.
     pub fn record_latency_us(&self, micros: u64) {
-        let slot = self.ring_next.fetch_add(1, Ordering::Relaxed) % LATENCY_RING;
-        self.ring[slot].store(micros.clamp(1, EMPTY - 1), Ordering::Relaxed);
+        self.scan_latency.record(micros);
     }
 
-    /// `(p50, p99)` over the retained latency window, microseconds;
-    /// zeros before any sample arrives.
+    /// `(p50, p99)` over the scan-latency histogram, microseconds,
+    /// bucket-interpolated; zeros before any sample arrives.
     pub fn latency_percentiles_us(&self) -> (u64, u64) {
-        let mut samples: Vec<u64> = self
-            .ring
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .filter(|&v| v != EMPTY)
-            .collect();
-        if samples.is_empty() {
-            return (0, 0);
-        }
-        samples.sort_unstable();
-        let pick = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
-        (pick(0.50), pick(0.99))
+        (
+            self.scan_latency.percentile(0.50),
+            self.scan_latency.percentile(0.99),
+        )
     }
 
     /// Verdict-cache hit ratio over everything scanned so far (batch
@@ -276,9 +492,13 @@ impl Metrics {
             load,
             shadow,
             feedback_log_records,
+            trace,
         } = *snap;
         use std::fmt::Write as _;
-        let mut out = String::with_capacity(2048);
+        // A full scrape with drift histograms, two endpoint latency
+        // histograms and the stage family runs ~10–14 KiB; one power
+        // of two above that means a scrape almost never reallocates.
+        let mut out = String::with_capacity(16 * 1024);
         let mut counter = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -356,6 +576,19 @@ impl Metrics {
         for (def, value) in LIFECYCLE_COUNTERS.iter().zip(self.lifecycle.snapshot()) {
             counter(def.name, def.help, value);
         }
+        if let Some(hub) = trace {
+            let (kept, dropped) = hub.ring_counts();
+            counter(
+                "scamdetect_traces_kept_total",
+                "completed traces retained in the recent-trace ring",
+                kept,
+            );
+            counter(
+                "scamdetect_traces_dropped_total",
+                "completed traces dropped at a contended or full trace ring",
+                dropped,
+            );
+        }
 
         let (p50, p99) = self.latency_percentiles_us();
         let mut gauge = |name: &str, help: &str, value: String| {
@@ -365,12 +598,12 @@ impl Metrics {
         };
         gauge(
             "scamdetect_scan_latency_p50_us",
-            "median scan latency over the recent-sample window, microseconds",
+            "median scan latency interpolated from the latency histogram, microseconds",
             p50.to_string(),
         );
         gauge(
             "scamdetect_scan_latency_p99_us",
-            "p99 scan latency over the recent-sample window, microseconds",
+            "p99 scan latency interpolated from the latency histogram, microseconds",
             p99.to_string(),
         );
         gauge(
@@ -408,6 +641,18 @@ impl Metrics {
             "monotonic epoch of the served model (bumps on every swap)",
             model_epoch.to_string(),
         );
+        if let Some(hub) = trace {
+            gauge(
+                "scamdetect_trace_sample_every",
+                "head-sampling rate: 1 in N traced requests kept (0 = tracing off)",
+                hub.sample_every().to_string(),
+            );
+            gauge(
+                "scamdetect_trace_slow_threshold_us",
+                "requests at or above this total latency are always kept (0 = off)",
+                hub.slow_us().to_string(),
+            );
+        }
         // Drift telemetry. The drift and decay gauges are the headline
         // signals; the raw histogram series (labeled, so deliberately
         // outside the aggregated counter family) let an operator see
@@ -474,6 +719,82 @@ impl Metrics {
 
         // Labeled series, written directly (the counter/gauge helpers
         // above emit bare names only).
+        //
+        // Endpoint latency histograms: real cumulative `_bucket` series
+        // over the log-linear bounds, trimmed after the last occupied
+        // bucket to keep cold endpoints cheap.
+        let _ = writeln!(
+            out,
+            "# HELP scamdetect_request_duration_us route-handler latency by endpoint, microseconds\n\
+             # TYPE scamdetect_request_duration_us histogram"
+        );
+        for (endpoint, hist) in [("scan", &self.scan_latency), ("batch", &self.batch_latency)] {
+            write_histogram_series(
+                &mut out,
+                "scamdetect_request_duration_us",
+                &format!("endpoint=\"{endpoint}\""),
+                hist,
+            );
+        }
+        // The per-stage family comes from the trace hub: every traced
+        // request folds its span durations in, sampled away or not, so
+        // the histograms see full traffic while the ring keeps only
+        // the sampled/slow/forced timelines.
+        if let Some(hub) = trace {
+            let _ = writeln!(
+                out,
+                "# HELP scamdetect_stage_duration_us span duration by pipeline stage over traced requests, microseconds\n\
+                 # TYPE scamdetect_stage_duration_us histogram"
+            );
+            for (stage, hist) in hub.stage_histograms() {
+                if hist.count() == 0 {
+                    continue;
+                }
+                write_histogram_series(
+                    &mut out,
+                    "scamdetect_stage_duration_us",
+                    &format!("stage=\"{stage}\""),
+                    hist,
+                );
+            }
+        }
+        // Exemplars: the slowest sample of each histogram carries its
+        // trace id, linking the tail to GET /trace/<id>.
+        {
+            let mut wrote_header = false;
+            let mut exemplar = |out: &mut String, labels: String, hist: &LatencyHistogram| {
+                if let Some((us, id)) = hist.exemplar() {
+                    if !wrote_header {
+                        let _ = writeln!(
+                            out,
+                            "# HELP scamdetect_slowest_trace_us slowest observed sample per series, with its trace id as an exemplar label\n\
+                             # TYPE scamdetect_slowest_trace_us gauge"
+                        );
+                        wrote_header = true;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "scamdetect_slowest_trace_us{{{labels},trace_id=\"{}\"}} {us}",
+                        id.to_hex()
+                    );
+                }
+            };
+            exemplar(
+                &mut out,
+                "endpoint=\"scan\"".to_string(),
+                &self.scan_latency,
+            );
+            exemplar(
+                &mut out,
+                "endpoint=\"batch\"".to_string(),
+                &self.batch_latency,
+            );
+            if let Some(hub) = trace {
+                for (stage, hist) in hub.stage_histograms() {
+                    exemplar(&mut out, format!("stage=\"{stage}\""), hist);
+                }
+            }
+        }
         let _ = writeln!(
             out,
             "# HELP scamdetect_score_drift L1 distance between current and baseline score histograms, per platform\n\
@@ -521,6 +842,13 @@ impl Metrics {
              scamdetect_model_info{{model=\"{}\"}} 1",
             model_id.replace('\\', "\\\\").replace('"', "\\\"")
         );
+        let _ = writeln!(
+            out,
+            "# HELP scamdetect_build_info build metadata as labels\n\
+             # TYPE scamdetect_build_info gauge\n\
+             scamdetect_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        );
         out
     }
 }
@@ -530,6 +858,42 @@ mod tests {
     use super::*;
 
     #[test]
+    fn bucket_index_matches_linear_search() {
+        // The O(1) octave computation must agree with the definition:
+        // smallest bound >= the sample, overflow past the last bound.
+        let reference = |us: u64| {
+            HIST_BOUNDS
+                .iter()
+                .position(|&b| b >= us)
+                .unwrap_or(HIST_BOUNDS_LEN)
+        };
+        for us in 0..=2048u64 {
+            assert_eq!(bucket_index(us), reference(us), "us={us}");
+        }
+        for &us in &[1 << 20, (1 << 20) + 1, 100_663_296, 100_663_297, u64::MAX] {
+            assert_eq!(bucket_index(us), reference(us), "us={us}");
+        }
+        // Bounds are strictly increasing (cumulative rendering relies
+        // on it).
+        assert!(HIST_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zero_latency_samples_are_recorded_faithfully() {
+        // A real 0µs sample (sub-microsecond cache hit) used to be
+        // clamped up to 1µs to dodge the old ring's EMPTY sentinel.
+        // Histogram occupancy needs no sentinel: zeros stay zeros.
+        let m = Metrics::default();
+        for _ in 0..10 {
+            m.record_latency_us(0);
+        }
+        assert_eq!(m.scan_latency.count(), 10);
+        assert_eq!(m.scan_latency.sum(), 0);
+        assert_eq!(m.scan_latency.max_us(), 0);
+        assert_eq!(m.latency_percentiles_us(), (0, 0));
+    }
+
+    #[test]
     fn percentiles_over_known_samples() {
         let m = Metrics::default();
         assert_eq!(m.latency_percentiles_us(), (0, 0));
@@ -537,17 +901,73 @@ mod tests {
             m.record_latency_us(us);
         }
         let (p50, p99) = m.latency_percentiles_us();
-        assert!((49..=51).contains(&p50), "p50 {p50}");
-        assert!((98..=100).contains(&p99), "p99 {p99}");
+        assert!((48..=52).contains(&p50), "p50 {p50}");
+        assert!((96..=100).contains(&p99), "p99 {p99}");
     }
 
     #[test]
-    fn ring_wraps_without_losing_recency() {
-        let m = Metrics::default();
-        for _ in 0..(LATENCY_RING * 2) {
-            m.record_latency_us(7);
+    fn single_sample_reads_back_exactly() {
+        // Interpolation clamps to the observed max, so one sample is
+        // recovered bit-exact despite ~25%-wide buckets.
+        let h = LatencyHistogram::new();
+        h.record(123);
+        assert_eq!(h.percentile(0.5), 123);
+        assert_eq!(h.percentile(0.99), 123);
+        assert_eq!(h.max_us(), 123);
+    }
+
+    #[test]
+    fn heavy_traffic_stays_within_one_bucket() {
+        let h = LatencyHistogram::new();
+        for _ in 0..4096 {
+            h.record(7);
         }
-        assert_eq!(m.latency_percentiles_us(), (7, 7));
+        assert_eq!(h.percentile(0.5), 7);
+        assert_eq!(h.percentile(0.99), 7);
+        assert_eq!(h.count(), 4096);
+        assert_eq!(h.sum(), 7 * 4096);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_slowest_traced_sample() {
+        let h = LatencyHistogram::new();
+        h.record(500); // untraced: no exemplar yet
+        assert!(h.exemplar().is_none());
+        let slow = TraceId::parse("00000000000000ab").unwrap();
+        let fast = TraceId::parse("00000000000000cd").unwrap();
+        h.record_with_trace(900, Some(slow));
+        h.record_with_trace(100, Some(fast)); // not the max: ignored
+        let (us, id) = h.exemplar().unwrap();
+        assert_eq!(us, 900);
+        assert_eq!(id, slow);
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_inf_terminated() {
+        let h = LatencyHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let mut out = String::new();
+        write_histogram_series(&mut out, "x_us", "endpoint=\"scan\"", &h);
+        let mut last_cum = 0u64;
+        let mut bucket_lines = 0;
+        for line in out.lines().filter(|l| l.contains("_bucket")) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last_cum, "non-monotonic: {line}");
+            last_cum = value;
+            bucket_lines += 1;
+        }
+        assert!(out.contains("x_us_bucket{endpoint=\"scan\",le=\"3\"} 2"));
+        assert!(out.contains("x_us_bucket{endpoint=\"scan\",le=\"+Inf\"} 3"));
+        assert!(out.contains("x_us_sum{endpoint=\"scan\"} 106"));
+        assert!(out.contains("x_us_count{endpoint=\"scan\"} 3"));
+        // Trimmed after the last occupied bucket: 100 lands at le=128,
+        // so no bounds beyond that render (plus the +Inf line).
+        assert_eq!(
+            bucket_lines,
+            HIST_BOUNDS.iter().position(|&b| b >= 100).unwrap() + 2
+        );
     }
 
     #[test]
@@ -571,6 +991,7 @@ mod tests {
         m.lifecycle.incr(LifecycleCounter::Feedback);
         m.lifecycle.incr(LifecycleCounter::FeedbackDisagreements);
         m.drift.observe_score(Platform::Evm, 0.85, true);
+        let hub = TraceHub::new(16, 50_000, 64);
         let text = m.render_prometheus(&ScrapeSnapshot {
             model_id: "rf-v3",
             model_epoch: 2,
@@ -590,6 +1011,7 @@ mod tests {
                 latency_delta_us: -40,
             }),
             feedback_log_records: Some(17),
+            trace: Some(&hub),
         });
         assert!(text.contains("scamdetect_requests_total 4"));
         assert!(text.contains("scamdetect_protocol_errors_total 3"));
@@ -599,6 +1021,27 @@ mod tests {
         assert!(text.contains("scamdetect_scan_latency_p50_us 123"));
         assert!(text.contains("scamdetect_model_info{model=\"rf-v3\"} 1"));
         assert!(text.contains("scamdetect_model_epoch 2"));
+        assert!(text.contains(&format!(
+            "scamdetect_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(text.contains("scamdetect_uptime_seconds 60"));
+        assert!(text.contains("scamdetect_trace_sample_every 16"));
+        assert!(text.contains("scamdetect_trace_slow_threshold_us 50000"));
+        assert!(text.contains("scamdetect_traces_kept_total 0"));
+        // The single 123µs sample renders as a real cumulative series.
+        assert!(
+            text.contains("scamdetect_request_duration_us_bucket{endpoint=\"scan\",le=\"128\"} 1")
+        );
+        assert!(
+            text.contains("scamdetect_request_duration_us_bucket{endpoint=\"scan\",le=\"+Inf\"} 1")
+        );
+        assert!(text.contains("scamdetect_request_duration_us_sum{endpoint=\"scan\"} 123"));
+        assert!(text.contains("scamdetect_request_duration_us_count{endpoint=\"scan\"} 1"));
+        // A cold endpoint still closes its series with +Inf/sum/count.
+        assert!(text
+            .contains("scamdetect_request_duration_us_bucket{endpoint=\"batch\",le=\"+Inf\"} 0"));
+        assert!(text.contains("scamdetect_request_duration_us_count{endpoint=\"batch\"} 0"));
         // Every registered lifecycle counter renders by its table name.
         for def in LIFECYCLE_COUNTERS {
             assert!(
@@ -639,10 +1082,13 @@ mod tests {
             load: &load,
             shadow: None,
             feedback_log_records: None,
+            trace: None,
         });
         assert!(text.contains("scamdetect_shadow_active 0"));
         assert!(!text.contains("scamdetect_shadow_info"));
         assert!(!text.contains("scamdetect_feedback_log_records"));
+        assert!(!text.contains("scamdetect_trace_sample_every"));
+        assert!(!text.contains("scamdetect_stage_duration_us"));
         // The cumulative family still renders (zeros) with shadow off.
         assert!(text.contains("scamdetect_shadow_samples_total 0"));
     }

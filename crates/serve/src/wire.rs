@@ -188,16 +188,70 @@
 //! monotonic `scamdetect_shadow_*` counters on `/metrics` never reset
 //! and track the daemon's lifetime mirroring volume.
 //!
+//! # Request traces (`GET /trace/recent`, `GET /trace/<id>`)
+//!
+//! With tracing enabled (`--trace-sample` > 0), every response carries
+//! an `x-trace-id` header, and the traces that were *kept* — head
+//! sampled, slower than the slow threshold, or forced by the client
+//! sending its own `x-trace-id` request header — are retrievable while
+//! they remain in the bounded recent-trace ring.
+//!
+//! `GET /trace/recent` lists summaries, newest first (at most
+//! [`TRACE_RECENT_LIMIT`]), plus the ring's lifetime keep/drop
+//! counters. 409 while tracing is disabled.
+//!
+//! ```json
+//! {"kept": 41, "dropped": 0,
+//!  "traces": [{"trace_id": "9f86d081884c7d65",
+//!              "unix_start_us": 1723100000000000,
+//!              "total_us": 1412, "slow": false, "sampled": true,
+//!              "forced": false, "spans": 9}]}
+//! ```
+//!
+//! `GET /trace/<id>` (id: the 16-hex-digit `x-trace-id`, shorter forms
+//! tolerated) returns the full span tree, or 404 once the trace has
+//! been sampled away or evicted:
+//!
+//! ```json
+//! {"trace_id": "9f86d081884c7d65",
+//!  "unix_start_us": 1723100000000000,
+//!  "total_us": 1412, "slow": false, "sampled": true, "forced": false,
+//!  "spans": [
+//!    {"id": 0, "parent": null, "stage": "request",
+//!     "start_us": 0, "duration_us": 1412, "note": null},
+//!    {"id": 1, "parent": 0, "stage": "queue_wait",
+//!     "start_us": 0, "duration_us": 102, "note": null},
+//!    {"id": 4, "parent": 0, "stage": "handler",
+//!     "start_us": 131, "duration_us": 1201, "note": "status=200"}]}
+//! ```
+//!
+//! * `start_us` is relative to the trace origin (span 0's start), so a
+//!   timeline renders without clock math; `unix_start_us` anchors the
+//!   origin to wall time.
+//! * `parent` links spans into a tree rooted at span 0 (`request`).
+//!   Stages on the serve path: `queue_wait`, `parse`, `admission`,
+//!   `handler` with `cache_lookup`/`prep`/`score`/`serialize` children,
+//!   then `write`. The fleet router uses the same schema with `route`,
+//!   `forward` (note `replica=<addr> status=<n> attempt=<k>`), `retry`
+//!   and `breaker` stages — `scamdetect-cli trace <id>` stitches the
+//!   router's tree with the owning replica's by following the forward
+//!   note.
+//!
 //! [`ModelArtifact`]: scamdetect::ModelArtifact
 
 use crate::json::{obj, Json};
 use crate::registry::ServingModel;
+use scamdetect::trace::Trace;
 use scamdetect::{CacheStatus, ScanReport};
 use scamdetect_ir::Platform;
+use std::sync::Arc;
 
 /// Hard cap on `/batch` fan-in: enough for real bulk clients, small
 /// enough that one request cannot monopolise the daemon for minutes.
 pub const MAX_BATCH_REQUESTS: usize = 1024;
+
+/// Most traces `GET /trace/recent` returns in one response.
+pub const TRACE_RECENT_LIMIT: usize = 32;
 
 /// One decoded scan request.
 #[derive(Debug, Clone)]
@@ -265,6 +319,69 @@ pub fn render_report(report: &ScanReport, model: &ServingModel) -> Json {
         (
             "elapsed_us",
             Json::from(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+        ),
+    ])
+}
+
+/// The shared identity/flag fields of both trace renderings.
+fn trace_head(trace: &Trace) -> Vec<(&'static str, Json)> {
+    vec![
+        ("trace_id", Json::from(trace.id.to_hex())),
+        ("unix_start_us", Json::from(trace.unix_start_us)),
+        ("total_us", Json::from(trace.total_us)),
+        ("slow", Json::from(trace.slow)),
+        ("sampled", Json::from(trace.sampled)),
+        ("forced", Json::from(trace.forced)),
+    ]
+}
+
+/// Renders one kept trace as a full span tree (`GET /trace/<id>`; see
+/// the module docs schema).
+pub fn render_trace(trace: &Trace) -> Json {
+    let spans: Vec<Json> = trace
+        .spans
+        .iter()
+        .map(|span| {
+            obj([
+                ("id", Json::from(u64::from(span.id))),
+                (
+                    "parent",
+                    span.parent
+                        .map(|p| Json::from(u64::from(p)))
+                        .unwrap_or(Json::Null),
+                ),
+                ("stage", Json::from(span.stage.as_str())),
+                ("start_us", Json::from(span.start_us)),
+                ("duration_us", Json::from(span.duration_us)),
+                (
+                    "note",
+                    span.note.as_deref().map(Json::from).unwrap_or(Json::Null),
+                ),
+            ])
+        })
+        .collect();
+    let mut fields = trace_head(trace);
+    fields.push(("spans", Json::Arr(spans)));
+    obj(fields)
+}
+
+/// Renders one kept trace as a summary line — identity, flags and the
+/// span count, without the tree itself.
+pub fn render_trace_summary(trace: &Trace) -> Json {
+    let mut fields = trace_head(trace);
+    fields.push(("spans", Json::from(trace.spans.len() as u64)));
+    obj(fields)
+}
+
+/// Renders the `GET /trace/recent` envelope: newest-first summaries
+/// plus the ring's lifetime keep/drop counters.
+pub fn render_trace_recent(traces: &[Arc<Trace>], kept: u64, dropped: u64) -> Json {
+    obj([
+        ("kept", Json::from(kept)),
+        ("dropped", Json::from(dropped)),
+        (
+            "traces",
+            Json::Arr(traces.iter().map(|t| render_trace_summary(t)).collect()),
         ),
     ])
 }

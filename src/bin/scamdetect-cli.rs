@@ -11,6 +11,10 @@
 //! scamdetect-cli shadow <start|status|stop|promote>  drive a daemon's shadow-scoring
 //!                 --addr <host:port> [opts]          session (see below)
 //! scamdetect-cli fleet <serve|status|rollout> multi-replica fleet operations (see below)
+//! scamdetect-cli trace <id> --addr <host:port> fetch one request's trace and print the
+//!                                             span timeline; pointed at a fleet router it
+//!                                             follows the forward span to the owning
+//!                                             replica and stitches one cross-process tree
 //! scamdetect-cli demo                         end-to-end demonstration
 //!
 //! serve options:
@@ -35,6 +39,11 @@
 //!                                                  corrections to this append-only log
 //!   --fsync-every <n>                              fsync the feedback log every n appends
 //!                                                  (default 8)
+//!   --trace-sample <n>                             keep 1-in-n request traces (default 16,
+//!                                                  0 disables tracing and /trace/*)
+//!   --trace-slow-ms <ms>                           always keep requests slower than this
+//!                                                  (default 50); kept traces are readable
+//!                                                  at GET /trace/recent and /trace/<id>
 //!
 //! The daemon answers POST /scan, POST /batch, GET /models,
 //! POST /models/reload (hot swap), POST /feedback, GET+POST /shadow/*,
@@ -76,8 +85,11 @@
 //!               [--breaker-error-rate <p>]         request via the x-deadline-ms header;
 //!               [--breaker-cooldown-ms <ms>]       breaker: trip after n consecutive
 //!               [--transport <threads|epoll>]      failures or error rate ≥ p, re-probe
-//!                                                  after the cooldown; --transport picks
-//!                                                  the router's connection backend)
+//!               [--trace-sample <n>]               after the cooldown; --transport picks
+//!               [--trace-slow-ms <ms>]             the router's connection backend;
+//!                                                  trace flags mirror serve's — the router
+//!                                                  keeps its own span ring and forwards
+//!                                                  x-trace-id to the owning replica)
 //!   fleet status --router <host:port>              print ring topology, shard shares
 //!                                                  and per-replica health
 //!   fleet rollout --replicas <h:p,h:p,...>         staged artifact rollout: push to
@@ -139,10 +151,11 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("shadow") => cmd_shadow(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: scamdetect-cli <inspect|train|retrain|scan|batch|serve|shadow|fleet|demo> [args]"
+                "usage: scamdetect-cli <inspect|train|retrain|scan|batch|serve|shadow|fleet|trace|demo> [args]"
             );
             eprintln!("       see crate docs for options");
             return ExitCode::from(2);
@@ -689,6 +702,11 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     return Err("--fsync-every must be at least 1".into());
                 }
             }
+            "--trace-sample" => http = http.trace_sample(value(&mut i)?.parse()?),
+            "--trace-slow-ms" => {
+                let ms: u64 = value(&mut i)?.parse()?;
+                http = http.trace_slow_us(ms.saturating_mul(1000));
+            }
             other => return Err(format!("unknown serve option '{other}'").into()),
         }
         i += 1;
@@ -858,6 +876,11 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--breaker-cooldown-ms" => {
                 config.breaker.cooldown = std::time::Duration::from_millis(value(&mut i)?.parse()?);
             }
+            "--trace-sample" => config.trace_sample = value(&mut i)?.parse()?,
+            "--trace-slow-ms" => {
+                let ms: u64 = value(&mut i)?.parse()?;
+                config.trace_slow_us = ms.saturating_mul(1000);
+            }
             other => return Err(format!("unknown fleet serve option '{other}'").into()),
         }
         i += 1;
@@ -1026,6 +1049,180 @@ fn cmd_fleet_rollout(args: &[String]) -> Result<(), Box<dyn std::error::Error>> 
     for (addr, model, epoch) in &report.fleet {
         println!("  {addr}: model {model} (epoch {epoch})");
     }
+    Ok(())
+}
+
+/// One span row decoded from a `/trace/<id>` reply — the CLI-side
+/// mirror of `scamdetect_serve::wire`'s trace schema.
+struct TraceSpanRow {
+    id: u64,
+    parent: Option<u64>,
+    stage: String,
+    start_us: u64,
+    duration_us: u64,
+    note: Option<String>,
+}
+
+fn parse_trace_spans(trace: &scamdetect_serve::json::Json) -> Vec<TraceSpanRow> {
+    use scamdetect_serve::json::Json;
+    trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(|s| TraceSpanRow {
+            id: s.get("id").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            parent: s.get("parent").and_then(Json::as_f64).map(|p| p as u64),
+            stage: s
+                .get("stage")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            start_us: s.get("start_us").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            duration_us: s.get("duration_us").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            note: s.get("note").and_then(Json::as_str).map(str::to_string),
+        })
+        .collect()
+}
+
+/// The `replica=<addr>` token a router forward span carries — the
+/// stitching contract with `scamdetect_fleet::proxy`.
+fn forward_replica_addr(note: &str) -> Option<std::net::SocketAddr> {
+    note.split_whitespace()
+        .find_map(|token| token.strip_prefix("replica="))
+        .and_then(|addr| addr.parse().ok())
+}
+
+/// Prints one process's span tree, shifting starts by `shift_us` (the
+/// replica clock offset) and splicing stitched replica sub-trees under
+/// the forward spans that produced them.
+fn print_span_tree(
+    spans: &[TraceSpanRow],
+    parent: Option<u64>,
+    depth: usize,
+    shift_us: u64,
+    stitched: &std::collections::HashMap<u64, (String, Vec<TraceSpanRow>, u64)>,
+) {
+    for span in spans.iter().filter(|s| s.parent == parent) {
+        println!(
+            "{:indent$}{:<12} {:>9}µs  +{:<9}µs{}",
+            "",
+            span.stage,
+            span.start_us + shift_us,
+            span.duration_us,
+            span.note
+                .as_deref()
+                .map(|n| format!("  {n}"))
+                .unwrap_or_default(),
+            indent = depth * 2
+        );
+        if let Some((label, replica_spans, replica_shift)) = stitched.get(&span.id) {
+            println!("{:indent$}[replica {label}]", "", indent = (depth + 1) * 2);
+            print_span_tree(
+                replica_spans,
+                None,
+                depth + 1,
+                *replica_shift,
+                &Default::default(),
+            );
+        }
+        print_span_tree(spans, Some(span.id), depth + 1, shift_us, stitched);
+    }
+}
+
+/// `trace <id> --addr <host:port>` — fetch one kept trace and print its
+/// span timeline. Pointed at a fleet router, each forward span's
+/// `replica=<addr>` note names the process holding that hop's child
+/// spans; the CLI fetches those too (the router forced the replica to
+/// keep them by forwarding `x-trace-id`) and prints one stitched
+/// cross-process tree, aligning clocks via each trace's unix start.
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use scamdetect_serve::client::http_call_with_timeout;
+    use scamdetect_serve::json::Json;
+
+    let mut addr = "127.0.0.1:7800".to_string();
+    let mut id: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" | "--router" => {
+                i += 1;
+                addr = args.get(i).ok_or("--addr needs a value")?.clone();
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown trace option '{flag}'").into())
+            }
+            value => {
+                if id.replace(value.to_string()).is_some() {
+                    return Err("trace takes exactly one <id>".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    let id = id.ok_or("usage: scamdetect-cli trace <id> --addr <host:port>")?;
+    let addr: std::net::SocketAddr = addr.parse()?;
+    let timeout = std::time::Duration::from_secs(10);
+    let reply = http_call_with_timeout(addr, "GET", &format!("/trace/{id}"), None, timeout)?;
+    if reply.status != 200 {
+        return Err(format!("{addr} answered {}: {}", reply.status, reply.body).into());
+    }
+    let trace = Json::parse(&reply.body)?;
+    let head_u64 = |k: &str| trace.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let head_bool = |k: &str| trace.get(k).and_then(Json::as_bool).unwrap_or(false);
+    let origin_unix_us = head_u64("unix_start_us");
+    println!(
+        "trace {} @ {addr} — total {}µs (slow={} sampled={} forced={})",
+        trace.get("trace_id").and_then(Json::as_str).unwrap_or("?"),
+        head_u64("total_us"),
+        head_bool("slow"),
+        head_bool("sampled"),
+        head_bool("forced"),
+    );
+    let spans = parse_trace_spans(&trace);
+
+    // Follow every forward span to its replica's child spans; a fetch
+    // that fails (replica down, trace evicted) degrades to the router's
+    // view alone rather than erroring the whole timeline.
+    let mut stitched: std::collections::HashMap<u64, (String, Vec<TraceSpanRow>, u64)> =
+        std::collections::HashMap::new();
+    for span in spans.iter().filter(|s| s.stage == "forward") {
+        let Some(replica) = span.note.as_deref().and_then(forward_replica_addr) else {
+            continue;
+        };
+        if replica == addr {
+            continue; // pointed directly at a replica, nothing to follow
+        }
+        let Ok(reply) =
+            http_call_with_timeout(replica, "GET", &format!("/trace/{id}"), None, timeout)
+        else {
+            eprintln!("(replica {replica} unreachable; showing the router's view only)");
+            continue;
+        };
+        if reply.status != 200 {
+            eprintln!(
+                "(replica {replica} answered {} for this trace; showing the router's view only)",
+                reply.status
+            );
+            continue;
+        }
+        let Ok(replica_trace) = Json::parse(&reply.body) else {
+            continue;
+        };
+        let replica_unix_us = replica_trace
+            .get("unix_start_us")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64;
+        stitched.insert(
+            span.id,
+            (
+                replica.to_string(),
+                parse_trace_spans(&replica_trace),
+                replica_unix_us.saturating_sub(origin_unix_us),
+            ),
+        );
+    }
+    print_span_tree(&spans, None, 1, 0, &stitched);
     Ok(())
 }
 
